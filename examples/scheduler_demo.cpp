@@ -1,0 +1,84 @@
+// Figure 5 demo: prints one basic block's RTL before and after scheduling,
+// natively and HLI-assisted, so the reordering of memory references across
+// disambiguated stores is visible instruction by instruction.
+#include <cstdio>
+
+#include "backend/lower.hpp"
+#include "backend/mapping.hpp"
+#include "backend/sched.hpp"
+#include "frontend/sema.hpp"
+#include "hli/builder.hpp"
+#include "hli/query.hpp"
+#include "machine/machine.hpp"
+
+using namespace hli;
+
+// One fat basic block: four independent streams the native analyzer mushes
+// together (every subscript is in a register).
+constexpr const char* kSource = R"(
+double a[256]; double b[256]; double c[256]; double d[256];
+void kernel(int i) {
+  a[i] = a[i] * 2.0;
+  b[i] = b[i] + a[i];
+  c[i] = c[i] * 3.0;
+  d[i] = d[i] + c[i];
+}
+)";
+
+namespace {
+
+backend::RtlFunction compile_kernel(bool use_hli, backend::DepStats* stats) {
+  support::DiagnosticEngine diags;
+  frontend::Program prog = frontend::compile_to_ast(kSource, diags);
+  format::HliFile hli = builder::build_hli(prog);
+  backend::RtlProgram rtl = backend::lower_program(prog);
+  backend::RtlFunction& func = *rtl.find_function("kernel");
+  const format::HliEntry& entry = *hli.find_unit("kernel");
+  (void)backend::map_items(func, entry);
+  const query::HliUnitView view(entry);
+  backend::SchedOptions options;
+  options.use_hli = use_hli;
+  options.view = &view;
+  const machine::MachineDesc mach = machine::r10000();
+  options.latency = [mach](const backend::Insn& insn) {
+    return mach.latency(insn);
+  };
+  *stats = backend::schedule_function(func, options);
+  return func;
+}
+
+void print_memory_ops(const char* label, const backend::RtlFunction& func) {
+  std::printf("%s\n", label);
+  int position = 0;
+  for (const backend::Insn& insn : func.insns) {
+    ++position;
+    if (backend::is_memory_op(insn.op)) {
+      std::printf("  [%2d] %s\n", position, backend::to_string(insn).c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  backend::DepStats native_stats;
+  backend::DepStats hli_stats;
+  const backend::RtlFunction native = compile_kernel(false, &native_stats);
+  const backend::RtlFunction assisted = compile_kernel(true, &hli_stats);
+
+  std::printf("== Dependence queries in the block (Figure 5) ==\n");
+  std::printf("queries: %llu   GCC yes: %llu   HLI yes: %llu   edges with "
+              "HLI: %llu\n\n",
+              static_cast<unsigned long long>(hli_stats.mem_queries),
+              static_cast<unsigned long long>(hli_stats.gcc_yes),
+              static_cast<unsigned long long>(hli_stats.hli_yes),
+              static_cast<unsigned long long>(hli_stats.combined_yes));
+
+  print_memory_ops("== memory ops, native schedule (source order forced) ==",
+                   native);
+  std::printf("\n");
+  print_memory_ops("== memory ops, HLI-assisted schedule ==", assisted);
+  std::printf("\nWith HLI the independent a/b/c/d streams interleave: loads\n"
+              "hoist above unrelated stores, shortening the critical path.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Software-pipelining demo (the §3.2.2 cyclic-scheduling claim): shows a
+// modulo scheduler's minimum initiation interval for three loops — an
+// independent stream, a distance-1 recurrence, and a distance-4
+// recurrence — with the native oracle vs. the HLI's LCDD distances.
+#include <cstdio>
+
+#include "backend/lower.hpp"
+#include "backend/mapping.hpp"
+#include "backend/swp.hpp"
+#include "frontend/sema.hpp"
+#include "hli/builder.hpp"
+#include "hli/query.hpp"
+#include "machine/machine.hpp"
+
+using namespace hli;
+
+namespace {
+
+void analyze(const char* label, const char* body_src) {
+  const std::string src = std::string("double a[1024]; double b[1024];\n"
+                                      "void f() {\n") + body_src + "}\n";
+  support::DiagnosticEngine diags;
+  frontend::Program prog = frontend::compile_to_ast(src, diags);
+  format::HliFile hli = builder::build_hli(prog);
+  backend::RtlProgram rtl = backend::lower_program(prog);
+  backend::RtlFunction& func = *rtl.find_function("f");
+  const format::HliEntry& entry = *hli.find_unit("f");
+  (void)backend::map_items(func, entry);
+  const query::HliUnitView view(entry);
+  const machine::MachineDesc mach = machine::r10000();
+
+  backend::SwpOptions native;
+  native.issue_width = mach.issue_width;
+  native.latency = [mach](const backend::Insn& insn) {
+    return mach.latency(insn);
+  };
+  backend::SwpOptions assisted = native;
+  assisted.use_hli = true;
+  assisted.view = &view;
+
+  const auto base = backend::analyze_software_pipelining(func, native);
+  const auto smart = backend::analyze_software_pipelining(func, assisted);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    std::printf("%-28s ResMII %2u | RecMII native %2u, with HLI %2u | "
+                "MII %2u -> %2u\n",
+                label, base[i].res_mii, base[i].rec_mii, smart[i].rec_mii,
+                base[i].mii(), smart[i].mii());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Minimum initiation interval for a modulo scheduler "
+              "(R10000-like, 4-wide)\n\n");
+  analyze("independent a[i] = b[i]*c",
+          "  for (int i = 0; i < 1024; i++) { a[i] = b[i] * 2.0; }\n");
+  analyze("recurrence a[i] = a[i-1]...",
+          "  for (int i = 1; i < 1024; i++) { a[i] = a[i-1] * 0.5 + 1.0; }\n");
+  analyze("recurrence a[i] = a[i-4]...",
+          "  for (int i = 4; i < 1024; i++) { a[i] = a[i-4] * 0.5 + 1.0; }\n");
+  std::printf("\nThe native oracle turns EVERY loop into a distance-1\n"
+              "recurrence; LCDD distances recover the truth: independent\n"
+              "loops reach the resource bound, and a distance-4 recurrence\n"
+              "amortizes its chain latency over 4 iterations (Lam's RecMII).\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 6 demo: loop unrolling with HLI maintenance.  Shows the LCDD
+// table of a recurrence loop before and after unrolling by 4 — the
+// distance-2 dependence becomes intra-body conflicts between copies plus a
+// wrap-around carried dependence of distance 1, exactly the arithmetic of
+// the paper's figure — and verifies the unrolled, rescheduled program
+// still computes the same result.
+#include <cstdio>
+
+#include "backend/interp.hpp"
+#include "backend/lower.hpp"
+#include "backend/mapping.hpp"
+#include "backend/sched.hpp"
+#include "backend/unroll.hpp"
+#include "frontend/sema.hpp"
+#include "hli/builder.hpp"
+#include "hli/query.hpp"
+
+using namespace hli;
+
+constexpr const char* kSource = R"(
+double a[4096];
+void emitd(double v);
+int main() {
+  a[0] = 1.0;
+  a[1] = 1.0;
+  for (int i = 2; i < 4094; i++) {
+    a[i] = a[i-2] * 0.5 + 1.0;
+  }
+  emitd(a[4093]);
+  return 0;
+}
+)";
+
+namespace {
+
+void print_loop_tables(const format::HliEntry& unit, const char* label) {
+  std::printf("%s\n", label);
+  for (const format::RegionEntry& region : unit.regions) {
+    if (region.type != format::RegionType::Loop) continue;
+    std::printf("  loop region %u: %zu classes\n", region.id,
+                region.classes.size());
+    for (const format::LcddEntry& dep : region.lcdds) {
+      std::printf("    LCDD %u -> %u  %s, distance %s\n", dep.src, dep.dst,
+                  to_string(dep.type).c_str(),
+                  dep.distance ? std::to_string(*dep.distance).c_str() : "?");
+    }
+    for (const format::AliasEntry& alias : region.aliases) {
+      std::printf("    alias {");
+      for (std::size_t i = 0; i < alias.classes.size(); ++i) {
+        std::printf("%s%u", i == 0 ? "" : ",", alias.classes[i]);
+      }
+      std::printf("}  (intra-body conflict between copies)\n");
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  support::DiagnosticEngine diags;
+  frontend::Program prog = frontend::compile_to_ast(kSource, diags);
+  format::HliFile hli = builder::build_hli(prog);
+  backend::RtlProgram rtl = backend::lower_program(prog);
+  backend::RtlFunction& func = *rtl.find_function("main");
+  format::HliEntry& entry = *hli.find_unit("main");
+  (void)backend::map_items(func, entry);
+
+  const backend::RunResult before = backend::run_program(rtl, "main");
+
+  print_loop_tables(entry, "== LCDD before unrolling (a[i] vs a[i-2]) ==");
+
+  backend::UnrollOptions options;
+  options.factor = 4;
+  options.entry = &entry;
+  const backend::UnrollStats stats = backend::unroll_function(func, options);
+  std::printf("\nunrolled %llu loop(s) by %u\n\n",
+              static_cast<unsigned long long>(stats.loops_unrolled),
+              options.factor);
+
+  print_loop_tables(entry,
+                    "== LCDD after unrolling (Figure 6's reconstruction) ==");
+
+  // Reschedule with the maintained HLI and re-run.
+  const query::HliUnitView view(entry);
+  backend::SchedOptions sched;
+  sched.use_hli = true;
+  sched.view = &view;
+  (void)backend::schedule_function(func, sched);
+  const backend::RunResult after = backend::run_program(rtl, "main");
+
+  std::printf("\nresult unchanged after unroll + HLI-assisted reschedule: %s\n",
+              before.output_hash == after.output_hash ? "yes" : "NO!");
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include "analysis/depend.hpp"
+
+#include "analysis/section.hpp"
+
+#include <cstdlib>
+#include <numeric>
+
+namespace hli::analysis {
+
+namespace {
+
+/// Splits an affine form into (coefficient of the induction variable,
+/// residue form with that term removed).
+std::pair<std::int64_t, AffineExpr> split_induction(const AffineExpr& form,
+                                                    const VarDecl* induction) {
+  const std::int64_t coeff = form.coefficient(induction);
+  if (coeff == 0) return {0, form};
+  AffineExpr ind_part = AffineExpr::variable(induction).scaled(coeff);
+  return {coeff, form.minus(ind_part)};
+}
+
+/// Trip count when both bounds are compile-time constants.
+std::optional<std::int64_t> trip_count(const CanonicalLoop& loop) {
+  if (!loop.lower || !loop.upper) return std::nullopt;
+  const std::int64_t span = *loop.upper - *loop.lower;
+  if (span <= 0) return 0;
+  return (span + loop.step - 1) / loop.step;
+}
+
+}  // namespace
+
+DependenceResult test_one_dim(const CanonicalLoop* loop, const AffineExpr& a,
+                              const AffineExpr& b) {
+  if (!a.is_affine() || !b.is_affine()) return DependenceResult::unknown();
+
+  if (loop == nullptr || loop->induction == nullptr) {
+    // No iteration structure to reason about: equality of the full forms is
+    // the only provable fact (and only when both are loop-invariant, which
+    // we cannot check here — stay conservative unless constant).
+    if (a.is_constant() && b.is_constant()) {
+      if (a.constant_part() == b.constant_part()) {
+        return {IterRelation::Equal, {CarriedKind::Maybe, std::nullopt}};
+      }
+      return DependenceResult::independent();
+    }
+    if (a.equals(b)) {
+      return {IterRelation::Equal, {CarriedKind::Maybe, std::nullopt}};
+    }
+    return DependenceResult::unknown();
+  }
+
+  const auto [ca, ra] = split_induction(a, loop->induction);
+  const auto [cb, rb] = split_induction(b, loop->induction);
+
+  // The residues must be the same linear function of everything else,
+  // otherwise the difference is symbolic and nothing can be proven.
+  const AffineExpr residue_delta = rb.minus(ra);
+  if (!residue_delta.is_constant()) return DependenceResult::unknown();
+  const std::int64_t delta = residue_delta.constant_part();
+  // Dependence equation: ca*i + delta' = cb*i'  with delta' folded into
+  // delta as rb - ra, i.e.  ca*i - cb*i' + delta = 0.
+
+  if (ca == 0 && cb == 0) {
+    // ZIV: both subscripts invariant in this loop.
+    if (delta == 0) {
+      // Same location every iteration: equal within an iteration, and the
+      // location is also reused across iterations (handled by class
+      // merging; carried distance is meaningless so report Maybe).
+      return {IterRelation::Equal, {CarriedKind::Maybe, std::nullopt}};
+    }
+    return DependenceResult::independent();
+  }
+
+  if (ca == cb) {
+    // Strong SIV: a(i) = c*i + ra, b(i) = c*i + ra + delta.
+    if (delta % ca != 0) return DependenceResult::independent();
+    const std::int64_t d = delta / ca;  // b at iteration i equals a at i + d.
+    if (d == 0) {
+      return {IterRelation::Equal, {CarriedKind::None, std::nullopt}};
+    }
+    // Prune by trip count when bounds are known.
+    if (const auto trips = trip_count(*loop)) {
+      if (std::llabs(d) >= *trips) return DependenceResult::independent();
+    }
+    return {IterRelation::Disjoint, {CarriedKind::Definite, std::llabs(d)}};
+  }
+
+  if (ca == 0 || cb == 0) {
+    // Weak-zero SIV: one side is invariant; they collide in at most one
+    // iteration.  b[0] vs b[j] in the paper's Figure 2 lands here and
+    // produces the region's alias entry.
+    const std::int64_t coeff = ca != 0 ? ca : cb;
+    if (delta % coeff != 0) return DependenceResult::independent();
+    const std::int64_t iter_offset = (ca != 0 ? delta : -delta) / coeff;
+    // The colliding iteration is i = lower + step*k for some k; check range
+    // when the bounds are known.  iter_offset is in "index space" of the
+    // induction variable value.
+    if (loop->lower && loop->upper) {
+      const std::int64_t value = iter_offset;
+      const bool in_range = value >= *loop->lower && value < *loop->upper &&
+                            (value - *loop->lower) % loop->step == 0;
+      if (!in_range) return DependenceResult::independent();
+    }
+    return {IterRelation::MaybeOverlap, {CarriedKind::Maybe, std::nullopt}};
+  }
+
+  // General SIV with different coefficients: GCD test.
+  const std::int64_t g = std::gcd(std::llabs(ca), std::llabs(cb));
+  if (delta % g != 0) return DependenceResult::independent();
+  return DependenceResult::unknown();
+}
+
+DependenceResult test_subscripts(const CanonicalLoop* loop,
+                                 std::span<const AffineExpr> a,
+                                 std::span<const AffineExpr> b) {
+  if (a.size() != b.size()) return DependenceResult::unknown();
+  if (a.empty()) {
+    // Scalar access pair: same location by definition of "same base".
+    return {IterRelation::Equal, {CarriedKind::Maybe, std::nullopt}};
+  }
+  // Delegate to the section engine: points are degenerate sections.  This
+  // keeps one dependence core for both item-level and class-level tests.
+  Section sa, sb;
+  for (const AffineExpr& e : a) sa.dims.push_back(DimSection::point(e));
+  for (const AffineExpr& e : b) sb.dims.push_back(DimSection::point(e));
+  const SectionDependence r = section_depend(loop, sa, sb);
+
+  DependenceResult out;
+  out.within = r.within;
+  const CarriedDep& fwd = r.a_then_b;
+  const CarriedDep& rev = r.b_then_a;
+  if (fwd.kind == CarriedKind::None && rev.kind == CarriedKind::None) {
+    out.carried = {CarriedKind::None, std::nullopt};
+  } else if (fwd.kind == CarriedKind::Definite && rev.kind == CarriedKind::None) {
+    out.carried = fwd;
+  } else if (rev.kind == CarriedKind::Definite && fwd.kind == CarriedKind::None) {
+    out.carried = rev;
+  } else {
+    out.carried = {CarriedKind::Maybe, std::nullopt};
+  }
+  return out;
+}
+
+}  // namespace hli::analysis

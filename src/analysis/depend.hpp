@@ -1,0 +1,60 @@
+// Array data-dependence tests (the front-end analysis the paper imports
+// from SUIF).  Given two subscripted accesses to the same base object and a
+// canonical loop, classifies their relationship
+//   * within one iteration  -> feeds equivalence classes and the alias table
+//   * across iterations     -> feeds the LCDD table
+// using ZIV, strong-SIV, weak-zero-SIV and GCD tests with trip-count
+// pruning.  Anything outside those fragments degrades to "maybe".
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "analysis/affine.hpp"
+#include "analysis/region_tree.hpp"
+
+namespace hli::analysis {
+
+/// Relationship of two accesses within a single loop iteration.
+enum class IterRelation : std::uint8_t {
+  Disjoint,      ///< Never the same location in one iteration.
+  Equal,         ///< Always the same location in one iteration.
+  MaybeOverlap,  ///< May touch the same location in some iteration.
+};
+
+/// Loop-carried relationship across different iterations.
+enum class CarriedKind : std::uint8_t { None, Definite, Maybe };
+
+struct CarriedDep {
+  CarriedKind kind = CarriedKind::None;
+  /// Normalized forward distance in iterations when constant; nullopt for
+  /// unknown distance (paper §2.2.3 normalizes direction to '>').
+  std::optional<std::int64_t> distance;
+};
+
+struct DependenceResult {
+  IterRelation within = IterRelation::MaybeOverlap;
+  CarriedDep carried{CarriedKind::Maybe, std::nullopt};
+
+  [[nodiscard]] static DependenceResult independent() {
+    return {IterRelation::Disjoint, {CarriedKind::None, std::nullopt}};
+  }
+  [[nodiscard]] static DependenceResult unknown() {
+    return {IterRelation::MaybeOverlap, {CarriedKind::Maybe, std::nullopt}};
+  }
+};
+
+/// Tests two subscript vectors over the same base object against `loop`.
+/// `loop` may be null (non-canonical loop): only syntactic equality of
+/// constant subscripts can then prove anything.
+/// The subscript spans must have equal lengths (same array rank); accesses
+/// of mismatched rank are treated as unknown.
+[[nodiscard]] DependenceResult test_subscripts(const CanonicalLoop* loop,
+                                               std::span<const AffineExpr> a,
+                                               std::span<const AffineExpr> b);
+
+/// Single-dimension core test, exposed for unit testing.
+[[nodiscard]] DependenceResult test_one_dim(const CanonicalLoop* loop,
+                                            const AffineExpr& a, const AffineExpr& b);
+
+}  // namespace hli::analysis

@@ -1,0 +1,380 @@
+#include "analysis/item_walk.hpp"
+
+namespace hli::analysis {
+
+using namespace frontend;
+
+VarDecl* arg_overflow_var(Program& prog) {
+  for (VarDecl* g : prog.globals) {
+    if (g->name() == kArgOverflowName) return g;
+  }
+  VarDecl* var = prog.make_var(kArgOverflowName,
+                               prog.types.array_of(prog.types.int_type(), 64),
+                               StorageClass::Global, support::SourceLoc{});
+  prog.globals.push_back(var);
+  return var;
+}
+
+namespace {
+
+class ItemWalker {
+ public:
+  ItemWalker(Program& prog, const RegionTree& tree, const ItemCallback& cb)
+      : prog_(prog), tree_(tree), cb_(cb) {}
+
+  void walk_function(FuncDecl& func) {
+    current_region_ = tree_.root();
+    // Entry loads for stack-passed formals (paper §3.1.1: a value passed via
+    // the stack generates a memory read at the subroutine entry point).
+    for (std::size_t i = kMaxRegisterArgs; i < func.params.size(); ++i) {
+      ItemEvent ev;
+      ev.kind = ItemEvent::Kind::ArgLoad;
+      ev.loc = func.loc();
+      ev.base = arg_overflow_var(prog_);
+      ev.region = current_region_;
+      ev.arg_index = static_cast<int>(i);
+      cb_(ev);
+    }
+    walk_stmt(func.body);
+  }
+
+ private:
+  void emit_access(ItemEvent::Kind kind, const Expr* expr, const VarDecl* base,
+                   bool via_pointer, std::vector<AffineExpr> subscripts) {
+    ItemEvent ev;
+    ev.kind = kind;
+    ev.loc = expr->loc();
+    ev.expr = expr;
+    ev.base = base;
+    ev.via_pointer = via_pointer;
+    ev.subscripts = std::move(subscripts);
+    ev.region = current_region_;
+    cb_(ev);
+  }
+
+  /// Decomposes an lvalue expression into (base variable, via_pointer,
+  /// subscripts) and emits the Load events of its address computation
+  /// (subscript expressions and pointer loads), in evaluation order.
+  struct LValueInfo {
+    const VarDecl* base = nullptr;
+    bool via_pointer = false;
+    std::vector<AffineExpr> subscripts;
+    bool is_memory = true;  ///< False for pseudo-register scalars.
+    const VarDecl* scalar = nullptr;  ///< Set for direct scalar lvalues.
+  };
+
+  LValueInfo walk_lvalue_address(const Expr* expr) {
+    LValueInfo info;
+    switch (expr->kind()) {
+      case ExprKind::VarRef: {
+        const auto* ref = static_cast<const VarRefExpr*>(expr);
+        info.base = ref->decl;
+        info.scalar = ref->decl;
+        info.is_memory = ref->decl != nullptr && ref->decl->is_memory_resident();
+        return info;
+      }
+      case ExprKind::ArrayIndex: {
+        const auto* idx = static_cast<const ArrayIndexExpr*>(expr);
+        // Collect the subscript chain innermost-last: a[i][j] is
+        // ArrayIndex(ArrayIndex(a, i), j).
+        std::vector<const Expr*> indices;
+        const Expr* cursor = expr;
+        while (cursor->kind() == ExprKind::ArrayIndex) {
+          indices.push_back(static_cast<const ArrayIndexExpr*>(cursor)->index);
+          cursor = static_cast<const ArrayIndexExpr*>(cursor)->base;
+        }
+        std::reverse(indices.begin(), indices.end());
+        // Base resolution.
+        if (cursor->kind() == ExprKind::VarRef) {
+          const auto* ref = static_cast<const VarRefExpr*>(cursor);
+          info.base = ref->decl;
+          info.via_pointer = ref->decl != nullptr && ref->decl->type()->is_pointer();
+          // A memory-resident pointer must itself be loaded first.
+          if (info.via_pointer && ref->decl->is_memory_resident()) {
+            emit_access(ItemEvent::Kind::Load, cursor, ref->decl, false, {});
+          }
+        } else {
+          // Base is itself an expression (e.g. *(p) [i], (p + k)[i]).
+          walk_rvalue(cursor);
+          info.base = pointer_root(cursor);
+          info.via_pointer = true;
+        }
+        // Subscript expressions evaluate left-to-right and may contain
+        // loads of their own.
+        for (const Expr* index : indices) {
+          walk_rvalue(index);
+          info.subscripts.push_back(build_affine(index));
+        }
+        (void)idx;
+        return info;
+      }
+      case ExprKind::Unary: {
+        const auto* un = static_cast<const UnaryExpr*>(expr);
+        if (un->op == UnaryOp::Deref) {
+          walk_rvalue(un->operand);  // Pointer value computation.
+          info.base = pointer_root(un->operand);
+          info.via_pointer = true;
+          info.subscripts.push_back(deref_offset(un->operand));
+          return info;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    // Unknown lvalue shape: treat as an unknown-target memory access.
+    info.base = nullptr;
+    info.via_pointer = true;
+    return info;
+  }
+
+  /// Root pointer variable of a pointer-valued expression, when evident.
+  static const VarDecl* pointer_root(const Expr* expr) {
+    switch (expr->kind()) {
+      case ExprKind::VarRef:
+        return static_cast<const VarRefExpr*>(expr)->decl;
+      case ExprKind::Binary: {
+        const auto* bin = static_cast<const BinaryExpr*>(expr);
+        if (bin->op == BinaryOp::Add || bin->op == BinaryOp::Sub) {
+          if (const VarDecl* lhs = pointer_root(bin->lhs);
+              lhs != nullptr && (lhs->type()->is_pointer() || lhs->type()->is_array())) {
+            return lhs;
+          }
+          if (const VarDecl* rhs = pointer_root(bin->rhs);
+              rhs != nullptr && (rhs->type()->is_pointer() || rhs->type()->is_array())) {
+            return rhs;
+          }
+        }
+        return nullptr;
+      }
+      case ExprKind::Unary: {
+        const auto* un = static_cast<const UnaryExpr*>(expr);
+        if (un->op == UnaryOp::AddrOf) return pointer_root(un->operand);
+        return nullptr;
+      }
+      default:
+        return nullptr;
+    }
+  }
+
+  /// Affine offset for `*(p + e)`-style derefs; zero for plain `*p`.
+  static AffineExpr deref_offset(const Expr* expr) {
+    if (expr->kind() == ExprKind::Binary) {
+      const auto* bin = static_cast<const BinaryExpr*>(expr);
+      if (bin->op == BinaryOp::Add) {
+        if (pointer_root(bin->lhs) != nullptr) return build_affine(bin->rhs);
+        if (pointer_root(bin->rhs) != nullptr) return build_affine(bin->lhs);
+      } else if (bin->op == BinaryOp::Sub && pointer_root(bin->lhs) != nullptr) {
+        return build_affine(bin->rhs).scaled(-1);
+      }
+      return {};
+    }
+    return AffineExpr::constant(0);
+  }
+
+  void walk_rvalue(const Expr* expr) {
+    if (expr == nullptr) return;
+    switch (expr->kind()) {
+      case ExprKind::IntLiteral:
+      case ExprKind::FloatLiteral:
+        return;
+      case ExprKind::VarRef: {
+        const auto* ref = static_cast<const VarRefExpr*>(expr);
+        if (ref->decl == nullptr) return;
+        // An array name in rvalue position decays to an address: no load.
+        if (ref->decl->type()->is_array()) return;
+        if (ref->decl->is_memory_resident()) {
+          emit_access(ItemEvent::Kind::Load, expr, ref->decl, false, {});
+        }
+        return;
+      }
+      case ExprKind::ArrayIndex:
+      case ExprKind::Unary: {
+        if (expr->kind() == ExprKind::Unary) {
+          const auto* un = static_cast<const UnaryExpr*>(expr);
+          switch (un->op) {
+            case UnaryOp::Neg:
+            case UnaryOp::Not:
+            case UnaryOp::BitNot:
+              walk_rvalue(un->operand);
+              return;
+            case UnaryOp::AddrOf:
+              // Address computation only: subscript loads still occur.
+              walk_addr_of(un->operand);
+              return;
+            case UnaryOp::PreInc:
+            case UnaryOp::PreDec:
+            case UnaryOp::PostInc:
+            case UnaryOp::PostDec: {
+              // Read-modify-write of the operand.
+              LValueInfo info = walk_lvalue_address(un->operand);
+              if (info.is_memory) {
+                emit_access(ItemEvent::Kind::Load, un->operand, info.base,
+                            info.via_pointer, info.subscripts);
+                emit_access(ItemEvent::Kind::Store, un->operand, info.base,
+                            info.via_pointer, std::move(info.subscripts));
+              }
+              return;
+            }
+            case UnaryOp::Deref: {
+              LValueInfo info = walk_lvalue_address(expr);
+              emit_access(ItemEvent::Kind::Load, expr, info.base, info.via_pointer,
+                          std::move(info.subscripts));
+              return;
+            }
+          }
+          return;
+        }
+        // ArrayIndex rvalue: emit address computation then the element
+        // load — unless the element is itself an array (a row like
+        // m[i] in m[i][j]-free contexts), which decays to an address with
+        // no memory traffic of its own.
+        if (expr->type != nullptr && expr->type->is_array()) {
+          (void)walk_lvalue_address(expr);  // Subscript loads only.
+          return;
+        }
+        LValueInfo info = walk_lvalue_address(expr);
+        if (info.is_memory) {
+          emit_access(ItemEvent::Kind::Load, expr, info.base, info.via_pointer,
+                      std::move(info.subscripts));
+        }
+        return;
+      }
+      case ExprKind::Binary: {
+        const auto* bin = static_cast<const BinaryExpr*>(expr);
+        walk_rvalue(bin->lhs);
+        walk_rvalue(bin->rhs);
+        return;
+      }
+      case ExprKind::Assign: {
+        const auto* assign = static_cast<const AssignExpr*>(expr);
+        walk_rvalue(assign->rhs);
+        LValueInfo info = walk_lvalue_address(assign->lhs);
+        if (info.is_memory) {
+          if (assign->op != AssignOp::None) {
+            emit_access(ItemEvent::Kind::Load, assign->lhs, info.base,
+                        info.via_pointer, info.subscripts);
+          }
+          emit_access(ItemEvent::Kind::Store, assign->lhs, info.base,
+                      info.via_pointer, std::move(info.subscripts));
+        }
+        return;
+      }
+      case ExprKind::Call: {
+        const auto* call = static_cast<const CallExpr*>(expr);
+        for (const Expr* arg : call->args) walk_rvalue(arg);
+        for (std::size_t i = kMaxRegisterArgs; i < call->args.size(); ++i) {
+          ItemEvent ev;
+          ev.kind = ItemEvent::Kind::ArgStore;
+          ev.loc = call->loc();
+          ev.expr = call;
+          ev.base = arg_overflow_var(prog_);
+          ev.region = current_region_;
+          ev.call = call;
+          ev.arg_index = static_cast<int>(i);
+          cb_(ev);
+        }
+        ItemEvent ev;
+        ev.kind = ItemEvent::Kind::Call;
+        ev.loc = call->loc();
+        ev.expr = call;
+        ev.region = current_region_;
+        ev.call = call;
+        cb_(ev);
+        return;
+      }
+      case ExprKind::Conditional: {
+        const auto* cond = static_cast<const ConditionalExpr*>(expr);
+        walk_rvalue(cond->cond);
+        walk_rvalue(cond->then_expr);
+        walk_rvalue(cond->else_expr);
+        return;
+      }
+    }
+  }
+
+  /// Walks the address computation of `&lvalue` (subscript loads happen,
+  /// the element access itself does not).
+  void walk_addr_of(const Expr* expr) {
+    if (expr->kind() == ExprKind::ArrayIndex) {
+      (void)walk_lvalue_address(expr);  // Emits subscript/pointer loads only.
+      return;
+    }
+    // &scalar: no memory traffic at all.
+  }
+
+  void walk_stmt(Stmt* stmt) {
+    if (stmt == nullptr) return;
+    switch (stmt->kind()) {
+      case StmtKind::Decl: {
+        auto* decl_stmt = static_cast<DeclStmt*>(stmt);
+        VarDecl* decl = decl_stmt->decl;
+        if (decl->init != nullptr) {
+          walk_rvalue(decl->init);
+          if (decl->is_memory_resident()) {
+            emit_access(ItemEvent::Kind::Store, decl->init, decl, false, {});
+          }
+        }
+        return;
+      }
+      case StmtKind::Expr:
+        walk_rvalue(static_cast<ExprStmt*>(stmt)->expr);
+        return;
+      case StmtKind::Block: {
+        for (Stmt* s : static_cast<BlockStmt*>(stmt)->stmts) walk_stmt(s);
+        return;
+      }
+      case StmtKind::If: {
+        auto* ifs = static_cast<IfStmt*>(stmt);
+        walk_rvalue(ifs->cond);
+        walk_stmt(ifs->then_stmt);
+        walk_stmt(ifs->else_stmt);
+        return;
+      }
+      case StmtKind::While: {
+        auto* loop = static_cast<WhileStmt*>(stmt);
+        Region* saved = current_region_;
+        Region* region = tree_.region_for_loop(stmt);
+        current_region_ = region != nullptr ? region : saved;
+        walk_rvalue(loop->cond);
+        walk_stmt(loop->body);
+        current_region_ = saved;
+        return;
+      }
+      case StmtKind::For: {
+        auto* loop = static_cast<ForStmt*>(stmt);
+        // Init runs once: it belongs to the enclosing region.
+        walk_stmt(loop->init);
+        Region* saved = current_region_;
+        Region* region = tree_.region_for_loop(stmt);
+        current_region_ = region != nullptr ? region : saved;
+        walk_rvalue(loop->cond);
+        walk_stmt(loop->body);
+        walk_rvalue(loop->step);
+        current_region_ = saved;
+        return;
+      }
+      case StmtKind::Return:
+        walk_rvalue(static_cast<ReturnStmt*>(stmt)->value);
+        return;
+      case StmtKind::Break:
+      case StmtKind::Continue:
+        return;
+    }
+  }
+
+  Program& prog_;
+  const RegionTree& tree_;
+  const ItemCallback& cb_;
+  Region* current_region_ = nullptr;
+};
+
+}  // namespace
+
+void walk_items(Program& prog, FuncDecl& func, const RegionTree& tree,
+                const ItemCallback& cb) {
+  ItemWalker walker(prog, tree, cb);
+  walker.walk_function(func);
+}
+
+}  // namespace hli::analysis

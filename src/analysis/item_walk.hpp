@@ -1,0 +1,88 @@
+// Canonical memory-operation walk order.
+//
+// The HLI mapping scheme (paper §2.1, §3.1.1) requires that the order of
+// items the front-end lists for a source line equals the order in which the
+// back-end's instruction selection emits memory references for that line.
+// In the paper, SUIF's ITEMGEN encodes GCC's RTL generation rules; here we
+// define ONE canonical walk used by the front-end item generator, and the
+// back-end lowering is written to emit memory RTL in exactly this order
+// (enforced by integration tests that map every workload with zero
+// mismatches).
+//
+// Order rules:
+//   * expressions evaluate left-to-right, operands before operators;
+//   * rvalue reads of memory-resident variables emit Load events;
+//   * assignment: RHS first, then the LHS address computation (subscript
+//     loads, pointer loads), then the Store;
+//   * compound assignment / ++ / --: RHS, address computation, Load of the
+//     target, then Store;
+//   * calls: arguments left-to-right, then one synthetic ArgStore per
+//     stack-passed argument (index >= kMaxRegisterArgs, paper §3.1.1), then
+//     the Call event;
+//   * function entry: one synthetic ArgLoad per stack-passed formal;
+//   * `for` loops: init events in the parent region, then condition, body,
+//     step events in the loop region (the back-end emits top-tested loops
+//     so the per-line sequences agree).
+#pragma once
+
+#include <functional>
+
+#include "analysis/affine.hpp"
+#include "analysis/region_tree.hpp"
+#include "frontend/ast.hpp"
+
+namespace hli::analysis {
+
+using frontend::CallExpr;
+using frontend::Program;
+
+/// Arguments beyond this count are passed on the stack and generate memory
+/// traffic (mirrors the MIPS o32 convention the paper's GCC targeted).
+inline constexpr int kMaxRegisterArgs = 4;
+
+/// Name of the synthetic variable standing for the outgoing/incoming
+/// argument-overflow area.  Created once per Program on first use.
+inline constexpr const char* kArgOverflowName = "__arg_overflow";
+
+struct ItemEvent {
+  enum class Kind : std::uint8_t {
+    Load,      ///< Memory read of a program variable.
+    Store,     ///< Memory write of a program variable.
+    Call,      ///< Function call site.
+    ArgStore,  ///< Store of a stack-passed actual at a call site.
+    ArgLoad,   ///< Load of a stack-passed formal at function entry.
+  };
+
+  Kind kind = Kind::Load;
+  support::SourceLoc loc;
+  /// The access or call expression; null for ArgLoad (entry synthesized).
+  const Expr* expr = nullptr;
+  /// Memory object base: the array/scalar decl, the pointer variable for
+  /// indirect accesses, or the synthetic arg-overflow variable.  Null when
+  /// the target is statically unknown.
+  const VarDecl* base = nullptr;
+  /// True when the access goes through a pointer (deref / subscripted
+  /// pointer) rather than directly naming the object.
+  bool via_pointer = false;
+  /// Subscript forms, outermost dimension first; empty for scalars.
+  std::vector<AffineExpr> subscripts;
+  /// Region immediately enclosing the access.
+  Region* region = nullptr;
+  /// Call site for Call and ArgStore events.
+  const CallExpr* call = nullptr;
+  /// Argument position for ArgStore/ArgLoad; -1 otherwise.
+  int arg_index = -1;
+};
+
+using ItemCallback = std::function<void(const ItemEvent&)>;
+
+/// Walks one function in canonical order, invoking `cb` for every memory
+/// operation and call.  `prog` is needed to materialize the synthetic
+/// arg-overflow variable.
+void walk_items(Program& prog, frontend::FuncDecl& func, const RegionTree& tree,
+                const ItemCallback& cb);
+
+/// Returns (creating on first use) the synthetic argument-overflow variable.
+[[nodiscard]] VarDecl* arg_overflow_var(Program& prog);
+
+}  // namespace hli::analysis

@@ -1,0 +1,455 @@
+#include "analysis/pointsto.hpp"
+
+#include <array>
+#include <string_view>
+
+namespace hli::analysis {
+
+using namespace frontend;
+
+bool is_pure_extern(const std::string& name) {
+  static constexpr std::array<std::string_view, 10> kPure = {
+      "sqrt", "fabs", "sin", "cos", "exp", "log", "pow", "floor", "ceil", "atan"};
+  for (const auto candidate : kPure) {
+    if (name == candidate) return true;
+  }
+  return false;
+}
+
+int PointsToAnalysis::node_of(const VarDecl* var) {
+  const auto it = var_nodes_.find(var);
+  if (it != var_nodes_.end()) return it->second;
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  var_nodes_.emplace(var, id);
+  return id;
+}
+
+int PointsToAnalysis::retval_node(const FuncDecl* func) {
+  const auto it = ret_nodes_.find(func);
+  if (it != ret_nodes_.end()) return it->second;
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  ret_nodes_.emplace(func, id);
+  return id;
+}
+
+void PointsToAnalysis::add_copy(int from, int to) {
+  if (from < 0 || to < 0 || from == to) return;
+  nodes_[from].copy_out.push_back(to);
+}
+
+void PointsToAnalysis::add_address(int node, const VarDecl* object) {
+  if (node < 0 || object == nullptr) return;
+  // Ensure the object has a node up front so solve() never reallocates
+  // nodes_ while holding references into it.
+  (void)node_of(object);
+  nodes_[node].pts.insert(object);
+}
+
+void PointsToAnalysis::mark_unknown(int node) {
+  if (node >= 0) nodes_[node].unknown = true;
+}
+
+int PointsToAnalysis::value_node(const Expr* expr) {
+  if (expr == nullptr) return -1;
+  switch (expr->kind()) {
+    case ExprKind::VarRef: {
+      const auto* ref = static_cast<const VarRefExpr*>(expr);
+      if (ref->decl == nullptr) return -1;
+      if (ref->decl->type()->is_array()) {
+        // Array decay: the value is the array's address.
+        const int tmp = static_cast<int>(nodes_.size());
+        nodes_.emplace_back();
+        add_address(tmp, ref->decl);
+        return tmp;
+      }
+      return node_of(ref->decl);
+    }
+    case ExprKind::Unary: {
+      const auto* un = static_cast<const UnaryExpr*>(expr);
+      if (un->op == UnaryOp::AddrOf) {
+        // &lvalue: find the root object.
+        const Expr* root = un->operand;
+        bool subscripted = false;
+        while (root->kind() == ExprKind::ArrayIndex) {
+          root = static_cast<const ArrayIndexExpr*>(root)->base;
+          subscripted = true;
+        }
+        if (root->kind() == ExprKind::VarRef) {
+          const auto* ref = static_cast<const VarRefExpr*>(root);
+          if (ref->decl == nullptr) return -1;
+          if (subscripted && ref->decl->type()->is_pointer()) {
+            // &p[i] with p a pointer: the value aliases whatever p points to.
+            return node_of(ref->decl);
+          }
+          // &var (including &ptr_var) or &arr[i]: the address of the object.
+          const int tmp = static_cast<int>(nodes_.size());
+          nodes_.emplace_back();
+          add_address(tmp, ref->decl);
+          return tmp;
+        }
+        return -1;
+      }
+      if (un->op == UnaryOp::Deref) {
+        // Value loaded through a pointer: *q.
+        const int q = value_node(un->operand);
+        if (q < 0) return -1;
+        const int tmp = static_cast<int>(nodes_.size());
+        nodes_.emplace_back();
+        nodes_[q].load_into.push_back(tmp);
+        return tmp;
+      }
+      return -1;
+    }
+    case ExprKind::Binary: {
+      // Pointer arithmetic preserves the referenced object set.
+      const auto* bin = static_cast<const BinaryExpr*>(expr);
+      if (bin->op == BinaryOp::Add || bin->op == BinaryOp::Sub) {
+        const Type* lt = bin->lhs->type;
+        if (lt != nullptr && (lt->is_pointer() || lt->is_array())) {
+          return value_node(bin->lhs);
+        }
+        const Type* rt = bin->rhs->type;
+        if (rt != nullptr && (rt->is_pointer() || rt->is_array())) {
+          return value_node(bin->rhs);
+        }
+      }
+      return -1;
+    }
+    case ExprKind::ArrayIndex: {
+      const auto* idx = static_cast<const ArrayIndexExpr*>(expr);
+      // Row decay: m[i] of a multi-dim array is the address of part of m.
+      if (expr->type != nullptr && expr->type->is_array()) {
+        const Expr* base = idx->base;
+        while (base->kind() == ExprKind::ArrayIndex) {
+          base = static_cast<const ArrayIndexExpr*>(base)->base;
+        }
+        if (base->kind() == ExprKind::VarRef) {
+          const auto* ref = static_cast<const VarRefExpr*>(base);
+          if (ref->decl != nullptr) {
+            const int tmp = static_cast<int>(nodes_.size());
+            nodes_.emplace_back();
+            add_address(tmp, ref->decl);
+            return tmp;
+          }
+        }
+        return -1;
+      }
+      // q[i] where elements are pointers: a load through q.
+      const Expr* base = idx->base;
+      while (base->kind() == ExprKind::ArrayIndex) {
+        base = static_cast<const ArrayIndexExpr*>(base)->base;
+      }
+      if (base->kind() != ExprKind::VarRef) return -1;
+      const auto* ref = static_cast<const VarRefExpr*>(base);
+      if (ref->decl == nullptr) return -1;
+      if (ref->decl->type()->is_array()) {
+        // Pointer element loaded from an array-of-pointers object.
+        const int obj = node_of(ref->decl);
+        const int tmp = static_cast<int>(nodes_.size());
+        nodes_.emplace_back();
+        add_copy(obj, tmp);
+        return tmp;
+      }
+      // Pointer-to-pointer load.
+      const int q = node_of(ref->decl);
+      const int tmp = static_cast<int>(nodes_.size());
+      nodes_.emplace_back();
+      nodes_[q].load_into.push_back(tmp);
+      return tmp;
+    }
+    case ExprKind::Call: {
+      const auto* call = static_cast<const CallExpr*>(expr);
+      if (call->callee_decl == nullptr) return -1;
+      if (call->callee_decl->is_extern()) {
+        const int tmp = static_cast<int>(nodes_.size());
+        nodes_.emplace_back();
+        if (!is_pure_extern(call->callee)) mark_unknown(tmp);
+        return tmp;
+      }
+      return retval_node(call->callee_decl);
+    }
+    case ExprKind::Conditional: {
+      const auto* cond = static_cast<const ConditionalExpr*>(expr);
+      const int a = value_node(cond->then_expr);
+      const int b = value_node(cond->else_expr);
+      const int tmp = static_cast<int>(nodes_.size());
+      nodes_.emplace_back();
+      add_copy(a, tmp);
+      add_copy(b, tmp);
+      return tmp;
+    }
+    default:
+      return -1;
+  }
+}
+
+void PointsToAnalysis::assign_into(int lhs_node, const Expr* rhs) {
+  if (lhs_node < 0 || rhs == nullptr) return;
+  const int value = value_node(rhs);
+  if (value < 0) {
+    // Unanalyzable pointer expression: be conservative.
+    mark_unknown(lhs_node);
+    return;
+  }
+  add_copy(value, lhs_node);
+}
+
+void PointsToAnalysis::collect_expr(const Expr* expr, const FuncDecl* func) {
+  if (expr == nullptr) return;
+  switch (expr->kind()) {
+    case ExprKind::Assign: {
+      const auto* assign = static_cast<const AssignExpr*>(expr);
+      collect_expr(assign->rhs, func);
+      collect_expr(assign->lhs, func);
+      const Type* lhs_type = assign->lhs->type;
+      const bool pointer_store =
+          lhs_type != nullptr && lhs_type->is_pointer() && assign->op == AssignOp::None;
+      if (!pointer_store) return;
+      if (assign->lhs->kind() == ExprKind::VarRef) {
+        const auto* ref = static_cast<const VarRefExpr*>(assign->lhs);
+        if (ref->decl != nullptr) assign_into(node_of(ref->decl), assign->rhs);
+        return;
+      }
+      // Storing a pointer through memory: *p = q or a[i] = q.
+      const Expr* base = assign->lhs;
+      while (base->kind() == ExprKind::ArrayIndex) {
+        base = static_cast<const ArrayIndexExpr*>(base)->base;
+      }
+      if (base->kind() == ExprKind::Unary &&
+          static_cast<const UnaryExpr*>(base)->op == UnaryOp::Deref) {
+        base = static_cast<const UnaryExpr*>(base)->operand;
+        while (base->kind() == ExprKind::ArrayIndex) {
+          base = static_cast<const ArrayIndexExpr*>(base)->base;
+        }
+      }
+      if (base->kind() == ExprKind::VarRef) {
+        const auto* ref = static_cast<const VarRefExpr*>(base);
+        if (ref->decl == nullptr) return;
+        const int value = value_node(assign->rhs);
+        if (ref->decl->type()->is_array()) {
+          // Array-of-pointers element store: fold into the array object.
+          if (value >= 0) add_copy(value, node_of(ref->decl));
+          return;
+        }
+        const int p = node_of(ref->decl);
+        if (value >= 0) {
+          nodes_[value].store_from.push_back(p);
+        } else {
+          // Unknown value stored through p: everything p reaches is tainted.
+          // Handled in solve() via the unknown flag on a fresh node.
+          const int tmp = static_cast<int>(nodes_.size());
+          nodes_.emplace_back();
+          mark_unknown(tmp);
+          nodes_[tmp].store_from.push_back(p);
+        }
+      }
+      return;
+    }
+    case ExprKind::Call: {
+      const auto* call = static_cast<const CallExpr*>(expr);
+      for (const Expr* arg : call->args) collect_expr(arg, func);
+      if (call->callee_decl == nullptr) return;
+      FuncDecl* callee = call->callee_decl;
+      if (callee->is_extern()) {
+        if (!is_pure_extern(call->callee)) {
+          // Pointer arguments escape to the unknown world.
+          for (const Expr* arg : call->args) {
+            const Type* t = arg->type;
+            if (t != nullptr && (t->is_pointer() || t->is_array())) {
+              const int v = value_node(arg);
+              mark_unknown(v);
+            }
+          }
+        }
+        return;
+      }
+      const std::size_t n = std::min(call->args.size(), callee->params.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        const Type* pt = callee->params[i]->type();
+        if (pt->is_pointer()) {
+          assign_into(node_of(callee->params[i]), call->args[i]);
+        }
+      }
+      return;
+    }
+    case ExprKind::Binary: {
+      const auto* bin = static_cast<const BinaryExpr*>(expr);
+      collect_expr(bin->lhs, func);
+      collect_expr(bin->rhs, func);
+      return;
+    }
+    case ExprKind::Unary:
+      collect_expr(static_cast<const UnaryExpr*>(expr)->operand, func);
+      return;
+    case ExprKind::ArrayIndex: {
+      const auto* idx = static_cast<const ArrayIndexExpr*>(expr);
+      collect_expr(idx->base, func);
+      collect_expr(idx->index, func);
+      return;
+    }
+    case ExprKind::Conditional: {
+      const auto* cond = static_cast<const ConditionalExpr*>(expr);
+      collect_expr(cond->cond, func);
+      collect_expr(cond->then_expr, func);
+      collect_expr(cond->else_expr, func);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void PointsToAnalysis::collect_stmt(const Stmt* stmt, const FuncDecl* func) {
+  if (stmt == nullptr) return;
+  switch (stmt->kind()) {
+    case StmtKind::Decl: {
+      const auto* decl_stmt = static_cast<const DeclStmt*>(stmt);
+      const VarDecl* decl = decl_stmt->decl;
+      if (decl->init != nullptr) {
+        collect_expr(decl->init, func);
+        if (decl->type()->is_pointer()) {
+          assign_into(node_of(decl), decl->init);
+        }
+      }
+      return;
+    }
+    case StmtKind::Expr:
+      collect_expr(static_cast<const ExprStmt*>(stmt)->expr, func);
+      return;
+    case StmtKind::Block:
+      for (const Stmt* s : static_cast<const BlockStmt*>(stmt)->stmts) {
+        collect_stmt(s, func);
+      }
+      return;
+    case StmtKind::If: {
+      const auto* ifs = static_cast<const IfStmt*>(stmt);
+      collect_expr(ifs->cond, func);
+      collect_stmt(ifs->then_stmt, func);
+      collect_stmt(ifs->else_stmt, func);
+      return;
+    }
+    case StmtKind::While: {
+      const auto* loop = static_cast<const WhileStmt*>(stmt);
+      collect_expr(loop->cond, func);
+      collect_stmt(loop->body, func);
+      return;
+    }
+    case StmtKind::For: {
+      const auto* loop = static_cast<const ForStmt*>(stmt);
+      collect_stmt(loop->init, func);
+      collect_expr(loop->cond, func);
+      collect_expr(loop->step, func);
+      collect_stmt(loop->body, func);
+      return;
+    }
+    case StmtKind::Return: {
+      const auto* ret = static_cast<const ReturnStmt*>(stmt);
+      collect_expr(ret->value, func);
+      if (ret->value != nullptr && func != nullptr &&
+          func->return_type()->is_pointer()) {
+        assign_into(retval_node(func), ret->value);
+      }
+      return;
+    }
+    case StmtKind::Break:
+    case StmtKind::Continue:
+      return;
+  }
+}
+
+void PointsToAnalysis::solve() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      // Copy edges.
+      for (const int to : nodes_[i].copy_out) {
+        auto& target = nodes_[to];
+        const std::size_t before = target.pts.size();
+        target.pts.insert(nodes_[i].pts.begin(), nodes_[i].pts.end());
+        if (nodes_[i].unknown && !target.unknown) {
+          target.unknown = true;
+          changed = true;
+        }
+        if (target.pts.size() != before) changed = true;
+      }
+      // Load edges: for t in pts(i), pts(t) flows into each load target.
+      for (const int to : nodes_[i].load_into) {
+        for (const VarDecl* pointee : nodes_[i].pts) {
+          const auto it = var_nodes_.find(pointee);
+          if (it == var_nodes_.end()) continue;
+          auto& target = nodes_[to];
+          const auto& src = nodes_[it->second];
+          const std::size_t before = target.pts.size();
+          target.pts.insert(src.pts.begin(), src.pts.end());
+          if (src.unknown && !target.unknown) {
+            target.unknown = true;
+            changed = true;
+          }
+          if (target.pts.size() != before) changed = true;
+        }
+        if (nodes_[i].unknown && !nodes_[to].unknown) {
+          nodes_[to].unknown = true;
+          changed = true;
+        }
+      }
+      // Store edges: pts(i) flows into every object the pointer reaches.
+      for (const int ptr : nodes_[i].store_from) {
+        for (const VarDecl* pointee : nodes_[ptr].pts) {
+          const int obj = node_of(pointee);
+          auto& target = nodes_[obj];
+          const std::size_t before = target.pts.size();
+          target.pts.insert(nodes_[i].pts.begin(), nodes_[i].pts.end());
+          if (nodes_[i].unknown && !target.unknown) {
+            target.unknown = true;
+            changed = true;
+          }
+          if (target.pts.size() != before) changed = true;
+        }
+      }
+    }
+  }
+}
+
+void PointsToAnalysis::run() {
+  for (const FuncDecl* func : prog_.functions) {
+    if (!func->is_extern()) collect_stmt(func->body, func);
+  }
+  for (const VarDecl* global : prog_.globals) {
+    if (global->init != nullptr && global->type()->is_pointer()) {
+      assign_into(node_of(global), global->init);
+    }
+  }
+  solve();
+}
+
+const std::set<const VarDecl*>& PointsToAnalysis::points_to(const VarDecl* ptr) const {
+  const auto it = var_nodes_.find(ptr);
+  if (it == var_nodes_.end()) return empty_;
+  return nodes_[it->second].pts;
+}
+
+bool PointsToAnalysis::points_to_unknown(const VarDecl* ptr) const {
+  const auto it = var_nodes_.find(ptr);
+  if (it == var_nodes_.end()) return false;
+  return nodes_[it->second].unknown;
+}
+
+bool PointsToAnalysis::may_alias(const VarDecl* p, const VarDecl* q) const {
+  if (points_to_unknown(p) || points_to_unknown(q)) return true;
+  const auto& a = points_to(p);
+  const auto& b = points_to(q);
+  for (const VarDecl* t : a) {
+    if (b.contains(t)) return true;
+  }
+  return false;
+}
+
+bool PointsToAnalysis::may_point_to(const VarDecl* ptr, const VarDecl* target) const {
+  if (points_to_unknown(ptr)) return true;
+  return points_to(ptr).contains(target);
+}
+
+}  // namespace hli::analysis

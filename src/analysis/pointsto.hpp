@@ -1,0 +1,81 @@
+// Flow-insensitive, context-insensitive (Andersen-style) points-to
+// analysis over the whole program.  This is the front-end's pointer
+// analysis whose results the paper exports through the HLI alias table.
+//
+// Nodes are variables (plus one synthetic return-value node per function);
+// the analysis solves subset constraints
+//   p = &x        {x} <= pts(p)
+//   p = q         pts(q) <= pts(p)
+//   p = *q        pts(t) <= pts(p)   for every t in pts(q)
+//   *p = q        pts(q) <= pts(t)   for every t in pts(p)
+// with calls modeled by parameter/actual and return-value copy edges.
+// Pointers that escape into unknown externs point at a synthetic
+// "unknown" object that aliases everything.
+#pragma once
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "frontend/ast.hpp"
+
+namespace hli::analysis {
+
+using frontend::FuncDecl;
+using frontend::Program;
+using frontend::VarDecl;
+
+class PointsToAnalysis {
+ public:
+  explicit PointsToAnalysis(Program& prog) : prog_(prog) {}
+
+  /// Builds constraints from the whole program and solves to fixpoint.
+  void run();
+
+  /// Objects `ptr` may point to.  Empty for non-pointers and pointers that
+  /// are never assigned.
+  [[nodiscard]] const std::set<const VarDecl*>& points_to(const VarDecl* ptr) const;
+
+  /// True when `ptr` may point at statically unknown memory.
+  [[nodiscard]] bool points_to_unknown(const VarDecl* ptr) const;
+
+  /// May the two pointers reference the same object?
+  [[nodiscard]] bool may_alias(const VarDecl* p, const VarDecl* q) const;
+
+  /// May `ptr` reference (part of) `target`?
+  [[nodiscard]] bool may_point_to(const VarDecl* ptr, const VarDecl* target) const;
+
+ private:
+  struct Node {
+    std::set<const VarDecl*> pts;
+    bool unknown = false;
+    std::vector<int> copy_out;       ///< Subset edges: this <= target.
+    std::vector<int> load_into;      ///< p = *this: pts of pointees flow to p.
+    std::vector<int> store_from;     ///< *this = q: pts(q) flows into pointees.
+  };
+
+  int node_of(const VarDecl* var);
+  int retval_node(const FuncDecl* func);
+  void add_copy(int from, int to);
+  void add_address(int node, const VarDecl* object);
+  void mark_unknown(int node);
+
+  /// Resolves a pointer-valued expression to the node holding its value,
+  /// generating constraints along the way; -1 when unresolvable (unknown).
+  int value_node(const frontend::Expr* expr);
+  void collect_stmt(const frontend::Stmt* stmt, const FuncDecl* func);
+  void collect_expr(const frontend::Expr* expr, const FuncDecl* func);
+  void assign_into(int lhs_node, const frontend::Expr* rhs);
+  void solve();
+
+  Program& prog_;
+  std::vector<Node> nodes_;
+  std::unordered_map<const VarDecl*, int> var_nodes_;
+  std::unordered_map<const FuncDecl*, int> ret_nodes_;
+  std::set<const VarDecl*> empty_;
+};
+
+/// Extern functions treated as side-effect-free math builtins.
+[[nodiscard]] bool is_pure_extern(const std::string& name);
+
+}  // namespace hli::analysis

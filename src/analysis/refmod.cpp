@@ -1,0 +1,117 @@
+#include "analysis/refmod.hpp"
+
+#include "analysis/item_walk.hpp"
+
+namespace hli::analysis {
+
+using namespace frontend;
+
+void RefModAnalysis::collect_direct(FuncDecl& func) {
+  RefModSets& sets = sets_[&func];
+  std::set<const FuncDecl*>& callees = callees_[&func];
+  RegionTree tree = build_region_tree(func);
+  walk_items(prog_, func, tree, [&](const ItemEvent& ev) {
+    switch (ev.kind) {
+      case ItemEvent::Kind::Load:
+      case ItemEvent::Kind::ArgLoad:
+        if (ev.base == nullptr) {
+          sets.unknown = true;
+        } else if (ev.via_pointer) {
+          if (pointsto_.points_to_unknown(ev.base)) sets.unknown = true;
+          for (const VarDecl* target : pointsto_.points_to(ev.base)) {
+            if (target->is_memory_resident()) sets.ref.insert(target);
+          }
+          // A pointer with an empty, known points-to set dereferenced
+          // anyway: treat as unknown rather than "touches nothing".
+          if (!pointsto_.points_to_unknown(ev.base) &&
+              pointsto_.points_to(ev.base).empty()) {
+            sets.unknown = true;
+          }
+        } else if (ev.base->is_memory_resident()) {
+          sets.ref.insert(ev.base);
+        }
+        break;
+      case ItemEvent::Kind::Store:
+      case ItemEvent::Kind::ArgStore:
+        if (ev.base == nullptr) {
+          sets.unknown = true;
+        } else if (ev.via_pointer) {
+          if (pointsto_.points_to_unknown(ev.base)) sets.unknown = true;
+          for (const VarDecl* target : pointsto_.points_to(ev.base)) {
+            if (target->is_memory_resident()) sets.mod.insert(target);
+          }
+          if (!pointsto_.points_to_unknown(ev.base) &&
+              pointsto_.points_to(ev.base).empty()) {
+            sets.unknown = true;
+          }
+        } else if (ev.base->is_memory_resident()) {
+          sets.mod.insert(ev.base);
+        }
+        break;
+      case ItemEvent::Kind::Call: {
+        const FuncDecl* callee = ev.call->callee_decl;
+        if (callee == nullptr) {
+          sets.unknown = true;
+        } else if (callee->is_extern()) {
+          if (!is_pure_extern(callee->name())) sets.unknown = true;
+        } else {
+          callees.insert(callee);
+        }
+        break;
+      }
+    }
+  });
+}
+
+void RefModAnalysis::run() {
+  for (FuncDecl* func : prog_.functions) {
+    if (func->is_extern()) {
+      RefModSets& sets = sets_[func];
+      sets.unknown = !is_pure_extern(func->name());
+    } else {
+      collect_direct(*func);
+    }
+  }
+  // Propagate callee effects to callers until stable; handles recursion and
+  // arbitrary call-graph shapes without explicit SCC computation.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [func, sets] : sets_) {
+      for (const FuncDecl* callee : callees_[func]) {
+        if (callee == func) continue;  // Self-recursion adds nothing new.
+        const RefModSets& callee_sets = sets_[callee];
+        const std::size_t ref_before = sets.ref.size();
+        const std::size_t mod_before = sets.mod.size();
+        sets.ref.insert(callee_sets.ref.begin(), callee_sets.ref.end());
+        sets.mod.insert(callee_sets.mod.begin(), callee_sets.mod.end());
+        if (callee_sets.unknown && !sets.unknown) {
+          sets.unknown = true;
+          changed = true;
+        }
+        if (sets.ref.size() != ref_before || sets.mod.size() != mod_before) {
+          changed = true;
+        }
+      }
+    }
+  }
+  // Drop a function's own locals and params from its exported sets: each
+  // activation gets fresh stack storage, so these objects are invisible at
+  // the function's call sites.  (Storage owned by callers — reached through
+  // pointer parameters — has a different owner and is kept.)
+  for (auto& [func, sets] : sets_) {
+    auto strip = [func = func](std::set<const VarDecl*>& vars) {
+      std::erase_if(vars, [func](const VarDecl* v) { return v->owner == func; });
+    };
+    strip(sets.ref);
+    strip(sets.mod);
+  }
+}
+
+const RefModSets& RefModAnalysis::for_function(const FuncDecl* func) const {
+  const auto it = sets_.find(func);
+  if (it == sets_.end()) return unknown_sets_;
+  return it->second;
+}
+
+}  // namespace hli::analysis

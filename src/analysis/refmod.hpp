@@ -1,0 +1,46 @@
+// Interprocedural REF/MOD analysis: for every function, the set of
+// memory-resident variables it may reference or modify, directly or through
+// callees and pointers.  These sets are what the HLI call REF/MOD table
+// (paper §2.2.4) exports so the back-end can schedule memory operations
+// across call sites and keep CSE subexpressions live over calls (Figure 4).
+#pragma once
+
+#include <set>
+#include <unordered_map>
+
+#include "analysis/pointsto.hpp"
+#include "analysis/region_tree.hpp"
+
+namespace hli::analysis {
+
+struct RefModSets {
+  std::set<const VarDecl*> ref;
+  std::set<const VarDecl*> mod;
+  /// True when the function may touch statically unknown memory (unknown
+  /// extern callee, wild pointer): the back-end must then assume a full
+  /// clobber, exactly like plain GCC.
+  bool unknown = false;
+};
+
+class RefModAnalysis {
+ public:
+  RefModAnalysis(Program& prog, const PointsToAnalysis& pointsto)
+      : prog_(prog), pointsto_(pointsto) {}
+
+  /// Computes direct effects per function, then propagates over the call
+  /// graph to fixpoint (recursion-safe).
+  void run();
+
+  [[nodiscard]] const RefModSets& for_function(const FuncDecl* func) const;
+
+ private:
+  void collect_direct(FuncDecl& func);
+
+  Program& prog_;
+  const PointsToAnalysis& pointsto_;
+  std::unordered_map<const FuncDecl*, RefModSets> sets_;
+  std::unordered_map<const FuncDecl*, std::set<const FuncDecl*>> callees_;
+  RefModSets unknown_sets_{{}, {}, true};
+};
+
+}  // namespace hli::analysis

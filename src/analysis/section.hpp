@@ -1,0 +1,69 @@
+// Array sections: the coverage summaries behind HLI equivalent access
+// classes.  An item like a[i][j] covers the exact point (i, j); a sub-loop's
+// class covers a range per dimension (the paper's a[0..9] notation in
+// Figure 2).  Sections support
+//   * widening over a loop's iteration range (what TBLCONST does when a
+//     sub-region class is lifted into its parent region, §2.2.1), and
+//   * dependence/overlap testing against another section with respect to a
+//     loop, producing within-iteration and loop-carried verdicts that feed
+//     the alias and LCDD tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/depend.hpp"
+
+namespace hli::analysis {
+
+/// One dimension of a section: the inclusive range [lo, hi].  An exact
+/// point has lo == hi.  A dimension about which nothing is known carries
+/// non-affine bounds.
+struct DimSection {
+  AffineExpr lo;
+  AffineExpr hi;
+
+  [[nodiscard]] static DimSection point(AffineExpr at) {
+    return {at, std::move(at)};
+  }
+  [[nodiscard]] static DimSection unknown() { return {AffineExpr{}, AffineExpr{}}; }
+
+  [[nodiscard]] bool is_exact() const { return lo.is_affine() && lo.equals(hi); }
+  [[nodiscard]] bool is_unknown() const { return !lo.is_affine() || !hi.is_affine(); }
+};
+
+/// Memory coverage of one item or class: a base object plus per-dimension
+/// ranges.  Scalars have no dimensions.
+struct Section {
+  std::vector<DimSection> dims;
+
+  [[nodiscard]] bool equals(const Section& other) const;
+  /// True when every dimension is an exact affine point.
+  [[nodiscard]] bool is_exact() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Widens `section` over the value range of `loop`'s induction variable,
+/// producing the coverage of the whole loop execution.  Unknown loop bounds
+/// degrade affected dimensions to unknown.
+[[nodiscard]] Section widen_over_loop(const Section& section, const CanonicalLoop* loop);
+
+/// Direction-aware dependence classification of two sections over the same
+/// base object with respect to `loop` (null for non-loop regions).
+struct SectionDependence {
+  IterRelation within = IterRelation::MaybeOverlap;
+  /// Overlap where b's instance executes d > 0 iterations after a's.
+  CarriedDep a_then_b{CarriedKind::Maybe, std::nullopt};
+  /// Overlap where a's instance executes d > 0 iterations after b's.
+  CarriedDep b_then_a{CarriedKind::Maybe, std::nullopt};
+
+  [[nodiscard]] bool fully_independent() const {
+    return within == IterRelation::Disjoint &&
+           a_then_b.kind == CarriedKind::None && b_then_a.kind == CarriedKind::None;
+  }
+};
+
+[[nodiscard]] SectionDependence section_depend(const CanonicalLoop* loop,
+                                               const Section& a, const Section& b);
+
+}  // namespace hli::analysis

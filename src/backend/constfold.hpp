@@ -1,0 +1,27 @@
+// Constant folding / combine: block-local propagation of known-constant
+// register values, replacing pure computations whose inputs are all
+// constants with immediate loads (GCC's cse/combine constant work).  DCE
+// then sweeps the dead producers.  Purely register-level: memory
+// references and the HLI are untouched.
+#pragma once
+
+#include <cstdint>
+
+#include "backend/rtl.hpp"
+
+namespace hli::backend {
+
+struct ConstFoldStats {
+  std::uint64_t folded = 0;
+  std::uint64_t branches_resolved = 0;  ///< Constant-condition branches.
+
+  ConstFoldStats& operator+=(const ConstFoldStats& other) {
+    folded += other.folded;
+    branches_resolved += other.branches_resolved;
+    return *this;
+  }
+};
+
+ConstFoldStats constfold_function(RtlFunction& func);
+
+}  // namespace hli::backend

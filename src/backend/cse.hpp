@@ -1,0 +1,46 @@
+// Local common-subexpression elimination, modeled on GCC's CSE pass as the
+// paper describes it (§3.2.2, Figure 4): value-numbered expressions and
+// loads are reused within a basic block; a store invalidates conflicting
+// loads; a CALL natively purges every memory-derived value ("GCC
+// pessimistically assumes that the function can change any memory
+// location") — unless HLI call REF/MOD information selectively keeps
+// entries the callee cannot modify.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "backend/rtl.hpp"
+#include "hli/query.hpp"
+
+namespace hli::backend {
+
+struct CseStats {
+  std::uint64_t exprs_reused = 0;
+  std::uint64_t loads_reused = 0;
+  std::uint64_t entries_purged_at_calls = 0;
+  std::uint64_t entries_kept_at_calls = 0;  ///< Survived thanks to REF/MOD.
+  std::uint64_t loads_deleted = 0;          ///< == loads_reused; kept for clarity.
+
+  CseStats& operator+=(const CseStats& other) {
+    exprs_reused += other.exprs_reused;
+    loads_reused += other.loads_reused;
+    entries_purged_at_calls += other.entries_purged_at_calls;
+    entries_kept_at_calls += other.entries_kept_at_calls;
+    loads_deleted += other.loads_deleted;
+    return *this;
+  }
+};
+
+struct CseOptions {
+  bool use_hli = false;
+  const query::HliUnitView* view = nullptr;
+  /// Invoked for every load insn CSE deletes, BEFORE the rewrite, so the
+  /// caller can run HLI maintenance (delete_item) on the mapped item.
+  std::function<void(format::ItemId)> on_load_deleted;
+};
+
+/// Runs local CSE over every basic block of `func` in place.
+CseStats cse_function(RtlFunction& func, const CseOptions& options);
+
+}  // namespace hli::backend

@@ -1,0 +1,35 @@
+// Dead code elimination — GCC's "flow" cleanup after CSE: instructions
+// whose results are never used (the Moves CSE leaves behind, dead address
+// arithmetic after LICM) are deleted.  Memory writes, calls, branches and
+// notes are always live.  Deleted loads drop their HLI items through the
+// caller-provided hook, exactly like CSE deletions (§3.2.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "backend/rtl.hpp"
+
+namespace hli::backend {
+
+struct DceStats {
+  std::uint64_t deleted = 0;
+  std::uint64_t deleted_loads = 0;
+
+  DceStats& operator+=(const DceStats& other) {
+    deleted += other.deleted;
+    deleted_loads += other.deleted_loads;
+    return *this;
+  }
+};
+
+struct DceOptions {
+  /// Invoked for every deleted load's item so the HLI can be maintained.
+  std::function<void(format::ItemId)> on_load_deleted;
+};
+
+/// Iterates to fixpoint: removing one dead instruction can make its
+/// operands' producers dead too.
+DceStats dce_function(RtlFunction& func, const DceOptions& options = {});
+
+}  // namespace hli::backend

@@ -1,0 +1,36 @@
+#include "backend/gcc_alias.hpp"
+
+namespace hli::backend {
+
+namespace {
+
+bool ranges_overlap(std::int64_t a_off, std::uint8_t a_size, std::int64_t b_off,
+                    std::uint8_t b_size) {
+  return a_off < b_off + b_size && b_off < a_off + a_size;
+}
+
+}  // namespace
+
+bool gcc_may_conflict(const MemRef& a, const MemRef& b) {
+  // GCC 2.7's memrefs_conflict_p reasons over ADDRESS EXPRESSIONS, not
+  // objects: `symbol + const` vs `symbol + const` is decidable, but the
+  // moment a subscript lands in a register the base symbol is no longer
+  // recoverable from the RTL (no MEM_EXPR in that era) and the answer is a
+  // conservative "yes" — even against a different named array.  That
+  // blindness is precisely what the paper's HLI repairs.
+  if (a.base == MemBase::Pointer || b.base == MemBase::Pointer) return true;
+  if (!a.offset_known || !b.offset_known) return true;
+
+  if (a.base == MemBase::Symbol && b.base == MemBase::Symbol) {
+    if (a.symbol != b.symbol) return false;  // Distinct fixed addresses.
+    return ranges_overlap(a.const_offset, a.size, b.const_offset, b.size);
+  }
+  if (a.base == MemBase::Frame && b.base == MemBase::Frame) {
+    return ranges_overlap(a.frame_offset + a.const_offset, a.size,
+                          b.frame_offset + b.const_offset, b.size);
+  }
+  // Frame (fp + const) vs. global (symbol + const): distinct fixed bases.
+  return false;
+}
+
+}  // namespace hli::backend

@@ -1,0 +1,20 @@
+// The back-end's NATIVE memory disambiguation — a faithful stand-in for
+// GCC 2.7's true_dependence/memrefs_conflict_p reasoning, which is what
+// the paper's "GCC result" column measures.  It knows only what is
+// syntactically evident in the RTL:
+//   * references to different named objects (symbols, distinct frame
+//     slots with constant offsets) do not conflict;
+//   * same object with constant, non-overlapping offsets do not conflict;
+//   * anything involving a computed address (variable subscript, pointer)
+//     conservatively conflicts.
+#pragma once
+
+#include "backend/rtl.hpp"
+
+namespace hli::backend {
+
+/// May the two memory references touch the same bytes?  (The "GCC query
+/// function" of Figure 5.)
+[[nodiscard]] bool gcc_may_conflict(const MemRef& a, const MemRef& b);
+
+}  // namespace hli::backend

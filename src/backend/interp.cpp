@@ -1,0 +1,370 @@
+#include "backend/interp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+namespace hli::backend {
+
+namespace {
+
+struct Value {
+  std::int64_t i = 0;
+  double f = 0.0;
+};
+
+class Interp {
+ public:
+  Interp(const RtlProgram& prog, TraceSink* sink, const InterpOptions& options)
+      : prog_(prog), sink_(sink), options_(options) {
+    memory_.resize(options.memory_bytes);
+    // Globals at the bottom (address 8 upward; 0 stays "null").
+    std::uint64_t at = 8;
+    for (const GlobalVar& g : prog.globals) {
+      global_base_.push_back(at);
+      if (!g.init_int.empty()) {
+        write_int(at, g.init_int[0], 4);
+      } else if (!g.init_fp.empty()) {
+        write_fp(at, g.init_fp[0], 8);
+      }
+      at += (g.size + 7) / 8 * 8;
+    }
+    stack_top_ = (at + 63) / 64 * 64;
+    // Pre-index labels per function.
+    for (const RtlFunction& f : prog.functions) {
+      auto& map = labels_[&f];
+      for (std::size_t i = 0; i < f.insns.size(); ++i) {
+        if (f.insns[i].op == Opcode::Label) map[f.insns[i].label] = i;
+      }
+    }
+  }
+
+  RunResult run(const std::string& entry) {
+    RunResult result;
+    const RtlFunction* func = prog_.find_function(entry);
+    if (func == nullptr) {
+      result.error = "no entry function '" + entry + "'";
+      return result;
+    }
+    try {
+      const Value ret = call(*func, {});
+      result.return_value = ret.i;
+      result.ok = true;
+    } catch (const std::runtime_error& e) {
+      result.error = e.what();
+    }
+    result.dynamic_insns = executed_;
+    result.output_hash = output_hash_;
+    result.emit_count = emit_count_;
+    return result;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::runtime_error("interp: " + message);
+  }
+
+  void check_mem(std::uint64_t addr, std::uint64_t size) const {
+    if (addr == 0 || addr + size > memory_.size()) {
+      fail("memory access out of range at " + std::to_string(addr));
+    }
+  }
+
+  void write_int(std::uint64_t addr, std::int64_t value, std::uint8_t size) {
+    check_mem(addr, size);
+    if (size == 4) {
+      const std::int32_t v = static_cast<std::int32_t>(value);
+      std::memcpy(&memory_[addr], &v, 4);
+    } else {
+      std::memcpy(&memory_[addr], &value, 8);
+    }
+  }
+
+  std::int64_t read_int(std::uint64_t addr, std::uint8_t size) const {
+    check_mem(addr, size);
+    if (size == 4) {
+      std::int32_t v = 0;
+      std::memcpy(&v, &memory_[addr], 4);
+      return v;
+    }
+    std::int64_t v = 0;
+    std::memcpy(&v, &memory_[addr], 8);
+    return v;
+  }
+
+  void write_fp(std::uint64_t addr, double value, std::uint8_t size) {
+    check_mem(addr, size);
+    if (size == 4) {
+      const float v = static_cast<float>(value);
+      std::memcpy(&memory_[addr], &v, 4);
+    } else {
+      std::memcpy(&memory_[addr], &value, 8);
+    }
+  }
+
+  double read_fp(std::uint64_t addr, std::uint8_t size) const {
+    check_mem(addr, size);
+    if (size == 4) {
+      float v = 0;
+      std::memcpy(&v, &memory_[addr], 4);
+      return v;
+    }
+    double v = 0;
+    std::memcpy(&v, &memory_[addr], 8);
+    return v;
+  }
+
+  void mix_output(std::uint64_t bits) {
+    output_hash_ = output_hash_ * 1099511628211ull ^ bits;
+    ++emit_count_;
+  }
+
+  /// Built-in externs: math plus the emit() observation sinks.
+  bool call_extern(const std::string& name, const std::vector<Value>& args,
+                   Value& out) {
+    auto arg_f = [&](std::size_t i) { return i < args.size() ? args[i].f : 0.0; };
+    if (name == "sqrt") { out.f = std::sqrt(arg_f(0)); return true; }
+    if (name == "fabs") { out.f = std::fabs(arg_f(0)); return true; }
+    if (name == "sin") { out.f = std::sin(arg_f(0)); return true; }
+    if (name == "cos") { out.f = std::cos(arg_f(0)); return true; }
+    if (name == "exp") { out.f = std::exp(arg_f(0)); return true; }
+    if (name == "log") { out.f = std::log(arg_f(0)); return true; }
+    if (name == "pow") { out.f = std::pow(arg_f(0), arg_f(1)); return true; }
+    if (name == "floor") { out.f = std::floor(arg_f(0)); return true; }
+    if (name == "ceil") { out.f = std::ceil(arg_f(0)); return true; }
+    if (name == "atan") { out.f = std::atan(arg_f(0)); return true; }
+    if (name == "emit") {
+      mix_output(static_cast<std::uint64_t>(args.empty() ? 0 : args[0].i));
+      return true;
+    }
+    if (name == "emitd") {
+      std::uint64_t bits = 0;
+      const double v = arg_f(0);
+      std::memcpy(&bits, &v, 8);
+      mix_output(bits);
+      return true;
+    }
+    return false;
+  }
+
+  Value call(const RtlFunction& func, const std::vector<Value>& args) {
+    if (++depth_ > options_.max_call_depth) fail("call depth exceeded");
+    const std::uint64_t frame_base = stack_top_;
+    stack_top_ += (func.frame_size + 63) / 64 * 64;
+    if (stack_top_ > memory_.size()) fail("stack overflow");
+
+    std::vector<Value> regs(static_cast<std::size_t>(func.num_regs) + 1);
+    // Incoming register arguments land in the params' staging registers.
+    for (std::size_t i = 0;
+         i < func.param_regs.size() && i < analysis_max_reg_args(); ++i) {
+      if (i < args.size()) regs[static_cast<std::size_t>(func.param_regs[i])] = args[i];
+    }
+
+    const auto& label_map = labels_.at(&func);
+    std::size_t pc = 0;
+    Value ret;
+    while (pc < func.insns.size()) {
+      const Insn& insn = func.insns[pc];
+      if (++executed_ > options_.max_insns) fail("instruction budget exceeded");
+
+      TraceEvent event;
+      event.insn = &insn;
+
+      switch (insn.op) {
+        case Opcode::LoadImm:
+          if (insn.is_float) {
+            regs[insn.rd].f = insn.fimm;
+          } else {
+            regs[insn.rd].i = insn.imm;
+          }
+          break;
+        case Opcode::Move:
+          regs[insn.rd] = regs[insn.rs1];
+          break;
+        case Opcode::Add:
+          if (insn.is_float) {
+            regs[insn.rd].f = regs[insn.rs1].f + regs[insn.rs2].f;
+          } else {
+            regs[insn.rd].i = regs[insn.rs1].i + regs[insn.rs2].i;
+          }
+          break;
+        case Opcode::Sub:
+          if (insn.is_float) {
+            regs[insn.rd].f = regs[insn.rs1].f - regs[insn.rs2].f;
+          } else {
+            regs[insn.rd].i = regs[insn.rs1].i - regs[insn.rs2].i;
+          }
+          break;
+        case Opcode::Mul:
+          if (insn.is_float) {
+            regs[insn.rd].f = regs[insn.rs1].f * regs[insn.rs2].f;
+          } else {
+            regs[insn.rd].i = regs[insn.rs1].i * regs[insn.rs2].i;
+          }
+          break;
+        case Opcode::Div:
+          if (insn.is_float) {
+            regs[insn.rd].f = regs[insn.rs1].f / regs[insn.rs2].f;
+          } else {
+            if (regs[insn.rs2].i == 0) fail("integer division by zero");
+            regs[insn.rd].i = regs[insn.rs1].i / regs[insn.rs2].i;
+          }
+          break;
+        case Opcode::Rem:
+          if (regs[insn.rs2].i == 0) fail("integer remainder by zero");
+          regs[insn.rd].i = regs[insn.rs1].i % regs[insn.rs2].i;
+          break;
+        case Opcode::Neg:
+          if (insn.is_float) {
+            regs[insn.rd].f = -regs[insn.rs1].f;
+          } else {
+            regs[insn.rd].i = -regs[insn.rs1].i;
+          }
+          break;
+        case Opcode::And: regs[insn.rd].i = regs[insn.rs1].i & regs[insn.rs2].i; break;
+        case Opcode::Or: regs[insn.rd].i = regs[insn.rs1].i | regs[insn.rs2].i; break;
+        case Opcode::Xor: regs[insn.rd].i = regs[insn.rs1].i ^ regs[insn.rs2].i; break;
+        case Opcode::Not: regs[insn.rd].i = regs[insn.rs1].i == 0 ? 1 : 0; break;
+        case Opcode::Shl: regs[insn.rd].i = regs[insn.rs1].i << (regs[insn.rs2].i & 63); break;
+        case Opcode::Shr: regs[insn.rd].i = regs[insn.rs1].i >> (regs[insn.rs2].i & 63); break;
+        case Opcode::CmpLt:
+          regs[insn.rd].i = insn.is_float ? regs[insn.rs1].f < regs[insn.rs2].f
+                                          : regs[insn.rs1].i < regs[insn.rs2].i;
+          break;
+        case Opcode::CmpLe:
+          regs[insn.rd].i = insn.is_float ? regs[insn.rs1].f <= regs[insn.rs2].f
+                                          : regs[insn.rs1].i <= regs[insn.rs2].i;
+          break;
+        case Opcode::CmpGt:
+          regs[insn.rd].i = insn.is_float ? regs[insn.rs1].f > regs[insn.rs2].f
+                                          : regs[insn.rs1].i > regs[insn.rs2].i;
+          break;
+        case Opcode::CmpGe:
+          regs[insn.rd].i = insn.is_float ? regs[insn.rs1].f >= regs[insn.rs2].f
+                                          : regs[insn.rs1].i >= regs[insn.rs2].i;
+          break;
+        case Opcode::CmpEq:
+          regs[insn.rd].i = insn.is_float ? regs[insn.rs1].f == regs[insn.rs2].f
+                                          : regs[insn.rs1].i == regs[insn.rs2].i;
+          break;
+        case Opcode::CmpNe:
+          regs[insn.rd].i = insn.is_float ? regs[insn.rs1].f != regs[insn.rs2].f
+                                          : regs[insn.rs1].i != regs[insn.rs2].i;
+          break;
+        case Opcode::IntToFp:
+          regs[insn.rd].f = static_cast<double>(regs[insn.rs1].i);
+          break;
+        case Opcode::FpToInt:
+          regs[insn.rd].i = static_cast<std::int64_t>(regs[insn.rs1].f);
+          break;
+        case Opcode::LoadAddr:
+          if (insn.label >= 0) {
+            regs[insn.rd].i = static_cast<std::int64_t>(
+                global_base_[static_cast<std::size_t>(insn.label)] +
+                static_cast<std::uint64_t>(insn.imm));
+          } else {
+            regs[insn.rd].i = static_cast<std::int64_t>(
+                frame_base + static_cast<std::uint64_t>(insn.imm));
+          }
+          break;
+        case Opcode::Load: {
+          const std::uint64_t addr =
+              static_cast<std::uint64_t>(regs[insn.rs1].i + insn.mem.const_offset);
+          event.address = addr;
+          if (insn.is_float) {
+            regs[insn.rd].f = read_fp(addr, insn.mem.size);
+          } else {
+            regs[insn.rd].i = read_int(addr, insn.mem.size);
+          }
+          break;
+        }
+        case Opcode::Store: {
+          const std::uint64_t addr =
+              static_cast<std::uint64_t>(regs[insn.rs1].i + insn.mem.const_offset);
+          event.address = addr;
+          if (insn.is_float) {
+            write_fp(addr, regs[insn.rs2].f, insn.mem.size);
+          } else {
+            write_int(addr, regs[insn.rs2].i, insn.mem.size);
+          }
+          break;
+        }
+        case Opcode::Label:
+        case Opcode::LoopBeg:
+        case Opcode::LoopEnd:
+          break;
+        case Opcode::Jump:
+          if (sink_ != nullptr) sink_->on_insn(event);
+          pc = label_map.at(insn.label);
+          continue;
+        case Opcode::BranchZ:
+        case Opcode::BranchNZ: {
+          if (sink_ != nullptr) sink_->on_insn(event);
+          const bool zero = regs[insn.rs1].i == 0;
+          const bool taken = insn.op == Opcode::BranchZ ? zero : !zero;
+          if (taken) {
+            pc = label_map.at(insn.label);
+            continue;
+          }
+          break;
+        }
+        case Opcode::Call: {
+          if (sink_ != nullptr) sink_->on_insn(event);
+          std::vector<Value> call_args;
+          call_args.reserve(insn.args.size());
+          for (const Reg r : insn.args) call_args.push_back(regs[r]);
+          Value out;
+          if (const RtlFunction* callee = prog_.find_function(insn.callee)) {
+            out = call(*callee, call_args);
+          } else if (!call_extern(insn.callee, call_args, out)) {
+            fail("call to unknown extern '" + insn.callee + "'");
+          }
+          if (insn.rd != kNoReg) regs[insn.rd] = out;
+          ++pc;
+          continue;
+        }
+        case Opcode::Return:
+          if (sink_ != nullptr) sink_->on_insn(event);
+          if (insn.rs1 != kNoReg) ret = regs[insn.rs1];
+          stack_top_ = frame_base;
+          --depth_;
+          return ret;
+      }
+      if (sink_ != nullptr && insn.op != Opcode::Label &&
+          insn.op != Opcode::LoopBeg && insn.op != Opcode::LoopEnd) {
+        sink_->on_insn(event);
+      }
+      ++pc;
+    }
+    stack_top_ = frame_base;
+    --depth_;
+    return ret;
+  }
+
+  static constexpr std::size_t analysis_max_reg_args() { return 4; }
+
+  const RtlProgram& prog_;
+  TraceSink* sink_;
+  InterpOptions options_;
+  std::vector<std::uint8_t> memory_;
+  std::vector<std::uint64_t> global_base_;
+  std::uint64_t stack_top_ = 0;
+  std::unordered_map<const RtlFunction*, std::unordered_map<std::int32_t, std::size_t>>
+      labels_;
+  std::uint64_t executed_ = 0;
+  std::uint64_t output_hash_ = 1469598103934665603ull;
+  std::uint64_t emit_count_ = 0;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace
+
+RunResult run_program(const RtlProgram& prog, const std::string& entry,
+                      TraceSink* sink, const InterpOptions& options) {
+  Interp interp(prog, sink, options);
+  return interp.run(entry);
+}
+
+}  // namespace hli::backend

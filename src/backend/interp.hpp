@@ -1,0 +1,54 @@
+// RTL interpreter.  Two jobs:
+//   1. Correctness oracle — every optimization pipeline must produce the
+//      same observable output (emit() stream checksum, return value) as
+//      unoptimized code; tests enforce this on all workloads.
+//   2. Execution driver for the machine timing models — the interpreter
+//      streams executed instructions (with resolved memory addresses) to a
+//      TraceSink, from which the R4600/R10000-like models compute cycles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "backend/rtl.hpp"
+
+namespace hli::backend {
+
+struct TraceEvent {
+  const Insn* insn = nullptr;
+  std::uint64_t address = 0;  ///< Resolved address for Load/Store.
+};
+
+/// Per-executed-instruction callback; kept as a lightweight interface so
+/// the timing models can be driven without std::function overhead.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_insn(const TraceEvent& event) = 0;
+};
+
+struct RunResult {
+  bool ok = false;
+  std::string error;
+  std::int64_t return_value = 0;
+  std::uint64_t dynamic_insns = 0;
+  /// Order-sensitive checksum over emit()/emitd() calls: the program's
+  /// observable output.
+  std::uint64_t output_hash = 0;
+  std::uint64_t emit_count = 0;
+};
+
+struct InterpOptions {
+  std::uint64_t max_insns = 400'000'000;
+  std::size_t memory_bytes = 64u << 20;
+  std::size_t max_call_depth = 4096;
+};
+
+/// Runs `entry` (default "main") with no arguments.
+[[nodiscard]] RunResult run_program(const RtlProgram& prog,
+                                    const std::string& entry = "main",
+                                    TraceSink* sink = nullptr,
+                                    const InterpOptions& options = {});
+
+}  // namespace hli::backend

@@ -1,0 +1,244 @@
+#include "backend/licm.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "backend/gcc_alias.hpp"
+
+namespace hli::backend {
+
+namespace {
+
+struct Loop {
+  std::size_t beg = 0;  ///< Index of the LoopBeg note.
+  std::size_t end = 0;  ///< Index of the LoopEnd note.
+  bool innermost = true;
+};
+
+std::vector<Loop> find_innermost_loops(const RtlFunction& func) {
+  std::vector<Loop> out;
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < func.insns.size(); ++i) {
+    if (func.insns[i].op == Opcode::LoopBeg) {
+      stack.push_back(i);
+    } else if (func.insns[i].op == Opcode::LoopEnd && !stack.empty()) {
+      Loop loop;
+      loop.beg = stack.back();
+      loop.end = i;
+      stack.pop_back();
+      // A loop is innermost iff no other LoopBeg between beg and end.
+      loop.innermost = true;
+      for (std::size_t k = loop.beg + 1; k < loop.end; ++k) {
+        if (func.insns[k].op == Opcode::LoopBeg) {
+          loop.innermost = false;
+          break;
+        }
+      }
+      if (loop.innermost) out.push_back(loop);
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] bool hoistable_pure(Opcode op) {
+  switch (op) {
+    case Opcode::LoadImm:
+    case Opcode::LoadAddr:
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Neg:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::IntToFp:
+      return true;
+    default:
+      return false;  // Div/Rem may trap; comparisons feed branches locally.
+  }
+}
+
+class LoopLicm {
+ public:
+  LoopLicm(RtlFunction& func, const Loop& loop, const LicmOptions& options,
+           LicmStats& stats)
+      : func_(func), loop_(loop), options_(options), stats_(stats) {}
+
+  void run() {
+    collect_defs();
+    // Iterate: hoisting one insn can make another invariant.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = loop_.beg + 1; i < loop_.end; ++i) {
+        if (hoisted_.contains(i)) continue;
+        const Insn& insn = func_.insns[i];
+        if (hoistable_pure(insn.op)) {
+          if (invariant_inputs(insn) && single_def(insn.rd)) {
+            hoisted_.insert(i);
+            defs_in_loop_.erase(insn.rd);
+            ++stats_.pure_hoisted;
+            changed = true;
+          }
+        } else if (insn.op == Opcode::Load) {
+          if (invariant_inputs(insn) && single_def(insn.rd) &&
+              no_conflicting_writes(insn)) {
+            hoisted_.insert(i);
+            defs_in_loop_.erase(insn.rd);
+            ++stats_.loads_hoisted;
+            if (options_.on_load_hoisted &&
+                insn.mem.hli_item != format::kNoItem) {
+              options_.on_load_hoisted(insn.mem.hli_item, loop_region());
+            }
+            changed = true;
+          }
+        }
+      }
+    }
+    rewrite();
+  }
+
+ private:
+  [[nodiscard]] format::RegionId loop_region() const {
+    return func_.insns[loop_.beg].loop_region;
+  }
+
+  void collect_defs() {
+    for (std::size_t i = loop_.beg + 1; i < loop_.end; ++i) {
+      const Reg rd = func_.insns[i].op == Opcode::Store ? kNoReg
+                                                        : func_.insns[i].rd;
+      if (rd != kNoReg) defs_in_loop_.insert(rd);
+    }
+  }
+
+  [[nodiscard]] bool invariant_inputs(const Insn& insn) const {
+    const Reg srcs[2] = {insn.rs1, insn.rs2};
+    for (const Reg r : srcs) {
+      if (r != kNoReg && defs_in_loop_.contains(r)) return false;
+    }
+    return true;
+  }
+
+  /// The register must be defined exactly once in the loop (our lowering's
+  /// expression temps) so moving the single definition is sound.
+  [[nodiscard]] bool single_def(Reg rd) const {
+    if (rd == kNoReg) return false;
+    std::size_t defs = 0;
+    for (std::size_t i = loop_.beg + 1; i < loop_.end; ++i) {
+      const Insn& insn = func_.insns[i];
+      const Reg w = insn.op == Opcode::Store ? kNoReg : insn.rd;
+      if (w == rd) ++defs;
+    }
+    // Also reject registers defined anywhere outside the loop: hoisting
+    // would then clobber the outer value early.
+    for (std::size_t i = 0; i < func_.insns.size(); ++i) {
+      if (i > loop_.beg && i < loop_.end) continue;
+      const Insn& insn = func_.insns[i];
+      const Reg w = insn.op == Opcode::Store ? kNoReg : insn.rd;
+      if (w == rd) return false;
+    }
+    return defs == 1;
+  }
+
+  [[nodiscard]] bool no_conflicting_writes(const Insn& load) {
+    for (std::size_t i = loop_.beg + 1; i < loop_.end; ++i) {
+      if (hoisted_.contains(i)) continue;
+      const Insn& insn = func_.insns[i];
+      if (insn.op == Opcode::Store) {
+        bool conflict = gcc_may_conflict(load.mem, insn.mem);
+        if (conflict) ++stats_.loads_blocked_native;
+        if (conflict && options_.use_hli && options_.view != nullptr &&
+            load.mem.hli_item != format::kNoItem &&
+            insn.mem.hli_item != format::kNoItem) {
+          // Both the within-iteration view and the loop-carried table must
+          // clear the pair before hoisting across iterations is safe.
+          const bool within =
+              options_.view->may_conflict(load.mem.hli_item, insn.mem.hli_item) !=
+              query::EquivAcc::None;
+          const bool carried = !options_.view
+                                    ->get_lcdd(loop_region(), load.mem.hli_item,
+                                               insn.mem.hli_item)
+                                    .empty();
+          conflict = within || carried;
+        }
+        if (conflict) {
+          if (options_.use_hli) ++stats_.loads_blocked_hli;
+          return false;
+        }
+      } else if (insn.op == Opcode::Call) {
+        bool clobbers = true;
+        if (options_.use_hli && options_.view != nullptr &&
+            load.mem.hli_item != format::kNoItem &&
+            insn.hli_item != format::kNoItem) {
+          const query::CallAcc acc =
+              options_.view->get_call_acc(load.mem.hli_item, insn.hli_item);
+          clobbers = acc == query::CallAcc::Mod || acc == query::CallAcc::RefMod;
+        }
+        if (clobbers) return false;
+      }
+    }
+    return true;
+  }
+
+  void rewrite() {
+    if (hoisted_.empty()) return;
+    std::vector<Insn> preheader;
+    std::vector<Insn> body;
+    preheader.reserve(hoisted_.size());
+    for (std::size_t i = loop_.beg + 1; i < loop_.end; ++i) {
+      if (hoisted_.contains(i)) {
+        preheader.push_back(func_.insns[i]);
+      } else {
+        body.push_back(func_.insns[i]);
+      }
+    }
+    // Layout: [preheader][LoopBeg][body][LoopEnd...]; the LoopBeg note
+    // moves after the hoisted code.
+    std::vector<Insn> rebuilt;
+    rebuilt.reserve(func_.insns.size());
+    rebuilt.insert(rebuilt.end(), func_.insns.begin(),
+                   func_.insns.begin() + static_cast<std::ptrdiff_t>(loop_.beg));
+    rebuilt.insert(rebuilt.end(), preheader.begin(), preheader.end());
+    rebuilt.push_back(func_.insns[loop_.beg]);
+    rebuilt.insert(rebuilt.end(), body.begin(), body.end());
+    rebuilt.insert(rebuilt.end(),
+                   func_.insns.begin() + static_cast<std::ptrdiff_t>(loop_.end),
+                   func_.insns.end());
+    func_.insns = std::move(rebuilt);
+  }
+
+  RtlFunction& func_;
+  const Loop& loop_;
+  const LicmOptions& options_;
+  LicmStats& stats_;
+  std::set<Reg> defs_in_loop_;
+  std::set<std::size_t> hoisted_;
+};
+
+}  // namespace
+
+LicmStats licm_function(RtlFunction& func, const LicmOptions& options) {
+  LicmStats stats;
+  // Process loops one at a time; indices shift after each rewrite, so
+  // re-discover until no further hoisting happens.
+  bool changed = true;
+  std::set<format::RegionId> processed;
+  while (changed) {
+    changed = false;
+    for (const Loop& loop : find_innermost_loops(func)) {
+      const format::RegionId region = func.insns[loop.beg].loop_region;
+      if (processed.contains(region)) continue;
+      processed.insert(region);
+      LoopLicm licm(func, loop, options, stats);
+      licm.run();
+      changed = true;
+      break;  // Indices invalidated: rescan.
+    }
+  }
+  return stats;
+}
+
+}  // namespace hli::backend

@@ -1,0 +1,930 @@
+#include "backend/lower.hpp"
+
+#include <unordered_map>
+
+#include "analysis/item_walk.hpp"
+#include "analysis/region_tree.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hli::backend {
+
+using namespace frontend;
+
+namespace {
+
+/// Byte size of a scalar element for memory accesses.
+std::uint8_t access_size(const Type* type) {
+  return static_cast<std::uint8_t>(type->byte_size() == 0 ? 4 : type->byte_size());
+}
+
+class FunctionLowering {
+ public:
+  FunctionLowering(Program& prog, FuncDecl& func, RtlProgram& out)
+      : prog_(prog), func_(func), out_(out), tree_(analysis::build_region_tree(func)) {}
+
+  RtlFunction run() {
+    rtl_.name = func_.name();
+    rtl_.returns_float = func_.return_type()->is_floating();
+    lower_params();
+    lower_stmt(func_.body);
+    // Implicit return for void functions falling off the end.
+    emit_simple(Opcode::Return, func_.loc().line).rs1 = kNoReg;
+    return std::move(rtl_);
+  }
+
+ private:
+  // ---------------------------------------------------------------------
+  // Infrastructure.
+  // ---------------------------------------------------------------------
+
+  Insn& emit(Insn insn) {
+    rtl_.insns.push_back(std::move(insn));
+    return rtl_.insns.back();
+  }
+
+  Insn& emit_simple(Opcode op, std::uint32_t line) {
+    Insn insn;
+    insn.op = op;
+    insn.line = line;
+    return emit(std::move(insn));
+  }
+
+  Reg fresh() { return rtl_.fresh_reg(); }
+  std::int32_t fresh_label() { return next_label_++; }
+
+  void emit_label(std::int32_t label, std::uint32_t line) {
+    Insn& insn = emit_simple(Opcode::Label, line);
+    insn.label = label;
+  }
+
+  void emit_jump(std::int32_t label, std::uint32_t line) {
+    Insn& insn = emit_simple(Opcode::Jump, line);
+    insn.label = label;
+  }
+
+  /// Register holding a scalar variable (allocated on first use).
+  Reg reg_of(const VarDecl* decl) {
+    const auto it = var_regs_.find(decl);
+    if (it != var_regs_.end()) return it->second;
+    const Reg r = fresh();
+    var_regs_.emplace(decl, r);
+    return r;
+  }
+
+  /// Frame slot of a memory-resident local (allocated on first use).
+  std::int64_t frame_slot(const VarDecl* decl) {
+    const auto it = frame_slots_.find(decl);
+    if (it != frame_slots_.end()) return it->second;
+    const std::int64_t offset = static_cast<std::int64_t>(rtl_.frame_size);
+    // 8-byte align every object for simplicity.
+    const std::uint64_t size = (decl->type()->byte_size() + 7) / 8 * 8;
+    rtl_.frame_size += size == 0 ? 8 : size;
+    frame_slots_.emplace(decl, offset);
+    return offset;
+  }
+
+  Reg emit_load_imm(std::int64_t value, std::uint32_t line) {
+    Insn insn;
+    insn.op = Opcode::LoadImm;
+    insn.rd = fresh();
+    insn.imm = value;
+    insn.line = line;
+    return emit(std::move(insn)).rd;
+  }
+
+  Reg emit_load_fimm(double value, std::uint32_t line) {
+    Insn insn;
+    insn.op = Opcode::LoadImm;
+    insn.is_float = true;
+    insn.rd = fresh();
+    insn.fimm = value;
+    insn.line = line;
+    return emit(std::move(insn)).rd;
+  }
+
+  Reg emit_binop(Opcode op, bool is_float, Reg a, Reg b, std::uint32_t line) {
+    Insn insn;
+    insn.op = op;
+    insn.is_float = is_float;
+    insn.rd = fresh();
+    insn.rs1 = a;
+    insn.rs2 = b;
+    insn.line = line;
+    return emit(std::move(insn)).rd;
+  }
+
+  Reg emit_unop(Opcode op, bool is_float, Reg a, std::uint32_t line) {
+    Insn insn;
+    insn.op = op;
+    insn.is_float = is_float;
+    insn.rd = fresh();
+    insn.rs1 = a;
+    insn.line = line;
+    return emit(std::move(insn)).rd;
+  }
+
+  /// Converts a value to the float or int domain if needed.
+  Reg coerce(Reg value, bool value_is_float, bool want_float, std::uint32_t line) {
+    if (value_is_float == want_float) return value;
+    return emit_unop(want_float ? Opcode::IntToFp : Opcode::FpToInt,
+                     /*is_float=*/want_float, value, line);
+  }
+
+  static bool is_float_type(const Type* type) {
+    return type != nullptr && type->is_floating();
+  }
+
+  // ---------------------------------------------------------------------
+  // Addresses.
+  // ---------------------------------------------------------------------
+
+  /// Result of lowering an lvalue's address.
+  struct Address {
+    Reg reg = kNoReg;  ///< Register holding the address.
+    MemRef mem;        ///< Static info for the back-end's alias oracle.
+    bool in_memory = true;
+    const VarDecl* scalar = nullptr;  ///< Register-resident scalar.
+    bool is_float = false;            ///< Element domain.
+  };
+
+  Reg emit_base_address(const VarDecl* decl, std::uint32_t line, MemRef& mem) {
+    if (decl->is_global()) {
+      const std::int32_t sym = out_.find_global(decl->name());
+      Insn insn;
+      insn.op = Opcode::LoadAddr;
+      insn.rd = fresh();
+      insn.imm = 0;
+      insn.label = sym;  // LoadAddr reuses `label` as the symbol index.
+      insn.line = line;
+      mem.base = MemBase::Symbol;
+      mem.symbol = sym;
+      return emit(std::move(insn)).rd;
+    }
+    // Frame object.
+    const std::int64_t slot = frame_slot(decl);
+    Insn insn;
+    insn.op = Opcode::LoadAddr;
+    insn.rd = fresh();
+    insn.imm = slot;
+    insn.label = -1;  // Frame.
+    insn.line = line;
+    mem.base = MemBase::Frame;
+    mem.frame_offset = slot;
+    return emit(std::move(insn)).rd;
+  }
+
+  /// Lowers the address computation of an lvalue, emitting subscript and
+  /// pointer loads in walker order.
+  Address lower_address(const Expr* expr) {
+    Address out;
+    const std::uint32_t line = expr->loc().line;
+    switch (expr->kind()) {
+      case ExprKind::VarRef: {
+        const auto* ref = static_cast<const VarRefExpr*>(expr);
+        const VarDecl* decl = ref->decl;
+        out.is_float = is_float_type(decl->type());
+        if (!decl->is_memory_resident()) {
+          out.in_memory = false;
+          out.scalar = decl;
+          return out;
+        }
+        out.mem.size = access_size(decl->type());
+        out.reg = emit_base_address(decl, line, out.mem);
+        out.mem.const_offset = 0;
+        out.mem.offset_known = true;
+        return out;
+      }
+      case ExprKind::ArrayIndex: {
+        // Collect the subscript chain; find the base.
+        std::vector<const Expr*> indices;
+        const Expr* cursor = expr;
+        while (cursor->kind() == ExprKind::ArrayIndex) {
+          indices.push_back(static_cast<const ArrayIndexExpr*>(cursor)->index);
+          cursor = static_cast<const ArrayIndexExpr*>(cursor)->base;
+        }
+        std::reverse(indices.begin(), indices.end());
+
+        const Type* cursor_type = cursor->type;
+        Reg base = kNoReg;
+        if (cursor->kind() == ExprKind::VarRef) {
+          const auto* ref = static_cast<const VarRefExpr*>(cursor);
+          const VarDecl* decl = ref->decl;
+          if (decl->type()->is_pointer()) {
+            // Pointer base: possibly loaded from memory first (walker rule).
+            base = lower_rvalue(cursor).reg;
+            out.mem.base = MemBase::Pointer;
+          } else {
+            base = emit_base_address(decl, line, out.mem);
+          }
+        } else {
+          base = lower_rvalue(cursor).reg;
+          out.mem.base = MemBase::Pointer;
+        }
+
+        // Fold the address: base + sum(variable index_k * stride_k), with
+        // constant subscripts folded into the addressing-mode displacement
+        // (mem.const_offset) — the interpreter adds const_offset to the
+        // address register, so it must never also be materialized there.
+        const Type* elem = cursor_type;
+        bool all_const = true;
+        std::int64_t const_total = 0;
+        Reg addr = base;
+        for (const Expr* index : indices) {
+          // Stride: byte size of what one step of this subscript covers.
+          elem = elem->element();
+          const std::uint64_t stride = elem->byte_size();
+          if (index->kind() == ExprKind::IntLiteral) {
+            // Literals generate no memory items: safe to fold silently.
+            const_total += static_cast<const IntLiteralExpr*>(index)->value *
+                           static_cast<std::int64_t>(stride);
+          } else {
+            const RValue idx = lower_rvalue(index);
+            all_const = false;
+            const Reg stride_reg =
+                emit_load_imm(static_cast<std::int64_t>(stride), line);
+            const Reg scaled =
+                emit_binop(Opcode::Mul, false, idx.reg, stride_reg, line);
+            addr = emit_binop(Opcode::Add, false, addr, scaled, line);
+          }
+        }
+        out.reg = addr;
+        out.is_float = is_float_type(elem);
+        out.mem.size = access_size(elem);
+        out.mem.const_offset = const_total;
+        out.mem.offset_known = all_const && out.mem.base != MemBase::Pointer;
+        return out;
+      }
+      case ExprKind::Unary: {
+        const auto* un = static_cast<const UnaryExpr*>(expr);
+        if (un->op == UnaryOp::Deref) {
+          const RValue ptr = lower_rvalue(un->operand);
+          out.reg = ptr.reg;
+          out.mem.base = MemBase::Pointer;
+          const Type* pointee = expr->type;
+          out.is_float = is_float_type(pointee);
+          out.mem.size = access_size(pointee);
+          return out;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    // Should not happen for sema-checked lvalues.
+    throw support::CompileError("lowering: unsupported lvalue shape");
+  }
+
+  Reg emit_load(const Address& addr, std::uint32_t line) {
+    Insn insn;
+    insn.op = Opcode::Load;
+    insn.is_float = addr.is_float;
+    insn.rd = fresh();
+    insn.rs1 = addr.reg;
+    insn.mem = addr.mem;
+    insn.line = line;
+    return emit(std::move(insn)).rd;
+  }
+
+  void emit_store(const Address& addr, Reg value, std::uint32_t line) {
+    Insn insn;
+    insn.op = Opcode::Store;
+    insn.is_float = addr.is_float;
+    insn.rs1 = addr.reg;
+    insn.rs2 = value;
+    insn.mem = addr.mem;
+    insn.line = line;
+    emit(std::move(insn));
+  }
+
+  // ---------------------------------------------------------------------
+  // Expressions.
+  // ---------------------------------------------------------------------
+
+  struct RValue {
+    Reg reg = kNoReg;
+    bool is_float = false;
+  };
+
+  RValue lower_rvalue(const Expr* expr) {
+    const std::uint32_t line = expr->loc().line;
+    switch (expr->kind()) {
+      case ExprKind::IntLiteral:
+        return {emit_load_imm(static_cast<const IntLiteralExpr*>(expr)->value, line),
+                false};
+      case ExprKind::FloatLiteral:
+        return {emit_load_fimm(static_cast<const FloatLiteralExpr*>(expr)->value,
+                               line),
+                true};
+      case ExprKind::VarRef: {
+        const auto* ref = static_cast<const VarRefExpr*>(expr);
+        const VarDecl* decl = ref->decl;
+        if (decl->type()->is_array()) {
+          // Array decays to its address (no memory traffic).
+          MemRef scratch;
+          return {emit_base_address(decl, line, scratch), false};
+        }
+        if (!decl->is_memory_resident()) {
+          return {reg_of(decl), is_float_type(decl->type())};
+        }
+        Address addr = lower_address(expr);
+        return {emit_load(addr, line), addr.is_float};
+      }
+      case ExprKind::ArrayIndex: {
+        Address addr = lower_address(expr);
+        // An array-typed element (a row of a multi-dim array) decays to
+        // its address: no load.
+        if (expr->type != nullptr && expr->type->is_array()) {
+          return {addr.reg, false};
+        }
+        return {emit_load(addr, line), addr.is_float};
+      }
+      case ExprKind::Unary:
+        return lower_unary(static_cast<const UnaryExpr*>(expr));
+      case ExprKind::Binary:
+        return lower_binary(static_cast<const BinaryExpr*>(expr));
+      case ExprKind::Assign:
+        return lower_assign(static_cast<const AssignExpr*>(expr));
+      case ExprKind::Call:
+        return lower_call(static_cast<const CallExpr*>(expr));
+      case ExprKind::Conditional:
+        return lower_conditional(static_cast<const ConditionalExpr*>(expr));
+    }
+    throw support::CompileError("lowering: unhandled expression kind");
+  }
+
+  RValue lower_unary(const UnaryExpr* expr) {
+    const std::uint32_t line = expr->loc().line;
+    switch (expr->op) {
+      case UnaryOp::Neg: {
+        const RValue v = lower_rvalue(expr->operand);
+        return {emit_unop(Opcode::Neg, v.is_float, v.reg, line), v.is_float};
+      }
+      case UnaryOp::Not: {
+        const RValue v = lower_rvalue(expr->operand);
+        const Reg r = coerce(v.reg, v.is_float, false, line);
+        return {emit_unop(Opcode::Not, false, r, line), false};
+      }
+      case UnaryOp::BitNot: {
+        const RValue v = lower_rvalue(expr->operand);
+        const Reg flipped = emit_unop(Opcode::Not, false, v.reg, line);
+        // C's ~x is -x-1; our Not is logical.  Build ~x = -x - 1 directly.
+        const Reg neg = emit_unop(Opcode::Neg, false, v.reg, line);
+        const Reg one = emit_load_imm(1, line);
+        (void)flipped;
+        return {emit_binop(Opcode::Sub, false, neg, one, line), false};
+      }
+      case UnaryOp::Deref: {
+        Address addr = lower_address(expr);
+        return {emit_load(addr, line), addr.is_float};
+      }
+      case UnaryOp::AddrOf:
+        return lower_addr_of(expr->operand);
+      case UnaryOp::PreInc:
+      case UnaryOp::PreDec:
+      case UnaryOp::PostInc:
+      case UnaryOp::PostDec:
+        return lower_incdec(expr);
+    }
+    throw support::CompileError("lowering: unhandled unary op");
+  }
+
+  RValue lower_addr_of(const Expr* lvalue) {
+    const std::uint32_t line = lvalue->loc().line;
+    if (lvalue->kind() == ExprKind::VarRef) {
+      const auto* ref = static_cast<const VarRefExpr*>(lvalue);
+      MemRef scratch;
+      return {emit_base_address(ref->decl, line, scratch), false};
+    }
+    Address addr = lower_address(lvalue);
+    return {addr.reg, false};
+  }
+
+  RValue lower_incdec(const UnaryExpr* expr) {
+    const std::uint32_t line = expr->loc().line;
+    const bool inc = expr->op == UnaryOp::PreInc || expr->op == UnaryOp::PostInc;
+    const bool post = expr->op == UnaryOp::PostInc || expr->op == UnaryOp::PostDec;
+
+    Address addr{};
+    bool in_memory = false;
+    RValue old{};
+    if (expr->operand->kind() == ExprKind::VarRef &&
+        !static_cast<const VarRefExpr*>(expr->operand)->decl->is_memory_resident()) {
+      const VarDecl* decl = static_cast<const VarRefExpr*>(expr->operand)->decl;
+      old = {reg_of(decl), is_float_type(decl->type())};
+    } else {
+      addr = lower_address(expr->operand);
+      in_memory = true;
+      old = {emit_load(addr, line), addr.is_float};
+    }
+    const Reg delta = old.is_float ? emit_load_fimm(1.0, line)
+                                   : emit_load_imm(1, line);
+    const Reg updated = emit_binop(inc ? Opcode::Add : Opcode::Sub, old.is_float,
+                                   old.reg, delta, line);
+    if (in_memory) {
+      emit_store(addr, updated, line);
+    } else {
+      const VarDecl* decl = static_cast<const VarRefExpr*>(expr->operand)->decl;
+      Insn insn;
+      insn.op = Opcode::Move;
+      insn.is_float = old.is_float;
+      insn.rd = reg_of(decl);
+      insn.rs1 = updated;
+      insn.line = line;
+      emit(std::move(insn));
+    }
+    return {post ? old.reg : updated, old.is_float};
+  }
+
+  Opcode binary_opcode(BinaryOp op) {
+    switch (op) {
+      case BinaryOp::Add: return Opcode::Add;
+      case BinaryOp::Sub: return Opcode::Sub;
+      case BinaryOp::Mul: return Opcode::Mul;
+      case BinaryOp::Div: return Opcode::Div;
+      case BinaryOp::Rem: return Opcode::Rem;
+      case BinaryOp::And: return Opcode::And;
+      case BinaryOp::Or: return Opcode::Or;
+      case BinaryOp::Xor: return Opcode::Xor;
+      case BinaryOp::Shl: return Opcode::Shl;
+      case BinaryOp::Shr: return Opcode::Shr;
+      case BinaryOp::Lt: return Opcode::CmpLt;
+      case BinaryOp::Le: return Opcode::CmpLe;
+      case BinaryOp::Gt: return Opcode::CmpGt;
+      case BinaryOp::Ge: return Opcode::CmpGe;
+      case BinaryOp::Eq: return Opcode::CmpEq;
+      case BinaryOp::Ne: return Opcode::CmpNe;
+      default:
+        throw support::CompileError("lowering: unexpected binary op");
+    }
+  }
+
+  RValue lower_binary(const BinaryExpr* expr) {
+    const std::uint32_t line = expr->loc().line;
+    if (expr->op == BinaryOp::LogAnd || expr->op == BinaryOp::LogOr) {
+      // Short circuit: result register set in both arms.
+      const Reg result = fresh();
+      const std::int32_t skip = fresh_label();
+      const RValue lhs = lower_rvalue(expr->lhs);
+      const Reg lhs_int = coerce(lhs.reg, lhs.is_float, false, line);
+      {
+        Insn insn;
+        insn.op = Opcode::Move;
+        insn.rd = result;
+        insn.rs1 = lhs_int;
+        insn.line = line;
+        emit(std::move(insn));
+      }
+      Insn& br = emit_simple(
+          expr->op == BinaryOp::LogAnd ? Opcode::BranchZ : Opcode::BranchNZ, line);
+      br.rs1 = lhs_int;
+      br.label = skip;
+      const RValue rhs = lower_rvalue(expr->rhs);
+      const Reg rhs_int = coerce(rhs.reg, rhs.is_float, false, line);
+      {
+        Insn insn;
+        insn.op = Opcode::Move;
+        insn.rd = result;
+        insn.rs1 = rhs_int;
+        insn.line = line;
+        emit(std::move(insn));
+      }
+      emit_label(skip, line);
+      // Normalize to 0/1.
+      const Reg zero = emit_load_imm(0, line);
+      return {emit_binop(Opcode::CmpNe, false, result, zero, line), false};
+    }
+
+    // Pointer arithmetic: scale the integer side by the element size.
+    const Type* lt = expr->lhs->type;
+    const Type* rt = expr->rhs->type;
+    const bool lhs_ptr = lt != nullptr && (lt->is_pointer() || lt->is_array());
+    const bool rhs_ptr = rt != nullptr && (rt->is_pointer() || rt->is_array());
+    if ((expr->op == BinaryOp::Add || expr->op == BinaryOp::Sub) &&
+        (lhs_ptr || rhs_ptr) && !(lhs_ptr && rhs_ptr)) {
+      const RValue lhs = lower_rvalue(expr->lhs);
+      const RValue rhs = lower_rvalue(expr->rhs);
+      const Type* ptr_type = lhs_ptr ? lt : rt;
+      const std::uint64_t stride = ptr_type->element()->byte_size();
+      const Reg stride_reg = emit_load_imm(static_cast<std::int64_t>(stride), line);
+      const Reg scaled = emit_binop(Opcode::Mul, false,
+                                    lhs_ptr ? rhs.reg : lhs.reg, stride_reg, line);
+      const Reg base = lhs_ptr ? lhs.reg : rhs.reg;
+      return {emit_binop(binary_opcode(expr->op), false, base, scaled, line), false};
+    }
+    if (lhs_ptr && rhs_ptr && expr->op == BinaryOp::Sub) {
+      const RValue lhs = lower_rvalue(expr->lhs);
+      const RValue rhs = lower_rvalue(expr->rhs);
+      const Reg diff = emit_binop(Opcode::Sub, false, lhs.reg, rhs.reg, line);
+      const std::uint64_t stride = lt->element()->byte_size();
+      const Reg stride_reg = emit_load_imm(static_cast<std::int64_t>(stride), line);
+      return {emit_binop(Opcode::Div, false, diff, stride_reg, line), false};
+    }
+
+    const RValue lhs = lower_rvalue(expr->lhs);
+    const RValue rhs = lower_rvalue(expr->rhs);
+    const bool float_op = lhs.is_float || rhs.is_float;
+    const Reg a = coerce(lhs.reg, lhs.is_float, float_op, line);
+    const Reg b = coerce(rhs.reg, rhs.is_float, float_op, line);
+    const Opcode op = binary_opcode(expr->op);
+    const bool compare = op >= Opcode::CmpLt && op <= Opcode::CmpNe;
+    return {emit_binop(op, float_op, a, b, line),
+            compare ? false : float_op};
+  }
+
+  RValue lower_assign(const AssignExpr* expr) {
+    const std::uint32_t line = expr->loc().line;
+    const RValue rhs = lower_rvalue(expr->rhs);
+
+    // Register-resident scalar target.
+    if (expr->lhs->kind() == ExprKind::VarRef &&
+        !static_cast<const VarRefExpr*>(expr->lhs)->decl->is_memory_resident()) {
+      const VarDecl* decl = static_cast<const VarRefExpr*>(expr->lhs)->decl;
+      const bool want_float = is_float_type(decl->type());
+      Reg value = coerce(rhs.reg, rhs.is_float, want_float, line);
+      if (expr->op != AssignOp::None) {
+        const Opcode op = compound_opcode(expr->op);
+        value = emit_binop(op, want_float, reg_of(decl), value, line);
+      }
+      Insn insn;
+      insn.op = Opcode::Move;
+      insn.is_float = want_float;
+      insn.rd = reg_of(decl);
+      insn.rs1 = value;
+      insn.line = line;
+      emit(std::move(insn));
+      return {reg_of(decl), want_float};
+    }
+
+    Address addr = lower_address(expr->lhs);
+    Reg value = coerce(rhs.reg, rhs.is_float, addr.is_float, line);
+    if (expr->op != AssignOp::None) {
+      const Reg old = emit_load(addr, line);
+      value = emit_binop(compound_opcode(expr->op), addr.is_float, old, value, line);
+    }
+    emit_store(addr, value, line);
+    return {value, addr.is_float};
+  }
+
+  static Opcode compound_opcode(AssignOp op) {
+    switch (op) {
+      case AssignOp::Add: return Opcode::Add;
+      case AssignOp::Sub: return Opcode::Sub;
+      case AssignOp::Mul: return Opcode::Mul;
+      case AssignOp::Div: return Opcode::Div;
+      case AssignOp::None: break;
+    }
+    throw support::CompileError("lowering: bad compound op");
+  }
+
+  RValue lower_call(const CallExpr* expr) {
+    const std::uint32_t line = expr->loc().line;
+    std::vector<RValue> args;
+    args.reserve(expr->args.size());
+    for (const Expr* arg : expr->args) args.push_back(lower_rvalue(arg));
+
+    // Coerce argument domains to the callee's formals when known.
+    const FuncDecl* callee = expr->callee_decl;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      bool want_float = args[i].is_float;
+      if (callee != nullptr && i < callee->params.size()) {
+        want_float = is_float_type(callee->params[i]->type());
+      }
+      args[i].reg = coerce(args[i].reg, args[i].is_float, want_float, line);
+      args[i].is_float = want_float;
+    }
+
+    // Stack-passed arguments beyond the register window: one store each
+    // into the argument-overflow area (walker's ArgStore items).
+    const std::int32_t overflow_sym = out_.find_global(analysis::kArgOverflowName);
+    for (std::size_t i = analysis::kMaxRegisterArgs; i < args.size(); ++i) {
+      Insn addr;
+      addr.op = Opcode::LoadAddr;
+      addr.rd = fresh();
+      addr.label = overflow_sym;
+      addr.imm = 0;
+      addr.line = line;
+      const Reg base = emit(std::move(addr)).rd;
+      Insn store;
+      store.op = Opcode::Store;
+      store.is_float = args[i].is_float;
+      store.rs1 = base;
+      store.rs2 = args[i].reg;
+      store.mem.base = MemBase::Symbol;
+      store.mem.symbol = overflow_sym;
+      store.mem.const_offset =
+          static_cast<std::int64_t>((i - analysis::kMaxRegisterArgs) * 8);
+      store.mem.offset_known = true;
+      store.mem.size = 8;
+      store.line = line;
+      emit(std::move(store));
+    }
+
+    Insn call;
+    call.op = Opcode::Call;
+    call.callee = expr->callee;
+    call.line = line;
+    call.is_float = expr->type != nullptr && expr->type->is_floating();
+    for (const RValue& arg : args) call.args.push_back(arg.reg);
+    call.rd = expr->type != nullptr && !expr->type->is_void() ? fresh() : kNoReg;
+    const Reg result = call.rd;
+    const bool result_float = call.is_float;
+    emit(std::move(call));
+    return {result, result_float};
+  }
+
+  RValue lower_conditional(const ConditionalExpr* expr) {
+    const std::uint32_t line = expr->loc().line;
+    const bool want_float = expr->type != nullptr && expr->type->is_floating();
+    const Reg result = fresh();
+    const std::int32_t else_label = fresh_label();
+    const std::int32_t end_label = fresh_label();
+    const RValue cond = lower_rvalue(expr->cond);
+    Insn& br = emit_simple(Opcode::BranchZ, line);
+    br.rs1 = coerce(cond.reg, cond.is_float, false, line);
+    br.label = else_label;
+    const RValue then_v = lower_rvalue(expr->then_expr);
+    {
+      Insn insn;
+      insn.op = Opcode::Move;
+      insn.is_float = want_float;
+      insn.rd = result;
+      insn.rs1 = coerce(then_v.reg, then_v.is_float, want_float, line);
+      insn.line = line;
+      emit(std::move(insn));
+    }
+    emit_jump(end_label, line);
+    emit_label(else_label, line);
+    const RValue else_v = lower_rvalue(expr->else_expr);
+    {
+      Insn insn;
+      insn.op = Opcode::Move;
+      insn.is_float = want_float;
+      insn.rd = result;
+      insn.rs1 = coerce(else_v.reg, else_v.is_float, want_float, line);
+      insn.line = line;
+      emit(std::move(insn));
+    }
+    emit_label(end_label, line);
+    return {result, want_float};
+  }
+
+  // ---------------------------------------------------------------------
+  // Statements.
+  // ---------------------------------------------------------------------
+
+  struct LoopContext {
+    std::int32_t break_label;
+    std::int32_t continue_label;
+  };
+
+  void lower_stmt(Stmt* stmt) {
+    if (stmt == nullptr) return;
+    switch (stmt->kind()) {
+      case StmtKind::Decl: {
+        auto* decl_stmt = static_cast<DeclStmt*>(stmt);
+        VarDecl* decl = decl_stmt->decl;
+        if (decl->init == nullptr) {
+          if (decl->is_memory_resident()) (void)frame_slot(decl);
+          return;
+        }
+        const std::uint32_t line = stmt->loc().line;
+        const RValue value = lower_rvalue(decl->init);
+        const bool want_float = is_float_type(decl->type());
+        const Reg coerced = coerce(value.reg, value.is_float, want_float, line);
+        if (decl->is_memory_resident()) {
+          MemRef mem;
+          mem.size = access_size(decl->type());
+          Address addr;
+          addr.mem = mem;
+          addr.is_float = want_float;
+          addr.reg = emit_base_address(decl, line, addr.mem);
+          addr.mem.const_offset = 0;
+          addr.mem.offset_known = true;
+          emit_store(addr, coerced, line);
+        } else {
+          Insn insn;
+          insn.op = Opcode::Move;
+          insn.is_float = want_float;
+          insn.rd = reg_of(decl);
+          insn.rs1 = coerced;
+          insn.line = line;
+          emit(std::move(insn));
+        }
+        return;
+      }
+      case StmtKind::Expr:
+        (void)lower_rvalue(static_cast<ExprStmt*>(stmt)->expr);
+        return;
+      case StmtKind::Block:
+        for (Stmt* s : static_cast<BlockStmt*>(stmt)->stmts) lower_stmt(s);
+        return;
+      case StmtKind::If: {
+        auto* ifs = static_cast<IfStmt*>(stmt);
+        const std::uint32_t line = stmt->loc().line;
+        const std::int32_t else_label = fresh_label();
+        const RValue cond = lower_rvalue(ifs->cond);
+        Insn& br = emit_simple(Opcode::BranchZ, line);
+        br.rs1 = coerce(cond.reg, cond.is_float, false, line);
+        br.label = else_label;
+        lower_stmt(ifs->then_stmt);
+        if (ifs->else_stmt != nullptr) {
+          const std::int32_t end_label = fresh_label();
+          emit_jump(end_label, line);
+          emit_label(else_label, line);
+          lower_stmt(ifs->else_stmt);
+          emit_label(end_label, line);
+        } else {
+          emit_label(else_label, line);
+        }
+        return;
+      }
+      case StmtKind::While: {
+        auto* loop = static_cast<WhileStmt*>(stmt);
+        const std::uint32_t line = stmt->loc().line;
+        const std::int32_t top = fresh_label();
+        const std::int32_t end = fresh_label();
+        const analysis::Region* region = tree_.region_for_loop(stmt);
+        Insn& beg = emit_simple(Opcode::LoopBeg, line);
+        beg.loop_region = region != nullptr ? region->id() : format::kNoRegion;
+        emit_label(top, line);
+        const RValue cond = lower_rvalue(loop->cond);
+        Insn& br = emit_simple(Opcode::BranchZ, line);
+        br.rs1 = coerce(cond.reg, cond.is_float, false, line);
+        br.label = end;
+        loops_.push_back({end, top});
+        lower_stmt(loop->body);
+        loops_.pop_back();
+        emit_jump(top, line);
+        emit_label(end, line);
+        emit_simple(Opcode::LoopEnd, line);
+        return;
+      }
+      case StmtKind::For: {
+        auto* loop = static_cast<ForStmt*>(stmt);
+        const std::uint32_t line = stmt->loc().line;
+        lower_stmt(loop->init);
+        const std::int32_t top = fresh_label();
+        const std::int32_t cont = fresh_label();
+        const std::int32_t end = fresh_label();
+        const analysis::Region* region = tree_.region_for_loop(stmt);
+        Insn& beg = emit_simple(Opcode::LoopBeg, line);
+        beg.loop_region = region != nullptr ? region->id() : format::kNoRegion;
+        if (region != nullptr && region->canonical) {
+          const analysis::CanonicalLoop& canon = *region->canonical;
+          if (!canon.induction->is_memory_resident()) {
+            beg.induction = reg_of(canon.induction);
+          }
+          beg.loop_step = canon.reversed ? -canon.step : canon.step;
+          if (canon.lower && canon.upper) {
+            const std::int64_t span = *canon.upper - *canon.lower;
+            beg.trip_count = span <= 0 ? 0 : (span + canon.step - 1) / canon.step;
+          }
+        }
+        emit_label(top, line);
+        if (loop->cond != nullptr) {
+          const RValue cond = lower_rvalue(loop->cond);
+          Insn& br = emit_simple(Opcode::BranchZ, line);
+          br.rs1 = coerce(cond.reg, cond.is_float, false, line);
+          br.label = end;
+        }
+        loops_.push_back({end, cont});
+        lower_stmt(loop->body);
+        loops_.pop_back();
+        emit_label(cont, line);
+        if (loop->step != nullptr) (void)lower_rvalue(loop->step);
+        emit_jump(top, line);
+        emit_label(end, line);
+        emit_simple(Opcode::LoopEnd, line);
+        return;
+      }
+      case StmtKind::Return: {
+        auto* ret = static_cast<ReturnStmt*>(stmt);
+        Insn insn;
+        insn.op = Opcode::Return;
+        insn.line = stmt->loc().line;
+        if (ret->value != nullptr) {
+          const RValue value = lower_rvalue(ret->value);
+          insn.rs1 = coerce(value.reg, value.is_float, rtl_.returns_float,
+                            insn.line);
+          insn.is_float = rtl_.returns_float;
+        }
+        emit(std::move(insn));
+        return;
+      }
+      case StmtKind::Break: {
+        if (!loops_.empty()) emit_jump(loops_.back().break_label, stmt->loc().line);
+        return;
+      }
+      case StmtKind::Continue: {
+        if (!loops_.empty()) {
+          emit_jump(loops_.back().continue_label, stmt->loc().line);
+        }
+        return;
+      }
+    }
+  }
+
+  void lower_params() {
+    const std::uint32_t line = func_.loc().line;
+    const std::int32_t overflow_sym = out_.find_global(analysis::kArgOverflowName);
+    for (std::size_t i = 0; i < func_.params.size(); ++i) {
+      VarDecl* param = func_.params[i];
+      const bool is_float = is_float_type(param->type());
+      Reg value;
+      if (i < analysis::kMaxRegisterArgs) {
+        value = fresh();  // Incoming register argument.
+      } else {
+        // Stack-passed: load from the argument-overflow area (ArgLoad item).
+        Insn addr;
+        addr.op = Opcode::LoadAddr;
+        addr.rd = fresh();
+        addr.label = overflow_sym;
+        addr.imm = 0;
+        addr.line = line;
+        const Reg base = emit(std::move(addr)).rd;
+        Insn load;
+        load.op = Opcode::Load;
+        load.is_float = is_float;
+        load.rd = fresh();
+        load.rs1 = base;
+        load.mem.base = MemBase::Symbol;
+        load.mem.symbol = overflow_sym;
+        load.mem.const_offset =
+            static_cast<std::int64_t>((i - analysis::kMaxRegisterArgs) * 8);
+        load.mem.offset_known = true;
+        load.mem.size = 8;
+        load.line = line;
+        value = emit(std::move(load)).rd;
+      }
+      rtl_.param_regs.push_back(value);
+      rtl_.param_is_float.push_back(is_float);
+      if (param->is_memory_resident()) {
+        // Address-taken parameter: spill to a frame slot; subsequent
+        // accesses go through memory (they generate items).
+        MemRef mem;
+        mem.size = access_size(param->type());
+        Address addr;
+        addr.is_float = is_float;
+        addr.reg = emit_base_address(param, line, addr.mem);
+        addr.mem.size = mem.size;
+        addr.mem.const_offset = 0;
+        addr.mem.offset_known = true;
+        emit_store(addr, value, line);
+      } else {
+        Insn insn;
+        insn.op = Opcode::Move;
+        insn.is_float = is_float;
+        insn.rd = reg_of(param);
+        insn.rs1 = value;
+        insn.line = line;
+        emit(std::move(insn));
+      }
+    }
+  }
+
+  Program& prog_;
+  FuncDecl& func_;
+  RtlProgram& out_;
+  analysis::RegionTree tree_;
+  RtlFunction rtl_;
+  std::unordered_map<const VarDecl*, Reg> var_regs_;
+  std::unordered_map<const VarDecl*, std::int64_t> frame_slots_;
+  std::int32_t next_label_ = 0;
+  std::vector<LoopContext> loops_;
+};
+
+}  // namespace
+
+RtlProgram lower_program(Program& prog) {
+  RtlProgram out;
+  // Materialize the argument-overflow area before anything references it.
+  (void)analysis::arg_overflow_var(prog);
+  for (const VarDecl* global : prog.globals) {
+    GlobalVar var;
+    var.name = global->name();
+    var.size = global->type()->byte_size();
+    if (var.size == 0) var.size = 8;
+    const frontend::Type* elem = global->type();
+    while (elem->is_array()) elem = elem->element();
+    var.is_float_elem = elem->is_floating();
+    if (global->init != nullptr) {
+      // Constant scalar initializers only (checked by sema usage).
+      if (global->init->kind() == ExprKind::IntLiteral) {
+        var.init_int.push_back(
+            static_cast<const IntLiteralExpr*>(global->init)->value);
+      } else if (global->init->kind() == ExprKind::FloatLiteral) {
+        var.init_fp.push_back(
+            static_cast<const FloatLiteralExpr*>(global->init)->value);
+      }
+    }
+    out.globals.push_back(std::move(var));
+  }
+  for (FuncDecl* func : prog.functions) {
+    if (func->is_extern()) continue;
+    FunctionLowering lowering(prog, *func, out);
+    out.functions.push_back(lowering.run());
+  }
+  return out;
+}
+
+}  // namespace hli::backend

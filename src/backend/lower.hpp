@@ -1,0 +1,20 @@
+// AST -> RTL lowering (the back-end's instruction selection).
+//
+// CONTRACT: for every source line, memory references and calls are emitted
+// in exactly the order analysis::walk_items reports items for that line —
+// that is the invariant the HLI line-table mapping rests on (paper §3.1.1:
+// "the RTL generation rules in GCC must be considered in the HLI
+// generation").  Integration tests map every workload and assert zero
+// mismatches.
+#pragma once
+
+#include "backend/rtl.hpp"
+#include "frontend/ast.hpp"
+
+namespace hli::backend {
+
+/// Lowers a whole (sema-checked) program.  Scalar locals and params become
+/// virtual registers; globals, arrays and address-taken locals get memory.
+[[nodiscard]] RtlProgram lower_program(frontend::Program& prog);
+
+}  // namespace hli::backend

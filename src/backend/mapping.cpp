@@ -1,0 +1,72 @@
+#include "backend/mapping.hpp"
+
+#include <unordered_map>
+
+namespace hli::backend {
+
+using namespace format;
+
+namespace {
+
+bool compatible(Opcode op, ItemType type) {
+  switch (op) {
+    case Opcode::Load: return type == ItemType::Load || type == ItemType::ArgLoad;
+    case Opcode::Store:
+      return type == ItemType::Store || type == ItemType::ArgStore;
+    case Opcode::Call: return type == ItemType::Call;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+MapResult map_items(RtlFunction& func, const HliEntry& entry) {
+  MapResult result;
+  // Per-line consumption cursor over the HLI line table.
+  std::unordered_map<std::uint32_t, std::size_t> cursor;
+
+  for (Insn& insn : func.insns) {
+    const bool wants_item = is_memory_op(insn.op) || insn.op == Opcode::Call;
+    if (!wants_item) continue;
+    const LineEntry* line = entry.line_table.find_line(insn.line);
+    std::size_t& at = cursor[insn.line];
+    if (line == nullptr || at >= line->items.size()) {
+      ++result.insn_without_item;
+      result.mismatches.push_back("line " + std::to_string(insn.line) +
+                                  ": back-end reference has no HLI item");
+      continue;
+    }
+    const ItemEntry& item = line->items[at];
+    if (!compatible(insn.op, item.type)) {
+      ++result.insn_without_item;
+      result.mismatches.push_back(
+          "line " + std::to_string(insn.line) + ": item " +
+          std::to_string(item.id) + " type " + format::to_string(item.type) +
+          " does not match insn");
+      ++at;  // Skip the item to avoid cascading.
+      continue;
+    }
+    ++at;
+    ++result.mapped;
+    if (insn.op == Opcode::Call) {
+      insn.hli_item = item.id;
+    } else {
+      insn.mem.hli_item = item.id;
+    }
+  }
+
+  // Count leftover items.
+  for (const LineEntry& line : entry.line_table.lines()) {
+    const auto it = cursor.find(line.line);
+    const std::size_t used = it != cursor.end() ? it->second : 0;
+    if (used < line.items.size()) {
+      result.item_without_insn += line.items.size() - used;
+      result.mismatches.push_back("line " + std::to_string(line.line) + ": " +
+                                  std::to_string(line.items.size() - used) +
+                                  " items unmatched");
+    }
+  }
+  return result;
+}
+
+}  // namespace hli::backend

@@ -1,0 +1,32 @@
+// Importing and mapping HLI into the back-end (paper §3.2.1): items listed
+// per source line in the HLI line table are matched, in order, onto the
+// memory references and calls the back-end emitted for that line.  A
+// successful mapping stamps every Load/Store/Call insn with its HLI item
+// ID — the (IRInsn, RefSpec) association of the paper (RefSpec is 0: each
+// of our insns holds at most one memory reference).
+#pragma once
+
+#include <string>
+
+#include "backend/rtl.hpp"
+#include "hli/format.hpp"
+
+namespace hli::backend {
+
+struct MapResult {
+  std::size_t mapped = 0;
+  std::size_t insn_without_item = 0;  ///< Back-end refs the HLI lacks.
+  std::size_t item_without_insn = 0;  ///< HLI items never matched.
+  std::vector<std::string> mismatches;
+
+  [[nodiscard]] bool perfect() const {
+    return insn_without_item == 0 && item_without_insn == 0;
+  }
+};
+
+/// Maps `entry`'s line-table items onto `func`'s instructions in place.
+/// Items whose type class is incompatible with the instruction (load vs.
+/// store vs. call) are reported as mismatches and left unmapped.
+MapResult map_items(RtlFunction& func, const format::HliEntry& entry);
+
+}  // namespace hli::backend

@@ -1,0 +1,49 @@
+// Register allocation — the back-end stage between GCC's two scheduling
+// passes (the paper's Table 2 instruments the FIRST pass, i.e. pre-RA;
+// -O2 then allocates hard registers and schedules again).  This is a
+// linear-scan allocator over the two register classes (integer and FP),
+// with spill code to frame slots.
+//
+// Spill references are frame accesses with compile-time-known offsets: the
+// NATIVE oracle disambiguates them perfectly (GCC could always tell spill
+// slots apart), so they carry no HLI items and never dilute the HLI's
+// value — but they do constrain the post-RA scheduler through real
+// register anti/output dependences, which is why a second scheduling pass
+// exists at all.
+#pragma once
+
+#include <cstdint>
+
+#include "backend/rtl.hpp"
+
+namespace hli::backend {
+
+struct RegAllocOptions {
+  /// Architected registers available per class (integer / floating).
+  /// A few are reserved internally for spill reloads.
+  unsigned int_regs = 24;
+  unsigned fp_regs = 24;
+};
+
+struct RegAllocStats {
+  std::uint64_t intervals = 0;
+  std::uint64_t spilled = 0;
+  std::uint64_t spill_loads = 0;
+  std::uint64_t spill_stores = 0;
+
+  RegAllocStats& operator+=(const RegAllocStats& other) {
+    intervals += other.intervals;
+    spilled += other.spilled;
+    spill_loads += other.spill_loads;
+    spill_stores += other.spill_stores;
+    return *this;
+  }
+};
+
+/// Rewrites `func` onto physical registers in place.  After return,
+/// register numbers are dense physical indices (< int_regs + fp_regs +
+/// reserved temps) and spill code references fresh frame slots.
+RegAllocStats allocate_registers(RtlFunction& func,
+                                 const RegAllocOptions& options = {});
+
+}  // namespace hli::backend

@@ -1,0 +1,155 @@
+// RTL-like low-level IR — the back-end's view of the program, modeled on
+// GCC 2.7's RTL chains (paper §3): a linear list of instructions over
+// unlimited virtual registers, with labels/branches for control flow and
+// loop notes (GCC's NOTE_INSN_LOOP_BEG/END) bracketing loops.
+//
+// Memory references carry the little local information GCC has for its own
+// disambiguation (base symbol when statically known, constant offset when
+// it folds) plus, after mapping, the HLI item ID — the (IRInsn, RefSpec)
+// pair of §3.2.1 with RefSpec trivially 0 since each insn holds at most
+// one memory reference.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hli/format.hpp"
+
+namespace hli::backend {
+
+using Reg = std::int32_t;
+inline constexpr Reg kNoReg = -1;
+
+enum class Opcode : std::uint8_t {
+  // Values.
+  LoadImm,   ///< rd = imm (int) or fimm (float).
+  Move,      ///< rd = rs1.
+  // Integer/float arithmetic (is_float selects the unit).
+  Add, Sub, Mul, Div, Rem, Neg,
+  And, Or, Xor, Not, Shl, Shr,
+  // Comparisons produce an int 0/1 in rd.
+  CmpLt, CmpLe, CmpGt, CmpGe, CmpEq, CmpNe,
+  // Conversions.
+  IntToFp,   ///< rd(f) = (double) rs1(i).
+  FpToInt,   ///< rd(i) = (int) rs1(f).
+  // Memory.
+  LoadAddr,  ///< rd = address of a symbol or frame slot (+ const offset).
+  Load,      ///< rd = MEM[rs1 + mem.const_offset].
+  Store,     ///< MEM[rs1 + mem.const_offset] = rs2.
+  // Control.
+  Label,     ///< Pseudo-insn: label_id.
+  Jump,      ///< Unconditional goto label_id.
+  BranchZ,   ///< if (rs1 == 0) goto label_id.
+  BranchNZ,  ///< if (rs1 != 0) goto label_id.
+  Call,      ///< rd = callee(args...); args pre-moved to arg slots.
+  Return,    ///< Return rs1 (kNoReg for void).
+  // Structure notes (GCC-style).
+  LoopBeg,   ///< Start of a loop body; carries HLI region + induction info.
+  LoopEnd,
+};
+
+[[nodiscard]] constexpr bool is_memory_op(Opcode op) {
+  return op == Opcode::Load || op == Opcode::Store;
+}
+[[nodiscard]] constexpr bool is_branch(Opcode op) {
+  return op == Opcode::Jump || op == Opcode::BranchZ || op == Opcode::BranchNZ ||
+         op == Opcode::Return;
+}
+
+/// What the back-end knows locally about a memory reference's address.
+enum class MemBase : std::uint8_t {
+  Symbol,   ///< A named global object.
+  Frame,    ///< A slot in the current function's frame.
+  Pointer,  ///< Through a computed pointer: statically unknown object.
+};
+
+struct MemRef {
+  MemBase base = MemBase::Pointer;
+  /// Global symbol index (into RtlProgram::globals) for MemBase::Symbol.
+  std::int32_t symbol = -1;
+  /// Frame byte offset of the slot for MemBase::Frame.
+  std::int64_t frame_offset = 0;
+  /// Constant byte offset from the base when known.
+  std::int64_t const_offset = 0;
+  bool offset_known = false;
+  std::uint8_t size = 4;  ///< Access width in bytes.
+  /// HLI item mapped to this reference (0 until mapping).
+  format::ItemId hli_item = format::kNoItem;
+};
+
+struct Insn {
+  Opcode op = Opcode::LoadImm;
+  bool is_float = false;
+  Reg rd = kNoReg;
+  Reg rs1 = kNoReg;
+  Reg rs2 = kNoReg;
+  std::int64_t imm = 0;
+  double fimm = 0.0;
+  std::int32_t label = -1;      ///< Label id for Label/Jump/Branch*.
+  std::uint32_t line = 0;       ///< Source line (the HLI mapping key).
+
+  MemRef mem;                   ///< Valid for Load/Store.
+
+  // Call fields.
+  std::string callee;
+  std::vector<Reg> args;        ///< Argument registers, left to right.
+  format::ItemId hli_item = format::kNoItem;  ///< Mapped call item.
+
+  // Loop note fields (LoopBeg).
+  format::RegionId loop_region = format::kNoRegion;
+  Reg induction = kNoReg;       ///< Induction vreg; kNoReg if unknown.
+  std::int64_t loop_step = 0;
+  std::optional<std::int64_t> trip_count;
+};
+
+struct GlobalVar {
+  std::string name;
+  std::uint64_t size = 0;        ///< Bytes.
+  bool is_float_elem = false;    ///< Element interpretation for dumps.
+  std::vector<std::int64_t> init_int;   ///< Optional scalar int init.
+  std::vector<double> init_fp;          ///< Optional scalar fp init.
+};
+
+struct RtlFunction {
+  std::string name;
+  std::vector<Insn> insns;
+  Reg num_regs = 0;
+  std::uint64_t frame_size = 0;
+  std::vector<Reg> param_regs;   ///< Where lowering placed the formals.
+  std::vector<bool> param_is_float;
+  bool returns_float = false;
+
+  [[nodiscard]] Reg fresh_reg() { return num_regs++; }
+};
+
+struct RtlProgram {
+  std::vector<GlobalVar> globals;
+  std::vector<RtlFunction> functions;
+
+  [[nodiscard]] const RtlFunction* find_function(const std::string& name) const {
+    for (const auto& f : functions) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] RtlFunction* find_function(const std::string& name) {
+    for (auto& f : functions) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] std::int32_t find_global(const std::string& name) const {
+    for (std::size_t i = 0; i < globals.size(); ++i) {
+      if (globals[i].name == name) return static_cast<std::int32_t>(i);
+    }
+    return -1;
+  }
+};
+
+/// Readable dump for debugging and golden tests.
+[[nodiscard]] std::string to_string(const Insn& insn);
+[[nodiscard]] std::string to_string(const RtlFunction& func);
+
+}  // namespace hli::backend

@@ -1,0 +1,256 @@
+#include "backend/sched.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "backend/gcc_alias.hpp"
+
+namespace hli::backend {
+
+namespace {
+
+/// Registers read by an instruction.
+void reads_of(const Insn& insn, std::vector<Reg>& out) {
+  out.clear();
+  if (insn.rs1 != kNoReg) out.push_back(insn.rs1);
+  if (insn.rs2 != kNoReg) out.push_back(insn.rs2);
+  if (insn.op == Opcode::Call) {
+    for (const Reg r : insn.args) out.push_back(r);
+  }
+}
+
+[[nodiscard]] Reg write_of(const Insn& insn) {
+  switch (insn.op) {
+    case Opcode::Store:
+    case Opcode::Jump:
+    case Opcode::BranchZ:
+    case Opcode::BranchNZ:
+    case Opcode::Return:
+    case Opcode::Label:
+    case Opcode::LoopBeg:
+    case Opcode::LoopEnd:
+      return kNoReg;
+    default:
+      return insn.rd;
+  }
+}
+
+[[nodiscard]] bool is_schedulable(const Insn& insn) {
+  switch (insn.op) {
+    case Opcode::Label:
+    case Opcode::Jump:
+    case Opcode::BranchZ:
+    case Opcode::BranchNZ:
+    case Opcode::Return:
+    case Opcode::LoopBeg:
+    case Opcode::LoopEnd:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// One scheduling region: a maximal run of schedulable instructions.
+struct Block {
+  std::size_t begin = 0;
+  std::size_t end = 0;  ///< Exclusive.
+};
+
+std::vector<Block> find_blocks(const RtlFunction& func) {
+  std::vector<Block> blocks;
+  std::size_t at = 0;
+  while (at < func.insns.size()) {
+    if (!is_schedulable(func.insns[at])) {
+      ++at;
+      continue;
+    }
+    Block block;
+    block.begin = at;
+    while (at < func.insns.size() && is_schedulable(func.insns[at])) ++at;
+    block.end = at;
+    blocks.push_back(block);
+  }
+  return blocks;
+}
+
+class BlockScheduler {
+ public:
+  BlockScheduler(RtlFunction& func, const Block& block, const SchedOptions& options,
+                 DepStats& stats)
+      : func_(func), block_(block), options_(options), stats_(stats),
+        size_(block.end - block.begin) {}
+
+  void run() {
+    if (size_ < 2) return;
+    build_edges();
+    list_schedule();
+  }
+
+ private:
+  [[nodiscard]] const Insn& insn_at(std::size_t local) const {
+    return func_.insns[block_.begin + local];
+  }
+
+  void add_edge(std::size_t from, std::size_t to) {
+    // Dedup: successor lists are short.
+    auto& out = succs_[from];
+    if (std::find(out.begin(), out.end(), to) == out.end()) {
+      out.push_back(to);
+      ++preds_[to];
+    }
+  }
+
+  /// The combined memory disambiguation of Figure 5, with stats.
+  [[nodiscard]] bool mem_dependence(const Insn& a, const Insn& b) {
+    ++stats_.mem_queries;
+    const bool gcc_value = gcc_may_conflict(a.mem, b.mem);
+    bool hli_value = gcc_value;  // Without items, fall back to native.
+    if (options_.view != nullptr && a.mem.hli_item != format::kNoItem &&
+        b.mem.hli_item != format::kNoItem) {
+      hli_value = options_.view->may_conflict(a.mem.hli_item, b.mem.hli_item) !=
+                  query::EquivAcc::None;
+    }
+    if (gcc_value) ++stats_.gcc_yes;
+    if (hli_value) ++stats_.hli_yes;
+    const bool combined = gcc_value && hli_value;
+    if (combined) ++stats_.combined_yes;
+    return options_.use_hli ? combined : gcc_value;
+  }
+
+  /// Dependence of a memory op against a call (REF/MOD, Figure 4 logic).
+  [[nodiscard]] bool call_dependence(const Insn& mem, const Insn& call) {
+    ++stats_.call_queries;
+    ++stats_.call_edges_native;  // Native GCC always assumes a clobber.
+    bool depends = true;
+    if (options_.view != nullptr && mem.mem.hli_item != format::kNoItem &&
+        call.hli_item != format::kNoItem) {
+      const query::CallAcc acc =
+          options_.view->get_call_acc(mem.mem.hli_item, call.hli_item);
+      if (mem.op == Opcode::Load) {
+        depends = acc == query::CallAcc::Mod || acc == query::CallAcc::RefMod;
+      } else {
+        depends = acc != query::CallAcc::None;
+      }
+    }
+    if (depends) ++stats_.call_edges_hli;
+    return options_.use_hli ? depends : true;
+  }
+
+  void build_edges() {
+    succs_.assign(size_, {});
+    preds_.assign(size_, 0);
+    std::vector<Reg> reads;
+
+    for (std::size_t j = 0; j < size_; ++j) {
+      const Insn& bj = insn_at(j);
+      const Reg j_write = write_of(bj);
+      reads_of(bj, reads);
+      const std::vector<Reg> j_reads = reads;
+
+      for (std::size_t i = 0; i < j; ++i) {
+        const Insn& bi = insn_at(i);
+        const Reg i_write = write_of(bi);
+
+        // Register dependences.
+        bool edge = false;
+        if (i_write != kNoReg) {
+          if (std::find(j_reads.begin(), j_reads.end(), i_write) != j_reads.end()) {
+            edge = true;  // True dependence.
+          }
+          if (i_write == j_write) edge = true;  // Output dependence.
+        }
+        if (!edge && j_write != kNoReg) {
+          reads_of(bi, reads);
+          if (std::find(reads.begin(), reads.end(), j_write) != reads.end()) {
+            edge = true;  // Anti dependence.
+          }
+        }
+
+        // Memory dependences (at least one write).
+        if (!edge && is_memory_op(bi.op) && is_memory_op(bj.op) &&
+            (bi.op == Opcode::Store || bj.op == Opcode::Store)) {
+          edge = mem_dependence(bi, bj);
+        }
+
+        // Calls.
+        if (!edge) {
+          if (bi.op == Opcode::Call && bj.op == Opcode::Call) {
+            edge = true;  // Calls never reorder.
+          } else if (bi.op == Opcode::Call && is_memory_op(bj.op)) {
+            edge = call_dependence(bj, bi);
+          } else if (bj.op == Opcode::Call && is_memory_op(bi.op)) {
+            edge = call_dependence(bi, bj);
+          }
+        }
+
+        if (edge) add_edge(i, j);
+      }
+    }
+  }
+
+  [[nodiscard]] unsigned latency_of(const Insn& insn) const {
+    if (options_.latency) return std::max(1u, options_.latency(insn));
+    return 1;
+  }
+
+  void list_schedule() {
+    // Priority: longest latency-weighted path to the block exit.
+    std::vector<unsigned> priority(size_, 0);
+    for (std::size_t idx = size_; idx-- > 0;) {
+      unsigned best = 0;
+      for (const std::size_t succ : succs_[idx]) {
+        best = std::max(best, priority[succ]);
+      }
+      priority[idx] = best + latency_of(insn_at(idx));
+    }
+
+    std::vector<std::size_t> order;
+    order.reserve(size_);
+    std::vector<unsigned> remaining = preds_;
+    std::vector<bool> done(size_, false);
+
+    for (std::size_t emitted = 0; emitted < size_; ++emitted) {
+      // Pick the ready instruction with the highest priority; break ties
+      // by original position (stable, deterministic).
+      std::size_t best = size_;
+      for (std::size_t idx = 0; idx < size_; ++idx) {
+        if (done[idx] || remaining[idx] != 0) continue;
+        if (best == size_ || priority[idx] > priority[best]) best = idx;
+      }
+      order.push_back(best);
+      done[best] = true;
+      for (const std::size_t succ : succs_[best]) --remaining[succ];
+    }
+
+    // Rewrite the block.
+    std::vector<Insn> scheduled;
+    scheduled.reserve(size_);
+    for (const std::size_t idx : order) scheduled.push_back(insn_at(idx));
+    for (std::size_t k = 0; k < size_; ++k) {
+      func_.insns[block_.begin + k] = std::move(scheduled[k]);
+    }
+    stats_.scheduled_insns += size_;
+  }
+
+  RtlFunction& func_;
+  const Block& block_;
+  const SchedOptions& options_;
+  DepStats& stats_;
+  std::size_t size_;
+  std::vector<std::vector<std::size_t>> succs_;
+  std::vector<unsigned> preds_;
+};
+
+}  // namespace
+
+DepStats schedule_function(RtlFunction& func, const SchedOptions& options) {
+  DepStats stats;
+  for (const Block& block : find_blocks(func)) {
+    ++stats.blocks;
+    BlockScheduler scheduler(func, block, options, stats);
+    scheduler.run();
+  }
+  return stats;
+}
+
+}  // namespace hli::backend

@@ -1,0 +1,59 @@
+// Basic-block list instruction scheduling with a data-dependence graph —
+// the back-end pass the paper instruments (§4.2, Figure 5).  For every
+// pair of memory references in a block with at least one write, the
+// scheduler asks BOTH disambiguators:
+//   gcc_value = gcc_may_conflict(A, B)            (native GCC answer)
+//   hli_value = HLI_GetEquivAcc/alias(A, B) != NONE
+// and inserts an edge per  flag_use_hli ? gcc && hli : gcc  — recording
+// the Table 2 counters (total queries, GCC-yes, HLI-yes, combined-yes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "backend/rtl.hpp"
+#include "hli/query.hpp"
+
+namespace hli::backend {
+
+struct DepStats {
+  std::uint64_t mem_queries = 0;   ///< Mem-mem pairs tested (>= one write).
+  std::uint64_t gcc_yes = 0;       ///< Native analyzer said "dependence".
+  std::uint64_t hli_yes = 0;       ///< HLI said "may be same location".
+  std::uint64_t combined_yes = 0;  ///< Both said yes (edges when HLI on).
+  std::uint64_t call_queries = 0;  ///< Mem-call REF/MOD queries.
+  std::uint64_t call_edges_native = 0;
+  std::uint64_t call_edges_hli = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t scheduled_insns = 0;
+
+  DepStats& operator+=(const DepStats& other) {
+    mem_queries += other.mem_queries;
+    gcc_yes += other.gcc_yes;
+    hli_yes += other.hli_yes;
+    combined_yes += other.combined_yes;
+    call_queries += other.call_queries;
+    call_edges_native += other.call_edges_native;
+    call_edges_hli += other.call_edges_hli;
+    blocks += other.blocks;
+    scheduled_insns += other.scheduled_insns;
+    return *this;
+  }
+};
+
+struct SchedOptions {
+  /// Figure 5's flag_use_hli: combine the HLI answer into edge insertion.
+  bool use_hli = false;
+  /// HLI view for the function being scheduled; may be null when use_hli
+  /// is false (stats then report hli_yes == gcc_yes pairs only if wanted).
+  const query::HliUnitView* view = nullptr;
+  /// Instruction latency oracle (supplied by the machine model); default
+  /// unit latencies when absent.
+  std::function<unsigned(const Insn&)> latency;
+};
+
+/// Schedules every basic block of `func` in place and returns the
+/// dependence statistics of this (first) scheduling pass.
+DepStats schedule_function(RtlFunction& func, const SchedOptions& options);
+
+}  // namespace hli::backend

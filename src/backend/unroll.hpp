@@ -1,0 +1,40 @@
+// Loop unrolling (§3.2.3, Figure 6).  Innermost counted loops whose trip
+// count is a compile-time constant divisible by the factor get their body
+// replicated; per-copy temporaries are renamed so the scheduler sees
+// independent copies, and the HLI is updated through the maintenance API
+// (maintain::unroll_loop) with per-copy item IDs stamped back onto the
+// duplicated memory references.
+#pragma once
+
+#include <cstdint>
+
+#include "backend/rtl.hpp"
+#include "hli/maintain.hpp"
+
+namespace hli::backend {
+
+struct UnrollStats {
+  std::uint64_t loops_unrolled = 0;
+  std::uint64_t loops_rejected = 0;
+  std::uint64_t copies_made = 0;
+
+  UnrollStats& operator+=(const UnrollStats& other) {
+    loops_unrolled += other.loops_unrolled;
+    loops_rejected += other.loops_rejected;
+    copies_made += other.copies_made;
+    return *this;
+  }
+};
+
+struct UnrollOptions {
+  unsigned factor = 4;
+  /// HLI entry to maintain alongside the RTL rewrite; may be null (the
+  /// duplicated references then carry no items and HLI queries degrade to
+  /// the native oracle for them).
+  format::HliEntry* entry = nullptr;
+};
+
+/// Unrolls every eligible innermost loop of `func` in place.
+UnrollStats unroll_function(RtlFunction& func, const UnrollOptions& options);
+
+}  // namespace hli::backend

@@ -1,0 +1,143 @@
+#include "driver/pipeline.hpp"
+
+#include "frontend/sema.hpp"
+#include "hli/maintain.hpp"
+#include "hli/query.hpp"
+#include "hli/serialize.hpp"
+#include "support/string_utils.hpp"
+
+namespace hli::driver {
+
+using namespace hli::backend;
+
+std::size_t count_source_lines(std::string_view source) {
+  std::size_t lines = 0;
+  for (const std::string_view line : support::split(source, '\n')) {
+    if (!support::trim(line).empty()) ++lines;
+  }
+  return lines;
+}
+
+CompiledProgram compile_source(std::string_view source,
+                               const PipelineOptions& options) {
+  CompiledProgram out;
+  support::DiagnosticEngine diags;
+  out.ast = std::make_unique<frontend::Program>(
+      frontend::compile_to_ast(source, diags));
+  out.stats.source_lines = count_source_lines(source);
+
+  // Front-end: generate and EXPORT the HLI, then re-import it.  The
+  // serialized file is the only front-end/back-end channel.
+  const format::HliFile generated = builder::build_hli(*out.ast, options.hli_build);
+  out.hli_text = serialize::write_hli(generated);
+  out.stats.hli_bytes = out.hli_text.size();
+  out.hli = serialize::read_hli(out.hli_text);
+
+  // Back-end: lower, map, optimize.
+  out.rtl = lower_program(*out.ast);
+  for (RtlFunction& func : out.rtl.functions) {
+    format::HliEntry* entry = out.hli.find_unit(func.name);
+    if (entry == nullptr) continue;
+    const MapResult mapping = map_items(func, *entry);
+    out.stats.mapped_items += mapping.mapped;
+    if (!mapping.perfect()) out.stats.map_perfect = false;
+
+    // CSE (Figure 4): deleted loads drop their items from the HLI.
+    if (options.enable_cse) {
+      const query::HliUnitView view(*entry);
+      CseOptions cse;
+      cse.use_hli = options.use_hli;
+      cse.view = &view;
+      cse.on_load_deleted = [entry](format::ItemId item) {
+        maintain::delete_item(*entry, item);
+      };
+      out.stats.cse += cse_function(func, cse);
+    }
+
+    // Combine-style constant folding before the dead-code sweep.
+    if (options.enable_constfold) {
+      out.stats.constfold += constfold_function(func);
+    }
+
+    // Flow-style dead code elimination: sweep the Moves CSE left behind.
+    if (options.enable_dce) {
+      DceOptions dce;
+      dce.on_load_deleted = [entry](format::ItemId item) {
+        maintain::delete_item(*entry, item);
+      };
+      out.stats.dce += dce_function(func, dce);
+    }
+
+    // LICM: hoisted loads move to the loop's parent region.
+    if (options.enable_licm) {
+      const query::HliUnitView view(*entry);
+      LicmOptions licm;
+      licm.use_hli = options.use_hli;
+      licm.view = &view;
+      licm.on_load_hoisted = [entry, &view](format::ItemId item,
+                                            format::RegionId loop) {
+        maintain::move_item_to_region(*entry, item,
+                                      view.parent_region(loop));
+      };
+      out.stats.licm += licm_function(func, licm);
+    }
+
+    // Unrolling (Figure 6): RTL duplication + HLI table reconstruction.
+    if (options.enable_unroll) {
+      UnrollOptions unroll;
+      unroll.factor = options.unroll_factor;
+      unroll.entry = entry;
+      out.stats.unroll += unroll_function(func, unroll);
+    }
+
+    // First scheduling pass — the instrumented experiment (Table 2).
+    if (options.enable_sched) {
+      const query::HliUnitView view(*entry);
+      SchedOptions sched;
+      sched.use_hli = options.use_hli;
+      sched.view = &view;
+      const machine::MachineDesc& mach = options.sched_machine;
+      sched.latency = [&mach](const Insn& insn) { return mach.latency(insn); };
+      out.stats.sched += schedule_function(func, sched);
+    }
+
+    // Hard-register allocation + the second scheduling pass (the rest of
+    // the -O2 pipeline the paper's GCC ran after the instrumented pass).
+    if (options.enable_regalloc) {
+      out.stats.regalloc += allocate_registers(func, options.regalloc);
+      if (options.enable_sched) {
+        const query::HliUnitView view(*entry);
+        SchedOptions sched;
+        sched.use_hli = options.use_hli;
+        sched.view = &view;
+        const machine::MachineDesc& mach = options.sched_machine;
+        sched.latency = [&mach](const Insn& insn) { return mach.latency(insn); };
+        out.stats.sched2 += schedule_function(func, sched);
+      }
+    }
+  }
+  return out;
+}
+
+backend::RunResult execute(const CompiledProgram& compiled,
+                           const std::string& entry) {
+  return run_program(compiled.rtl, entry);
+}
+
+SimResult simulate(const CompiledProgram& compiled,
+                   const machine::MachineDesc& machine,
+                   const std::string& entry) {
+  SimResult result;
+  if (machine.out_of_order) {
+    machine::OutOfOrderSim sim(machine);
+    result.run = run_program(compiled.rtl, entry, &sim);
+    result.cycles = sim.cycles();
+  } else {
+    machine::InOrderSim sim(machine);
+    result.run = run_program(compiled.rtl, entry, &sim);
+    result.cycles = sim.cycles();
+  }
+  return result;
+}
+
+}  // namespace hli::driver

@@ -1,0 +1,100 @@
+// End-to-end compilation pipeline, mirroring Figure 3:
+//
+//   source --front-end--> AST --[HLI gen]--> HLI text file
+//     |                                         |
+//     +--lowering--> RTL  <--import/mapping-----+
+//                     |
+//          CSE -> LICM -> unroll -> scheduling    (each natively or
+//                     |                            HLI-assisted)
+//          interpreter (correctness) + machine models (cycles)
+//
+// The back-end always works from the RE-READ HLI file, never from
+// front-end memory: the serialized format is the only channel, as in the
+// paper.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "backend/constfold.hpp"
+#include "backend/cse.hpp"
+#include "backend/dce.hpp"
+#include "backend/interp.hpp"
+#include "backend/licm.hpp"
+#include "backend/lower.hpp"
+#include "backend/mapping.hpp"
+#include "backend/regalloc.hpp"
+#include "backend/sched.hpp"
+#include "backend/unroll.hpp"
+#include "frontend/ast.hpp"
+#include "hli/builder.hpp"
+#include "machine/timing.hpp"
+
+namespace hli::driver {
+
+struct PipelineOptions {
+  bool use_hli = true;       ///< Figure 5's flag_use_hli, across all passes.
+  bool enable_cse = true;
+  bool enable_constfold = true;  ///< Combine-style constant folding.
+  bool enable_dce = true;  ///< Flow-style cleanup after CSE/LICM.
+  bool enable_licm = true;
+  bool enable_unroll = false;
+  unsigned unroll_factor = 4;
+  bool enable_sched = true;
+  /// Post-first-pass stages of the -O2 pipeline: hard-register allocation
+  /// (linear scan with spill code) followed by a second scheduling pass.
+  /// Off by default so Table 2 measures exactly the paper's first pass.
+  bool enable_regalloc = false;
+  backend::RegAllocOptions regalloc;
+  /// Latencies used by the scheduler's priority function.
+  machine::MachineDesc sched_machine = machine::r10000();
+  builder::BuildOptions hli_build;
+};
+
+struct ProgramStats {
+  backend::DepStats sched;        ///< FIRST scheduling pass (Table 2).
+  backend::DepStats sched2;       ///< Post-RA pass (when enabled).
+  backend::RegAllocStats regalloc;
+  backend::CseStats cse;
+  backend::DceStats dce;
+  backend::ConstFoldStats constfold;
+  backend::LicmStats licm;
+  backend::UnrollStats unroll;
+  std::size_t hli_bytes = 0;
+  std::size_t source_lines = 0;
+  std::size_t mapped_items = 0;
+  bool map_perfect = true;
+};
+
+struct CompiledProgram {
+  /// AST kept alive: RTL/HLI reference nothing in it after compilation,
+  /// but tests inspect it.
+  std::unique_ptr<frontend::Program> ast;
+  format::HliFile hli;      ///< The re-read tables the back-end used.
+  std::string hli_text;     ///< Serialized HLI (size feeds Table 1).
+  backend::RtlProgram rtl;  ///< Fully optimized program.
+  ProgramStats stats;
+};
+
+/// Compiles mini-C source through the full pipeline.  Throws
+/// support::CompileError on front-end errors.
+[[nodiscard]] CompiledProgram compile_source(std::string_view source,
+                                             const PipelineOptions& options = {});
+
+/// Runs the compiled program on the functional interpreter.
+[[nodiscard]] backend::RunResult execute(const CompiledProgram& compiled,
+                                         const std::string& entry = "main");
+
+/// Runs the compiled program through a timing model; returns cycles.
+struct SimResult {
+  backend::RunResult run;
+  std::uint64_t cycles = 0;
+};
+[[nodiscard]] SimResult simulate(const CompiledProgram& compiled,
+                                 const machine::MachineDesc& machine,
+                                 const std::string& entry = "main");
+
+/// Counts non-empty source lines (the "code size" of Table 1).
+[[nodiscard]] std::size_t count_source_lines(std::string_view source);
+
+}  // namespace hli::driver

@@ -1,0 +1,386 @@
+// AST for the mini-C front-end.  Nodes are owned by arenas inside Program /
+// FuncDecl (vectors of unique_ptr); all cross-references are non-owning raw
+// pointers, which is safe because the arenas outlive every consumer.
+//
+// Every expression node carries its SourceLoc — line numbers are the keys
+// of the HLI line table, so faithful line propagation matters here more
+// than in a typical toy front-end.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/type.hpp"
+#include "support/source_location.hpp"
+
+namespace hli::frontend {
+
+using support::SourceLoc;
+
+class Expr;
+class Stmt;
+class FuncDecl;
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+enum class StorageClass : std::uint8_t {
+  Global,  ///< File-scope variable: always memory-resident in the back-end.
+  Local,   ///< Function-scope scalar: candidate for a pseudo register.
+  Param,   ///< Formal parameter.
+};
+
+class VarDecl {
+ public:
+  VarDecl(std::string name, const Type* type, StorageClass storage, SourceLoc loc,
+          std::uint32_t id)
+      : name_(std::move(name)), type_(type), storage_(storage), loc_(loc), id_(id) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Type* type() const { return type_; }
+  [[nodiscard]] StorageClass storage() const { return storage_; }
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+  /// Program-unique declaration id; index into analysis side tables.
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+
+  [[nodiscard]] bool is_global() const { return storage_ == StorageClass::Global; }
+  [[nodiscard]] bool is_param() const { return storage_ == StorageClass::Param; }
+
+  /// Set by sema: true if the variable's address is taken anywhere, which
+  /// forces it into memory even if scalar (mirrors GCC's pseudo-register
+  /// rule in paper §3.1.1).
+  [[nodiscard]] bool address_taken() const { return address_taken_; }
+  void set_address_taken() { address_taken_ = true; }
+
+  /// The ITEMGEN storage rule (paper §3.1.1): globals, arrays, and
+  /// address-taken locals live in memory; other local/param scalars get
+  /// pseudo registers and never produce memory items.
+  [[nodiscard]] bool is_memory_resident() const {
+    return is_global() || type_->is_array() || address_taken_;
+  }
+
+  Expr* init = nullptr;  ///< Optional initializer (owned by the arena).
+  /// Function owning a local/param declaration; null for globals.  Used by
+  /// interprocedural analysis to hide a function's own stack storage from
+  /// its callers' REF/MOD view.
+  FuncDecl* owner = nullptr;
+
+ private:
+  std::string name_;
+  const Type* type_;
+  StorageClass storage_;
+  SourceLoc loc_;
+  std::uint32_t id_;
+  bool address_taken_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  IntLiteral,
+  FloatLiteral,
+  VarRef,
+  ArrayIndex,
+  Unary,
+  Binary,
+  Assign,
+  Call,
+  Conditional,
+};
+
+enum class UnaryOp : std::uint8_t { Neg, Not, BitNot, Deref, AddrOf, PreInc, PreDec, PostInc, PostDec };
+
+enum class BinaryOp : std::uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  And, Or, Xor, Shl, Shr,
+  LogAnd, LogOr,
+  Lt, Gt, Le, Ge, Eq, Ne,
+};
+
+/// Compound-assignment operator; None is a plain `=`.
+enum class AssignOp : std::uint8_t { None, Add, Sub, Mul, Div };
+
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  [[nodiscard]] ExprKind kind() const { return kind_; }
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+
+  /// Result type; set by sema.
+  const Type* type = nullptr;
+
+ protected:
+  Expr(ExprKind kind, SourceLoc loc) : kind_(kind), loc_(loc) {}
+
+ private:
+  ExprKind kind_;
+  SourceLoc loc_;
+};
+
+class IntLiteralExpr final : public Expr {
+ public:
+  IntLiteralExpr(std::int64_t value, SourceLoc loc)
+      : Expr(ExprKind::IntLiteral, loc), value(value) {}
+  std::int64_t value;
+};
+
+class FloatLiteralExpr final : public Expr {
+ public:
+  FloatLiteralExpr(double value, bool single, SourceLoc loc)
+      : Expr(ExprKind::FloatLiteral, loc), value(value), single_precision(single) {}
+  double value;
+  bool single_precision;
+};
+
+class VarRefExpr final : public Expr {
+ public:
+  VarRefExpr(std::string name, SourceLoc loc)
+      : Expr(ExprKind::VarRef, loc), name(std::move(name)) {}
+  std::string name;
+  VarDecl* decl = nullptr;  ///< Resolved by sema.
+};
+
+/// One subscript application: base[index].  Multi-dimensional accesses chain
+/// ArrayIndex nodes (a[i][j] == (a[i])[j]).
+class ArrayIndexExpr final : public Expr {
+ public:
+  ArrayIndexExpr(Expr* base, Expr* index, SourceLoc loc)
+      : Expr(ExprKind::ArrayIndex, loc), base(base), index(index) {}
+  Expr* base;
+  Expr* index;
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(UnaryOp op, Expr* operand, SourceLoc loc)
+      : Expr(ExprKind::Unary, loc), op(op), operand(operand) {}
+  UnaryOp op;
+  Expr* operand;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, Expr* lhs, Expr* rhs, SourceLoc loc)
+      : Expr(ExprKind::Binary, loc), op(op), lhs(lhs), rhs(rhs) {}
+  BinaryOp op;
+  Expr* lhs;
+  Expr* rhs;
+};
+
+class AssignExpr final : public Expr {
+ public:
+  AssignExpr(AssignOp op, Expr* lhs, Expr* rhs, SourceLoc loc)
+      : Expr(ExprKind::Assign, loc), op(op), lhs(lhs), rhs(rhs) {}
+  AssignOp op;
+  Expr* lhs;
+  Expr* rhs;
+};
+
+class CallExpr final : public Expr {
+ public:
+  CallExpr(std::string callee, std::vector<Expr*> args, SourceLoc loc)
+      : Expr(ExprKind::Call, loc), callee(std::move(callee)), args(std::move(args)) {}
+  std::string callee;
+  std::vector<Expr*> args;
+  FuncDecl* callee_decl = nullptr;  ///< Resolved by sema; null for externs.
+};
+
+class ConditionalExpr final : public Expr {
+ public:
+  ConditionalExpr(Expr* cond, Expr* then_expr, Expr* else_expr, SourceLoc loc)
+      : Expr(ExprKind::Conditional, loc), cond(cond), then_expr(then_expr),
+        else_expr(else_expr) {}
+  Expr* cond;
+  Expr* then_expr;
+  Expr* else_expr;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  Decl, Expr, Block, If, While, For, Return, Break, Continue,
+};
+
+class Stmt {
+ public:
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  [[nodiscard]] StmtKind kind() const { return kind_; }
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+
+ protected:
+  Stmt(StmtKind kind, SourceLoc loc) : kind_(kind), loc_(loc) {}
+
+ private:
+  StmtKind kind_;
+  SourceLoc loc_;
+};
+
+class DeclStmt final : public Stmt {
+ public:
+  DeclStmt(VarDecl* decl, SourceLoc loc) : Stmt(StmtKind::Decl, loc), decl(decl) {}
+  VarDecl* decl;
+};
+
+class ExprStmt final : public Stmt {
+ public:
+  ExprStmt(Expr* expr, SourceLoc loc) : Stmt(StmtKind::Expr, loc), expr(expr) {}
+  Expr* expr;
+};
+
+class BlockStmt final : public Stmt {
+ public:
+  explicit BlockStmt(SourceLoc loc) : Stmt(StmtKind::Block, loc) {}
+  std::vector<Stmt*> stmts;
+};
+
+class IfStmt final : public Stmt {
+ public:
+  IfStmt(Expr* cond, Stmt* then_stmt, Stmt* else_stmt, SourceLoc loc)
+      : Stmt(StmtKind::If, loc), cond(cond), then_stmt(then_stmt), else_stmt(else_stmt) {}
+  Expr* cond;
+  Stmt* then_stmt;
+  Stmt* else_stmt;  ///< May be null.
+};
+
+class WhileStmt final : public Stmt {
+ public:
+  WhileStmt(Expr* cond, Stmt* body, SourceLoc loc)
+      : Stmt(StmtKind::While, loc), cond(cond), body(body) {}
+  Expr* cond;
+  Stmt* body;
+  std::uint32_t loop_id = 0;  ///< Assigned by sema; unique per function.
+};
+
+class ForStmt final : public Stmt {
+ public:
+  ForStmt(Stmt* init, Expr* cond, Expr* step, Stmt* body, SourceLoc loc)
+      : Stmt(StmtKind::For, loc), init(init), cond(cond), step(step), body(body) {}
+  Stmt* init;  ///< DeclStmt or ExprStmt; may be null.
+  Expr* cond;  ///< May be null (infinite loop).
+  Expr* step;  ///< May be null.
+  Stmt* body;
+  std::uint32_t loop_id = 0;  ///< Assigned by sema; unique per function.
+};
+
+class ReturnStmt final : public Stmt {
+ public:
+  ReturnStmt(Expr* value, SourceLoc loc) : Stmt(StmtKind::Return, loc), value(value) {}
+  Expr* value;  ///< May be null.
+};
+
+class BreakStmt final : public Stmt {
+ public:
+  explicit BreakStmt(SourceLoc loc) : Stmt(StmtKind::Break, loc) {}
+};
+
+class ContinueStmt final : public Stmt {
+ public:
+  explicit ContinueStmt(SourceLoc loc) : Stmt(StmtKind::Continue, loc) {}
+};
+
+// ---------------------------------------------------------------------------
+// Functions and the program
+// ---------------------------------------------------------------------------
+
+class FuncDecl {
+ public:
+  FuncDecl(std::string name, const Type* return_type, SourceLoc loc)
+      : name_(std::move(name)), return_type_(return_type), loc_(loc) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Type* return_type() const { return return_type_; }
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+
+  std::vector<VarDecl*> params;
+  BlockStmt* body = nullptr;  ///< Null for extern declarations.
+  std::uint32_t next_loop_id = 1;
+
+  [[nodiscard]] bool is_extern() const { return body == nullptr; }
+
+ private:
+  std::string name_;
+  const Type* return_type_;
+  SourceLoc loc_;
+};
+
+/// A translation unit: owns every AST node via typed arenas.
+class Program {
+ public:
+  Program() = default;
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+
+  template <typename T, typename... Args>
+  T* make_expr(Args&&... args) {
+    auto node = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = node.get();
+    exprs_.push_back(std::move(node));
+    return raw;
+  }
+
+  template <typename T, typename... Args>
+  T* make_stmt(Args&&... args) {
+    auto node = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = node.get();
+    stmts_.push_back(std::move(node));
+    return raw;
+  }
+
+  VarDecl* make_var(std::string name, const Type* type, StorageClass storage,
+                    SourceLoc loc) {
+    auto node = std::make_unique<VarDecl>(std::move(name), type, storage, loc,
+                                          next_var_id_++);
+    VarDecl* raw = node.get();
+    vars_.push_back(std::move(node));
+    return raw;
+  }
+
+  FuncDecl* make_func(std::string name, const Type* return_type, SourceLoc loc) {
+    auto node = std::make_unique<FuncDecl>(std::move(name), return_type, loc);
+    FuncDecl* raw = node.get();
+    funcs_.push_back(std::move(node));
+    return raw;
+  }
+
+  [[nodiscard]] std::uint32_t var_count() const { return next_var_id_; }
+
+  TypeContext types;
+  std::vector<VarDecl*> globals;
+  std::vector<FuncDecl*> functions;  ///< In declaration order; externs included.
+
+  /// Finds a function by name, preferring a definition over a forward
+  /// (extern) declaration of the same name.
+  [[nodiscard]] FuncDecl* find_function(const std::string& name) const {
+    FuncDecl* found = nullptr;
+    for (FuncDecl* f : functions) {
+      if (f->name() != name) continue;
+      if (!f->is_extern()) return f;
+      if (found == nullptr) found = f;
+    }
+    return found;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Expr>> exprs_;
+  std::vector<std::unique_ptr<Stmt>> stmts_;
+  std::vector<std::unique_ptr<VarDecl>> vars_;
+  std::vector<std::unique_ptr<FuncDecl>> funcs_;
+  std::uint32_t next_var_id_ = 0;
+};
+
+}  // namespace hli::frontend

@@ -1,0 +1,259 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <unordered_map>
+
+namespace hli::frontend {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keyword_table() {
+  static const std::unordered_map<std::string_view, TokenKind> table = {
+      {"int", TokenKind::KwInt},       {"float", TokenKind::KwFloat},
+      {"double", TokenKind::KwDouble}, {"void", TokenKind::KwVoid},
+      {"if", TokenKind::KwIf},         {"else", TokenKind::KwElse},
+      {"for", TokenKind::KwFor},       {"while", TokenKind::KwWhile},
+      {"return", TokenKind::KwReturn}, {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue},
+  };
+  return table;
+}
+
+}  // namespace
+
+std::string_view token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::End: return "<eof>";
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::IntLiteral: return "integer literal";
+    case TokenKind::FloatLiteral: return "float literal";
+    case TokenKind::KwInt: return "'int'";
+    case TokenKind::KwFloat: return "'float'";
+    case TokenKind::KwDouble: return "'double'";
+    case TokenKind::KwVoid: return "'void'";
+    case TokenKind::KwIf: return "'if'";
+    case TokenKind::KwElse: return "'else'";
+    case TokenKind::KwFor: return "'for'";
+    case TokenKind::KwWhile: return "'while'";
+    case TokenKind::KwReturn: return "'return'";
+    case TokenKind::KwBreak: return "'break'";
+    case TokenKind::KwContinue: return "'continue'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Percent: return "'%'";
+    case TokenKind::Amp: return "'&'";
+    case TokenKind::Pipe: return "'|'";
+    case TokenKind::Caret: return "'^'";
+    case TokenKind::Tilde: return "'~'";
+    case TokenKind::Shl: return "'<<'";
+    case TokenKind::Shr: return "'>>'";
+    case TokenKind::AmpAmp: return "'&&'";
+    case TokenKind::PipePipe: return "'||'";
+    case TokenKind::Bang: return "'!'";
+    case TokenKind::Less: return "'<'";
+    case TokenKind::Greater: return "'>'";
+    case TokenKind::LessEq: return "'<='";
+    case TokenKind::GreaterEq: return "'>='";
+    case TokenKind::EqEq: return "'=='";
+    case TokenKind::BangEq: return "'!='";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::PlusAssign: return "'+='";
+    case TokenKind::MinusAssign: return "'-='";
+    case TokenKind::StarAssign: return "'*='";
+    case TokenKind::SlashAssign: return "'/='";
+    case TokenKind::PlusPlus: return "'++'";
+    case TokenKind::MinusMinus: return "'--'";
+    case TokenKind::Question: return "'?'";
+    case TokenKind::Colon: return "':'";
+  }
+  return "<bad token kind>";
+}
+
+char Lexer::peek(std::size_t ahead) const {
+  const std::size_t index = pos_ + ahead;
+  return index < source_.size() ? source_[index] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (peek() != expected) return false;
+  advance();
+  return true;
+}
+
+void Lexer::skip_whitespace_and_comments() {
+  while (pos_ < source_.size()) {
+    const char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (pos_ < source_.size() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      const support::SourceLoc start = here();
+      advance();
+      advance();
+      while (pos_ < source_.size() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (pos_ >= source_.size()) {
+        diags_.error(start, "unterminated block comment");
+        return;
+      }
+      advance();
+      advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::lex_identifier() {
+  const support::SourceLoc loc = here();
+  const std::size_t start = pos_;
+  while (pos_ < source_.size() &&
+         (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
+    advance();
+  }
+  const std::string_view text = source_.substr(start, pos_ - start);
+  Token tok;
+  tok.loc = loc;
+  tok.text = std::string(text);
+  const auto it = keyword_table().find(text);
+  tok.kind = it != keyword_table().end() ? it->second : TokenKind::Identifier;
+  return tok;
+}
+
+Token Lexer::lex_number() {
+  const support::SourceLoc loc = here();
+  const std::size_t start = pos_;
+  bool is_float = false;
+  while (pos_ < source_.size() && std::isdigit(static_cast<unsigned char>(peek()))) advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    is_float = true;
+    advance();
+    while (pos_ < source_.size() && std::isdigit(static_cast<unsigned char>(peek()))) advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    std::size_t look = 1;
+    if (peek(look) == '+' || peek(look) == '-') ++look;
+    if (std::isdigit(static_cast<unsigned char>(peek(look)))) {
+      is_float = true;
+      while (look-- > 0) advance();
+      while (pos_ < source_.size() && std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    }
+  }
+  const std::string_view text = source_.substr(start, pos_ - start);
+  Token tok;
+  tok.loc = loc;
+  tok.text = std::string(text);
+  if (is_float) {
+    tok.kind = TokenKind::FloatLiteral;
+    tok.float_value = std::stod(tok.text);
+  } else {
+    tok.kind = TokenKind::IntLiteral;
+    std::from_chars(text.data(), text.data() + text.size(), tok.int_value);
+  }
+  return tok;
+}
+
+Token Lexer::next() {
+  skip_whitespace_and_comments();
+  Token tok;
+  tok.loc = here();
+  if (pos_ >= source_.size()) {
+    tok.kind = TokenKind::End;
+    return tok;
+  }
+  const char c = peek();
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return lex_identifier();
+  if (std::isdigit(static_cast<unsigned char>(c))) return lex_number();
+
+  advance();
+  switch (c) {
+    case '(': tok.kind = TokenKind::LParen; return tok;
+    case ')': tok.kind = TokenKind::RParen; return tok;
+    case '{': tok.kind = TokenKind::LBrace; return tok;
+    case '}': tok.kind = TokenKind::RBrace; return tok;
+    case '[': tok.kind = TokenKind::LBracket; return tok;
+    case ']': tok.kind = TokenKind::RBracket; return tok;
+    case ',': tok.kind = TokenKind::Comma; return tok;
+    case ';': tok.kind = TokenKind::Semicolon; return tok;
+    case '~': tok.kind = TokenKind::Tilde; return tok;
+    case '?': tok.kind = TokenKind::Question; return tok;
+    case ':': tok.kind = TokenKind::Colon; return tok;
+    case '+':
+      tok.kind = match('+') ? TokenKind::PlusPlus
+               : match('=') ? TokenKind::PlusAssign
+                            : TokenKind::Plus;
+      return tok;
+    case '-':
+      tok.kind = match('-') ? TokenKind::MinusMinus
+               : match('=') ? TokenKind::MinusAssign
+                            : TokenKind::Minus;
+      return tok;
+    case '*':
+      tok.kind = match('=') ? TokenKind::StarAssign : TokenKind::Star;
+      return tok;
+    case '/':
+      tok.kind = match('=') ? TokenKind::SlashAssign : TokenKind::Slash;
+      return tok;
+    case '%': tok.kind = TokenKind::Percent; return tok;
+    case '&':
+      tok.kind = match('&') ? TokenKind::AmpAmp : TokenKind::Amp;
+      return tok;
+    case '|':
+      tok.kind = match('|') ? TokenKind::PipePipe : TokenKind::Pipe;
+      return tok;
+    case '^': tok.kind = TokenKind::Caret; return tok;
+    case '!':
+      tok.kind = match('=') ? TokenKind::BangEq : TokenKind::Bang;
+      return tok;
+    case '<':
+      tok.kind = match('<') ? TokenKind::Shl
+               : match('=') ? TokenKind::LessEq
+                            : TokenKind::Less;
+      return tok;
+    case '>':
+      tok.kind = match('>') ? TokenKind::Shr
+               : match('=') ? TokenKind::GreaterEq
+                            : TokenKind::Greater;
+      return tok;
+    case '=':
+      tok.kind = match('=') ? TokenKind::EqEq : TokenKind::Assign;
+      return tok;
+    default:
+      diags_.error(tok.loc, std::string("unexpected character '") + c + "'");
+      return next();
+  }
+}
+
+std::vector<Token> Lexer::lex_all() {
+  std::vector<Token> tokens;
+  while (true) {
+    Token tok = next();
+    const bool done = tok.is(TokenKind::End);
+    tokens.push_back(std::move(tok));
+    if (done) return tokens;
+  }
+}
+
+}  // namespace hli::frontend

@@ -1,0 +1,37 @@
+// Hand-written lexer for the mini-C language.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "frontend/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hli::frontend {
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, support::DiagnosticEngine& diags)
+      : source_(source), diags_(diags) {}
+
+  /// Tokenizes the whole buffer.  Always ends with a TokenKind::End token.
+  [[nodiscard]] std::vector<Token> lex_all();
+
+ private:
+  [[nodiscard]] Token next();
+  [[nodiscard]] char peek(std::size_t ahead = 0) const;
+  char advance();
+  [[nodiscard]] bool match(char expected);
+  void skip_whitespace_and_comments();
+  [[nodiscard]] Token lex_identifier();
+  [[nodiscard]] Token lex_number();
+  [[nodiscard]] support::SourceLoc here() const { return {line_, column_}; }
+
+  std::string_view source_;
+  support::DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+};
+
+}  // namespace hli::frontend

@@ -1,0 +1,469 @@
+#include "frontend/parser.hpp"
+
+#include <string>
+
+namespace hli::frontend {
+
+namespace {
+
+/// Binary operator precedence for the precedence-climbing loop.  Higher
+/// binds tighter.  Assignment and ?: are handled separately.
+int precedence_of(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::PipePipe: return 1;
+    case TokenKind::AmpAmp: return 2;
+    case TokenKind::Pipe: return 3;
+    case TokenKind::Caret: return 4;
+    case TokenKind::Amp: return 5;
+    case TokenKind::EqEq:
+    case TokenKind::BangEq: return 6;
+    case TokenKind::Less:
+    case TokenKind::Greater:
+    case TokenKind::LessEq:
+    case TokenKind::GreaterEq: return 7;
+    case TokenKind::Shl:
+    case TokenKind::Shr: return 8;
+    case TokenKind::Plus:
+    case TokenKind::Minus: return 9;
+    case TokenKind::Star:
+    case TokenKind::Slash:
+    case TokenKind::Percent: return 10;
+    default: return -1;
+  }
+}
+
+BinaryOp binary_op_of(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::PipePipe: return BinaryOp::LogOr;
+    case TokenKind::AmpAmp: return BinaryOp::LogAnd;
+    case TokenKind::Pipe: return BinaryOp::Or;
+    case TokenKind::Caret: return BinaryOp::Xor;
+    case TokenKind::Amp: return BinaryOp::And;
+    case TokenKind::EqEq: return BinaryOp::Eq;
+    case TokenKind::BangEq: return BinaryOp::Ne;
+    case TokenKind::Less: return BinaryOp::Lt;
+    case TokenKind::Greater: return BinaryOp::Gt;
+    case TokenKind::LessEq: return BinaryOp::Le;
+    case TokenKind::GreaterEq: return BinaryOp::Ge;
+    case TokenKind::Shl: return BinaryOp::Shl;
+    case TokenKind::Shr: return BinaryOp::Shr;
+    case TokenKind::Plus: return BinaryOp::Add;
+    case TokenKind::Minus: return BinaryOp::Sub;
+    case TokenKind::Star: return BinaryOp::Mul;
+    case TokenKind::Slash: return BinaryOp::Div;
+    case TokenKind::Percent: return BinaryOp::Rem;
+    default: return BinaryOp::Add;  // Unreachable given precedence_of guard.
+  }
+}
+
+}  // namespace
+
+const Token& Parser::peek(std::size_t ahead) const {
+  const std::size_t index = pos_ + ahead;
+  return index < tokens_.size() ? tokens_[index] : tokens_.back();
+}
+
+const Token& Parser::advance() {
+  const Token& tok = peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return tok;
+}
+
+bool Parser::match(TokenKind kind) {
+  if (!check(kind)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(TokenKind kind, std::string_view what) {
+  if (check(kind)) return advance();
+  diags_.error(peek().loc, "expected " + std::string(token_kind_name(kind)) + " " +
+                               std::string(what) + ", found " +
+                               std::string(token_kind_name(peek().kind)));
+  return peek();
+}
+
+void Parser::synchronize() {
+  // Skip ahead to a statement/declaration boundary after a syntax error.
+  while (!check(TokenKind::End)) {
+    if (match(TokenKind::Semicolon)) return;
+    if (check(TokenKind::RBrace) || at_type_keyword() || check(TokenKind::KwIf) ||
+        check(TokenKind::KwFor) || check(TokenKind::KwWhile) ||
+        check(TokenKind::KwReturn)) {
+      return;
+    }
+    advance();
+  }
+}
+
+bool Parser::at_type_keyword() const {
+  switch (peek().kind) {
+    case TokenKind::KwInt:
+    case TokenKind::KwFloat:
+    case TokenKind::KwDouble:
+    case TokenKind::KwVoid:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const Type* Parser::parse_type_specifier(Program& prog) {
+  const Type* base = nullptr;
+  switch (peek().kind) {
+    case TokenKind::KwInt: base = prog.types.int_type(); break;
+    case TokenKind::KwFloat: base = prog.types.float_type(); break;
+    case TokenKind::KwDouble: base = prog.types.double_type(); break;
+    case TokenKind::KwVoid: base = prog.types.void_type(); break;
+    default:
+      diags_.error(peek().loc, "expected type specifier");
+      return prog.types.int_type();
+  }
+  advance();
+  while (match(TokenKind::Star)) base = prog.types.pointer_to(base);
+  return base;
+}
+
+const Type* Parser::parse_array_suffix(Program& prog, const Type* base) {
+  // Collect dimensions left to right, then fold right to left so that
+  // `int a[2][3]` is array<2, array<3, int>>.
+  std::vector<std::uint64_t> dims;
+  while (match(TokenKind::LBracket)) {
+    const Token& size = expect(TokenKind::IntLiteral, "as array dimension");
+    dims.push_back(static_cast<std::uint64_t>(size.int_value));
+    expect(TokenKind::RBracket, "after array dimension");
+  }
+  const Type* type = base;
+  for (auto it = dims.rbegin(); it != dims.rend(); ++it) {
+    type = prog.types.array_of(type, *it);
+  }
+  return type;
+}
+
+Program Parser::parse_program() {
+  Program prog;
+  while (!check(TokenKind::End)) {
+    parse_top_level(prog);
+  }
+  return prog;
+}
+
+void Parser::parse_top_level(Program& prog) {
+  if (!at_type_keyword()) {
+    diags_.error(peek().loc, "expected declaration at file scope");
+    synchronize();
+    if (check(TokenKind::Semicolon)) advance();
+    return;
+  }
+  const Type* base = parse_type_specifier(prog);
+  Token name_tok = expect(TokenKind::Identifier, "in declaration");
+  if (check(TokenKind::LParen)) {
+    parse_function(prog, base, std::move(name_tok));
+  } else {
+    parse_global_var(prog, base, std::move(name_tok));
+  }
+}
+
+void Parser::parse_global_var(Program& prog, const Type* base, Token name_tok) {
+  while (true) {
+    const Type* type = parse_array_suffix(prog, base);
+    VarDecl* decl = prog.make_var(name_tok.text, type, StorageClass::Global,
+                                  name_tok.loc);
+    if (match(TokenKind::Assign)) decl->init = parse_assignment(prog);
+    prog.globals.push_back(decl);
+    if (!match(TokenKind::Comma)) break;
+    name_tok = expect(TokenKind::Identifier, "in declaration");
+  }
+  expect(TokenKind::Semicolon, "after global declaration");
+}
+
+void Parser::parse_function(Program& prog, const Type* return_type, Token name_tok) {
+  FuncDecl* func = prog.make_func(name_tok.text, return_type, name_tok.loc);
+  expect(TokenKind::LParen, "after function name");
+  if (!check(TokenKind::RParen) && !check(TokenKind::KwVoid)) {
+    do {
+      const Type* param_base = parse_type_specifier(prog);
+      const Token& param_name = expect(TokenKind::Identifier, "as parameter name");
+      const Type* param_type = param_base;
+      // Array parameters decay to pointers, as in C.
+      if (check(TokenKind::LBracket)) {
+        const Type* arr = parse_array_suffix(prog, param_base);
+        const Type* elem = arr;
+        std::uint64_t inner = 1;
+        // a[N][M] decays to pointer-to-row; we model rows as flat strides,
+        // so record pointer-to-element plus the row extent via array type.
+        while (elem->is_array()) {
+          inner *= elem->array_size();
+          elem = elem->element();
+        }
+        (void)inner;
+        // Keep the full array shape behind the pointer so subscript lowering
+        // can compute row strides: pointer to (array type minus first dim).
+        const Type* pointee = arr->element();
+        param_type = prog.types.pointer_to(pointee);
+      }
+      VarDecl* param = prog.make_var(param_name.text, param_type,
+                                     StorageClass::Param, param_name.loc);
+      param->owner = func;
+      func->params.push_back(param);
+    } while (match(TokenKind::Comma));
+  } else if (check(TokenKind::KwVoid) && peek(1).is(TokenKind::RParen)) {
+    advance();  // Consume `void` in `f(void)`.
+  }
+  expect(TokenKind::RParen, "after parameter list");
+  if (match(TokenKind::Semicolon)) {
+    prog.functions.push_back(func);  // Extern declaration.
+    return;
+  }
+  func->body = parse_block(prog, *func);
+  prog.functions.push_back(func);
+}
+
+BlockStmt* Parser::parse_block(Program& prog, FuncDecl& func) {
+  const Token& open = expect(TokenKind::LBrace, "to open block");
+  auto* block = prog.make_stmt<BlockStmt>(open.loc);
+  while (!check(TokenKind::RBrace) && !check(TokenKind::End)) {
+    if (Stmt* stmt = parse_stmt(prog, func)) block->stmts.push_back(stmt);
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return block;
+}
+
+Stmt* Parser::parse_stmt(Program& prog, FuncDecl& func) {
+  switch (peek().kind) {
+    case TokenKind::LBrace: return parse_block(prog, func);
+    case TokenKind::KwIf: return parse_if(prog, func);
+    case TokenKind::KwWhile: return parse_while(prog, func);
+    case TokenKind::KwFor: return parse_for(prog, func);
+    case TokenKind::KwReturn: return parse_return(prog, func);
+    case TokenKind::KwBreak: {
+      const Token& tok = advance();
+      expect(TokenKind::Semicolon, "after 'break'");
+      return prog.make_stmt<BreakStmt>(tok.loc);
+    }
+    case TokenKind::KwContinue: {
+      const Token& tok = advance();
+      expect(TokenKind::Semicolon, "after 'continue'");
+      return prog.make_stmt<ContinueStmt>(tok.loc);
+    }
+    case TokenKind::Semicolon:
+      advance();
+      return nullptr;
+    default:
+      if (at_type_keyword()) return parse_local_decl(prog, func);
+      {
+        Expr* expr = parse_expr(prog);
+        const support::SourceLoc loc = expr ? expr->loc() : peek().loc;
+        expect(TokenKind::Semicolon, "after expression statement");
+        return prog.make_stmt<ExprStmt>(expr, loc);
+      }
+  }
+}
+
+Stmt* Parser::parse_local_decl(Program& prog, FuncDecl& func) {
+  const Type* base = parse_type_specifier(prog);
+  const Token& first = expect(TokenKind::Identifier, "in declaration");
+  auto* block = prog.make_stmt<BlockStmt>(first.loc);
+  Token name_tok = first;
+  while (true) {
+    const Type* type = parse_array_suffix(prog, base);
+    VarDecl* decl = prog.make_var(name_tok.text, type, StorageClass::Local,
+                                  name_tok.loc);
+    decl->owner = &func;
+    if (match(TokenKind::Assign)) decl->init = parse_assignment(prog);
+    block->stmts.push_back(prog.make_stmt<DeclStmt>(decl, name_tok.loc));
+    if (!match(TokenKind::Comma)) break;
+    name_tok = expect(TokenKind::Identifier, "in declaration");
+  }
+  expect(TokenKind::Semicolon, "after declaration");
+  // A single declarator doesn't need the wrapping block.
+  if (block->stmts.size() == 1) return block->stmts.front();
+  return block;
+}
+
+Stmt* Parser::parse_if(Program& prog, FuncDecl& func) {
+  const Token& kw = advance();
+  expect(TokenKind::LParen, "after 'if'");
+  Expr* cond = parse_expr(prog);
+  expect(TokenKind::RParen, "after if condition");
+  Stmt* then_stmt = parse_stmt(prog, func);
+  Stmt* else_stmt = nullptr;
+  if (match(TokenKind::KwElse)) else_stmt = parse_stmt(prog, func);
+  return prog.make_stmt<IfStmt>(cond, then_stmt, else_stmt, kw.loc);
+}
+
+Stmt* Parser::parse_while(Program& prog, FuncDecl& func) {
+  const Token& kw = advance();
+  expect(TokenKind::LParen, "after 'while'");
+  Expr* cond = parse_expr(prog);
+  expect(TokenKind::RParen, "after while condition");
+  Stmt* body = parse_stmt(prog, func);
+  auto* stmt = prog.make_stmt<WhileStmt>(cond, body, kw.loc);
+  stmt->loop_id = func.next_loop_id++;
+  return stmt;
+}
+
+Stmt* Parser::parse_for(Program& prog, FuncDecl& func) {
+  const Token& kw = advance();
+  expect(TokenKind::LParen, "after 'for'");
+  Stmt* init = nullptr;
+  if (!check(TokenKind::Semicolon)) {
+    if (at_type_keyword()) {
+      init = parse_local_decl(prog, func);
+    } else {
+      Expr* expr = parse_expr(prog);
+      init = prog.make_stmt<ExprStmt>(expr, expr ? expr->loc() : kw.loc);
+      expect(TokenKind::Semicolon, "after for-init");
+    }
+  } else {
+    advance();
+  }
+  Expr* cond = nullptr;
+  if (!check(TokenKind::Semicolon)) cond = parse_expr(prog);
+  expect(TokenKind::Semicolon, "after for-condition");
+  Expr* step = nullptr;
+  if (!check(TokenKind::RParen)) step = parse_expr(prog);
+  expect(TokenKind::RParen, "after for-step");
+  Stmt* body = parse_stmt(prog, func);
+  auto* stmt = prog.make_stmt<ForStmt>(init, cond, step, body, kw.loc);
+  stmt->loop_id = func.next_loop_id++;
+  return stmt;
+}
+
+Stmt* Parser::parse_return(Program& prog, FuncDecl& func) {
+  (void)func;
+  const Token& kw = advance();
+  Expr* value = nullptr;
+  if (!check(TokenKind::Semicolon)) value = parse_expr(prog);
+  expect(TokenKind::Semicolon, "after return");
+  return prog.make_stmt<ReturnStmt>(value, kw.loc);
+}
+
+Expr* Parser::parse_expr(Program& prog) { return parse_assignment(prog); }
+
+Expr* Parser::parse_assignment(Program& prog) {
+  Expr* lhs = parse_conditional(prog);
+  AssignOp op;
+  switch (peek().kind) {
+    case TokenKind::Assign: op = AssignOp::None; break;
+    case TokenKind::PlusAssign: op = AssignOp::Add; break;
+    case TokenKind::MinusAssign: op = AssignOp::Sub; break;
+    case TokenKind::StarAssign: op = AssignOp::Mul; break;
+    case TokenKind::SlashAssign: op = AssignOp::Div; break;
+    default: return lhs;
+  }
+  const Token& tok = advance();
+  Expr* rhs = parse_assignment(prog);
+  return prog.make_expr<AssignExpr>(op, lhs, rhs, tok.loc);
+}
+
+Expr* Parser::parse_conditional(Program& prog) {
+  Expr* cond = parse_binary_rhs(prog, 0, parse_unary(prog));
+  if (!check(TokenKind::Question)) return cond;
+  const Token& tok = advance();
+  Expr* then_expr = parse_expr(prog);
+  expect(TokenKind::Colon, "in conditional expression");
+  Expr* else_expr = parse_conditional(prog);
+  return prog.make_expr<ConditionalExpr>(cond, then_expr, else_expr, tok.loc);
+}
+
+Expr* Parser::parse_binary_rhs(Program& prog, int min_precedence, Expr* lhs) {
+  while (true) {
+    const int prec = precedence_of(peek().kind);
+    if (prec < min_precedence || prec < 0) return lhs;
+    const Token& op_tok = advance();
+    Expr* rhs = parse_unary(prog);
+    const int next_prec = precedence_of(peek().kind);
+    if (next_prec > prec) rhs = parse_binary_rhs(prog, prec + 1, rhs);
+    lhs = prog.make_expr<BinaryExpr>(binary_op_of(op_tok.kind), lhs, rhs, op_tok.loc);
+  }
+}
+
+Expr* Parser::parse_unary(Program& prog) {
+  const Token& tok = peek();
+  switch (tok.kind) {
+    case TokenKind::Minus:
+      advance();
+      return prog.make_expr<UnaryExpr>(UnaryOp::Neg, parse_unary(prog), tok.loc);
+    case TokenKind::Bang:
+      advance();
+      return prog.make_expr<UnaryExpr>(UnaryOp::Not, parse_unary(prog), tok.loc);
+    case TokenKind::Tilde:
+      advance();
+      return prog.make_expr<UnaryExpr>(UnaryOp::BitNot, parse_unary(prog), tok.loc);
+    case TokenKind::Star:
+      advance();
+      return prog.make_expr<UnaryExpr>(UnaryOp::Deref, parse_unary(prog), tok.loc);
+    case TokenKind::Amp:
+      advance();
+      return prog.make_expr<UnaryExpr>(UnaryOp::AddrOf, parse_unary(prog), tok.loc);
+    case TokenKind::PlusPlus:
+      advance();
+      return prog.make_expr<UnaryExpr>(UnaryOp::PreInc, parse_unary(prog), tok.loc);
+    case TokenKind::MinusMinus:
+      advance();
+      return prog.make_expr<UnaryExpr>(UnaryOp::PreDec, parse_unary(prog), tok.loc);
+    default:
+      return parse_postfix(prog);
+  }
+}
+
+Expr* Parser::parse_postfix(Program& prog) {
+  Expr* expr = parse_primary(prog);
+  while (true) {
+    if (check(TokenKind::LBracket)) {
+      const Token& tok = advance();
+      Expr* index = parse_expr(prog);
+      expect(TokenKind::RBracket, "after subscript");
+      expr = prog.make_expr<ArrayIndexExpr>(expr, index, tok.loc);
+    } else if (check(TokenKind::PlusPlus)) {
+      const Token& tok = advance();
+      expr = prog.make_expr<UnaryExpr>(UnaryOp::PostInc, expr, tok.loc);
+    } else if (check(TokenKind::MinusMinus)) {
+      const Token& tok = advance();
+      expr = prog.make_expr<UnaryExpr>(UnaryOp::PostDec, expr, tok.loc);
+    } else {
+      return expr;
+    }
+  }
+}
+
+Expr* Parser::parse_primary(Program& prog) {
+  const Token& tok = peek();
+  switch (tok.kind) {
+    case TokenKind::IntLiteral:
+      advance();
+      return prog.make_expr<IntLiteralExpr>(tok.int_value, tok.loc);
+    case TokenKind::FloatLiteral:
+      advance();
+      return prog.make_expr<FloatLiteralExpr>(tok.float_value, false, tok.loc);
+    case TokenKind::LParen: {
+      advance();
+      Expr* inner = parse_expr(prog);
+      expect(TokenKind::RParen, "to close parenthesized expression");
+      return inner;
+    }
+    case TokenKind::Identifier: {
+      advance();
+      if (check(TokenKind::LParen)) {
+        advance();
+        std::vector<Expr*> args;
+        if (!check(TokenKind::RParen)) {
+          do {
+            args.push_back(parse_assignment(prog));
+          } while (match(TokenKind::Comma));
+        }
+        expect(TokenKind::RParen, "after call arguments");
+        return prog.make_expr<CallExpr>(tok.text, std::move(args), tok.loc);
+      }
+      return prog.make_expr<VarRefExpr>(tok.text, tok.loc);
+    }
+    default:
+      diags_.error(tok.loc, "expected expression, found " +
+                                std::string(token_kind_name(tok.kind)));
+      advance();
+      return prog.make_expr<IntLiteralExpr>(0, tok.loc);
+  }
+}
+
+}  // namespace hli::frontend

@@ -1,0 +1,62 @@
+// Recursive-descent parser producing a Program from mini-C source.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "frontend/ast.hpp"
+#include "frontend/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hli::frontend {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, support::DiagnosticEngine& diags)
+      : tokens_(std::move(tokens)), diags_(diags) {}
+
+  /// Parses a whole translation unit.  On syntax errors, diagnostics are
+  /// recorded and a best-effort partial Program is still returned.
+  [[nodiscard]] Program parse_program();
+
+ private:
+  // Token cursor.
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const;
+  const Token& advance();
+  [[nodiscard]] bool check(TokenKind kind) const { return peek().is(kind); }
+  bool match(TokenKind kind);
+  const Token& expect(TokenKind kind, std::string_view what);
+  void synchronize();
+
+  // Declarations.
+  [[nodiscard]] bool at_type_keyword() const;
+  const Type* parse_type_specifier(Program& prog);
+  void parse_top_level(Program& prog);
+  void parse_global_var(Program& prog, const Type* base, Token name_tok);
+  void parse_function(Program& prog, const Type* return_type, Token name_tok);
+  const Type* parse_array_suffix(Program& prog, const Type* base);
+
+  // Statements.
+  Stmt* parse_stmt(Program& prog, FuncDecl& func);
+  BlockStmt* parse_block(Program& prog, FuncDecl& func);
+  Stmt* parse_local_decl(Program& prog, FuncDecl& func);
+  Stmt* parse_if(Program& prog, FuncDecl& func);
+  Stmt* parse_while(Program& prog, FuncDecl& func);
+  Stmt* parse_for(Program& prog, FuncDecl& func);
+  Stmt* parse_return(Program& prog, FuncDecl& func);
+
+  // Expressions, by descending precedence.
+  Expr* parse_expr(Program& prog);
+  Expr* parse_assignment(Program& prog);
+  Expr* parse_conditional(Program& prog);
+  Expr* parse_binary_rhs(Program& prog, int min_precedence, Expr* lhs);
+  Expr* parse_unary(Program& prog);
+  Expr* parse_postfix(Program& prog);
+  Expr* parse_primary(Program& prog);
+
+  std::vector<Token> tokens_;
+  support::DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace hli::frontend

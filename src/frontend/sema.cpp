@@ -1,0 +1,322 @@
+#include "frontend/sema.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "frontend/lexer.hpp"
+#include "frontend/parser.hpp"
+
+namespace hli::frontend {
+
+// Lexically scoped symbol table for variable lookup.
+class Sema::ScopeStack {
+ public:
+  void push() { scopes_.emplace_back(); }
+  void pop() { scopes_.pop_back(); }
+
+  void declare(VarDecl* decl) { scopes_.back()[decl->name()] = decl; }
+
+  [[nodiscard]] VarDecl* lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto found = it->find(name);
+      if (found != it->end()) return found->second;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<std::unordered_map<std::string, VarDecl*>> scopes_;
+};
+
+bool Sema::run(Program& prog) {
+  const std::size_t errors_before = diags_.error_count();
+  ScopeStack scopes;
+  scopes.push();  // Global scope.
+  for (VarDecl* global : prog.globals) {
+    check_var_decl(prog, *global, scopes);
+    scopes.declare(global);
+  }
+  for (FuncDecl* func : prog.functions) {
+    if (!func->is_extern()) check_function(prog, *func, scopes);
+  }
+  scopes.pop();
+  return diags_.error_count() == errors_before;
+}
+
+void Sema::check_function(Program& prog, FuncDecl& func, ScopeStack& scopes) {
+  scopes.push();
+  for (VarDecl* param : func.params) scopes.declare(param);
+  check_stmt(prog, func, func.body, scopes);
+  scopes.pop();
+}
+
+void Sema::check_var_decl(Program& prog, VarDecl& decl, ScopeStack& scopes) {
+  if (decl.type()->is_void()) {
+    diags_.error(decl.loc(), "variable '" + decl.name() + "' has void type");
+  }
+  if (decl.init != nullptr) check_expr(prog, decl.init, scopes);
+}
+
+void Sema::check_stmt(Program& prog, FuncDecl& func, Stmt* stmt, ScopeStack& scopes) {
+  if (stmt == nullptr) return;
+  switch (stmt->kind()) {
+    case StmtKind::Decl: {
+      auto* decl_stmt = static_cast<DeclStmt*>(stmt);
+      check_var_decl(prog, *decl_stmt->decl, scopes);
+      scopes.declare(decl_stmt->decl);
+      return;
+    }
+    case StmtKind::Expr:
+      check_expr(prog, static_cast<ExprStmt*>(stmt)->expr, scopes);
+      return;
+    case StmtKind::Block: {
+      auto* block = static_cast<BlockStmt*>(stmt);
+      scopes.push();
+      for (Stmt* child : block->stmts) check_stmt(prog, func, child, scopes);
+      scopes.pop();
+      return;
+    }
+    case StmtKind::If: {
+      auto* if_stmt = static_cast<IfStmt*>(stmt);
+      check_expr(prog, if_stmt->cond, scopes);
+      check_stmt(prog, func, if_stmt->then_stmt, scopes);
+      check_stmt(prog, func, if_stmt->else_stmt, scopes);
+      return;
+    }
+    case StmtKind::While: {
+      auto* loop = static_cast<WhileStmt*>(stmt);
+      check_expr(prog, loop->cond, scopes);
+      check_stmt(prog, func, loop->body, scopes);
+      return;
+    }
+    case StmtKind::For: {
+      auto* loop = static_cast<ForStmt*>(stmt);
+      scopes.push();  // for-init declarations scope over cond/step/body.
+      check_stmt(prog, func, loop->init, scopes);
+      if (loop->cond != nullptr) check_expr(prog, loop->cond, scopes);
+      if (loop->step != nullptr) check_expr(prog, loop->step, scopes);
+      check_stmt(prog, func, loop->body, scopes);
+      scopes.pop();
+      return;
+    }
+    case StmtKind::Return: {
+      auto* ret = static_cast<ReturnStmt*>(stmt);
+      if (ret->value != nullptr) {
+        check_expr(prog, ret->value, scopes);
+        if (func.return_type()->is_void()) {
+          diags_.error(ret->loc(), "void function '" + func.name() +
+                                       "' returns a value");
+        }
+      } else if (!func.return_type()->is_void()) {
+        diags_.error(ret->loc(), "non-void function '" + func.name() +
+                                     "' returns nothing");
+      }
+      return;
+    }
+    case StmtKind::Break:
+    case StmtKind::Continue:
+      return;
+  }
+}
+
+const Type* Sema::check_lvalue(Program& prog, Expr* expr, ScopeStack& scopes) {
+  const Type* type = check_expr(prog, expr, scopes);
+  const bool ok = expr->kind() == ExprKind::VarRef ||
+                  expr->kind() == ExprKind::ArrayIndex ||
+                  (expr->kind() == ExprKind::Unary &&
+                   static_cast<UnaryExpr*>(expr)->op == UnaryOp::Deref);
+  if (!ok) diags_.error(expr->loc(), "expression is not assignable");
+  return type;
+}
+
+const Type* Sema::check_expr(Program& prog, Expr* expr, ScopeStack& scopes) {
+  if (expr == nullptr) return prog.types.int_type();
+  switch (expr->kind()) {
+    case ExprKind::IntLiteral:
+      expr->type = prog.types.int_type();
+      return expr->type;
+    case ExprKind::FloatLiteral: {
+      auto* lit = static_cast<FloatLiteralExpr*>(expr);
+      expr->type = lit->single_precision ? prog.types.float_type()
+                                         : prog.types.double_type();
+      return expr->type;
+    }
+    case ExprKind::VarRef: {
+      auto* ref = static_cast<VarRefExpr*>(expr);
+      ref->decl = scopes.lookup(ref->name);
+      if (ref->decl == nullptr) {
+        diags_.error(ref->loc(), "use of undeclared identifier '" + ref->name + "'");
+        expr->type = prog.types.int_type();
+        return expr->type;
+      }
+      expr->type = ref->decl->type();
+      return expr->type;
+    }
+    case ExprKind::ArrayIndex: {
+      auto* idx = static_cast<ArrayIndexExpr*>(expr);
+      const Type* base = check_expr(prog, idx->base, scopes);
+      const Type* index = check_expr(prog, idx->index, scopes);
+      if (!index->is_int()) {
+        diags_.error(idx->index->loc(), "array subscript is not an integer");
+      }
+      if (base->is_array() || base->is_pointer()) {
+        expr->type = base->element();
+      } else {
+        diags_.error(idx->loc(), "subscripted value is not an array or pointer");
+        expr->type = prog.types.int_type();
+      }
+      return expr->type;
+    }
+    case ExprKind::Unary: {
+      auto* un = static_cast<UnaryExpr*>(expr);
+      switch (un->op) {
+        case UnaryOp::AddrOf: {
+          const Type* operand = check_lvalue(prog, un->operand, scopes);
+          // Mark the root variable as address-taken: it must stay in memory.
+          Expr* root = un->operand;
+          while (root->kind() == ExprKind::ArrayIndex) {
+            root = static_cast<ArrayIndexExpr*>(root)->base;
+          }
+          if (root->kind() == ExprKind::VarRef) {
+            if (VarDecl* decl = static_cast<VarRefExpr*>(root)->decl) {
+              decl->set_address_taken();
+            }
+          }
+          expr->type = prog.types.pointer_to(operand);
+          return expr->type;
+        }
+        case UnaryOp::Deref: {
+          const Type* operand = check_expr(prog, un->operand, scopes);
+          if (operand->is_pointer() || operand->is_array()) {
+            expr->type = operand->element();
+          } else {
+            diags_.error(un->loc(), "cannot dereference non-pointer");
+            expr->type = prog.types.int_type();
+          }
+          return expr->type;
+        }
+        case UnaryOp::Not:
+          check_expr(prog, un->operand, scopes);
+          expr->type = prog.types.int_type();
+          return expr->type;
+        case UnaryOp::BitNot: {
+          const Type* operand = check_expr(prog, un->operand, scopes);
+          if (!operand->is_int()) {
+            diags_.error(un->loc(), "bitwise operator requires integer operand");
+          }
+          expr->type = prog.types.int_type();
+          return expr->type;
+        }
+        case UnaryOp::Neg:
+          expr->type = check_expr(prog, un->operand, scopes);
+          return expr->type;
+        case UnaryOp::PreInc:
+        case UnaryOp::PreDec:
+        case UnaryOp::PostInc:
+        case UnaryOp::PostDec:
+          expr->type = check_lvalue(prog, un->operand, scopes);
+          return expr->type;
+      }
+      expr->type = prog.types.int_type();
+      return expr->type;
+    }
+    case ExprKind::Binary: {
+      auto* bin = static_cast<BinaryExpr*>(expr);
+      const Type* lhs = check_expr(prog, bin->lhs, scopes);
+      const Type* rhs = check_expr(prog, bin->rhs, scopes);
+      switch (bin->op) {
+        case BinaryOp::LogAnd:
+        case BinaryOp::LogOr:
+        case BinaryOp::Lt:
+        case BinaryOp::Gt:
+        case BinaryOp::Le:
+        case BinaryOp::Ge:
+        case BinaryOp::Eq:
+        case BinaryOp::Ne:
+          expr->type = prog.types.int_type();
+          return expr->type;
+        case BinaryOp::And:
+        case BinaryOp::Or:
+        case BinaryOp::Xor:
+        case BinaryOp::Shl:
+        case BinaryOp::Shr:
+        case BinaryOp::Rem:
+          if (!lhs->is_int() || !rhs->is_int()) {
+            diags_.error(bin->loc(), "integer operator applied to non-integers");
+          }
+          expr->type = prog.types.int_type();
+          return expr->type;
+        default: {
+          // Pointer arithmetic: pointer +/- int yields the pointer type.
+          if ((lhs->is_pointer() || lhs->is_array()) && rhs->is_int() &&
+              (bin->op == BinaryOp::Add || bin->op == BinaryOp::Sub)) {
+            expr->type = lhs->is_array()
+                             ? prog.types.pointer_to(lhs->element())
+                             : lhs;
+            return expr->type;
+          }
+          if (lhs->is_pointer() && rhs->is_pointer() && bin->op == BinaryOp::Sub) {
+            expr->type = prog.types.int_type();
+            return expr->type;
+          }
+          expr->type = prog.types.common_arithmetic(lhs, rhs);
+          return expr->type;
+        }
+      }
+    }
+    case ExprKind::Assign: {
+      auto* asn = static_cast<AssignExpr*>(expr);
+      const Type* lhs = check_lvalue(prog, asn->lhs, scopes);
+      check_expr(prog, asn->rhs, scopes);
+      expr->type = lhs;
+      return expr->type;
+    }
+    case ExprKind::Call: {
+      auto* call = static_cast<CallExpr*>(expr);
+      call->callee_decl = prog.find_function(call->callee);
+      if (call->callee_decl == nullptr) {
+        diags_.error(call->loc(), "call to undeclared function '" + call->callee + "'");
+        expr->type = prog.types.int_type();
+      } else {
+        if (!call->callee_decl->params.empty() &&
+            call->args.size() != call->callee_decl->params.size()) {
+          diags_.error(call->loc(),
+                       "wrong number of arguments to '" + call->callee + "': got " +
+                           std::to_string(call->args.size()) + ", expected " +
+                           std::to_string(call->callee_decl->params.size()));
+        }
+        expr->type = call->callee_decl->return_type();
+      }
+      for (Expr* arg : call->args) check_expr(prog, arg, scopes);
+      return expr->type;
+    }
+    case ExprKind::Conditional: {
+      auto* cond = static_cast<ConditionalExpr*>(expr);
+      check_expr(prog, cond->cond, scopes);
+      const Type* a = check_expr(prog, cond->then_expr, scopes);
+      const Type* b = check_expr(prog, cond->else_expr, scopes);
+      expr->type = a->is_scalar() && b->is_scalar()
+                       ? prog.types.common_arithmetic(a, b)
+                       : a;
+      return expr->type;
+    }
+  }
+  expr->type = prog.types.int_type();
+  return expr->type;
+}
+
+Program compile_to_ast(std::string_view source, support::DiagnosticEngine& diags) {
+  Lexer lexer(source, diags);
+  Parser parser(lexer.lex_all(), diags);
+  Program prog = parser.parse_program();
+  if (diags.has_errors()) {
+    throw support::CompileError("syntax errors:\n" + diags.render());
+  }
+  Sema sema(diags);
+  if (!sema.run(prog)) {
+    throw support::CompileError("semantic errors:\n" + diags.render());
+  }
+  return prog;
+}
+
+}  // namespace hli::frontend

@@ -1,0 +1,36 @@
+// Semantic analysis: name resolution, type checking, and the attribute
+// computations the rest of the pipeline relies on (address-taken flags,
+// which drive the ITEMGEN memory-residency rule).
+#pragma once
+
+#include "frontend/ast.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hli::frontend {
+
+class Sema {
+ public:
+  explicit Sema(support::DiagnosticEngine& diags) : diags_(diags) {}
+
+  /// Resolves and type-checks the whole program in place.  Returns true on
+  /// success (no errors added to the diagnostic engine).
+  bool run(Program& prog);
+
+ private:
+  class ScopeStack;
+
+  void check_function(Program& prog, FuncDecl& func, ScopeStack& scopes);
+  void check_stmt(Program& prog, FuncDecl& func, Stmt* stmt, ScopeStack& scopes);
+  void check_var_decl(Program& prog, VarDecl& decl, ScopeStack& scopes);
+  const Type* check_expr(Program& prog, Expr* expr, ScopeStack& scopes);
+  const Type* check_lvalue(Program& prog, Expr* expr, ScopeStack& scopes);
+
+  support::DiagnosticEngine& diags_;
+};
+
+/// Convenience front door: lex + parse + sema in one call.  Throws
+/// CompileError if any phase reports errors.
+[[nodiscard]] Program compile_to_ast(std::string_view source,
+                                     support::DiagnosticEngine& diags);
+
+}  // namespace hli::frontend

@@ -1,0 +1,50 @@
+// Token definitions for the mini-C front-end language.
+//
+// The language is the subset of C needed to express the paper's workloads:
+// scalar/array/pointer variables of int/float/double, functions, `for`,
+// `while`, `if`, and the usual expression operators.  It deliberately has
+// no preprocessor, structs, or casts in source form — the paper's HLI
+// pipeline only cares about memory references, loops, and calls.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/source_location.hpp"
+
+namespace hli::frontend {
+
+enum class TokenKind : std::uint8_t {
+  End,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  // Keywords.
+  KwInt, KwFloat, KwDouble, KwVoid, KwIf, KwElse, KwFor, KwWhile,
+  KwReturn, KwBreak, KwContinue,
+  // Punctuation / operators.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semicolon,
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Shl, Shr,
+  AmpAmp, PipePipe, Bang,
+  Less, Greater, LessEq, GreaterEq, EqEq, BangEq,
+  Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign,
+  PlusPlus, MinusMinus,
+  Question, Colon,
+};
+
+[[nodiscard]] std::string_view token_kind_name(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  support::SourceLoc loc;
+  std::string text;        ///< Identifier spelling or literal spelling.
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+
+  [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
+};
+
+}  // namespace hli::frontend

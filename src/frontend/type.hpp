@@ -1,0 +1,79 @@
+// Interned type system for the mini-C front-end.  Types are immutable and
+// owned by a TypeContext; every AST node holds a `const Type*` so type
+// identity is pointer identity.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hli::frontend {
+
+enum class TypeKind : std::uint8_t { Void, Int, Float, Double, Pointer, Array };
+
+class Type {
+ public:
+  [[nodiscard]] TypeKind kind() const { return kind_; }
+  [[nodiscard]] bool is_void() const { return kind_ == TypeKind::Void; }
+  [[nodiscard]] bool is_int() const { return kind_ == TypeKind::Int; }
+  [[nodiscard]] bool is_floating() const {
+    return kind_ == TypeKind::Float || kind_ == TypeKind::Double;
+  }
+  [[nodiscard]] bool is_scalar() const {
+    return kind_ == TypeKind::Int || is_floating() || kind_ == TypeKind::Pointer;
+  }
+  [[nodiscard]] bool is_pointer() const { return kind_ == TypeKind::Pointer; }
+  [[nodiscard]] bool is_array() const { return kind_ == TypeKind::Array; }
+
+  /// Element type for pointers and arrays; nullptr otherwise.
+  [[nodiscard]] const Type* element() const { return element_; }
+  /// Number of elements for arrays; 0 otherwise.
+  [[nodiscard]] std::uint64_t array_size() const { return array_size_; }
+
+  /// Size in bytes on the (synthetic) target: int 4, float 4, double 8,
+  /// pointer 8.  Used for HLI size accounting and RTL address arithmetic.
+  [[nodiscard]] std::uint64_t byte_size() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  friend class TypeContext;
+  Type(TypeKind kind, const Type* element, std::uint64_t array_size)
+      : kind_(kind), element_(element), array_size_(array_size) {}
+
+  TypeKind kind_;
+  const Type* element_ = nullptr;
+  std::uint64_t array_size_ = 0;
+};
+
+/// Owns and interns all Type instances for one Program.
+class TypeContext {
+ public:
+  TypeContext();
+  TypeContext(const TypeContext&) = delete;
+  TypeContext& operator=(const TypeContext&) = delete;
+  TypeContext(TypeContext&&) = default;
+  TypeContext& operator=(TypeContext&&) = default;
+
+  [[nodiscard]] const Type* void_type() const { return void_; }
+  [[nodiscard]] const Type* int_type() const { return int_; }
+  [[nodiscard]] const Type* float_type() const { return float_; }
+  [[nodiscard]] const Type* double_type() const { return double_; }
+  [[nodiscard]] const Type* pointer_to(const Type* element);
+  [[nodiscard]] const Type* array_of(const Type* element, std::uint64_t count);
+
+  /// C's usual arithmetic conversions, reduced to our three numeric types.
+  [[nodiscard]] const Type* common_arithmetic(const Type* a, const Type* b) const;
+
+ private:
+  const Type* make(TypeKind kind, const Type* element, std::uint64_t size);
+
+  std::vector<std::unique_ptr<Type>> storage_;
+  const Type* void_ = nullptr;
+  const Type* int_ = nullptr;
+  const Type* float_ = nullptr;
+  const Type* double_ = nullptr;
+};
+
+}  // namespace hli::frontend

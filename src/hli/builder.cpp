@@ -1,0 +1,471 @@
+#include "hli/builder.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "analysis/item_walk.hpp"
+#include "analysis/section.hpp"
+
+namespace hli::builder {
+
+using analysis::CanonicalLoop;
+using analysis::ItemEvent;
+using analysis::Region;
+using analysis::RegionTree;
+using analysis::Section;
+using frontend::FuncDecl;
+using frontend::Program;
+using frontend::VarDecl;
+using namespace format;
+
+namespace {
+
+/// Builder-internal view of one generated item.
+struct ItemInfo {
+  ItemId id = kNoItem;
+  ItemType type = ItemType::Load;
+  const VarDecl* base = nullptr;
+  bool via_pointer = false;
+  Section section;
+  Region* region = nullptr;
+  const frontend::CallExpr* call = nullptr;
+  std::uint32_t line = 0;
+};
+
+/// A class under construction, carrying analysis data the serialized
+/// EquivClass no longer needs.
+struct ClassBuild {
+  EquivClass entry;
+  const VarDecl* base = nullptr;  ///< Null for wild (unknown-target) classes.
+  bool via_pointer = false;
+  Section section;
+};
+
+/// Per-region aggregate of call effects for the sub-region entries of the
+/// call REF/MOD table.
+struct CallAgg {
+  std::set<const VarDecl*> ref;
+  std::set<const VarDecl*> mod;
+  bool unknown = false;
+  bool any_call = false;
+
+  void merge(const CallAgg& other) {
+    ref.insert(other.ref.begin(), other.ref.end());
+    mod.insert(other.mod.begin(), other.mod.end());
+    unknown = unknown || other.unknown;
+    any_call = any_call || other.any_call;
+  }
+};
+
+ItemType to_item_type(ItemEvent::Kind kind) {
+  switch (kind) {
+    case ItemEvent::Kind::Load: return ItemType::Load;
+    case ItemEvent::Kind::Store: return ItemType::Store;
+    case ItemEvent::Kind::Call: return ItemType::Call;
+    case ItemEvent::Kind::ArgStore: return ItemType::ArgStore;
+    case ItemEvent::Kind::ArgLoad: return ItemType::ArgLoad;
+  }
+  return ItemType::Load;
+}
+
+Section section_of_event(const ItemEvent& ev) {
+  Section s;
+  if (ev.kind == ItemEvent::Kind::ArgStore || ev.kind == ItemEvent::Kind::ArgLoad) {
+    // Argument-overflow slots: position differs per call frame; model as an
+    // unknown offset within the overflow area.
+    s.dims.push_back(analysis::DimSection::unknown());
+    return s;
+  }
+  for (const auto& sub : ev.subscripts) {
+    if (sub.is_affine()) {
+      s.dims.push_back(analysis::DimSection::point(sub));
+    } else {
+      s.dims.push_back(analysis::DimSection::unknown());
+    }
+  }
+  return s;
+}
+
+class UnitBuilder {
+ public:
+  UnitBuilder(Program& prog, FuncDecl& func,
+              const analysis::PointsToAnalysis& pointsto,
+              const analysis::RefModAnalysis& refmod, const BuildOptions& opts)
+      : prog_(prog), func_(func), pointsto_(pointsto), refmod_(refmod),
+        opts_(opts), tree_(analysis::build_region_tree(func)) {}
+
+  HliEntry build() {
+    run_itemgen();
+    run_tblconst();
+    return std::move(entry_);
+  }
+
+ private:
+  // -- ITEMGEN ------------------------------------------------------------
+  void run_itemgen() {
+    entry_.unit_name = func_.name();
+    analysis::walk_items(prog_, func_, tree_, [this](const ItemEvent& ev) {
+      ItemInfo info;
+      info.id = next_id_++;
+      info.type = to_item_type(ev.kind);
+      info.base = ev.base;
+      info.via_pointer = ev.via_pointer;
+      info.section = section_of_event(ev);
+      info.region = ev.region;
+      info.call = ev.call;
+      info.line = ev.loc.line;
+      entry_.line_table.add_item(info.line, {info.id, info.type});
+      items_.push_back(std::move(info));
+    });
+  }
+
+  // -- TBLCONST -----------------------------------------------------------
+  void run_tblconst() {
+    // Region skeleton, preorder so parents precede children in the table.
+    for (Region* r : tree_.preorder()) {
+      RegionEntry re;
+      re.id = r->id();
+      re.type = r->is_loop() ? RegionType::Loop : RegionType::Unit;
+      re.parent = r->parent() != nullptr ? r->parent()->id() : kNoRegion;
+      for (const Region* c : r->children()) re.children.push_back(c->id());
+      compute_scope(*r, re);
+      entry_.regions.push_back(std::move(re));
+    }
+    entry_.root_region = tree_.root()->id();
+
+    // Bottom-up class construction and table filling (paper §3.1.2).
+    for (Region* r : tree_.postorder()) {
+      build_region(*r);
+    }
+    entry_.next_id = next_id_;
+  }
+
+  void compute_scope(const Region& r, RegionEntry& re) const {
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    if (r.loop_stmt != nullptr) {
+      lo = hi = r.loop_stmt->loc().line;
+    } else {
+      lo = hi = func_.loc().line;
+    }
+    for (const ItemInfo& item : items_) {
+      if (item.region != nullptr && r.encloses(item.region) && item.line != 0) {
+        if (lo == 0 || item.line < lo) lo = item.line;
+        if (item.line > hi) hi = item.line;
+      }
+    }
+    re.first_line = lo;
+    re.last_line = hi;
+  }
+
+  [[nodiscard]] const CanonicalLoop* loop_of(const Region& r) const {
+    return r.canonical ? &*r.canonical : nullptr;
+  }
+
+  /// Statement subtree that constitutes the region, for stability checks.
+  [[nodiscard]] const frontend::Stmt* region_stmt(const Region& r) const {
+    return r.loop_stmt != nullptr ? r.loop_stmt
+                                  : static_cast<frontend::Stmt*>(func_.body);
+  }
+
+  [[nodiscard]] bool pointer_stable_in(const Region& r, const VarDecl* ptr) const {
+    if (ptr == nullptr) return false;
+    if (ptr->address_taken()) return false;
+    return !analysis::subtree_modifies(region_stmt(r), ptr);
+  }
+
+  void build_region(Region& region) {
+    RegionEntry* re = entry_.find_region(region.id());
+    const CanonicalLoop* loop = region.is_loop() ? loop_of(region) : nullptr;
+
+    // ---- 1. Gather units: own items + lifted child classes. ------------
+    std::vector<ClassBuild> units;
+    for (const ItemInfo& item : items_) {
+      if (item.region != &region || item.type == ItemType::Call) continue;
+      ClassBuild unit;
+      unit.entry.id = kNoItem;  // Assigned on class creation.
+      unit.entry.member_items.push_back(item.id);
+      unit.entry.has_write = is_write_item(item.type);
+      unit.base = item.base;
+      unit.via_pointer = item.via_pointer;
+      unit.section = item.section;
+      units.push_back(std::move(unit));
+    }
+    for (Region* child : region.children()) {
+      for (const ClassBuild& child_class : classes_[child->id()]) {
+        ClassBuild unit;
+        unit.entry.member_subclasses.push_back(child_class.entry.id);
+        unit.entry.type = child_class.entry.type;
+        unit.entry.has_write = child_class.entry.has_write;
+        unit.entry.unknown_target = child_class.entry.unknown_target;
+        unit.base = child_class.base;
+        unit.via_pointer = child_class.via_pointer;
+        unit.section = analysis::widen_over_loop(
+            child_class.section, child->canonical ? &*child->canonical : nullptr);
+        units.push_back(std::move(unit));
+      }
+    }
+
+    // ---- 2. Partition units into classes. -------------------------------
+    std::vector<ClassBuild>& classes = classes_[region.id()];
+    auto matching_class = [&](const ClassBuild& unit) -> ClassBuild* {
+      for (ClassBuild& cls : classes) {
+        if (cls.base != unit.base || cls.via_pointer != unit.via_pointer) continue;
+        if (unit.base == nullptr) return &cls;  // All wild units fold together.
+        if (!cls.section.equals(unit.section)) continue;
+        // Accesses through an unstable pointer may hit different objects
+        // even with identical sections: keep them apart.
+        if (unit.via_pointer && !pointer_stable_in(region, unit.base)) continue;
+        if (!opts_.merge_equal_range_classes && !unit.section.is_exact()) continue;
+        return &cls;
+      }
+      return nullptr;
+    };
+
+    for (ClassBuild& unit : units) {
+      if (ClassBuild* cls = matching_class(unit)) {
+        // Merge.
+        cls->entry.member_items.insert(cls->entry.member_items.end(),
+                                       unit.entry.member_items.begin(),
+                                       unit.entry.member_items.end());
+        cls->entry.member_subclasses.insert(cls->entry.member_subclasses.end(),
+                                            unit.entry.member_subclasses.begin(),
+                                            unit.entry.member_subclasses.end());
+        cls->entry.has_write = cls->entry.has_write || unit.entry.has_write;
+        cls->entry.unknown_target =
+            cls->entry.unknown_target || unit.entry.unknown_target;
+        // Merging over a range section (whole-loop coverage) is only a
+        // maybe-equivalence; so is any member that was already maybe.
+        if (!unit.section.is_exact() || unit.entry.type == EquivAccType::Maybe) {
+          cls->entry.type = EquivAccType::Maybe;
+        }
+      } else {
+        ClassBuild& fresh = unit;
+        fresh.entry.id = next_id_++;
+        if (fresh.base == nullptr) {
+          fresh.entry.unknown_target = true;
+          fresh.entry.type = EquivAccType::Maybe;
+          fresh.entry.base = "<unknown>";
+          fresh.entry.display = "<unknown>";
+        } else {
+          fresh.entry.base = fresh.base->name();
+          fresh.entry.display = fresh.base->name() + fresh.section.to_string();
+          if (fresh.via_pointer) {
+            fresh.entry.display = "*" + fresh.entry.display;
+            if (pointsto_.points_to_unknown(fresh.base)) {
+              fresh.entry.unknown_target = true;
+              fresh.entry.type = EquivAccType::Maybe;
+            }
+          }
+        }
+        classes.push_back(std::move(fresh));
+      }
+    }
+
+    // Mark per-loop invariance: does the class cover the same locations in
+    // every iteration?  Drives copy merging/splitting under unrolling.
+    for (ClassBuild& cls : classes) {
+      if (loop == nullptr || loop->induction == nullptr) {
+        cls.entry.loop_invariant = true;
+        continue;
+      }
+      bool invariant = !cls.entry.unknown_target;
+      for (const auto& dim : cls.section.dims) {
+        if (dim.is_unknown() || dim.lo.coefficient(loop->induction) != 0 ||
+            dim.hi.coefficient(loop->induction) != 0) {
+          invariant = false;
+          break;
+        }
+      }
+      cls.entry.loop_invariant = invariant;
+    }
+
+    // ---- 3. Alias and LCDD tables. --------------------------------------
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+      for (std::size_t j = i + 1; j < classes.size(); ++j) {
+        analyze_pair(*re, loop, region, classes[i], classes[j]);
+      }
+    }
+
+    // ---- 4. Call REF/MOD table. -----------------------------------------
+    build_call_effects(region, *re, classes);
+
+    // ---- 5. Export the classes into the serializable region entry. ------
+    re->classes.reserve(classes.size());
+    for (const ClassBuild& cls : classes) {
+      re->classes.push_back(cls.entry);
+    }
+  }
+
+  void analyze_pair(RegionEntry& re, const CanonicalLoop* loop,
+                    const Region& region, const ClassBuild& a,
+                    const ClassBuild& b) {
+    const bool same_base = a.base == b.base && a.base != nullptr;
+    bool may_overlap = false;
+    if (a.entry.unknown_target || b.entry.unknown_target) {
+      // Unknown-target classes alias everything; queries handle this via
+      // the class flag, no table entry needed.
+      return;
+    }
+    if (same_base && a.via_pointer == b.via_pointer) {
+      const bool unstable_ptr =
+          a.via_pointer && !pointer_stable_in(region, a.base);
+      const analysis::SectionDependence sd =
+          section_depend(loop, a.section, b.section);
+      if (unstable_ptr) {
+        may_overlap = true;  // Same pointer, possibly retargeted.
+      } else {
+        may_overlap = sd.within != analysis::IterRelation::Disjoint;
+        if (loop != nullptr && (a.entry.has_write || b.entry.has_write)) {
+          add_lcdd(re, a.entry.id, b.entry.id, sd.a_then_b);
+          add_lcdd(re, b.entry.id, a.entry.id, sd.b_then_a);
+        }
+      }
+      // Pessimistic carried entry for unstable pointers inside loops.
+      if (unstable_ptr && loop != nullptr &&
+          (a.entry.has_write || b.entry.has_write)) {
+        add_lcdd(re, a.entry.id, b.entry.id,
+                 {analysis::CarriedKind::Maybe, std::nullopt});
+      }
+    } else if (a.via_pointer != b.via_pointer) {
+      // Pointer class vs. direct class: alias when the pointer may target
+      // the direct class's base.
+      const ClassBuild& ptr_cls = a.via_pointer ? a : b;
+      const ClassBuild& dir_cls = a.via_pointer ? b : a;
+      may_overlap = pointsto_.may_point_to(ptr_cls.base, dir_cls.base);
+      if (may_overlap && loop != nullptr &&
+          (a.entry.has_write || b.entry.has_write)) {
+        add_lcdd(re, a.entry.id, b.entry.id,
+                 {analysis::CarriedKind::Maybe, std::nullopt});
+      }
+    } else if (a.via_pointer && b.via_pointer) {
+      // Two different pointers.
+      may_overlap = pointsto_.may_alias(a.base, b.base);
+      if (may_overlap && loop != nullptr &&
+          (a.entry.has_write || b.entry.has_write)) {
+        add_lcdd(re, a.entry.id, b.entry.id,
+                 {analysis::CarriedKind::Maybe, std::nullopt});
+      }
+    }
+    // Distinct direct bases never overlap (separate objects in C).
+    if (may_overlap) {
+      re.aliases.push_back({{a.entry.id, b.entry.id}});
+    }
+  }
+
+  void add_lcdd(RegionEntry& re, ItemId src, ItemId dst,
+                const analysis::CarriedDep& dep) {
+    if (dep.kind == analysis::CarriedKind::None) return;
+    LcddEntry entry;
+    entry.src = src;
+    entry.dst = dst;
+    entry.type = dep.kind == analysis::CarriedKind::Definite ? DepType::Definite
+                                                             : DepType::Maybe;
+    entry.distance = dep.distance;
+    re.lcdds.push_back(entry);
+  }
+
+  /// Maps a variable set (from REF/MOD analysis) to the classes of a
+  /// region that may cover those variables.
+  [[nodiscard]] std::vector<ItemId> map_vars_to_classes(
+      const std::vector<ClassBuild>& classes,
+      const std::set<const VarDecl*>& vars) const {
+    std::vector<ItemId> out;
+    for (const ClassBuild& cls : classes) {
+      if (cls.base == nullptr) continue;
+      bool covered = false;
+      if (!cls.via_pointer) {
+        covered = vars.contains(cls.base);
+      } else {
+        for (const VarDecl* target : pointsto_.points_to(cls.base)) {
+          if (vars.contains(target)) {
+            covered = true;
+            break;
+          }
+        }
+        if (pointsto_.points_to_unknown(cls.base) && !vars.empty()) covered = true;
+      }
+      if (covered) out.push_back(cls.entry.id);
+    }
+    return out;
+  }
+
+  void build_call_effects(const Region& region, RegionEntry& re,
+                          const std::vector<ClassBuild>& classes) {
+    CallAgg agg;
+    for (const ItemInfo& item : items_) {
+      if (item.region != &region || item.type != ItemType::Call) continue;
+      const FuncDecl* callee = item.call != nullptr ? item.call->callee_decl : nullptr;
+      CallEffectEntry entry;
+      entry.call_item = item.id;
+      if (callee == nullptr) {
+        entry.unknown = true;
+      } else {
+        const analysis::RefModSets& sets = refmod_.for_function(callee);
+        entry.unknown = sets.unknown;
+        entry.ref_classes = map_vars_to_classes(classes, sets.ref);
+        entry.mod_classes = map_vars_to_classes(classes, sets.mod);
+        agg.ref.insert(sets.ref.begin(), sets.ref.end());
+        agg.mod.insert(sets.mod.begin(), sets.mod.end());
+      }
+      agg.unknown = agg.unknown || entry.unknown;
+      agg.any_call = true;
+      re.call_effects.push_back(std::move(entry));
+    }
+    // Sub-region aggregates (paper §2.2.4: calls inside a sub-region are
+    // represented collectively by the sub-region ID).
+    for (Region* child : region.children()) {
+      const CallAgg& child_agg = call_aggs_[child->id()];
+      if (!child_agg.any_call) continue;
+      CallEffectEntry entry;
+      entry.is_subregion = true;
+      entry.subregion = child->id();
+      entry.unknown = child_agg.unknown;
+      entry.ref_classes = map_vars_to_classes(classes, child_agg.ref);
+      entry.mod_classes = map_vars_to_classes(classes, child_agg.mod);
+      re.call_effects.push_back(std::move(entry));
+      agg.merge(child_agg);
+    }
+    call_aggs_[region.id()] = std::move(agg);
+  }
+
+  Program& prog_;
+  FuncDecl& func_;
+  const analysis::PointsToAnalysis& pointsto_;
+  const analysis::RefModAnalysis& refmod_;
+  BuildOptions opts_;
+  RegionTree tree_;
+
+  HliEntry entry_;
+  std::vector<ItemInfo> items_;
+  ItemId next_id_ = 1;
+  std::unordered_map<std::uint32_t, std::vector<ClassBuild>> classes_;
+  std::unordered_map<std::uint32_t, CallAgg> call_aggs_;
+};
+
+}  // namespace
+
+HliEntry build_hli_entry(Program& prog, FuncDecl& func,
+                         const analysis::PointsToAnalysis& pointsto,
+                         const analysis::RefModAnalysis& refmod,
+                         const BuildOptions& opts) {
+  UnitBuilder builder(prog, func, pointsto, refmod, opts);
+  return builder.build();
+}
+
+HliFile build_hli(Program& prog, const BuildOptions& opts) {
+  analysis::PointsToAnalysis pointsto(prog);
+  pointsto.run();
+  analysis::RefModAnalysis refmod(prog, pointsto);
+  refmod.run();
+
+  HliFile file;
+  for (FuncDecl* func : prog.functions) {
+    if (func->is_extern()) continue;
+    file.entries.push_back(build_hli_entry(prog, *func, pointsto, refmod, opts));
+  }
+  return file;
+}
+
+}  // namespace hli::builder

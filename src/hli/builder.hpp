@@ -1,0 +1,34 @@
+// HLI generation (paper §3.1): ITEMGEN walks each function in the
+// canonical item order assigning IDs and building the line table;
+// TBLCONST then constructs the region table bottom-up — equivalence
+// classes, alias sets, LCDD entries, and call REF/MOD effects — from the
+// front-end analyses (region tree, affine sections, points-to, REF/MOD).
+#pragma once
+
+#include "analysis/pointsto.hpp"
+#include "analysis/refmod.hpp"
+#include "hli/format.hpp"
+
+namespace hli::builder {
+
+struct BuildOptions {
+  /// When true (the paper's configuration), sub-region classes with equal
+  /// widened sections are merged into a single *maybe* class in the parent,
+  /// condensing the HLI at some precision cost (§2.2.1).  The
+  /// bench_maybe_merge ablation flips this off.
+  bool merge_equal_range_classes = true;
+};
+
+/// Builds the complete HLI for a program.  Runs points-to and REF/MOD
+/// analyses internally.
+[[nodiscard]] format::HliFile build_hli(frontend::Program& prog,
+                                        const BuildOptions& opts = {});
+
+/// Builds the HLI entry for a single function with caller-provided
+/// analyses (used by build_hli and by tests that inspect one unit).
+[[nodiscard]] format::HliEntry build_hli_entry(
+    frontend::Program& prog, frontend::FuncDecl& func,
+    const analysis::PointsToAnalysis& pointsto,
+    const analysis::RefModAnalysis& refmod, const BuildOptions& opts = {});
+
+}  // namespace hli::builder

@@ -1,0 +1,100 @@
+#include "hli/dump.hpp"
+
+#include <sstream>
+
+namespace hli::dump {
+
+using namespace format;
+
+namespace {
+
+void render_id_set(std::ostringstream& out, const std::vector<ItemId>& ids) {
+  out << '{';
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i != 0) out << ',';
+    out << ids[i];
+  }
+  out << '}';
+}
+
+void render_region(std::ostringstream& out, const RegionEntry& region) {
+  out << "Region " << region.id << " ("
+      << (region.type == RegionType::Loop ? "loop" : "unit") << ", lines "
+      << region.first_line << "-" << region.last_line;
+  if (region.parent != kNoRegion) out << ", in region " << region.parent;
+  out << ")\n";
+  for (const EquivClass& cls : region.classes) {
+    out << "  class " << cls.id << "  " << cls.display << "  "
+        << to_string(cls.type);
+    if (cls.unknown_target) out << " UNKNOWN-TARGET";
+    if (cls.has_write) out << " writes";
+    out << "  items ";
+    render_id_set(out, cls.member_items);
+    out << " subclasses ";
+    render_id_set(out, cls.member_subclasses);
+    out << '\n';
+  }
+  for (const AliasEntry& alias : region.aliases) {
+    out << "  alias ";
+    render_id_set(out, alias.classes);
+    out << '\n';
+  }
+  for (const LcddEntry& dep : region.lcdds) {
+    out << "  lcdd " << dep.src << " -> " << dep.dst << "  "
+        << to_string(dep.type) << " distance ";
+    if (dep.distance) {
+      out << *dep.distance;
+    } else {
+      out << '?';
+    }
+    out << '\n';
+  }
+  for (const CallEffectEntry& eff : region.call_effects) {
+    if (eff.is_subregion) {
+      out << "  calls-in-region " << eff.subregion;
+    } else {
+      out << "  call item " << eff.call_item;
+    }
+    if (eff.unknown) {
+      out << "  CLOBBERS-ALL\n";
+      continue;
+    }
+    out << "  ref ";
+    render_id_set(out, eff.ref_classes);
+    out << " mod ";
+    render_id_set(out, eff.mod_classes);
+    out << '\n';
+  }
+}
+
+}  // namespace
+
+std::string render_entry(const HliEntry& entry) {
+  std::ostringstream out;
+  out << "unit " << entry.unit_name << "\n";
+  out << "line table (" << entry.line_table.item_count() << " items):\n";
+  for (const LineEntry& line : entry.line_table.lines()) {
+    out << "  line " << line.line << ":";
+    for (const ItemEntry& item : line.items) {
+      out << "  " << item.id << ':' << to_string(item.type);
+    }
+    out << '\n';
+  }
+  out << "region table (" << entry.regions.size() << " regions, root "
+      << entry.root_region << "):\n";
+  for (const RegionEntry& region : entry.regions) {
+    render_region(out, region);
+  }
+  return std::move(out).str();
+}
+
+std::string render_file(const HliFile& file) {
+  std::string out;
+  for (const HliEntry& entry : file.entries) {
+    out += render_entry(entry);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hli::dump

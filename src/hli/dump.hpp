@@ -1,0 +1,16 @@
+// Human-readable rendering of HLI tables, in the layout of the paper's
+// Figure 2: regions with their class partitions, alias sets, loop-carried
+// dependences, and call effects.  Used by the hlic tool and the demos;
+// this is presentation only — the interchange format is hli/serialize.
+#pragma once
+
+#include <string>
+
+#include "hli/format.hpp"
+
+namespace hli::dump {
+
+[[nodiscard]] std::string render_entry(const format::HliEntry& entry);
+[[nodiscard]] std::string render_file(const format::HliFile& file);
+
+}  // namespace hli::dump

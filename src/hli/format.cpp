@@ -1,0 +1,61 @@
+#include "hli/format.hpp"
+
+#include <algorithm>
+
+namespace hli::format {
+
+void LineTable::add_item(std::uint32_t line, ItemEntry item) {
+  auto it = std::lower_bound(lines_.begin(), lines_.end(), line,
+                             [](const LineEntry& e, std::uint32_t l) {
+                               return e.line < l;
+                             });
+  if (it == lines_.end() || it->line != line) {
+    it = lines_.insert(it, LineEntry{line, {}});
+  }
+  it->items.push_back(item);
+}
+
+const LineEntry* LineTable::find_line(std::uint32_t line) const {
+  const auto it = std::lower_bound(lines_.begin(), lines_.end(), line,
+                                   [](const LineEntry& e, std::uint32_t l) {
+                                     return e.line < l;
+                                   });
+  if (it == lines_.end() || it->line != line) return nullptr;
+  return &*it;
+}
+
+std::size_t LineTable::item_count() const {
+  std::size_t count = 0;
+  for (const auto& line : lines_) count += line.items.size();
+  return count;
+}
+
+std::optional<ItemType> LineTable::item_type(ItemId id) const {
+  for (const auto& line : lines_) {
+    for (const auto& item : line.items) {
+      if (item.id == id) return item.type;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string to_string(ItemType type) {
+  switch (type) {
+    case ItemType::Load: return "load";
+    case ItemType::Store: return "store";
+    case ItemType::Call: return "call";
+    case ItemType::ArgStore: return "argstore";
+    case ItemType::ArgLoad: return "argload";
+  }
+  return "?";
+}
+
+std::string to_string(EquivAccType type) {
+  return type == EquivAccType::Definite ? "def" : "maybe";
+}
+
+std::string to_string(DepType type) {
+  return type == DepType::Definite ? "def" : "maybe";
+}
+
+}  // namespace hli::format

@@ -1,0 +1,210 @@
+// The High-Level Information (HLI) data model — the paper's §2.
+//
+// An HliFile holds one HliEntry per program unit.  Each entry has a line
+// table (per source line, the ordered list of memory/call items) and a
+// region table (one RegionEntry per program unit / loop, each with its four
+// sub-tables: equivalent access classes, alias sets, loop-carried data
+// dependences, and call REF/MOD effects).
+//
+// Everything here is plain value types addressed by integer IDs so the
+// structure serializes losslessly: the back-end works from a re-read file,
+// never from front-end pointers.  Items and equivalence classes share one
+// ID space within a unit, as in the paper ("each equivalent access class
+// has a unique item ID").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hli::format {
+
+using ItemId = std::uint32_t;      ///< Items and classes share this space.
+using RegionId = std::uint32_t;
+inline constexpr ItemId kNoItem = 0;
+inline constexpr RegionId kNoRegion = 0;
+
+/// Access type of a line-table item (paper §2.1).
+enum class ItemType : std::uint8_t {
+  Load,      ///< Memory read.
+  Store,     ///< Memory write.
+  Call,      ///< Function call site.
+  ArgStore,  ///< Stack-passed actual written at a call site (§3.1.1).
+  ArgLoad,   ///< Stack-passed formal read at function entry (§3.1.1).
+};
+
+[[nodiscard]] constexpr bool is_memory_item(ItemType type) {
+  return type != ItemType::Call;
+}
+[[nodiscard]] constexpr bool is_write_item(ItemType type) {
+  return type == ItemType::Store || type == ItemType::ArgStore;
+}
+
+/// Definite vs. maybe equivalence (paper §2.2.1).
+enum class EquivAccType : std::uint8_t { Definite, Maybe };
+
+/// Definite vs. maybe dependence (paper §2.2.3).
+enum class DepType : std::uint8_t { Definite, Maybe };
+
+struct ItemEntry {
+  ItemId id = kNoItem;
+  ItemType type = ItemType::Load;
+};
+
+/// One source line's ordered item list.
+struct LineEntry {
+  std::uint32_t line = 0;
+  std::vector<ItemEntry> items;
+};
+
+class LineTable {
+ public:
+  /// Appends an item to `line`, preserving per-line order of insertion.
+  void add_item(std::uint32_t line, ItemEntry item);
+
+  [[nodiscard]] const std::vector<LineEntry>& lines() const { return lines_; }
+  [[nodiscard]] const LineEntry* find_line(std::uint32_t line) const;
+  [[nodiscard]] std::size_t item_count() const;
+  /// Item type lookup across all lines; nullopt for unknown IDs.
+  [[nodiscard]] std::optional<ItemType> item_type(ItemId id) const;
+
+  std::vector<LineEntry>& mutable_lines() { return lines_; }
+
+ private:
+  std::vector<LineEntry> lines_;  ///< Sorted by line number.
+};
+
+/// Equivalent access class (paper §2.2.1): a mutually exclusive partition
+/// cell of all memory items inside a region.  Members are either items
+/// immediately enclosed by the region or classes of immediate sub-regions.
+struct EquivClass {
+  ItemId id = kNoItem;
+  EquivAccType type = EquivAccType::Definite;
+  std::vector<ItemId> member_items;
+  std::vector<ItemId> member_subclasses;
+  /// The class may reference statically unknown memory (wild pointer);
+  /// such a class aliases every other class.
+  bool unknown_target = false;
+  /// True when any member (transitively) writes memory.
+  bool has_write = false;
+  /// True when the class covers the same locations in every iteration of
+  /// its defining loop region (zero induction coefficient).  Loop
+  /// unrolling merges copies of invariant classes but splits variant ones
+  /// (Figure 6); meaningless (true) for non-loop regions.
+  bool loop_invariant = true;
+  /// Human-readable coverage, e.g. "a[0..9]" — for diagnostics and the
+  /// paper-style dumps; not used by queries.
+  std::string display;
+
+  /// Base object name; classes over the same base are candidates for
+  /// aliasing/LCDD, different bases are independent unless via pointers.
+  std::string base;
+};
+
+/// Alias set (paper §2.2.2): classes that may access the same location
+/// within one iteration of the region.
+struct AliasEntry {
+  std::vector<ItemId> classes;
+};
+
+/// Loop-carried data dependence (paper §2.2.3), direction normalized
+/// forward: `src`'s access in an earlier iteration conflicts with `dst`'s
+/// access `distance` iterations later.
+struct LcddEntry {
+  ItemId src = kNoItem;
+  ItemId dst = kNoItem;
+  DepType type = DepType::Definite;
+  /// Iteration distance; nullopt when unknown (still a dependence).
+  std::optional<std::int64_t> distance;
+};
+
+/// Call REF/MOD effect (paper §2.2.4): keyed either by a call item
+/// immediately in the region or by a sub-region aggregating all its calls.
+struct CallEffectEntry {
+  bool is_subregion = false;
+  ItemId call_item = kNoItem;     ///< Valid when !is_subregion.
+  RegionId subregion = kNoRegion; ///< Valid when is_subregion.
+  std::vector<ItemId> ref_classes;
+  std::vector<ItemId> mod_classes;
+  /// Callee may touch unmapped/unknown memory: the back-end must treat the
+  /// call as a full clobber, exactly like native GCC.
+  bool unknown = false;
+};
+
+enum class RegionType : std::uint8_t { Unit, Loop };
+
+struct RegionEntry {
+  RegionId id = kNoRegion;
+  RegionType type = RegionType::Unit;
+  RegionId parent = kNoRegion;
+  std::vector<RegionId> children;
+  /// Source line span of the region (the region "scope" of §2.2).
+  std::uint32_t first_line = 0;
+  std::uint32_t last_line = 0;
+
+  std::vector<EquivClass> classes;
+  std::vector<AliasEntry> aliases;
+  std::vector<LcddEntry> lcdds;
+  std::vector<CallEffectEntry> call_effects;
+
+  [[nodiscard]] const EquivClass* find_class(ItemId id) const {
+    for (const auto& c : classes) {
+      if (c.id == id) return &c;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] EquivClass* find_class(ItemId id) {
+    for (auto& c : classes) {
+      if (c.id == id) return &c;
+    }
+    return nullptr;
+  }
+};
+
+/// HLI for one program unit (function).
+struct HliEntry {
+  std::string unit_name;
+  LineTable line_table;
+  std::vector<RegionEntry> regions;
+  RegionId root_region = kNoRegion;
+  /// Next free ID in the shared item/class space (for maintenance).
+  ItemId next_id = 1;
+
+  [[nodiscard]] const RegionEntry* find_region(RegionId id) const {
+    for (const auto& r : regions) {
+      if (r.id == id) return &r;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] RegionEntry* find_region(RegionId id) {
+    for (auto& r : regions) {
+      if (r.id == id) return &r;
+    }
+    return nullptr;
+  }
+};
+
+/// A whole program's HLI.
+struct HliFile {
+  std::vector<HliEntry> entries;
+
+  [[nodiscard]] const HliEntry* find_unit(const std::string& name) const {
+    for (const auto& e : entries) {
+      if (e.unit_name == name) return &e;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] HliEntry* find_unit(const std::string& name) {
+    for (auto& e : entries) {
+      if (e.unit_name == name) return &e;
+    }
+    return nullptr;
+  }
+};
+
+[[nodiscard]] std::string to_string(ItemType type);
+[[nodiscard]] std::string to_string(EquivAccType type);
+[[nodiscard]] std::string to_string(DepType type);
+
+}  // namespace hli::format

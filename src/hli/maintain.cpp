@@ -1,0 +1,266 @@
+#include "hli/maintain.hpp"
+
+#include <algorithm>
+
+namespace hli::maintain {
+
+using namespace format;
+
+namespace {
+
+template <typename T>
+void erase_value(std::vector<T>& v, const T& value) {
+  v.erase(std::remove(v.begin(), v.end(), value), v.end());
+}
+
+/// Region containing `item` as a class member; also yields the class.
+RegionEntry* find_item_region(HliEntry& entry, ItemId item, EquivClass** cls_out) {
+  for (RegionEntry& region : entry.regions) {
+    for (EquivClass& cls : region.classes) {
+      if (std::find(cls.member_items.begin(), cls.member_items.end(), item) !=
+          cls.member_items.end()) {
+        if (cls_out != nullptr) *cls_out = &cls;
+        return &region;
+      }
+    }
+  }
+  return nullptr;
+}
+
+/// Removes a now-empty class from its region and all referencing tables;
+/// recurses upward if the parent class becomes empty too.
+void remove_class(HliEntry& entry, RegionEntry& region, ItemId class_id) {
+  // Strip the class from this region's side tables.
+  for (AliasEntry& alias : region.aliases) erase_value(alias.classes, class_id);
+  std::erase_if(region.aliases,
+                [](const AliasEntry& a) { return a.classes.size() < 2; });
+  std::erase_if(region.lcdds, [class_id](const LcddEntry& d) {
+    return d.src == class_id || d.dst == class_id;
+  });
+  for (CallEffectEntry& eff : region.call_effects) {
+    erase_value(eff.ref_classes, class_id);
+    erase_value(eff.mod_classes, class_id);
+  }
+  std::erase_if(region.classes,
+                [class_id](const EquivClass& c) { return c.id == class_id; });
+
+  // Detach from the parent class, cascading if it empties.
+  RegionEntry* parent = entry.find_region(region.parent);
+  if (parent == nullptr) return;
+  for (EquivClass& parent_cls : parent->classes) {
+    const auto it = std::find(parent_cls.member_subclasses.begin(),
+                              parent_cls.member_subclasses.end(), class_id);
+    if (it == parent_cls.member_subclasses.end()) continue;
+    parent_cls.member_subclasses.erase(it);
+    if (parent_cls.member_items.empty() && parent_cls.member_subclasses.empty()) {
+      remove_class(entry, *parent, parent_cls.id);
+    }
+    return;
+  }
+}
+
+void remove_from_line_table(HliEntry& entry, ItemId item) {
+  for (LineEntry& line : entry.line_table.mutable_lines()) {
+    std::erase_if(line.items, [item](const ItemEntry& e) { return e.id == item; });
+  }
+  std::erase_if(entry.line_table.mutable_lines(),
+                [](const LineEntry& l) { return l.items.empty(); });
+}
+
+}  // namespace
+
+void delete_item(HliEntry& entry, ItemId item) {
+  EquivClass* cls = nullptr;
+  RegionEntry* region = find_item_region(entry, item, &cls);
+  remove_from_line_table(entry, item);
+  if (region == nullptr || cls == nullptr) return;
+  erase_value(cls->member_items, item);
+  if (cls->member_items.empty() && cls->member_subclasses.empty()) {
+    remove_class(entry, *region, cls->id);
+  }
+}
+
+ItemId clone_item(HliEntry& entry, ItemId proto, std::uint32_t line) {
+  const auto type = entry.line_table.item_type(proto);
+  const ItemId fresh = entry.next_id++;
+  entry.line_table.add_item(line, {fresh, type.value_or(ItemType::Load)});
+  EquivClass* cls = nullptr;
+  if (find_item_region(entry, proto, &cls) != nullptr && cls != nullptr) {
+    cls->member_items.push_back(fresh);
+  }
+  return fresh;
+}
+
+void move_item_to_region(HliEntry& entry, ItemId item, RegionId target) {
+  EquivClass* cls = nullptr;
+  RegionEntry* region = find_item_region(entry, item, &cls);
+  if (region == nullptr || cls == nullptr || region->id == target) return;
+
+  // Walk the lifted-class chain from the item's region to the target.
+  ItemId current_class = cls->id;
+  RegionEntry* current_region = region;
+  EquivClass* target_class = nullptr;
+  while (current_region != nullptr && current_region->id != target) {
+    RegionEntry* parent = entry.find_region(current_region->parent);
+    if (parent == nullptr) return;  // Target does not enclose the item.
+    EquivClass* lifted = nullptr;
+    for (EquivClass& candidate : parent->classes) {
+      if (std::find(candidate.member_subclasses.begin(),
+                    candidate.member_subclasses.end(),
+                    current_class) != candidate.member_subclasses.end()) {
+        lifted = &candidate;
+        break;
+      }
+    }
+    if (lifted == nullptr) return;
+    current_class = lifted->id;
+    current_region = parent;
+    target_class = lifted;
+  }
+  if (target_class == nullptr) return;
+
+  erase_value(cls->member_items, item);
+  target_class->member_items.push_back(item);
+  if (cls->member_items.empty() && cls->member_subclasses.empty()) {
+    remove_class(entry, *region, cls->id);
+  }
+}
+
+UnrollUpdate unroll_loop(HliEntry& entry, RegionId loop, unsigned factor) {
+  UnrollUpdate update;
+  if (factor < 2) return update;
+  RegionEntry* region = entry.find_region(loop);
+  if (region == nullptr || region->type != RegionType::Loop ||
+      !region->children.empty()) {
+    return update;
+  }
+
+  // Copy 0 is the original class; copies 1..factor-1 are fresh classes for
+  // variant classes and the original itself for invariant ones.
+  std::map<ItemId, std::vector<ItemId>> class_copies;
+  const std::vector<EquivClass> original_classes = region->classes;
+
+  for (const EquivClass& cls : original_classes) {
+    std::vector<ItemId>& copies = class_copies[cls.id];
+    copies.push_back(cls.id);
+    for (unsigned k = 1; k < factor; ++k) {
+      if (cls.loop_invariant) {
+        copies.push_back(cls.id);
+        continue;
+      }
+      EquivClass copy;
+      copy.id = entry.next_id++;
+      copy.type = cls.type;
+      copy.base = cls.base;
+      copy.unknown_target = cls.unknown_target;
+      copy.has_write = cls.has_write;
+      copy.loop_invariant = false;
+      copy.display = cls.display + "+u" + std::to_string(k);
+      copies.push_back(copy.id);
+      region->classes.push_back(std::move(copy));
+      // The copy joins the same parent class so outer regions see one
+      // unchanged coverage set.
+      RegionEntry* parent = entry.find_region(region->parent);
+      if (parent != nullptr) {
+        for (EquivClass& parent_cls : parent->classes) {
+          if (std::find(parent_cls.member_subclasses.begin(),
+                        parent_cls.member_subclasses.end(),
+                        cls.id) != parent_cls.member_subclasses.end()) {
+            parent_cls.member_subclasses.push_back(copies.back());
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Clone the items: copy k of each member item joins class copy k.
+  for (const EquivClass& cls : original_classes) {
+    const std::vector<ItemId>& copies = class_copies[cls.id];
+    for (const ItemId item : cls.member_items) {
+      std::vector<ItemId>& item_copies = update.item_copies[item];
+      item_copies.push_back(item);
+      // The clone stays on the original's source line (the unrolled body
+      // repeats the same source lines).
+      std::uint32_t line = 0;
+      for (const LineEntry& le : entry.line_table.lines()) {
+        for (const ItemEntry& ie : le.items) {
+          if (ie.id == item) line = le.line;
+        }
+      }
+      for (unsigned k = 1; k < factor; ++k) {
+        const auto type = entry.line_table.item_type(item);
+        const ItemId fresh = entry.next_id++;
+        entry.line_table.add_item(line, {fresh, type.value_or(ItemType::Load)});
+        item_copies.push_back(fresh);
+        EquivClass* target = region->find_class(copies[k]);
+        if (target != nullptr) target->member_items.push_back(fresh);
+      }
+    }
+  }
+
+  // Rebuild the alias and LCDD tables per Figure 6's distance arithmetic.
+  const std::vector<AliasEntry> old_aliases = std::move(region->aliases);
+  const std::vector<LcddEntry> old_lcdds = std::move(region->lcdds);
+  region->aliases.clear();
+  region->lcdds.clear();
+
+  auto copy_of = [&](ItemId cls, unsigned k) -> ItemId {
+    const auto it = class_copies.find(cls);
+    if (it == class_copies.end()) return cls;
+    return it->second[k % factor];
+  };
+
+  for (const AliasEntry& alias : old_aliases) {
+    // Within-iteration aliasing becomes aliasing among all copy pairs
+    // (ranges may overlap across copies too).
+    AliasEntry expanded;
+    for (const ItemId cls : alias.classes) {
+      for (unsigned k = 0; k < factor; ++k) {
+        const ItemId id = copy_of(cls, k);
+        if (std::find(expanded.classes.begin(), expanded.classes.end(), id) ==
+            expanded.classes.end()) {
+          expanded.classes.push_back(id);
+        }
+      }
+    }
+    region->aliases.push_back(std::move(expanded));
+  }
+
+  for (const LcddEntry& dep : old_lcdds) {
+    if (dep.type == DepType::Definite && dep.distance) {
+      const auto d = static_cast<std::uint64_t>(*dep.distance);
+      for (unsigned k = 0; k < factor; ++k) {
+        const std::uint64_t target = k + d;
+        const ItemId src = copy_of(dep.src, k);
+        const ItemId dst = copy_of(dep.dst, static_cast<unsigned>(target % factor));
+        const std::int64_t new_distance = static_cast<std::int64_t>(target / factor);
+        if (new_distance == 0) {
+          // The dependence became an intra-body conflict between copies.
+          if (src != dst) region->aliases.push_back({{src, dst}});
+        } else {
+          region->lcdds.push_back({src, dst, DepType::Definite, new_distance});
+        }
+      }
+    } else {
+      // Unknown distance: every copy pair may carry the dependence.
+      for (unsigned i = 0; i < factor; ++i) {
+        for (unsigned j = 0; j < factor; ++j) {
+          const ItemId src = copy_of(dep.src, i);
+          const ItemId dst = copy_of(dep.dst, j);
+          region->lcdds.push_back({src, dst, DepType::Maybe, std::nullopt});
+          if (src != dst) region->aliases.push_back({{src, dst}});
+        }
+      }
+    }
+  }
+
+  // Variant copies of one original class cover locations shifted by the
+  // loop step within the new body — exactly why they were split — so no
+  // alias entries are added between them.
+
+  update.ok = true;
+  return update;
+}
+
+}  // namespace hli::maintain

@@ -1,0 +1,56 @@
+// HLI maintenance functions (paper §3.2.3).  Back-end optimizations
+// delete, move, and duplicate memory references; these functions keep the
+// imported HLI consistent so later passes (scheduling) still get correct
+// answers.  All functions mutate an HliEntry in place; any HliUnitView
+// over the entry must be rebuilt afterwards.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "hli/format.hpp"
+
+namespace hli::maintain {
+
+using format::HliEntry;
+using format::ItemId;
+using format::RegionId;
+
+/// Deletes an item (e.g. CSE eliminated the reference): removes it from
+/// the line table and its class; empty classes are removed recursively
+/// (including from parents' member lists, alias sets, LCDD entries, and
+/// call-effect lists).
+void delete_item(HliEntry& entry, ItemId item);
+
+/// Creates a new item inheriting `proto`'s type and class membership,
+/// placed on `line` in the line table (appended after existing items of
+/// that line).  Returns the new item's ID.  Used when an optimization
+/// duplicates a memory reference.
+[[nodiscard]] ItemId clone_item(HliEntry& entry, ItemId proto, std::uint32_t line);
+
+/// Moves an item into an ancestor region (loop-invariant code motion):
+/// the item leaves its class and joins the class representing that class
+/// in `target` (the lifted class chain).
+void move_item_to_region(HliEntry& entry, ItemId item, RegionId target);
+
+/// Result of the loop-unrolling update: for every original item of the
+/// loop, its per-copy items (index 0 is the original itself).
+struct UnrollUpdate {
+  std::map<ItemId, std::vector<ItemId>> item_copies;
+  bool ok = false;
+};
+
+/// Updates the HLI tables for unrolling `loop` by `factor` (Figure 6):
+///   * every item of the loop body gets factor-1 clones;
+///   * loop-invariant classes absorb their copies (same locations);
+///   * variant classes split into per-copy classes; an original definite
+///     LCDD of distance d becomes an intra-body conflict between copy k
+///     and copy k+d (recorded as alias entries) and a carried dependence
+///     of distance floor((k+d)/factor) for the wrap-around pairs;
+///   * maybe dependences conservatively relate all copy pairs.
+/// Only innermost loops (no child regions) are supported; `ok` is false
+/// otherwise and the entry is unchanged.
+[[nodiscard]] UnrollUpdate unroll_loop(HliEntry& entry, RegionId loop,
+                                       unsigned factor);
+
+}  // namespace hli::maintain

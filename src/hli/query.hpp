@@ -1,0 +1,104 @@
+// The HLI query interface (paper §3.2.2): back-end passes retrieve the
+// stored information exclusively through these functions, which keeps the
+// interface identical across back-end compilers.
+//
+// HliUnitView indexes one (typically re-read) HliEntry:
+//   * HLI_GetEquivAcc  — are two memory items (possibly) the same location
+//                        within the current iteration context?
+//   * HLI_GetAlias     — alias-table relation of the two items' classes.
+//   * HLI_GetLCDD      — loop-carried dependences between two items w.r.t.
+//                        an enclosing loop region.
+//   * HLI_GetCallAcc   — REF/MOD effect of a call item on a memory item.
+//   * HLI_GetRegion    — structural queries (owning region, enclosing
+//                        loops, region kind/scope).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "hli/format.hpp"
+
+namespace hli::query {
+
+using format::HliEntry;
+using format::ItemId;
+using format::RegionId;
+
+/// Three-valued answer used by the equivalence/alias queries.
+enum class EquivAcc : std::uint8_t { None, Maybe, Definite };
+
+/// Call side effects on a memory item.
+enum class CallAcc : std::uint8_t { None, Ref, Mod, RefMod };
+
+struct LcddResult {
+  format::DepType type = format::DepType::Maybe;
+  std::optional<std::int64_t> distance;
+  /// True when the dependence runs from `a` (earlier iteration) to `b`.
+  bool forward = true;
+};
+
+class HliUnitView {
+ public:
+  /// Builds the index; `entry` must outlive the view.  Rebuild the view
+  /// after any maintenance mutation of the entry.
+  explicit HliUnitView(const HliEntry& entry);
+
+  [[nodiscard]] const HliEntry& entry() const { return *entry_; }
+
+  // -- Structural queries (HLI_GetRegion family) --------------------------
+
+  /// Region owning an item: for memory items, the region whose class lists
+  /// it; for calls, the region holding its per-item call-effect entry.
+  [[nodiscard]] RegionId region_of(ItemId item) const;
+  [[nodiscard]] RegionId parent_region(RegionId region) const;
+  /// Innermost loop region enclosing `region` (or `region` itself if loop);
+  /// kNoRegion when none.
+  [[nodiscard]] RegionId innermost_loop(RegionId region) const;
+  /// Least common ancestor region of two items' regions.
+  [[nodiscard]] RegionId common_region(ItemId a, ItemId b) const;
+  /// True when `outer` encloses (or equals) `inner`.
+  [[nodiscard]] bool region_encloses(RegionId outer, RegionId inner) const;
+
+  /// Class representing `item` at `region` (which must enclose the item's
+  /// own region); kNoItem when unknown.
+  [[nodiscard]] ItemId class_of_at(ItemId item, RegionId region) const;
+
+  // -- The paper's query functions ----------------------------------------
+
+  /// HLI_GetEquivAcc: may the two memory items access the same location in
+  /// the same iteration of all their common loops?  Definite only when
+  /// their least-common-region class is a single definite class.
+  [[nodiscard]] EquivAcc get_equiv_acc(ItemId a, ItemId b) const;
+
+  /// HLI_GetAlias: alias-table relation between the items' classes at
+  /// their least common region (excludes same-class equivalence).
+  [[nodiscard]] EquivAcc get_alias(ItemId a, ItemId b) const;
+
+  /// Combined "may these two references conflict?" — the disambiguation
+  /// answer the instruction scheduler consumes (Figure 5): same class,
+  /// aliased classes, or unknown targets.
+  [[nodiscard]] EquivAcc may_conflict(ItemId a, ItemId b) const;
+
+  /// HLI_GetLCDD: loop-carried dependences between the items' classes at
+  /// loop region `loop` (must enclose both items).
+  [[nodiscard]] std::vector<LcddResult> get_lcdd(RegionId loop, ItemId a,
+                                                 ItemId b) const;
+
+  /// HLI_GetCallAcc: effect of call item `call` on memory item `mem`
+  /// (Figure 4's CSE helper).  Conservatively RefMod when the callee's
+  /// effects are unknown.
+  [[nodiscard]] CallAcc get_call_acc(ItemId mem, ItemId call) const;
+
+ private:
+  [[nodiscard]] const format::EquivClass* class_ptr(ItemId class_id) const;
+
+  const HliEntry* entry_;
+  std::unordered_map<ItemId, RegionId> item_region_;
+  std::unordered_map<ItemId, ItemId> item_class_;     ///< Item -> own-region class.
+  std::unordered_map<ItemId, ItemId> class_parent_;   ///< Class -> parent-region class.
+  std::unordered_map<ItemId, RegionId> class_region_; ///< Class -> defining region.
+  std::unordered_map<RegionId, const format::RegionEntry*> regions_;
+};
+
+}  // namespace hli::query

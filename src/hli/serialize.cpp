@@ -1,0 +1,326 @@
+#include "hli/serialize.hpp"
+
+#include <sstream>
+
+#include "support/string_utils.hpp"
+
+namespace hli::serialize {
+
+using namespace format;
+using support::CompileError;
+
+namespace {
+
+const char* item_code(ItemType type) {
+  switch (type) {
+    case ItemType::Load: return "L";
+    case ItemType::Store: return "S";
+    case ItemType::Call: return "C";
+    case ItemType::ArgStore: return "AS";
+    case ItemType::ArgLoad: return "AL";
+  }
+  return "?";
+}
+
+ItemType item_type_from(std::string_view code, std::size_t line_no) {
+  if (code == "L") return ItemType::Load;
+  if (code == "S") return ItemType::Store;
+  if (code == "C") return ItemType::Call;
+  if (code == "AS") return ItemType::ArgStore;
+  if (code == "AL") return ItemType::ArgLoad;
+  throw CompileError("HLI parse error at line " + std::to_string(line_no) +
+                     ": bad item type '" + std::string(code) + "'");
+}
+
+void write_id_list(std::ostringstream& out, const char* tag,
+                   const std::vector<ItemId>& ids) {
+  out << ' ' << tag << " :";
+  for (const ItemId id : ids) out << ' ' << id;
+}
+
+void write_region(std::ostringstream& out, const RegionEntry& region) {
+  out << "region " << region.id << ' '
+      << (region.type == RegionType::Loop ? "loop" : "unit") << " parent "
+      << region.parent << " scope " << region.first_line << ' '
+      << region.last_line << " children :";
+  for (const RegionId c : region.children) out << ' ' << c;
+  out << '\n';
+  for (const EquivClass& cls : region.classes) {
+    out << "class " << cls.id << ' ' << to_string(cls.type) << " base "
+        << (cls.base.empty() ? "-" : cls.base) << " unk " << (cls.unknown_target ? 1 : 0)
+        << " wr " << (cls.has_write ? 1 : 0) << " inv " << (cls.loop_invariant ? 1 : 0);
+    write_id_list(out, "items", cls.member_items);
+    write_id_list(out, "subs", cls.member_subclasses);
+    out << " disp " << cls.display << '\n';
+  }
+  for (const AliasEntry& alias : region.aliases) {
+    out << "alias :";
+    for (const ItemId id : alias.classes) out << ' ' << id;
+    out << '\n';
+  }
+  for (const LcddEntry& dep : region.lcdds) {
+    out << "lcdd " << dep.src << ' ' << dep.dst << ' ' << to_string(dep.type)
+        << " dist " << (dep.distance ? std::to_string(*dep.distance) : "?") << '\n';
+  }
+  for (const CallEffectEntry& eff : region.call_effects) {
+    if (eff.is_subregion) {
+      out << "calleff region " << eff.subregion;
+    } else {
+      out << "calleff item " << eff.call_item;
+    }
+    out << " unk " << (eff.unknown ? 1 : 0);
+    write_id_list(out, "ref", eff.ref_classes);
+    write_id_list(out, "mod", eff.mod_classes);
+    out << '\n';
+  }
+  out << "endregion\n";
+}
+
+}  // namespace
+
+std::string write_entry(const HliEntry& entry) {
+  std::ostringstream out;
+  out << "unit " << entry.unit_name << " nextid " << entry.next_id << '\n';
+  for (const LineEntry& line : entry.line_table.lines()) {
+    out << "line " << line.line << " :";
+    for (const ItemEntry& item : line.items) {
+      out << ' ' << item.id << ':' << item_code(item.type);
+    }
+    out << '\n';
+  }
+  out << "regions " << entry.regions.size() << " root " << entry.root_region << '\n';
+  for (const RegionEntry& region : entry.regions) {
+    write_region(out, region);
+  }
+  out << "endunit\n";
+  return std::move(out).str();
+}
+
+std::string write_hli(const HliFile& file) {
+  std::string out = "HLI v1\n";
+  for (const HliEntry& entry : file.entries) {
+    out += write_entry(entry);
+  }
+  return out;
+}
+
+namespace {
+
+/// Line-based cursor with diagnostics for the reader.
+class Reader {
+ public:
+  explicit Reader(std::string_view text) : lines_(support::split(text, '\n')) {}
+
+  [[nodiscard]] bool done() const { return pos_ >= lines_.size(); }
+
+  [[nodiscard]] std::string_view peek() {
+    while (pos_ < lines_.size() && support::trim(lines_[pos_]).empty()) ++pos_;
+    return pos_ < lines_.size() ? support::trim(lines_[pos_]) : std::string_view{};
+  }
+
+  std::string_view next() {
+    const std::string_view line = peek();
+    ++pos_;
+    return line;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw CompileError("HLI parse error at line " + std::to_string(pos_) + ": " +
+                       message);
+  }
+
+  [[nodiscard]] std::size_t line_no() const { return pos_; }
+
+ private:
+  std::vector<std::string_view> lines_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t parse_num(Reader& r, std::string_view token) {
+  std::uint64_t value = 0;
+  if (!support::parse_u64(token, value)) {
+    r.fail("expected number, got '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+/// Parses `<tag> : id id ...` starting at tokens[at]; returns index after.
+std::size_t parse_id_list(Reader& r, const std::vector<std::string_view>& tokens,
+                          std::size_t at, std::string_view tag,
+                          std::vector<ItemId>& out) {
+  if (at >= tokens.size() || tokens[at] != tag) {
+    r.fail("expected '" + std::string(tag) + "' list");
+  }
+  ++at;
+  if (at >= tokens.size() || tokens[at] != ":") r.fail("expected ':'");
+  ++at;
+  while (at < tokens.size()) {
+    std::uint64_t value = 0;
+    if (!support::parse_u64(tokens[at], value)) break;
+    out.push_back(static_cast<ItemId>(value));
+    ++at;
+  }
+  return at;
+}
+
+EquivClass parse_class(Reader& r, std::string_view line) {
+  // class <id> <def|maybe> base <name> unk <b> wr <b> items : ... subs : ... disp <rest>
+  const std::size_t disp_pos = line.find(" disp ");
+  std::string display;
+  std::string_view head = line;
+  if (disp_pos != std::string_view::npos) {
+    display = std::string(line.substr(disp_pos + 6));
+    head = line.substr(0, disp_pos);
+  }
+  const auto tokens = support::split_ws(head);
+  if (tokens.size() < 12) r.fail("malformed class line");
+  EquivClass cls;
+  cls.id = static_cast<ItemId>(parse_num(r, tokens[1]));
+  cls.type = tokens[2] == "def" ? EquivAccType::Definite : EquivAccType::Maybe;
+  if (tokens[3] != "base") r.fail("expected 'base'");
+  cls.base = tokens[4] == "-" ? "" : std::string(tokens[4]);
+  if (tokens[5] != "unk") r.fail("expected 'unk'");
+  cls.unknown_target = parse_num(r, tokens[6]) != 0;
+  if (tokens[7] != "wr") r.fail("expected 'wr'");
+  cls.has_write = parse_num(r, tokens[8]) != 0;
+  if (tokens[9] != "inv") r.fail("expected 'inv'");
+  cls.loop_invariant = parse_num(r, tokens[10]) != 0;
+  std::size_t at = 11;
+  at = parse_id_list(r, tokens, at, "items", cls.member_items);
+  at = parse_id_list(r, tokens, at, "subs", cls.member_subclasses);
+  cls.display = std::move(display);
+  return cls;
+}
+
+RegionEntry parse_region_header(Reader& r, std::string_view line) {
+  const auto tokens = support::split_ws(line);
+  if (tokens.size() < 10) r.fail("malformed region header");
+  RegionEntry region;
+  region.id = static_cast<RegionId>(parse_num(r, tokens[1]));
+  region.type = tokens[2] == "loop" ? RegionType::Loop : RegionType::Unit;
+  if (tokens[3] != "parent") r.fail("expected 'parent'");
+  region.parent = static_cast<RegionId>(parse_num(r, tokens[4]));
+  if (tokens[5] != "scope") r.fail("expected 'scope'");
+  region.first_line = static_cast<std::uint32_t>(parse_num(r, tokens[6]));
+  region.last_line = static_cast<std::uint32_t>(parse_num(r, tokens[7]));
+  if (tokens[8] != "children" || tokens[9] != ":") r.fail("expected children list");
+  for (std::size_t i = 10; i < tokens.size(); ++i) {
+    region.children.push_back(static_cast<RegionId>(parse_num(r, tokens[i])));
+  }
+  return region;
+}
+
+void parse_region_body(Reader& r, RegionEntry& region) {
+  while (!r.done()) {
+    const std::string_view line = r.peek();
+    if (line == "endregion") {
+      (void)r.next();
+      return;
+    }
+    if (support::starts_with(line, "class ")) {
+      region.classes.push_back(parse_class(r, r.next()));
+    } else if (support::starts_with(line, "alias ")) {
+      const auto tokens = support::split_ws(r.next());
+      AliasEntry alias;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        alias.classes.push_back(static_cast<ItemId>(parse_num(r, tokens[i])));
+      }
+      region.aliases.push_back(std::move(alias));
+    } else if (support::starts_with(line, "lcdd ")) {
+      const auto tokens = support::split_ws(r.next());
+      if (tokens.size() < 6) r.fail("malformed lcdd line");
+      LcddEntry dep;
+      dep.src = static_cast<ItemId>(parse_num(r, tokens[1]));
+      dep.dst = static_cast<ItemId>(parse_num(r, tokens[2]));
+      dep.type = tokens[3] == "def" ? DepType::Definite : DepType::Maybe;
+      if (tokens[4] != "dist") r.fail("expected 'dist'");
+      if (tokens[5] != "?") {
+        std::int64_t value = 0;
+        if (!support::parse_i64(tokens[5], value)) r.fail("bad distance");
+        dep.distance = value;
+      }
+      region.lcdds.push_back(dep);
+    } else if (support::starts_with(line, "calleff ")) {
+      const auto tokens = support::split_ws(r.next());
+      if (tokens.size() < 5) r.fail("malformed calleff line");
+      CallEffectEntry eff;
+      if (tokens[1] == "region") {
+        eff.is_subregion = true;
+        eff.subregion = static_cast<RegionId>(parse_num(r, tokens[2]));
+      } else if (tokens[1] == "item") {
+        eff.call_item = static_cast<ItemId>(parse_num(r, tokens[2]));
+      } else {
+        r.fail("expected 'item' or 'region'");
+      }
+      if (tokens[3] != "unk") r.fail("expected 'unk'");
+      eff.unknown = parse_num(r, tokens[4]) != 0;
+      std::size_t at = 5;
+      at = parse_id_list(r, tokens, at, "ref", eff.ref_classes);
+      at = parse_id_list(r, tokens, at, "mod", eff.mod_classes);
+      region.call_effects.push_back(std::move(eff));
+    } else {
+      r.fail("unexpected line in region: '" + std::string(line) + "'");
+    }
+  }
+  r.fail("missing endregion");
+}
+
+HliEntry parse_unit(Reader& r, std::string_view header) {
+  const auto tokens = support::split_ws(header);
+  if (tokens.size() < 4 || tokens[2] != "nextid") r.fail("malformed unit header");
+  HliEntry entry;
+  entry.unit_name = std::string(tokens[1]);
+  entry.next_id = static_cast<ItemId>(parse_num(r, tokens[3]));
+
+  // Line table.
+  while (!r.done() && support::starts_with(r.peek(), "line ")) {
+    const auto line_tokens = support::split_ws(r.next());
+    if (line_tokens.size() < 3 || line_tokens[2] != ":") r.fail("malformed line entry");
+    const auto source_line = static_cast<std::uint32_t>(parse_num(r, line_tokens[1]));
+    for (std::size_t i = 3; i < line_tokens.size(); ++i) {
+      const auto parts = support::split(line_tokens[i], ':');
+      if (parts.size() != 2) r.fail("malformed item token");
+      ItemEntry item;
+      item.id = static_cast<ItemId>(parse_num(r, parts[0]));
+      item.type = item_type_from(parts[1], r.line_no());
+      entry.line_table.add_item(source_line, item);
+    }
+  }
+
+  // Region table.
+  const auto regions_tokens = support::split_ws(r.next());
+  if (regions_tokens.size() < 4 || regions_tokens[0] != "regions" ||
+      regions_tokens[2] != "root") {
+    r.fail("expected regions header");
+  }
+  const std::uint64_t region_count = parse_num(r, regions_tokens[1]);
+  entry.root_region = static_cast<RegionId>(parse_num(r, regions_tokens[3]));
+  for (std::uint64_t i = 0; i < region_count; ++i) {
+    const std::string_view header_line = r.next();
+    if (!support::starts_with(header_line, "region ")) r.fail("expected region");
+    RegionEntry region = parse_region_header(r, header_line);
+    parse_region_body(r, region);
+    entry.regions.push_back(std::move(region));
+  }
+  if (r.done() || r.next() != "endunit") r.fail("missing endunit");
+  return entry;
+}
+
+}  // namespace
+
+HliFile read_hli(std::string_view text) {
+  Reader r(text);
+  if (r.done() || r.next() != "HLI v1") {
+    throw CompileError("HLI parse error: missing 'HLI v1' header");
+  }
+  HliFile file;
+  while (!r.done()) {
+    const std::string_view line = r.peek();
+    if (line.empty()) break;
+    if (!support::starts_with(line, "unit ")) r.fail("expected unit header");
+    file.entries.push_back(parse_unit(r, r.next()));
+  }
+  return file;
+}
+
+}  // namespace hli::serialize

@@ -1,0 +1,35 @@
+// Text serialization of the HLI format.  The back-end consumes a re-read
+// file, never in-memory front-end structures, which keeps the interface
+// compiler-independent (the paper's "universal format" claim) and gives the
+// HLI-size numbers for Table 1.
+//
+// The format is line-oriented and fully round-trippable:
+//   HLI v1
+//   unit <name> nextid <n>
+//   line <num> : <id>:<type> ...
+//   regions <count> root <id>
+//   region <id> <unit|loop> parent <p> scope <first> <last> children : ...
+//   class <id> <def|maybe> base <name> unk <0|1> wr <0|1>
+//         items : ... subs : ... disp <rest of line>   (one line)
+//   alias : <id> <id> ...
+//   lcdd <src> <dst> <def|maybe> dist <d|?>
+//   calleff item <id> unk <0|1> ref : ... mod : ...
+//   calleff region <id> unk <0|1> ref : ... mod : ...
+//   endregion / endunit
+#pragma once
+
+#include <string>
+
+#include "hli/format.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hli::serialize {
+
+[[nodiscard]] std::string write_hli(const format::HliFile& file);
+[[nodiscard]] std::string write_entry(const format::HliEntry& entry);
+
+/// Parses a serialized HLI file.  Throws support::CompileError with a
+/// line-numbered message on malformed input.
+[[nodiscard]] format::HliFile read_hli(std::string_view text);
+
+}  // namespace hli::serialize

@@ -1,0 +1,84 @@
+#include "machine/machine.hpp"
+
+namespace hli::machine {
+
+using backend::Insn;
+using backend::Opcode;
+
+unsigned MachineDesc::latency(const Insn& insn) const {
+  switch (insn.op) {
+    case Opcode::Load:
+      return lat_load;
+    case Opcode::Store:
+      return lat_store;
+    case Opcode::Mul:
+      return insn.is_float ? lat_fmul : lat_imul;
+    case Opcode::Div:
+    case Opcode::Rem:
+      return insn.is_float ? lat_fdiv : lat_idiv;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Neg:
+      return insn.is_float ? lat_fadd : lat_alu;
+    case Opcode::CmpLt:
+    case Opcode::CmpLe:
+    case Opcode::CmpGt:
+    case Opcode::CmpGe:
+    case Opcode::CmpEq:
+    case Opcode::CmpNe:
+      return insn.is_float ? lat_fadd : lat_alu;
+    case Opcode::IntToFp:
+    case Opcode::FpToInt:
+      return lat_fadd;
+    case Opcode::Call:
+      return call_overhead;
+    default:
+      return lat_alu;
+  }
+}
+
+MachineDesc r4600() {
+  MachineDesc m;
+  m.name = "R4600";
+  m.out_of_order = false;
+  m.issue_width = 1;
+  m.branch_penalty = 1;
+  m.call_overhead = 2;
+  m.lat_alu = 1;
+  m.lat_imul = 8;
+  m.lat_idiv = 36;
+  m.lat_load = 2;
+  m.lat_store = 1;
+  m.lat_fadd = 4;
+  m.lat_fmul = 8;
+  m.lat_fdiv = 36;
+  m.lat_miss = 14;  // Straight to memory: no L2 on the paper's R4600 box.
+  return m;
+}
+
+MachineDesc r10000() {
+  MachineDesc m;
+  m.name = "R10000";
+  m.out_of_order = true;
+  m.issue_width = 4;
+  // The R10000's active list held 32 entries but each scheduling queue
+  // (integer / FP / address) held 16: model the effective instruction
+  // window as 16.  Static scheduling matters on an OoO core exactly to
+  // the extent the window is finite.
+  m.rob_size = 16;
+  m.lsq_size = 16;
+  m.branch_penalty = 1;  // Aggressive prediction; misprediction cost folded in.
+  m.call_overhead = 4;
+  m.lat_alu = 1;
+  m.lat_imul = 6;
+  m.lat_idiv = 35;
+  m.lat_load = 2;
+  m.lat_store = 1;
+  m.lat_fadd = 2;
+  m.lat_fmul = 2;
+  m.lat_fdiv = 19;
+  m.lat_miss = 9;  // L1 miss, 2 MB off-chip L2 hit.
+  return m;
+}
+
+}  // namespace hli::machine

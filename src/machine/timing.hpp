@@ -1,0 +1,104 @@
+// Execution-driven cycle-approximate timing models.  Both are TraceSinks:
+// the RTL interpreter streams every executed instruction (with resolved
+// memory addresses) and the model advances its clock.
+//
+// InOrderSim — scoreboarded single-issue pipeline (R4600-like): an
+// instruction issues when its operands are ready; loads have a visible
+// delay the static schedule can hide.
+//
+// OutOfOrderSim — width-W dispatch into a ROB; instructions execute when
+// operands are ready, but a LOAD additionally waits until every earlier
+// store in the window has its address resolved, and until the data of any
+// overlapping store is available (the R10000 LSQ rule the paper cites).
+// Because dispatch is in PROGRAM order, the static schedule controls how
+// early a load can enter the window — that is how compile-time scheduling
+// shows up on an out-of-order core.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/interp.hpp"
+#include "machine/machine.hpp"
+
+namespace hli::machine {
+
+/// Direct-mapped L1 data cache shared by both models.
+class CacheModel {
+ public:
+  explicit CacheModel(const MachineDesc& desc)
+      : line_bytes_(desc.cache_line_bytes), tags_(desc.cache_lines, ~0ull) {}
+
+  /// Returns true on hit; installs the line either way.
+  bool access(std::uint64_t address) {
+    const std::uint64_t line = address / line_bytes_;
+    const std::size_t index = static_cast<std::size_t>(line % tags_.size());
+    const bool hit = tags_[index] == line;
+    tags_[index] = line;
+    return hit;
+  }
+
+ private:
+  std::uint64_t line_bytes_;
+  std::vector<std::uint64_t> tags_;
+};
+
+class InOrderSim final : public backend::TraceSink {
+ public:
+  explicit InOrderSim(MachineDesc desc)
+      : desc_(std::move(desc)), cache_(desc_) {}
+
+  void on_insn(const backend::TraceEvent& event) override;
+
+  [[nodiscard]] std::uint64_t cycles() const { return cycle_; }
+  [[nodiscard]] std::uint64_t insns() const { return count_; }
+
+ private:
+  MachineDesc desc_;
+  CacheModel cache_;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t count_ = 0;
+  // Result-ready times per virtual register of the CURRENT function frame.
+  // Calls reset the map (callee registers are a different space); this is
+  // an approximation that charges the call overhead instead.
+  std::unordered_map<backend::Reg, std::uint64_t> ready_;
+};
+
+class OutOfOrderSim final : public backend::TraceSink {
+ public:
+  explicit OutOfOrderSim(MachineDesc desc)
+      : desc_(std::move(desc)), cache_(desc_) {}
+
+  void on_insn(const backend::TraceEvent& event) override;
+
+  [[nodiscard]] std::uint64_t cycles() const;
+  [[nodiscard]] std::uint64_t insns() const { return count_; }
+
+ private:
+  struct StoreInfo {
+    std::uint64_t addr_ready = 0;  ///< When the address is known.
+    std::uint64_t data_ready = 0;  ///< When the stored value is available.
+    std::uint64_t leave_time = 0;  ///< In-order retirement from the queue.
+    std::uint64_t address = 0;
+    std::uint8_t size = 0;
+  };
+
+  MachineDesc desc_;
+  CacheModel cache_;
+  std::uint64_t count_ = 0;
+  std::uint64_t dispatched_this_cycle_ = 0;
+  std::uint64_t dispatch_cycle_ = 0;
+  std::uint64_t last_complete_ = 0;
+  /// The address-generation queue is processed in PROGRAM order (one
+  /// address calculation per cycle, as on the R10000): a memory op's
+  /// access cannot start before its in-order AGU slot.  This is the lever
+  /// through which static instruction order reaches the OoO core.
+  std::uint64_t agu_cycle_ = 0;
+  std::unordered_map<backend::Reg, std::uint64_t> ready_;
+  std::deque<std::uint64_t> rob_complete_;  ///< Completion times, window-limited.
+  std::deque<StoreInfo> store_queue_;       ///< Pending stores (LSQ window).
+  std::uint64_t last_store_retire_ = 0;     ///< Stores retire in order, 1/cycle.
+};
+
+}  // namespace hli::machine

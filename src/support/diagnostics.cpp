@@ -1,0 +1,29 @@
+#include "support/diagnostics.hpp"
+
+namespace hli::support {
+
+namespace {
+const char* severity_name(Severity sev) {
+  switch (sev) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "unknown";
+}
+}  // namespace
+
+std::string to_string(const Diagnostic& diag) {
+  return to_string(diag.loc) + ": " + severity_name(diag.severity) + ": " + diag.message;
+}
+
+std::string DiagnosticEngine::render() const {
+  std::string out;
+  for (const auto& d : diags_) {
+    out += to_string(d);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hli::support

@@ -1,0 +1,59 @@
+// Diagnostic collection for the mini-C front-end.  Errors are collected
+// rather than thrown so the parser can recover and report several problems
+// per run; fatal structural failures use CompileError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace hli::support {
+
+enum class Severity { Note, Warning, Error };
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+};
+
+[[nodiscard]] std::string to_string(const Diagnostic& diag);
+
+/// Accumulates diagnostics during a compilation.  Cheap to pass by
+/// reference through every phase.
+class DiagnosticEngine {
+ public:
+  void report(Severity sev, SourceLoc loc, std::string message) {
+    if (sev == Severity::Error) ++error_count_;
+    diags_.push_back({sev, loc, std::move(message)});
+  }
+  void error(SourceLoc loc, std::string message) {
+    report(Severity::Error, loc, std::move(message));
+  }
+  void warning(SourceLoc loc, std::string message) {
+    report(Severity::Warning, loc, std::move(message));
+  }
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  /// All diagnostics rendered one-per-line; convenient for test failure
+  /// messages and the driver's error path.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+/// Thrown for unrecoverable pipeline failures (e.g. asking the driver to
+/// lower a program that failed sema).
+class CompileError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace hli::support

@@ -1,0 +1,10 @@
+#include "support/source_location.hpp"
+
+namespace hli::support {
+
+std::string to_string(SourceLoc loc) {
+  if (!loc.valid()) return "<unknown>";
+  return std::to_string(loc.line) + ":" + std::to_string(loc.column);
+}
+
+}  // namespace hli::support

@@ -1,0 +1,33 @@
+// Source coordinates shared by the front-end, the HLI tables, and the
+// back-end.  Line numbers are the glue of the whole system: the HLI line
+// table keys items by source line, and the back-end maps its memory
+// references back to items through the same line numbers (paper §2.1).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace hli::support {
+
+/// A position in a source buffer.  Lines and columns are 1-based; line 0
+/// denotes "unknown" (e.g. compiler-synthesized code).
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] constexpr bool valid() const { return line != 0; }
+  friend constexpr auto operator<=>(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// Half-open range [begin, end) over source positions.
+struct SourceRange {
+  SourceLoc begin;
+  SourceLoc end;
+
+  friend constexpr bool operator==(const SourceRange&, const SourceRange&) = default;
+};
+
+[[nodiscard]] std::string to_string(SourceLoc loc);
+
+}  // namespace hli::support

@@ -1,0 +1,21 @@
+// Small string helpers used by the HLI text serializer/parser and the
+// table-printing benches.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hli::support {
+
+[[nodiscard]] std::string_view trim(std::string_view text);
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text, char sep);
+/// Splits on runs of whitespace; no empty tokens.
+[[nodiscard]] std::vector<std::string_view> split_ws(std::string_view text);
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Parses a non-negative integer; returns false on any malformed input.
+[[nodiscard]] bool parse_u64(std::string_view text, std::uint64_t& out);
+[[nodiscard]] bool parse_i64(std::string_view text, std::int64_t& out);
+
+}  // namespace hli::support

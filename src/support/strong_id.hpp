@@ -1,0 +1,41 @@
+// Strongly-typed integer IDs.  The HLI format juggles several ID spaces
+// (items, regions, equivalent-access classes, RTL instructions, virtual
+// registers); tagging them prevents the classic "passed a region ID where
+// an item ID was expected" bug at compile time.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace hli::support {
+
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  static constexpr StrongId invalid() { return StrongId{}; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  static constexpr Rep kInvalid = std::numeric_limits<Rep>::max();
+  Rep value_ = kInvalid;
+};
+
+}  // namespace hli::support
+
+template <typename Tag, typename Rep>
+struct std::hash<hli::support::StrongId<Tag, Rep>> {
+  std::size_t operator()(hli::support::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};

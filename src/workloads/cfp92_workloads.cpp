@@ -1,0 +1,515 @@
+// CFP92 floating-point benchmark stand-ins.
+#include "workloads/workloads.hpp"
+
+namespace hli::workloads {
+
+// 015.doduc: Monte-Carlo nuclear reactor simulation — a large body of
+// deeply nested small FP loops over many coupled arrays, with conditional
+// updates.  The paper notes its HLI is large because nested-loop items
+// inflate the alias and LCDD tables; reduction 63%, speedup ~1.0/1.03.
+extern const char* const kDoducSource = R"(
+double flux[32][32];
+double absorb[32][32];
+double scatter[32][32];
+double source_t[32][32];
+double leak_row[32];
+double leak_col[32];
+double total;
+int seed;
+void emitd(double v);
+
+double rand01() {
+  seed = (seed * 1103515 + 12345) & 1048575;
+  return seed * 0.00000095367;
+}
+
+void init_cells() {
+  int i;
+  int j;
+  for (i = 0; i < 32; i++) {
+    leak_row[i] = 0.0;
+    leak_col[i] = 0.0;
+    for (j = 0; j < 32; j++) {
+      flux[i][j] = rand01();
+      absorb[i][j] = 0.1 + rand01() * 0.2;
+      scatter[i][j] = 0.3 + rand01() * 0.3;
+      source_t[i][j] = rand01();
+    }
+  }
+}
+
+void transport_sweep() {
+  int i;
+  int j;
+  for (i = 1; i < 31; i++) {
+    for (j = 1; j < 31; j++) {
+      double in_flux = flux[i-1][j] * 0.25 + flux[i][j-1] * 0.25;
+      double self = flux[i][j] * scatter[i][j];
+      double gain = source_t[i][j] + in_flux + self;
+      double loss = absorb[i][j] * flux[i][j];
+      flux[i][j] = gain - loss;
+    }
+  }
+}
+
+void leakage_pass() {
+  int i;
+  int j;
+  for (i = 0; i < 32; i++) {
+    double row_acc = 0.0;
+    for (j = 0; j < 32; j++) {
+      row_acc = row_acc + flux[i][j] * absorb[i][j];
+      leak_col[j] = leak_col[j] + flux[i][j] * 0.01;
+    }
+    leak_row[i] = leak_row[i] + row_acc;
+  }
+}
+
+double zone_r[128];
+double zone_v[128];
+double zone_p[128];
+double zone_q[128];
+
+void hydro_sweep() {
+  int z;
+  for (z = 1; z < 127; z++) {
+    double dv = zone_v[z+1] - zone_v[z-1];
+    double visc = 0.0;
+    if (dv < 0.0) {
+      visc = 2.0 * dv * dv;
+    }
+    zone_q[z] = visc;
+    zone_p[z] = zone_p[z] - 0.1 * (zone_q[z] + visc) * dv;
+    zone_r[z] = zone_r[z] + zone_v[z] * 0.01;
+  }
+}
+
+double xsec_table[16];
+
+void cross_sections() {
+  int g;
+  int z;
+  for (g = 0; g < 16; g++) {
+    xsec_table[g] = 0.05 + g * 0.01;
+  }
+  for (z = 0; z < 128; z++) {
+    int band = z & 15;
+    zone_v[z] = zone_v[z] * (1.0 - xsec_table[band] * 0.1)
+              + zone_p[z] * xsec_table[(band + 1) & 15] * 0.01;
+  }
+}
+
+double eos_energy;
+
+void equation_of_state() {
+  int z;
+  for (z = 0; z < 128; z++) {
+    double rho = zone_r[z] + 1.0;
+    double e = zone_p[z] / (0.4 * rho);
+    if (e < 0.0) {
+      e = 0.0;
+    }
+    eos_energy = eos_energy + e;
+    zone_p[z] = 0.4 * rho * e;
+  }
+}
+
+void renormalize() {
+  int i;
+  int j;
+  double sum = 0.0;
+  for (i = 0; i < 32; i++) {
+    for (j = 0; j < 32; j++) {
+      sum = sum + flux[i][j];
+    }
+  }
+  if (sum > 0.5) {
+    double inv = 1024.0 / sum;
+    for (i = 0; i < 32; i++) {
+      for (j = 0; j < 32; j++) {
+        flux[i][j] = flux[i][j] * inv;
+      }
+    }
+  }
+  total = total + sum;
+}
+
+void init_zones() {
+  int z;
+  for (z = 0; z < 128; z++) {
+    zone_r[z] = rand01();
+    zone_v[z] = rand01() - 0.5;
+    zone_p[z] = 1.0 + rand01();
+    zone_q[z] = 0.0;
+  }
+}
+
+int main() {
+  int iter;
+  seed = 31415;
+  init_cells();
+  init_zones();
+  for (iter = 0; iter < 30; iter++) {
+    transport_sweep();
+    leakage_pass();
+    hydro_sweep();
+    cross_sections();
+    equation_of_state();
+    renormalize();
+  }
+  emitd(total);
+  emitd(eos_energy);
+  emitd(leak_row[7] + leak_col[9] + zone_p[64]);
+  return 0;
+}
+)";
+
+// 034.mdljdp2: double-precision molecular dynamics.  Force loops update
+// several coordinate/force arrays with small constant-distance neighbor
+// subscripts; GCC sees same-array variable subscripts and gives up, while
+// the front-end proves per-iteration independence.  Paper: 85% reduction,
+// speedups 1.08 / 1.42 — the star of Table 2.
+extern const char* const kMdljdp2Source = R"(
+double x[512];
+double y[512];
+double z[512];
+double fx[512];
+double fy[512];
+double fz[512];
+double vx[512];
+double vy[512];
+double vz[512];
+int nbr[512];
+double epot;
+double virial;
+int seed;
+void emitd(double v);
+
+double rand01() {
+  seed = (seed * 1103515 + 12345) & 1048575;
+  return seed * 0.00000095367;
+}
+
+void init_particles() {
+  int i;
+  for (i = 0; i < 512; i++) {
+    nbr[i] = (i * 7 + 3) & 511;
+    x[i] = rand01() * 8.0;
+    y[i] = rand01() * 8.0;
+    z[i] = rand01() * 8.0;
+    vx[i] = rand01() - 0.5;
+    vy[i] = rand01() - 0.5;
+    vz[i] = rand01() - 0.5;
+    fx[i] = 0.0;
+    fy[i] = 0.0;
+    fz[i] = 0.0;
+  }
+}
+
+void forces_near() {
+  int i;
+  for (i = 1; i < 511; i++) {
+    int j = nbr[i];
+    double dx = x[i] - x[i-1];
+    double dy = y[i] - y[i-1];
+    double dz = z[i] - z[i-1];
+    double r2 = dx * dx + dy * dy + dz * dz + 0.01;
+    double inv = 1.0 / r2;
+    double s = inv * inv * inv;
+    double g = s * inv * 24.0;
+    fx[j] = fx[j] + dx * g;
+    fy[j] = fy[j] + dy * g;
+    fz[j] = fz[j] + dz * g;
+    epot = epot + s;
+    virial = virial + g * r2;
+  }
+}
+
+void forces_far() {
+  int i;
+  for (i = 4; i < 512; i++) {
+    int j = nbr[i-4];
+    double dx = x[i] - x[i-4];
+    double dy = y[i] - y[i-4];
+    double dz = z[i] - z[i-4];
+    double r2 = dx * dx + dy * dy + dz * dz + 0.01;
+    double inv = 1.0 / r2;
+    double s = inv * inv;
+    fx[j] = fx[j] - dx * s;
+    fy[j] = fy[j] - dy * s;
+    fz[j] = fz[j] - dz * s;
+  }
+}
+
+void advance() {
+  int i;
+  for (i = 0; i < 512; i++) {
+    vx[i] = vx[i] + fx[i] * 0.0005;
+    vy[i] = vy[i] + fy[i] * 0.0005;
+    vz[i] = vz[i] + fz[i] * 0.0005;
+    x[i] = x[i] + vx[i] * 0.001;
+    y[i] = y[i] + vy[i] * 0.001;
+    z[i] = z[i] + vz[i] * 0.001;
+    fx[i] = 0.0;
+    fy[i] = 0.0;
+    fz[i] = 0.0;
+  }
+}
+
+int main() {
+  int step;
+  seed = 2718;
+  init_particles();
+  for (step = 0; step < 60; step++) {
+    forces_near();
+    forces_far();
+    advance();
+  }
+  emitd(epot);
+  emitd(virial);
+  emitd(x[100] + y[200] + z[300]);
+  return 0;
+}
+)";
+
+// 048.ora: ray tracing through an optical system — straight-line FP code
+// dominated by calls to math builtins, very few memory references.
+// Paper: 35% reduction (small counts), speedup 1.00.
+extern const char* const kOraSource = R"(
+double acc_x;
+double acc_y;
+double hits;
+double res[3000];
+double lens_k[8];
+int seed;
+double sqrt(double v);
+double fabs(double v);
+void emitd(double v);
+
+double rand01() {
+  seed = (seed * 1103515 + 12345) & 1048575;
+  return seed * 0.00000095367;
+}
+
+double trace_ray(double px, double py, double dirx, double diry) {
+  double cx = px + dirx * 2.0;
+  double cy = py + diry * 2.0;
+  double r2 = cx * cx + cy * cy;
+  double r = sqrt(r2 + 0.25);
+  double nx = cx / r;
+  double ny = cy / r;
+  double dot = nx * dirx + ny * diry;
+  double rx = dirx - 2.0 * dot * nx;
+  double ry = diry - 2.0 * dot * ny;
+  double bend = sqrt(fabs(rx * ry) + 1.0);
+  return (rx + ry) / bend;
+}
+
+int main() {
+  int i;
+  seed = 555;
+  for (i = 0; i < 8; i++) {
+    lens_k[i] = 1.0 + i * 0.125;
+  }
+  for (i = 0; i < 3000; i++) {
+    double px = rand01() * 4.0 - 2.0;
+    double py = rand01() * 4.0 - 2.0;
+    double norm = sqrt(px * px + py * py) + 0.001;
+    double v = trace_ray(px, py, px / norm, py / norm);
+    res[i] = v * lens_k[i & 7];
+    acc_x = acc_x + res[i];
+    if (fabs(v) < 0.5) {
+      hits = hits + 1.0;
+    }
+  }
+  emitd(acc_x);
+  emitd(hits);
+  emitd(res[1234]);
+  return 0;
+}
+)";
+
+// 052.alvinn: neural-net training for an autonomous van — dense
+// matrix-vector products between layer arrays.  Nearly every native query
+// answers "yes" (one big weight array); HLI separates rows and
+// activations.  Paper: 98% -> 42%, reduction 57%.
+extern const char* const kAlvinnSource = R"(
+double input_l[96];
+double hidden[32];
+double output_l[16];
+double w1[32][96];
+double w2[16][32];
+double h_err[32];
+double o_err[16];
+double target[16];
+double score;
+int seed;
+void emitd(double v);
+
+double rand01() {
+  seed = (seed * 1103515 + 12345) & 1048575;
+  return seed * 0.00000095367;
+}
+
+void init_net() {
+  int i;
+  int j;
+  for (i = 0; i < 32; i++) {
+    for (j = 0; j < 96; j++) {
+      w1[i][j] = rand01() * 0.1 - 0.05;
+    }
+  }
+  for (i = 0; i < 16; i++) {
+    for (j = 0; j < 32; j++) {
+      w2[i][j] = rand01() * 0.1 - 0.05;
+    }
+  }
+}
+
+void load_pattern() {
+  int i;
+  for (i = 0; i < 96; i++) {
+    input_l[i] = rand01();
+  }
+  for (i = 0; i < 16; i++) {
+    target[i] = rand01();
+  }
+}
+
+void forward() {
+  int i;
+  int j;
+  for (i = 0; i < 32; i++) {
+    double acc = 0.0;
+    for (j = 0; j < 96; j++) {
+      acc = acc + w1[i][j] * input_l[j];
+    }
+    hidden[i] = acc / (1.0 + (acc < 0.0 ? 0.0 - acc : acc));
+  }
+  for (i = 0; i < 16; i++) {
+    double acc = 0.0;
+    for (j = 0; j < 32; j++) {
+      acc = acc + w2[i][j] * hidden[j];
+    }
+    output_l[i] = acc;
+  }
+}
+
+void backward() {
+  int i;
+  int j;
+  for (i = 0; i < 16; i++) {
+    o_err[i] = target[i] - output_l[i];
+    score = score + o_err[i] * o_err[i];
+  }
+  for (j = 0; j < 32; j++) {
+    double acc = 0.0;
+    for (i = 0; i < 16; i++) {
+      acc = acc + w2[i][j] * o_err[i];
+      w2[i][j] = w2[i][j] + 0.05 * o_err[i] * hidden[j];
+    }
+    h_err[j] = acc;
+  }
+  for (i = 0; i < 32; i++) {
+    for (j = 0; j < 96; j++) {
+      w1[i][j] = w1[i][j] + 0.05 * h_err[i] * input_l[j];
+    }
+  }
+}
+
+int main() {
+  int epoch;
+  seed = 13;
+  init_net();
+  for (epoch = 0; epoch < 30; epoch++) {
+    load_pattern();
+    forward();
+    backward();
+  }
+  emitd(score);
+  emitd(w1[10][20] + w2[5][5]);
+  return 0;
+}
+)";
+
+// 077.mdljsp2: the single-precision sibling of mdljdp2 with a different
+// loop-body mix (velocity half-steps folded into the force loops).
+// Paper: 85% reduction, speedups 1.19 / 1.59 — the biggest winner.
+extern const char* const kMdljsp2Source = R"(
+float xs[512];
+float ys[512];
+float fxs[512];
+float fys[512];
+float vxs[512];
+float vys[512];
+int pair_l[512];
+float epots;
+float virials;
+int seed;
+void emitd(double v);
+
+double rand01() {
+  seed = (seed * 1103515 + 12345) & 1048575;
+  return seed * 0.00000095367;
+}
+
+void init_sp() {
+  int i;
+  for (i = 0; i < 512; i++) {
+    pair_l[i] = (i * 11 + 5) & 511;
+    xs[i] = rand01() * 8.0;
+    ys[i] = rand01() * 8.0;
+    vxs[i] = rand01() - 0.5;
+    vys[i] = rand01() - 0.5;
+    fxs[i] = 0.0;
+    fys[i] = 0.0;
+  }
+}
+
+void force_step() {
+  int i;
+  for (i = 2; i < 510; i++) {
+    float dxa = xs[i] - xs[i-1];
+    float dya = ys[i] - ys[i-1];
+    float dxb = xs[i+1] - xs[i];
+    float dyb = ys[i+1] - ys[i];
+    float ra = dxa * dxa + dya * dya + 0.01;
+    float rb = dxb * dxb + dyb * dyb + 0.01;
+    float sa = 1.0 / (ra * ra);
+    float sb = 1.0 / (rb * rb);
+    int p = pair_l[i];
+    fxs[p] = fxs[p] + dxa * sa - dxb * sb;
+    fys[p] = fys[p] + dya * sa - dyb * sb;
+    vxs[i] = vxs[i] + fxs[p] * 0.0005;
+    vys[i] = vys[i] + fys[p] * 0.0005;
+    epots = epots + sa + sb;
+    virials = virials + sa * ra - sb * rb;
+  }
+}
+
+void move_step() {
+  int i;
+  for (i = 0; i < 512; i++) {
+    xs[i] = xs[i] + vxs[i] * 0.001;
+    ys[i] = ys[i] + vys[i] * 0.001;
+    fxs[i] = fxs[i] * 0.5;
+    fys[i] = fys[i] * 0.5;
+  }
+}
+
+int main() {
+  int step;
+  seed = 4242;
+  init_sp();
+  for (step = 0; step < 80; step++) {
+    force_step();
+    move_step();
+  }
+  emitd(epots);
+  emitd(virials);
+  emitd(xs[100] + ys[200]);
+  return 0;
+}
+)";
+
+}  // namespace hli::workloads

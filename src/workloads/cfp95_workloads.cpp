@@ -1,0 +1,540 @@
+// CFP95 floating-point benchmark stand-ins.
+#include "workloads/workloads.hpp"
+
+namespace hli::workloads {
+
+// 101.tomcatv: vectorized mesh generation — 2-D nine-point stencils with
+// many same-array neighbor reads per statement.  Big edge reduction (93%
+// in the paper) but almost no speedup: the serial recurrences dominate.
+extern const char* const kTomcatvSource = R"(
+double xm[66][66];
+double ym[66][66];
+double rxm[66][66];
+double rym[66][66];
+double residual;
+double maxshift;
+int seed;
+void emitd(double v);
+
+double rand01() {
+  seed = (seed * 1103515 + 12345) & 1048575;
+  return seed * 0.00000095367;
+}
+
+void init_mesh() {
+  int i;
+  int j;
+  for (i = 0; i < 66; i++) {
+    for (j = 0; j < 66; j++) {
+      xm[i][j] = i * 0.1 + rand01() * 0.01;
+      ym[i][j] = j * 0.1 + rand01() * 0.01;
+      rxm[i][j] = 0.0;
+      rym[i][j] = 0.0;
+    }
+  }
+}
+
+void compute_residuals() {
+  int i;
+  int j;
+  for (i = 1; i < 65; i++) {
+    for (j = 1; j < 65; j++) {
+      double xx = xm[i+1][j] - 2.0 * xm[i][j] + xm[i-1][j];
+      double xy = xm[i][j+1] - 2.0 * xm[i][j] + xm[i][j-1];
+      double yx = ym[i+1][j] - 2.0 * ym[i][j] + ym[i-1][j];
+      double yy = ym[i][j+1] - 2.0 * ym[i][j] + ym[i][j-1];
+      double cross = xm[i+1][j+1] - xm[i+1][j-1] - xm[i-1][j+1] + xm[i-1][j-1];
+      rxm[i][j] = xx + xy + 0.25 * cross;
+      rym[i][j] = yx + yy + 0.25 * (ym[i+1][j+1] - ym[i+1][j-1] - ym[i-1][j+1] + ym[i-1][j-1]);
+    }
+  }
+}
+
+void relax_mesh() {
+  int i;
+  int j;
+  double err = 0.0;
+  for (i = 1; i < 65; i++) {
+    for (j = 1; j < 65; j++) {
+      xm[i][j] = xm[i][j] + 0.05 * rxm[i][j];
+      ym[i][j] = ym[i][j] + 0.05 * rym[i][j];
+      double ax = rxm[i][j];
+      if (ax < 0.0) {
+        ax = 0.0 - ax;
+      }
+      err = err + ax;
+      residual = residual + ax * 0.001;
+      maxshift = maxshift + rxm[i][j] * 0.0001;
+    }
+  }
+  residual = residual + err;
+}
+
+int main() {
+  int iter;
+  seed = 777;
+  init_mesh();
+  for (iter = 0; iter < 12; iter++) {
+    compute_residuals();
+    relax_mesh();
+  }
+  emitd(residual);
+  emitd(xm[30][30] + ym[31][31] + maxshift);
+  return 0;
+}
+)";
+
+// 102.swim: shallow-water equations — three coupled 2-D grids updated by
+// wide stencil statements (long source lines, many items per line; the
+// paper calls out its large HLI-per-line).  96% of native queries answer
+// yes; with HLI only 10%.
+extern const char* const kSwimSource = R"(
+double u[66][66];
+double v[66][66];
+double p[66][66];
+double unew[66][66];
+double vnew[66][66];
+double pnew[66][66];
+double cu[66][66];
+double cv[66][66];
+double zeta[66][66];
+double h[66][66];
+double check;
+int seed;
+void emitd(double v);
+
+double rand01() {
+  seed = (seed * 1103515 + 12345) & 1048575;
+  return seed * 0.00000095367;
+}
+
+void init_fields() {
+  int i;
+  int j;
+  for (i = 0; i < 66; i++) {
+    for (j = 0; j < 66; j++) {
+      u[i][j] = rand01();
+      v[i][j] = rand01();
+      p[i][j] = 10.0 + rand01();
+      unew[i][j] = 0.0;
+      vnew[i][j] = 0.0;
+      pnew[i][j] = 0.0;
+      cu[i][j] = 0.0;
+      cv[i][j] = 0.0;
+      zeta[i][j] = 0.0;
+      h[i][j] = 0.0;
+    }
+  }
+}
+
+void calc1() {
+  int i;
+  int j;
+  for (i = 1; i < 65; i++) {
+    for (j = 1; j < 65; j++) {
+      cu[i][j] = 0.5 * (p[i][j] + p[i-1][j]) * u[i][j];
+      cv[i][j] = 0.5 * (p[i][j] + p[i][j-1]) * v[i][j];
+      zeta[i][j] = (4.0 * (v[i][j] - v[i-1][j] - u[i][j] + u[i][j-1])) / (p[i][j] + p[i-1][j] + p[i][j-1] + p[i-1][j-1]);
+      h[i][j] = p[i][j] + 0.25 * (u[i][j] * u[i][j] + v[i][j] * v[i][j]);
+    }
+  }
+}
+
+void calc2() {
+  int i;
+  int j;
+  for (i = 1; i < 65; i++) {
+    for (j = 1; j < 65; j++) {
+      unew[i][j] = u[i][j] + 0.1 * (zeta[i][j] * (cv[i][j] + cv[i-1][j]) - h[i][j] + h[i-1][j]);
+      vnew[i][j] = v[i][j] - 0.1 * (zeta[i][j] * (cu[i][j] + cu[i][j-1]) + h[i][j] - h[i][j-1]);
+      pnew[i][j] = p[i][j] - 0.1 * (cu[i][j] - cu[i-1][j] + cv[i][j] - cv[i][j-1]);
+    }
+  }
+}
+
+void calc3() {
+  int i;
+  int j;
+  double sum = 0.0;
+  for (i = 1; i < 65; i++) {
+    for (j = 1; j < 65; j++) {
+      u[i][j] = unew[i][j];
+      v[i][j] = vnew[i][j];
+      p[i][j] = pnew[i][j];
+      sum = sum + pnew[i][j];
+    }
+  }
+  check = check + sum;
+}
+
+int main() {
+  int step;
+  seed = 2020;
+  init_fields();
+  for (step = 0; step < 12; step++) {
+    calc1();
+    calc2();
+    calc3();
+  }
+  emitd(check);
+  emitd(u[12][34] + p[45][6]);
+  return 0;
+}
+)";
+
+// 103.su2cor: quantum-chromodynamics Monte Carlo on a 4-D lattice,
+// flattened to strided affine subscripts over one big array.  Native
+// queries on the shared array mostly answer yes; HLI separates the
+// strided slices.  Paper: 59% reduction.
+extern const char* const kSu2corSource = R"(
+double lattice[4096];
+double staple[4096];
+double action_acc;
+int seed;
+void emitd(double v);
+
+double rand01() {
+  seed = (seed * 1103515 + 12345) & 1048575;
+  return seed * 0.00000095367;
+}
+
+void init_lattice() {
+  int s;
+  for (s = 0; s < 4096; s++) {
+    lattice[s] = rand01() * 2.0 - 1.0;
+    staple[s] = 0.0;
+  }
+}
+
+void gather_staples() {
+  int t;
+  int z;
+  int y;
+  int x;
+  for (t = 1; t < 7; t++) {
+    for (z = 1; z < 7; z++) {
+      for (y = 1; y < 7; y++) {
+        for (x = 1; x < 7; x++) {
+          int site = ((t * 8 + z) * 8 + y) * 8 + x;
+          staple[site] = lattice[site - 1] + lattice[site + 1]
+                       + lattice[site - 8] + lattice[site + 8]
+                       + lattice[site - 64] + lattice[site + 64]
+                       + lattice[site - 512] + lattice[site + 512];
+        }
+      }
+    }
+  }
+}
+
+void update_links() {
+  int t;
+  int z;
+  int y;
+  int x;
+  for (t = 1; t < 7; t++) {
+    for (z = 1; z < 7; z++) {
+      for (y = 1; y < 7; y++) {
+        for (x = 1; x < 7; x++) {
+          int site = ((t * 8 + z) * 8 + y) * 8 + x;
+          double old = lattice[site];
+          double trial = old * 0.9 + staple[site] * 0.0125;
+          double d_action = trial * staple[site] - old * staple[site];
+          if (d_action > 0.0) {
+            lattice[site] = trial;
+            action_acc = action_acc + d_action;
+          } else {
+            lattice[site] = old * 0.999;
+          }
+        }
+      }
+    }
+  }
+}
+
+int main() {
+  int sweep;
+  seed = 8086;
+  init_lattice();
+  for (sweep = 0; sweep < 25; sweep++) {
+    gather_staples();
+    update_links();
+  }
+  emitd(action_acc);
+  emitd(lattice[777] + staple[1234]);
+  return 0;
+}
+)";
+
+// 107.mgrid: multigrid solver — 3-D 27-point stencil smoothing where the
+// written array IS read at neighbor offsets in the same loop (a genuine
+// in-place Gauss-Seidel recurrence): most conservative answers are real
+// dependences, so HLI removes little.  Paper: only 15% reduction.
+extern const char* const kMgridSource = R"(
+double grid[18][18][18];
+double rhs[18][18][18];
+double norm_acc;
+int seed;
+void emitd(double v);
+
+double rand01() {
+  seed = (seed * 1103515 + 12345) & 1048575;
+  return seed * 0.00000095367;
+}
+
+void init_grid() {
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < 18; i++) {
+    for (j = 0; j < 18; j++) {
+      for (k = 0; k < 18; k++) {
+        grid[i][j][k] = 0.0;
+        rhs[i][j][k] = rand01();
+      }
+    }
+  }
+}
+
+void smooth_inplace() {
+  int i;
+  int j;
+  int k;
+  for (i = 1; i < 17; i++) {
+    for (j = 1; j < 17; j++) {
+      for (k = 1; k < 17; k++) {
+        grid[i][j][k] = (grid[i-1][j][k] + grid[i+1][j][k]
+                       + grid[i][j-1][k] + grid[i][j+1][k]
+                       + grid[i][j][k-1] + grid[i][j][k+1]
+                       + rhs[i][j][k]) * 0.1428;
+      }
+    }
+  }
+}
+
+void restrict_to_coarse() {
+  int i;
+  int j;
+  int k;
+  for (i = 1; i < 8; i++) {
+    for (j = 1; j < 8; j++) {
+      for (k = 1; k < 8; k++) {
+        grid[i][j][k] = 0.5 * grid[2*i][2*j][2*k]
+                      + 0.25 * (grid[2*i-1][2*j][2*k] + grid[2*i+1][2*j][2*k]);
+      }
+    }
+  }
+}
+
+void prolong_to_fine() {
+  int i;
+  int j;
+  int k;
+  for (i = 7; i >= 1; i--) {
+    for (j = 1; j < 8; j++) {
+      for (k = 1; k < 8; k++) {
+        grid[2*i][2*j][2*k] = grid[2*i][2*j][2*k] + 0.5 * grid[i][j][k];
+        grid[2*i+1][2*j][2*k] = grid[2*i+1][2*j][2*k] + 0.25 * grid[i][j][k];
+      }
+    }
+  }
+}
+
+void residual_norm() {
+  int i;
+  int j;
+  int k;
+  double acc = 0.0;
+  for (i = 1; i < 17; i++) {
+    for (j = 1; j < 17; j++) {
+      for (k = 1; k < 17; k++) {
+        double r = rhs[i][j][k] - grid[i][j][k] * 6.0
+                 + grid[i-1][j][k] + grid[i+1][j][k]
+                 + grid[i][j-1][k] + grid[i][j+1][k];
+        acc = acc + r * r;
+      }
+    }
+  }
+  norm_acc = norm_acc + acc;
+}
+
+int main() {
+  int cycle;
+  seed = 606;
+  init_grid();
+  for (cycle = 0; cycle < 10; cycle++) {
+    smooth_inplace();
+    restrict_to_coarse();
+    prolong_to_fine();
+    residual_norm();
+  }
+  emitd(norm_acc);
+  emitd(grid[9][9][9]);
+  return 0;
+}
+)";
+
+// 141.apsi: mesoscale weather — a large mixed code: several routines,
+// stencil sweeps, scalar-heavy column physics, and cross-routine calls.
+// Paper: moderate 33% reduction, speedup ~1.0.
+extern const char* const kApsiSource = R"(
+double temp_f[34][34];
+double wind_u[34][34];
+double wind_v[34][34];
+double press[34][34];
+double column[34];
+double coriolis[34];
+double energy;
+double sat_acc;
+int seed;
+void emitd(double v);
+
+double rand01() {
+  seed = (seed * 1103515 + 12345) & 1048575;
+  return seed * 0.00000095367;
+}
+
+void init_atmos() {
+  int i;
+  int j;
+  for (i = 0; i < 34; i++) {
+    coriolis[i] = 0.0001 * i;
+    column[i] = 0.0;
+    for (j = 0; j < 34; j++) {
+      temp_f[i][j] = 280.0 + rand01() * 10.0;
+      wind_u[i][j] = rand01() - 0.5;
+      wind_v[i][j] = rand01() - 0.5;
+      press[i][j] = 1000.0 - i * 2.0 + rand01();
+    }
+  }
+}
+
+void advect_temp() {
+  int i;
+  int j;
+  for (i = 1; i < 33; i++) {
+    for (j = 1; j < 33; j++) {
+      double gradx = temp_f[i+1][j] - temp_f[i-1][j];
+      double grady = temp_f[i][j+1] - temp_f[i][j-1];
+      temp_f[i][j] = temp_f[i][j] - 0.05 * (wind_u[i][j] * gradx + wind_v[i][j] * grady);
+    }
+  }
+}
+
+void geostrophic_wind() {
+  int i;
+  int j;
+  for (i = 1; i < 33; i++) {
+    for (j = 1; j < 33; j++) {
+      double dpx = press[i+1][j] - press[i-1][j];
+      double dpy = press[i][j+1] - press[i][j-1];
+      wind_u[i][j] = wind_u[i][j] - 0.01 * dpy + coriolis[i] * wind_v[i][j];
+      wind_v[i][j] = wind_v[i][j] + 0.01 * dpx - coriolis[i] * wind_u[i][j];
+    }
+  }
+}
+
+double sat_table[64];
+
+void latent_heat() {
+  int i;
+  int j;
+  for (i = 1; i < 33; i++) {
+    for (j = 1; j < 33; j++) {
+      int band = (seed + i * 3 + j) & 63;
+      sat_table[band] = sat_table[band] + temp_f[i][j] * 0.0001;
+      temp_f[i][j] = temp_f[i][j] + sat_table[(band + 1) & 63] * 0.001;
+    }
+  }
+}
+
+void column_physics() {
+  int i;
+  int j;
+  for (i = 0; i < 34; i++) {
+    double heat = 0.0;
+    double moisture = 0.0;
+    for (j = 0; j < 34; j++) {
+      double t = temp_f[i][j];
+      double dp = press[i][j] * 0.001;
+      heat = heat + t * dp;
+      moisture = moisture + (t - 273.0) * 0.01;
+      if (moisture > 1.0) {
+        moisture = 1.0;
+      }
+    }
+    column[i] = column[i] + heat * 0.0001 + moisture;
+  }
+}
+
+double qv[34][34];
+double kdiff[34];
+
+void vertical_diffusion() {
+  int i;
+  int j;
+  for (i = 0; i < 34; i++) {
+    kdiff[i] = 0.01 + 0.001 * i;
+  }
+  for (i = 1; i < 33; i++) {
+    for (j = 1; j < 33; j++) {
+      double flux_up = kdiff[i] * (temp_f[i+1][j] - temp_f[i][j]);
+      double flux_dn = kdiff[i-1] * (temp_f[i][j] - temp_f[i-1][j]);
+      qv[i][j] = qv[i][j] + 0.5 * (flux_up - flux_dn);
+    }
+  }
+}
+
+double solar_in;
+double thermal_out;
+
+void radiation_balance() {
+  int i;
+  int j;
+  for (i = 0; i < 34; i++) {
+    for (j = 0; j < 34; j++) {
+      double t = temp_f[i][j] * 0.0036;
+      double t2 = t * t;
+      double emitted = t2 * t2;
+      thermal_out = thermal_out + emitted;
+      solar_in = solar_in + (1.0 - 0.3) * 0.342;
+      temp_f[i][j] = temp_f[i][j] + 0.001 * (0.342 - emitted);
+    }
+  }
+}
+
+void total_energy() {
+  int i;
+  int j;
+  double e = 0.0;
+  for (i = 0; i < 34; i++) {
+    for (j = 0; j < 34; j++) {
+      e = e + wind_u[i][j] * wind_u[i][j] + wind_v[i][j] * wind_v[i][j];
+    }
+  }
+  for (i = 0; i < 34; i++) {
+    e = e + column[i];
+  }
+  energy = energy + e;
+}
+
+int main() {
+  int step;
+  seed = 1999;
+  init_atmos();
+  for (step = 0; step < 18; step++) {
+    advect_temp();
+    geostrophic_wind();
+    latent_heat();
+    vertical_diffusion();
+    radiation_balance();
+    column_physics();
+    total_energy();
+  }
+  emitd(energy);
+  emitd(thermal_out - solar_in);
+  emitd(temp_f[10][10] + press[20][20] + qv[5][5]);
+  return 0;
+}
+)";
+
+}  // namespace hli::workloads

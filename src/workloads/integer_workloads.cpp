@@ -1,0 +1,353 @@
+// Integer benchmark stand-ins: GNU wc and the CINT92/95 programs.
+// Character notes per workload are in DESIGN.md §4.
+#include "workloads/workloads.hpp"
+
+namespace hli::workloads {
+
+// GNU wc: byte-stream scan over a text buffer, counting lines / words /
+// characters.  Few memory references per line, tiny basic blocks, almost
+// no exploitable parallelism — the paper reports speedup 1.00.
+extern const char* const kWcSource = R"(
+int buf[4096];
+int nl;
+int nw;
+int nc;
+int seed;
+void emit(int v);
+
+int next_byte() {
+  seed = (seed * 1103515 + 12345) & 1048575;
+  return seed & 127;
+}
+
+void fill_buffer() {
+  int i;
+  for (i = 0; i < 4096; i++) {
+    int b = next_byte();
+    if (b < 20) {
+      buf[i] = 10;
+    } else if (b < 45) {
+      buf[i] = 32;
+    } else {
+      buf[i] = b;
+    }
+  }
+}
+
+void count_buffer(int n) {
+  int i;
+  int in_word = 0;
+  for (i = 0; i < n; i++) {
+    int c = buf[i];
+    nc = nc + 1;
+    if (c == 10) {
+      nl = nl + 1;
+    }
+    if (c == 32 || c == 10 || c == 9) {
+      in_word = 0;
+    } else if (in_word == 0) {
+      in_word = 1;
+      nw = nw + 1;
+    }
+  }
+}
+
+int main() {
+  int round;
+  seed = 42;
+  for (round = 0; round < 24; round++) {
+    fill_buffer();
+    count_buffer(4096);
+  }
+  emit(nl);
+  emit(nw);
+  emit(nc);
+  return 0;
+}
+)";
+
+// 008.espresso: two-level logic minimization.  Pointer-rich manipulation
+// of cube bit-vectors through helper functions; many short loops and
+// frequent calls.  Paper: 62% edge reduction, speedup 1.00.
+extern const char* const kEspressoSource = R"(
+int cover_a[64][8];
+int cover_b[64][8];
+int scratch[8];
+int result[8];
+int count_total;
+int seed;
+void emit(int v);
+
+int next_rand() {
+  seed = (seed * 1103515 + 12345) & 1048575;
+  return seed;
+}
+
+void cube_copy(int* dst, int* src) {
+  int w;
+  for (w = 0; w < 8; w++) {
+    dst[w] = src[w];
+  }
+}
+
+void cube_and(int* dst, int* a, int* b) {
+  int w;
+  for (w = 0; w < 8; w++) {
+    dst[w] = a[w] & b[w];
+  }
+}
+
+void cube_or(int* dst, int* a, int* b) {
+  int w;
+  for (w = 0; w < 8; w++) {
+    dst[w] = a[w] | b[w];
+  }
+}
+
+int cube_popcount(int* a) {
+  int w;
+  int bits = 0;
+  for (w = 0; w < 8; w++) {
+    int v = a[w];
+    while (v != 0) {
+      bits = bits + (v & 1);
+      v = v >> 1;
+    }
+  }
+  return bits;
+}
+
+int cube_empty(int* a) {
+  int w;
+  for (w = 0; w < 8; w++) {
+    if (a[w] != 0) {
+      return 0;
+    }
+  }
+  return 1;
+}
+
+void gen_cover(int which) {
+  int i;
+  int w;
+  for (i = 0; i < 64; i++) {
+    for (w = 0; w < 8; w++) {
+      int bits = next_rand() & 65535;
+      if (which == 0) {
+        cover_a[i][w] = bits;
+      } else {
+        cover_b[i][w] = bits;
+      }
+    }
+  }
+}
+
+int sharp_pass() {
+  int i;
+  int j;
+  int alive = 0;
+  for (i = 0; i < 64; i++) {
+    cube_copy(result, cover_a[i]);
+    for (j = 0; j < 64; j++) {
+      cube_and(scratch, cover_a[i], cover_b[j]);
+      if (cube_empty(scratch) == 0) {
+        cube_or(result, result, scratch);
+      }
+    }
+    count_total = count_total + cube_popcount(result);
+    if (cube_empty(result) == 0) {
+      alive = alive + 1;
+    }
+  }
+  return alive;
+}
+
+int main() {
+  int round;
+  int alive = 0;
+  seed = 7;
+  for (round = 0; round < 2; round++) {
+    gen_cover(0);
+    gen_cover(1);
+    alive = alive + sharp_pass();
+  }
+  emit(alive);
+  emit(count_total);
+  return 0;
+}
+)";
+
+// 023.eqntott: truth-table generation dominated by a quicksort-style
+// comparison function over packed term vectors accessed through pointer
+// parameters.  Paper: 52% reduction, small speedups.
+extern const char* const kEqntottSource = R"(
+int terms[256][16];
+int order[256];
+int pt_out[256];
+int cmp_calls;
+int seed;
+void emit(int v);
+
+int next_rand() {
+  seed = (seed * 1103515 + 12345) & 1048575;
+  return seed;
+}
+
+int cmppt(int* a, int* b) {
+  int i;
+  cmp_calls = cmp_calls + 1;
+  for (i = 0; i < 16; i++) {
+    int av = a[i];
+    int bv = b[i];
+    if (av < bv) {
+      return 0 - 1;
+    }
+    if (av > bv) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+void gen_terms() {
+  int i;
+  int j;
+  for (i = 0; i < 256; i++) {
+    order[i] = i;
+    for (j = 0; j < 16; j++) {
+      terms[i][j] = next_rand() & 3;
+    }
+  }
+}
+
+void sort_terms(int n) {
+  int i;
+  int j;
+  for (i = 1; i < n; i++) {
+    int key = order[i];
+    j = i - 1;
+    while (j >= 0 && cmppt(terms[order[j]], terms[key]) > 0) {
+      order[j + 1] = order[j];
+      j = j - 1;
+    }
+    order[j + 1] = key;
+  }
+}
+
+void pack_outputs(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    int t = order[i];
+    pt_out[i] = terms[t][0] * 4 + terms[t][1] * 2 + terms[t][2];
+  }
+}
+
+int checksum() {
+  int i;
+  int sum = 0;
+  for (i = 0; i < 256; i++) {
+    sum = sum + order[i] * (i + 1) + pt_out[i];
+  }
+  return sum & 1048575;
+}
+
+int main() {
+  int round;
+  int sum = 0;
+  seed = 99;
+  for (round = 0; round < 2; round++) {
+    gen_terms();
+    sort_terms(256);
+    pack_outputs(256);
+    sum = sum + checksum();
+  }
+  emit(sum);
+  emit(cmp_calls);
+  return 0;
+}
+)";
+
+// 129.compress: LZW compression.  A hash-table loop with data-dependent
+// subscripts into htab/codetab; GCC cannot tell the tables apart from the
+// input stream.  Paper: 34% reduction, speedups 1.06 / 1.07.
+extern const char* const kCompressSource = R"(
+int htab[8192];
+int codetab[8192];
+int input[4096];
+int out_count;
+int out_hash;
+int seed;
+void emit(int v);
+
+int next_rand() {
+  seed = (seed * 1103515 + 12345) & 1048575;
+  return seed;
+}
+
+void gen_input() {
+  int i;
+  for (i = 0; i < 4096; i++) {
+    input[i] = next_rand() & 255;
+  }
+}
+
+void clear_tables() {
+  int i;
+  for (i = 0; i < 8192; i++) {
+    htab[i] = 0 - 1;
+    codetab[i] = 0;
+  }
+}
+
+void output_code(int code) {
+  out_count = out_count + 1;
+  out_hash = (out_hash * 31 + code) & 1048575;
+}
+
+void compress_block(int n) {
+  int ent = input[0];
+  int free_code = 257;
+  int i;
+  for (i = 1; i < n; i++) {
+    int c = input[i];
+    int fcode = (c << 12) + ent;
+    int h = ((c << 5) ^ ent) & 8191;
+    int probes = 0;
+    int done = 0;
+    while (done == 0 && htab[h] >= 0 && probes < 6) {
+      if (htab[h] == fcode) {
+        ent = codetab[h];
+        done = 1;
+      } else {
+        h = (h + 1) & 8191;
+        probes = probes + 1;
+      }
+    }
+    if (done == 0) {
+      output_code(ent);
+      if (free_code < 4096) {
+        htab[h] = fcode;
+        codetab[h] = free_code;
+        free_code = free_code + 1;
+      }
+      ent = c;
+    }
+  }
+  output_code(ent);
+}
+
+int main() {
+  int round;
+  seed = 1234;
+  for (round = 0; round < 6; round++) {
+    gen_input();
+    clear_tables();
+    compress_block(4096);
+  }
+  emit(out_count);
+  emit(out_hash);
+  return 0;
+}
+)";
+
+}  // namespace hli::workloads

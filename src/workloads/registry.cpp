@@ -1,0 +1,48 @@
+#include "workloads/workloads.hpp"
+
+namespace hli::workloads {
+
+// Defined in the per-suite translation units.
+extern const char* const kWcSource;
+extern const char* const kEspressoSource;
+extern const char* const kEqntottSource;
+extern const char* const kCompressSource;
+extern const char* const kDoducSource;
+extern const char* const kMdljdp2Source;
+extern const char* const kOraSource;
+extern const char* const kAlvinnSource;
+extern const char* const kMdljsp2Source;
+extern const char* const kTomcatvSource;
+extern const char* const kSwimSource;
+extern const char* const kSu2corSource;
+extern const char* const kMgridSource;
+extern const char* const kApsiSource;
+
+const std::vector<Workload>& all_workloads() {
+  static const std::vector<Workload> workloads = {
+      {"wc", "GNU", false, kWcSource},
+      {"008.espresso", "CINT92", false, kEspressoSource},
+      {"023.eqntott", "CINT92", false, kEqntottSource},
+      {"129.compress", "CINT95", false, kCompressSource},
+      {"015.doduc", "CFP92", true, kDoducSource},
+      {"034.mdljdp2", "CFP92", true, kMdljdp2Source},
+      {"048.ora", "CFP92", true, kOraSource},
+      {"052.alvinn", "CFP92", true, kAlvinnSource},
+      {"077.mdljsp2", "CFP92", true, kMdljsp2Source},
+      {"101.tomcatv", "CFP95", true, kTomcatvSource},
+      {"102.swim", "CFP95", true, kSwimSource},
+      {"103.su2cor", "CFP95", true, kSu2corSource},
+      {"107.mgrid", "CFP95", true, kMgridSource},
+      {"141.apsi", "CFP95", true, kApsiSource},
+  };
+  return workloads;
+}
+
+const Workload* find_workload(const std::string& name) {
+  for (const Workload& w : all_workloads()) {
+    if (w.name == name) return &w;
+  }
+  return nullptr;
+}
+
+}  // namespace hli::workloads

@@ -1,0 +1,27 @@
+// The benchmark suite of §4: synthetic mini-C stand-ins for the paper's
+// SPEC programs and GNU wc.  Real SPEC sources/inputs are not available
+// (and the mini-C front-end is not full C), so each workload reproduces
+// its namesake's MEMORY-ACCESS CHARACTER — loop nesting, array vs. pointer
+// traffic, subscript patterns, call structure — which is what drives every
+// number in Tables 1 and 2.  DESIGN.md §4 documents each substitution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hli::workloads {
+
+struct Workload {
+  std::string name;    ///< Paper's benchmark name, e.g. "101.tomcatv".
+  std::string suite;   ///< GNU / CINT92 / CINT95 / CFP92 / CFP95.
+  bool floating_point = false;
+  const char* source = nullptr;
+};
+
+/// All 14 workloads in the paper's Table 1 order.
+[[nodiscard]] const std::vector<Workload>& all_workloads();
+
+/// Lookup by name; null when unknown.
+[[nodiscard]] const Workload* find_workload(const std::string& name);
+
+}  // namespace hli::workloads

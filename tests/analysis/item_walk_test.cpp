@@ -1,0 +1,204 @@
+#include "analysis/item_walk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/sema.hpp"
+
+namespace hli::analysis {
+namespace {
+
+using frontend::Program;
+using Kind = ItemEvent::Kind;
+
+struct Walked {
+  Program prog;
+  RegionTree tree;
+  std::vector<ItemEvent> events;
+
+  explicit Walked(const std::string& src, const std::string& func = "f") {
+    support::DiagnosticEngine diags;
+    prog = frontend::compile_to_ast(src, diags);
+    frontend::FuncDecl* fn = prog.find_function(func);
+    EXPECT_NE(fn, nullptr);
+    tree = build_region_tree(*fn);
+    walk_items(prog, *fn, tree, [this](const ItemEvent& ev) { events.push_back(ev); });
+  }
+
+  [[nodiscard]] std::vector<Kind> kinds() const {
+    std::vector<Kind> out;
+    for (const auto& e : events) out.push_back(e.kind);
+    return out;
+  }
+};
+
+TEST(ItemWalkTest, PseudoRegisterScalarsEmitNothing) {
+  Walked w("int f(int a, int b) { int c = a + b; return c * 2; }");
+  EXPECT_TRUE(w.events.empty());
+}
+
+TEST(ItemWalkTest, GlobalScalarLoadAndStore) {
+  Walked w("int g; void f() { g = g + 1; }");
+  ASSERT_EQ(w.events.size(), 2u);
+  EXPECT_EQ(w.events[0].kind, Kind::Load);   // RHS read first.
+  EXPECT_EQ(w.events[1].kind, Kind::Store);  // Then the store.
+  EXPECT_EQ(w.events[0].base->name(), "g");
+}
+
+TEST(ItemWalkTest, RhsBeforeLhsAddressComputation) {
+  // a[b[i]] = c[i]: load c[i], then load b[i] (address of LHS), then store.
+  Walked w(R"(
+    int a[10]; int b[10]; int c[10];
+    void f(int i) { a[b[i]] = c[i]; }
+  )");
+  ASSERT_EQ(w.events.size(), 3u);
+  EXPECT_EQ(w.events[0].base->name(), "c");
+  EXPECT_EQ(w.events[0].kind, Kind::Load);
+  EXPECT_EQ(w.events[1].base->name(), "b");
+  EXPECT_EQ(w.events[1].kind, Kind::Load);
+  EXPECT_EQ(w.events[2].base->name(), "a");
+  EXPECT_EQ(w.events[2].kind, Kind::Store);
+}
+
+TEST(ItemWalkTest, CompoundAssignmentLoadsTarget) {
+  Walked w("double s[4]; void f(int i) { s[i] += 2.0; }");
+  ASSERT_EQ(w.events.size(), 2u);
+  EXPECT_EQ(w.events[0].kind, Kind::Load);
+  EXPECT_EQ(w.events[1].kind, Kind::Store);
+  ASSERT_EQ(w.events[0].subscripts.size(), 1u);
+  EXPECT_TRUE(w.events[0].subscripts[0].is_affine());
+}
+
+TEST(ItemWalkTest, ArrayNameDecayEmitsNoLoad) {
+  Walked w("double a[4]; void g(double* p); void f() { g(a); }");
+  ASSERT_EQ(w.events.size(), 1u);
+  EXPECT_EQ(w.events[0].kind, Kind::Call);
+}
+
+TEST(ItemWalkTest, PointerDerefThroughMemoryResidentPointer) {
+  // p is a global pointer: loading *p first loads p itself.
+  Walked w("int* p; int f() { return *p; }");
+  ASSERT_EQ(w.events.size(), 2u);
+  EXPECT_EQ(w.events[0].kind, Kind::Load);
+  EXPECT_EQ(w.events[0].base->name(), "p");
+  EXPECT_FALSE(w.events[0].via_pointer);
+  EXPECT_EQ(w.events[1].kind, Kind::Load);
+  EXPECT_TRUE(w.events[1].via_pointer);
+  EXPECT_EQ(w.events[1].base->name(), "p");
+}
+
+TEST(ItemWalkTest, RegisterPointerDerefSkipsPointerLoad) {
+  // Parameter pointers live in registers: only the indirect access counts.
+  Walked w("int f(int* p) { return *p; }");
+  ASSERT_EQ(w.events.size(), 1u);
+  EXPECT_TRUE(w.events[0].via_pointer);
+}
+
+TEST(ItemWalkTest, SubscriptedPointerCarriesOffset) {
+  Walked w("double f(double* p, int i) { return p[i + 1]; }");
+  ASSERT_EQ(w.events.size(), 1u);
+  ASSERT_EQ(w.events[0].subscripts.size(), 1u);
+  EXPECT_TRUE(w.events[0].subscripts[0].is_affine());
+  EXPECT_EQ(w.events[0].subscripts[0].constant_part(), 1);
+}
+
+TEST(ItemWalkTest, MultiDimSubscriptsOuterFirst) {
+  Walked w("double m[4][8]; double f(int i, int j) { return m[i][j]; }");
+  ASSERT_EQ(w.events.size(), 1u);
+  ASSERT_EQ(w.events[0].subscripts.size(), 2u);
+}
+
+TEST(ItemWalkTest, CallArgumentsWalkedLeftToRight) {
+  Walked w(R"(
+    int x; int y;
+    int g(int a, int b);
+    void f() { g(x, y); }
+  )");
+  ASSERT_EQ(w.events.size(), 3u);
+  EXPECT_EQ(w.events[0].base->name(), "x");
+  EXPECT_EQ(w.events[1].base->name(), "y");
+  EXPECT_EQ(w.events[2].kind, Kind::Call);
+}
+
+TEST(ItemWalkTest, StackArgStoresForManyArguments) {
+  // Six arguments: the 5th and 6th are stack-passed (kMaxRegisterArgs = 4).
+  Walked w(R"(
+    int g(int a, int b, int c, int d, int e, int h);
+    int f() { return g(1, 2, 3, 4, 5, 6); }
+  )");
+  ASSERT_EQ(w.events.size(), 3u);
+  EXPECT_EQ(w.events[0].kind, Kind::ArgStore);
+  EXPECT_EQ(w.events[0].arg_index, 4);
+  EXPECT_EQ(w.events[1].kind, Kind::ArgStore);
+  EXPECT_EQ(w.events[1].arg_index, 5);
+  EXPECT_EQ(w.events[2].kind, Kind::Call);
+}
+
+TEST(ItemWalkTest, EntryArgLoadsForStackParams) {
+  Walked w("int f(int a, int b, int c, int d, int e) { return e; }");
+  ASSERT_EQ(w.events.size(), 1u);
+  EXPECT_EQ(w.events[0].kind, Kind::ArgLoad);
+  EXPECT_EQ(w.events[0].arg_index, 4);
+}
+
+TEST(ItemWalkTest, ForLoopEventOrderInitCondBodyStep) {
+  Walked w(R"(
+    int g; int a[10]; int n;
+    void f() { for (g = 0; g < n; g++) a[g] = g; }
+  )");
+  // g is a global (memory resident): init stores g; cond loads g and n;
+  // body loads g (subscript) and stores a; step loads and stores g.
+  ASSERT_GE(w.events.size(), 6u);
+  EXPECT_EQ(w.events[0].kind, Kind::Store);  // g = 0.
+  EXPECT_EQ(w.events[0].base->name(), "g");
+  EXPECT_EQ(w.events[1].base->name(), "g");  // Condition load.
+  EXPECT_EQ(w.events[2].base->name(), "n");
+}
+
+TEST(ItemWalkTest, LoopRegionAssignment) {
+  Walked w(R"(
+    int a[10];
+    void f() {
+      a[0] = 1;
+      for (int i = 0; i < 10; i++) { a[i] = i; }
+    }
+  )");
+  ASSERT_EQ(w.events.size(), 2u);
+  EXPECT_EQ(w.events[0].region, w.tree.root());
+  EXPECT_TRUE(w.events[1].region->is_loop());
+}
+
+TEST(ItemWalkTest, IncrementOfGlobalEmitsLoadStore) {
+  Walked w("int g; void f() { g++; }");
+  ASSERT_EQ(w.events.size(), 2u);
+  EXPECT_EQ(w.events[0].kind, Kind::Load);
+  EXPECT_EQ(w.events[1].kind, Kind::Store);
+}
+
+TEST(ItemWalkTest, AddressOfElementLoadsSubscriptOnly) {
+  Walked w(R"(
+    int idx[4]; double a[10];
+    void g(double* p);
+    void f(int i) { g(&a[idx[i]]); }
+  )");
+  // Only the subscript load of idx[i] plus the call; no access to a.
+  ASSERT_EQ(w.events.size(), 2u);
+  EXPECT_EQ(w.events[0].base->name(), "idx");
+  EXPECT_EQ(w.events[1].kind, Kind::Call);
+}
+
+TEST(ItemWalkTest, ShortCircuitOperandsInSourceOrder) {
+  Walked w("int x; int y; int f() { return x && y; }");
+  ASSERT_EQ(w.events.size(), 2u);
+  EXPECT_EQ(w.events[0].base->name(), "x");
+  EXPECT_EQ(w.events[1].base->name(), "y");
+}
+
+TEST(ItemWalkTest, LocalArrayIsMemoryResident) {
+  Walked w("int f(int i) { double t[8]; t[i] = 1.0; return 0; }");
+  ASSERT_EQ(w.events.size(), 1u);
+  EXPECT_EQ(w.events[0].kind, Kind::Store);
+  EXPECT_EQ(w.events[0].base->name(), "t");
+}
+
+}  // namespace
+}  // namespace hli::analysis

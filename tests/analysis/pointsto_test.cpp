@@ -1,0 +1,181 @@
+#include "analysis/pointsto.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/sema.hpp"
+
+namespace hli::analysis {
+namespace {
+
+using frontend::Program;
+
+struct Analyzed {
+  Program prog;
+  PointsToAnalysis pts;
+
+  explicit Analyzed(const std::string& src)
+      : prog(make_prog(src)), pts(prog) {
+    pts.run();
+  }
+
+  static Program make_prog(const std::string& src) {
+    support::DiagnosticEngine diags;
+    return frontend::compile_to_ast(src, diags);
+  }
+
+  [[nodiscard]] const frontend::VarDecl* global(const std::string& name) const {
+    for (const auto* g : prog.globals) {
+      if (g->name() == name) return g;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const frontend::VarDecl* param(const std::string& func,
+                                               std::size_t index) const {
+    return prog.find_function(func)->params[index];
+  }
+};
+
+TEST(PointsToTest, AddressOfGlobal) {
+  Analyzed a("int x; int* p; void f() { p = &x; }");
+  EXPECT_TRUE(a.pts.may_point_to(a.global("p"), a.global("x")));
+  EXPECT_FALSE(a.pts.points_to_unknown(a.global("p")));
+}
+
+TEST(PointsToTest, ArrayDecayAssignsArrayObject) {
+  Analyzed a("double arr[10]; double* p; void f() { p = arr; }");
+  EXPECT_TRUE(a.pts.may_point_to(a.global("p"), a.global("arr")));
+}
+
+TEST(PointsToTest, PointerCopyPropagates) {
+  Analyzed a("int x; int* p; int* q; void f() { p = &x; q = p; }");
+  EXPECT_TRUE(a.pts.may_point_to(a.global("q"), a.global("x")));
+}
+
+TEST(PointsToTest, PointerArithmeticPreservesTargets) {
+  Analyzed a("double arr[10]; double* p; void f() { p = arr + 3; }");
+  EXPECT_TRUE(a.pts.may_point_to(a.global("p"), a.global("arr")));
+}
+
+TEST(PointsToTest, DisjointPointersDoNotAlias) {
+  Analyzed a("int x; int y; int* p; int* q; void f() { p = &x; q = &y; }");
+  EXPECT_FALSE(a.pts.may_alias(a.global("p"), a.global("q")));
+}
+
+TEST(PointsToTest, SharedTargetAliases) {
+  Analyzed a("int x; int* p; int* q; void f() { p = &x; q = &x; }");
+  EXPECT_TRUE(a.pts.may_alias(a.global("p"), a.global("q")));
+}
+
+TEST(PointsToTest, ParameterBindingFlowsTargets) {
+  Analyzed a(R"(
+    double arr[8];
+    void callee(double* p) { p[0] = 1.0; }
+    void caller() { callee(arr); }
+  )");
+  EXPECT_TRUE(a.pts.may_point_to(a.param("callee", 0), a.global("arr")));
+}
+
+TEST(PointsToTest, TwoCallersUnionIntoFormal) {
+  Analyzed a(R"(
+    double u[8]; double v[8];
+    void callee(double* p) { p[0] = 1.0; }
+    void c1() { callee(u); }
+    void c2() { callee(v); }
+  )");
+  EXPECT_TRUE(a.pts.may_point_to(a.param("callee", 0), a.global("u")));
+  EXPECT_TRUE(a.pts.may_point_to(a.param("callee", 0), a.global("v")));
+}
+
+TEST(PointsToTest, ReturnValueFlowsToCaller) {
+  Analyzed a(R"(
+    double arr[8];
+    double* pick() { return arr; }
+    double* held;
+    void caller() { held = pick(); }
+  )");
+  EXPECT_TRUE(a.pts.may_point_to(a.global("held"), a.global("arr")));
+}
+
+TEST(PointsToTest, ConditionalMergesBothArms) {
+  Analyzed a(R"(
+    int x; int y; int* p;
+    void f(int c) { p = c ? &x : &y; }
+  )");
+  EXPECT_TRUE(a.pts.may_point_to(a.global("p"), a.global("x")));
+  EXPECT_TRUE(a.pts.may_point_to(a.global("p"), a.global("y")));
+}
+
+TEST(PointsToTest, StoreThroughPointerToPointer) {
+  Analyzed a(R"(
+    int x; int* target; int** pp;
+    void f() { pp = &target; *pp = &x; }
+  )");
+  EXPECT_TRUE(a.pts.may_point_to(a.global("target"), a.global("x")));
+}
+
+TEST(PointsToTest, LoadThroughPointerToPointer) {
+  Analyzed a(R"(
+    int x; int* inner; int** pp; int* out;
+    void f() { inner = &x; pp = &inner; out = *pp; }
+  )");
+  EXPECT_TRUE(a.pts.may_point_to(a.global("out"), a.global("x")));
+}
+
+TEST(PointsToTest, UnknownExternTaintsEscapedPointer) {
+  Analyzed a(R"(
+    void mystery(int* p);
+    int x; int* p;
+    void f() { p = &x; mystery(p); }
+  )");
+  // p escaped; the extern may have stored anything anywhere p reaches, but
+  // p itself still points at x (flow-insensitive union).
+  EXPECT_TRUE(a.pts.may_point_to(a.global("p"), a.global("x")));
+}
+
+TEST(PointsToTest, UnknownExternReturnIsUnknown) {
+  Analyzed a(R"(
+    int* mystery_source();
+    int* p;
+    void f() { p = mystery_source(); }
+  )");
+  EXPECT_TRUE(a.pts.points_to_unknown(a.global("p")));
+}
+
+TEST(PointsToTest, PureExternDoesNotTaint) {
+  Analyzed a(R"(
+    double sqrt(double x);
+    double g;
+    void f() { g = sqrt(g); }
+  )");
+  EXPECT_FALSE(a.pts.points_to_unknown(a.global("g")));
+}
+
+TEST(PointsToTest, UnknownPointerAliasesEverything) {
+  Analyzed a(R"(
+    int* mystery_source();
+    int x; int* p; int* q;
+    void f() { p = mystery_source(); q = &x; }
+  )");
+  EXPECT_TRUE(a.pts.may_alias(a.global("p"), a.global("q")));
+  EXPECT_TRUE(a.pts.may_point_to(a.global("p"), a.global("x")));
+}
+
+TEST(PointsToTest, UnassignedPointerPointsNowhere) {
+  Analyzed a("int* p; void f() { }");
+  EXPECT_TRUE(a.pts.points_to(a.global("p")).empty());
+  EXPECT_FALSE(a.pts.points_to_unknown(a.global("p")));
+}
+
+TEST(PointsToTest, ArrayOfPointersFoldsElements) {
+  Analyzed a(R"(
+    int x; int y;
+    int* table[4];
+    int* out;
+    void f() { table[0] = &x; table[1] = &y; out = table[2]; }
+  )");
+  EXPECT_TRUE(a.pts.may_point_to(a.global("out"), a.global("x")));
+  EXPECT_TRUE(a.pts.may_point_to(a.global("out"), a.global("y")));
+}
+
+}  // namespace
+}  // namespace hli::analysis

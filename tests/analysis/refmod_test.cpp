@@ -1,0 +1,150 @@
+#include "analysis/refmod.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/sema.hpp"
+
+namespace hli::analysis {
+namespace {
+
+using frontend::Program;
+
+struct Analyzed {
+  Program prog;
+  PointsToAnalysis pts;
+  RefModAnalysis refmod;
+
+  explicit Analyzed(const std::string& src)
+      : prog(make_prog(src)), pts(prog), refmod(prog, pts) {
+    pts.run();
+    refmod.run();
+  }
+
+  static Program make_prog(const std::string& src) {
+    support::DiagnosticEngine diags;
+    return frontend::compile_to_ast(src, diags);
+  }
+
+  [[nodiscard]] const RefModSets& sets(const std::string& func) const {
+    return refmod.for_function(prog.find_function(func));
+  }
+  [[nodiscard]] const frontend::VarDecl* global(const std::string& name) const {
+    for (const auto* g : prog.globals) {
+      if (g->name() == name) return g;
+    }
+    return nullptr;
+  }
+};
+
+TEST(RefModTest, DirectGlobalReadIsRef) {
+  Analyzed a("int g; int f() { return g; }");
+  EXPECT_TRUE(a.sets("f").ref.contains(a.global("g")));
+  EXPECT_FALSE(a.sets("f").mod.contains(a.global("g")));
+  EXPECT_FALSE(a.sets("f").unknown);
+}
+
+TEST(RefModTest, DirectGlobalWriteIsMod) {
+  Analyzed a("int g; void f() { g = 1; }");
+  EXPECT_TRUE(a.sets("f").mod.contains(a.global("g")));
+}
+
+TEST(RefModTest, CompoundAssignmentIsRefAndMod) {
+  Analyzed a("int g; void f() { g += 1; }");
+  EXPECT_TRUE(a.sets("f").ref.contains(a.global("g")));
+  EXPECT_TRUE(a.sets("f").mod.contains(a.global("g")));
+}
+
+TEST(RefModTest, LocalScalarInvisible) {
+  Analyzed a("int f() { int x = 3; return x; }");
+  EXPECT_TRUE(a.sets("f").ref.empty());
+  EXPECT_TRUE(a.sets("f").mod.empty());
+}
+
+TEST(RefModTest, OwnLocalArrayStrippedFromExport) {
+  Analyzed a("int f() { int t[4]; t[0] = 1; return t[0]; }");
+  EXPECT_TRUE(a.sets("f").mod.empty());
+  EXPECT_FALSE(a.sets("f").unknown);
+}
+
+TEST(RefModTest, CalleeEffectsPropagate) {
+  Analyzed a(R"(
+    int g;
+    void leaf() { g = 1; }
+    void mid() { leaf(); }
+    void top() { mid(); }
+  )");
+  EXPECT_TRUE(a.sets("top").mod.contains(a.global("g")));
+}
+
+TEST(RefModTest, PointerWriteModsTargets) {
+  Analyzed a(R"(
+    double arr[8];
+    void callee(double* p) { p[0] = 1.0; }
+    void caller() { callee(arr); }
+  )");
+  EXPECT_TRUE(a.sets("callee").mod.contains(a.global("arr")));
+  EXPECT_TRUE(a.sets("caller").mod.contains(a.global("arr")));
+}
+
+TEST(RefModTest, CallersLocalArrayVisibleInCalleeSet) {
+  // The callee modifies the caller's stack array through a parameter; that
+  // effect must NOT be stripped from the callee's exported set.
+  Analyzed a(R"(
+    void callee(double* p) { p[0] = 1.0; }
+    void caller() { double a[4]; callee(a); a[1] = a[0]; }
+  )");
+  EXPECT_FALSE(a.sets("callee").mod.empty());
+}
+
+TEST(RefModTest, RecursionConverges) {
+  Analyzed a(R"(
+    int g;
+    int fact(int n) { if (n < 2) { g += 1; return 1; } return n * fact(n - 1); }
+  )");
+  EXPECT_TRUE(a.sets("fact").mod.contains(a.global("g")));
+  EXPECT_FALSE(a.sets("fact").unknown);
+}
+
+TEST(RefModTest, MutualRecursionConverges) {
+  Analyzed a(R"(
+    int g; int h;
+    int odd(int n);
+    int even(int n) { g = 1; if (n == 0) return 1; return odd(n - 1); }
+    int odd(int n) { h = 1; if (n == 0) return 0; return even(n - 1); }
+  )");
+  const RefModSets& even_sets = a.sets("even");
+  EXPECT_TRUE(even_sets.mod.contains(a.global("g")));
+  EXPECT_TRUE(even_sets.mod.contains(a.global("h")));
+  EXPECT_FALSE(even_sets.unknown);
+}
+
+TEST(RefModTest, UnknownExternPollutes) {
+  Analyzed a(R"(
+    void mystery();
+    void f() { mystery(); }
+  )");
+  EXPECT_TRUE(a.sets("f").unknown);
+}
+
+TEST(RefModTest, PureExternStaysClean) {
+  Analyzed a(R"(
+    double sqrt(double x);
+    double g;
+    double f() { return sqrt(g); }
+  )");
+  EXPECT_FALSE(a.sets("f").unknown);
+  EXPECT_TRUE(a.sets("f").ref.contains(a.global("g")));
+}
+
+TEST(RefModTest, ReadOnlyCalleeKeepsCallerModEmpty) {
+  Analyzed a(R"(
+    int g;
+    int reader() { return g; }
+    int f() { return reader(); }
+  )");
+  EXPECT_TRUE(a.sets("f").ref.contains(a.global("g")));
+  EXPECT_FALSE(a.sets("f").mod.contains(a.global("g")));
+}
+
+}  // namespace
+}  // namespace hli::analysis

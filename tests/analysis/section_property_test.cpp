@@ -1,0 +1,184 @@
+// Property tests for the dependence engine: over a sweep of affine
+// subscript pairs (coefficients x offsets x widths), compare
+// section_depend's verdicts against BRUTE-FORCE enumeration of every
+// iteration pair.  The contract is soundness with calibrated precision:
+//   * "Disjoint"/"None" verdicts must never contradict a real conflict;
+//   * "Definite(d)" must name a distance at which a conflict really occurs;
+//   * "Equal" means the sections coincide in every iteration;
+//   * conversely, for exact equal-coefficient pairs the engine must not
+//     degrade to Maybe (it has a precise test for that fragment).
+#include <gtest/gtest.h>
+
+#include "analysis/section.hpp"
+#include "frontend/sema.hpp"
+
+namespace hli::analysis {
+namespace {
+
+struct SweepParam {
+  std::int64_t coeff_a;
+  std::int64_t off_a;
+  std::int64_t width_a;  ///< 0 = exact point.
+  std::int64_t coeff_b;
+  std::int64_t off_b;
+  std::int64_t width_b;
+};
+
+class SectionSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  static constexpr std::int64_t kLower = 0;
+  static constexpr std::int64_t kUpper = 9;  // i in [0, 9).
+
+  void SetUp() override {
+    support::DiagnosticEngine diags;
+    prog_ = frontend::compile_to_ast("void f(int i) { }", diags);
+    loop_.induction = prog_.functions[0]->params[0];
+    loop_.lower = kLower;
+    loop_.upper = kUpper;
+    loop_.step = 1;
+  }
+
+  [[nodiscard]] Section make_section(std::int64_t coeff, std::int64_t offset,
+                                     std::int64_t width) const {
+    const AffineExpr lo = AffineExpr::constant(offset).plus(
+        AffineExpr::variable(loop_.induction).scaled(coeff));
+    Section s;
+    s.dims.push_back({lo, lo.plus(AffineExpr::constant(width))});
+    return s;
+  }
+
+  /// Ground truth: do the two ranges overlap when a runs iteration i and
+  /// b runs iteration j?
+  [[nodiscard]] static bool overlap_at(const SweepParam& p, std::int64_t i,
+                                       std::int64_t j) {
+    const std::int64_t a_lo = p.coeff_a * i + p.off_a;
+    const std::int64_t a_hi = a_lo + p.width_a;
+    const std::int64_t b_lo = p.coeff_b * j + p.off_b;
+    const std::int64_t b_hi = b_lo + p.width_b;
+    return a_lo <= b_hi && b_lo <= a_hi;
+  }
+
+  frontend::Program prog_;
+  CanonicalLoop loop_;
+};
+
+TEST_P(SectionSweep, VerdictsAreSoundAgainstBruteForce) {
+  const SweepParam p = GetParam();
+  const Section a = make_section(p.coeff_a, p.off_a, p.width_a);
+  const Section b = make_section(p.coeff_b, p.off_b, p.width_b);
+  const SectionDependence result = section_depend(&loop_, a, b);
+
+  // Brute-force facts.
+  bool any_within = false;
+  bool all_equal_within = true;
+  std::set<std::int64_t> forward_distances;   // j > i.
+  std::set<std::int64_t> backward_distances;  // i > j.
+  for (std::int64_t i = kLower; i < kUpper; ++i) {
+    {
+      const std::int64_t a_lo = p.coeff_a * i + p.off_a;
+      const std::int64_t b_lo = p.coeff_b * i + p.off_b;
+      if (overlap_at(p, i, i)) any_within = true;
+      if (!(a_lo == b_lo && p.width_a == p.width_b)) all_equal_within = false;
+    }
+    for (std::int64_t j = kLower; j < kUpper; ++j) {
+      if (i == j || !overlap_at(p, i, j)) continue;
+      if (j > i) forward_distances.insert(j - i);
+      if (i > j) backward_distances.insert(i - j);
+    }
+  }
+
+  // --- Soundness of the within-iteration verdict. ---
+  if (result.within == IterRelation::Disjoint) {
+    EXPECT_FALSE(any_within) << "engine said Disjoint but iterations collide";
+  }
+  if (result.within == IterRelation::Equal) {
+    EXPECT_TRUE(all_equal_within) << "engine said Equal but sections differ";
+  }
+
+  // --- Soundness of the carried verdicts. ---
+  if (result.a_then_b.kind == CarriedKind::None) {
+    EXPECT_TRUE(forward_distances.empty())
+        << "engine denied a->b dependence that exists";
+  }
+  if (result.b_then_a.kind == CarriedKind::None) {
+    EXPECT_TRUE(backward_distances.empty())
+        << "engine denied b->a dependence that exists";
+  }
+  if (result.a_then_b.kind == CarriedKind::Definite && result.a_then_b.distance) {
+    EXPECT_TRUE(forward_distances.contains(*result.a_then_b.distance))
+        << "engine invented forward distance " << *result.a_then_b.distance;
+  }
+  if (result.b_then_a.kind == CarriedKind::Definite && result.b_then_a.distance) {
+    EXPECT_TRUE(backward_distances.contains(*result.b_then_a.distance))
+        << "engine invented backward distance " << *result.b_then_a.distance;
+  }
+
+  // --- Calibrated precision: exact points with equal coefficients are the
+  // strong-SIV fragment and must be decided, not hedged. ---
+  if (p.width_a == 0 && p.width_b == 0 && p.coeff_a == p.coeff_b) {
+    EXPECT_NE(result.within, IterRelation::MaybeOverlap);
+    if (forward_distances.empty()) {
+      EXPECT_EQ(result.a_then_b.kind, CarriedKind::None);
+    } else if (forward_distances.size() == 1) {
+      // Exactly one colliding lag: the engine must pin it.
+      EXPECT_EQ(result.a_then_b.kind, CarriedKind::Definite);
+      EXPECT_EQ(result.a_then_b.distance, *forward_distances.begin());
+    } else {
+      // Conflicts at many lags (the ZIV-equal case): any non-None answer
+      // is acceptable; "Maybe" with no single distance is the honest one.
+      EXPECT_NE(result.a_then_b.kind, CarriedKind::None);
+    }
+  }
+}
+
+std::vector<SweepParam> make_sweep() {
+  std::vector<SweepParam> params;
+  const std::int64_t coeffs[] = {-2, -1, 0, 1, 2, 3};
+  const std::int64_t offsets[] = {-3, 0, 2, 5};
+  for (const std::int64_t ca : coeffs) {
+    for (const std::int64_t cb : coeffs) {
+      for (const std::int64_t oa : offsets) {
+        for (const std::int64_t ob : offsets) {
+          params.push_back({ca, oa, 0, cb, ob, 0});       // Point vs point.
+          params.push_back({ca, oa, 2, cb, ob, 0});       // Range vs point.
+          params.push_back({ca, oa, 3, cb, ob, 4});       // Range vs range.
+        }
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(BruteForceSweep, SectionSweep,
+                         ::testing::ValuesIn(make_sweep()));
+
+// ---------------------------------------------------------------------
+// Widening property: the widened section must cover the exact footprint
+// of every iteration.
+// ---------------------------------------------------------------------
+
+class WidenSweep : public SectionSweep {};
+
+TEST_P(WidenSweep, WidenedSectionCoversAllIterations) {
+  const SweepParam p = GetParam();
+  const Section exact = make_section(p.coeff_a, p.off_a, p.width_a);
+  const Section widened = widen_over_loop(exact, &loop_);
+  ASSERT_EQ(widened.dims.size(), 1u);
+  ASSERT_FALSE(widened.dims[0].is_unknown());
+  ASSERT_TRUE(widened.dims[0].lo.is_constant());
+  ASSERT_TRUE(widened.dims[0].hi.is_constant());
+  const std::int64_t lo = widened.dims[0].lo.constant_part();
+  const std::int64_t hi = widened.dims[0].hi.constant_part();
+  for (std::int64_t i = kLower; i < kUpper; ++i) {
+    const std::int64_t point_lo = p.coeff_a * i + p.off_a;
+    const std::int64_t point_hi = point_lo + p.width_a;
+    EXPECT_LE(lo, point_lo) << "iteration " << i << " escapes below";
+    EXPECT_GE(hi, point_hi) << "iteration " << i << " escapes above";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WideningSweep, WidenSweep,
+                         ::testing::ValuesIn(make_sweep()));
+
+}  // namespace
+}  // namespace hli::analysis

@@ -1,0 +1,154 @@
+#include "backend/dce.hpp"
+
+#include <gtest/gtest.h>
+
+#include "backend/cse.hpp"
+#include "backend/interp.hpp"
+#include "backend/lower.hpp"
+#include "backend/mapping.hpp"
+#include "frontend/sema.hpp"
+#include "hli/builder.hpp"
+#include "hli/maintain.hpp"
+#include "hli/query.hpp"
+
+namespace hli::backend {
+namespace {
+
+struct Cleaned {
+  frontend::Program prog;
+  format::HliFile hli;
+  RtlProgram rtl;
+  CseStats cse;
+  DceStats dce;
+  std::uint64_t insns_before = 0;
+  std::uint64_t insns_after = 0;
+  std::uint64_t hash_before = 0;
+  std::uint64_t hash_after = 0;
+
+  explicit Cleaned(const std::string& src, bool run_cse = true) {
+    support::DiagnosticEngine diags;
+    prog = frontend::compile_to_ast(src, diags);
+    hli = builder::build_hli(prog);
+    rtl = lower_program(prog);
+    for (RtlFunction& f : rtl.functions) {
+      if (format::HliEntry* entry = hli.find_unit(f.name)) {
+        (void)map_items(f, *entry);
+      }
+    }
+    const RunResult pre = run_program(rtl, "main");
+    EXPECT_TRUE(pre.ok) << pre.error;
+    insns_before = pre.dynamic_insns;
+    hash_before = pre.output_hash;
+    for (RtlFunction& f : rtl.functions) {
+      format::HliEntry* entry = hli.find_unit(f.name);
+      if (run_cse && entry != nullptr) {
+        const query::HliUnitView view(*entry);
+        CseOptions options;
+        options.use_hli = true;
+        options.view = &view;
+        options.on_load_deleted = [entry](format::ItemId item) {
+          maintain_delete(entry, item);
+        };
+        cse += cse_function(f, options);
+      }
+      DceOptions options;
+      if (entry != nullptr) {
+        options.on_load_deleted = [entry](format::ItemId item) {
+          maintain_delete(entry, item);
+        };
+      }
+      dce += dce_function(f, options);
+    }
+    const RunResult post = run_program(rtl, "main");
+    EXPECT_TRUE(post.ok) << post.error;
+    insns_after = post.dynamic_insns;
+    hash_after = post.output_hash;
+  }
+
+  static void maintain_delete(format::HliEntry* entry, format::ItemId item);
+};
+
+void Cleaned::maintain_delete(format::HliEntry* entry, format::ItemId item) {
+  hli::maintain::delete_item(*entry, item);
+}
+
+TEST(DceTest, RemovesCseMoves) {
+  Cleaned c(R"(
+int g;
+void emit(int v);
+int main() {
+  g = 6;
+  int a = g + g;
+  int b = g + g;
+  emit(a + b);
+  return 0;
+}
+)");
+  EXPECT_GT(c.cse.loads_reused + c.cse.exprs_reused, 0u);
+  EXPECT_GT(c.dce.deleted, 0u);
+  EXPECT_LT(c.insns_after, c.insns_before);
+  EXPECT_EQ(c.hash_before, c.hash_after);
+}
+
+TEST(DceTest, KeepsEffects) {
+  Cleaned c(R"(
+int g;
+void tick() { g++; }
+void emit(int v);
+int main() { tick(); tick(); emit(g); return 0; }
+)", /*run_cse=*/false);
+  EXPECT_EQ(c.hash_before, c.hash_after);
+}
+
+TEST(DceTest, CascadesThroughOperandChains) {
+  // The unused chain imm -> mul -> add dies entirely once the final value
+  // is unreferenced.
+  Cleaned c(R"(
+void emit(int v);
+int main() {
+  int unused = (3 * 7 + 5) * 11;
+  emit(1);
+  return 0;
+}
+)", /*run_cse=*/false);
+  EXPECT_GE(c.dce.deleted, 4u);
+  EXPECT_EQ(c.hash_before, c.hash_after);
+}
+
+TEST(DceTest, DeletedLoadDropsHliItem) {
+  Cleaned c(R"(
+int g;
+void emit(int v);
+int main() {
+  int dead = g;
+  emit(7);
+  return 0;
+}
+)", /*run_cse=*/false);
+  EXPECT_GE(c.dce.deleted_loads, 1u);
+  // The item must be gone from the HLI line table too.
+  const format::HliEntry* entry = c.hli.find_unit("main");
+  for (const auto& line : entry->line_table.lines()) {
+    for (const auto& item : line.items) {
+      EXPECT_NE(item.type, format::ItemType::Load)
+          << "deleted load's item still in the line table";
+    }
+  }
+}
+
+TEST(DceTest, InductionAndParamsSurvive) {
+  Cleaned c(R"(
+void emit(int v);
+int helper(int a, int b) { return a; }  // b unused but bound at entry.
+int main() {
+  int s = 0;
+  for (int i = 0; i < 10; i++) { s += helper(i, i * 2); }
+  emit(s);
+  return 0;
+}
+)", /*run_cse=*/false);
+  EXPECT_EQ(c.hash_before, c.hash_after);
+}
+
+}  // namespace
+}  // namespace hli::backend

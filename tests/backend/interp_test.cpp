@@ -1,0 +1,137 @@
+#include "backend/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "backend/lower.hpp"
+#include "frontend/sema.hpp"
+
+namespace hli::backend {
+namespace {
+
+RunResult run_src(const std::string& src, const InterpOptions& options = {}) {
+  support::DiagnosticEngine diags;
+  frontend::Program prog = frontend::compile_to_ast(src, diags);
+  RtlProgram rtl = lower_program(prog);
+  return run_program(rtl, "main", nullptr, options);
+}
+
+TEST(InterpTest, ReturnsValue) {
+  const RunResult r = run_src("int main() { return 41 + 1; }");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.return_value, 42);
+}
+
+TEST(InterpTest, EmitHashIsOrderSensitive) {
+  const RunResult a = run_src(
+      "void emit(int v); int main() { emit(1); emit(2); return 0; }");
+  const RunResult b = run_src(
+      "void emit(int v); int main() { emit(2); emit(1); return 0; }");
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_NE(a.output_hash, b.output_hash);
+  EXPECT_EQ(a.emit_count, 2u);
+}
+
+TEST(InterpTest, MathBuiltins) {
+  const RunResult r = run_src(R"(
+double sqrt(double x);
+double pow(double a, double b);
+int main() { return (sqrt(16.0) == 4.0 && pow(2.0, 10.0) == 1024.0) ? 1 : 0; }
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.return_value, 1);
+}
+
+TEST(InterpTest, UnknownExternFails) {
+  const RunResult r = run_src("void mystery(); int main() { mystery(); return 0; }");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("mystery"), std::string::npos);
+}
+
+TEST(InterpTest, MissingEntryFails) {
+  const RunResult r = run_src("int helper() { return 3; }");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(InterpTest, DivisionByZeroTrapsCleanly) {
+  const RunResult r = run_src("int z; int main() { return 5 / z; }");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("division"), std::string::npos);
+}
+
+TEST(InterpTest, InstructionBudgetStopsRunaway) {
+  InterpOptions options;
+  options.max_insns = 10'000;
+  const RunResult r = run_src("int main() { while (1) { } return 0; }", options);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("budget"), std::string::npos);
+}
+
+TEST(InterpTest, DeepRecursionTrapsCleanly) {
+  InterpOptions options;
+  options.max_call_depth = 64;
+  const RunResult r = run_src(
+      "int down(int n) { return down(n + 1); } int main() { return down(0); }",
+      options);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(InterpTest, GlobalArraysZeroInitialized) {
+  const RunResult r = run_src("double d[16]; int a[16]; int main() {"
+                              " return (d[7] == 0.0 && a[3] == 0) ? 1 : 0; }");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.return_value, 1);
+}
+
+TEST(InterpTest, Int32TruncationOnStore) {
+  // Stored ints are 4 bytes: large intermediate values wrap as in C.
+  const RunResult r = run_src(R"(
+int g;
+int main() { g = 2147483647; g = g + 1; return g < 0 ? 1 : 0; }
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.return_value, 1);
+}
+
+TEST(InterpTest, FloatMemoryIsSinglePrecision) {
+  const RunResult r = run_src(R"(
+float f[2];
+int main() {
+  f[0] = 0.1;
+  double d = f[0];
+  return (d > 0.0999 && d < 0.1001 && d != 0.1) ? 1 : 0;
+}
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.return_value, 1);
+}
+
+TEST(InterpTest, DynamicInsnCountGrowsWithWork) {
+  const RunResult small = run_src(
+      "int main() { int s = 0; for (int i = 0; i < 10; i++) s += i; return s; }");
+  const RunResult big = run_src(
+      "int main() { int s = 0; for (int i = 0; i < 1000; i++) s += i; return s; }");
+  ASSERT_TRUE(small.ok && big.ok);
+  EXPECT_GT(big.dynamic_insns, small.dynamic_insns * 10);
+}
+
+TEST(InterpTest, TraceSinkSeesMemoryAddresses) {
+  class Collector : public TraceSink {
+   public:
+    void on_insn(const TraceEvent& event) override {
+      if (event.insn->op == Opcode::Store) store_addrs.push_back(event.address);
+    }
+    std::vector<std::uint64_t> store_addrs;
+  };
+  support::DiagnosticEngine diags;
+  frontend::Program prog = frontend::compile_to_ast(
+      "int a[4]; int main() { a[0] = 1; a[1] = 2; return 0; }", diags);
+  RtlProgram rtl = lower_program(prog);
+  Collector sink;
+  const RunResult r = run_program(rtl, "main", &sink);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(sink.store_addrs.size(), 2u);
+  EXPECT_EQ(sink.store_addrs[1] - sink.store_addrs[0], 4u);
+}
+
+}  // namespace
+}  // namespace hli::backend

@@ -1,0 +1,253 @@
+#include "backend/lower.hpp"
+
+#include <gtest/gtest.h>
+
+#include "backend/interp.hpp"
+#include "frontend/sema.hpp"
+
+namespace hli::backend {
+namespace {
+
+struct Lowered {
+  frontend::Program prog;
+  RtlProgram rtl;
+
+  explicit Lowered(const std::string& src) {
+    support::DiagnosticEngine diags;
+    prog = frontend::compile_to_ast(src, diags);
+    rtl = lower_program(prog);
+  }
+
+  [[nodiscard]] const RtlFunction& func(const std::string& name) const {
+    const RtlFunction* f = rtl.find_function(name);
+    EXPECT_NE(f, nullptr);
+    return *f;
+  }
+
+  [[nodiscard]] std::size_t count_op(const std::string& name, Opcode op) const {
+    std::size_t n = 0;
+    for (const Insn& insn : func(name).insns) {
+      if (insn.op == op) ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t run(const std::string& entry = "main") const {
+    const RunResult result = run_program(rtl, entry);
+    EXPECT_TRUE(result.ok) << result.error;
+    return result.return_value;
+  }
+};
+
+TEST(LowerTest, GlobalsBecomeSymbols) {
+  Lowered l("int g; double arr[10]; int main() { return 0; }");
+  EXPECT_GE(l.rtl.find_global("g"), 0);
+  EXPECT_GE(l.rtl.find_global("arr"), 0);
+  EXPECT_EQ(l.rtl.globals[l.rtl.find_global("arr")].size, 80u);
+}
+
+TEST(LowerTest, ScalarLocalsUseNoMemory) {
+  Lowered l("int main() { int a = 2; int b = 3; return a * b; }");
+  EXPECT_EQ(l.count_op("main", Opcode::Load), 0u);
+  EXPECT_EQ(l.count_op("main", Opcode::Store), 0u);
+  EXPECT_EQ(l.run(), 6);
+}
+
+TEST(LowerTest, GlobalAccessEmitsLoadStore) {
+  Lowered l("int g; int main() { g = 5; return g; }");
+  EXPECT_EQ(l.count_op("main", Opcode::Store), 1u);
+  EXPECT_EQ(l.count_op("main", Opcode::Load), 1u);
+  EXPECT_EQ(l.run(), 5);
+}
+
+TEST(LowerTest, ConstantSubscriptHasKnownOffset) {
+  Lowered l("int a[10]; int main() { a[3] = 7; return a[3]; }");
+  for (const Insn& insn : l.func("main").insns) {
+    if (is_memory_op(insn.op)) {
+      EXPECT_TRUE(insn.mem.offset_known);
+      EXPECT_EQ(insn.mem.const_offset, 12);
+      EXPECT_EQ(insn.mem.base, MemBase::Symbol);
+    }
+  }
+  EXPECT_EQ(l.run(), 7);
+}
+
+TEST(LowerTest, VariableSubscriptHasUnknownOffset) {
+  Lowered l("int a[10]; int main() { int i = 4; a[i] = 9; return a[i]; }");
+  for (const Insn& insn : l.func("main").insns) {
+    if (is_memory_op(insn.op)) {
+      EXPECT_FALSE(insn.mem.offset_known);
+    }
+  }
+  EXPECT_EQ(l.run(), 9);
+}
+
+TEST(LowerTest, PointerAccessMarkedPointerBase) {
+  Lowered l(R"(
+    double a[4];
+    double take(double* p) { return p[1]; }
+    int main() { a[1] = 2.5; return take(a) > 2.0 ? 1 : 0; }
+  )");
+  bool saw_pointer_load = false;
+  for (const Insn& insn : l.func("take").insns) {
+    if (insn.op == Opcode::Load && insn.mem.base == MemBase::Pointer) {
+      saw_pointer_load = true;
+    }
+  }
+  EXPECT_TRUE(saw_pointer_load);
+  EXPECT_EQ(l.run(), 1);
+}
+
+TEST(LowerTest, MultiDimRowMajorAddressing) {
+  Lowered l(R"(
+    int m[3][4];
+    int main() { m[2][3] = 42; return m[2][3]; }
+  )");
+  for (const Insn& insn : l.func("main").insns) {
+    if (is_memory_op(insn.op)) {
+      EXPECT_EQ(insn.mem.const_offset, (2 * 4 + 3) * 4);
+    }
+  }
+  EXPECT_EQ(l.run(), 42);
+}
+
+TEST(LowerTest, ForLoopComputesSum) {
+  Lowered l(R"(
+    int main() {
+      int s = 0;
+      for (int i = 1; i <= 10; i++) { s += i; }
+      return s;
+    }
+  )");
+  EXPECT_EQ(l.run(), 55);
+}
+
+TEST(LowerTest, LoopNotesCarryRegionAndTripCount) {
+  Lowered l(R"(
+    int a[8];
+    int main() {
+      for (int i = 0; i < 8; i++) { a[i] = i; }
+      return a[5];
+    }
+  )");
+  bool found = false;
+  for (const Insn& insn : l.func("main").insns) {
+    if (insn.op == Opcode::LoopBeg) {
+      found = true;
+      EXPECT_NE(insn.loop_region, format::kNoRegion);
+      EXPECT_EQ(insn.trip_count, 8);
+      EXPECT_EQ(insn.loop_step, 1);
+      EXPECT_NE(insn.induction, kNoReg);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(l.run(), 5);
+}
+
+TEST(LowerTest, WhileLoopAndBreakContinue) {
+  Lowered l(R"(
+    int main() {
+      int n = 0;
+      int i = 0;
+      while (1) {
+        i++;
+        if (i > 20) break;
+        if (i % 2 == 0) continue;
+        n += i;
+      }
+      return n;
+    }
+  )");
+  EXPECT_EQ(l.run(), 100);  // 1+3+...+19.
+}
+
+TEST(LowerTest, ShortCircuitSemantics) {
+  Lowered l(R"(
+    int g;
+    int bump() { g++; return 0; }
+    int main() {
+      int r = (0 && bump()) + (1 || bump());
+      return r * 100 + g;
+    }
+  )");
+  // Neither bump() should run: g stays 0; r == 1.
+  EXPECT_EQ(l.run(), 100);
+}
+
+TEST(LowerTest, ConditionalExprSelects) {
+  Lowered l("int main() { int a = 5; return a > 3 ? 11 : 22; }");
+  EXPECT_EQ(l.run(), 11);
+}
+
+TEST(LowerTest, StackArgumentsRoundTrip) {
+  Lowered l(R"(
+    int six(int a, int b, int c, int d, int e, int f) {
+      return a + b * 10 + c * 100 + d * 1000 + e * 10000 + f * 100000;
+    }
+    int main() { return six(1, 2, 3, 4, 5, 6); }
+  )");
+  EXPECT_EQ(l.run(), 654321);
+}
+
+TEST(LowerTest, RecursionWorks) {
+  Lowered l(R"(
+    int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+    int main() { return fib(12); }
+  )");
+  EXPECT_EQ(l.run(), 144);
+}
+
+TEST(LowerTest, FloatArithmeticAndConversion) {
+  Lowered l(R"(
+    double half(double x) { return x / 2.0; }
+    int main() { double d = half(9.0); return (d > 4.4 && d < 4.6) ? 1 : 0; }
+  )");
+  EXPECT_EQ(l.run(), 1);
+}
+
+TEST(LowerTest, FloatArraysStoreSinglePrecision) {
+  Lowered l(R"(
+    float fa[4];
+    int main() { fa[0] = 1.5; fa[1] = fa[0] * 2.0; return fa[1] == 3.0 ? 1 : 0; }
+  )");
+  EXPECT_EQ(l.run(), 1);
+}
+
+TEST(LowerTest, AddressTakenLocalSpillsToFrame) {
+  Lowered l(R"(
+    void set(int* p) { *p = 77; }
+    int main() { int x = 0; set(&x); return x; }
+  )");
+  EXPECT_GT(l.func("main").frame_size, 0u);
+  EXPECT_EQ(l.run(), 77);
+}
+
+TEST(LowerTest, PointerArithmeticScaledByElement) {
+  Lowered l(R"(
+    double a[4];
+    int main() { a[2] = 6.5; double* p = a; return *(p + 2) == 6.5 ? 1 : 0; }
+  )");
+  EXPECT_EQ(l.run(), 1);
+}
+
+TEST(LowerTest, GlobalInitializerApplied) {
+  Lowered l("int g = 123; int main() { return g; }");
+  EXPECT_EQ(l.run(), 123);
+}
+
+TEST(LowerTest, NegativeNumbersAndUnaryOps) {
+  Lowered l("int main() { int a = -7; int b = ~a; return b; }");
+  EXPECT_EQ(l.run(), 6);
+}
+
+TEST(LowerTest, IncDecSemantics) {
+  Lowered l(R"(
+    int g;
+    int main() { g = 5; int a = g++; int b = ++g; return a * 100 + b * 10 + g; }
+  )");
+  // a=5 (post), g becomes 6; b=7 (pre), g=7: 5*100 + 7*10 + 7.
+  EXPECT_EQ(l.run(), 577);
+}
+
+}  // namespace
+}  // namespace hli::backend

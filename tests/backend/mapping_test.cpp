@@ -1,0 +1,136 @@
+// The mapping invariant (paper §3.1.1 / §3.2.1): front-end items match
+// back-end memory references one-to-one, per line, in order.  These tests
+// cover targeted constructs; the workload suite test covers whole programs.
+#include "backend/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "backend/lower.hpp"
+#include "frontend/sema.hpp"
+#include "hli/builder.hpp"
+
+namespace hli::backend {
+namespace {
+
+struct Mapped {
+  frontend::Program prog;
+  format::HliFile hli;
+  RtlProgram rtl;
+  MapResult result;
+
+  explicit Mapped(const std::string& src, const std::string& func = "main") {
+    support::DiagnosticEngine diags;
+    prog = frontend::compile_to_ast(src, diags);
+    hli = builder::build_hli(prog);
+    rtl = lower_program(prog);
+    RtlFunction* f = rtl.find_function(func);
+    EXPECT_NE(f, nullptr);
+    const format::HliEntry* entry = hli.find_unit(func);
+    EXPECT_NE(entry, nullptr);
+    result = map_items(*f, *entry);
+  }
+};
+
+void expect_perfect(const Mapped& m) {
+  EXPECT_TRUE(m.result.perfect()) << [&] {
+    std::string out;
+    for (const auto& s : m.result.mismatches) out += s + "\n";
+    return out;
+  }();
+}
+
+TEST(MappingTest, SimpleStoreLoad) {
+  Mapped m("int g; int main() { g = 1; return g; }");
+  expect_perfect(m);
+  EXPECT_EQ(m.result.mapped, 2u);
+}
+
+TEST(MappingTest, MultipleRefsOneLineKeepOrder) {
+  Mapped m(R"(
+int a[8]; int b[8];
+int main() { a[b[2]] = b[3] + a[1]; return 0; }
+)");
+  expect_perfect(m);
+  // b[3], a[1], b[2], store a: four items.
+  EXPECT_EQ(m.result.mapped, 4u);
+}
+
+TEST(MappingTest, CompoundAssignBothItems) {
+  Mapped m("double s[4]; int main() { s[1] += 2.5; return 0; }");
+  expect_perfect(m);
+  EXPECT_EQ(m.result.mapped, 2u);
+}
+
+TEST(MappingTest, CallsAreItems) {
+  Mapped m(R"(
+int g;
+void tick() { g++; }
+int main() { tick(); tick(); return g; }
+)");
+  expect_perfect(m);
+  const RtlFunction* f = m.rtl.find_function("main");
+  for (const Insn& insn : f->insns) {
+    if (insn.op == Opcode::Call) {
+      EXPECT_NE(insn.hli_item, format::kNoItem);
+    }
+  }
+}
+
+TEST(MappingTest, StackArgStoresMapped) {
+  Mapped m(R"(
+int sink(int a, int b, int c, int d, int e, int f) { return f; }
+int main() { return sink(1, 2, 3, 4, 5, 6); }
+)");
+  expect_perfect(m);
+}
+
+TEST(MappingTest, EntryArgLoadsMapped) {
+  Mapped m(R"(
+int pick(int a, int b, int c, int d, int e) { return e; }
+int main() { return pick(1, 2, 3, 4, 5); }
+)", "pick");
+  expect_perfect(m);
+}
+
+TEST(MappingTest, LoopCondBodyStepOrdering) {
+  Mapped m(R"(
+int g; int a[16]; int n;
+int main() { for (g = 0; g < n; g++) { a[g] = g; } return 0; }
+)");
+  expect_perfect(m);
+}
+
+TEST(MappingTest, ConditionalBothArmsMapped) {
+  Mapped m(R"(
+int a[4]; int b[4];
+int main() { int i = 1; int v = i > 0 ? a[i] : b[i]; return v; }
+)");
+  expect_perfect(m);
+}
+
+TEST(MappingTest, PointerTrafficMapped) {
+  Mapped m(R"(
+double arr[8];
+double sum2(double* p, int i) { return p[i] + p[i+1]; }
+int main() { arr[0] = 1.0; return sum2(arr, 0) > 0.5 ? 1 : 0; }
+)", "sum2");
+  expect_perfect(m);
+}
+
+TEST(MappingTest, MissingItemsReported) {
+  // Build the HLI from a DIFFERENT (smaller) program to force mismatches.
+  support::DiagnosticEngine diags;
+  frontend::Program small = frontend::compile_to_ast(
+      "int g; int main() { return g; }", diags);
+  frontend::Program big = frontend::compile_to_ast(
+      "int g; int main() { g = 1; g = 2; return g; }", diags);
+  format::HliFile hli = builder::build_hli(small);
+  RtlProgram rtl = lower_program(big);
+  const MapResult result = map_items(*rtl.find_function("main"),
+                                     *hli.find_unit("main"));
+  EXPECT_FALSE(result.perfect());
+  EXPECT_GT(result.insn_without_item, 0u);
+}
+
+}  // namespace
+}  // namespace hli::backend

@@ -1,0 +1,109 @@
+#include "driver/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+
+namespace hli::driver {
+namespace {
+
+constexpr const char* kKernel = R"(
+double a[128]; double b[128]; double s;
+void emitd(double v);
+int main() {
+  for (int r = 0; r < 20; r++) {
+    for (int i = 1; i < 128; i++) {
+      a[i] = b[i] * 2.0 + b[i-1];
+      s = s + a[i];
+    }
+  }
+  emitd(s);
+  return 0;
+}
+)";
+
+TEST(PipelineTest, CompilesAndRuns) {
+  const CompiledProgram compiled = compile_source(kKernel);
+  const backend::RunResult run = execute(compiled);
+  ASSERT_TRUE(run.ok) << run.error;
+  EXPECT_TRUE(compiled.stats.map_perfect);
+  EXPECT_GT(compiled.stats.hli_bytes, 0u);
+}
+
+TEST(PipelineTest, FrontEndErrorsThrow) {
+  EXPECT_THROW((void)compile_source("int main() { return undeclared; }"),
+               support::CompileError);
+}
+
+TEST(PipelineTest, HliReducesSchedulerEdges) {
+  PipelineOptions assisted;
+  assisted.use_hli = true;
+  const CompiledProgram compiled = compile_source(kKernel, assisted);
+  const auto& s = compiled.stats.sched;
+  EXPECT_GT(s.mem_queries, 0u);
+  EXPECT_LT(s.combined_yes, s.gcc_yes);
+}
+
+TEST(PipelineTest, UseHliFlagDoesNotChangeCounters) {
+  // Figure 5 computes gcc/hli/combined on every query regardless of the
+  // flag; only edge insertion differs.
+  PipelineOptions native;
+  native.use_hli = false;
+  PipelineOptions assisted;
+  assisted.use_hli = true;
+  const CompiledProgram a = compile_source(kKernel, native);
+  const CompiledProgram b = compile_source(kKernel, assisted);
+  EXPECT_EQ(a.stats.sched.mem_queries, b.stats.sched.mem_queries);
+  EXPECT_EQ(a.stats.sched.gcc_yes, b.stats.sched.gcc_yes);
+}
+
+TEST(PipelineTest, SimulationCyclesDifferAcrossMachines) {
+  const CompiledProgram compiled = compile_source(kKernel);
+  const SimResult in_order = simulate(compiled, machine::r4600());
+  const SimResult out_of_order = simulate(compiled, machine::r10000());
+  ASSERT_TRUE(in_order.run.ok);
+  ASSERT_TRUE(out_of_order.run.ok);
+  // A 4-wide OoO core must beat the single-issue pipeline.
+  EXPECT_LT(out_of_order.cycles, in_order.cycles);
+}
+
+TEST(PipelineTest, HliHelpsOrAtLeastDoesNotHurtCycles) {
+  PipelineOptions native;
+  native.use_hli = false;
+  PipelineOptions assisted;
+  assisted.use_hli = true;
+  const CompiledProgram a = compile_source(kKernel, native);
+  const CompiledProgram b = compile_source(kKernel, assisted);
+  const SimResult na = simulate(a, machine::r4600());
+  const SimResult wa = simulate(b, machine::r4600());
+  EXPECT_LE(wa.cycles, na.cycles * 101 / 100);  // Allow 1% heuristic noise.
+}
+
+TEST(PipelineTest, CountSourceLinesIgnoresBlanks) {
+  EXPECT_EQ(count_source_lines("a\n\n  \nb\n"), 2u);
+  EXPECT_EQ(count_source_lines(""), 0u);
+}
+
+TEST(PipelineTest, MaybeMergeKnobChangesHliSize) {
+  PipelineOptions merged;
+  PipelineOptions split;
+  split.hli_build.merge_equal_range_classes = false;
+  const CompiledProgram a = compile_source(kKernel, merged);
+  const CompiledProgram b = compile_source(kKernel, split);
+  // Splitting classes cannot make the HLI smaller.
+  EXPECT_LE(a.stats.hli_bytes, b.stats.hli_bytes);
+}
+
+TEST(PipelineTest, DisabledPassesReportZeroStats) {
+  PipelineOptions off;
+  off.enable_cse = false;
+  off.enable_licm = false;
+  off.enable_sched = false;
+  const CompiledProgram compiled = compile_source(kKernel, off);
+  EXPECT_EQ(compiled.stats.sched.mem_queries, 0u);
+  EXPECT_EQ(compiled.stats.cse.exprs_reused, 0u);
+  EXPECT_EQ(compiled.stats.licm.loads_hoisted, 0u);
+}
+
+}  // namespace
+}  // namespace hli::driver

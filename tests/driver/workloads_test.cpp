@@ -1,0 +1,128 @@
+// Whole-suite property tests (parameterized over all 14 workloads):
+//   * the item<->instruction mapping is perfect for every function;
+//   * every optimization configuration produces the SAME observable output
+//     (emit stream + return value) as unoptimized code — HLI-guided
+//     reordering must never change semantics;
+//   * the HLI never makes the dependence graph bigger (combined <= gcc);
+//   * the serialized HLI round-trips.
+#include <gtest/gtest.h>
+
+#include "driver/pipeline.hpp"
+#include "hli/serialize.hpp"
+#include "workloads/workloads.hpp"
+
+namespace hli::driver {
+namespace {
+
+using workloads::Workload;
+
+class WorkloadTest : public ::testing::TestWithParam<Workload> {};
+
+PipelineOptions no_opt() {
+  PipelineOptions o;
+  o.use_hli = false;
+  o.enable_cse = false;
+  o.enable_licm = false;
+  o.enable_sched = false;
+  return o;
+}
+
+TEST_P(WorkloadTest, MappingIsPerfect) {
+  PipelineOptions options;
+  const CompiledProgram compiled = compile_source(GetParam().source, options);
+  EXPECT_TRUE(compiled.stats.map_perfect);
+  EXPECT_GT(compiled.stats.mapped_items, 0u);
+}
+
+TEST_P(WorkloadTest, AllConfigurationsAgreeOnOutput) {
+  const char* src = GetParam().source;
+  const backend::RunResult baseline = execute(compile_source(src, no_opt()));
+  ASSERT_TRUE(baseline.ok) << baseline.error;
+  ASSERT_GT(baseline.emit_count, 0u) << "workload emits nothing observable";
+
+  PipelineOptions native;
+  native.use_hli = false;
+  PipelineOptions assisted;
+  assisted.use_hli = true;
+  PipelineOptions unrolled = assisted;
+  unrolled.enable_unroll = true;
+  PipelineOptions unrolled_native = native;
+  unrolled_native.enable_unroll = true;
+  PipelineOptions allocated = assisted;
+  allocated.enable_regalloc = true;
+  PipelineOptions allocated_unrolled = unrolled;
+  allocated_unrolled.enable_regalloc = true;
+
+  for (const PipelineOptions& options :
+       {native, assisted, unrolled, unrolled_native, allocated,
+        allocated_unrolled}) {
+    const backend::RunResult run = execute(compile_source(src, options));
+    ASSERT_TRUE(run.ok) << run.error;
+    EXPECT_EQ(run.output_hash, baseline.output_hash)
+        << "use_hli=" << options.use_hli
+        << " unroll=" << options.enable_unroll
+        << " regalloc=" << options.enable_regalloc;
+    EXPECT_EQ(run.return_value, baseline.return_value);
+  }
+}
+
+TEST_P(WorkloadTest, HliNeverAddsEdges) {
+  PipelineOptions options;
+  options.use_hli = true;
+  const CompiledProgram compiled = compile_source(GetParam().source, options);
+  const auto& s = compiled.stats.sched;
+  EXPECT_LE(s.combined_yes, s.gcc_yes);
+  EXPECT_LE(s.combined_yes, s.hli_yes);
+  EXPECT_LE(s.gcc_yes, s.mem_queries);
+}
+
+TEST_P(WorkloadTest, SerializedHliRoundTrips) {
+  PipelineOptions options;
+  const CompiledProgram compiled = compile_source(GetParam().source, options);
+  const format::HliFile reread = serialize::read_hli(compiled.hli_text);
+  EXPECT_EQ(serialize::write_hli(reread), compiled.hli_text);
+  EXPECT_EQ(reread.entries.size(), compiled.hli.entries.size());
+}
+
+TEST_P(WorkloadTest, SimulatorsAgreeWithInterpreter) {
+  PipelineOptions options;
+  const CompiledProgram compiled = compile_source(GetParam().source, options);
+  const backend::RunResult plain = execute(compiled);
+  const SimResult in_order = simulate(compiled, machine::r4600());
+  ASSERT_TRUE(in_order.run.ok) << in_order.run.error;
+  EXPECT_EQ(in_order.run.output_hash, plain.output_hash);
+  EXPECT_GT(in_order.cycles, 0u);
+  // Single-issue with stalls: cycles must be at least the insn count.
+  EXPECT_GE(in_order.cycles, in_order.run.dynamic_insns / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadTest,
+    ::testing::ValuesIn(workloads::all_workloads()),
+    [](const ::testing::TestParamInfo<Workload>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '.' || c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(WorkloadRegistryTest, FourteenWorkloads) {
+  EXPECT_EQ(workloads::all_workloads().size(), 14u);
+}
+
+TEST(WorkloadRegistryTest, LookupByName) {
+  EXPECT_NE(workloads::find_workload("102.swim"), nullptr);
+  EXPECT_EQ(workloads::find_workload("no-such"), nullptr);
+}
+
+TEST(WorkloadRegistryTest, SuitesAndKindsMatchThePaper) {
+  std::size_t fp = 0;
+  for (const auto& w : workloads::all_workloads()) {
+    if (w.floating_point) ++fp;
+  }
+  EXPECT_EQ(fp, 10u);  // 10 FP, 4 integer, as in Table 1.
+}
+
+}  // namespace
+}  // namespace hli::driver

@@ -1,0 +1,132 @@
+#include "frontend/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hli::frontend {
+namespace {
+
+using support::DiagnosticEngine;
+
+std::vector<Token> lex(std::string_view src, DiagnosticEngine* diags = nullptr) {
+  DiagnosticEngine local;
+  DiagnosticEngine& engine = diags != nullptr ? *diags : local;
+  Lexer lexer(src, engine);
+  return lexer.lex_all();
+}
+
+std::vector<TokenKind> kinds_of(const std::vector<Token>& tokens) {
+  std::vector<TokenKind> kinds;
+  for (const auto& t : tokens) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInputYieldsOnlyEof) {
+  const auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::End);
+}
+
+TEST(LexerTest, Keywords) {
+  const auto tokens = lex("int float double void if else for while return break continue");
+  const std::vector<TokenKind> expected = {
+      TokenKind::KwInt,    TokenKind::KwFloat,  TokenKind::KwDouble,
+      TokenKind::KwVoid,   TokenKind::KwIf,     TokenKind::KwElse,
+      TokenKind::KwFor,    TokenKind::KwWhile,  TokenKind::KwReturn,
+      TokenKind::KwBreak,  TokenKind::KwContinue, TokenKind::End};
+  EXPECT_EQ(kinds_of(tokens), expected);
+}
+
+TEST(LexerTest, IdentifiersKeepSpelling) {
+  const auto tokens = lex("alpha _beta g4mm4");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "alpha");
+  EXPECT_EQ(tokens[1].text, "_beta");
+  EXPECT_EQ(tokens[2].text, "g4mm4");
+}
+
+TEST(LexerTest, IntegerLiteralValue) {
+  const auto tokens = lex("0 42 123456789");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].int_value, 0);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, 123456789);
+}
+
+TEST(LexerTest, FloatLiteralForms) {
+  const auto tokens = lex("1.5 2.0e3 7e-2");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[0].float_value, 1.5);
+  EXPECT_EQ(tokens[1].kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 2000.0);
+  EXPECT_EQ(tokens[2].kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 0.07);
+}
+
+TEST(LexerTest, IntegerFollowedByMemberlikeDotIsNotFloat) {
+  // "1." without a digit after the dot must not consume the dot.
+  const auto tokens = lex("3 . x");
+  EXPECT_EQ(tokens[0].kind, TokenKind::IntLiteral);
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  const auto tokens = lex("<= >= == != && || << >> ++ -- += -= *= /=");
+  const std::vector<TokenKind> expected = {
+      TokenKind::LessEq,     TokenKind::GreaterEq, TokenKind::EqEq,
+      TokenKind::BangEq,     TokenKind::AmpAmp,    TokenKind::PipePipe,
+      TokenKind::Shl,        TokenKind::Shr,       TokenKind::PlusPlus,
+      TokenKind::MinusMinus, TokenKind::PlusAssign, TokenKind::MinusAssign,
+      TokenKind::StarAssign, TokenKind::SlashAssign, TokenKind::End};
+  EXPECT_EQ(kinds_of(tokens), expected);
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  const auto tokens = lex("a\n  b\nccc");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].loc.line, 1u);
+  EXPECT_EQ(tokens[0].loc.column, 1u);
+  EXPECT_EQ(tokens[1].loc.line, 2u);
+  EXPECT_EQ(tokens[1].loc.column, 3u);
+  EXPECT_EQ(tokens[2].loc.line, 3u);
+  EXPECT_EQ(tokens[2].loc.column, 1u);
+}
+
+TEST(LexerTest, LineCommentsAreSkipped) {
+  const auto tokens = lex("a // comment with * tokens\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[1].loc.line, 2u);
+}
+
+TEST(LexerTest, BlockCommentsSpanLines) {
+  const auto tokens = lex("a /* one\n two */ b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[1].loc.line, 2u);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentReportsError) {
+  support::DiagnosticEngine diags;
+  (void)lex("a /* never closed", &diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(LexerTest, UnknownCharacterReportsErrorAndContinues) {
+  support::DiagnosticEngine diags;
+  const auto tokens = lex("a @ b", &diags);
+  EXPECT_TRUE(diags.has_errors());
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, AmpVersusAmpAmp) {
+  const auto tokens = lex("a & b && c");
+  EXPECT_EQ(tokens[1].kind, TokenKind::Amp);
+  EXPECT_EQ(tokens[3].kind, TokenKind::AmpAmp);
+}
+
+}  // namespace
+}  // namespace hli::frontend

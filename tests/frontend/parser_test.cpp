@@ -1,0 +1,193 @@
+#include "frontend/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hpp"
+
+namespace hli::frontend {
+namespace {
+
+Program parse(std::string_view src, support::DiagnosticEngine& diags) {
+  Lexer lexer(src, diags);
+  Parser parser(lexer.lex_all(), diags);
+  return parser.parse_program();
+}
+
+Program parse_ok(std::string_view src) {
+  support::DiagnosticEngine diags;
+  Program prog = parse(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  return prog;
+}
+
+TEST(ParserTest, GlobalScalarsAndArrays) {
+  Program prog = parse_ok("int x; double y[10]; float z[4][8];");
+  ASSERT_EQ(prog.globals.size(), 3u);
+  EXPECT_EQ(prog.globals[0]->type()->to_string(), "int");
+  EXPECT_EQ(prog.globals[1]->type()->to_string(), "double[10]");
+  EXPECT_EQ(prog.globals[2]->type()->to_string(), "float[4][8]");
+}
+
+TEST(ParserTest, CommaSeparatedGlobals) {
+  Program prog = parse_ok("int a, b, c;");
+  ASSERT_EQ(prog.globals.size(), 3u);
+  EXPECT_EQ(prog.globals[0]->name(), "a");
+  EXPECT_EQ(prog.globals[2]->name(), "c");
+}
+
+TEST(ParserTest, GlobalWithInitializer) {
+  Program prog = parse_ok("int n = 42;");
+  ASSERT_EQ(prog.globals.size(), 1u);
+  ASSERT_NE(prog.globals[0]->init, nullptr);
+  EXPECT_EQ(prog.globals[0]->init->kind(), ExprKind::IntLiteral);
+}
+
+TEST(ParserTest, FunctionWithParams) {
+  Program prog = parse_ok("int add(int a, int b) { return a + b; }");
+  ASSERT_EQ(prog.functions.size(), 1u);
+  FuncDecl* f = prog.functions[0];
+  EXPECT_EQ(f->name(), "add");
+  ASSERT_EQ(f->params.size(), 2u);
+  EXPECT_EQ(f->params[0]->storage(), StorageClass::Param);
+  ASSERT_NE(f->body, nullptr);
+}
+
+TEST(ParserTest, ExternFunctionDeclaration) {
+  Program prog = parse_ok("double sqrt(double x);");
+  ASSERT_EQ(prog.functions.size(), 1u);
+  EXPECT_TRUE(prog.functions[0]->is_extern());
+}
+
+TEST(ParserTest, ArrayParamDecaysToPointer) {
+  Program prog = parse_ok("void f(double a[100]) { }");
+  ASSERT_EQ(prog.functions[0]->params.size(), 1u);
+  EXPECT_TRUE(prog.functions[0]->params[0]->type()->is_pointer());
+}
+
+TEST(ParserTest, TwoDimArrayParamKeepsRowShape) {
+  Program prog = parse_ok("void f(double a[10][20]) { }");
+  const Type* type = prog.functions[0]->params[0]->type();
+  ASSERT_TRUE(type->is_pointer());
+  EXPECT_EQ(type->element()->to_string(), "double[20]");
+}
+
+TEST(ParserTest, ForLoopStructure) {
+  Program prog = parse_ok(
+      "void f() { for (int i = 0; i < 10; i++) { } }");
+  auto* body = prog.functions[0]->body;
+  ASSERT_EQ(body->stmts.size(), 1u);
+  ASSERT_EQ(body->stmts[0]->kind(), StmtKind::For);
+  auto* loop = static_cast<ForStmt*>(body->stmts[0]);
+  EXPECT_NE(loop->init, nullptr);
+  EXPECT_NE(loop->cond, nullptr);
+  EXPECT_NE(loop->step, nullptr);
+  EXPECT_GT(loop->loop_id, 0u);
+}
+
+TEST(ParserTest, NestedLoopsGetDistinctIds) {
+  Program prog = parse_ok(
+      "void f() { for (int i = 0; i < 4; i++) for (int j = 0; j < 4; j++) { } }");
+  auto* outer = static_cast<ForStmt*>(prog.functions[0]->body->stmts[0]);
+  auto* inner = static_cast<ForStmt*>(outer->body);
+  EXPECT_NE(outer->loop_id, inner->loop_id);
+}
+
+TEST(ParserTest, PrecedenceMulBeforeAdd) {
+  Program prog = parse_ok("int f() { return 1 + 2 * 3; }");
+  auto* ret = static_cast<ReturnStmt*>(prog.functions[0]->body->stmts[0]);
+  ASSERT_EQ(ret->value->kind(), ExprKind::Binary);
+  auto* add = static_cast<BinaryExpr*>(ret->value);
+  EXPECT_EQ(add->op, BinaryOp::Add);
+  ASSERT_EQ(add->rhs->kind(), ExprKind::Binary);
+  EXPECT_EQ(static_cast<BinaryExpr*>(add->rhs)->op, BinaryOp::Mul);
+}
+
+TEST(ParserTest, PrecedenceRelationalBeforeLogical) {
+  Program prog = parse_ok("int f(int a, int b) { return a < 3 && b > 4; }");
+  auto* ret = static_cast<ReturnStmt*>(prog.functions[0]->body->stmts[0]);
+  auto* land = static_cast<BinaryExpr*>(ret->value);
+  EXPECT_EQ(land->op, BinaryOp::LogAnd);
+}
+
+TEST(ParserTest, AssignmentIsRightAssociative) {
+  Program prog = parse_ok("void f(int a, int b) { a = b = 3; }");
+  auto* stmt = static_cast<ExprStmt*>(prog.functions[0]->body->stmts[0]);
+  auto* outer = static_cast<AssignExpr*>(stmt->expr);
+  EXPECT_EQ(outer->rhs->kind(), ExprKind::Assign);
+}
+
+TEST(ParserTest, ChainedSubscripts) {
+  Program prog = parse_ok("int g[4][5]; int f(int i, int j) { return g[i][j]; }");
+  auto* ret = static_cast<ReturnStmt*>(prog.functions[0]->body->stmts[0]);
+  ASSERT_EQ(ret->value->kind(), ExprKind::ArrayIndex);
+  auto* outer = static_cast<ArrayIndexExpr*>(ret->value);
+  EXPECT_EQ(outer->base->kind(), ExprKind::ArrayIndex);
+}
+
+TEST(ParserTest, CallWithArguments) {
+  Program prog = parse_ok(
+      "int g(int a, int b); int f() { return g(1, 2 + 3); }");
+  auto* ret = static_cast<ReturnStmt*>(prog.functions[1]->body->stmts[0]);
+  ASSERT_EQ(ret->value->kind(), ExprKind::Call);
+  auto* call = static_cast<CallExpr*>(ret->value);
+  EXPECT_EQ(call->callee, "g");
+  EXPECT_EQ(call->args.size(), 2u);
+}
+
+TEST(ParserTest, UnaryOperators) {
+  Program prog = parse_ok("int f(int* p, int x) { return -x + *p + !x; }");
+  EXPECT_FALSE(prog.functions.empty());
+}
+
+TEST(ParserTest, CompoundAssignment) {
+  Program prog = parse_ok("void f(int a) { a += 2; a *= 3; }");
+  auto* s0 = static_cast<ExprStmt*>(prog.functions[0]->body->stmts[0]);
+  EXPECT_EQ(static_cast<AssignExpr*>(s0->expr)->op, AssignOp::Add);
+}
+
+TEST(ParserTest, ConditionalExpr) {
+  Program prog = parse_ok("int f(int a) { return a > 0 ? a : -a; }");
+  auto* ret = static_cast<ReturnStmt*>(prog.functions[0]->body->stmts[0]);
+  EXPECT_EQ(ret->value->kind(), ExprKind::Conditional);
+}
+
+TEST(ParserTest, IfElseChain) {
+  Program prog = parse_ok(
+      "int f(int a) { if (a > 0) return 1; else if (a < 0) return -1; "
+      "else return 0; }");
+  auto* top = static_cast<IfStmt*>(prog.functions[0]->body->stmts[0]);
+  ASSERT_NE(top->else_stmt, nullptr);
+  EXPECT_EQ(top->else_stmt->kind(), StmtKind::If);
+}
+
+TEST(ParserTest, MultiDeclaratorLocalBecomesBlock) {
+  Program prog = parse_ok("void f() { int a = 1, b = 2; }");
+  auto* body = prog.functions[0]->body;
+  ASSERT_EQ(body->stmts.size(), 1u);
+  ASSERT_EQ(body->stmts[0]->kind(), StmtKind::Block);
+  EXPECT_EQ(static_cast<BlockStmt*>(body->stmts[0])->stmts.size(), 2u);
+}
+
+TEST(ParserTest, SyntaxErrorIsReportedNotFatal) {
+  support::DiagnosticEngine diags;
+  (void)parse("int f() { return 1 + ; }", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(ParserTest, RecoversAfterBadStatement) {
+  support::DiagnosticEngine diags;
+  Program prog = parse("int f() { @; return 1; } int g() { return 2; }", diags);
+  EXPECT_TRUE(diags.has_errors());
+  // The second function should still be parsed.
+  EXPECT_NE(prog.find_function("g"), nullptr);
+}
+
+TEST(ParserTest, SourceLinesPropagateToExprs) {
+  Program prog = parse_ok("int f(int a)\n{\n  return a + 1;\n}\n");
+  auto* ret = static_cast<ReturnStmt*>(prog.functions[0]->body->stmts[0]);
+  EXPECT_EQ(ret->loc().line, 3u);
+  EXPECT_EQ(ret->value->loc().line, 3u);
+}
+
+}  // namespace
+}  // namespace hli::frontend

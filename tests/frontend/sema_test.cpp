@@ -1,0 +1,137 @@
+#include "frontend/sema.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hli::frontend {
+namespace {
+
+Program compile(std::string_view src) {
+  support::DiagnosticEngine diags;
+  return compile_to_ast(src, diags);
+}
+
+void expect_error(std::string_view src) {
+  support::DiagnosticEngine diags;
+  EXPECT_THROW((void)compile_to_ast(src, diags), support::CompileError);
+}
+
+TEST(SemaTest, ResolvesGlobalReference) {
+  Program prog = compile("int g; int f() { return g; }");
+  auto* ret = static_cast<ReturnStmt*>(prog.functions[0]->body->stmts[0]);
+  auto* ref = static_cast<VarRefExpr*>(ret->value);
+  ASSERT_NE(ref->decl, nullptr);
+  EXPECT_EQ(ref->decl, prog.globals[0]);
+}
+
+TEST(SemaTest, InnerScopeShadowsOuter) {
+  Program prog = compile(
+      "int x; int f() { int x = 1; return x; }");
+  auto* body = prog.functions[0]->body;
+  auto* ret = static_cast<ReturnStmt*>(body->stmts[1]);
+  auto* ref = static_cast<VarRefExpr*>(ret->value);
+  ASSERT_NE(ref->decl, nullptr);
+  EXPECT_NE(ref->decl, prog.globals[0]);
+  EXPECT_EQ(ref->decl->storage(), StorageClass::Local);
+}
+
+TEST(SemaTest, UndeclaredIdentifierIsError) {
+  expect_error("int f() { return missing; }");
+}
+
+TEST(SemaTest, UndeclaredFunctionIsError) {
+  expect_error("int f() { return g(); }");
+}
+
+TEST(SemaTest, WrongArgumentCountIsError) {
+  expect_error("int g(int a); int f() { return g(1, 2); }");
+}
+
+TEST(SemaTest, VoidVariableIsError) {
+  expect_error("void v;");
+}
+
+TEST(SemaTest, AssignToRValueIsError) {
+  expect_error("void f(int a) { (a + 1) = 2; }");
+}
+
+TEST(SemaTest, ReturnValueFromVoidIsError) {
+  expect_error("void f() { return 3; }");
+}
+
+TEST(SemaTest, MissingReturnValueIsError) {
+  expect_error("int f() { return; }");
+}
+
+TEST(SemaTest, SubscriptNonArrayIsError) {
+  expect_error("int f(int x) { return x[0]; }");
+}
+
+TEST(SemaTest, ArithmeticTypePromotion) {
+  Program prog = compile(
+      "double d; int i; double f() { return d + i; }");
+  auto* ret = static_cast<ReturnStmt*>(prog.functions[0]->body->stmts[0]);
+  EXPECT_EQ(ret->value->type, prog.types.double_type());
+}
+
+TEST(SemaTest, ComparisonYieldsInt) {
+  Program prog = compile("double d; int f() { return d < 2.0; }");
+  auto* ret = static_cast<ReturnStmt*>(prog.functions[0]->body->stmts[0]);
+  EXPECT_EQ(ret->value->type, prog.types.int_type());
+}
+
+TEST(SemaTest, SubscriptOfArrayYieldsElement) {
+  Program prog = compile("double a[8]; double f(int i) { return a[i]; }");
+  auto* ret = static_cast<ReturnStmt*>(prog.functions[0]->body->stmts[0]);
+  EXPECT_EQ(ret->value->type, prog.types.double_type());
+}
+
+TEST(SemaTest, PointerDerefYieldsElement) {
+  Program prog = compile("double f(double* p) { return *p; }");
+  auto* ret = static_cast<ReturnStmt*>(prog.functions[0]->body->stmts[0]);
+  EXPECT_EQ(ret->value->type, prog.types.double_type());
+}
+
+TEST(SemaTest, AddressOfMarksVariable) {
+  Program prog = compile(
+      "int* h(int* p); void f() { int x; h(&x); }");
+  // Find the local decl of x via the body.
+  auto* body = prog.functions[1]->body;
+  auto* decl_stmt = static_cast<DeclStmt*>(body->stmts[0]);
+  EXPECT_TRUE(decl_stmt->decl->address_taken());
+  EXPECT_TRUE(decl_stmt->decl->is_memory_resident());
+}
+
+TEST(SemaTest, PlainLocalScalarIsNotMemoryResident) {
+  Program prog = compile("void f() { int x; x = 3; }");
+  auto* decl_stmt = static_cast<DeclStmt*>(prog.functions[0]->body->stmts[0]);
+  EXPECT_FALSE(decl_stmt->decl->is_memory_resident());
+}
+
+TEST(SemaTest, GlobalsAndArraysAreMemoryResident) {
+  Program prog = compile("int g; void f() { double a[4]; a[0] = 1.0; }");
+  EXPECT_TRUE(prog.globals[0]->is_memory_resident());
+  auto* decl_stmt = static_cast<DeclStmt*>(prog.functions[0]->body->stmts[0]);
+  EXPECT_TRUE(decl_stmt->decl->is_memory_resident());
+}
+
+TEST(SemaTest, PointerArithmeticKeepsPointerType) {
+  Program prog = compile("double f(double* p, int i) { return *(p + i); }");
+  EXPECT_FALSE(prog.functions.empty());
+}
+
+TEST(SemaTest, CallResolvesToFunctionDecl) {
+  Program prog = compile("int g(int a) { return a; } int f() { return g(3); }");
+  auto* ret = static_cast<ReturnStmt*>(prog.functions[1]->body->stmts[0]);
+  auto* call = static_cast<CallExpr*>(ret->value);
+  EXPECT_EQ(call->callee_decl, prog.functions[0]);
+  EXPECT_EQ(call->type, prog.types.int_type());
+}
+
+TEST(SemaTest, ForInitScopeCoversBody) {
+  Program prog = compile(
+      "int f() { int s = 0; for (int i = 0; i < 4; i++) s += i; return s; }");
+  EXPECT_FALSE(prog.functions.empty());
+}
+
+}  // namespace
+}  // namespace hli::frontend

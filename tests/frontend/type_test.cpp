@@ -1,0 +1,73 @@
+#include "frontend/type.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hli::frontend {
+namespace {
+
+TEST(TypeTest, ScalarSizes) {
+  TypeContext ctx;
+  EXPECT_EQ(ctx.int_type()->byte_size(), 4u);
+  EXPECT_EQ(ctx.float_type()->byte_size(), 4u);
+  EXPECT_EQ(ctx.double_type()->byte_size(), 8u);
+  EXPECT_EQ(ctx.void_type()->byte_size(), 0u);
+  EXPECT_EQ(ctx.pointer_to(ctx.int_type())->byte_size(), 8u);
+}
+
+TEST(TypeTest, ArraySizesCompose) {
+  TypeContext ctx;
+  const Type* row = ctx.array_of(ctx.double_type(), 8);
+  const Type* grid = ctx.array_of(row, 4);
+  EXPECT_EQ(row->byte_size(), 64u);
+  EXPECT_EQ(grid->byte_size(), 256u);
+  EXPECT_EQ(grid->array_size(), 4u);
+  EXPECT_EQ(grid->element(), row);
+}
+
+TEST(TypeTest, PointerInterning) {
+  TypeContext ctx;
+  EXPECT_EQ(ctx.pointer_to(ctx.int_type()), ctx.pointer_to(ctx.int_type()));
+  EXPECT_NE(ctx.pointer_to(ctx.int_type()), ctx.pointer_to(ctx.double_type()));
+}
+
+TEST(TypeTest, ArrayInterning) {
+  TypeContext ctx;
+  EXPECT_EQ(ctx.array_of(ctx.int_type(), 5), ctx.array_of(ctx.int_type(), 5));
+  EXPECT_NE(ctx.array_of(ctx.int_type(), 5), ctx.array_of(ctx.int_type(), 6));
+}
+
+TEST(TypeTest, Predicates) {
+  TypeContext ctx;
+  EXPECT_TRUE(ctx.int_type()->is_scalar());
+  EXPECT_TRUE(ctx.float_type()->is_floating());
+  EXPECT_TRUE(ctx.double_type()->is_floating());
+  EXPECT_FALSE(ctx.int_type()->is_floating());
+  EXPECT_TRUE(ctx.pointer_to(ctx.void_type())->is_scalar());
+  EXPECT_FALSE(ctx.array_of(ctx.int_type(), 3)->is_scalar());
+  EXPECT_TRUE(ctx.void_type()->is_void());
+}
+
+TEST(TypeTest, CommonArithmeticPromotion) {
+  TypeContext ctx;
+  EXPECT_EQ(ctx.common_arithmetic(ctx.int_type(), ctx.int_type()),
+            ctx.int_type());
+  EXPECT_EQ(ctx.common_arithmetic(ctx.int_type(), ctx.float_type()),
+            ctx.float_type());
+  EXPECT_EQ(ctx.common_arithmetic(ctx.float_type(), ctx.double_type()),
+            ctx.double_type());
+  EXPECT_EQ(ctx.common_arithmetic(ctx.double_type(), ctx.int_type()),
+            ctx.double_type());
+}
+
+TEST(TypeTest, ToStringForms) {
+  TypeContext ctx;
+  EXPECT_EQ(ctx.int_type()->to_string(), "int");
+  EXPECT_EQ(ctx.pointer_to(ctx.double_type())->to_string(), "double*");
+  const Type* nested = ctx.array_of(ctx.array_of(ctx.float_type(), 8), 4);
+  EXPECT_EQ(nested->to_string(), "float[4][8]");
+  EXPECT_EQ(ctx.pointer_to(ctx.pointer_to(ctx.int_type()))->to_string(),
+            "int**");
+}
+
+}  // namespace
+}  // namespace hli::frontend

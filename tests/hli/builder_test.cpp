@@ -1,0 +1,291 @@
+#include "hli/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hli_test_util.hpp"
+
+namespace hli {
+namespace {
+
+using format::EquivAccType;
+using format::ItemType;
+using query::CallAcc;
+using query::EquivAcc;
+using query::HliUnitView;
+
+TEST(BuilderTest, OneEntryPerDefinedFunction) {
+  testing::BuiltUnit built(R"(
+double sqrt(double x);
+int g;
+void f() { g = 1; }
+int h() { return g; }
+)");
+  EXPECT_EQ(built.file.entries.size(), 2u);
+  EXPECT_NE(built.file.find_unit("f"), nullptr);
+  EXPECT_NE(built.file.find_unit("h"), nullptr);
+  EXPECT_EQ(built.file.find_unit("sqrt"), nullptr);
+}
+
+TEST(BuilderTest, ItemIdsAreUniqueAndDense) {
+  testing::BuiltUnit built(R"(
+int g; int a[4];
+void f(int i) { g = a[i] + a[i + 1]; }
+)");
+  const auto& entry = built.unit("f");
+  std::set<format::ItemId> seen;
+  for (const auto& line : entry.line_table.lines()) {
+    for (const auto& item : line.items) {
+      EXPECT_TRUE(seen.insert(item.id).second) << "duplicate id " << item.id;
+    }
+  }
+  EXPECT_EQ(seen.size(), 3u);  // Two loads + one store.
+}
+
+TEST(BuilderTest, ClassIdsShareItemIdSpace) {
+  testing::BuiltUnit built("int g; void f() { g = g + 1; }");
+  const auto& entry = built.unit("f");
+  std::set<format::ItemId> ids;
+  for (const auto& line : entry.line_table.lines()) {
+    for (const auto& item : line.items) ids.insert(item.id);
+  }
+  for (const auto& region : entry.regions) {
+    for (const auto& cls : region.classes) {
+      EXPECT_TRUE(ids.insert(cls.id).second)
+          << "class id collides with an item id";
+    }
+  }
+}
+
+TEST(BuilderTest, ScalarLoadsAndStoresShareOneDefiniteClass) {
+  testing::BuiltUnit built("int g; void f() { g = g + g; }");
+  const auto& entry = built.unit("f");
+  const auto& root = entry.regions[0];
+  ASSERT_EQ(root.classes.size(), 1u);
+  EXPECT_EQ(root.classes[0].type, EquivAccType::Definite);
+  EXPECT_EQ(root.classes[0].member_items.size(), 3u);
+  EXPECT_TRUE(root.classes[0].has_write);
+}
+
+TEST(BuilderTest, DistinctConstantElementsSplitClasses) {
+  testing::BuiltUnit built("int a[4]; void f() { a[0] = a[1]; }");
+  const auto& root = built.unit("f").regions[0];
+  EXPECT_EQ(root.classes.size(), 2u);
+  EXPECT_TRUE(root.aliases.empty());
+}
+
+TEST(BuilderTest, PointerDerefsThroughSamePointerMerge) {
+  testing::BuiltUnit built("void f(double* p) { *p = *p + 1.0; }");
+  const auto& root = built.unit("f").regions[0];
+  ASSERT_EQ(root.classes.size(), 1u);
+  // One load (RHS) + one store (LHS), both through the stable pointer p.
+  EXPECT_EQ(root.classes[0].member_items.size(), 2u);
+  EXPECT_EQ(root.classes[0].type, EquivAccType::Definite);
+}
+
+TEST(BuilderTest, ReassignedPointerKeepsAccessesApart) {
+  testing::BuiltUnit built(R"(
+double u; double v;
+void f(double* p) { *p = 1.0; p = &v; *p = 2.0; }
+)");
+  const auto& root = built.unit("f").regions[0];
+  std::size_t p_classes = 0;
+  for (const auto& cls : root.classes) {
+    if (cls.base == "p") ++p_classes;
+  }
+  EXPECT_EQ(p_classes, 2u);
+  // And they must alias each other.
+  EXPECT_FALSE(root.aliases.empty());
+}
+
+TEST(BuilderTest, PointerAliasesItsPointsToTargets) {
+  testing::BuiltUnit built(R"(
+double arr[8];
+void f(double* p, int i) { p[i] = arr[i] + 1.0; }
+void caller() { f(arr, 0); }
+)");
+  const auto& built_unit = built.unit("f");
+  HliUnitView view(built_unit);
+  const format::ItemId arr_load = built.item_at("f", 3, 0);
+  const format::ItemId p_store = built.item_at("f", 3, 1);
+  EXPECT_EQ(view.may_conflict(arr_load, p_store), EquivAcc::Maybe);
+}
+
+TEST(BuilderTest, UnrelatedPointerDoesNotAliasArray) {
+  testing::BuiltUnit built(R"(
+double arr[8]; double other[8];
+void f(double* p, int i) { p[i] = arr[i] + 1.0; }
+void caller() { f(other, 0); }
+)");
+  HliUnitView view(built.unit("f"));
+  const format::ItemId arr_load = built.item_at("f", 3, 0);
+  const format::ItemId p_store = built.item_at("f", 3, 1);
+  EXPECT_EQ(view.may_conflict(arr_load, p_store), EquivAcc::None);
+}
+
+TEST(BuilderTest, WildPointerConflictsWithEverything) {
+  testing::BuiltUnit built(R"(
+double* mystery();
+double g;
+void f() { double* p = mystery(); *p = g; }
+)");
+  HliUnitView view(built.unit("f"));
+  const format::ItemId g_load = built.item_at("f", 4, 0);
+  const format::ItemId p_store = built.item_at("f", 4, 1);
+  EXPECT_EQ(view.may_conflict(g_load, p_store), EquivAcc::Maybe);
+}
+
+TEST(BuilderTest, CallEffectEntryForImmediateCall) {
+  testing::BuiltUnit built(R"(
+int g; int h;
+void writer() { g = 1; }
+void f() { h = 2; writer(); }
+)");
+  HliUnitView view(built.unit("f"));
+  // Line 4: store h (item 0)... then call (item 1).
+  const format::ItemId h_store = built.item_at("f", 4, 0);
+  const format::ItemId call = built.item_at("f", 4, 1);
+  EXPECT_EQ(view.get_call_acc(h_store, call), CallAcc::None);
+}
+
+TEST(BuilderTest, CallEffectModOnTouchedGlobal) {
+  testing::BuiltUnit built(R"(
+int g;
+void writer() { g = 1; }
+int f() { int before = g; writer(); return before + g; }
+)");
+  HliUnitView view(built.unit("f"));
+  const format::ItemId g_load = built.item_at("f", 4, 0);
+  const format::ItemId call = built.item_at("f", 4, 1);
+  EXPECT_EQ(view.get_call_acc(g_load, call), CallAcc::Mod);
+}
+
+TEST(BuilderTest, CallEffectRefOnReadGlobal) {
+  testing::BuiltUnit built(R"(
+int g;
+int reader() { return g; }
+int f() { g = 5; return reader(); }
+)");
+  HliUnitView view(built.unit("f"));
+  const format::ItemId g_store = built.item_at("f", 4, 0);
+  const format::ItemId call = built.item_at("f", 4, 1);
+  EXPECT_EQ(view.get_call_acc(g_store, call), CallAcc::Ref);
+}
+
+TEST(BuilderTest, UnknownExternCallIsRefMod) {
+  testing::BuiltUnit built(R"(
+void mystery();
+int g;
+int f() { g = 1; mystery(); return g; }
+)");
+  HliUnitView view(built.unit("f"));
+  const format::ItemId g_store = built.item_at("f", 4, 0);
+  const format::ItemId call = built.item_at("f", 4, 1);
+  EXPECT_EQ(view.get_call_acc(g_store, call), CallAcc::RefMod);
+}
+
+TEST(BuilderTest, SubregionCallEffectAggregates) {
+  testing::BuiltUnit built(R"(
+int g;
+void writer() { g = 1; }
+int f() {
+  for (int i = 0; i < 4; i++) { writer(); }
+  return g;
+}
+)");
+  const auto& entry = built.unit("f");
+  const auto& root = entry.regions[0];
+  bool found_subregion_entry = false;
+  for (const auto& eff : root.call_effects) {
+    if (eff.is_subregion) {
+      found_subregion_entry = true;
+      EXPECT_FALSE(eff.mod_classes.empty());
+    }
+  }
+  EXPECT_TRUE(found_subregion_entry);
+  HliUnitView view(entry);
+  const format::ItemId g_load = built.item_at("f", 6, 0);
+  const format::ItemId call = built.item_at("f", 5, 0);
+  EXPECT_EQ(view.get_call_acc(g_load, call), CallAcc::Mod);
+}
+
+TEST(BuilderTest, LoopInvariantFlagComputed) {
+  testing::BuiltUnit built(R"(
+int g; int a[10];
+void f() {
+  for (int i = 0; i < 10; i++) { g = g + a[i]; }
+}
+)");
+  const auto& loop = built.unit("f").regions[1];
+  const format::EquivClass* g_cls = nullptr;
+  const format::EquivClass* a_cls = nullptr;
+  for (const auto& cls : loop.classes) {
+    if (cls.base == "g") g_cls = &cls;
+    if (cls.base == "a") a_cls = &cls;
+  }
+  ASSERT_NE(g_cls, nullptr);
+  ASSERT_NE(a_cls, nullptr);
+  EXPECT_TRUE(g_cls->loop_invariant);
+  EXPECT_FALSE(a_cls->loop_invariant);
+}
+
+TEST(BuilderTest, ArgOverflowTrafficForManyArgCalls) {
+  testing::BuiltUnit built(R"(
+int sink(int a, int b, int c, int d, int e, int f);
+int f() { return sink(1, 2, 3, 4, 5, 6); }
+)");
+  const auto& entry = built.unit("f");
+  std::size_t arg_stores = 0;
+  for (const auto& line : entry.line_table.lines()) {
+    for (const auto& item : line.items) {
+      if (item.type == ItemType::ArgStore) ++arg_stores;
+    }
+  }
+  EXPECT_EQ(arg_stores, 2u);
+}
+
+TEST(BuilderTest, MaybeMergeKnobSplitsRangeClasses) {
+  const char* src = R"(
+int a[10];
+void f() {
+  for (int i = 0; i < 10; i++) { a[i] = i; }
+  for (int i = 0; i < 10; i++) { a[i] = a[i] * 2; }
+}
+)";
+  testing::BuiltUnit merged(src);
+  builder::BuildOptions no_merge;
+  no_merge.merge_equal_range_classes = false;
+  testing::BuiltUnit split(src, no_merge);
+
+  auto count_root_a = [](const testing::BuiltUnit& b) {
+    std::size_t n = 0;
+    for (const auto& cls : b.unit("f").regions[0].classes) {
+      if (cls.base == "a") ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_root_a(merged), 1u);
+  EXPECT_GT(count_root_a(split), 1u);
+}
+
+TEST(BuilderTest, NonCanonicalLoopDegradesGracefully) {
+  testing::BuiltUnit built(R"(
+int a[10]; int n;
+void f() {
+  int i = 0;
+  while (i < n) { a[i] = i; i = i + 2; }
+}
+)");
+  const auto& entry = built.unit("f");
+  ASSERT_EQ(entry.regions.size(), 2u);
+  // The loop region exists and has a class for the a accesses; everything
+  // is conservative (maybe) but present.
+  const auto& loop = entry.regions[1];
+  bool has_a = false;
+  for (const auto& cls : loop.classes) {
+    if (cls.base == "a") has_a = true;
+  }
+  EXPECT_TRUE(has_a);
+}
+
+}  // namespace
+}  // namespace hli

@@ -1,0 +1,181 @@
+// Golden reproduction of the paper's Figure 2: the worked example whose
+// region structure, equivalence classes, alias entry (b[0] vs the b loop
+// classes), and LCDD (b[j] -> b[j-1], distance 1) the paper walks through.
+#include <gtest/gtest.h>
+
+#include "hli_test_util.hpp"
+
+namespace hli {
+namespace {
+
+using format::DepType;
+using format::EquivAccType;
+using format::EquivClass;
+using format::RegionType;
+using query::EquivAcc;
+using query::HliUnitView;
+
+// Source laid out so line numbers are stable (line 1 is the first line
+// after the opening parenthesis of R"( — keep the leading newline!).
+constexpr const char* kFigure2 = R"(int a[10];
+int b[10];
+int sum;
+void foo()
+{
+  int i;
+  int j;
+  for (i = 0; i < 10; i++) {
+    a[i] = i;
+  }
+  for (i = 0; i < 10; i++) {
+    sum = sum + a[i];
+    b[0] = b[0] + 1;
+    for (j = 1; j < 10; j++) {
+      b[j] = b[j] + b[j-1];
+    }
+  }
+}
+)";
+// Line map:  8: first i loop      9: a[i] = i
+//           11: second i loop    12: sum += a[i]   13: b[0] update
+//           14: j loop           15: b[j] = b[j] + b[j-1]
+
+class Figure2Test : public ::testing::Test {
+ protected:
+  Figure2Test() : built_(kFigure2), view_(built_.unit("foo")) {}
+
+  testing::BuiltUnit built_;
+  HliUnitView view_;
+
+  [[nodiscard]] const format::HliEntry& entry() const { return built_.unit("foo"); }
+};
+
+TEST_F(Figure2Test, FourRegions) {
+  ASSERT_EQ(entry().regions.size(), 4u);
+  const auto& regions = entry().regions;
+  EXPECT_EQ(regions[0].type, RegionType::Unit);
+  EXPECT_EQ(regions[1].type, RegionType::Loop);  // First i loop.
+  EXPECT_EQ(regions[2].type, RegionType::Loop);  // Second i loop.
+  EXPECT_EQ(regions[3].type, RegionType::Loop);  // j loop.
+  EXPECT_EQ(regions[3].parent, regions[2].id);
+  EXPECT_EQ(regions[1].parent, regions[0].id);
+}
+
+TEST_F(Figure2Test, LineTableOrdersItemsPerLine) {
+  // Line 15: b[j] = b[j] + b[j-1] -> load b[j], load b[j-1], store b[j].
+  const format::LineEntry* line = entry().line_table.find_line(15);
+  ASSERT_NE(line, nullptr);
+  ASSERT_EQ(line->items.size(), 3u);
+  EXPECT_EQ(line->items[0].type, format::ItemType::Load);
+  EXPECT_EQ(line->items[1].type, format::ItemType::Load);
+  EXPECT_EQ(line->items[2].type, format::ItemType::Store);
+}
+
+TEST_F(Figure2Test, JLoopHasDistanceOneLcdd) {
+  const format::RegionEntry& j_loop = entry().regions[3];
+  ASSERT_FALSE(j_loop.lcdds.empty());
+  bool found = false;
+  for (const auto& dep : j_loop.lcdds) {
+    if (dep.type == DepType::Definite && dep.distance == 1) found = true;
+  }
+  EXPECT_TRUE(found) << "expected the b[j] -> b[j-1] distance-1 LCDD";
+}
+
+TEST_F(Figure2Test, JLoopClassesSplitBjAndBjMinus1) {
+  const format::RegionEntry& j_loop = entry().regions[3];
+  // b[j] load + store merge into one definite class; b[j-1] is separate.
+  std::size_t b_classes = 0;
+  for (const auto& cls : j_loop.classes) {
+    if (cls.base == "b") ++b_classes;
+  }
+  EXPECT_EQ(b_classes, 2u);
+}
+
+TEST_F(Figure2Test, BjLoadAndStoreAreDefinitelyEquivalent) {
+  const format::ItemId load_bj = built_.item_at("foo", 15, 0);
+  const format::ItemId store_bj = built_.item_at("foo", 15, 2);
+  EXPECT_EQ(view_.get_equiv_acc(load_bj, store_bj), EquivAcc::Definite);
+}
+
+TEST_F(Figure2Test, BjAndBjMinus1DoNotConflictWithinIteration) {
+  // The paper's key scheduling win: within one iteration (one basic
+  // block), b[j] and b[j-1] never collide, so the scheduler may reorder.
+  const format::ItemId load_bj_minus1 = built_.item_at("foo", 15, 1);
+  const format::ItemId store_bj = built_.item_at("foo", 15, 2);
+  EXPECT_EQ(view_.may_conflict(store_bj, load_bj_minus1), EquivAcc::None);
+}
+
+TEST_F(Figure2Test, LcddQueryExposesTheCarriedDependence) {
+  const format::ItemId load_bj_minus1 = built_.item_at("foo", 15, 1);
+  const format::ItemId store_bj = built_.item_at("foo", 15, 2);
+  const format::RegionId j_loop = entry().regions[3].id;
+  const auto deps = view_.get_lcdd(j_loop, store_bj, load_bj_minus1);
+  ASSERT_FALSE(deps.empty());
+  EXPECT_EQ(deps[0].type, DepType::Definite);
+  EXPECT_EQ(deps[0].distance, 1);
+  EXPECT_TRUE(deps[0].forward);
+}
+
+TEST_F(Figure2Test, SumStaysOneDefiniteClassUpToRoot) {
+  const format::ItemId sum_load = built_.item_at("foo", 12, 0);
+  const format::ItemId sum_store = built_.item_at("foo", 12, 2);
+  EXPECT_EQ(view_.get_equiv_acc(sum_load, sum_store), EquivAcc::Definite);
+  // At the root region there is exactly one class over `sum`.
+  const format::RegionEntry& root = entry().regions[0];
+  std::size_t sum_classes = 0;
+  for (const auto& cls : root.classes) {
+    if (cls.base == "sum") ++sum_classes;
+  }
+  EXPECT_EQ(sum_classes, 1u);
+}
+
+TEST_F(Figure2Test, RootMergesAWholeArrayCoverage) {
+  // Both i loops cover a[0..9]; their lifted classes have equal range
+  // sections and merge into one maybe class at the root (the paper's
+  // condensed a[0..9] class).
+  const EquivClass* a_class = built_.class_by_display("foo", entry().regions[0].id,
+                                                      "a[0..9]");
+  ASSERT_NE(a_class, nullptr);
+  EXPECT_EQ(a_class->type, EquivAccType::Maybe);
+  EXPECT_EQ(a_class->member_subclasses.size(), 2u);
+}
+
+TEST_F(Figure2Test, AWritesAndAReadsConflictAcrossLoops) {
+  // a[i] store in loop 1 vs a[i] load in loop 2: same coverage -> the
+  // back-end must not reorder them across the loops (maybe equivalence).
+  const format::ItemId store_a = built_.item_at("foo", 9, 0);
+  const format::ItemId load_a = built_.item_at("foo", 12, 1);
+  EXPECT_EQ(view_.may_conflict(store_a, load_a), EquivAcc::Maybe);
+}
+
+TEST_F(Figure2Test, B0AliasesTheLoopsBjMinus1Coverage) {
+  // b[0] in region 3 may collide with the j loop's b[j-1] ∈ b[0..8].
+  const format::ItemId store_b0 = built_.item_at("foo", 13, 1);  // b[0] store... index checked below.
+  const format::ItemId load_bj_minus1 = built_.item_at("foo", 15, 1);
+  EXPECT_NE(view_.may_conflict(store_b0, load_bj_minus1), EquivAcc::None);
+}
+
+TEST_F(Figure2Test, B0DoesNotConflictWithBj) {
+  // b[j] for j in [1, 10) never touches b[0].
+  const format::ItemId load_b0 = built_.item_at("foo", 13, 0);
+  const format::ItemId store_bj = built_.item_at("foo", 15, 2);
+  EXPECT_EQ(view_.may_conflict(load_b0, store_bj), EquivAcc::None);
+}
+
+TEST_F(Figure2Test, DistinctArraysNeverConflict) {
+  const format::ItemId store_a = built_.item_at("foo", 9, 0);
+  const format::ItemId store_bj = built_.item_at("foo", 15, 2);
+  EXPECT_EQ(view_.may_conflict(store_a, store_bj), EquivAcc::None);
+}
+
+TEST_F(Figure2Test, RegionScopesCoverTheirLines) {
+  const format::RegionEntry& j_loop = entry().regions[3];
+  EXPECT_LE(j_loop.first_line, 14u);
+  EXPECT_GE(j_loop.last_line, 15u);
+  const format::RegionEntry& root = entry().regions[0];
+  EXPECT_LE(root.first_line, 8u);
+  EXPECT_GE(root.last_line, 15u);
+}
+
+}  // namespace
+}  // namespace hli

@@ -1,0 +1,53 @@
+// Shared helpers for HLI-layer tests: compile a mini-C program, build its
+// HLI, and locate items by (line, position) through the line table.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "frontend/sema.hpp"
+#include "hli/builder.hpp"
+#include "hli/query.hpp"
+
+namespace hli::testing {
+
+struct BuiltUnit {
+  frontend::Program prog;
+  format::HliFile file;
+
+  explicit BuiltUnit(const std::string& src, builder::BuildOptions opts = {}) {
+    support::DiagnosticEngine diags;
+    prog = frontend::compile_to_ast(src, diags);
+    file = builder::build_hli(prog, opts);
+  }
+
+  [[nodiscard]] const format::HliEntry& unit(const std::string& name) const {
+    const format::HliEntry* entry = file.find_unit(name);
+    EXPECT_NE(entry, nullptr) << "no HLI entry for unit " << name;
+    return *entry;
+  }
+
+  /// The `index`-th item on a source line of a unit.
+  [[nodiscard]] format::ItemId item_at(const std::string& unit_name,
+                                       std::uint32_t line,
+                                       std::size_t index = 0) const {
+    const format::LineEntry* le = unit(unit_name).line_table.find_line(line);
+    EXPECT_NE(le, nullptr) << "no items on line " << line;
+    if (le == nullptr || index >= le->items.size()) return format::kNoItem;
+    return le->items[index].id;
+  }
+
+  /// Class in `region_id` whose display string equals `display`.
+  [[nodiscard]] const format::EquivClass* class_by_display(
+      const std::string& unit_name, format::RegionId region_id,
+      const std::string& display) const {
+    const format::RegionEntry* region = unit(unit_name).find_region(region_id);
+    EXPECT_NE(region, nullptr);
+    if (region == nullptr) return nullptr;
+    for (const auto& cls : region->classes) {
+      if (cls.display == display) return &cls;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace hli::testing

@@ -1,0 +1,252 @@
+#include "hli/maintain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hli_test_util.hpp"
+
+namespace hli {
+namespace {
+
+using format::DepType;
+using query::EquivAcc;
+using query::HliUnitView;
+
+// Simple loop over a with the Figure-2-style carried dependence.
+constexpr const char* kLoop = R"(int a[64];
+int s;
+void f()
+{
+  for (int i = 1; i < 64; i++) {
+    a[i] = a[i-1] + s;
+  }
+}
+)";
+// Line 6: load a[i-1] (0), load s (1), store a[i] (2).
+
+std::size_t total_items(const format::HliEntry& entry) {
+  return entry.line_table.item_count();
+}
+
+TEST(MaintainDeleteTest, DeleteRemovesFromLineTableAndClass) {
+  testing::BuiltUnit built(kLoop);
+  format::HliEntry& entry = *built.file.find_unit("f");
+  const format::ItemId s_load = built.item_at("f", 6, 1);
+  const std::size_t before = total_items(entry);
+  maintain::delete_item(entry, s_load);
+  EXPECT_EQ(total_items(entry), before - 1);
+  // s had a single-member class: it must be gone everywhere.
+  for (const auto& region : entry.regions) {
+    for (const auto& cls : region.classes) {
+      EXPECT_NE(cls.base, "s");
+      for (const auto id : cls.member_items) EXPECT_NE(id, s_load);
+    }
+  }
+}
+
+TEST(MaintainDeleteTest, EmptyClassCascadesToParentRegion) {
+  testing::BuiltUnit built(kLoop);
+  format::HliEntry& entry = *built.file.find_unit("f");
+  const format::ItemId s_load = built.item_at("f", 6, 1);
+  // Before: the root region has a lifted class over s.
+  auto root_has_s = [&entry]() {
+    for (const auto& cls : entry.regions[0].classes) {
+      if (cls.base == "s") return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(root_has_s());
+  maintain::delete_item(entry, s_load);
+  EXPECT_FALSE(root_has_s());
+}
+
+TEST(MaintainDeleteTest, DeleteKeepsQueriesConsistent) {
+  testing::BuiltUnit built(kLoop);
+  format::HliEntry& entry = *built.file.find_unit("f");
+  const format::ItemId a_store = built.item_at("f", 6, 2);
+  const format::ItemId a_load = built.item_at("f", 6, 0);
+  maintain::delete_item(entry, built.item_at("f", 6, 1));
+  HliUnitView view(entry);
+  // The a[i]/a[i-1] relationship is untouched.
+  EXPECT_EQ(view.may_conflict(a_store, a_load), EquivAcc::None);
+}
+
+TEST(MaintainCloneTest, CloneJoinsProtoClass) {
+  testing::BuiltUnit built(kLoop);
+  format::HliEntry& entry = *built.file.find_unit("f");
+  const format::ItemId a_store = built.item_at("f", 6, 2);
+  const format::ItemId clone = maintain::clone_item(entry, a_store, 6);
+  EXPECT_NE(clone, format::kNoItem);
+  HliUnitView view(entry);
+  EXPECT_EQ(view.get_equiv_acc(a_store, clone), EquivAcc::Definite);
+  EXPECT_EQ(view.region_of(clone), view.region_of(a_store));
+}
+
+TEST(MaintainCloneTest, CloneAppearsInLineTable) {
+  testing::BuiltUnit built(kLoop);
+  format::HliEntry& entry = *built.file.find_unit("f");
+  const std::size_t before = total_items(entry);
+  (void)maintain::clone_item(entry, built.item_at("f", 6, 1), 6);
+  EXPECT_EQ(total_items(entry), before + 1);
+}
+
+TEST(MaintainMoveTest, LicmMoveToParentRegion) {
+  testing::BuiltUnit built(kLoop);
+  format::HliEntry& entry = *built.file.find_unit("f");
+  const format::ItemId s_load = built.item_at("f", 6, 1);
+  const format::RegionId root = entry.root_region;
+  maintain::move_item_to_region(entry, s_load, root);
+  HliUnitView view(entry);
+  EXPECT_EQ(view.region_of(s_load), root);
+}
+
+TEST(MaintainMoveTest, MovedItemStillConflictsCorrectly) {
+  testing::BuiltUnit built(R"(int a[64];
+int s;
+void f()
+{
+  for (int i = 1; i < 64; i++) {
+    a[i] = s;
+    s = s + 1;
+  }
+}
+)");
+  format::HliEntry& entry = *built.file.find_unit("f");
+  const format::ItemId s_load = built.item_at("f", 6, 0);
+  const format::ItemId s_store = built.item_at("f", 7, 1);
+  maintain::move_item_to_region(entry, s_load, entry.root_region);
+  HliUnitView view(entry);
+  // Both still land in classes over s; conflict must persist.
+  EXPECT_NE(view.may_conflict(s_load, s_store), EquivAcc::None);
+}
+
+// ---------------------------------------------------------------------
+// Unrolling (Figure 6).
+// ---------------------------------------------------------------------
+
+class UnrollTest : public ::testing::Test {
+ protected:
+  UnrollTest() : built_(kLoop), entry_(*built_.file.find_unit("f")) {}
+
+  testing::BuiltUnit built_;
+  format::HliEntry& entry_;
+
+  [[nodiscard]] format::RegionId loop_id() const { return entry_.regions[1].id; }
+};
+
+TEST_F(UnrollTest, RejectsNonLoopRegions) {
+  const auto update = maintain::unroll_loop(entry_, entry_.root_region, 2);
+  EXPECT_FALSE(update.ok);
+}
+
+TEST_F(UnrollTest, RejectsFactorOne) {
+  const auto update = maintain::unroll_loop(entry_, loop_id(), 1);
+  EXPECT_FALSE(update.ok);
+}
+
+TEST_F(UnrollTest, RejectsLoopsWithChildren) {
+  testing::BuiltUnit nested(R"(int a[8];
+void f()
+{
+  for (int i = 0; i < 8; i++) {
+    for (int j = 0; j < 8; j++) { a[j] = j; }
+  }
+}
+)");
+  format::HliEntry& entry = *nested.file.find_unit("f");
+  const auto update = maintain::unroll_loop(entry, entry.regions[1].id, 2);
+  EXPECT_FALSE(update.ok);
+}
+
+TEST_F(UnrollTest, EveryItemGetsFactorCopies) {
+  const std::size_t before = total_items(entry_);
+  const auto update = maintain::unroll_loop(entry_, loop_id(), 4);
+  ASSERT_TRUE(update.ok);
+  EXPECT_EQ(total_items(entry_), before * 4 - /* no items outside loop */ 0);
+  for (const auto& [item, copies] : update.item_copies) {
+    (void)item;
+    EXPECT_EQ(copies.size(), 4u);
+  }
+}
+
+TEST_F(UnrollTest, InvariantClassAbsorbsCopies) {
+  const format::ItemId s_load = built_.item_at("f", 6, 1);
+  const auto update = maintain::unroll_loop(entry_, loop_id(), 2);
+  ASSERT_TRUE(update.ok);
+  HliUnitView view(entry_);
+  const format::ItemId s_copy = update.item_copies.at(s_load)[1];
+  // Both copies read the same scalar: definitely equivalent.
+  EXPECT_EQ(view.get_equiv_acc(s_load, s_copy), EquivAcc::Definite);
+}
+
+TEST_F(UnrollTest, VariantCopiesAreSplitAndDistanceRewritten) {
+  const format::ItemId a_store = built_.item_at("f", 6, 2);   // a[i].
+  const format::ItemId a_load = built_.item_at("f", 6, 0);    // a[i-1].
+  const auto update = maintain::unroll_loop(entry_, loop_id(), 2);
+  ASSERT_TRUE(update.ok);
+  HliUnitView view(entry_);
+
+  const format::ItemId store_copy1 = update.item_copies.at(a_store)[1];
+  const format::ItemId load_copy1 = update.item_copies.at(a_load)[1];
+
+  // Copy 0's store feeds copy 1's load (distance 1 became intra-body).
+  EXPECT_NE(view.may_conflict(a_store, load_copy1), EquivAcc::None);
+  // Copy 0's store does NOT touch copy 0's load (still disjoint).
+  EXPECT_EQ(view.may_conflict(a_store, a_load), EquivAcc::None);
+  // Copy 1's store feeds copy 0's load of the NEXT new iteration:
+  // a carried dependence with distance 1 must exist in the table.
+  const format::RegionEntry* loop = entry_.find_region(loop_id());
+  bool wraparound = false;
+  for (const auto& dep : loop->lcdds) {
+    if (dep.distance == 1 && dep.type == DepType::Definite) wraparound = true;
+  }
+  EXPECT_TRUE(wraparound);
+  (void)store_copy1;
+}
+
+TEST_F(UnrollTest, OuterViewUnchangedAfterUnroll) {
+  // The number of root-region classes must not change: copies join the
+  // parent classes of their originals, keeping the outer coverage intact.
+  const std::size_t before = entry_.regions[0].classes.size();
+  const auto update = maintain::unroll_loop(entry_, loop_id(), 2);
+  ASSERT_TRUE(update.ok);
+  EXPECT_EQ(entry_.regions[0].classes.size(), before);
+  // And every new loop class is reachable from some root class.
+  query::HliUnitView view(entry_);
+  for (const auto& cls : entry_.find_region(loop_id())->classes) {
+    EXPECT_EQ(view.class_of_at(cls.member_items.empty()
+                                   ? format::kNoItem
+                                   : cls.member_items.front(),
+                               entry_.root_region) != format::kNoItem,
+              !cls.member_items.empty());
+  }
+}
+
+TEST_F(UnrollTest, DistanceTwoUnrollByTwoBecomesDistanceOne) {
+  testing::BuiltUnit built(R"(int a[64];
+void f()
+{
+  for (int i = 2; i < 64; i++) {
+    a[i] = a[i-2] + 1;
+  }
+}
+)");
+  format::HliEntry& entry = *built.file.find_unit("f");
+  const format::RegionId loop = entry.regions[1].id;
+  const auto update = maintain::unroll_loop(entry, loop, 2);
+  ASSERT_TRUE(update.ok);
+  // Original distance 2, factor 2: every pair becomes carried distance 1,
+  // no intra-body conflicts.
+  const format::RegionEntry* region = entry.find_region(loop);
+  ASSERT_FALSE(region->lcdds.empty());
+  for (const auto& dep : region->lcdds) {
+    EXPECT_EQ(dep.distance, 1);
+  }
+  const format::ItemId a_store = built.item_at("f", 5, 1);
+  const format::ItemId a_load = built.item_at("f", 5, 0);
+  HliUnitView view(entry);
+  const format::ItemId load_copy1 = update.item_copies.at(a_load)[1];
+  EXPECT_EQ(view.may_conflict(a_store, load_copy1), EquivAcc::None);
+}
+
+}  // namespace
+}  // namespace hli

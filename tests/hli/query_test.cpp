@@ -1,0 +1,163 @@
+// Focused tests for the HLI query interface (§3.2.2) — the only window a
+// back-end has into the HLI.  Structural queries, lifting across regions,
+// the three-valued answers, and behavior on unknown/unmapped items.
+#include "hli/query.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hli/serialize.hpp"
+#include "hli_test_util.hpp"
+
+namespace hli {
+namespace {
+
+using query::CallAcc;
+using query::EquivAcc;
+using query::HliUnitView;
+
+constexpr const char* kNested = R"(int a[100];
+int b[100];
+int total;
+void leaf() { total = total + 1; }
+void f()
+{
+  for (int i = 0; i < 10; i++) {
+    a[i] = i;
+    for (int j = 0; j < 10; j++) {
+      b[10 * i + j] = a[i] + b[10 * i + j];
+    }
+    leaf();
+  }
+}
+)";
+// Line 8: store a[i].   Line 10: load a[i] (0... order: rhs loads a[i] then
+// b[...], then store b) — actually rhs is a[i] + b[..]: load a[i], load b,
+// store b.  Line 12: call leaf().
+
+class QueryTest : public ::testing::Test {
+ protected:
+  QueryTest() : built_(kNested), view_(built_.unit("f")) {}
+
+  testing::BuiltUnit built_;
+  HliUnitView view_;
+
+  [[nodiscard]] const format::HliEntry& unit() const { return built_.unit("f"); }
+};
+
+TEST_F(QueryTest, RegionOfMemoryItem) {
+  const format::ItemId store_a = built_.item_at("f", 8, 0);
+  const format::RegionId region = view_.region_of(store_a);
+  ASSERT_NE(region, format::kNoRegion);
+  EXPECT_EQ(unit().find_region(region)->type, format::RegionType::Loop);
+}
+
+TEST_F(QueryTest, RegionOfCallItem) {
+  const format::ItemId call = built_.item_at("f", 12, 0);
+  const format::RegionId region = view_.region_of(call);
+  ASSERT_NE(region, format::kNoRegion);
+  // The call sits in the outer i loop, not the j loop.
+  EXPECT_EQ(region, view_.region_of(built_.item_at("f", 8, 0)));
+}
+
+TEST_F(QueryTest, RegionOfUnknownItemIsNone) {
+  EXPECT_EQ(view_.region_of(9999), format::kNoRegion);
+}
+
+TEST_F(QueryTest, ParentChainReachesRoot) {
+  const format::ItemId load_b = built_.item_at("f", 10, 1);
+  format::RegionId region = view_.region_of(load_b);
+  std::size_t depth = 0;
+  while (region != format::kNoRegion) {
+    region = view_.parent_region(region);
+    ++depth;
+  }
+  EXPECT_EQ(depth, 3u);  // j loop -> i loop -> unit.
+}
+
+TEST_F(QueryTest, InnermostLoopOfNonLoopRegionClimbs) {
+  const format::RegionId root = unit().root_region;
+  EXPECT_EQ(view_.innermost_loop(root), format::kNoRegion);
+  const format::ItemId load_b = built_.item_at("f", 10, 1);
+  const format::RegionId j_loop = view_.region_of(load_b);
+  EXPECT_EQ(view_.innermost_loop(j_loop), j_loop);
+}
+
+TEST_F(QueryTest, CommonRegionAcrossLoopLevels) {
+  const format::ItemId store_a = built_.item_at("f", 8, 0);   // i loop.
+  const format::ItemId load_b = built_.item_at("f", 10, 1);   // j loop.
+  const format::RegionId lca = view_.common_region(store_a, load_b);
+  EXPECT_EQ(lca, view_.region_of(store_a));
+}
+
+TEST_F(QueryTest, ClassLiftingAcrossTwoLevels) {
+  const format::ItemId load_b = built_.item_at("f", 10, 1);
+  const format::RegionId root = unit().root_region;
+  const format::ItemId lifted = view_.class_of_at(load_b, root);
+  ASSERT_NE(lifted, format::kNoItem);
+  const format::RegionEntry* root_region = unit().find_region(root);
+  EXPECT_NE(root_region->find_class(lifted), nullptr);
+}
+
+TEST_F(QueryTest, ClassOfAtNonEnclosingRegionIsNone) {
+  const format::ItemId store_a = built_.item_at("f", 8, 0);  // i loop.
+  const format::ItemId load_b = built_.item_at("f", 10, 1);  // j loop.
+  const format::RegionId j_loop = view_.region_of(load_b);
+  EXPECT_EQ(view_.class_of_at(store_a, j_loop), format::kNoItem);
+}
+
+TEST_F(QueryTest, EquivAcrossLoopLevels) {
+  // a[i] store in the i loop vs a[i] load inside the j loop: same exact
+  // section at the common region -> same class, definitely equivalent.
+  const format::ItemId store_a = built_.item_at("f", 8, 0);
+  const format::ItemId load_a = built_.item_at("f", 10, 0);
+  EXPECT_EQ(view_.get_equiv_acc(store_a, load_a), EquivAcc::Definite);
+}
+
+TEST_F(QueryTest, CrossArrayIsNone) {
+  const format::ItemId store_a = built_.item_at("f", 8, 0);
+  const format::ItemId store_b = built_.item_at("f", 10, 2);
+  EXPECT_EQ(view_.may_conflict(store_a, store_b), EquivAcc::None);
+}
+
+TEST_F(QueryTest, UnmappedItemsAnswerMaybe) {
+  const format::ItemId store_a = built_.item_at("f", 8, 0);
+  EXPECT_EQ(view_.get_equiv_acc(store_a, 9999), EquivAcc::Maybe);
+  EXPECT_EQ(view_.get_alias(store_a, 9999), EquivAcc::Maybe);
+}
+
+TEST_F(QueryTest, CallAccSeesThroughSubregionAggregation) {
+  // leaf() modifies `total`; `total` has no items in f, so ask about an
+  // unrelated array item: must be None, not RefMod.
+  const format::ItemId call = built_.item_at("f", 12, 0);
+  const format::ItemId load_b = built_.item_at("f", 10, 1);
+  EXPECT_EQ(view_.get_call_acc(load_b, call), CallAcc::None);
+}
+
+TEST_F(QueryTest, CallAccUnknownCallIsConservative) {
+  const format::ItemId load_b = built_.item_at("f", 10, 1);
+  EXPECT_EQ(view_.get_call_acc(load_b, 9999), CallAcc::RefMod);
+}
+
+TEST_F(QueryTest, LcddOnNonLoopRegionIsEmpty) {
+  const format::ItemId store_a = built_.item_at("f", 8, 0);
+  const format::ItemId load_a = built_.item_at("f", 10, 0);
+  EXPECT_TRUE(view_.get_lcdd(unit().root_region, store_a, load_a).empty());
+}
+
+TEST_F(QueryTest, ViewSurvivesSerializationRoundTrip) {
+  // Queries must answer identically on a re-read entry (the back-end's
+  // actual situation).
+  const std::string text = "HLI v1\n" + serialize::write_entry(unit());
+  const format::HliFile reread = serialize::read_hli(text);
+  const HliUnitView fresh(*reread.find_unit("f"));
+  const format::ItemId store_a = built_.item_at("f", 8, 0);
+  const format::ItemId load_a = built_.item_at("f", 10, 0);
+  EXPECT_EQ(fresh.get_equiv_acc(store_a, load_a),
+            view_.get_equiv_acc(store_a, load_a));
+  const format::ItemId call = built_.item_at("f", 12, 0);
+  const format::ItemId load_b = built_.item_at("f", 10, 1);
+  EXPECT_EQ(fresh.get_call_acc(load_b, call), view_.get_call_acc(load_b, call));
+}
+
+}  // namespace
+}  // namespace hli

@@ -1,0 +1,125 @@
+// Robustness properties of the HLI reader and the dump renderer: arbitrary
+// truncations and single-line corruptions of a valid file must raise a
+// clean CompileError (never crash, never silently succeed with partial
+// region tables), and the renderer must cover every table kind.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "hli/dump.hpp"
+#include "support/string_utils.hpp"
+#include "hli/serialize.hpp"
+#include "hli_test_util.hpp"
+
+namespace hli {
+namespace {
+
+constexpr const char* kProgram = R"(int a[16];
+int sum;
+void helper() { sum = sum + 1; }
+void f(int* p)
+{
+  for (int i = 1; i < 16; i++) {
+    a[i] = a[i-1] + p[i];
+    helper();
+  }
+}
+)";
+
+std::string valid_text() {
+  static const std::string text = [] {
+    testing::BuiltUnit built(kProgram);
+    return serialize::write_hli(built.file);
+  }();
+  return text;
+}
+
+TEST(ReaderRobustnessTest, EveryLineTruncationFailsCleanly) {
+  const std::string text = valid_text();
+  const auto lines = support::split(text, '\n');
+  // Drop the trailing empty segment from the final newline.
+  std::size_t usable = lines.size();
+  while (usable > 0 && lines[usable - 1].empty()) --usable;
+
+  for (std::size_t keep = 2; keep + 1 < usable; ++keep) {
+    // Cutting exactly after an "endunit" is a smaller but VALID file; the
+    // property only concerns truncation in the middle of a unit.
+    if (lines[keep - 1] == "endunit") continue;
+    std::string truncated;
+    for (std::size_t i = 0; i < keep; ++i) {
+      truncated += std::string(lines[i]) + "\n";
+    }
+    EXPECT_THROW((void)serialize::read_hli(truncated), support::CompileError)
+        << "truncation after " << keep << " lines parsed silently";
+  }
+}
+
+TEST(ReaderRobustnessTest, ByteTruncationNeverCrashes) {
+  const std::string text = valid_text();
+  for (std::size_t len = 0; len < text.size(); len += 13) {
+    try {
+      const format::HliFile file = serialize::read_hli(text.substr(0, len));
+      // Parsing a prefix may legitimately succeed only if it ends exactly
+      // at a unit boundary; accept either outcome, crash is the failure.
+      (void)file;
+    } catch (const support::CompileError&) {
+      // Expected for most prefixes.
+    }
+  }
+  SUCCEED();
+}
+
+TEST(ReaderRobustnessTest, GarbledTokensFail) {
+  const std::string text = valid_text();
+  const char* corruptions[] = {"class", "lcdd", "alias", "calleff", "region"};
+  for (const char* token : corruptions) {
+    const std::size_t pos = text.find(token);
+    if (pos == std::string::npos) continue;
+    std::string bad = text;
+    bad.replace(pos, std::strlen(token), "zzzzz");
+    EXPECT_THROW((void)serialize::read_hli(bad), support::CompileError)
+        << "corrupting '" << token << "' parsed silently";
+  }
+}
+
+TEST(ReaderRobustnessTest, NumbersReplacedByJunkFail) {
+  std::string bad = valid_text();
+  const std::size_t pos = bad.find("nextid ");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos + 7, 1, "x");
+  EXPECT_THROW((void)serialize::read_hli(bad), support::CompileError);
+}
+
+TEST(DumpTest, RendersEveryTableKind) {
+  testing::BuiltUnit built(kProgram);
+  const std::string out = dump::render_file(built.file);
+  EXPECT_NE(out.find("unit f"), std::string::npos);
+  EXPECT_NE(out.find("line "), std::string::npos);
+  EXPECT_NE(out.find("Region"), std::string::npos);
+  EXPECT_NE(out.find("class"), std::string::npos);
+  EXPECT_NE(out.find("lcdd"), std::string::npos);     // a[i] vs a[i-1].
+  EXPECT_NE(out.find("call item"), std::string::npos);
+  EXPECT_NE(out.find("calls-in-region"), std::string::npos);
+}
+
+TEST(DumpTest, RendersUnknownTargetMarker) {
+  testing::BuiltUnit built(R"(
+double* mystery();
+void f() { double* p = mystery(); *p = 1.0; }
+)");
+  const std::string out = dump::render_entry(built.unit("f"));
+  EXPECT_NE(out.find("UNKNOWN-TARGET"), std::string::npos);
+}
+
+TEST(DumpTest, RendersClobberAllForUnknownCalls) {
+  testing::BuiltUnit built(R"(
+void mystery();
+int g;
+void f() { g = 1; mystery(); }
+)");
+  const std::string out = dump::render_entry(built.unit("f"));
+  EXPECT_NE(out.find("CLOBBERS-ALL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hli

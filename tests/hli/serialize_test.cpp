@@ -1,0 +1,164 @@
+#include "hli/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hli_test_util.hpp"
+
+namespace hli {
+namespace {
+
+using serialize::read_hli;
+using serialize::write_hli;
+
+constexpr const char* kProgram = R"(int a[10];
+int b[10];
+int sum;
+double sqrt(double x);
+void helper(double* p) { p[0] = 1.0; }
+void foo(double* q, int n)
+{
+  double local[16];
+  helper(local);
+  for (int i = 0; i < 10; i++) {
+    sum = sum + a[i];
+    for (int j = 1; j < 10; j++) {
+      b[j] = b[j] + b[j-1];
+    }
+  }
+  q[n] = sum;
+}
+)";
+
+/// Structural equality of two HLI files, field by field.
+void expect_equal(const format::HliFile& a, const format::HliFile& b) {
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t e = 0; e < a.entries.size(); ++e) {
+    const auto& ea = a.entries[e];
+    const auto& eb = b.entries[e];
+    EXPECT_EQ(ea.unit_name, eb.unit_name);
+    EXPECT_EQ(ea.root_region, eb.root_region);
+    EXPECT_EQ(ea.next_id, eb.next_id);
+    ASSERT_EQ(ea.line_table.lines().size(), eb.line_table.lines().size());
+    for (std::size_t l = 0; l < ea.line_table.lines().size(); ++l) {
+      const auto& la = ea.line_table.lines()[l];
+      const auto& lb = eb.line_table.lines()[l];
+      EXPECT_EQ(la.line, lb.line);
+      ASSERT_EQ(la.items.size(), lb.items.size());
+      for (std::size_t i = 0; i < la.items.size(); ++i) {
+        EXPECT_EQ(la.items[i].id, lb.items[i].id);
+        EXPECT_EQ(la.items[i].type, lb.items[i].type);
+      }
+    }
+    ASSERT_EQ(ea.regions.size(), eb.regions.size());
+    for (std::size_t r = 0; r < ea.regions.size(); ++r) {
+      const auto& ra = ea.regions[r];
+      const auto& rb = eb.regions[r];
+      EXPECT_EQ(ra.id, rb.id);
+      EXPECT_EQ(ra.type, rb.type);
+      EXPECT_EQ(ra.parent, rb.parent);
+      EXPECT_EQ(ra.children, rb.children);
+      EXPECT_EQ(ra.first_line, rb.first_line);
+      EXPECT_EQ(ra.last_line, rb.last_line);
+      ASSERT_EQ(ra.classes.size(), rb.classes.size());
+      for (std::size_t c = 0; c < ra.classes.size(); ++c) {
+        const auto& ca = ra.classes[c];
+        const auto& cb = rb.classes[c];
+        EXPECT_EQ(ca.id, cb.id);
+        EXPECT_EQ(ca.type, cb.type);
+        EXPECT_EQ(ca.base, cb.base);
+        EXPECT_EQ(ca.unknown_target, cb.unknown_target);
+        EXPECT_EQ(ca.has_write, cb.has_write);
+        EXPECT_EQ(ca.loop_invariant, cb.loop_invariant);
+        EXPECT_EQ(ca.member_items, cb.member_items);
+        EXPECT_EQ(ca.member_subclasses, cb.member_subclasses);
+        EXPECT_EQ(ca.display, cb.display);
+      }
+      ASSERT_EQ(ra.aliases.size(), rb.aliases.size());
+      for (std::size_t al = 0; al < ra.aliases.size(); ++al) {
+        EXPECT_EQ(ra.aliases[al].classes, rb.aliases[al].classes);
+      }
+      ASSERT_EQ(ra.lcdds.size(), rb.lcdds.size());
+      for (std::size_t d = 0; d < ra.lcdds.size(); ++d) {
+        EXPECT_EQ(ra.lcdds[d].src, rb.lcdds[d].src);
+        EXPECT_EQ(ra.lcdds[d].dst, rb.lcdds[d].dst);
+        EXPECT_EQ(ra.lcdds[d].type, rb.lcdds[d].type);
+        EXPECT_EQ(ra.lcdds[d].distance, rb.lcdds[d].distance);
+      }
+      ASSERT_EQ(ra.call_effects.size(), rb.call_effects.size());
+      for (std::size_t ce = 0; ce < ra.call_effects.size(); ++ce) {
+        EXPECT_EQ(ra.call_effects[ce].is_subregion, rb.call_effects[ce].is_subregion);
+        EXPECT_EQ(ra.call_effects[ce].call_item, rb.call_effects[ce].call_item);
+        EXPECT_EQ(ra.call_effects[ce].subregion, rb.call_effects[ce].subregion);
+        EXPECT_EQ(ra.call_effects[ce].ref_classes, rb.call_effects[ce].ref_classes);
+        EXPECT_EQ(ra.call_effects[ce].mod_classes, rb.call_effects[ce].mod_classes);
+        EXPECT_EQ(ra.call_effects[ce].unknown, rb.call_effects[ce].unknown);
+      }
+    }
+  }
+}
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  testing::BuiltUnit built(kProgram);
+  const std::string text = write_hli(built.file);
+  const format::HliFile reread = read_hli(text);
+  expect_equal(built.file, reread);
+}
+
+TEST(SerializeTest, RoundTripIsIdempotent) {
+  testing::BuiltUnit built(kProgram);
+  const std::string once = write_hli(built.file);
+  const std::string twice = write_hli(read_hli(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(SerializeTest, HeaderRequired) {
+  EXPECT_THROW((void)read_hli("unit foo nextid 3\n"), support::CompileError);
+}
+
+TEST(SerializeTest, MalformedClassLineReported) {
+  const char* bad =
+      "HLI v1\n"
+      "unit f nextid 2\n"
+      "regions 1 root 1\n"
+      "region 1 unit parent 0 scope 1 1 children :\n"
+      "class oops\n"
+      "endregion\n"
+      "endunit\n";
+  EXPECT_THROW((void)read_hli(bad), support::CompileError);
+}
+
+TEST(SerializeTest, MissingEndunitReported) {
+  const char* bad =
+      "HLI v1\n"
+      "unit f nextid 2\n"
+      "regions 0 root 1\n";
+  EXPECT_THROW((void)read_hli(bad), support::CompileError);
+}
+
+TEST(SerializeTest, EmptyFileHasOnlyHeader) {
+  const format::HliFile empty;
+  EXPECT_EQ(write_hli(empty), "HLI v1\n");
+  EXPECT_TRUE(read_hli("HLI v1\n").entries.empty());
+}
+
+TEST(SerializeTest, UnknownDistanceSerializesAsQuestionMark) {
+  testing::BuiltUnit built(R"(
+int a[10]; int k;
+void f() {
+  for (int i = 0; i < 10; i++) { a[i] = a[k] + 1; }
+}
+)");
+  const std::string text = write_hli(built.file);
+  EXPECT_NE(text.find("dist ?"), std::string::npos);
+  const format::HliFile reread = read_hli(text);
+  expect_equal(built.file, reread);
+}
+
+TEST(SerializeTest, SizeGrowsWithProgramComplexity) {
+  testing::BuiltUnit small("int g; void f() { g = 1; }");
+  testing::BuiltUnit large(kProgram);
+  EXPECT_LT(write_hli(small.file).size(), write_hli(large.file).size());
+}
+
+}  // namespace
+}  // namespace hli

@@ -1,0 +1,160 @@
+#include "machine/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "backend/lower.hpp"
+#include "frontend/sema.hpp"
+
+namespace hli::machine {
+namespace {
+
+using backend::RtlProgram;
+using backend::RunResult;
+
+RtlProgram lower(const std::string& src) {
+  support::DiagnosticEngine diags;
+  frontend::Program prog = frontend::compile_to_ast(src, diags);
+  // NOTE: prog must outlive nothing — lower_program copies what it needs.
+  return backend::lower_program(prog);
+}
+
+std::uint64_t cycles_inorder(const RtlProgram& rtl, MachineDesc desc) {
+  InOrderSim sim(std::move(desc));
+  const RunResult r = backend::run_program(rtl, "main", &sim);
+  EXPECT_TRUE(r.ok) << r.error;
+  return sim.cycles();
+}
+
+std::uint64_t cycles_ooo(const RtlProgram& rtl, MachineDesc desc) {
+  OutOfOrderSim sim(std::move(desc));
+  const RunResult r = backend::run_program(rtl, "main", &sim);
+  EXPECT_TRUE(r.ok) << r.error;
+  return sim.cycles();
+}
+
+constexpr const char* kIndependentWork = R"(
+double a[256]; double b[256]; double c[256]; double d[256];
+int main() {
+  for (int r = 0; r < 10; r++) {
+    for (int i = 0; i < 256; i++) {
+      a[i] = a[i] * 1.01;
+      b[i] = b[i] * 1.02;
+      c[i] = c[i] * 1.03;
+      d[i] = d[i] * 1.04;
+    }
+  }
+  return 0;
+}
+)";
+
+TEST(MachineDescTest, LatencyTableShape) {
+  const MachineDesc m = r4600();
+  backend::Insn load;
+  load.op = backend::Opcode::Load;
+  backend::Insn fmul;
+  fmul.op = backend::Opcode::Mul;
+  fmul.is_float = true;
+  backend::Insn alu;
+  alu.op = backend::Opcode::Add;
+  EXPECT_GT(m.latency(load), m.latency(alu));
+  EXPECT_GT(m.latency(fmul), m.latency(alu));
+}
+
+TEST(MachineDescTest, PresetsDiffer) {
+  EXPECT_FALSE(r4600().out_of_order);
+  EXPECT_TRUE(r10000().out_of_order);
+  EXPECT_GT(r10000().issue_width, r4600().issue_width);
+}
+
+TEST(TimingTest, WideCoreBeatsNarrowCoreOnParallelWork) {
+  const RtlProgram rtl = lower(kIndependentWork);
+  const std::uint64_t narrow = cycles_inorder(rtl, r4600());
+  const std::uint64_t wide = cycles_ooo(rtl, r10000());
+  EXPECT_LT(wide, narrow);
+}
+
+TEST(TimingTest, SerialChainLimitsTheWideCore) {
+  // A pure dependence chain: width cannot help; the wide core's advantage
+  // collapses compared to the parallel-work case.
+  const RtlProgram chain = lower(R"(
+double s;
+int main() {
+  for (int i = 0; i < 2000; i++) { s = s * 1.0000001; }
+  return 0;
+}
+)");
+  const RtlProgram parallel = lower(kIndependentWork);
+  const double chain_ratio =
+      double(cycles_inorder(chain, r4600())) / double(cycles_ooo(chain, r10000()));
+  const double parallel_ratio = double(cycles_inorder(parallel, r4600())) /
+                                double(cycles_ooo(parallel, r10000()));
+  EXPECT_GT(parallel_ratio, chain_ratio);
+}
+
+TEST(TimingTest, CacheMissesCost) {
+  // Striding through 1 MB thrashes the 32 KB cache; the same count of
+  // accesses within one line is much cheaper.
+  const RtlProgram thrash = lower(R"(
+double big[131072];
+double s;
+int main() {
+  for (int i = 0; i < 131072; i += 512) { s = s + big[i]; }
+  return 0;
+}
+)");
+  const RtlProgram friendly = lower(R"(
+double big[131072];
+double s;
+int main() {
+  for (int i = 0; i < 256; i++) { s = s + big[i & 3]; }
+  return 0;
+}
+)");
+  MachineDesc m = r4600();
+  const std::uint64_t miss_cycles = cycles_inorder(thrash, m);
+  const std::uint64_t hit_cycles = cycles_inorder(friendly, m);
+  EXPECT_GT(miss_cycles, hit_cycles);
+}
+
+TEST(TimingTest, InOrderCyclesAtLeastInsnCount) {
+  const RtlProgram rtl = lower("int main() { int s = 0; for (int i = 0; i < 100; i++) s += i; return s; }");
+  InOrderSim sim(r4600());
+  const RunResult r = backend::run_program(rtl, "main", &sim);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GE(sim.cycles(), sim.insns());
+}
+
+TEST(TimingTest, OooRespectsIssueWidth) {
+  const RtlProgram rtl = lower(kIndependentWork);
+  MachineDesc wide = r10000();
+  MachineDesc narrow = r10000();
+  narrow.issue_width = 1;
+  EXPECT_LT(cycles_ooo(rtl, wide), cycles_ooo(rtl, narrow));
+}
+
+TEST(TimingTest, SmallerWindowIsSlower) {
+  const RtlProgram rtl = lower(kIndependentWork);
+  MachineDesc big = r10000();
+  MachineDesc small = r10000();
+  small.rob_size = 4;
+  EXPECT_LE(cycles_ooo(rtl, big), cycles_ooo(rtl, small));
+}
+
+TEST(CacheModelTest, HitAfterInstall) {
+  CacheModel cache(r4600());
+  EXPECT_FALSE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x1004));  // Same line.
+}
+
+TEST(CacheModelTest, ConflictEviction) {
+  const MachineDesc m = r4600();
+  CacheModel cache(m);
+  const std::uint64_t stride = std::uint64_t(m.cache_lines) * m.cache_line_bytes;
+  EXPECT_FALSE(cache.access(0x40));
+  EXPECT_FALSE(cache.access(0x40 + stride));  // Maps to the same set.
+  EXPECT_FALSE(cache.access(0x40));           // Evicted.
+}
+
+}  // namespace
+}  // namespace hli::machine

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+#include "support/source_location.hpp"
+#include "support/string_utils.hpp"
+#include "support/strong_id.hpp"
+
+namespace hli::support {
+namespace {
+
+TEST(SourceLocTest, ValidityAndFormatting) {
+  EXPECT_FALSE(SourceLoc{}.valid());
+  EXPECT_TRUE((SourceLoc{3, 7}).valid());
+  EXPECT_EQ(to_string(SourceLoc{3, 7}), "3:7");
+  EXPECT_EQ(to_string(SourceLoc{}), "<unknown>");
+}
+
+TEST(SourceLocTest, Ordering) {
+  EXPECT_LT((SourceLoc{1, 9}), (SourceLoc{2, 1}));
+  EXPECT_LT((SourceLoc{2, 1}), (SourceLoc{2, 5}));
+}
+
+TEST(DiagnosticsTest, CountsErrorsOnly) {
+  DiagnosticEngine engine;
+  engine.warning({1, 1}, "w");
+  EXPECT_FALSE(engine.has_errors());
+  engine.error({2, 2}, "e");
+  EXPECT_TRUE(engine.has_errors());
+  EXPECT_EQ(engine.error_count(), 1u);
+  EXPECT_EQ(engine.diagnostics().size(), 2u);
+}
+
+TEST(DiagnosticsTest, RenderIncludesSeverityAndLocation) {
+  DiagnosticEngine engine;
+  engine.error({4, 2}, "boom");
+  const std::string out = engine.render();
+  EXPECT_NE(out.find("4:2"), std::string::npos);
+  EXPECT_NE(out.find("error"), std::string::npos);
+  EXPECT_NE(out.find("boom"), std::string::npos);
+}
+
+TEST(StrongIdTest, InvalidByDefaultAndHashable) {
+  struct Tag {};
+  using Id = StrongId<Tag>;
+  EXPECT_FALSE(Id{}.valid());
+  EXPECT_TRUE(Id{3}.valid());
+  EXPECT_EQ(Id{3}, Id{3});
+  EXPECT_NE(Id{3}, Id{4});
+  std::hash<Id> hasher;
+  EXPECT_EQ(hasher(Id{3}), hasher(Id{3}));
+}
+
+TEST(StringUtilsTest, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtilsTest, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringUtilsTest, SplitWsDropsEmptyFields) {
+  const auto parts = split_ws("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(StringUtilsTest, StartsWith) {
+  EXPECT_TRUE(starts_with("region 1", "region "));
+  EXPECT_FALSE(starts_with("reg", "region"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(StringUtilsTest, ParseU64RejectsJunk) {
+  std::uint64_t value = 0;
+  EXPECT_TRUE(parse_u64("42", value));
+  EXPECT_EQ(value, 42u);
+  EXPECT_FALSE(parse_u64("42x", value));
+  EXPECT_FALSE(parse_u64("", value));
+  EXPECT_FALSE(parse_u64("-3", value));
+}
+
+TEST(StringUtilsTest, ParseI64HandlesNegatives) {
+  std::int64_t value = 0;
+  EXPECT_TRUE(parse_i64("-17", value));
+  EXPECT_EQ(value, -17);
+  EXPECT_FALSE(parse_i64("1.5", value));
+}
+
+}  // namespace
+}  // namespace hli::support

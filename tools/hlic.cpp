@@ -1,0 +1,194 @@
+// hlic — the command-line front door to the whole pipeline.
+//
+//   hlic [options] <file.c | workload-name>
+//
+//   --dump-hli        print the serialized HLI interchange file
+//   --pretty          print the HLI tables in Figure-2 style
+//   --dump-rtl        print the optimized RTL of every function
+//   --stats           print pass statistics (Table 2 counters, CSE, LICM)
+//   --run             execute and print output hash / return value
+//   --simulate=M      cycle simulation, M in {r4600, r10000}
+//   --no-hli          compile with the native oracle only
+//   --unroll[=N]      enable loop unrolling (default factor 4)
+//   --list-workloads  list the built-in benchmark names
+//
+// The positional argument is a path to a mini-C source file, or the name
+// of a built-in workload (e.g. "102.swim").
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "backend/rtl.hpp"
+#include "driver/pipeline.hpp"
+#include "hli/dump.hpp"
+#include "support/diagnostics.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace hli;
+
+namespace {
+
+struct CliOptions {
+  bool dump_hli = false;
+  bool pretty = false;
+  bool dump_rtl = false;
+  bool stats = false;
+  bool run = false;
+  std::string simulate;
+  driver::PipelineOptions pipeline;
+  std::string input;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hlic [--dump-hli] [--pretty] [--dump-rtl] [--stats]\n"
+               "            [--run] [--simulate=r4600|r10000] [--no-hli]\n"
+               "            [--unroll[=N]] <file.c | workload-name>\n"
+               "       hlic --list-workloads\n");
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, CliOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dump-hli") {
+      options.dump_hli = true;
+    } else if (arg == "--pretty") {
+      options.pretty = true;
+    } else if (arg == "--dump-rtl") {
+      options.dump_rtl = true;
+    } else if (arg == "--stats") {
+      options.stats = true;
+    } else if (arg == "--run") {
+      options.run = true;
+    } else if (arg.rfind("--simulate=", 0) == 0) {
+      options.simulate = arg.substr(11);
+    } else if (arg == "--no-hli") {
+      options.pipeline.use_hli = false;
+    } else if (arg == "--unroll") {
+      options.pipeline.enable_unroll = true;
+    } else if (arg.rfind("--unroll=", 0) == 0) {
+      options.pipeline.enable_unroll = true;
+      options.pipeline.unroll_factor =
+          static_cast<unsigned>(std::stoul(arg.substr(9)));
+    } else if (arg == "--list-workloads") {
+      for (const auto& w : workloads::all_workloads()) {
+        std::printf("%-14s %s\n", w.name.c_str(), w.suite.c_str());
+      }
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "hlic: unknown option '%s'\n", arg.c_str());
+      return false;
+    } else if (options.input.empty()) {
+      options.input = arg;
+    } else {
+      std::fprintf(stderr, "hlic: extra argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return !options.input.empty();
+}
+
+bool load_source(const std::string& input, std::string& source) {
+  if (const workloads::Workload* w = workloads::find_workload(input)) {
+    source = w->source;
+    return true;
+  }
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "hlic: cannot open '%s' (and it is not a built-in "
+                         "workload; try --list-workloads)\n",
+                 input.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  source = std::move(buffer).str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!parse_args(argc, argv, options)) return usage();
+
+  std::string source;
+  if (!load_source(options.input, source)) return 1;
+
+  driver::CompiledProgram compiled;
+  try {
+    compiled = driver::compile_source(source, options.pipeline);
+  } catch (const support::CompileError& e) {
+    std::fprintf(stderr, "hlic: %s\n", e.what());
+    return 1;
+  }
+
+  if (options.dump_hli) std::fputs(compiled.hli_text.c_str(), stdout);
+  if (options.pretty) std::fputs(dump::render_file(compiled.hli).c_str(), stdout);
+  if (options.dump_rtl) {
+    for (const backend::RtlFunction& func : compiled.rtl.functions) {
+      std::fputs(backend::to_string(func).c_str(), stdout);
+    }
+  }
+  if (options.stats) {
+    const auto& s = compiled.stats;
+    std::printf("source lines:       %zu\n", s.source_lines);
+    std::printf("HLI bytes:          %zu\n", s.hli_bytes);
+    std::printf("items mapped:       %zu (%s)\n", s.mapped_items,
+                s.map_perfect ? "perfect" : "MISMATCHES");
+    std::printf("sched queries:      %llu  (gcc yes %llu, hli yes %llu, "
+                "combined %llu)\n",
+                static_cast<unsigned long long>(s.sched.mem_queries),
+                static_cast<unsigned long long>(s.sched.gcc_yes),
+                static_cast<unsigned long long>(s.sched.hli_yes),
+                static_cast<unsigned long long>(s.sched.combined_yes));
+    std::printf("cse reused:         %llu  (kept at calls %llu)\n",
+                static_cast<unsigned long long>(s.cse.exprs_reused +
+                                                s.cse.loads_reused),
+                static_cast<unsigned long long>(s.cse.entries_kept_at_calls));
+    std::printf("licm loads hoisted: %llu\n",
+                static_cast<unsigned long long>(s.licm.loads_hoisted));
+    std::printf("loops unrolled:     %llu\n",
+                static_cast<unsigned long long>(s.unroll.loops_unrolled));
+  }
+  if (options.run) {
+    const backend::RunResult result = driver::execute(compiled);
+    if (!result.ok) {
+      std::fprintf(stderr, "hlic: run failed: %s\n", result.error.c_str());
+      return 1;
+    }
+    std::printf("return value:  %lld\n",
+                static_cast<long long>(result.return_value));
+    std::printf("output hash:   %016llx (%llu emits)\n",
+                static_cast<unsigned long long>(result.output_hash),
+                static_cast<unsigned long long>(result.emit_count));
+    std::printf("dynamic insns: %llu\n",
+                static_cast<unsigned long long>(result.dynamic_insns));
+  }
+  if (!options.simulate.empty()) {
+    machine::MachineDesc mach;
+    if (options.simulate == "r4600") {
+      mach = machine::r4600();
+    } else if (options.simulate == "r10000") {
+      mach = machine::r10000();
+    } else {
+      std::fprintf(stderr, "hlic: unknown machine '%s'\n",
+                   options.simulate.c_str());
+      return 1;
+    }
+    const driver::SimResult sim = driver::simulate(compiled, mach);
+    if (!sim.run.ok) {
+      std::fprintf(stderr, "hlic: simulation failed: %s\n",
+                   sim.run.error.c_str());
+      return 1;
+    }
+    std::printf("%s cycles: %llu  (%.3f insns/cycle)\n", mach.name.c_str(),
+                static_cast<unsigned long long>(sim.cycles),
+                static_cast<double>(sim.run.dynamic_insns) /
+                    static_cast<double>(sim.cycles));
+  }
+  return 0;
+}
