@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cse_ablation.dir/bench_cse_ablation.cpp.o"
+  "CMakeFiles/bench_cse_ablation.dir/bench_cse_ablation.cpp.o.d"
+  "bench_cse_ablation"
+  "bench_cse_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cse_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

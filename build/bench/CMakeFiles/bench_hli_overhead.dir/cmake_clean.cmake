@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hli_overhead.dir/bench_hli_overhead.cpp.o"
+  "CMakeFiles/bench_hli_overhead.dir/bench_hli_overhead.cpp.o.d"
+  "bench_hli_overhead"
+  "bench_hli_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hli_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_maybe_merge.dir/bench_maybe_merge.cpp.o"
+  "CMakeFiles/bench_maybe_merge.dir/bench_maybe_merge.cpp.o.d"
+  "bench_maybe_merge"
+  "bench_maybe_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_maybe_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

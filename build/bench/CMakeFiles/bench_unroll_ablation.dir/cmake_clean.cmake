@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unroll_ablation.dir/bench_unroll_ablation.cpp.o"
+  "CMakeFiles/bench_unroll_ablation.dir/bench_unroll_ablation.cpp.o.d"
+  "bench_unroll_ablation"
+  "bench_unroll_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unroll_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cse_interproc.dir/cse_interproc.cpp.o"
+  "CMakeFiles/cse_interproc.dir/cse_interproc.cpp.o.d"
+  "cse_interproc"
+  "cse_interproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cse_interproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swp_demo.dir/swp_demo.cpp.o"
+  "CMakeFiles/swp_demo.dir/swp_demo.cpp.o.d"
+  "swp_demo"
+  "swp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

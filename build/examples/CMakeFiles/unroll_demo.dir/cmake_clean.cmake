@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unroll_demo.dir/unroll_demo.cpp.o"
+  "CMakeFiles/unroll_demo.dir/unroll_demo.cpp.o.d"
+  "unroll_demo"
+  "unroll_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unroll_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/affine.cpp" "src/analysis/CMakeFiles/hli_analysis.dir/affine.cpp.o" "gcc" "src/analysis/CMakeFiles/hli_analysis.dir/affine.cpp.o.d"
+  "/root/repo/src/analysis/depend.cpp" "src/analysis/CMakeFiles/hli_analysis.dir/depend.cpp.o" "gcc" "src/analysis/CMakeFiles/hli_analysis.dir/depend.cpp.o.d"
+  "/root/repo/src/analysis/item_walk.cpp" "src/analysis/CMakeFiles/hli_analysis.dir/item_walk.cpp.o" "gcc" "src/analysis/CMakeFiles/hli_analysis.dir/item_walk.cpp.o.d"
+  "/root/repo/src/analysis/pointsto.cpp" "src/analysis/CMakeFiles/hli_analysis.dir/pointsto.cpp.o" "gcc" "src/analysis/CMakeFiles/hli_analysis.dir/pointsto.cpp.o.d"
+  "/root/repo/src/analysis/refmod.cpp" "src/analysis/CMakeFiles/hli_analysis.dir/refmod.cpp.o" "gcc" "src/analysis/CMakeFiles/hli_analysis.dir/refmod.cpp.o.d"
+  "/root/repo/src/analysis/region_tree.cpp" "src/analysis/CMakeFiles/hli_analysis.dir/region_tree.cpp.o" "gcc" "src/analysis/CMakeFiles/hli_analysis.dir/region_tree.cpp.o.d"
+  "/root/repo/src/analysis/section.cpp" "src/analysis/CMakeFiles/hli_analysis.dir/section.cpp.o" "gcc" "src/analysis/CMakeFiles/hli_analysis.dir/section.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/hli_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hli_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

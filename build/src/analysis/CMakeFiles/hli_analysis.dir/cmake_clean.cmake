@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hli_analysis.dir/affine.cpp.o"
+  "CMakeFiles/hli_analysis.dir/affine.cpp.o.d"
+  "CMakeFiles/hli_analysis.dir/depend.cpp.o"
+  "CMakeFiles/hli_analysis.dir/depend.cpp.o.d"
+  "CMakeFiles/hli_analysis.dir/item_walk.cpp.o"
+  "CMakeFiles/hli_analysis.dir/item_walk.cpp.o.d"
+  "CMakeFiles/hli_analysis.dir/pointsto.cpp.o"
+  "CMakeFiles/hli_analysis.dir/pointsto.cpp.o.d"
+  "CMakeFiles/hli_analysis.dir/refmod.cpp.o"
+  "CMakeFiles/hli_analysis.dir/refmod.cpp.o.d"
+  "CMakeFiles/hli_analysis.dir/region_tree.cpp.o"
+  "CMakeFiles/hli_analysis.dir/region_tree.cpp.o.d"
+  "CMakeFiles/hli_analysis.dir/section.cpp.o"
+  "CMakeFiles/hli_analysis.dir/section.cpp.o.d"
+  "libhli_analysis.a"
+  "libhli_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hli_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/constfold.cpp" "src/backend/CMakeFiles/hli_backend.dir/constfold.cpp.o" "gcc" "src/backend/CMakeFiles/hli_backend.dir/constfold.cpp.o.d"
+  "/root/repo/src/backend/cse.cpp" "src/backend/CMakeFiles/hli_backend.dir/cse.cpp.o" "gcc" "src/backend/CMakeFiles/hli_backend.dir/cse.cpp.o.d"
+  "/root/repo/src/backend/dce.cpp" "src/backend/CMakeFiles/hli_backend.dir/dce.cpp.o" "gcc" "src/backend/CMakeFiles/hli_backend.dir/dce.cpp.o.d"
+  "/root/repo/src/backend/gcc_alias.cpp" "src/backend/CMakeFiles/hli_backend.dir/gcc_alias.cpp.o" "gcc" "src/backend/CMakeFiles/hli_backend.dir/gcc_alias.cpp.o.d"
+  "/root/repo/src/backend/interp.cpp" "src/backend/CMakeFiles/hli_backend.dir/interp.cpp.o" "gcc" "src/backend/CMakeFiles/hli_backend.dir/interp.cpp.o.d"
+  "/root/repo/src/backend/licm.cpp" "src/backend/CMakeFiles/hli_backend.dir/licm.cpp.o" "gcc" "src/backend/CMakeFiles/hli_backend.dir/licm.cpp.o.d"
+  "/root/repo/src/backend/lower.cpp" "src/backend/CMakeFiles/hli_backend.dir/lower.cpp.o" "gcc" "src/backend/CMakeFiles/hli_backend.dir/lower.cpp.o.d"
+  "/root/repo/src/backend/mapping.cpp" "src/backend/CMakeFiles/hli_backend.dir/mapping.cpp.o" "gcc" "src/backend/CMakeFiles/hli_backend.dir/mapping.cpp.o.d"
+  "/root/repo/src/backend/regalloc.cpp" "src/backend/CMakeFiles/hli_backend.dir/regalloc.cpp.o" "gcc" "src/backend/CMakeFiles/hli_backend.dir/regalloc.cpp.o.d"
+  "/root/repo/src/backend/rtl.cpp" "src/backend/CMakeFiles/hli_backend.dir/rtl.cpp.o" "gcc" "src/backend/CMakeFiles/hli_backend.dir/rtl.cpp.o.d"
+  "/root/repo/src/backend/sched.cpp" "src/backend/CMakeFiles/hli_backend.dir/sched.cpp.o" "gcc" "src/backend/CMakeFiles/hli_backend.dir/sched.cpp.o.d"
+  "/root/repo/src/backend/swp.cpp" "src/backend/CMakeFiles/hli_backend.dir/swp.cpp.o" "gcc" "src/backend/CMakeFiles/hli_backend.dir/swp.cpp.o.d"
+  "/root/repo/src/backend/unroll.cpp" "src/backend/CMakeFiles/hli_backend.dir/unroll.cpp.o" "gcc" "src/backend/CMakeFiles/hli_backend.dir/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hli/CMakeFiles/hli_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hli_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/hli_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hli_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hli_backend.dir/constfold.cpp.o"
+  "CMakeFiles/hli_backend.dir/constfold.cpp.o.d"
+  "CMakeFiles/hli_backend.dir/cse.cpp.o"
+  "CMakeFiles/hli_backend.dir/cse.cpp.o.d"
+  "CMakeFiles/hli_backend.dir/dce.cpp.o"
+  "CMakeFiles/hli_backend.dir/dce.cpp.o.d"
+  "CMakeFiles/hli_backend.dir/gcc_alias.cpp.o"
+  "CMakeFiles/hli_backend.dir/gcc_alias.cpp.o.d"
+  "CMakeFiles/hli_backend.dir/interp.cpp.o"
+  "CMakeFiles/hli_backend.dir/interp.cpp.o.d"
+  "CMakeFiles/hli_backend.dir/licm.cpp.o"
+  "CMakeFiles/hli_backend.dir/licm.cpp.o.d"
+  "CMakeFiles/hli_backend.dir/lower.cpp.o"
+  "CMakeFiles/hli_backend.dir/lower.cpp.o.d"
+  "CMakeFiles/hli_backend.dir/mapping.cpp.o"
+  "CMakeFiles/hli_backend.dir/mapping.cpp.o.d"
+  "CMakeFiles/hli_backend.dir/regalloc.cpp.o"
+  "CMakeFiles/hli_backend.dir/regalloc.cpp.o.d"
+  "CMakeFiles/hli_backend.dir/rtl.cpp.o"
+  "CMakeFiles/hli_backend.dir/rtl.cpp.o.d"
+  "CMakeFiles/hli_backend.dir/sched.cpp.o"
+  "CMakeFiles/hli_backend.dir/sched.cpp.o.d"
+  "CMakeFiles/hli_backend.dir/swp.cpp.o"
+  "CMakeFiles/hli_backend.dir/swp.cpp.o.d"
+  "CMakeFiles/hli_backend.dir/unroll.cpp.o"
+  "CMakeFiles/hli_backend.dir/unroll.cpp.o.d"
+  "libhli_backend.a"
+  "libhli_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hli_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

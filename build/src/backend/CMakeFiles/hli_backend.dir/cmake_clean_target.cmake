@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhli_backend.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hli_driver.dir/pipeline.cpp.o"
+  "CMakeFiles/hli_driver.dir/pipeline.cpp.o.d"
+  "libhli_driver.a"
+  "libhli_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hli_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

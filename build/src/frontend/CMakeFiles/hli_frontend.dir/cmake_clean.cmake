@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hli_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/hli_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/hli_frontend.dir/parser.cpp.o"
+  "CMakeFiles/hli_frontend.dir/parser.cpp.o.d"
+  "CMakeFiles/hli_frontend.dir/sema.cpp.o"
+  "CMakeFiles/hli_frontend.dir/sema.cpp.o.d"
+  "CMakeFiles/hli_frontend.dir/type.cpp.o"
+  "CMakeFiles/hli_frontend.dir/type.cpp.o.d"
+  "libhli_frontend.a"
+  "libhli_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hli_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

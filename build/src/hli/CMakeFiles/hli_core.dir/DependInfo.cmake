@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hli/builder.cpp" "src/hli/CMakeFiles/hli_core.dir/builder.cpp.o" "gcc" "src/hli/CMakeFiles/hli_core.dir/builder.cpp.o.d"
+  "/root/repo/src/hli/dump.cpp" "src/hli/CMakeFiles/hli_core.dir/dump.cpp.o" "gcc" "src/hli/CMakeFiles/hli_core.dir/dump.cpp.o.d"
+  "/root/repo/src/hli/format.cpp" "src/hli/CMakeFiles/hli_core.dir/format.cpp.o" "gcc" "src/hli/CMakeFiles/hli_core.dir/format.cpp.o.d"
+  "/root/repo/src/hli/maintain.cpp" "src/hli/CMakeFiles/hli_core.dir/maintain.cpp.o" "gcc" "src/hli/CMakeFiles/hli_core.dir/maintain.cpp.o.d"
+  "/root/repo/src/hli/query.cpp" "src/hli/CMakeFiles/hli_core.dir/query.cpp.o" "gcc" "src/hli/CMakeFiles/hli_core.dir/query.cpp.o.d"
+  "/root/repo/src/hli/serialize.cpp" "src/hli/CMakeFiles/hli_core.dir/serialize.cpp.o" "gcc" "src/hli/CMakeFiles/hli_core.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/hli_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/hli_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hli_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hli_core.dir/builder.cpp.o"
+  "CMakeFiles/hli_core.dir/builder.cpp.o.d"
+  "CMakeFiles/hli_core.dir/dump.cpp.o"
+  "CMakeFiles/hli_core.dir/dump.cpp.o.d"
+  "CMakeFiles/hli_core.dir/format.cpp.o"
+  "CMakeFiles/hli_core.dir/format.cpp.o.d"
+  "CMakeFiles/hli_core.dir/maintain.cpp.o"
+  "CMakeFiles/hli_core.dir/maintain.cpp.o.d"
+  "CMakeFiles/hli_core.dir/query.cpp.o"
+  "CMakeFiles/hli_core.dir/query.cpp.o.d"
+  "CMakeFiles/hli_core.dir/serialize.cpp.o"
+  "CMakeFiles/hli_core.dir/serialize.cpp.o.d"
+  "libhli_core.a"
+  "libhli_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hli_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

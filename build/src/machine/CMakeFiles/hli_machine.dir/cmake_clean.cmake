@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hli_machine.dir/machine.cpp.o"
+  "CMakeFiles/hli_machine.dir/machine.cpp.o.d"
+  "CMakeFiles/hli_machine.dir/timing.cpp.o"
+  "CMakeFiles/hli_machine.dir/timing.cpp.o.d"
+  "libhli_machine.a"
+  "libhli_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hli_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

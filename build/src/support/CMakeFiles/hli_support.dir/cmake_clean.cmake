@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hli_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/hli_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/hli_support.dir/source_location.cpp.o"
+  "CMakeFiles/hli_support.dir/source_location.cpp.o.d"
+  "CMakeFiles/hli_support.dir/string_utils.cpp.o"
+  "CMakeFiles/hli_support.dir/string_utils.cpp.o.d"
+  "libhli_support.a"
+  "libhli_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hli_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hli_workloads.dir/cfp92_workloads.cpp.o"
+  "CMakeFiles/hli_workloads.dir/cfp92_workloads.cpp.o.d"
+  "CMakeFiles/hli_workloads.dir/cfp95_workloads.cpp.o"
+  "CMakeFiles/hli_workloads.dir/cfp95_workloads.cpp.o.d"
+  "CMakeFiles/hli_workloads.dir/integer_workloads.cpp.o"
+  "CMakeFiles/hli_workloads.dir/integer_workloads.cpp.o.d"
+  "CMakeFiles/hli_workloads.dir/registry.cpp.o"
+  "CMakeFiles/hli_workloads.dir/registry.cpp.o.d"
+  "libhli_workloads.a"
+  "libhli_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hli_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/affine_test.cpp" "tests/analysis/CMakeFiles/analysis_tests.dir/affine_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/analysis_tests.dir/affine_test.cpp.o.d"
+  "/root/repo/tests/analysis/depend_test.cpp" "tests/analysis/CMakeFiles/analysis_tests.dir/depend_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/analysis_tests.dir/depend_test.cpp.o.d"
+  "/root/repo/tests/analysis/item_walk_test.cpp" "tests/analysis/CMakeFiles/analysis_tests.dir/item_walk_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/analysis_tests.dir/item_walk_test.cpp.o.d"
+  "/root/repo/tests/analysis/pointsto_test.cpp" "tests/analysis/CMakeFiles/analysis_tests.dir/pointsto_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/analysis_tests.dir/pointsto_test.cpp.o.d"
+  "/root/repo/tests/analysis/refmod_test.cpp" "tests/analysis/CMakeFiles/analysis_tests.dir/refmod_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/analysis_tests.dir/refmod_test.cpp.o.d"
+  "/root/repo/tests/analysis/region_tree_test.cpp" "tests/analysis/CMakeFiles/analysis_tests.dir/region_tree_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/analysis_tests.dir/region_tree_test.cpp.o.d"
+  "/root/repo/tests/analysis/section_property_test.cpp" "tests/analysis/CMakeFiles/analysis_tests.dir/section_property_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/analysis_tests.dir/section_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/hli_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/hli_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hli_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/affine_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/affine_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/depend_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/depend_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/item_walk_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/item_walk_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/pointsto_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/pointsto_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/refmod_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/refmod_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/region_tree_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/region_tree_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/section_property_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/section_property_test.cpp.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+  "analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/backend/constfold_test.cpp" "tests/backend/CMakeFiles/backend_tests.dir/constfold_test.cpp.o" "gcc" "tests/backend/CMakeFiles/backend_tests.dir/constfold_test.cpp.o.d"
+  "/root/repo/tests/backend/dce_test.cpp" "tests/backend/CMakeFiles/backend_tests.dir/dce_test.cpp.o" "gcc" "tests/backend/CMakeFiles/backend_tests.dir/dce_test.cpp.o.d"
+  "/root/repo/tests/backend/interp_test.cpp" "tests/backend/CMakeFiles/backend_tests.dir/interp_test.cpp.o" "gcc" "tests/backend/CMakeFiles/backend_tests.dir/interp_test.cpp.o.d"
+  "/root/repo/tests/backend/lower_test.cpp" "tests/backend/CMakeFiles/backend_tests.dir/lower_test.cpp.o" "gcc" "tests/backend/CMakeFiles/backend_tests.dir/lower_test.cpp.o.d"
+  "/root/repo/tests/backend/mapping_test.cpp" "tests/backend/CMakeFiles/backend_tests.dir/mapping_test.cpp.o" "gcc" "tests/backend/CMakeFiles/backend_tests.dir/mapping_test.cpp.o.d"
+  "/root/repo/tests/backend/passes_test.cpp" "tests/backend/CMakeFiles/backend_tests.dir/passes_test.cpp.o" "gcc" "tests/backend/CMakeFiles/backend_tests.dir/passes_test.cpp.o.d"
+  "/root/repo/tests/backend/regalloc_test.cpp" "tests/backend/CMakeFiles/backend_tests.dir/regalloc_test.cpp.o" "gcc" "tests/backend/CMakeFiles/backend_tests.dir/regalloc_test.cpp.o.d"
+  "/root/repo/tests/backend/swp_test.cpp" "tests/backend/CMakeFiles/backend_tests.dir/swp_test.cpp.o" "gcc" "tests/backend/CMakeFiles/backend_tests.dir/swp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backend/CMakeFiles/hli_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/hli_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/hli/CMakeFiles/hli_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hli_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/hli_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hli_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

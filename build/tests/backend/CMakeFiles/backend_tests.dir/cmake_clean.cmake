@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_tests.dir/constfold_test.cpp.o"
+  "CMakeFiles/backend_tests.dir/constfold_test.cpp.o.d"
+  "CMakeFiles/backend_tests.dir/dce_test.cpp.o"
+  "CMakeFiles/backend_tests.dir/dce_test.cpp.o.d"
+  "CMakeFiles/backend_tests.dir/interp_test.cpp.o"
+  "CMakeFiles/backend_tests.dir/interp_test.cpp.o.d"
+  "CMakeFiles/backend_tests.dir/lower_test.cpp.o"
+  "CMakeFiles/backend_tests.dir/lower_test.cpp.o.d"
+  "CMakeFiles/backend_tests.dir/mapping_test.cpp.o"
+  "CMakeFiles/backend_tests.dir/mapping_test.cpp.o.d"
+  "CMakeFiles/backend_tests.dir/passes_test.cpp.o"
+  "CMakeFiles/backend_tests.dir/passes_test.cpp.o.d"
+  "CMakeFiles/backend_tests.dir/regalloc_test.cpp.o"
+  "CMakeFiles/backend_tests.dir/regalloc_test.cpp.o.d"
+  "CMakeFiles/backend_tests.dir/swp_test.cpp.o"
+  "CMakeFiles/backend_tests.dir/swp_test.cpp.o.d"
+  "backend_tests"
+  "backend_tests.pdb"
+  "backend_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

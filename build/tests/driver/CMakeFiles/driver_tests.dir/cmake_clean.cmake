@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_tests.dir/pipeline_test.cpp.o"
+  "CMakeFiles/driver_tests.dir/pipeline_test.cpp.o.d"
+  "CMakeFiles/driver_tests.dir/semantics_property_test.cpp.o"
+  "CMakeFiles/driver_tests.dir/semantics_property_test.cpp.o.d"
+  "CMakeFiles/driver_tests.dir/workloads_test.cpp.o"
+  "CMakeFiles/driver_tests.dir/workloads_test.cpp.o.d"
+  "driver_tests"
+  "driver_tests.pdb"
+  "driver_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

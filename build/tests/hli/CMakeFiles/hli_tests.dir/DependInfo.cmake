@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hli/builder_test.cpp" "tests/hli/CMakeFiles/hli_tests.dir/builder_test.cpp.o" "gcc" "tests/hli/CMakeFiles/hli_tests.dir/builder_test.cpp.o.d"
+  "/root/repo/tests/hli/figure2_test.cpp" "tests/hli/CMakeFiles/hli_tests.dir/figure2_test.cpp.o" "gcc" "tests/hli/CMakeFiles/hli_tests.dir/figure2_test.cpp.o.d"
+  "/root/repo/tests/hli/maintain_test.cpp" "tests/hli/CMakeFiles/hli_tests.dir/maintain_test.cpp.o" "gcc" "tests/hli/CMakeFiles/hli_tests.dir/maintain_test.cpp.o.d"
+  "/root/repo/tests/hli/query_test.cpp" "tests/hli/CMakeFiles/hli_tests.dir/query_test.cpp.o" "gcc" "tests/hli/CMakeFiles/hli_tests.dir/query_test.cpp.o.d"
+  "/root/repo/tests/hli/robustness_test.cpp" "tests/hli/CMakeFiles/hli_tests.dir/robustness_test.cpp.o" "gcc" "tests/hli/CMakeFiles/hli_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/hli/serialize_test.cpp" "tests/hli/CMakeFiles/hli_tests.dir/serialize_test.cpp.o" "gcc" "tests/hli/CMakeFiles/hli_tests.dir/serialize_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hli/CMakeFiles/hli_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hli_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/hli_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hli_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hli_tests.dir/builder_test.cpp.o"
+  "CMakeFiles/hli_tests.dir/builder_test.cpp.o.d"
+  "CMakeFiles/hli_tests.dir/figure2_test.cpp.o"
+  "CMakeFiles/hli_tests.dir/figure2_test.cpp.o.d"
+  "CMakeFiles/hli_tests.dir/maintain_test.cpp.o"
+  "CMakeFiles/hli_tests.dir/maintain_test.cpp.o.d"
+  "CMakeFiles/hli_tests.dir/query_test.cpp.o"
+  "CMakeFiles/hli_tests.dir/query_test.cpp.o.d"
+  "CMakeFiles/hli_tests.dir/robustness_test.cpp.o"
+  "CMakeFiles/hli_tests.dir/robustness_test.cpp.o.d"
+  "CMakeFiles/hli_tests.dir/serialize_test.cpp.o"
+  "CMakeFiles/hli_tests.dir/serialize_test.cpp.o.d"
+  "hli_tests"
+  "hli_tests.pdb"
+  "hli_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hli_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_tests.dir/timing_test.cpp.o"
+  "CMakeFiles/machine_tests.dir/timing_test.cpp.o.d"
+  "machine_tests"
+  "machine_tests.pdb"
+  "machine_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlic.dir/hlic.cpp.o"
+  "CMakeFiles/hlic.dir/hlic.cpp.o.d"
+  "hlic"
+  "hlic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

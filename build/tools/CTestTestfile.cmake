@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(hlic.list_workloads "/root/repo/build/tools/hlic" "--list-workloads")
+set_tests_properties(hlic.list_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(hlic.stats_and_run "/root/repo/build/tools/hlic" "--stats" "--run" "wc")
+set_tests_properties(hlic.stats_and_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(hlic.simulate "/root/repo/build/tools/hlic" "--simulate=r4600" "048.ora")
+set_tests_properties(hlic.simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(hlic.dump_roundtrip "/root/repo/build/tools/hlic" "--dump-hli" "--pretty" "023.eqntott")
+set_tests_properties(hlic.dump_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(hlic.rejects_unknown_machine "/root/repo/build/tools/hlic" "--simulate=vax" "wc")
+set_tests_properties(hlic.rejects_unknown_machine PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(hlic.rejects_missing_file "/root/repo/build/tools/hlic" "/no/such/file.c")
+set_tests_properties(hlic.rejects_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
