@@ -2,9 +2,11 @@
 // Natively, every call purges all memory-derived value-table entries; with
 // HLI, entries the callee provably does not modify survive.  Reports, per
 // workload, the entries purged/kept at calls and the loads eliminated.
+// `--json <path>` writes the machine-readable report.
 #include <cstdio>
 
 #include "backend/cse.hpp"
+#include "bench_json.hpp"
 #include "backend/lower.hpp"
 #include "backend/mapping.hpp"
 #include "frontend/sema.hpp"
@@ -37,7 +39,12 @@ backend::CseStats run_cse(const char* source, bool use_hli) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::BenchArgs args = benchutil::BenchArgs::parse(argc, argv);
+  const benchutil::WallTimer timer;
+  benchutil::JsonReport report;
+  report.bench = "cse_ablation";
+
   std::printf("CSE call REF/MOD ablation (Figure 4)\n");
   std::printf("%-14s | %21s | %21s\n", "", "native (purge all)",
               "with HLI REF/MOD");
@@ -55,8 +62,20 @@ int main() {
                                                 assisted.loads_reused),
                 static_cast<unsigned long long>(assisted.entries_purged_at_calls),
                 static_cast<unsigned long long>(assisted.entries_kept_at_calls));
+    report.add(
+        workload.name,
+        {{"native_reused", static_cast<double>(native.exprs_reused +
+                                               native.loads_reused)},
+         {"native_purged", static_cast<double>(native.entries_purged_at_calls)},
+         {"hli_reused", static_cast<double>(assisted.exprs_reused +
+                                            assisted.loads_reused)},
+         {"hli_purged", static_cast<double>(assisted.entries_purged_at_calls)},
+         {"hli_kept", static_cast<double>(assisted.entries_kept_at_calls)}});
   }
   std::printf("\nShape: call-heavy workloads (espresso, eqntott, ora) keep\n"
               "value-table entries across calls only with REF/MOD info.\n");
+
+  report.wall_ms = timer.elapsed_ms();
+  if (!args.json_path.empty() && !report.write(args.json_path)) return 1;
   return 0;
 }

@@ -2,9 +2,11 @@
 // only when there remains no other memory reference in the loop that can
 // possibly alias" — natively the GCC oracle blocks nearly every hoist in
 // array loops; the HLI alias + LCDD + REF/MOD tables unlock them.
+// `--json <path>` writes the machine-readable report.
 #include <cstdio>
 
 #include "backend/licm.hpp"
+#include "bench_json.hpp"
 #include "backend/lower.hpp"
 #include "backend/mapping.hpp"
 #include "frontend/sema.hpp"
@@ -37,7 +39,12 @@ backend::LicmStats run_licm(const char* source, bool use_hli) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::BenchArgs args = benchutil::BenchArgs::parse(argc, argv);
+  const benchutil::WallTimer timer;
+  benchutil::JsonReport report;
+  report.bench = "licm_ablation";
+
   std::printf("LICM ablation: loads hoisted out of innermost loops\n");
   std::printf("%-14s %18s %18s %22s\n", "Benchmark", "native hoists",
               "HLI hoists", "blocked natively");
@@ -52,10 +59,18 @@ int main() {
                 static_cast<unsigned long long>(native.loads_hoisted),
                 static_cast<unsigned long long>(assisted.loads_hoisted),
                 static_cast<unsigned long long>(native.loads_blocked_native));
+    report.add(workload.name,
+               {{"native_hoists", static_cast<double>(native.loads_hoisted)},
+                {"hli_hoists", static_cast<double>(assisted.loads_hoisted)},
+                {"blocked_native",
+                 static_cast<double>(native.loads_blocked_native)}});
   }
   std::printf("%-14s %18llu %18llu\n", "total",
               static_cast<unsigned long long>(native_total),
               static_cast<unsigned long long>(hli_total));
   std::printf("\nShape: HLI hoists strictly more loads than the native oracle.\n");
+
+  report.wall_ms = timer.elapsed_ms();
+  if (!args.json_path.empty() && !report.write(args.json_path)) return 1;
   return 0;
 }

@@ -1,15 +1,21 @@
 // §2.2.1 design-knob ablation: merging equal-coverage sub-region classes
 // into single *maybe* classes condenses the HLI (the paper's choice) at a
 // possible precision cost.  Measures HLI size and scheduler precision with
-// the knob on and off.
+// the knob on and off.  `--json <path>` writes the machine-readable report.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "driver/pipeline.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace hli;
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::BenchArgs args = benchutil::BenchArgs::parse(argc, argv);
+  const benchutil::WallTimer timer;
+  benchutil::JsonReport report;
+  report.bench = "maybe_merge";
+
   std::printf("Maybe-merge ablation: HLI size vs. dependence precision\n");
   std::printf("%-14s | %12s %10s | %12s %10s\n", "", "merged (paper)", "",
               "split", "");
@@ -29,8 +35,18 @@ int main() {
                 static_cast<unsigned long long>(a.stats.sched.combined_yes),
                 b.stats.hli_bytes,
                 static_cast<unsigned long long>(b.stats.sched.combined_yes));
+    report.add(workload.name,
+               {{"merged_bytes", static_cast<double>(a.stats.hli_bytes)},
+                {"merged_edges",
+                 static_cast<double>(a.stats.sched.combined_yes)},
+                {"split_bytes", static_cast<double>(b.stats.hli_bytes)},
+                {"split_edges",
+                 static_cast<double>(b.stats.sched.combined_yes)}});
   }
   std::printf("\nShape: merging shrinks the HLI; the precision cost (extra\n"
               "combined-yes edges) stays small — the paper's trade-off.\n");
+
+  report.wall_ms = timer.elapsed_ms();
+  if (!args.json_path.empty() && !report.write(args.json_path)) return 1;
   return 0;
 }

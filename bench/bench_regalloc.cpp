@@ -4,14 +4,21 @@
 // spill code in place, HLI-assisted scheduling still beats native
 // scheduling on the R4600 model, and spill slots (frame refs with known
 // offsets) are disambiguated by the native oracle at no HLI cost.
+// `--json <path>` writes the machine-readable report.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "driver/pipeline.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace hli;
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::BenchArgs args = benchutil::BenchArgs::parse(argc, argv);
+  const benchutil::WallTimer timer;
+  benchutil::JsonReport report;
+  report.bench = "regalloc";
+
   std::printf("Post-register-allocation pipeline (R4600 cycles)\n");
   std::printf("%-14s %12s %12s %8s %8s %9s\n", "Benchmark", "native+RA",
               "HLI+RA", "speedup", "spills", "sched2 q");
@@ -37,8 +44,19 @@ int main() {
                     static_cast<double>(fast.cycles),
                 static_cast<unsigned long long>(smart.stats.regalloc.spilled),
                 static_cast<unsigned long long>(smart.stats.sched2.mem_queries));
+    report.add(workload.name,
+               {{"native_cycles", static_cast<double>(base.cycles)},
+                {"hli_cycles", static_cast<double>(fast.cycles)},
+                {"speedup", static_cast<double>(base.cycles) /
+                                static_cast<double>(fast.cycles)},
+                {"spills", static_cast<double>(smart.stats.regalloc.spilled)},
+                {"sched2_queries",
+                 static_cast<double>(smart.stats.sched2.mem_queries)}});
   }
   std::printf("\nShape: HLI speedups persist through allocation and the\n"
               "second scheduling pass; spill traffic is native-disambiguated.\n");
+
+  report.wall_ms = timer.elapsed_ms();
+  if (!args.json_path.empty() && !report.write(args.json_path)) return 1;
   return 0;
 }

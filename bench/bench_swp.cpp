@@ -4,9 +4,11 @@
 // the R10000-like machine, with native vs. HLI dependence information.
 // MII ratio > 1 is iteration throughput a software pipeliner gains from
 // the exported dependence distances.
+// `--json <path>` writes the machine-readable report.
 #include <cstdio>
 
 #include "backend/lower.hpp"
+#include "bench_json.hpp"
 #include "backend/mapping.hpp"
 #include "backend/swp.hpp"
 #include "frontend/sema.hpp"
@@ -16,7 +18,12 @@
 
 using namespace hli;
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::BenchArgs args = benchutil::BenchArgs::parse(argc, argv);
+  const benchutil::WallTimer timer;
+  benchutil::JsonReport report;
+  report.bench = "swp";
+
   std::printf("Software-pipelining potential (min initiation interval)\n");
   std::printf("%-14s %7s %12s %12s %9s\n", "Benchmark", "loops", "MII native",
               "MII w/ HLI", "ratio");
@@ -62,9 +69,19 @@ int main() {
                 loops ? static_cast<double>(native_sum) / loops : 0.0,
                 loops ? static_cast<double>(hli_sum) / loops : 0.0,
                 hli_sum ? static_cast<double>(native_sum) / hli_sum : 1.0);
+    report.add(workload.name,
+               {{"loops", static_cast<double>(loops)},
+                {"mii_native",
+                 loops ? static_cast<double>(native_sum) / loops : 0.0},
+                {"mii_hli", loops ? static_cast<double>(hli_sum) / loops : 0.0},
+                {"ratio", hli_sum ? static_cast<double>(native_sum) / hli_sum
+                                  : 1.0}});
   }
   std::printf("\nShape: the mdl* kernels pipeline ~1.5x faster once LCDD\n"
               "distances replace distance-1 conservatism; memory-port-bound\n"
               "loops (swim, mgrid) stay resource-limited either way.\n");
+
+  report.wall_ms = timer.elapsed_ms();
+  if (!args.json_path.empty() && !report.write(args.json_path)) return 1;
   return 0;
 }

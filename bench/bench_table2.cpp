@@ -6,8 +6,15 @@
 // models.  Shapes to compare against the paper: mdljdp2/mdljsp2/tomcatv/
 // swim reduce >85-90%, mgrid the least; integer programs speed up less
 // than FP; see EXPERIMENTS.md for the full comparison.
+//
+// `--jobs N` measures the workloads on N threads (row order and every
+// number are unchanged — rows are collected per index and printed after);
+// `--json <path>` writes the machine-readable report.
 #include <cstdio>
+#include <vector>
 
+#include "bench_json.hpp"
+#include "driver/parallel.hpp"
 #include "driver/pipeline.hpp"
 #include "workloads/workloads.hpp"
 
@@ -111,19 +118,40 @@ void print_mean(const std::vector<Row>& rows) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::BenchArgs args = benchutil::BenchArgs::parse(argc, argv);
+  const benchutil::WallTimer timer;
+
+  // Each row is an independent pair of compilations plus simulations, so
+  // they parallelize cleanly; printing happens afterwards in input order.
+  const auto& all = workloads::all_workloads();
+  std::vector<Row> rows(all.size());
+  driver::parallel_for(all.size(), args.jobs,
+                       [&](std::size_t i) { rows[i] = measure(all[i]); });
+
   std::printf("Table 2: dependence tests in the first scheduling pass and "
               "resulting speedups\n");
   std::printf("%-14s %8s %9s  %13s %13s %13s %9s %8s %8s\n", "Benchmark",
               "#tests", "per line", "GCC yes", "HLI yes", "Combined",
               "Reduction", "R4600", "R10000");
 
+  benchutil::JsonReport report;
+  report.bench = "table2";
   std::vector<Row> int_rows;
   std::vector<Row> fp_rows;
-  for (const auto& workload : workloads::all_workloads()) {
-    const Row row = measure(workload);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const Row& row = rows[i];
     print_row(row);
-    if (workload.floating_point) {
+    report.add(row.name,
+               {{"tests", static_cast<double>(row.tests)},
+                {"tests_per_line", row.tests_per_line},
+                {"gcc_yes", static_cast<double>(row.gcc_yes)},
+                {"hli_yes", static_cast<double>(row.hli_yes)},
+                {"combined_yes", static_cast<double>(row.combined_yes)},
+                {"reduction_pct", row.reduction},
+                {"speedup_r4600", row.speedup_r4600},
+                {"speedup_r10000", row.speedup_r10000}});
+    if (all[i].floating_point) {
       fp_rows.push_back(row);
     } else {
       int_rows.push_back(row);
@@ -134,5 +162,8 @@ int main() {
   std::printf("\nPaper shape checks: reduction means ~48%% (INT) / ~54%% (FP);\n"
               "mdljdp2/mdljsp2/tomcatv/swim reduce the most, mgrid the least;\n"
               "FP speedups exceed integer speedups.\n");
+
+  report.wall_ms = timer.elapsed_ms();
+  if (!args.json_path.empty() && !report.write(args.json_path)) return 1;
   return 0;
 }

@@ -5,8 +5,10 @@
 //   (b) unrolling with MAINTAINED HLI (Figure 6's table reconstruction),
 //   (c) unrolling with the HLI dropped for duplicated references
 //       (clones unmapped -> scheduler falls back to the native oracle).
+// `--json <path>` writes the machine-readable report.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "driver/pipeline.hpp"
 #include "workloads/workloads.hpp"
 
@@ -32,7 +34,12 @@ std::uint64_t cycles_for(const char* source, bool unroll, bool maintain_hli) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::BenchArgs args = benchutil::BenchArgs::parse(argc, argv);
+  const benchutil::WallTimer timer;
+  benchutil::JsonReport report;
+  report.bench = "unroll_ablation";
+
   std::printf("Loop unrolling ablation (factor 4, R4600 cycles)\n");
   std::printf("%-14s %14s %16s %16s %9s\n", "Benchmark", "no unroll",
               "unroll+HLI", "unroll, no HLI", "benefit");
@@ -45,8 +52,17 @@ int main() {
                 static_cast<unsigned long long>(maintained),
                 static_cast<unsigned long long>(dropped),
                 static_cast<double>(dropped) / static_cast<double>(maintained));
+    report.add(workload.name,
+               {{"no_unroll_cycles", static_cast<double>(plain)},
+                {"unroll_hli_cycles", static_cast<double>(maintained)},
+                {"unroll_nohli_cycles", static_cast<double>(dropped)},
+                {"benefit", static_cast<double>(dropped) /
+                                static_cast<double>(maintained)}});
   }
   std::printf("\nShape: maintained HLI never loses to dropped HLI; unrolled\n"
               "loops schedule better than rolled ones on FP kernels.\n");
+
+  report.wall_ms = timer.elapsed_ms();
+  if (!args.json_path.empty() && !report.write(args.json_path)) return 1;
   return 0;
 }

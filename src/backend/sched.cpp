@@ -100,6 +100,19 @@ class BlockScheduler {
     }
   }
 
+  /// HLI disambiguation answer, memoized per unordered item pair when a
+  /// cache is supplied.
+  [[nodiscard]] query::EquivAcc hli_conflict(format::ItemId a,
+                                             format::ItemId b) {
+    if (options_.cache != nullptr) {
+      if (const auto hit = options_.cache->lookup(a, b)) return *hit;
+      const query::EquivAcc answer = options_.view->may_conflict(a, b);
+      options_.cache->insert(a, b, answer);
+      return answer;
+    }
+    return options_.view->may_conflict(a, b);
+  }
+
   /// The combined memory disambiguation of Figure 5, with stats.
   [[nodiscard]] bool mem_dependence(const Insn& a, const Insn& b) {
     ++stats_.mem_queries;
@@ -107,7 +120,7 @@ class BlockScheduler {
     bool hli_value = gcc_value;  // Without items, fall back to native.
     if (options_.view != nullptr && a.mem.hli_item != format::kNoItem &&
         b.mem.hli_item != format::kNoItem) {
-      hli_value = options_.view->may_conflict(a.mem.hli_item, b.mem.hli_item) !=
+      hli_value = hli_conflict(a.mem.hli_item, b.mem.hli_item) !=
                   query::EquivAcc::None;
     }
     if (gcc_value) ++stats_.gcc_yes;

@@ -47,6 +47,13 @@ struct SchedOptions {
   /// HLI view for the function being scheduled; may be null when use_hli
   /// is false (stats then report hli_yes == gcc_yes pairs only if wanted).
   const query::HliUnitView* view = nullptr;
+  /// Optional pairwise memo for the view's may_conflict answers, keyed on
+  /// the unordered item pair.  Share one cache across scheduling passes of
+  /// the same function (the HLI is not mutated between sched1 and sched2)
+  /// so repeated DDG edge tests hit precomputed answers.  Only the HLI
+  /// answer is cached — the Table 2 counters are incremented per query
+  /// either way, so statistics are unaffected.
+  query::ConflictCache* cache = nullptr;
   /// Instruction latency oracle (supplied by the machine model); default
   /// unit latencies when absent.
   std::function<unsigned(const Insn&)> latency;

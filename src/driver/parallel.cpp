@@ -1,0 +1,99 @@
+#include "driver/parallel.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace hli::driver {
+
+unsigned default_jobs() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned count = std::max(1u, threads);
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push(std::move(job));
+    ++in_flight_;
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained.
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(std::size_t count, unsigned jobs,
+                  const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  if (jobs == 0) jobs = default_jobs();
+  std::vector<std::exception_ptr> errors(count);
+  if (jobs <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  {
+    ThreadPool pool(static_cast<unsigned>(
+        std::min<std::size_t>(jobs, count)));
+    for (std::size_t i = 0; i < count; ++i) {
+      pool.submit([&task, &errors, i] {
+        try {
+          task(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+std::vector<CompiledProgram> compile_many(const std::vector<std::string>& sources,
+                                          const PipelineOptions& options,
+                                          unsigned jobs) {
+  std::vector<CompiledProgram> out(sources.size());
+  parallel_for(sources.size(), jobs, [&](std::size_t i) {
+    out[i] = compile_source(sources[i], options);
+  });
+  return out;
+}
+
+}  // namespace hli::driver

@@ -42,16 +42,24 @@ CompiledProgram compile_source(std::string_view source,
     out.stats.mapped_items += mapping.mapped;
     if (!mapping.perfect()) out.stats.map_perfect = false;
 
-    // CSE (Figure 4): deleted loads drop their items from the HLI.
+    // CSE (Figure 4): deleted loads drop their items from the HLI.  The
+    // deletions are DEFERRED until the pass finishes: maintenance bumps
+    // the entry's generation counter and would otherwise invalidate the
+    // live view mid-pass (delete_item never changes the answer for the
+    // still-live items the pass keeps querying, so deferral is safe).
     if (options.enable_cse) {
       const query::HliUnitView view(*entry);
+      std::vector<format::ItemId> deleted;
       CseOptions cse;
       cse.use_hli = options.use_hli;
       cse.view = &view;
-      cse.on_load_deleted = [entry](format::ItemId item) {
-        maintain::delete_item(*entry, item);
+      cse.on_load_deleted = [&deleted](format::ItemId item) {
+        deleted.push_back(item);
       };
       out.stats.cse += cse_function(func, cse);
+      for (const format::ItemId item : deleted) {
+        maintain::delete_item(*entry, item);
+      }
     }
 
     // Combine-style constant folding before the dead-code sweep.
@@ -68,18 +76,22 @@ CompiledProgram compile_source(std::string_view source,
       out.stats.dce += dce_function(func, dce);
     }
 
-    // LICM: hoisted loads move to the loop's parent region.
+    // LICM: hoisted loads move to the loop's parent region (moves applied
+    // after the pass, like the CSE deletions, to keep the view fresh).
     if (options.enable_licm) {
       const query::HliUnitView view(*entry);
+      std::vector<std::pair<format::ItemId, format::RegionId>> hoisted;
       LicmOptions licm;
       licm.use_hli = options.use_hli;
       licm.view = &view;
-      licm.on_load_hoisted = [entry, &view](format::ItemId item,
-                                            format::RegionId loop) {
-        maintain::move_item_to_region(*entry, item,
-                                      view.parent_region(loop));
+      licm.on_load_hoisted = [&hoisted, &view](format::ItemId item,
+                                               format::RegionId loop) {
+        hoisted.emplace_back(item, view.parent_region(loop));
       };
       out.stats.licm += licm_function(func, licm);
+      for (const auto& [item, target] : hoisted) {
+        maintain::move_item_to_region(*entry, item, target);
+      }
     }
 
     // Unrolling (Figure 6): RTL duplication + HLI table reconstruction.
@@ -90,12 +102,17 @@ CompiledProgram compile_source(std::string_view source,
       out.stats.unroll += unroll_function(func, unroll);
     }
 
-    // First scheduling pass — the instrumented experiment (Table 2).
+    // First scheduling pass — the instrumented experiment (Table 2).  The
+    // conflict cache memoizes the view's may_conflict answers per item
+    // pair; it is shared with the post-RA pass below (the HLI is not
+    // mutated between the passes), so sched2 re-tests hit the cache.
+    query::ConflictCache conflict_cache;
     if (options.enable_sched) {
       const query::HliUnitView view(*entry);
       SchedOptions sched;
       sched.use_hli = options.use_hli;
       sched.view = &view;
+      sched.cache = &conflict_cache;
       const machine::MachineDesc& mach = options.sched_machine;
       sched.latency = [&mach](const Insn& insn) { return mach.latency(insn); };
       out.stats.sched += schedule_function(func, sched);
@@ -110,6 +127,7 @@ CompiledProgram compile_source(std::string_view source,
         SchedOptions sched;
         sched.use_hli = options.use_hli;
         sched.view = &view;
+        sched.cache = &conflict_cache;
         const machine::MachineDesc& mach = options.sched_machine;
         sched.latency = [&mach](const Insn& insn) { return mach.latency(insn); };
         out.stats.sched2 += schedule_function(func, sched);

@@ -170,6 +170,11 @@ struct HliEntry {
   RegionId root_region = kNoRegion;
   /// Next free ID in the shared item/class space (for maintenance).
   ItemId next_id = 1;
+  /// Mutation counter, bumped by every maintenance operation (never
+  /// serialized).  A query::HliUnitView captures it at construction and
+  /// asserts (debug builds) that the entry has not changed underneath it
+  /// — the stale-view footgun used to fail silently.
+  std::uint64_t generation = 0;
 
   [[nodiscard]] const RegionEntry* find_region(RegionId id) const {
     for (const auto& r : regions) {

@@ -70,6 +70,7 @@ void remove_from_line_table(HliEntry& entry, ItemId item) {
 }  // namespace
 
 void delete_item(HliEntry& entry, ItemId item) {
+  ++entry.generation;
   EquivClass* cls = nullptr;
   RegionEntry* region = find_item_region(entry, item, &cls);
   remove_from_line_table(entry, item);
@@ -81,6 +82,7 @@ void delete_item(HliEntry& entry, ItemId item) {
 }
 
 ItemId clone_item(HliEntry& entry, ItemId proto, std::uint32_t line) {
+  ++entry.generation;
   const auto type = entry.line_table.item_type(proto);
   const ItemId fresh = entry.next_id++;
   entry.line_table.add_item(line, {fresh, type.value_or(ItemType::Load)});
@@ -92,6 +94,7 @@ ItemId clone_item(HliEntry& entry, ItemId proto, std::uint32_t line) {
 }
 
 void move_item_to_region(HliEntry& entry, ItemId item, RegionId target) {
+  ++entry.generation;
   EquivClass* cls = nullptr;
   RegionEntry* region = find_item_region(entry, item, &cls);
   if (region == nullptr || cls == nullptr || region->id == target) return;
@@ -134,6 +137,7 @@ UnrollUpdate unroll_loop(HliEntry& entry, RegionId loop, unsigned factor) {
       !region->children.empty()) {
     return update;
   }
+  ++entry.generation;
 
   // Copy 0 is the original class; copies 1..factor-1 are fresh classes for
   // variant classes and the original itself for invariant ones.

@@ -1,0 +1,234 @@
+// TEST/BENCH-ONLY reference oracle: the original map-based implementation
+// of the HLI query interface, kept verbatim so the dense HliUnitView can
+// be differentially checked against it (tests/hli/dense_query_diff_test)
+// and so bench_query_micro can report the dense speedup over this
+// baseline.  Production code must use query::HliUnitView instead — this
+// class chases unordered_maps up the region/class-parent chains on every
+// query and is the slow path the dense index replaced.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "hli/query.hpp"
+
+namespace hli::query::reference {
+
+/// Map-based answers, query-for-query identical to the pre-dense
+/// HliUnitView.  Same construction contract: `entry` must outlive the
+/// view, rebuild after maintenance mutations.
+class ReferenceUnitView {
+ public:
+  explicit ReferenceUnitView(const format::HliEntry& entry) : entry_(&entry) {
+    for (const format::RegionEntry& region : entry.regions) {
+      regions_.emplace(region.id, &region);
+      for (const format::EquivClass& cls : region.classes) {
+        class_region_.emplace(cls.id, region.id);
+        for (const format::ItemId item : cls.member_items) {
+          item_region_.emplace(item, region.id);
+          item_class_.emplace(item, cls.id);
+        }
+        for (const format::ItemId sub : cls.member_subclasses) {
+          class_parent_.emplace(sub, cls.id);
+        }
+      }
+      for (const format::CallEffectEntry& eff : region.call_effects) {
+        if (!eff.is_subregion) item_region_.emplace(eff.call_item, region.id);
+      }
+    }
+  }
+
+  [[nodiscard]] RegionId region_of(ItemId item) const {
+    const auto it = item_region_.find(item);
+    return it != item_region_.end() ? it->second : format::kNoRegion;
+  }
+
+  [[nodiscard]] RegionId parent_region(RegionId region) const {
+    const auto it = regions_.find(region);
+    return it != regions_.end() ? it->second->parent : format::kNoRegion;
+  }
+
+  [[nodiscard]] RegionId innermost_loop(RegionId region) const {
+    for (RegionId r = region; r != format::kNoRegion; r = parent_region(r)) {
+      const auto it = regions_.find(r);
+      if (it == regions_.end()) return format::kNoRegion;
+      if (it->second->type == format::RegionType::Loop) return r;
+    }
+    return format::kNoRegion;
+  }
+
+  [[nodiscard]] bool region_encloses(RegionId outer, RegionId inner) const {
+    for (RegionId r = inner; r != format::kNoRegion; r = parent_region(r)) {
+      if (r == outer) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] RegionId common_region(ItemId a, ItemId b) const {
+    const RegionId ra = region_of(a);
+    const RegionId rb = region_of(b);
+    if (ra == format::kNoRegion || rb == format::kNoRegion)
+      return format::kNoRegion;
+    for (RegionId r = ra; r != format::kNoRegion; r = parent_region(r)) {
+      if (region_encloses(r, rb)) return r;
+    }
+    return format::kNoRegion;
+  }
+
+  [[nodiscard]] ItemId class_of_at(ItemId item, RegionId region) const {
+    const auto own = item_class_.find(item);
+    if (own == item_class_.end()) return format::kNoItem;
+    ItemId cls = own->second;
+    RegionId at = region_of(item);
+    while (at != region && at != format::kNoRegion) {
+      const auto lifted = class_parent_.find(cls);
+      if (lifted == class_parent_.end()) return format::kNoItem;
+      cls = lifted->second;
+      at = parent_region(at);
+    }
+    return at == region ? cls : format::kNoItem;
+  }
+
+  [[nodiscard]] EquivAcc get_equiv_acc(ItemId a, ItemId b) const {
+    const RegionId lca = common_region(a, b);
+    if (lca == format::kNoRegion) return EquivAcc::Maybe;  // Unmapped: stay safe.
+    const ItemId ca = class_of_at(a, lca);
+    const ItemId cb = class_of_at(b, lca);
+    if (ca == format::kNoItem || cb == format::kNoItem) return EquivAcc::Maybe;
+    if (ca != cb) return EquivAcc::None;
+    const format::EquivClass* cls = class_ptr(ca);
+    if (cls == nullptr) return EquivAcc::Maybe;
+    return cls->type == format::EquivAccType::Definite ? EquivAcc::Definite
+                                                       : EquivAcc::Maybe;
+  }
+
+  [[nodiscard]] EquivAcc get_alias(ItemId a, ItemId b) const {
+    const RegionId lca = common_region(a, b);
+    if (lca == format::kNoRegion) return EquivAcc::Maybe;
+    const ItemId ca = class_of_at(a, lca);
+    const ItemId cb = class_of_at(b, lca);
+    if (ca == format::kNoItem || cb == format::kNoItem) return EquivAcc::Maybe;
+    if (ca == cb) return EquivAcc::None;  // Equivalence, not aliasing.
+    const format::EquivClass* cls_a = class_ptr(ca);
+    const format::EquivClass* cls_b = class_ptr(cb);
+    if (cls_a == nullptr || cls_b == nullptr) return EquivAcc::Maybe;
+    if (cls_a->unknown_target || cls_b->unknown_target) return EquivAcc::Maybe;
+    const auto it = regions_.find(lca);
+    if (it == regions_.end()) return EquivAcc::Maybe;
+    for (const format::AliasEntry& alias : it->second->aliases) {
+      const bool has_a = std::find(alias.classes.begin(), alias.classes.end(),
+                                   ca) != alias.classes.end();
+      const bool has_b = std::find(alias.classes.begin(), alias.classes.end(),
+                                   cb) != alias.classes.end();
+      if (has_a && has_b) return EquivAcc::Maybe;
+    }
+    return EquivAcc::None;
+  }
+
+  [[nodiscard]] EquivAcc may_conflict(ItemId a, ItemId b) const {
+    const EquivAcc equiv = get_equiv_acc(a, b);
+    if (equiv != EquivAcc::None) return equiv;
+    return get_alias(a, b);
+  }
+
+  [[nodiscard]] std::vector<LcddResult> get_lcdd(RegionId loop, ItemId a,
+                                                 ItemId b) const {
+    std::vector<LcddResult> out;
+    const auto region_it = regions_.find(loop);
+    if (region_it == regions_.end() ||
+        region_it->second->type != format::RegionType::Loop) {
+      return out;
+    }
+    const ItemId ca = class_of_at(a, loop);
+    const ItemId cb = class_of_at(b, loop);
+    if (ca == format::kNoItem || cb == format::kNoItem) return out;
+    for (const format::LcddEntry& dep : region_it->second->lcdds) {
+      if (dep.src == ca && dep.dst == cb) {
+        out.push_back({dep.type, dep.distance, true});
+      } else if (dep.src == cb && dep.dst == ca) {
+        out.push_back({dep.type, dep.distance, false});
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] CallAcc get_call_acc(ItemId mem, ItemId call) const {
+    const RegionId call_region = region_of(call);
+    const RegionId mem_region = region_of(mem);
+    if (call_region == format::kNoRegion || mem_region == format::kNoRegion) {
+      return CallAcc::RefMod;
+    }
+
+    // Least common region of the memory item and the call.
+    RegionId lca = format::kNoRegion;
+    for (RegionId r = mem_region; r != format::kNoRegion; r = parent_region(r)) {
+      if (region_encloses(r, call_region)) {
+        lca = r;
+        break;
+      }
+    }
+    if (lca == format::kNoRegion) return CallAcc::RefMod;
+
+    const ItemId mem_class = class_of_at(mem, lca);
+    if (mem_class == format::kNoItem) return CallAcc::RefMod;
+    const format::EquivClass* cls = class_ptr(mem_class);
+    if (cls != nullptr && cls->unknown_target) return CallAcc::RefMod;
+
+    // Locate the effect entry at the LCA: per-item if the call is immediate,
+    // otherwise the aggregate entry of the LCA child containing the call.
+    const format::RegionEntry* region = regions_.at(lca);
+    const format::CallEffectEntry* effect = nullptr;
+    if (call_region == lca) {
+      for (const format::CallEffectEntry& eff : region->call_effects) {
+        if (!eff.is_subregion && eff.call_item == call) {
+          effect = &eff;
+          break;
+        }
+      }
+    } else {
+      // Child of lca on the path to call_region.
+      RegionId child = call_region;
+      while (parent_region(child) != lca && child != format::kNoRegion) {
+        child = parent_region(child);
+      }
+      for (const format::CallEffectEntry& eff : region->call_effects) {
+        if (eff.is_subregion && eff.subregion == child) {
+          effect = &eff;
+          break;
+        }
+      }
+    }
+    if (effect == nullptr || effect->unknown) return CallAcc::RefMod;
+
+    const bool in_ref = std::find(effect->ref_classes.begin(),
+                                  effect->ref_classes.end(),
+                                  mem_class) != effect->ref_classes.end();
+    const bool in_mod = std::find(effect->mod_classes.begin(),
+                                  effect->mod_classes.end(),
+                                  mem_class) != effect->mod_classes.end();
+    if (in_ref && in_mod) return CallAcc::RefMod;
+    if (in_mod) return CallAcc::Mod;
+    if (in_ref) return CallAcc::Ref;
+    return CallAcc::None;
+  }
+
+ private:
+  [[nodiscard]] const format::EquivClass* class_ptr(ItemId class_id) const {
+    const auto it = class_region_.find(class_id);
+    if (it == class_region_.end()) return nullptr;
+    const auto region = regions_.find(it->second);
+    if (region == regions_.end()) return nullptr;
+    return region->second->find_class(class_id);
+  }
+
+  const format::HliEntry* entry_;
+  std::unordered_map<ItemId, RegionId> item_region_;
+  std::unordered_map<ItemId, ItemId> item_class_;
+  std::unordered_map<ItemId, ItemId> class_parent_;
+  std::unordered_map<ItemId, RegionId> class_region_;
+  std::unordered_map<RegionId, const format::RegionEntry*> regions_;
+};
+
+}  // namespace hli::query::reference

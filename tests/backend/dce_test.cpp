@@ -43,13 +43,16 @@ struct Cleaned {
       format::HliEntry* entry = hli.find_unit(f.name);
       if (run_cse && entry != nullptr) {
         const query::HliUnitView view(*entry);
+        std::vector<format::ItemId> deleted;
         CseOptions options;
         options.use_hli = true;
         options.view = &view;
-        options.on_load_deleted = [entry](format::ItemId item) {
-          maintain_delete(entry, item);
+        options.on_load_deleted = [&deleted](format::ItemId item) {
+          deleted.push_back(item);
         };
         cse += cse_function(f, options);
+        // Deferred so the live view never goes stale mid-pass.
+        for (const format::ItemId item : deleted) maintain_delete(entry, item);
       }
       DceOptions options;
       if (entry != nullptr) {

@@ -1,0 +1,97 @@
+// The stale-view footgun fix: every maintenance mutation bumps the
+// HliEntry generation counter, and a view built earlier reports itself
+// stale (debug builds additionally assert inside every query).  These
+// tests pin the bump-on-every-op contract.
+#include <gtest/gtest.h>
+
+#include "hli/maintain.hpp"
+#include "hli/query.hpp"
+#include "hli/serialize.hpp"
+#include "hli_test_util.hpp"
+
+namespace hli {
+namespace {
+
+constexpr const char* kLoop = R"(int a[100];
+int s;
+void f()
+{
+  for (int i = 0; i < 10; i++) {
+    a[i] = a[i] + s;
+  }
+}
+)";
+
+TEST(GenerationTest, FreshViewIsNotStale) {
+  testing::BuiltUnit built(kLoop);
+  const query::HliUnitView view(built.unit("f"));
+  EXPECT_FALSE(view.stale());
+}
+
+TEST(GenerationTest, DeleteItemBumpsGeneration) {
+  testing::BuiltUnit built(kLoop);
+  format::HliEntry& entry = *built.file.find_unit("f");
+  const query::HliUnitView view(entry);
+  const std::uint64_t before = entry.generation;
+  maintain::delete_item(entry, built.item_at("f", 6, 0));
+  EXPECT_EQ(entry.generation, before + 1);
+  EXPECT_TRUE(view.stale());
+  const query::HliUnitView rebuilt(entry);
+  EXPECT_FALSE(rebuilt.stale());
+}
+
+TEST(GenerationTest, CloneItemBumpsGeneration) {
+  testing::BuiltUnit built(kLoop);
+  format::HliEntry& entry = *built.file.find_unit("f");
+  const std::uint64_t before = entry.generation;
+  (void)maintain::clone_item(entry, built.item_at("f", 6, 0), 6);
+  EXPECT_EQ(entry.generation, before + 1);
+}
+
+TEST(GenerationTest, MoveItemBumpsGeneration) {
+  testing::BuiltUnit built(kLoop);
+  format::HliEntry& entry = *built.file.find_unit("f");
+  const query::HliUnitView view(entry);
+  const std::uint64_t before = entry.generation;
+  maintain::move_item_to_region(entry, built.item_at("f", 6, 0),
+                                entry.root_region);
+  EXPECT_EQ(entry.generation, before + 1);
+  EXPECT_TRUE(view.stale());
+}
+
+TEST(GenerationTest, UnrollLoopBumpsGenerationOnlyOnSuccess) {
+  testing::BuiltUnit built(kLoop);
+  format::HliEntry& entry = *built.file.find_unit("f");
+  format::RegionId loop = format::kNoRegion;
+  for (const auto& region : entry.regions) {
+    if (region.type == format::RegionType::Loop) loop = region.id;
+  }
+  ASSERT_NE(loop, format::kNoRegion);
+
+  std::uint64_t generation = entry.generation;
+  // Rejected: factor < 2 leaves the entry untouched.
+  EXPECT_FALSE(maintain::unroll_loop(entry, loop, 1).ok);
+  EXPECT_EQ(entry.generation, generation);
+  // Rejected: the unit root is not a loop.
+  EXPECT_FALSE(maintain::unroll_loop(entry, entry.root_region, 2).ok);
+  EXPECT_EQ(entry.generation, generation);
+
+  const query::HliUnitView view(entry);
+  EXPECT_TRUE(maintain::unroll_loop(entry, loop, 2).ok);
+  EXPECT_GT(entry.generation, generation);
+  EXPECT_TRUE(view.stale());
+}
+
+TEST(GenerationTest, SerializationDoesNotCarryGeneration) {
+  testing::BuiltUnit built(kLoop);
+  format::HliEntry& entry = *built.file.find_unit("f");
+  maintain::delete_item(entry, built.item_at("f", 6, 0));
+  ASSERT_GT(entry.generation, 0u);
+  const std::string text = "HLI v1\n" + serialize::write_entry(entry);
+  const format::HliFile reread = serialize::read_hli(text);
+  // A re-read entry starts a fresh mutation history.
+  EXPECT_EQ(reread.find_unit("f")->generation, 0u);
+}
+
+}  // namespace
+}  // namespace hli

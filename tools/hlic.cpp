@@ -1,6 +1,6 @@
 // hlic — the command-line front door to the whole pipeline.
 //
-//   hlic [options] <file.c | workload-name>
+//   hlic [options] <file.c | workload-name>...
 //
 //   --dump-hli        print the serialized HLI interchange file
 //   --pretty          print the HLI tables in Figure-2 style
@@ -10,17 +10,23 @@
 //   --simulate=M      cycle simulation, M in {r4600, r10000}
 //   --no-hli          compile with the native oracle only
 //   --unroll[=N]      enable loop unrolling (default factor 4)
+//   --jobs[=]N        compile the inputs on N threads (default: all cores)
 //   --list-workloads  list the built-in benchmark names
 //
-// The positional argument is a path to a mini-C source file, or the name
-// of a built-in workload (e.g. "102.swim").
+// Each positional argument is a path to a mini-C source file, or the name
+// of a built-in workload (e.g. "102.swim").  Multiple inputs compile in
+// parallel (see --jobs); results print in input order, each under a
+// "== <input> ==" banner when there is more than one.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "backend/rtl.hpp"
+#include "driver/parallel.hpp"
 #include "driver/pipeline.hpp"
 #include "hli/dump.hpp"
 #include "support/diagnostics.hpp"
@@ -37,17 +43,30 @@ struct CliOptions {
   bool stats = false;
   bool run = false;
   std::string simulate;
+  unsigned jobs = 0;  // 0: driver default (all cores).
   driver::PipelineOptions pipeline;
-  std::string input;
+  std::vector<std::string> inputs;
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: hlic [--dump-hli] [--pretty] [--dump-rtl] [--stats]\n"
                "            [--run] [--simulate=r4600|r10000] [--no-hli]\n"
-               "            [--unroll[=N]] <file.c | workload-name>\n"
+               "            [--unroll[=N]] [--jobs N]\n"
+               "            <file.c | workload-name>...\n"
                "       hlic --list-workloads\n");
   return 2;
+}
+
+bool parse_jobs(const char* text, unsigned& out) {
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "hlic: --jobs expects a number, got '%s'\n", text);
+    return false;
+  }
+  out = static_cast<unsigned>(value);
+  return true;
 }
 
 bool parse_args(int argc, char** argv, CliOptions& options) {
@@ -73,6 +92,13 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.pipeline.enable_unroll = true;
       options.pipeline.unroll_factor =
           static_cast<unsigned>(std::stoul(arg.substr(9)));
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      if (!parse_jobs(argv[++i], options.jobs)) return false;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      if (!parse_jobs(arg.c_str() + 7, options.jobs)) return false;
+    } else if (arg == "--jobs") {
+      std::fprintf(stderr, "hlic: --jobs requires a value\n");
+      return false;
     } else if (arg == "--list-workloads") {
       for (const auto& w : workloads::all_workloads()) {
         std::printf("%-14s %s\n", w.name.c_str(), w.suite.c_str());
@@ -81,14 +107,11 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "hlic: unknown option '%s'\n", arg.c_str());
       return false;
-    } else if (options.input.empty()) {
-      options.input = arg;
     } else {
-      std::fprintf(stderr, "hlic: extra argument '%s'\n", arg.c_str());
-      return false;
+      options.inputs.push_back(arg);
     }
   }
-  return !options.input.empty();
+  return !options.inputs.empty();
 }
 
 bool load_source(const std::string& input, std::string& source) {
@@ -109,23 +132,7 @@ bool load_source(const std::string& input, std::string& source) {
   return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  CliOptions options;
-  if (!parse_args(argc, argv, options)) return usage();
-
-  std::string source;
-  if (!load_source(options.input, source)) return 1;
-
-  driver::CompiledProgram compiled;
-  try {
-    compiled = driver::compile_source(source, options.pipeline);
-  } catch (const support::CompileError& e) {
-    std::fprintf(stderr, "hlic: %s\n", e.what());
-    return 1;
-  }
-
+int emit(const CliOptions& options, const driver::CompiledProgram& compiled) {
   if (options.dump_hli) std::fputs(compiled.hli_text.c_str(), stdout);
   if (options.pretty) std::fputs(dump::render_file(compiled.hli).c_str(), stdout);
   if (options.dump_rtl) {
@@ -191,4 +198,34 @@ int main(int argc, char** argv) {
                     static_cast<double>(sim.cycles));
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!parse_args(argc, argv, options)) return usage();
+
+  std::vector<std::string> sources(options.inputs.size());
+  for (std::size_t i = 0; i < options.inputs.size(); ++i) {
+    if (!load_source(options.inputs[i], sources[i])) return 1;
+  }
+
+  std::vector<driver::CompiledProgram> compiled;
+  try {
+    compiled = driver::compile_many(sources, options.pipeline, options.jobs);
+  } catch (const support::CompileError& e) {
+    std::fprintf(stderr, "hlic: %s\n", e.what());
+    return 1;
+  }
+
+  int status = 0;
+  for (std::size_t i = 0; i < compiled.size(); ++i) {
+    if (compiled.size() > 1) {
+      std::printf("== %s ==\n", options.inputs[i].c_str());
+    }
+    const int rc = emit(options, compiled[i]);
+    if (rc != 0) status = rc;
+  }
+  return status;
 }
