@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml: tier-1 tests, the verifier
+# acceptance sweep, sanitizer runs, clang-tidy, and the bench smoke.
+# Each stage can be skipped by name: `scripts/ci.sh tier1 asan` runs only
+# those; no arguments runs everything available on this machine.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc)"
+GENERATOR=()
+command -v ninja >/dev/null && GENERATOR=(-G Ninja)
+
+want() {
+  [[ $# -eq 0 ]] && return 0
+  local stage="$1"; shift
+  [[ $# -eq 0 ]] && return 0
+  for s in "$@"; do [[ "$s" == "$stage" ]] && return 0; done
+  return 1
+}
+STAGES=("$@")
+
+stage_tier1() {
+  cmake -B build "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build -j "$JOBS" --output-on-failure
+  # Every workload through every pass boundary with the verifier fatal.
+  ./build/tools/hlic --verify-hli=fatal --stats \
+    $(./build/tools/hlic --list-workloads | awk '{print $1}')
+}
+
+stage_asan() {
+  cmake -B build-asan "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=Debug \
+    -DSANITIZE=address,undefined
+  cmake --build build-asan -j "$JOBS"
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+    ctest --test-dir build-asan -j "$JOBS" --output-on-failure
+}
+
+stage_tsan() {
+  cmake -B build-tsan "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSANITIZE=thread
+  cmake --build build-tsan -j "$JOBS" --target driver_tests hlic
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/driver/driver_tests \
+    --gtest_filter='Parallel*:*Parallel*'
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tools/hlic --jobs 4 --stats \
+    102.swim 101.tomcatv 052.alvinn 023.eqntott
+}
+
+stage_tidy() {
+  if ! command -v run-clang-tidy >/dev/null; then
+    echo "ci: run-clang-tidy not found, skipping lint" >&2
+    return 0
+  fi
+  cmake -B build "${GENERATOR[@]}"
+  run-clang-tidy -p build -quiet "$(pwd)/src/.*\.cpp$"
+}
+
+stage_bench() {
+  cmake -B build "${GENERATOR[@]}"
+  cmake --build build -j "$JOBS" --target run_benches
+  ls -l build/BENCH_*.json
+}
+
+want tier1 "${STAGES[@]}" && stage_tier1
+want asan  "${STAGES[@]}" && stage_asan
+want tsan  "${STAGES[@]}" && stage_tsan
+want tidy  "${STAGES[@]}" && stage_tidy
+want bench "${STAGES[@]}" && stage_bench
+echo "ci: all requested stages passed"

@@ -4,11 +4,32 @@
 #include "hli/maintain.hpp"
 #include "hli/query.hpp"
 #include "hli/serialize.hpp"
+#include "hli/verify.hpp"
 #include "support/string_utils.hpp"
 
 namespace hli::driver {
 
 using namespace hli::backend;
+
+namespace {
+
+/// Every HLI-mapped reference of the function, for the verifier's HV105
+/// mapping-congruence check (§3.2.1: the stamp on each Load/Store/Call
+/// must point at a line-table item of the matching access class).
+std::vector<verify::MappedRef> collect_mapped_refs(const RtlFunction& func) {
+  std::vector<verify::MappedRef> refs;
+  for (const Insn& insn : func.insns) {
+    if (is_memory_op(insn.op) && insn.mem.hli_item != format::kNoItem) {
+      refs.push_back({insn.mem.hli_item, insn.op == Opcode::Store, false});
+    }
+    if (insn.op == Opcode::Call && insn.hli_item != format::kNoItem) {
+      refs.push_back({insn.hli_item, false, true});
+    }
+  }
+  return refs;
+}
+
+}  // namespace
 
 std::size_t count_source_lines(std::string_view source) {
   std::size_t lines = 0;
@@ -42,6 +63,33 @@ CompiledProgram compile_source(std::string_view source,
     out.stats.mapped_items += mapping.mapped;
     if (!mapping.perfect()) out.stats.map_perfect = false;
 
+    // Invariant verification at every pass boundary (VerifyMode): each
+    // maintenance batch must hand the next pass a table set that still
+    // satisfies the paper's conservative-correctness contract.
+    const auto verify_boundary =
+        [&](const char* boundary,
+            const std::vector<verify::MappedRef>* refs = nullptr) {
+          if (options.verify_hli == VerifyMode::Off) return;
+          verify::VerifyOptions vopts;
+          vopts.audit_on_findings = true;
+          vopts.mapped_refs = refs;
+          const verify::VerifyResult result = verify::verify_entry(*entry, vopts);
+          out.stats.verify_checks += result.checks_run;
+          if (result.ok()) return;
+          out.stats.verify_findings += result.findings.size();
+          const std::string report = "HLI verifier: unit '" + func.name +
+                                     "' dirty after " + boundary + ":\n" +
+                                     result.render(func.name);
+          if (options.verify_hli == VerifyMode::Fatal) {
+            throw support::CompileError(report);
+          }
+          out.verify_log += report;
+        };
+    {
+      const std::vector<verify::MappedRef> refs = collect_mapped_refs(func);
+      verify_boundary("import/mapping", &refs);
+    }
+
     // CSE (Figure 4): deleted loads drop their items from the HLI.  The
     // deletions are DEFERRED until the pass finishes: maintenance bumps
     // the entry's generation counter and would otherwise invalidate the
@@ -60,6 +108,7 @@ CompiledProgram compile_source(std::string_view source,
       for (const format::ItemId item : deleted) {
         maintain::delete_item(*entry, item);
       }
+      verify_boundary("CSE maintenance");
     }
 
     // Combine-style constant folding before the dead-code sweep.
@@ -74,6 +123,7 @@ CompiledProgram compile_source(std::string_view source,
         maintain::delete_item(*entry, item);
       };
       out.stats.dce += dce_function(func, dce);
+      verify_boundary("DCE maintenance");
     }
 
     // LICM: hoisted loads move to the loop's parent region (moves applied
@@ -92,6 +142,7 @@ CompiledProgram compile_source(std::string_view source,
       for (const auto& [item, target] : hoisted) {
         maintain::move_item_to_region(*entry, item, target);
       }
+      verify_boundary("LICM maintenance");
     }
 
     // Unrolling (Figure 6): RTL duplication + HLI table reconstruction.
@@ -100,6 +151,7 @@ CompiledProgram compile_source(std::string_view source,
       unroll.factor = options.unroll_factor;
       unroll.entry = entry;
       out.stats.unroll += unroll_function(func, unroll);
+      verify_boundary("unroll maintenance");
     }
 
     // First scheduling pass — the instrumented experiment (Table 2).  The
@@ -116,6 +168,7 @@ CompiledProgram compile_source(std::string_view source,
       const machine::MachineDesc& mach = options.sched_machine;
       sched.latency = [&mach](const Insn& insn) { return mach.latency(insn); };
       out.stats.sched += schedule_function(func, sched);
+      verify_boundary("scheduling");
     }
 
     // Hard-register allocation + the second scheduling pass (the rest of
@@ -132,6 +185,7 @@ CompiledProgram compile_source(std::string_view source,
         sched.latency = [&mach](const Insn& insn) { return mach.latency(insn); };
         out.stats.sched2 += schedule_function(func, sched);
       }
+      verify_boundary("regalloc/post-RA scheduling");
     }
   }
   return out;

@@ -32,8 +32,21 @@
 
 namespace hli::driver {
 
+/// When (and how hard) the HLI invariant verifier runs during compilation.
+/// Warn/Fatal run `verify::verify_entry` at EVERY pass boundary — after
+/// import/mapping and after each CSE/DCE/LICM/unroll maintenance batch —
+/// with the differential conservativeness audit enabled, so a corrupted
+/// table is caught at the boundary that corrupted it, not at the
+/// scheduler that consumed it.
+enum class VerifyMode : std::uint8_t {
+  Off,   ///< No verification (production default).
+  Warn,  ///< Findings accumulate in CompiledProgram::verify_log.
+  Fatal, ///< First dirty boundary throws support::CompileError.
+};
+
 struct PipelineOptions {
   bool use_hli = true;       ///< Figure 5's flag_use_hli, across all passes.
+  VerifyMode verify_hli = VerifyMode::Off;
   bool enable_cse = true;
   bool enable_constfold = true;  ///< Combine-style constant folding.
   bool enable_dce = true;  ///< Flow-style cleanup after CSE/LICM.
@@ -64,6 +77,8 @@ struct ProgramStats {
   std::size_t source_lines = 0;
   std::size_t mapped_items = 0;
   bool map_perfect = true;
+  std::size_t verify_checks = 0;    ///< Invariant evaluations (VerifyMode on).
+  std::size_t verify_findings = 0;  ///< Violations found across boundaries.
 };
 
 struct CompiledProgram {
@@ -74,6 +89,8 @@ struct CompiledProgram {
   std::string hli_text;     ///< Serialized HLI (size feeds Table 1).
   backend::RtlProgram rtl;  ///< Fully optimized program.
   ProgramStats stats;
+  /// Per-boundary verifier reports under VerifyMode::Warn (empty if clean).
+  std::string verify_log;
 };
 
 /// Compiles mini-C source through the full pipeline.  Throws

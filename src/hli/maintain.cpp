@@ -1,12 +1,34 @@
 #include "hli/maintain.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "hli/verify.hpp"
 
 namespace hli::maintain {
 
 using namespace format;
 
 namespace {
+
+// Debug-build postcondition hook: every maintenance op must leave the
+// entry verifier-clean (it received a clean entry; §3.2.3's contract is
+// that maintenance preserves conservative correctness).  Compiled out
+// under NDEBUG; the sanitizer CI job builds Debug so these run there.
+#ifndef NDEBUG
+void selfcheck(const HliEntry& entry, const char* op) {
+  const verify::VerifyResult result = verify::verify_entry(entry);
+  if (!result.ok()) {
+    std::fprintf(stderr, "hli::maintain::%s broke an HLI invariant:\n%s", op,
+                 result.render(entry.unit_name).c_str());
+    assert(false && "HLI maintenance postcondition violated");
+  }
+}
+#define HLI_MAINTAIN_SELFCHECK(entry, op) selfcheck(entry, op)
+#else
+#define HLI_MAINTAIN_SELFCHECK(entry, op) ((void)0)
+#endif
 
 template <typename T>
 void erase_value(std::vector<T>& v, const T& value) {
@@ -73,12 +95,27 @@ void delete_item(HliEntry& entry, ItemId item) {
   ++entry.generation;
   EquivClass* cls = nullptr;
   RegionEntry* region = find_item_region(entry, item, &cls);
+  const bool was_call =
+      entry.line_table.item_type(item) == ItemType::Call;
   remove_from_line_table(entry, item);
-  if (region == nullptr || cls == nullptr) return;
+  if (was_call) {
+    // Calls live in the REF/MOD table, not in classes: drop the per-item
+    // effect entry so it does not dangle.
+    for (RegionEntry& r : entry.regions) {
+      std::erase_if(r.call_effects, [item](const CallEffectEntry& eff) {
+        return !eff.is_subregion && eff.call_item == item;
+      });
+    }
+  }
+  if (region == nullptr || cls == nullptr) {
+    HLI_MAINTAIN_SELFCHECK(entry, "delete_item");
+    return;
+  }
   erase_value(cls->member_items, item);
   if (cls->member_items.empty() && cls->member_subclasses.empty()) {
     remove_class(entry, *region, cls->id);
   }
+  HLI_MAINTAIN_SELFCHECK(entry, "delete_item");
 }
 
 ItemId clone_item(HliEntry& entry, ItemId proto, std::uint32_t line) {
@@ -89,7 +126,21 @@ ItemId clone_item(HliEntry& entry, ItemId proto, std::uint32_t line) {
   EquivClass* cls = nullptr;
   if (find_item_region(entry, proto, &cls) != nullptr && cls != nullptr) {
     cls->member_items.push_back(fresh);
+  } else if (type == ItemType::Call) {
+    // A duplicated call site keeps its prototype's REF/MOD effects.
+    for (RegionEntry& r : entry.regions) {
+      for (std::size_t i = 0; i < r.call_effects.size(); ++i) {
+        const CallEffectEntry& eff = r.call_effects[i];
+        if (eff.is_subregion || eff.call_item != proto) continue;
+        CallEffectEntry copy = eff;
+        copy.call_item = fresh;
+        r.call_effects.push_back(std::move(copy));
+        HLI_MAINTAIN_SELFCHECK(entry, "clone_item");
+        return fresh;
+      }
+    }
   }
+  HLI_MAINTAIN_SELFCHECK(entry, "clone_item");
   return fresh;
 }
 
@@ -127,6 +178,7 @@ void move_item_to_region(HliEntry& entry, ItemId item, RegionId target) {
   if (cls->member_items.empty() && cls->member_subclasses.empty()) {
     remove_class(entry, *region, cls->id);
   }
+  HLI_MAINTAIN_SELFCHECK(entry, "move_item_to_region");
 }
 
 UnrollUpdate unroll_loop(HliEntry& entry, RegionId loop, unsigned factor) {
@@ -264,6 +316,7 @@ UnrollUpdate unroll_loop(HliEntry& entry, RegionId loop, unsigned factor) {
   // alias entries are added between them.
 
   update.ok = true;
+  HLI_MAINTAIN_SELFCHECK(entry, "unroll_loop");
   return update;
 }
 

@@ -1,0 +1,162 @@
+// Static HLI invariant verifier (the soundness contract of §3.2.3).
+//
+// The whole point of HLI is that it stays *conservatively correct* while
+// back-end passes mutate it: a scheduler that trusts a broken equivalence
+// partition miscompiles silently.  This pass makes every structural and
+// semantic invariant the paper implies explicit and checkable, in the
+// sparse-analysis tradition of verifying the representation rather than
+// the clients (cf. Tavares et al.):
+//
+//   HV1xx  line table      items unit-unique, typed, ids in range, lines
+//                          sorted, congruent with the back-end mapping
+//   HV2xx  region tree     a proper tree: unique ids, consistent
+//                          parent/child links, all regions reachable from
+//                          the root exactly once (the Euler-tour
+//                          precondition of the dense query index)
+//   HV3xx  equivalence     a true partition: every memory item in exactly
+//                          one class, every child class lifted into
+//                          exactly one parent class, chains rooted at the
+//                          program-unit region, flags consistent
+//   HV4xx  alias sets      symmetric by representation, self-free, only
+//                          region-level classes
+//   HV5xx  LCDD            endpoints are classes of the (loop) region,
+//                          forward distances normalized (>= 1), no
+//                          definite dependence on unknown-target classes
+//   HV6xx  call REF/MOD    effects reference live classes, every call
+//                          item covered exactly once, sub-region
+//                          aggregates present on the path to the root
+//   HV7xx  differential    conservativeness audit: dense HliUnitView
+//                          answers vs. the reference_query oracle
+//
+// Every finding carries the region/class/item IDs involved, so a red
+// verifier run pinpoints which table is poisoned — and, with the audit
+// enabled, which query answers the fast path derived from the poison.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hli/format.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hli::verify {
+
+using format::HliEntry;
+using format::HliFile;
+using format::ItemId;
+using format::RegionId;
+
+/// Stable diagnostic codes, one per invariant.  The numeric groups follow
+/// the table layout above; tests assert on codes, not message text.
+enum class Code : std::uint16_t {
+  // -- Line table (paper §3.1) --
+  DuplicateItemId = 101,       ///< Same item ID on two line-table slots.
+  ItemIdOutOfRange = 102,      ///< Item ID zero or >= next_id.
+  LineTableUnsorted = 103,     ///< Line numbers not strictly increasing.
+  EmptyLineEntry = 104,        ///< A line with no items.
+  MappingIncongruent = 105,    ///< Back-end-mapped item missing/mistyped.
+  // -- Region tree (paper §2.2, Euler precondition of the dense index) --
+  RootRegionInvalid = 201,     ///< root_region absent from the table.
+  DuplicateRegionId = 202,     ///< Region ID zero or reused.
+  ParentChildMismatch = 203,   ///< parent/children links disagree.
+  RegionTreeNotTree = 204,     ///< Region unreachable from root (or cycle).
+  RegionScopeInverted = 205,   ///< first_line > last_line.
+  // -- Equivalent-access partition (paper §2.2.1) --
+  ClassIdInvalid = 301,        ///< Class ID zero, out of range, reused, or
+                               ///< colliding with a line-table item.
+  ClassMemberNotMemoryItem = 302,  ///< Member absent from line table or a call.
+  ItemInMultipleClasses = 303,     ///< Partition overlap.
+  MemoryItemUncovered = 304,       ///< Partition gap.
+  DanglingSubclass = 305,      ///< member_subclass not a child-region class.
+  SubclassMultiplyLifted = 306,    ///< Child class in two parent classes.
+  ClassChainNotRooted = 307,   ///< Non-root class never lifted to parent.
+  ClassWriteFlagInconsistent = 308,  ///< has_write != OR of members.
+  UnknownTargetNotMaybe = 309, ///< unknown_target class typed Definite.
+  // -- Alias sets (paper §2.2.2) --
+  AliasEntryDegenerate = 401,  ///< Fewer than two distinct classes.
+  AliasDanglingClass = 402,    ///< References a non-class of the region.
+  // -- LCDD (paper §2.2.3) --
+  LcddDanglingClass = 501,     ///< src/dst not a class of the region.
+  LcddInNonLoopRegion = 502,   ///< Carried dependence outside a loop.
+  LcddDistanceNotNormalized = 503,  ///< Distance < 1, or definite without one.
+  LcddEndpointUnknownTarget = 504,  ///< Definite dep on an unknown target.
+  // -- Call REF/MOD (paper §2.2.4) --
+  CallEffectDanglingClass = 601,   ///< ref/mod class not of the region.
+  CallEffectItemNotCall = 602,     ///< Keyed item absent or not a call.
+  CallEffectSubregionInvalid = 603,  ///< Keyed sub-region not a child.
+  CallItemUncovered = 604,     ///< Call item with no per-item entry.
+  CallItemMultiplyCovered = 605,   ///< Two per-item entries for one call.
+  SubtreeCallsNotAggregated = 606,  ///< Child subtree has calls, parent
+                                    ///< lacks its aggregate entry.
+  // -- Differential audit --
+  AuditDivergence = 701,       ///< Dense and reference answers disagree.
+};
+
+[[nodiscard]] std::string_view code_name(Code code);
+
+struct Finding {
+  Code code;
+  RegionId region = format::kNoRegion;  ///< Region involved; kNoRegion if n/a.
+  ItemId class_id = format::kNoItem;    ///< Class involved; kNoItem if n/a.
+  ItemId item = format::kNoItem;        ///< Item involved; kNoItem if n/a.
+  std::string detail;                   ///< Human-readable specifics.
+};
+
+/// Renders "HV303 ItemInMultipleClasses region=4 class=7 item=2: ...".
+[[nodiscard]] std::string to_string(const Finding& finding);
+
+struct VerifyResult {
+  std::vector<Finding> findings;
+  std::size_t checks_run = 0;  ///< Individual invariant evaluations.
+  [[nodiscard]] bool ok() const { return findings.empty(); }
+  [[nodiscard]] bool has(Code code) const;
+  /// One finding per line, prefixed with `unit`; empty string when ok.
+  [[nodiscard]] std::string render(std::string_view unit) const;
+};
+
+/// One back-end-mapped reference, for the HV105 congruence check: the
+/// item ID some RTL instruction was stamped with and whether that
+/// instruction writes (store) or is a call.
+struct MappedRef {
+  ItemId item = format::kNoItem;
+  bool is_store = false;
+  bool is_call = false;
+};
+
+struct VerifyOptions {
+  /// Findings cap; corruption tends to cascade and the first few codes
+  /// are the actionable ones.
+  std::size_t max_findings = 64;
+  /// When set, each mapped RTL reference is checked against the line
+  /// table (exists + access class compatible): the mapping congruence
+  /// of §3.2.1.
+  const std::vector<MappedRef>* mapped_refs = nullptr;
+  /// Differential conservativeness audit: when the structural checks
+  /// pass but table checks flag the entry, replay every memory-item
+  /// pair query on both the dense HliUnitView and the map-based
+  /// reference oracle and report divergent answers (HV701) — the
+  /// answers the fast path derived from the broken invariant.
+  bool audit_on_findings = false;
+  /// Pair cap for the audit (it is O(items^2)).
+  std::size_t max_audit_pairs = 250000;
+};
+
+/// Verifies one program unit's HLI entry.  Never throws, never mutates,
+/// and is robust against arbitrarily corrupt entries (bounded traversals,
+/// cycle detection).
+[[nodiscard]] VerifyResult verify_entry(const HliEntry& entry,
+                                        const VerifyOptions& options = {});
+
+/// Verifies every entry of a file; findings are concatenated and
+/// `render`ed per unit into `report` when non-null.
+[[nodiscard]] VerifyResult verify_file(const HliFile& file,
+                                       const VerifyOptions& options = {},
+                                       std::string* report = nullptr);
+
+/// Forwards findings into a DiagnosticEngine (one Error per finding,
+/// tagged with `unit`), for front-ends that already speak diagnostics.
+void report(const VerifyResult& result, std::string_view unit,
+            support::DiagnosticEngine& diags);
+
+}  // namespace hli::verify

@@ -1,0 +1,61 @@
+// Acceptance test for the pipeline-integrated verifier: every built-in
+// workload must compile with VerifyMode::Fatal — the verifier runs at
+// every pass boundary and a single dirty table aborts compilation.  This
+// is the repo's standing proof that builder + every maintenance path keep
+// the HLI conservatively correct end to end.
+#include <gtest/gtest.h>
+
+#include "driver/pipeline.hpp"
+#include "workloads/workloads.hpp"
+
+namespace hli::driver {
+namespace {
+
+class VerifyWorkloadSweep
+    : public ::testing::TestWithParam<workloads::Workload> {};
+
+TEST_P(VerifyWorkloadSweep, FatalVerifyCompilesClean) {
+  PipelineOptions options;
+  options.verify_hli = VerifyMode::Fatal;
+  options.enable_regalloc = true;
+  const CompiledProgram compiled =
+      compile_source(GetParam().source, options);
+  EXPECT_EQ(compiled.stats.verify_findings, 0u);
+  EXPECT_GT(compiled.stats.verify_checks, 0u);
+  EXPECT_TRUE(compiled.verify_log.empty()) << compiled.verify_log;
+}
+
+TEST_P(VerifyWorkloadSweep, FatalVerifyCompilesCleanWithUnroll) {
+  PipelineOptions options;
+  options.verify_hli = VerifyMode::Fatal;
+  options.enable_unroll = true;
+  options.enable_regalloc = true;
+  const CompiledProgram compiled =
+      compile_source(GetParam().source, options);
+  EXPECT_EQ(compiled.stats.verify_findings, 0u);
+  EXPECT_GT(compiled.stats.verify_checks, 0u);
+}
+
+TEST(VerifyPipelineTest, WarnModeAccumulatesInsteadOfThrowing) {
+  // A clean program leaves the warn log empty and compiles normally.
+  PipelineOptions options;
+  options.verify_hli = VerifyMode::Warn;
+  const CompiledProgram compiled = compile_source(
+      "int g; int main() { g = 1; return g; }", options);
+  EXPECT_TRUE(compiled.verify_log.empty()) << compiled.verify_log;
+  EXPECT_GT(compiled.stats.verify_checks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, VerifyWorkloadSweep,
+    ::testing::ValuesIn(workloads::all_workloads()),
+    [](const ::testing::TestParamInfo<workloads::Workload>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '.' || c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace hli::driver

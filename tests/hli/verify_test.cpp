@@ -1,0 +1,603 @@
+// Mutation tests for the HLI invariant verifier: every table kind gets a
+// hand-corrupted fixture and must be rejected with the matching diagnostic
+// code, carrying the region/class/item IDs that pinpoint the poison.  A
+// builder-produced entry must verify green.
+#include "hli/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hli_test_util.hpp"
+
+namespace hli::verify {
+namespace {
+
+using format::AliasEntry;
+using format::CallEffectEntry;
+using format::DepType;
+using format::EquivAccType;
+using format::EquivClass;
+using format::HliEntry;
+using format::ItemId;
+using format::ItemType;
+using format::LcddEntry;
+using format::RegionEntry;
+using format::RegionId;
+using format::RegionType;
+
+// Nested loops plus a call: exercises every table kind (classes, lifted
+// chains, aliases, LCDD, per-item and aggregate REF/MOD).  Keep the
+// leading newline so line 1 is "int a[32];".
+constexpr const char* kProgram = R"(int a[32];
+int sum;
+void bump()
+{
+  sum = sum + 1;
+}
+void foo()
+{
+  for (int i = 0; i < 32; i++) {
+    for (int j = 1; j < 32; j++) {
+      a[j] = a[j-1] + sum;
+    }
+    bump();
+  }
+}
+)";
+// foo line 11: load a[j-1] (0), load sum (1), store a[j] (2).
+// foo line 13: call bump (0).
+
+class VerifyTest : public ::testing::Test {
+ protected:
+  VerifyTest() : built_(kProgram) {}
+
+  [[nodiscard]] HliEntry& foo() { return *built_.file.find_unit("foo"); }
+
+  /// The innermost loop region (type Loop, no children).
+  [[nodiscard]] RegionEntry& inner_loop() {
+    for (RegionEntry& region : foo().regions) {
+      if (region.type == RegionType::Loop && region.children.empty()) {
+        return region;
+      }
+    }
+    ADD_FAILURE() << "no innermost loop";
+    return foo().regions.front();
+  }
+
+  /// The region+class owning `item` as a direct member.
+  [[nodiscard]] std::pair<RegionEntry*, EquivClass*> owner_of(ItemId item) {
+    for (RegionEntry& region : foo().regions) {
+      for (EquivClass& cls : region.classes) {
+        for (const ItemId member : cls.member_items) {
+          if (member == item) return {&region, &cls};
+        }
+      }
+    }
+    ADD_FAILURE() << "item " << item << " is in no class";
+    return {nullptr, nullptr};
+  }
+
+  [[nodiscard]] ItemId item(std::uint32_t line, std::size_t index = 0) {
+    return built_.item_at("foo", line, index);
+  }
+
+  [[nodiscard]] static const Finding* find_code(const VerifyResult& result,
+                                                Code code) {
+    for (const Finding& finding : result.findings) {
+      if (finding.code == code) return &finding;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] VerifyResult verify(const VerifyOptions& options = {}) {
+    return verify_entry(foo(), options);
+  }
+
+  testing::BuiltUnit built_;
+};
+
+TEST_F(VerifyTest, BuilderOutputVerifiesGreen) {
+  std::string report;
+  const VerifyResult result = verify_file(built_.file, {}, &report);
+  EXPECT_TRUE(result.ok()) << report;
+  EXPECT_GT(result.checks_run, 0u);
+}
+
+// -- HV1xx: line table ------------------------------------------------------
+
+TEST_F(VerifyTest, DuplicateItemId) {
+  auto& lines = foo().line_table.mutable_lines();
+  lines.back().items.push_back({item(11, 0), ItemType::Load});
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::DuplicateItemId);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->item, item(11, 0));
+}
+
+TEST_F(VerifyTest, ItemIdOutOfRange) {
+  const ItemId rogue = foo().next_id + 7;
+  foo().line_table.mutable_lines().back().items.push_back(
+      {rogue, ItemType::Load});
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::ItemIdOutOfRange);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->item, rogue);
+}
+
+TEST_F(VerifyTest, LineTableUnsorted) {
+  auto& lines = foo().line_table.mutable_lines();
+  ASSERT_GE(lines.size(), 2u);
+  std::swap(lines.front(), lines.back());
+  EXPECT_NE(find_code(verify(), Code::LineTableUnsorted), nullptr);
+}
+
+TEST_F(VerifyTest, EmptyLineEntry) {
+  foo().line_table.mutable_lines().front().items.clear();
+  EXPECT_NE(find_code(verify(), Code::EmptyLineEntry), nullptr);
+}
+
+TEST_F(VerifyTest, MappingIncongruentOnAbsentItem) {
+  const std::vector<MappedRef> refs{{foo().next_id + 1, false, false}};
+  VerifyOptions options;
+  options.mapped_refs = &refs;
+  const VerifyResult result = verify(options);
+  const Finding* finding = find_code(result, Code::MappingIncongruent);
+  ASSERT_NE(finding, nullptr);
+  EXPECT_EQ(finding->item, foo().next_id + 1);
+}
+
+TEST_F(VerifyTest, MappingIncongruentOnTypeMismatch) {
+  // The a[j-1] load stamped onto a store instruction.
+  const std::vector<MappedRef> refs{{item(11, 0), /*is_store=*/true, false}};
+  VerifyOptions options;
+  options.mapped_refs = &refs;
+  EXPECT_NE(find_code(verify(options), Code::MappingIncongruent), nullptr);
+}
+
+TEST_F(VerifyTest, MappingCongruentPassesClean) {
+  const std::vector<MappedRef> refs{
+      {item(11, 0), false, false},  // load a[j-1]
+      {item(11, 2), true, false},   // store a[j]
+      {item(13, 0), false, true},   // call bump
+  };
+  VerifyOptions options;
+  options.mapped_refs = &refs;
+  EXPECT_TRUE(verify(options).ok());
+}
+
+// -- HV2xx: region tree -----------------------------------------------------
+
+TEST_F(VerifyTest, RootRegionInvalid) {
+  foo().root_region = 9999;
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::RootRegionInvalid);
+  ASSERT_NE(finding, nullptr);
+  EXPECT_EQ(finding->region, 9999u);
+}
+
+TEST_F(VerifyTest, DuplicateRegionId) {
+  RegionEntry copy = inner_loop();
+  copy.classes.clear();
+  copy.aliases.clear();
+  copy.lcdds.clear();
+  copy.call_effects.clear();
+  const RegionId id = copy.id;
+  foo().regions.push_back(std::move(copy));
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::DuplicateRegionId);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->region, id);
+}
+
+TEST_F(VerifyTest, ParentChildMismatch) {
+  RegionEntry& loop = inner_loop();
+  RegionEntry* parent = foo().find_region(loop.parent);
+  ASSERT_NE(parent, nullptr);
+  std::erase(parent->children, loop.id);
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::ParentChildMismatch);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->region, loop.id);
+}
+
+TEST_F(VerifyTest, RegionTreeNotTree) {
+  // Orphan the innermost loop entirely: parent link cleared AND removed
+  // from the old parent's children, so only reachability can catch it.
+  RegionEntry& loop = inner_loop();
+  RegionEntry* parent = foo().find_region(loop.parent);
+  ASSERT_NE(parent, nullptr);
+  std::erase(parent->children, loop.id);
+  loop.parent = format::kNoRegion;
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::RegionTreeNotTree);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->region, loop.id);
+}
+
+TEST_F(VerifyTest, RegionScopeInverted) {
+  RegionEntry& loop = inner_loop();
+  std::swap(loop.first_line, loop.last_line);
+  ASSERT_GT(loop.first_line, loop.last_line);
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::RegionScopeInverted);
+  ASSERT_NE(finding, nullptr);
+  EXPECT_EQ(finding->region, loop.id);
+}
+
+// -- HV3xx: equivalent-access partition -------------------------------------
+
+TEST_F(VerifyTest, ClassIdInvalid) {
+  // A class whose id collides with a line-table item poisons every query
+  // that resolves ids through the shared space.
+  auto [region, cls] = owner_of(item(11, 2));
+  ASSERT_NE(cls, nullptr);
+  cls->id = item(11, 0);
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::ClassIdInvalid);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->class_id, item(11, 0));
+  EXPECT_EQ(finding->region, region->id);
+}
+
+TEST_F(VerifyTest, ClassMemberNotMemoryItem) {
+  auto [region, cls] = owner_of(item(11, 2));
+  ASSERT_NE(cls, nullptr);
+  cls->member_items.push_back(item(13, 0));  // the call
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::ClassMemberNotMemoryItem);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->item, item(13, 0));
+  EXPECT_EQ(finding->class_id, cls->id);
+}
+
+TEST_F(VerifyTest, ItemInMultipleClasses) {
+  auto [r1, store_class] = owner_of(item(11, 2));
+  auto [r2, sum_class] = owner_of(item(11, 1));
+  ASSERT_NE(store_class, nullptr);
+  ASSERT_NE(sum_class, nullptr);
+  ASSERT_NE(store_class, sum_class);
+  sum_class->member_items.push_back(item(11, 2));
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::ItemInMultipleClasses);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->item, item(11, 2));
+}
+
+TEST_F(VerifyTest, MemoryItemUncovered) {
+  auto [region, cls] = owner_of(item(11, 1));
+  ASSERT_NE(cls, nullptr);
+  std::erase(cls->member_items, item(11, 1));
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::MemoryItemUncovered);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->item, item(11, 1));
+}
+
+TEST_F(VerifyTest, DanglingSubclass) {
+  auto [region, cls] = owner_of(item(11, 2));
+  ASSERT_NE(cls, nullptr);
+  cls->member_subclasses.push_back(9999);
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::DanglingSubclass);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->item, 9999u);
+}
+
+TEST_F(VerifyTest, SubclassMultiplyLifted) {
+  // Find a lifted chain edge: a class with a member subclass, then lift
+  // that subclass into a second class of the same region.
+  for (RegionEntry& region : foo().regions) {
+    for (std::size_t i = 0; i < region.classes.size(); ++i) {
+      if (region.classes[i].member_subclasses.empty()) continue;
+      const ItemId sub = region.classes[i].member_subclasses.front();
+      EquivClass& other = region.classes[(i + 1) % region.classes.size()];
+      if (&other == &region.classes[i]) continue;
+      other.member_subclasses.push_back(sub);
+      const VerifyResult result = verify();
+      const Finding* finding = find_code(result, Code::SubclassMultiplyLifted);
+      ASSERT_NE(finding, nullptr) << result.render("foo");
+      EXPECT_EQ(finding->item, sub);
+      return;
+    }
+  }
+  FAIL() << "fixture has no lifted chain edge";
+}
+
+TEST_F(VerifyTest, ClassChainNotRooted) {
+  // Cut the lift edge of the innermost a[j] class: the chain no longer
+  // reaches the unit region and outer-region queries would miss the item.
+  auto [region, cls] = owner_of(item(11, 2));
+  ASSERT_NE(cls, nullptr);
+  RegionEntry* parent = foo().find_region(region->parent);
+  ASSERT_NE(parent, nullptr);
+  for (EquivClass& parent_class : parent->classes) {
+    std::erase(parent_class.member_subclasses, cls->id);
+  }
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::ClassChainNotRooted);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->class_id, cls->id);
+  EXPECT_EQ(finding->region, region->id);
+}
+
+TEST_F(VerifyTest, ClassWriteFlagUnsound) {
+  auto [region, cls] = owner_of(item(11, 2));  // store a[j]
+  ASSERT_NE(cls, nullptr);
+  ASSERT_TRUE(cls->has_write);
+  cls->has_write = false;
+  const VerifyResult result = verify();
+  const Finding* finding =
+      find_code(result, Code::ClassWriteFlagInconsistent);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->class_id, cls->id);
+}
+
+TEST_F(VerifyTest, StaleTrueWriteFlagIsLegal) {
+  // Conservative direction: has_write true on a read-only class chain is
+  // a precision loss, not a soundness bug — must NOT be flagged.  (The
+  // whole lifted chain goes stale together, exactly like delete_item
+  // leaves it.)
+  auto [region, cls] = owner_of(item(11, 1));  // load sum
+  ASSERT_NE(cls, nullptr);
+  ASSERT_FALSE(cls->has_write);
+  for (RegionEntry& r : foo().regions) {
+    for (EquivClass& c : r.classes) {
+      if (c.base == cls->base) c.has_write = true;
+    }
+  }
+  const VerifyResult result = verify();
+  EXPECT_TRUE(result.ok()) << result.render("foo");
+}
+
+TEST_F(VerifyTest, UnknownTargetNotMaybe) {
+  auto [region, cls] = owner_of(item(11, 1));
+  ASSERT_NE(cls, nullptr);
+  cls->unknown_target = true;
+  cls->type = EquivAccType::Definite;
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::UnknownTargetNotMaybe);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->class_id, cls->id);
+}
+
+// -- HV4xx: alias sets ------------------------------------------------------
+
+TEST_F(VerifyTest, AliasEntryDegenerate) {
+  auto [region, cls] = owner_of(item(11, 2));
+  ASSERT_NE(cls, nullptr);
+  region->aliases.push_back({{cls->id, cls->id}});  // self-alias
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::AliasEntryDegenerate);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->region, region->id);
+}
+
+TEST_F(VerifyTest, AliasDanglingClass) {
+  auto [region, cls] = owner_of(item(11, 2));
+  ASSERT_NE(cls, nullptr);
+  region->aliases.push_back({{cls->id, 9999}});
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::AliasDanglingClass);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->class_id, 9999u);
+  EXPECT_EQ(finding->region, region->id);
+}
+
+// -- HV5xx: LCDD ------------------------------------------------------------
+
+TEST_F(VerifyTest, LcddDanglingClass) {
+  RegionEntry& loop = inner_loop();
+  auto [region, cls] = owner_of(item(11, 2));
+  ASSERT_EQ(region, &loop);
+  loop.lcdds.push_back({cls->id, 9999, DepType::Maybe, std::nullopt});
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::LcddDanglingClass);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->class_id, 9999u);
+}
+
+TEST_F(VerifyTest, LcddInNonLoopRegion) {
+  RegionEntry* root = foo().find_region(foo().root_region);
+  ASSERT_NE(root, nullptr);
+  ASSERT_EQ(root->type, RegionType::Unit);
+  ASSERT_FALSE(root->classes.empty());
+  const ItemId cls = root->classes.front().id;
+  root->lcdds.push_back({cls, cls, DepType::Maybe, std::nullopt});
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::LcddInNonLoopRegion);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->region, root->id);
+}
+
+TEST_F(VerifyTest, LcddDistanceNotNormalized) {
+  RegionEntry& loop = inner_loop();
+  auto [region, cls] = owner_of(item(11, 2));
+  ASSERT_EQ(region, &loop);
+  loop.lcdds.push_back({cls->id, cls->id, DepType::Definite, 0});
+  EXPECT_NE(find_code(verify(), Code::LcddDistanceNotNormalized), nullptr);
+}
+
+TEST_F(VerifyTest, LcddDefiniteWithoutDistance) {
+  RegionEntry& loop = inner_loop();
+  auto [region, cls] = owner_of(item(11, 2));
+  ASSERT_EQ(region, &loop);
+  loop.lcdds.push_back({cls->id, cls->id, DepType::Definite, std::nullopt});
+  EXPECT_NE(find_code(verify(), Code::LcddDistanceNotNormalized), nullptr);
+}
+
+TEST_F(VerifyTest, LcddEndpointUnknownTarget) {
+  RegionEntry& loop = inner_loop();
+  auto [region, cls] = owner_of(item(11, 2));
+  ASSERT_EQ(region, &loop);
+  cls->unknown_target = true;
+  cls->type = EquivAccType::Maybe;  // keep HV309 quiet
+  loop.lcdds.push_back({cls->id, cls->id, DepType::Definite, 1});
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::LcddEndpointUnknownTarget);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->class_id, cls->id);
+}
+
+// -- HV6xx: call REF/MOD ----------------------------------------------------
+
+/// The per-item REF/MOD entry for the bump() call, and its region.
+std::pair<RegionEntry*, CallEffectEntry*> call_entry(HliEntry& entry,
+                                                     ItemId call) {
+  for (RegionEntry& region : entry.regions) {
+    for (CallEffectEntry& eff : region.call_effects) {
+      if (!eff.is_subregion && eff.call_item == call) return {&region, &eff};
+    }
+  }
+  return {nullptr, nullptr};
+}
+
+TEST_F(VerifyTest, CallEffectDanglingClass) {
+  auto [region, eff] = call_entry(foo(), item(13, 0));
+  ASSERT_NE(eff, nullptr);
+  eff->mod_classes.push_back(9999);
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::CallEffectDanglingClass);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->class_id, 9999u);
+  EXPECT_EQ(finding->region, region->id);
+}
+
+TEST_F(VerifyTest, CallEffectItemNotCall) {
+  auto [region, eff] = call_entry(foo(), item(13, 0));
+  ASSERT_NE(region, nullptr);
+  CallEffectEntry bogus;
+  bogus.call_item = item(11, 1);  // keyed by the sum load
+  region->call_effects.push_back(bogus);
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::CallEffectItemNotCall);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->item, item(11, 1));
+}
+
+TEST_F(VerifyTest, CallEffectSubregionInvalid) {
+  RegionEntry* root = foo().find_region(foo().root_region);
+  ASSERT_NE(root, nullptr);
+  CallEffectEntry bogus;
+  bogus.is_subregion = true;
+  bogus.subregion = inner_loop().id;  // grandchild, not an immediate child
+  root->call_effects.push_back(bogus);
+  const VerifyResult result = verify();
+  EXPECT_NE(find_code(result, Code::CallEffectSubregionInvalid), nullptr)
+      << result.render("foo");
+}
+
+TEST_F(VerifyTest, CallItemUncovered) {
+  auto [region, eff] = call_entry(foo(), item(13, 0));
+  ASSERT_NE(region, nullptr);
+  std::erase_if(region->call_effects, [&](const CallEffectEntry& e) {
+    return !e.is_subregion && e.call_item == item(13, 0);
+  });
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::CallItemUncovered);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->item, item(13, 0));
+}
+
+TEST_F(VerifyTest, CallItemMultiplyCovered) {
+  auto [region, eff] = call_entry(foo(), item(13, 0));
+  ASSERT_NE(eff, nullptr);
+  CallEffectEntry copy = *eff;
+  copy.ref_classes.clear();
+  copy.mod_classes.clear();
+  foo().find_region(foo().root_region)->call_effects.push_back(copy);
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::CallItemMultiplyCovered);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->item, item(13, 0));
+}
+
+TEST_F(VerifyTest, SubtreeCallsNotAggregated) {
+  // Drop the root's aggregate entry for the outer loop: queries at the
+  // unit level would no longer see the call through the loop boundary.
+  auto [call_region, eff] = call_entry(foo(), item(13, 0));
+  ASSERT_NE(call_region, nullptr);
+  RegionEntry* root = foo().find_region(foo().root_region);
+  ASSERT_NE(root, nullptr);
+  const std::size_t before = root->call_effects.size();
+  std::erase_if(root->call_effects, [&](const CallEffectEntry& e) {
+    return e.is_subregion && e.subregion == call_region->id;
+  });
+  ASSERT_LT(root->call_effects.size(), before);
+  const VerifyResult result = verify();
+  const Finding* finding = find_code(result, Code::SubtreeCallsNotAggregated);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  EXPECT_EQ(finding->region, root->id);
+}
+
+// -- HV701: differential conservativeness audit -----------------------------
+
+TEST_F(VerifyTest, AuditCatchesDenseReferenceDivergence) {
+  // A duplicated region id whose copy carries a forged alias entry: the
+  // dense index attributes the entry to the original region (it matches
+  // by id), the map-based oracle never sees it (first id wins).  The
+  // audit pinpoints the query answers that diverged.
+  auto [r1, a_class] = owner_of(item(11, 2));    // store a[j]
+  auto [r2, sum_class] = owner_of(item(11, 1));  // load sum
+  ASSERT_EQ(r1, r2);
+  RegionEntry copy = *r1;
+  copy.classes.clear();
+  copy.aliases.clear();
+  copy.lcdds.clear();
+  copy.call_effects.clear();
+  copy.aliases.push_back({{a_class->id, sum_class->id}});
+  foo().regions.push_back(std::move(copy));
+
+  VerifyOptions options;
+  options.audit_on_findings = true;
+  const VerifyResult result = verify(options);
+  EXPECT_NE(find_code(result, Code::DuplicateRegionId), nullptr);
+  const Finding* finding = find_code(result, Code::AuditDivergence);
+  ASSERT_NE(finding, nullptr) << result.render("foo");
+  // The forged alias makes the dense side answer Maybe where the oracle
+  // answers None (may_conflict and get_alias both ride on the alias pool).
+  EXPECT_NE(finding->detail.find("dense=Maybe reference=None"),
+            std::string::npos)
+      << finding->detail;
+}
+
+TEST_F(VerifyTest, AuditSkippedOnBrokenTree) {
+  // A parent cycle must not hang the audit's reference oracle: the
+  // verifier reports the tree corruption and skips the differential pass.
+  RegionEntry& loop = inner_loop();
+  RegionEntry* parent = foo().find_region(loop.parent);
+  ASSERT_NE(parent, nullptr);
+  std::erase(parent->children, loop.id);
+  loop.parent = loop.id;  // self-cycle
+  VerifyOptions options;
+  options.audit_on_findings = true;
+  const VerifyResult result = verify(options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(find_code(result, Code::AuditDivergence), nullptr);
+}
+
+// -- Reporting --------------------------------------------------------------
+
+TEST_F(VerifyTest, FindingRendersCodeAndIds) {
+  Finding finding{Code::ItemInMultipleClasses, 4, 7, 2, "boom"};
+  EXPECT_EQ(to_string(finding),
+            "HV303 item-in-multiple-classes region=4 class=7 item=2: boom");
+}
+
+TEST_F(VerifyTest, ReportForwardsToDiagnostics) {
+  foo().root_region = 9999;
+  support::DiagnosticEngine diags;
+  report(verify(), "foo", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST_F(VerifyTest, FindingsCapRespected) {
+  // Uncover every memory item: far more violations than the cap.
+  for (RegionEntry& region : foo().regions) {
+    for (EquivClass& cls : region.classes) cls.member_items.clear();
+  }
+  VerifyOptions options;
+  options.max_findings = 3;
+  EXPECT_EQ(verify(options).findings.size(), 3u);
+}
+
+}  // namespace
+}  // namespace hli::verify

@@ -1,0 +1,148 @@
+// End-to-end CLI tests for hlic's lint mode (`--verify`) and the
+// pipeline verifier flag (`--verify-hli`), driving the real binary:
+// well-formed files pass, truncated/garbage files get a proper
+// "malformed HLI" diagnostic and a nonzero exit, and a structurally
+// corrupt (but parseable) file is rejected by the invariant verifier.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "frontend/sema.hpp"
+#include "hli/builder.hpp"
+#include "hli/serialize.hpp"
+
+namespace {
+
+#ifndef HLIC_PATH
+#error "HLIC_PATH must point at the hlic binary"
+#endif
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  ///< stdout + stderr, interleaved.
+};
+
+RunResult run_hlic(const std::string& args) {
+  const std::string out_path = ::testing::TempDir() + "hlic_out.txt";
+  const std::string command =
+      std::string(HLIC_PATH) + " " + args + " > " + out_path + " 2>&1";
+  const int status = std::system(command.c_str());
+  RunResult result;
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::ifstream in(out_path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  result.output = std::move(buffer).str();
+  return result;
+}
+
+std::string write_temp(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+// A unit with loops and a call, so the serialized file has every table.
+constexpr const char* kProgram = R"(int a[16];
+int sum;
+void tick()
+{
+  sum = sum + 1;
+}
+void work()
+{
+  for (int i = 1; i < 16; i++) {
+    a[i] = a[i-1] + sum;
+    tick();
+  }
+}
+)";
+
+hli::format::HliFile build_hli_file() {
+  hli::support::DiagnosticEngine diags;
+  hli::frontend::Program prog = hli::frontend::compile_to_ast(kProgram, diags);
+  return hli::builder::build_hli(prog);
+}
+
+std::string build_hli_text() {
+  return hli::serialize::write_hli(build_hli_file());
+}
+
+TEST(HlicCliTest, VerifyAcceptsWellFormedFile) {
+  const std::string path = write_temp("valid.hli", build_hli_text());
+  const RunResult result = run_hlic("--verify " + path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("ok ("), std::string::npos) << result.output;
+}
+
+TEST(HlicCliTest, VerifyRejectsTruncatedFile) {
+  const std::string text = build_hli_text();
+  const std::string path =
+      write_temp("truncated.hli", text.substr(0, text.size() / 2));
+  const RunResult result = run_hlic("--verify " + path);
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("hlic:"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("malformed HLI"), std::string::npos)
+      << result.output;
+}
+
+TEST(HlicCliTest, VerifyRejectsGarbageFile) {
+  const std::string path =
+      write_temp("garbage.hli", "this is not an HLI interchange file\n");
+  const RunResult result = run_hlic("--verify " + path);
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("malformed HLI"), std::string::npos)
+      << result.output;
+}
+
+TEST(HlicCliTest, VerifyRejectsMissingFile) {
+  const RunResult result = run_hlic("--verify /no/such/file.hli");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("cannot open"), std::string::npos)
+      << result.output;
+}
+
+TEST(HlicCliTest, VerifyRejectsInvariantViolation) {
+  // Parseable but structurally corrupt: drop the per-item REF/MOD entry
+  // of the call (HV604).
+  hli::format::HliFile file = build_hli_file();
+  bool erased = false;
+  for (auto& entry : file.entries) {
+    for (auto& region : entry.regions) {
+      const std::size_t before = region.call_effects.size();
+      std::erase_if(region.call_effects,
+                    [](const hli::format::CallEffectEntry& eff) {
+                      return !eff.is_subregion;
+                    });
+      erased = erased || region.call_effects.size() != before;
+    }
+  }
+  ASSERT_TRUE(erased);
+  const std::string path =
+      write_temp("corrupt.hli", hli::serialize::write_hli(file));
+  const RunResult result = run_hlic("--verify " + path);
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("invariant violation"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("call-item-uncovered"), std::string::npos)
+      << result.output;
+}
+
+TEST(HlicCliTest, PipelineVerifyFlagCompilesWorkloadClean) {
+  const RunResult result = run_hlic("--verify-hli=fatal --stats wc");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(HlicCliTest, PipelineVerifyFlagRejectsBadValue) {
+  const RunResult result = run_hlic("--verify-hli=sometimes wc");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("expects 'fatal' or 'warn'"),
+            std::string::npos)
+      << result.output;
+}
+
+}  // namespace

@@ -11,6 +11,13 @@
 //   --no-hli          compile with the native oracle only
 //   --unroll[=N]      enable loop unrolling (default factor 4)
 //   --jobs[=]N        compile the inputs on N threads (default: all cores)
+//   --verify-hli[=fatal|warn]
+//                     run the HLI invariant verifier at every pass
+//                     boundary during compilation (default fatal)
+//   --verify          lint mode: treat each input as a serialized HLI
+//                     file, parse it and check every invariant; exits
+//                     nonzero on malformed input or any finding.  Usable
+//                     by any front-end emitting the format.
 //   --list-workloads  list the built-in benchmark names
 //
 // Each positional argument is a path to a mini-C source file, or the name
@@ -29,6 +36,8 @@
 #include "driver/parallel.hpp"
 #include "driver/pipeline.hpp"
 #include "hli/dump.hpp"
+#include "hli/serialize.hpp"
+#include "hli/verify.hpp"
 #include "support/diagnostics.hpp"
 #include "workloads/workloads.hpp"
 
@@ -42,6 +51,7 @@ struct CliOptions {
   bool dump_rtl = false;
   bool stats = false;
   bool run = false;
+  bool verify_files = false;  ///< Lint mode: inputs are serialized HLI.
   std::string simulate;
   unsigned jobs = 0;  // 0: driver default (all cores).
   driver::PipelineOptions pipeline;
@@ -52,8 +62,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: hlic [--dump-hli] [--pretty] [--dump-rtl] [--stats]\n"
                "            [--run] [--simulate=r4600|r10000] [--no-hli]\n"
-               "            [--unroll[=N]] [--jobs N]\n"
+               "            [--unroll[=N]] [--jobs N] [--verify-hli[=fatal|warn]]\n"
                "            <file.c | workload-name>...\n"
+               "       hlic --verify <file.hli>...\n"
                "       hlic --list-workloads\n");
   return 2;
 }
@@ -86,6 +97,17 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.simulate = arg.substr(11);
     } else if (arg == "--no-hli") {
       options.pipeline.use_hli = false;
+    } else if (arg == "--verify") {
+      options.verify_files = true;
+    } else if (arg == "--verify-hli" || arg == "--verify-hli=fatal") {
+      options.pipeline.verify_hli = driver::VerifyMode::Fatal;
+    } else if (arg == "--verify-hli=warn") {
+      options.pipeline.verify_hli = driver::VerifyMode::Warn;
+    } else if (arg.rfind("--verify-hli=", 0) == 0) {
+      std::fprintf(stderr, "hlic: --verify-hli expects 'fatal' or 'warn', "
+                           "got '%s'\n",
+                   arg.c_str() + 13);
+      return false;
     } else if (arg == "--unroll") {
       options.pipeline.enable_unroll = true;
     } else if (arg.rfind("--unroll=", 0) == 0) {
@@ -130,6 +152,51 @@ bool load_source(const std::string& input, std::string& source) {
   buffer << in.rdbuf();
   source = std::move(buffer).str();
   return true;
+}
+
+/// `hlic --verify`: parse + statically check one serialized HLI file.
+/// Malformed input gets a proper file-prefixed diagnostic and a nonzero
+/// exit instead of an uncaught serializer exception; a well-formed file
+/// is run through the full invariant verifier with the differential
+/// conservativeness audit enabled.
+int verify_hli_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "hlic: cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    std::fprintf(stderr, "hlic: error reading '%s'\n", path.c_str());
+    return 1;
+  }
+
+  hli::format::HliFile file;
+  try {
+    file = serialize::read_hli(std::move(buffer).str());
+  } catch (const support::CompileError& e) {
+    std::fprintf(stderr, "hlic: %s: malformed HLI: %s\n", path.c_str(),
+                 e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hlic: %s: malformed HLI: %s\n", path.c_str(),
+                 e.what());
+    return 1;
+  }
+
+  verify::VerifyOptions vopts;
+  vopts.audit_on_findings = true;
+  std::string report;
+  const verify::VerifyResult result = verify::verify_file(file, vopts, &report);
+  if (!result.ok()) {
+    std::fprintf(stderr, "hlic: %s: %zu invariant violation(s):\n%s",
+                 path.c_str(), result.findings.size(), report.c_str());
+    return 1;
+  }
+  std::printf("%s: ok (%zu units, %zu invariant checks)\n", path.c_str(),
+              file.entries.size(), result.checks_run);
+  return 0;
 }
 
 int emit(const CliOptions& options, const driver::CompiledProgram& compiled) {
@@ -206,6 +273,15 @@ int main(int argc, char** argv) {
   CliOptions options;
   if (!parse_args(argc, argv, options)) return usage();
 
+  if (options.verify_files) {
+    int status = 0;
+    for (const std::string& input : options.inputs) {
+      const int rc = verify_hli_file(input);
+      if (rc != 0) status = rc;
+    }
+    return status;
+  }
+
   std::vector<std::string> sources(options.inputs.size());
   for (std::size_t i = 0; i < options.inputs.size(); ++i) {
     if (!load_source(options.inputs[i], sources[i])) return 1;
@@ -223,6 +299,10 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < compiled.size(); ++i) {
     if (compiled.size() > 1) {
       std::printf("== %s ==\n", options.inputs[i].c_str());
+    }
+    if (!compiled[i].verify_log.empty()) {
+      std::fprintf(stderr, "%s", compiled[i].verify_log.c_str());
+      status = 1;  // --verify-hli=warn: report everything, then fail.
     }
     const int rc = emit(options, compiled[i]);
     if (rc != 0) status = rc;
