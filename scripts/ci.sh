@@ -26,6 +26,12 @@ stage_tier1() {
   # Every workload through every pass boundary with the verifier fatal.
   ./build/tools/hlic --verify-hli=fatal --stats \
     $(./build/tools/hlic --list-workloads | awk '{print $1}')
+  # Text-vs-HLIB differential round-trip suites + serialize bench smoke.
+  ./build/tests/hli/hli_tests \
+    --gtest_filter='Binary*:Store*:*WorkloadRoundTrip*'
+  ./build/tests/driver/driver_tests --gtest_filter='*StoreImport*'
+  ./build/tools/hlic --emit=binary --stats --run wc
+  ./build/bench/bench_serialize --json build/BENCH_serialize.json
 }
 
 stage_asan() {

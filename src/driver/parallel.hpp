@@ -69,7 +69,11 @@ void parallel_for(std::size_t count, unsigned jobs,
 /// Compiles every source through the full pipeline on up to `jobs`
 /// threads.  Results are in input order and bit-identical to a serial
 /// loop (each compile is deterministic and isolated); the first
-/// CompileError (by input index) is rethrown.
+/// CompileError (by input index) is rethrown.  When options.hli_store
+/// points at a shared external container, the workers import through it
+/// concurrently: HliStore::get is thread-safe and decodes each unit
+/// exactly once, so only the units the compiled sources actually touch
+/// are ever materialized.
 [[nodiscard]] std::vector<CompiledProgram> compile_many(
     const std::vector<std::string>& sources,
     const PipelineOptions& options = {}, unsigned jobs = 0);

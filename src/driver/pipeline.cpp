@@ -1,5 +1,7 @@
 #include "driver/pipeline.hpp"
 
+#include <optional>
+
 #include "frontend/sema.hpp"
 #include "hli/maintain.hpp"
 #include "hli/query.hpp"
@@ -47,18 +49,36 @@ CompiledProgram compile_source(std::string_view source,
       frontend::compile_to_ast(source, diags));
   out.stats.source_lines = count_source_lines(source);
 
-  // Front-end: generate and EXPORT the HLI, then re-import it.  The
-  // serialized file is the only front-end/back-end channel.
-  const format::HliFile generated = builder::build_hli(*out.ast, options.hli_build);
-  out.hli_text = serialize::write_hli(generated);
-  out.stats.hli_bytes = out.hli_text.size();
-  out.hli = serialize::read_hli(out.hli_text);
+  // Front-end: generate and EXPORT the HLI (text or HLIB binary), then
+  // re-import it through an HliStore.  The serialized bytes remain the
+  // only front-end/back-end channel; the store makes the import
+  // demand-driven — each function's entry is decoded when the back-end
+  // reaches that function, never the whole file up front.  With an
+  // external options.hli_store (a pre-built, possibly mmap'd and shared
+  // container) generation is skipped entirely.
+  std::optional<hli::HliStore> local_store;
+  const hli::HliStore* store = options.hli_store;
+  if (store == nullptr) {
+    const format::HliFile generated =
+        builder::build_hli(*out.ast, options.hli_build);
+    out.hli_text = options.hli_encoding == HliEncoding::Binary
+                       ? serialize::write_hlib(generated)
+                       : serialize::write_hli(generated);
+    out.stats.hli_bytes = out.hli_text.size();
+    local_store.emplace(std::string(out.hli_text));
+    store = &*local_store;
+  }
 
-  // Back-end: lower, map, optimize.
+  // Back-end: lower, then map and optimize per function.  The imported
+  // entry is copied out of the store: maintenance mutates it per
+  // compilation, while the (possibly shared) store stays read-only.
   out.rtl = lower_program(*out.ast);
+  out.hli.entries.reserve(out.rtl.functions.size());
   for (RtlFunction& func : out.rtl.functions) {
-    format::HliEntry* entry = out.hli.find_unit(func.name);
-    if (entry == nullptr) continue;
+    const format::HliEntry* imported = store->get(func.name);
+    if (imported == nullptr) continue;
+    out.hli.entries.push_back(*imported);
+    format::HliEntry* entry = &out.hli.entries.back();
     const MapResult mapping = map_items(func, *entry);
     out.stats.mapped_items += mapping.mapped;
     if (!mapping.perfect()) out.stats.map_perfect = false;

@@ -28,6 +28,7 @@
 #include "backend/unroll.hpp"
 #include "frontend/ast.hpp"
 #include "hli/builder.hpp"
+#include "hli/store.hpp"
 #include "machine/timing.hpp"
 
 namespace hli::driver {
@@ -44,9 +45,28 @@ enum class VerifyMode : std::uint8_t {
   Fatal, ///< First dirty boundary throws support::CompileError.
 };
 
+/// Encoding of the serialized front-end -> back-end HLI channel.
+enum class HliEncoding : std::uint8_t {
+  Text,    ///< Line-based "HLI v1" (docs/FORMAT.md).
+  Binary,  ///< HLIB container (docs/hli-binary-format.md): varint tables,
+           ///< interned strings, per-unit index for demand-driven import.
+};
+
 struct PipelineOptions {
   bool use_hli = true;       ///< Figure 5's flag_use_hli, across all passes.
   VerifyMode verify_hli = VerifyMode::Off;
+  /// How the generated HLI is exported before the back-end re-imports it.
+  /// Compilation output is byte-identical either way; Text stays the
+  /// default so Table 1's HLI-size numbers keep their paper shape.
+  HliEncoding hli_encoding = HliEncoding::Text;
+  /// Pre-built external HLI store (e.g. an mmap'd .hlib written by an
+  /// earlier front-end run).  When set, HLI generation/export is skipped
+  /// and each function's entry is imported from the store on demand — a
+  /// unit the compilation never touches is never decoded.  The store may
+  /// be shared across concurrent compile_many workers (HliStore::get is
+  /// thread-safe and decodes each unit exactly once); it must outlive the
+  /// compilation.  hli_text/hli_bytes stay empty in this mode.
+  const hli::HliStore* hli_store = nullptr;
   bool enable_cse = true;
   bool enable_constfold = true;  ///< Combine-style constant folding.
   bool enable_dce = true;  ///< Flow-style cleanup after CSE/LICM.
@@ -85,8 +105,13 @@ struct CompiledProgram {
   /// AST kept alive: RTL/HLI reference nothing in it after compilation,
   /// but tests inspect it.
   std::unique_ptr<frontend::Program> ast;
-  format::HliFile hli;      ///< The re-read tables the back-end used.
-  std::string hli_text;     ///< Serialized HLI (size feeds Table 1).
+  /// The re-read tables the back-end imported (one entry per compiled
+  /// function that had HLI; demand-driven, so an external-store unit the
+  /// compilation never touched is absent).
+  format::HliFile hli;
+  /// Serialized HLI in the chosen encoding (size feeds Table 1); empty
+  /// when an external hli_store supplied the tables.
+  std::string hli_text;
   backend::RtlProgram rtl;  ///< Fully optimized program.
   ProgramStats stats;
   /// Per-boundary verifier reports under VerifyMode::Warn (empty if clean).

@@ -1,8 +1,27 @@
 #include "hli/format.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace hli::format {
+
+StringId StringPool::intern(std::string_view text) {
+  const auto it = index_.find(text);
+  if (it != index_.end()) return it->second;
+  const StringId id = static_cast<StringId>(strings_.size());
+  const auto inserted = index_.emplace(std::string(text), id).first;
+  strings_.push_back(&inserted->first);
+  return id;
+}
+
+const std::string& StringPool::at(StringId id) const {
+  if (id >= strings_.size()) {
+    throw std::out_of_range("StringPool id " + std::to_string(id) +
+                            " out of range (pool size " +
+                            std::to_string(strings_.size()) + ")");
+  }
+  return *strings_[id];
+}
 
 void LineTable::add_item(std::uint32_t line, ItemEntry item) {
   auto it = std::lower_bound(lines_.begin(), lines_.end(), line,

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace hli::format {
@@ -206,6 +208,44 @@ struct HliFile {
     }
     return nullptr;
   }
+};
+
+/// Interned-string id for the binary (HLIB) serialization: every distinct
+/// string in a container — unit names, class base names, display texts —
+/// is stored once in a pool and referenced by id, so a base name shared by
+/// a hundred classes costs one pool slot plus a hundred varints.
+using StringId = std::uint32_t;
+
+/// Writer-side string interner.  Ids are dense, 0-based, and assigned in
+/// first-intern order (which is therefore the pool's on-disk order).
+class StringPool {
+ public:
+  /// Returns the existing id for `text` or appends it to the pool.
+  StringId intern(std::string_view text);
+
+  /// Bounds-checked lookup; throws std::out_of_range on a bad id.
+  [[nodiscard]] const std::string& at(StringId id) const;
+
+  [[nodiscard]] std::size_t size() const { return strings_.size(); }
+
+  /// All pooled strings, in id order.
+  [[nodiscard]] const std::vector<const std::string*>& strings() const {
+    return strings_;
+  }
+
+ private:
+  struct TransparentHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view text) const {
+      return std::hash<std::string_view>{}(text);
+    }
+  };
+
+  /// Node-based map owns the strings so the id -> string pointers below
+  /// stay stable across rehashes.
+  std::unordered_map<std::string, StringId, TransparentHash, std::equal_to<>>
+      index_;
+  std::vector<const std::string*> strings_;  ///< Indexed by StringId.
 };
 
 [[nodiscard]] std::string to_string(ItemType type);

@@ -1,6 +1,7 @@
 #include "hli/serialize.hpp"
 
-#include <sstream>
+#include <charconv>
+#include <cstring>
 
 #include "support/string_utils.hpp"
 
@@ -32,74 +33,174 @@ ItemType item_type_from(std::string_view code, std::size_t line_no) {
                      ": bad item type '" + std::string(code) + "'");
 }
 
-void write_id_list(std::ostringstream& out, const char* tag,
-                   const std::vector<ItemId>& ids) {
-  out << ' ' << tag << " :";
-  for (const ItemId id : ids) out << ' ' << id;
+// The text writer appends straight into one caller-reserved std::string —
+// no per-entry std::ostringstream, no intermediate copies.
+
+template <typename Int>
+void append_num(std::string& out, Int value) {
+  char buf[21];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, end);
 }
 
-void write_region(std::ostringstream& out, const RegionEntry& region) {
-  out << "region " << region.id << ' '
-      << (region.type == RegionType::Loop ? "loop" : "unit") << " parent "
-      << region.parent << " scope " << region.first_line << ' '
-      << region.last_line << " children :";
-  for (const RegionId c : region.children) out << ' ' << c;
-  out << '\n';
+void write_id_list(std::string& out, const char* tag,
+                   const std::vector<ItemId>& ids) {
+  out += ' ';
+  out += tag;
+  out += " :";
+  for (const ItemId id : ids) {
+    out += ' ';
+    append_num(out, id);
+  }
+}
+
+void write_region(std::string& out, const RegionEntry& region) {
+  out += "region ";
+  append_num(out, region.id);
+  out += region.type == RegionType::Loop ? " loop parent " : " unit parent ";
+  append_num(out, region.parent);
+  out += " scope ";
+  append_num(out, region.first_line);
+  out += ' ';
+  append_num(out, region.last_line);
+  out += " children :";
+  for (const RegionId c : region.children) {
+    out += ' ';
+    append_num(out, c);
+  }
+  out += '\n';
   for (const EquivClass& cls : region.classes) {
-    out << "class " << cls.id << ' ' << to_string(cls.type) << " base "
-        << (cls.base.empty() ? "-" : cls.base) << " unk " << (cls.unknown_target ? 1 : 0)
-        << " wr " << (cls.has_write ? 1 : 0) << " inv " << (cls.loop_invariant ? 1 : 0);
+    out += "class ";
+    append_num(out, cls.id);
+    out += ' ';
+    out += to_string(cls.type);
+    out += " base ";
+    out += cls.base.empty() ? "-" : cls.base;
+    out += " unk ";
+    out += cls.unknown_target ? '1' : '0';
+    out += " wr ";
+    out += cls.has_write ? '1' : '0';
+    out += " inv ";
+    out += cls.loop_invariant ? '1' : '0';
     write_id_list(out, "items", cls.member_items);
     write_id_list(out, "subs", cls.member_subclasses);
-    out << " disp " << cls.display << '\n';
+    out += " disp ";
+    out += cls.display;
+    out += '\n';
   }
   for (const AliasEntry& alias : region.aliases) {
-    out << "alias :";
-    for (const ItemId id : alias.classes) out << ' ' << id;
-    out << '\n';
+    out += "alias :";
+    for (const ItemId id : alias.classes) {
+      out += ' ';
+      append_num(out, id);
+    }
+    out += '\n';
   }
   for (const LcddEntry& dep : region.lcdds) {
-    out << "lcdd " << dep.src << ' ' << dep.dst << ' ' << to_string(dep.type)
-        << " dist " << (dep.distance ? std::to_string(*dep.distance) : "?") << '\n';
+    out += "lcdd ";
+    append_num(out, dep.src);
+    out += ' ';
+    append_num(out, dep.dst);
+    out += ' ';
+    out += to_string(dep.type);
+    out += " dist ";
+    if (dep.distance) {
+      append_num(out, *dep.distance);
+    } else {
+      out += '?';
+    }
+    out += '\n';
   }
   for (const CallEffectEntry& eff : region.call_effects) {
     if (eff.is_subregion) {
-      out << "calleff region " << eff.subregion;
+      out += "calleff region ";
+      append_num(out, eff.subregion);
     } else {
-      out << "calleff item " << eff.call_item;
+      out += "calleff item ";
+      append_num(out, eff.call_item);
     }
-    out << " unk " << (eff.unknown ? 1 : 0);
+    out += " unk ";
+    out += eff.unknown ? '1' : '0';
     write_id_list(out, "ref", eff.ref_classes);
     write_id_list(out, "mod", eff.mod_classes);
-    out << '\n';
+    out += '\n';
   }
-  out << "endregion\n";
+  out += "endregion\n";
+}
+
+/// Generous upper-ish bound on the serialized size of one entry, so the
+/// single output buffer is reserved once instead of growing through the
+/// append stream.
+std::size_t estimate_entry_size(const HliEntry& entry) {
+  std::size_t size = 64 + entry.unit_name.size();
+  for (const LineEntry& line : entry.line_table.lines()) {
+    size += 16 + line.items.size() * 12;
+  }
+  for (const RegionEntry& region : entry.regions) {
+    size += 80 + region.children.size() * 8;
+    for (const EquivClass& cls : region.classes) {
+      size += 64 + cls.base.size() + cls.display.size() +
+              (cls.member_items.size() + cls.member_subclasses.size()) * 8;
+    }
+    for (const AliasEntry& alias : region.aliases) {
+      size += 16 + alias.classes.size() * 8;
+    }
+    size += region.lcdds.size() * 40;
+    for (const CallEffectEntry& eff : region.call_effects) {
+      size += 40 + (eff.ref_classes.size() + eff.mod_classes.size()) * 8;
+    }
+  }
+  return size;
+}
+
+void append_entry(std::string& out, const HliEntry& entry) {
+  out += "unit ";
+  out += entry.unit_name;
+  out += " nextid ";
+  append_num(out, entry.next_id);
+  out += '\n';
+  for (const LineEntry& line : entry.line_table.lines()) {
+    out += "line ";
+    append_num(out, line.line);
+    out += " :";
+    for (const ItemEntry& item : line.items) {
+      out += ' ';
+      append_num(out, item.id);
+      out += ':';
+      out += item_code(item.type);
+    }
+    out += '\n';
+  }
+  out += "regions ";
+  append_num(out, entry.regions.size());
+  out += " root ";
+  append_num(out, entry.root_region);
+  out += '\n';
+  for (const RegionEntry& region : entry.regions) {
+    write_region(out, region);
+  }
+  out += "endunit\n";
 }
 
 }  // namespace
 
 std::string write_entry(const HliEntry& entry) {
-  std::ostringstream out;
-  out << "unit " << entry.unit_name << " nextid " << entry.next_id << '\n';
-  for (const LineEntry& line : entry.line_table.lines()) {
-    out << "line " << line.line << " :";
-    for (const ItemEntry& item : line.items) {
-      out << ' ' << item.id << ':' << item_code(item.type);
-    }
-    out << '\n';
-  }
-  out << "regions " << entry.regions.size() << " root " << entry.root_region << '\n';
-  for (const RegionEntry& region : entry.regions) {
-    write_region(out, region);
-  }
-  out << "endunit\n";
-  return std::move(out).str();
+  std::string out;
+  out.reserve(estimate_entry_size(entry));
+  append_entry(out, entry);
+  return out;
 }
 
 std::string write_hli(const HliFile& file) {
-  std::string out = "HLI v1\n";
+  std::size_t estimate = 8;
   for (const HliEntry& entry : file.entries) {
-    out += write_entry(entry);
+    estimate += estimate_entry_size(entry);
+  }
+  std::string out;
+  out.reserve(estimate);
+  out += "HLI v1\n";
+  for (const HliEntry& entry : file.entries) {
+    append_entry(out, entry);
   }
   return out;
 }
@@ -321,6 +422,535 @@ HliFile read_hli(std::string_view text) {
     file.entries.push_back(parse_unit(r, r.next()));
   }
   return file;
+}
+
+// ---------------------------------------------------------------------------
+// HLIB binary container.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kHlibMagic[4] = {'H', 'L', 'I', 'B'};
+constexpr std::uint8_t kHlibVersion = 1;
+constexpr std::size_t kHeaderSize = 8;   ///< Magic + version + 3 reserved.
+constexpr std::size_t kFooterSize = 32;  ///< Meta location + end magic.
+constexpr char kFooterMagic[8] = {'H', 'L', 'I', 'B', 'E', 'N', 'D', '1'};
+
+/// The container's corruption check: the meta block is checksummed in the
+/// footer, each unit payload in its index record — so a bit flip anywhere
+/// in the file is caught by whichever reader first touches those bytes.
+/// Four interleaved FNV-1a lanes (byte i feeds lane i mod 4), folded
+/// together at the end: plain FNV-1a is one serial multiply per byte,
+/// while independent lanes let the CPU overlap them, ~4x faster on import.
+/// The lane split is part of the v1 format.
+std::uint32_t fnv1a(std::string_view bytes) {
+  constexpr std::uint32_t kBasis = 2166136261u;
+  constexpr std::uint32_t kPrime = 16777619u;
+  std::uint32_t lane[4] = {kBasis, kBasis ^ 1u, kBasis ^ 2u, kBasis ^ 3u};
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  const std::size_t size = bytes.size();
+  std::size_t i = 0;
+  for (const std::size_t whole = size & ~std::size_t{3}; i < whole; i += 4) {
+    lane[0] = (lane[0] ^ p[i]) * kPrime;
+    lane[1] = (lane[1] ^ p[i + 1]) * kPrime;
+    lane[2] = (lane[2] ^ p[i + 2]) * kPrime;
+    lane[3] = (lane[3] ^ p[i + 3]) * kPrime;
+  }
+  for (; i < size; ++i) {
+    lane[i & 3] = (lane[i & 3] ^ p[i]) * kPrime;
+  }
+  std::uint32_t hash = kBasis;
+  for (const std::uint32_t l : lane) {
+    hash = (hash ^ (l & 0xffffu)) * kPrime;
+    hash = (hash ^ (l >> 16)) * kPrime;
+  }
+  return hash;
+}
+
+void put_varint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>(value | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+std::uint64_t zigzag(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t value) {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+
+void put_u32le(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64le(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t get_u32le(std::string_view bytes, std::size_t at) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(bytes[at + i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t get_u64le(std::string_view bytes, std::size_t at) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(bytes[at + i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+[[noreturn]] void fail_at(std::size_t offset, const std::string& message) {
+  throw CompileError("HLIB error at offset " + std::to_string(offset) + ": " +
+                     message);
+}
+
+/// Bounds-checked byte cursor over one span of the container.  Every
+/// failure reports the absolute file offset it happened at.
+class ByteCursor {
+ public:
+  ByteCursor(std::string_view bytes, std::size_t begin, std::size_t end)
+      : bytes_(bytes), pos_(begin), end_(end) {}
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] bool done() const { return pos_ >= end_; }
+  [[nodiscard]] std::size_t remaining() const { return end_ - pos_; }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    fail_at(pos_, message);
+  }
+
+  std::uint8_t byte(const char* what) {
+    if (pos_ >= end_) fail(std::string("truncated ") + what);
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+
+  std::uint64_t varint(const char* what) {
+    if (pos_ < end_) {  // Fast path: almost every encoded value fits a byte.
+      const auto b = static_cast<std::uint8_t>(bytes_[pos_]);
+      if ((b & 0x80) == 0) {
+        ++pos_;
+        return b;
+      }
+    }
+    std::uint64_t value = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t b = byte(what);
+      value |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return value;
+    }
+    fail(std::string("varint too long in ") + what);
+  }
+
+  /// A varint that counts elements each at least one byte wide, so any
+  /// value beyond the remaining span is structurally impossible.
+  std::uint64_t count(const char* what) {
+    const std::uint64_t value = varint(what);
+    if (value > remaining()) {
+      fail("implausible " + std::string(what) + " (" + std::to_string(value) +
+           " with " + std::to_string(remaining()) + " bytes left)");
+    }
+    return value;
+  }
+
+  std::uint32_t fixed32(const char* what) {
+    if (remaining() < 4) fail(std::string("truncated ") + what);
+    const std::uint32_t value = get_u32le(bytes_, pos_);
+    pos_ += 4;
+    return value;
+  }
+
+  std::string_view take(std::size_t length, const char* what) {
+    if (length > remaining()) fail(std::string("truncated ") + what);
+    const std::string_view span = bytes_.substr(pos_, length);
+    pos_ += length;
+    return span;
+  }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_;
+  std::size_t end_;
+};
+
+void put_id_list(std::string& out, const std::vector<ItemId>& ids) {
+  put_varint(out, ids.size());
+  for (const ItemId id : ids) put_varint(out, id);
+}
+
+void encode_entry(std::string& out, const HliEntry& entry, StringPool& pool) {
+  put_varint(out, pool.intern(entry.unit_name));
+  put_varint(out, entry.next_id);
+  put_varint(out, entry.line_table.lines().size());
+  for (const LineEntry& line : entry.line_table.lines()) {
+    put_varint(out, line.line);
+    put_varint(out, line.items.size());
+    for (const ItemEntry& item : line.items) {
+      put_varint(out, item.id);
+      out.push_back(static_cast<char>(item.type));
+    }
+  }
+  put_varint(out, entry.regions.size());
+  put_varint(out, entry.root_region);
+  for (const RegionEntry& region : entry.regions) {
+    put_varint(out, region.id);
+    out.push_back(region.type == RegionType::Loop ? 1 : 0);
+    put_varint(out, region.parent);
+    put_varint(out, region.first_line);
+    put_varint(out, region.last_line);
+    put_varint(out, region.children.size());
+    for (const RegionId c : region.children) put_varint(out, c);
+
+    put_varint(out, region.classes.size());
+    for (const EquivClass& cls : region.classes) {
+      put_varint(out, cls.id);
+      const std::uint8_t flags =
+          (cls.type == EquivAccType::Maybe ? 1u : 0u) |
+          (cls.unknown_target ? 2u : 0u) | (cls.has_write ? 4u : 0u) |
+          (cls.loop_invariant ? 8u : 0u);
+      out.push_back(static_cast<char>(flags));
+      put_varint(out, pool.intern(cls.base));
+      put_varint(out, pool.intern(cls.display));
+      put_id_list(out, cls.member_items);
+      put_id_list(out, cls.member_subclasses);
+    }
+
+    put_varint(out, region.aliases.size());
+    for (const AliasEntry& alias : region.aliases) {
+      put_id_list(out, alias.classes);
+    }
+
+    put_varint(out, region.lcdds.size());
+    for (const LcddEntry& dep : region.lcdds) {
+      put_varint(out, dep.src);
+      put_varint(out, dep.dst);
+      const std::uint8_t flags = (dep.type == DepType::Maybe ? 1u : 0u) |
+                                 (dep.distance ? 2u : 0u);
+      out.push_back(static_cast<char>(flags));
+      if (dep.distance) put_varint(out, zigzag(*dep.distance));
+    }
+
+    put_varint(out, region.call_effects.size());
+    for (const CallEffectEntry& eff : region.call_effects) {
+      const std::uint8_t flags =
+          (eff.is_subregion ? 1u : 0u) | (eff.unknown ? 2u : 0u);
+      out.push_back(static_cast<char>(flags));
+      put_varint(out, eff.is_subregion ? eff.subregion : eff.call_item);
+      put_id_list(out, eff.ref_classes);
+      put_id_list(out, eff.mod_classes);
+    }
+  }
+}
+
+std::vector<ItemId> decode_id_list(ByteCursor& cur, const char* what) {
+  const std::uint64_t count = cur.count(what);
+  std::vector<ItemId> ids;
+  ids.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ids.push_back(static_cast<ItemId>(cur.varint(what)));
+  }
+  return ids;
+}
+
+std::string_view pool_string(const HlibContainer& container,
+                             std::uint64_t id, const ByteCursor& cur,
+                             const char* what) {
+  if (id >= container.pool.size()) {
+    cur.fail("string id " + std::to_string(id) + " out of range for " + what +
+             " (pool size " + std::to_string(container.pool.size()) + ")");
+  }
+  return container.pool[static_cast<std::size_t>(id)];
+}
+
+}  // namespace
+
+bool is_hlib(std::string_view bytes) {
+  return bytes.size() >= sizeof(kHlibMagic) &&
+         std::memcmp(bytes.data(), kHlibMagic, sizeof(kHlibMagic)) == 0;
+}
+
+std::string write_hlib(const HliFile& file) {
+  std::string out;
+  {
+    std::size_t estimate = kHeaderSize + kFooterSize + 64;
+    for (const HliEntry& entry : file.entries) {
+      estimate += estimate_entry_size(entry);  // Text bound >= binary size.
+    }
+    out.reserve(estimate);
+  }
+  out.append(kHlibMagic, sizeof(kHlibMagic));
+  out.push_back(static_cast<char>(kHlibVersion));
+  out.append(3, '\0');
+
+  StringPool pool;
+  std::vector<HlibContainer::Unit> units;
+  units.reserve(file.entries.size());
+  for (const HliEntry& entry : file.entries) {
+    HlibContainer::Unit unit;
+    unit.offset = out.size();
+    encode_entry(out, entry, pool);
+    unit.name_id = pool.intern(entry.unit_name);
+    unit.length = out.size() - unit.offset;
+    unit.checksum = fnv1a(std::string_view(out).substr(
+        static_cast<std::size_t>(unit.offset),
+        static_cast<std::size_t>(unit.length)));
+    units.push_back(unit);
+  }
+
+  const std::size_t meta_offset = out.size();
+  put_varint(out, pool.size());
+  for (const std::string* text : pool.strings()) {
+    put_varint(out, text->size());
+    out += *text;
+  }
+  put_varint(out, units.size());
+  for (const HlibContainer::Unit& unit : units) {
+    put_varint(out, unit.name_id);
+    put_varint(out, unit.offset);
+    put_varint(out, unit.length);
+    put_u32le(out, unit.checksum);
+  }
+  const std::size_t meta_length = out.size() - meta_offset;
+  const std::uint32_t meta_checksum =
+      fnv1a(std::string_view(out).substr(meta_offset, meta_length));
+
+  put_u64le(out, meta_offset);
+  put_u64le(out, meta_length);
+  put_u32le(out, meta_checksum);
+  put_u32le(out, 0);  // Reserved.
+  out.append(kFooterMagic, sizeof(kFooterMagic));
+  return out;
+}
+
+HlibContainer open_hlib(std::string_view bytes) {
+  if (bytes.size() < kHeaderSize + kFooterSize) {
+    fail_at(bytes.size(), "file too small to be an HLIB container "
+                          "(truncated?)");
+  }
+  if (!is_hlib(bytes)) fail_at(0, "bad magic (not an HLIB file)");
+  const auto version = static_cast<std::uint8_t>(bytes[4]);
+  if (version != kHlibVersion) {
+    fail_at(4, "unsupported HLIB version " + std::to_string(version) +
+               " (reader supports " + std::to_string(kHlibVersion) + ")");
+  }
+  // v1 writes the reserved header bytes as zero; anything else is
+  // corruption (no checksum covers the header itself).
+  for (std::size_t i = 5; i < kHeaderSize; ++i) {
+    if (bytes[i] != 0) {
+      fail_at(i, "nonzero reserved header byte (corrupted file?)");
+    }
+  }
+
+  const std::size_t footer = bytes.size() - kFooterSize;
+  if (std::memcmp(bytes.data() + footer + 24, kFooterMagic,
+                  sizeof(kFooterMagic)) != 0) {
+    fail_at(footer + 24, "missing footer magic (truncated or corrupted "
+                         "file?)");
+  }
+  const std::uint64_t meta_offset = get_u64le(bytes, footer);
+  const std::uint64_t meta_length = get_u64le(bytes, footer + 8);
+  const std::uint32_t meta_checksum = get_u32le(bytes, footer + 16);
+  if (meta_offset < kHeaderSize || meta_length > footer ||
+      meta_offset > footer - meta_length) {
+    fail_at(footer, "meta block out of bounds");
+  }
+  const std::string_view meta =
+      bytes.substr(static_cast<std::size_t>(meta_offset),
+                   static_cast<std::size_t>(meta_length));
+  if (fnv1a(meta) != meta_checksum) {
+    fail_at(static_cast<std::size_t>(meta_offset),
+            "meta block checksum mismatch (corrupted file?)");
+  }
+
+  HlibContainer container;
+  container.bytes = bytes;
+  ByteCursor cur(bytes, static_cast<std::size_t>(meta_offset),
+                 static_cast<std::size_t>(meta_offset + meta_length));
+  const std::uint64_t pool_count = cur.count("string pool count");
+  container.pool.reserve(pool_count);
+  for (std::uint64_t i = 0; i < pool_count; ++i) {
+    const std::uint64_t length = cur.varint("string length");
+    container.pool.emplace_back(
+        cur.take(static_cast<std::size_t>(length), "pool string"));
+  }
+  const std::uint64_t unit_count = cur.count("unit index count");
+  container.units.reserve(unit_count);
+  for (std::uint64_t i = 0; i < unit_count; ++i) {
+    HlibContainer::Unit unit;
+    unit.name_id = static_cast<format::StringId>(cur.varint("unit name id"));
+    unit.offset = cur.varint("unit offset");
+    unit.length = cur.varint("unit length");
+    unit.checksum = cur.fixed32("unit checksum");
+    if (unit.name_id >= container.pool.size()) {
+      cur.fail("unit name id " + std::to_string(unit.name_id) +
+               " out of range (pool size " +
+               std::to_string(container.pool.size()) + ")");
+    }
+    if (unit.offset < kHeaderSize || unit.length > meta_offset ||
+        unit.offset > meta_offset - unit.length) {
+      cur.fail("unit '" + std::string(container.pool[unit.name_id]) +
+               "' payload out of bounds");
+    }
+    container.units.push_back(unit);
+  }
+  if (!cur.done()) cur.fail("trailing bytes in meta block");
+  return container;
+}
+
+HliEntry decode_hlib_unit(const HlibContainer& container, std::size_t index) {
+  const HlibContainer::Unit& unit = container.units.at(index);
+  const auto begin = static_cast<std::size_t>(unit.offset);
+  const auto length = static_cast<std::size_t>(unit.length);
+  if (fnv1a(container.bytes.substr(begin, length)) != unit.checksum) {
+    fail_at(begin, "unit '" + std::string(container.unit_name(index)) +
+                   "' payload checksum mismatch (corrupted file?)");
+  }
+  ByteCursor cur(container.bytes, begin, begin + length);
+
+  HliEntry entry;
+  entry.unit_name = pool_string(container, cur.varint("unit name"), cur,
+                                "unit name");
+  entry.next_id = static_cast<ItemId>(cur.varint("next_id"));
+
+  const std::uint64_t line_count = cur.count("line count");
+  auto& lines = entry.line_table.mutable_lines();
+  lines.reserve(line_count);
+  for (std::uint64_t l = 0; l < line_count; ++l) {
+    LineEntry line;
+    line.line = static_cast<std::uint32_t>(cur.varint("line number"));
+    const std::uint64_t item_count = cur.count("line item count");
+    line.items.reserve(item_count);
+    for (std::uint64_t i = 0; i < item_count; ++i) {
+      ItemEntry item;
+      item.id = static_cast<ItemId>(cur.varint("item id"));
+      const std::uint8_t type = cur.byte("item type");
+      if (type > static_cast<std::uint8_t>(ItemType::ArgLoad)) {
+        cur.fail("bad item type " + std::to_string(type));
+      }
+      item.type = static_cast<ItemType>(type);
+      line.items.push_back(item);
+    }
+    lines.push_back(std::move(line));
+  }
+
+  const std::uint64_t region_count = cur.count("region count");
+  entry.root_region = static_cast<RegionId>(cur.varint("root region"));
+  entry.regions.reserve(region_count);
+  for (std::uint64_t ri = 0; ri < region_count; ++ri) {
+    RegionEntry region;
+    region.id = static_cast<RegionId>(cur.varint("region id"));
+    const std::uint8_t rtype = cur.byte("region type");
+    if (rtype > 1) cur.fail("bad region type " + std::to_string(rtype));
+    region.type = rtype == 1 ? RegionType::Loop : RegionType::Unit;
+    region.parent = static_cast<RegionId>(cur.varint("region parent"));
+    region.first_line = static_cast<std::uint32_t>(cur.varint("first line"));
+    region.last_line = static_cast<std::uint32_t>(cur.varint("last line"));
+    const std::uint64_t child_count = cur.count("child count");
+    region.children.reserve(child_count);
+    for (std::uint64_t i = 0; i < child_count; ++i) {
+      region.children.push_back(static_cast<RegionId>(cur.varint("child id")));
+    }
+
+    const std::uint64_t class_count = cur.count("class count");
+    region.classes.reserve(class_count);
+    for (std::uint64_t i = 0; i < class_count; ++i) {
+      EquivClass cls;
+      cls.id = static_cast<ItemId>(cur.varint("class id"));
+      const std::uint8_t flags = cur.byte("class flags");
+      if (flags > 0x0f) cur.fail("bad class flags " + std::to_string(flags));
+      cls.type = (flags & 1) != 0 ? EquivAccType::Maybe : EquivAccType::Definite;
+      cls.unknown_target = (flags & 2) != 0;
+      cls.has_write = (flags & 4) != 0;
+      cls.loop_invariant = (flags & 8) != 0;
+      cls.base = pool_string(container, cur.varint("class base"), cur,
+                             "class base");
+      cls.display = pool_string(container, cur.varint("class display"), cur,
+                                "class display");
+      cls.member_items = decode_id_list(cur, "class items");
+      cls.member_subclasses = decode_id_list(cur, "class subclasses");
+      region.classes.push_back(std::move(cls));
+    }
+
+    const std::uint64_t alias_count = cur.count("alias count");
+    region.aliases.reserve(alias_count);
+    for (std::uint64_t i = 0; i < alias_count; ++i) {
+      AliasEntry alias;
+      alias.classes = decode_id_list(cur, "alias classes");
+      region.aliases.push_back(std::move(alias));
+    }
+
+    const std::uint64_t lcdd_count = cur.count("lcdd count");
+    region.lcdds.reserve(lcdd_count);
+    for (std::uint64_t i = 0; i < lcdd_count; ++i) {
+      LcddEntry dep;
+      dep.src = static_cast<ItemId>(cur.varint("lcdd src"));
+      dep.dst = static_cast<ItemId>(cur.varint("lcdd dst"));
+      const std::uint8_t flags = cur.byte("lcdd flags");
+      if (flags > 3) cur.fail("bad lcdd flags " + std::to_string(flags));
+      dep.type = (flags & 1) != 0 ? DepType::Maybe : DepType::Definite;
+      if ((flags & 2) != 0) {
+        dep.distance = unzigzag(cur.varint("lcdd distance"));
+      }
+      region.lcdds.push_back(dep);
+    }
+
+    const std::uint64_t eff_count = cur.count("call effect count");
+    region.call_effects.reserve(eff_count);
+    for (std::uint64_t i = 0; i < eff_count; ++i) {
+      CallEffectEntry eff;
+      const std::uint8_t flags = cur.byte("call effect flags");
+      if (flags > 3) cur.fail("bad call effect flags " + std::to_string(flags));
+      eff.is_subregion = (flags & 1) != 0;
+      eff.unknown = (flags & 2) != 0;
+      const std::uint64_t key = cur.varint("call effect key");
+      if (eff.is_subregion) {
+        eff.subregion = static_cast<RegionId>(key);
+      } else {
+        eff.call_item = static_cast<ItemId>(key);
+      }
+      eff.ref_classes = decode_id_list(cur, "call effect ref");
+      eff.mod_classes = decode_id_list(cur, "call effect mod");
+      region.call_effects.push_back(std::move(eff));
+    }
+
+    entry.regions.push_back(std::move(region));
+  }
+  if (!cur.done()) {
+    cur.fail("trailing bytes in unit '" +
+             std::string(container.unit_name(index)) + "'");
+  }
+  return entry;
+}
+
+HliFile read_hlib(std::string_view bytes) {
+  const HlibContainer container = open_hlib(bytes);
+  HliFile file;
+  file.entries.reserve(container.units.size());
+  for (std::size_t i = 0; i < container.units.size(); ++i) {
+    file.entries.push_back(decode_hlib_unit(container, i));
+  }
+  return file;
+}
+
+HliFile read_any(std::string_view bytes) {
+  return is_hlib(bytes) ? read_hlib(bytes) : read_hli(bytes);
 }
 
 }  // namespace hli::serialize

@@ -16,9 +16,27 @@
 //   calleff item <id> unk <0|1> ref : ... mod : ...
 //   calleff region <id> unk <0|1> ref : ... mod : ...
 //   endregion / endunit
+//
+// Alongside the text format lives HLIB, a packed binary container for the
+// same data model (docs/hli-binary-format.md has the byte-level layout):
+//
+//   [8-byte header]  "HLIB" magic + version
+//   [unit payloads]  varint-encoded line/region/equiv/alias/LCDD/REF-MOD
+//                    tables; strings referenced by interned pool id
+//   [meta block]     string pool + per-unit index (name id, offset,
+//                    length, checksum)
+//   [32-byte footer] meta offset/length/checksum + end magic
+//
+// The index lives at a fixed offset from the end of the file, so a reader
+// can locate any unit after decoding only the meta block — the
+// demand-driven per-function import of paper §3.2.1, without tokenizing
+// the whole file.  `hli::HliStore` (store.hpp) builds on `open_hlib` /
+// `decode_hlib_unit` to do exactly that over an mmap.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "hli/format.hpp"
 #include "support/diagnostics.hpp"
@@ -31,5 +49,53 @@ namespace hli::serialize {
 /// Parses a serialized HLI file.  Throws support::CompileError with a
 /// line-numbered message on malformed input.
 [[nodiscard]] format::HliFile read_hli(std::string_view text);
+
+// --- HLIB binary container ---
+
+/// True when `bytes` starts with the HLIB magic (any version).
+[[nodiscard]] bool is_hlib(std::string_view bytes);
+
+/// Serializes a whole file into the HLIB binary container.
+[[nodiscard]] std::string write_hlib(const format::HliFile& file);
+
+/// Eagerly decodes an HLIB container (all units, all checksums verified).
+/// Throws support::CompileError with a byte-offset message on malformed
+/// or corrupted input.
+[[nodiscard]] format::HliFile read_hlib(std::string_view bytes);
+
+/// Reads either format, dispatching on the magic.
+[[nodiscard]] format::HliFile read_any(std::string_view bytes);
+
+/// Decoded HLIB container metadata: the string pool and per-unit index.
+/// Opening one touches only the header, footer, and meta block; unit
+/// payloads stay untouched until `decode_hlib_unit` asks for them.  The
+/// container borrows `bytes` — the caller keeps the backing storage
+/// (e.g. a support::MappedFile) alive.
+struct HlibContainer {
+  struct Unit {
+    format::StringId name_id = 0;
+    std::uint64_t offset = 0;    ///< Payload start, from file begin.
+    std::uint64_t length = 0;    ///< Payload byte count.
+    std::uint32_t checksum = 0;  ///< FNV-1a over the payload.
+  };
+
+  std::string_view bytes;               ///< The whole container.
+  /// Interned strings, by StringId — zero-copy views into `bytes`, so
+  /// opening a container allocates nothing per string.
+  std::vector<std::string_view> pool;
+  std::vector<Unit> units;              ///< In on-disk (file) order.
+
+  [[nodiscard]] std::string_view unit_name(std::size_t index) const {
+    return pool.at(units.at(index).name_id);
+  }
+};
+
+/// Validates header/footer/meta and decodes the pool + index.  Unit
+/// payload bytes are bounds-checked but not read.
+[[nodiscard]] HlibContainer open_hlib(std::string_view bytes);
+
+/// Decodes one unit payload (checksum-verified) into an HliEntry.
+[[nodiscard]] format::HliEntry decode_hlib_unit(const HlibContainer& container,
+                                                std::size_t index);
 
 }  // namespace hli::serialize

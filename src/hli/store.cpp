@@ -1,0 +1,93 @@
+#include "hli/store.hpp"
+
+namespace hli {
+
+HliStore::HliStore(std::string bytes) {
+  owned_ = std::move(bytes);
+  init(owned_);
+}
+
+HliStore::HliStore(support::MappedFile file) : file_(std::move(file)) {
+  init(file_.view());
+}
+
+HliStore HliStore::open(const std::string& path) {
+  // Prvalue return: guaranteed elision, so the deleted move never fires.
+  return HliStore(support::MappedFile::open(path));
+}
+
+void HliStore::init(std::string_view bytes) {
+  binary_ = serialize::is_hlib(bytes);
+  if (binary_) {
+    container_ = serialize::open_hlib(bytes);
+    slots_.reserve(container_.units.size());
+    for (std::size_t i = 0; i < container_.units.size(); ++i) {
+      auto slot = std::make_unique<Slot>();
+      slot->name = container_.unit_name(i);
+      slot->index = i;
+      slots_.push_back(std::move(slot));
+    }
+  } else {
+    // No per-unit index in the text format: parse everything now.
+    format::HliFile file = serialize::read_hli(bytes);
+    slots_.reserve(file.entries.size());
+    for (std::size_t i = 0; i < file.entries.size(); ++i) {
+      auto slot = std::make_unique<Slot>();
+      slot->name = file.entries[i].unit_name;
+      slot->index = i;
+      slot->entry = std::move(file.entries[i]);
+      std::call_once(slot->once, [] {});  // Mark decoded.
+      slot->decodes.store(1, std::memory_order_relaxed);
+      slots_.push_back(std::move(slot));
+    }
+    decoded_units_.store(slots_.size(), std::memory_order_relaxed);
+  }
+  by_name_.reserve(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    by_name_.emplace(slots_[i]->name, i);  // First unit wins on duplicates.
+  }
+}
+
+std::vector<std::string> HliStore::unit_names() const {
+  std::vector<std::string> names;
+  names.reserve(slots_.size());
+  for (const auto& slot : slots_) names.push_back(slot->name);
+  return names;
+}
+
+const HliStore::Slot* HliStore::find_slot(const std::string& name) const {
+  const auto it = by_name_.find(std::string_view(name));
+  return it == by_name_.end() ? nullptr : slots_[it->second].get();
+}
+
+void HliStore::decode_slot(const Slot& slot) const {
+  std::call_once(slot.once, [this, &slot] {
+    slot.entry = serialize::decode_hlib_unit(container_, slot.index);
+    slot.decodes.fetch_add(1, std::memory_order_relaxed);
+    decoded_units_.fetch_add(1, std::memory_order_relaxed);
+  });
+}
+
+const format::HliEntry* HliStore::get(const std::string& name) const {
+  const Slot* slot = find_slot(name);
+  if (slot == nullptr) return nullptr;
+  decode_slot(*slot);
+  return &slot->entry;
+}
+
+format::HliFile HliStore::import_all() const {
+  format::HliFile file;
+  file.entries.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    decode_slot(*slot);
+    file.entries.push_back(slot->entry);
+  }
+  return file;
+}
+
+std::size_t HliStore::decode_count(const std::string& name) const {
+  const Slot* slot = find_slot(name);
+  return slot == nullptr ? 0 : slot->decodes.load(std::memory_order_relaxed);
+}
+
+}  // namespace hli

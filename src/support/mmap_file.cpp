@@ -1,0 +1,84 @@
+#include "support/mmap_file.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "support/diagnostics.hpp"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define HLI_HAVE_MMAP 1
+#endif
+
+namespace hli::support {
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      map_size_(std::exchange(other.map_size_, 0)),
+      fallback_(std::move(other.fallback_)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    map_ = std::exchange(other.map_, nullptr);
+    map_size_ = std::exchange(other.map_size_, 0);
+    fallback_ = std::move(other.fallback_);
+  }
+  return *this;
+}
+
+void MappedFile::reset() noexcept {
+#if defined(HLI_HAVE_MMAP)
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+#endif
+  map_ = nullptr;
+  map_size_ = 0;
+  fallback_.clear();
+}
+
+namespace {
+
+/// Fallback path: slurp the file through a stream.  Throws on I/O errors.
+std::vector<char> read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw CompileError("cannot open '" + path + "'");
+  }
+  std::vector<char> bytes(std::istreambuf_iterator<char>(in), {});
+  if (in.bad()) {
+    throw CompileError("error reading '" + path + "'");
+  }
+  return bytes;
+}
+
+}  // namespace
+
+MappedFile MappedFile::open(const std::string& path) {
+  MappedFile file;
+#if defined(HLI_HAVE_MMAP)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw CompileError("cannot open '" + path + "'");
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+    void* map = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                       PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      file.map_ = map;
+      file.map_size_ = static_cast<std::size_t>(st.st_size);
+    }
+  }
+  ::close(fd);
+  if (file.map_ != nullptr) return file;
+#endif
+  file.fallback_ = read_all(path);
+  return file;
+}
+
+}  // namespace hli::support

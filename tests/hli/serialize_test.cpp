@@ -29,72 +29,10 @@ void foo(double* q, int n)
 }
 )";
 
-/// Structural equality of two HLI files, field by field.
+using testing::expect_hli_equal;
+/// Structural equality of two HLI files, field by field (shared helper).
 void expect_equal(const format::HliFile& a, const format::HliFile& b) {
-  ASSERT_EQ(a.entries.size(), b.entries.size());
-  for (std::size_t e = 0; e < a.entries.size(); ++e) {
-    const auto& ea = a.entries[e];
-    const auto& eb = b.entries[e];
-    EXPECT_EQ(ea.unit_name, eb.unit_name);
-    EXPECT_EQ(ea.root_region, eb.root_region);
-    EXPECT_EQ(ea.next_id, eb.next_id);
-    ASSERT_EQ(ea.line_table.lines().size(), eb.line_table.lines().size());
-    for (std::size_t l = 0; l < ea.line_table.lines().size(); ++l) {
-      const auto& la = ea.line_table.lines()[l];
-      const auto& lb = eb.line_table.lines()[l];
-      EXPECT_EQ(la.line, lb.line);
-      ASSERT_EQ(la.items.size(), lb.items.size());
-      for (std::size_t i = 0; i < la.items.size(); ++i) {
-        EXPECT_EQ(la.items[i].id, lb.items[i].id);
-        EXPECT_EQ(la.items[i].type, lb.items[i].type);
-      }
-    }
-    ASSERT_EQ(ea.regions.size(), eb.regions.size());
-    for (std::size_t r = 0; r < ea.regions.size(); ++r) {
-      const auto& ra = ea.regions[r];
-      const auto& rb = eb.regions[r];
-      EXPECT_EQ(ra.id, rb.id);
-      EXPECT_EQ(ra.type, rb.type);
-      EXPECT_EQ(ra.parent, rb.parent);
-      EXPECT_EQ(ra.children, rb.children);
-      EXPECT_EQ(ra.first_line, rb.first_line);
-      EXPECT_EQ(ra.last_line, rb.last_line);
-      ASSERT_EQ(ra.classes.size(), rb.classes.size());
-      for (std::size_t c = 0; c < ra.classes.size(); ++c) {
-        const auto& ca = ra.classes[c];
-        const auto& cb = rb.classes[c];
-        EXPECT_EQ(ca.id, cb.id);
-        EXPECT_EQ(ca.type, cb.type);
-        EXPECT_EQ(ca.base, cb.base);
-        EXPECT_EQ(ca.unknown_target, cb.unknown_target);
-        EXPECT_EQ(ca.has_write, cb.has_write);
-        EXPECT_EQ(ca.loop_invariant, cb.loop_invariant);
-        EXPECT_EQ(ca.member_items, cb.member_items);
-        EXPECT_EQ(ca.member_subclasses, cb.member_subclasses);
-        EXPECT_EQ(ca.display, cb.display);
-      }
-      ASSERT_EQ(ra.aliases.size(), rb.aliases.size());
-      for (std::size_t al = 0; al < ra.aliases.size(); ++al) {
-        EXPECT_EQ(ra.aliases[al].classes, rb.aliases[al].classes);
-      }
-      ASSERT_EQ(ra.lcdds.size(), rb.lcdds.size());
-      for (std::size_t d = 0; d < ra.lcdds.size(); ++d) {
-        EXPECT_EQ(ra.lcdds[d].src, rb.lcdds[d].src);
-        EXPECT_EQ(ra.lcdds[d].dst, rb.lcdds[d].dst);
-        EXPECT_EQ(ra.lcdds[d].type, rb.lcdds[d].type);
-        EXPECT_EQ(ra.lcdds[d].distance, rb.lcdds[d].distance);
-      }
-      ASSERT_EQ(ra.call_effects.size(), rb.call_effects.size());
-      for (std::size_t ce = 0; ce < ra.call_effects.size(); ++ce) {
-        EXPECT_EQ(ra.call_effects[ce].is_subregion, rb.call_effects[ce].is_subregion);
-        EXPECT_EQ(ra.call_effects[ce].call_item, rb.call_effects[ce].call_item);
-        EXPECT_EQ(ra.call_effects[ce].subregion, rb.call_effects[ce].subregion);
-        EXPECT_EQ(ra.call_effects[ce].ref_classes, rb.call_effects[ce].ref_classes);
-        EXPECT_EQ(ra.call_effects[ce].mod_classes, rb.call_effects[ce].mod_classes);
-        EXPECT_EQ(ra.call_effects[ce].unknown, rb.call_effects[ce].unknown);
-      }
-    }
-  }
+  expect_hli_equal(a, b);
 }
 
 TEST(SerializeTest, RoundTripPreservesEverything) {

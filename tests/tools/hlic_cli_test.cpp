@@ -46,6 +46,30 @@ std::string write_temp(const std::string& name, const std::string& content) {
   return path;
 }
 
+std::string write_temp_binary(const std::string& name,
+                              const std::string& bytes) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return path;
+}
+
+/// Like run_hlic but captures stdout alone — for --dump-hli output whose
+/// bytes must not be interleaved with diagnostics.
+RunResult run_hlic_stdout(const std::string& args) {
+  const std::string out_path = ::testing::TempDir() + "hlic_stdout.bin";
+  const std::string command = std::string(HLIC_PATH) + " " + args + " > " +
+                              out_path + " 2>/dev/null";
+  const int status = std::system(command.c_str());
+  RunResult result;
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::ifstream in(out_path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  result.output = std::move(buffer).str();
+  return result;
+}
+
 // A unit with loops and a call, so the serialized file has every table.
 constexpr const char* kProgram = R"(int a[16];
 int sum;
@@ -130,6 +154,53 @@ TEST(HlicCliTest, VerifyRejectsInvariantViolation) {
       << result.output;
   EXPECT_NE(result.output.find("call-item-uncovered"), std::string::npos)
       << result.output;
+}
+
+// --- HLIB binary containers through the same lint mode ---
+
+std::string build_hlib_bytes() {
+  return hli::serialize::write_hlib(build_hli_file());
+}
+
+TEST(HlicCliTest, VerifyAcceptsWellFormedBinaryFile) {
+  const std::string path = write_temp_binary("valid.hlib", build_hlib_bytes());
+  const RunResult result = run_hlic("--verify " + path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("ok ("), std::string::npos) << result.output;
+}
+
+TEST(HlicCliTest, VerifyRejectsTruncatedBinaryNamingOffset) {
+  const std::string bytes = build_hlib_bytes();
+  const std::string path =
+      write_temp_binary("truncated.hlib", bytes.substr(0, bytes.size() / 2));
+  const RunResult result = run_hlic("--verify " + path);
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("malformed HLI"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("HLIB error at offset"), std::string::npos)
+      << result.output;
+}
+
+TEST(HlicCliTest, VerifyRejectsBitFlippedBinaryNamingOffset) {
+  std::string bytes = build_hlib_bytes();
+  const std::size_t mid = bytes.size() / 3;  // Inside a unit payload.
+  bytes[mid] = static_cast<char>(bytes[mid] ^ 0x40);
+  const std::string path = write_temp_binary("bitflip.hlib", bytes);
+  const RunResult result = run_hlic("--verify " + path);
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("malformed HLI"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("offset"), std::string::npos) << result.output;
+}
+
+TEST(HlicCliTest, EmitBinaryDumpRoundTripsThroughVerify) {
+  const RunResult dump = run_hlic_stdout("--emit=binary --dump-hli wc");
+  ASSERT_EQ(dump.exit_code, 0);
+  ASSERT_TRUE(hli::serialize::is_hlib(dump.output));
+  const std::string path = write_temp_binary("dumped.hlib", dump.output);
+  const RunResult verify = run_hlic("--verify " + path);
+  EXPECT_EQ(verify.exit_code, 0) << verify.output;
+  EXPECT_NE(verify.output.find("ok ("), std::string::npos) << verify.output;
 }
 
 TEST(HlicCliTest, PipelineVerifyFlagCompilesWorkloadClean) {

@@ -2,7 +2,12 @@
 //
 //   hlic [options] <file.c | workload-name>...
 //
-//   --dump-hli        print the serialized HLI interchange file
+//   --dump-hli        write the serialized HLI interchange bytes to
+//                     stdout (text, or raw HLIB with --emit=binary)
+//   --emit=binary|text
+//                     interchange encoding for the front-end -> back-end
+//                     channel (default text; binary is the HLIB container
+//                     with demand-driven per-unit import)
 //   --pretty          print the HLI tables in Figure-2 style
 //   --dump-rtl        print the optimized RTL of every function
 //   --stats           print pass statistics (Table 2 counters, CSE, LICM)
@@ -15,9 +20,10 @@
 //                     run the HLI invariant verifier at every pass
 //                     boundary during compilation (default fatal)
 //   --verify          lint mode: treat each input as a serialized HLI
-//                     file, parse it and check every invariant; exits
-//                     nonzero on malformed input or any finding.  Usable
-//                     by any front-end emitting the format.
+//                     file (text or HLIB binary, auto-detected by magic),
+//                     parse it and check every invariant; exits nonzero
+//                     on malformed input or any finding.  Usable by any
+//                     front-end emitting the format.
 //   --list-workloads  list the built-in benchmark names
 //
 // Each positional argument is a path to a mini-C source file, or the name
@@ -60,11 +66,12 @@ struct CliOptions {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: hlic [--dump-hli] [--pretty] [--dump-rtl] [--stats]\n"
-               "            [--run] [--simulate=r4600|r10000] [--no-hli]\n"
+               "usage: hlic [--dump-hli] [--emit=binary|text] [--pretty]\n"
+               "            [--dump-rtl] [--stats] [--run]\n"
+               "            [--simulate=r4600|r10000] [--no-hli]\n"
                "            [--unroll[=N]] [--jobs N] [--verify-hli[=fatal|warn]]\n"
                "            <file.c | workload-name>...\n"
-               "       hlic --verify <file.hli>...\n"
+               "       hlic --verify <file.hli | file.hlib>...\n"
                "       hlic --list-workloads\n");
   return 2;
 }
@@ -99,6 +106,14 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.pipeline.use_hli = false;
     } else if (arg == "--verify") {
       options.verify_files = true;
+    } else if (arg == "--emit=binary") {
+      options.pipeline.hli_encoding = driver::HliEncoding::Binary;
+    } else if (arg == "--emit=text") {
+      options.pipeline.hli_encoding = driver::HliEncoding::Text;
+    } else if (arg.rfind("--emit=", 0) == 0) {
+      std::fprintf(stderr, "hlic: --emit expects 'binary' or 'text', got '%s'\n",
+                   arg.c_str() + 7);
+      return false;
     } else if (arg == "--verify-hli" || arg == "--verify-hli=fatal") {
       options.pipeline.verify_hli = driver::VerifyMode::Fatal;
     } else if (arg == "--verify-hli=warn") {
@@ -160,7 +175,7 @@ bool load_source(const std::string& input, std::string& source) {
 /// is run through the full invariant verifier with the differential
 /// conservativeness audit enabled.
 int verify_hli_file(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "hlic: cannot open '%s'\n", path.c_str());
     return 1;
@@ -172,9 +187,11 @@ int verify_hli_file(const std::string& path) {
     return 1;
   }
 
+  // Dispatch on the magic: HLIB containers get the binary reader (which
+  // verifies every checksum), anything else the text parser.
   hli::format::HliFile file;
   try {
-    file = serialize::read_hli(std::move(buffer).str());
+    file = serialize::read_any(std::move(buffer).str());
   } catch (const support::CompileError& e) {
     std::fprintf(stderr, "hlic: %s: malformed HLI: %s\n", path.c_str(),
                  e.what());
@@ -200,7 +217,10 @@ int verify_hli_file(const std::string& path) {
 }
 
 int emit(const CliOptions& options, const driver::CompiledProgram& compiled) {
-  if (options.dump_hli) std::fputs(compiled.hli_text.c_str(), stdout);
+  if (options.dump_hli) {
+    // fwrite, not fputs: HLIB interchange bytes contain NULs.
+    std::fwrite(compiled.hli_text.data(), 1, compiled.hli_text.size(), stdout);
+  }
   if (options.pretty) std::fputs(dump::render_file(compiled.hli).c_str(), stdout);
   if (options.dump_rtl) {
     for (const backend::RtlFunction& func : compiled.rtl.functions) {
