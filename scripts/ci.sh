@@ -34,12 +34,32 @@ stage_tier1() {
   ./build/bench/bench_serialize --json build/BENCH_serialize.json
 }
 
+stage_fuzz() {
+  cmake -B build "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j "$JOBS" --target hlifuzz
+  # Bounded differential smoke: fixed seed range, full 14-config matrix,
+  # fails on any divergence.  ~10s; a CI failure reproduces locally with
+  # the printed seed alone.
+  ./build/tools/hlifuzz --seed 1 --iterations 200 --quiet \
+    --json build/FUZZ_smoke.json
+  ./build/tools/hlifuzz --seed 90001 --iterations 50 --features all --quiet
+  # Self-test: planted miscompiles must be detected and reduced.
+  ./build/tools/hlifuzz --seed 1 --iterations 2 --plant-bug drop-store \
+    --no-reduce --quiet
+  ./build/tools/hlifuzz --seed 1 --iterations 2 --plant-bug negate-branch \
+    --no-reduce --quiet
+}
+
 stage_asan() {
   cmake -B build-asan "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=Debug \
     -DSANITIZE=address,undefined
   cmake --build build-asan -j "$JOBS"
   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
     ctest --test-dir build-asan -j "$JOBS" --output-on-failure
+  # Fuzz smoke under ASan/UBSan: interpreter + maintenance code on random
+  # programs (fewer iterations; sanitized runs are ~10x slower).
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1 \
+    ./build-asan/tools/hlifuzz --seed 1 --iterations 25 --quiet
 }
 
 stage_tsan() {
@@ -68,6 +88,7 @@ stage_bench() {
 }
 
 want tier1 "${STAGES[@]}" && stage_tier1
+want fuzz  "${STAGES[@]}" && stage_fuzz
 want asan  "${STAGES[@]}" && stage_asan
 want tsan  "${STAGES[@]}" && stage_tsan
 want tidy  "${STAGES[@]}" && stage_tidy

@@ -138,6 +138,21 @@ UnrollStats unroll_function(RtlFunction& func, const UnrollOptions& options) {
       const std::size_t seg_end = shape.jump;
       const std::set<Reg> carried = upward_exposed(func, seg_begin, seg_end);
 
+      // Registers read anywhere outside the copied segment must also keep
+      // their names: renaming a live-out definition leaves the post-loop
+      // read seeing the first copy's (stale) value instead of the last
+      // iteration's.  Found by differential fuzzing (seed 3334): a loop
+      // whose body only overwrites an accumulator read after the loop has
+      // no upward-exposed use of it, so `carried` alone misses it.
+      std::set<Reg> live_outside;
+      for (std::size_t k = 0; k < func.insns.size(); ++k) {
+        if (k >= seg_begin && k < seg_end) continue;
+        const Insn& insn = func.insns[k];
+        if (insn.rs1 != kNoReg) live_outside.insert(insn.rs1);
+        if (insn.rs2 != kNoReg) live_outside.insert(insn.rs2);
+        for (const Reg r : insn.args) live_outside.insert(r);
+      }
+
       std::vector<Insn> expanded;
       for (std::size_t k = seg_begin; k < seg_end; ++k) {
         expanded.push_back(func.insns[k]);
@@ -156,7 +171,8 @@ UnrollStats unroll_function(RtlFunction& func, const UnrollOptions& options) {
           if (insn.rs2 != kNoReg) rename_use(insn.rs2);
           for (Reg& r : insn.args) rename_use(r);
           const Reg w = insn.op == Opcode::Store ? kNoReg : insn.rd;
-          if (w != kNoReg && !carried.contains(w)) {
+          if (w != kNoReg && !carried.contains(w) &&
+              !live_outside.contains(w)) {
             const Reg fresh = func.fresh_reg();
             rename[w] = fresh;
             insn.rd = fresh;

@@ -1,0 +1,128 @@
+#include "frontend/build.hpp"
+
+#include <utility>
+
+namespace hli::frontend {
+
+VarDecl* AstBuilder::global(std::string name, const Type* type, Expr* init) {
+  VarDecl* decl =
+      prog_.make_var(std::move(name), type, StorageClass::Global, next_line());
+  decl->init = init;
+  prog_.globals.push_back(decl);
+  return decl;
+}
+
+FuncDecl* AstBuilder::function(std::string name, const Type* return_type) {
+  FuncDecl* func = prog_.make_func(std::move(name), return_type, next_line());
+  prog_.functions.push_back(func);
+  return func;
+}
+
+VarDecl* AstBuilder::param(FuncDecl* func, std::string name, const Type* type) {
+  VarDecl* decl =
+      prog_.make_var(std::move(name), type, StorageClass::Param, func->loc());
+  decl->owner = func;
+  func->params.push_back(decl);
+  return decl;
+}
+
+BlockStmt* AstBuilder::body(FuncDecl* func) {
+  func->body = block();
+  return func->body;
+}
+
+VarDecl* AstBuilder::local(FuncDecl* func, std::string name, const Type* type,
+                           Expr* init) {
+  VarDecl* decl =
+      prog_.make_var(std::move(name), type, StorageClass::Local, here());
+  decl->owner = func;
+  decl->init = init;
+  return decl;
+}
+
+Expr* AstBuilder::lit(std::int64_t value) {
+  return prog_.make_expr<IntLiteralExpr>(value, here());
+}
+
+Expr* AstBuilder::flit(double value, bool single_precision) {
+  return prog_.make_expr<FloatLiteralExpr>(value, single_precision, here());
+}
+
+Expr* AstBuilder::ref(VarDecl* decl) {
+  auto* expr = prog_.make_expr<VarRefExpr>(decl->name(), here());
+  expr->decl = decl;
+  return expr;
+}
+
+Expr* AstBuilder::index(Expr* base, Expr* subscript) {
+  return prog_.make_expr<ArrayIndexExpr>(base, subscript, here());
+}
+
+Expr* AstBuilder::unary(UnaryOp op, Expr* operand) {
+  return prog_.make_expr<UnaryExpr>(op, operand, here());
+}
+
+Expr* AstBuilder::binary(BinaryOp op, Expr* lhs, Expr* rhs) {
+  return prog_.make_expr<BinaryExpr>(op, lhs, rhs, here());
+}
+
+Expr* AstBuilder::assign(Expr* lhs, Expr* rhs, AssignOp op) {
+  return prog_.make_expr<AssignExpr>(op, lhs, rhs, here());
+}
+
+Expr* AstBuilder::call(const FuncDecl* callee, std::vector<Expr*> args) {
+  return call(callee->name(), std::move(args));
+}
+
+Expr* AstBuilder::call(std::string callee, std::vector<Expr*> args) {
+  auto* expr =
+      prog_.make_expr<CallExpr>(std::move(callee), std::move(args), here());
+  expr->callee_decl = prog_.find_function(expr->callee);
+  return expr;
+}
+
+Expr* AstBuilder::cond(Expr* c, Expr* then_expr, Expr* else_expr) {
+  return prog_.make_expr<ConditionalExpr>(c, then_expr, else_expr, here());
+}
+
+BlockStmt* AstBuilder::block() {
+  return prog_.make_stmt<BlockStmt>(here());
+}
+
+void AstBuilder::append(BlockStmt* block, Stmt* stmt) {
+  block->stmts.push_back(stmt);
+}
+
+Stmt* AstBuilder::decl_stmt(VarDecl* decl) {
+  return prog_.make_stmt<DeclStmt>(decl, next_line());
+}
+
+Stmt* AstBuilder::expr_stmt(Expr* expr) {
+  return prog_.make_stmt<ExprStmt>(expr, next_line());
+}
+
+Stmt* AstBuilder::if_stmt(Expr* cond, Stmt* then_stmt, Stmt* else_stmt) {
+  return prog_.make_stmt<IfStmt>(cond, then_stmt, else_stmt, next_line());
+}
+
+Stmt* AstBuilder::while_stmt(Expr* cond, Stmt* body) {
+  return prog_.make_stmt<WhileStmt>(cond, body, next_line());
+}
+
+Stmt* AstBuilder::for_stmt(Stmt* init, Expr* cond, Expr* step, Stmt* body) {
+  return prog_.make_stmt<ForStmt>(init, cond, step, body, next_line());
+}
+
+Stmt* AstBuilder::return_stmt(Expr* value) {
+  return prog_.make_stmt<ReturnStmt>(value, next_line());
+}
+
+Stmt* AstBuilder::break_stmt() {
+  return prog_.make_stmt<BreakStmt>(next_line());
+}
+
+Stmt* AstBuilder::continue_stmt() {
+  return prog_.make_stmt<ContinueStmt>(next_line());
+}
+
+}  // namespace hli::frontend

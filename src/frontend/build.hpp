@@ -1,0 +1,92 @@
+// Programmatic AST construction.  The parser builds a Program from source
+// text; AstBuilder builds one directly, which is what the fuzz generator
+// (src/testing/generator.cpp) and any test that wants a tree without
+// hand-writing mini-C use.  The builder assigns monotonically increasing
+// synthetic source lines so a built tree can feed HLI generation directly;
+// a tree rendered with frontend::print_program (print.hpp) and re-parsed
+// gets real coordinates from the lexer instead.
+//
+// The builder does NOT run sema: name resolution on VarRef/Call nodes is
+// filled in eagerly (the builder works from resolved VarDecl*/callee
+// names), but derived attributes (expression types, address-taken flags,
+// loop ids) stay unset until Sema::run — or until the printed source is
+// re-compiled through compile_to_ast, which is how the fuzz harness uses
+// it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+
+namespace hli::frontend {
+
+class AstBuilder {
+ public:
+  AstBuilder() = default;
+
+  [[nodiscard]] Program& program() { return prog_; }
+  [[nodiscard]] Program take() { return std::move(prog_); }
+
+  // --- types -------------------------------------------------------------
+  [[nodiscard]] const Type* void_type() { return prog_.types.void_type(); }
+  [[nodiscard]] const Type* int_type() { return prog_.types.int_type(); }
+  [[nodiscard]] const Type* double_type() { return prog_.types.double_type(); }
+  [[nodiscard]] const Type* pointer_to(const Type* elem) {
+    return prog_.types.pointer_to(elem);
+  }
+  [[nodiscard]] const Type* array_of(const Type* elem, std::uint64_t n) {
+    return prog_.types.array_of(elem, n);
+  }
+
+  // --- declarations ------------------------------------------------------
+  /// File-scope variable, registered in Program::globals.
+  VarDecl* global(std::string name, const Type* type, Expr* init = nullptr);
+
+  /// A function definition shell; fill params with param() and attach a
+  /// body with body().  Leaving the body null makes it an extern
+  /// declaration (e.g. `void emit(int v);`).
+  FuncDecl* function(std::string name, const Type* return_type);
+  VarDecl* param(FuncDecl* func, std::string name, const Type* type);
+  BlockStmt* body(FuncDecl* func);
+
+  /// Function-scope variable owned by `func`; wrap in decl_stmt() to place
+  /// it in a block.
+  VarDecl* local(FuncDecl* func, std::string name, const Type* type,
+                 Expr* init = nullptr);
+
+  // --- expressions -------------------------------------------------------
+  Expr* lit(std::int64_t value);
+  Expr* flit(double value, bool single_precision = false);
+  Expr* ref(VarDecl* decl);
+  Expr* index(Expr* base, Expr* subscript);
+  Expr* unary(UnaryOp op, Expr* operand);
+  Expr* binary(BinaryOp op, Expr* lhs, Expr* rhs);
+  Expr* assign(Expr* lhs, Expr* rhs, AssignOp op = AssignOp::None);
+  Expr* call(const FuncDecl* callee, std::vector<Expr*> args);
+  Expr* call(std::string callee, std::vector<Expr*> args);
+  Expr* cond(Expr* c, Expr* then_expr, Expr* else_expr);
+
+  // --- statements --------------------------------------------------------
+  BlockStmt* block();
+  void append(BlockStmt* block, Stmt* stmt);
+  Stmt* decl_stmt(VarDecl* decl);
+  Stmt* expr_stmt(Expr* expr);
+  Stmt* if_stmt(Expr* cond, Stmt* then_stmt, Stmt* else_stmt = nullptr);
+  Stmt* while_stmt(Expr* cond, Stmt* body);
+  Stmt* for_stmt(Stmt* init, Expr* cond, Expr* step, Stmt* body);
+  Stmt* return_stmt(Expr* value = nullptr);
+  Stmt* break_stmt();
+  Stmt* continue_stmt();
+
+ private:
+  /// Next synthetic source line; one line per statement-ish node keeps the
+  /// line table non-degenerate if the built tree feeds HLI gen directly.
+  [[nodiscard]] SourceLoc here() { return {line_, 1}; }
+  [[nodiscard]] SourceLoc next_line() { return {line_++, 1}; }
+
+  Program prog_;
+  std::uint32_t line_ = 1;
+};
+
+}  // namespace hli::frontend

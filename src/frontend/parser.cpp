@@ -151,8 +151,11 @@ Program Parser::parse_program() {
 void Parser::parse_top_level(Program& prog) {
   if (!at_type_keyword()) {
     diags_.error(peek().loc, "expected declaration at file scope");
-    synchronize();
-    if (check(TokenKind::Semicolon)) advance();
+    // Force progress to the next plausible declaration start.  The
+    // statement-boundary tokens synchronize() stops at without consuming
+    // (`}`, `if`, `for`, ...) are not progress at file scope: leaving one
+    // current re-reported the same token forever.
+    while (!check(TokenKind::End) && !at_type_keyword()) advance();
     return;
   }
   const Type* base = parse_type_specifier(prog);

@@ -1,0 +1,27 @@
+// AST -> mini-C source renderer, the inverse of the lexer+parser: the
+// printed text of any well-formed Program re-parses to an equivalent tree.
+// Every declaration and statement lands on its own line (operands fully
+// parenthesized), which is exactly the shape the line-granular
+// delta-debugging reducer (src/testing/reduce.hpp) wants, and makes the
+// printed line number of a statement its eventual HLI line-table key.
+#pragma once
+
+#include <string>
+
+#include "frontend/ast.hpp"
+
+namespace hli::frontend {
+
+/// Renders a whole translation unit: globals first, then functions in
+/// declaration order (externs as prototypes).
+[[nodiscard]] std::string print_program(const Program& prog);
+
+/// Renders one expression, fully parenthesized.
+[[nodiscard]] std::string print_expr(const Expr& expr);
+
+/// Renders `type name` as a mini-C declarator, e.g. `int a[8][16]`,
+/// `double* p`.
+[[nodiscard]] std::string print_declarator(const Type& type,
+                                           const std::string& name);
+
+}  // namespace hli::frontend

@@ -1,0 +1,319 @@
+#include "testing/diff.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "backend/interp.hpp"
+#include "driver/parallel.hpp"
+#include "frontend/sema.hpp"
+#include "hli/builder.hpp"
+#include "hli/serialize.hpp"
+#include "hli/store.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hli::testing {
+
+namespace {
+
+/// Serialized HLI for `source` in the requested encoding, built through
+/// the same front-end + builder the pipeline uses.  This is the
+/// "front-end ran yesterday, back-end imports the file today" channel.
+std::string build_hli_bytes(const std::string& source,
+                            const driver::PipelineOptions& options,
+                            bool binary) {
+  support::DiagnosticEngine diags;
+  frontend::Program prog = frontend::compile_to_ast(source, diags);
+  const format::HliFile file = builder::build_hli(prog, options.hli_build);
+  return binary ? serialize::write_hlib(file) : serialize::write_hli(file);
+}
+
+void apply_defect(backend::RtlProgram& rtl, PlantedDefect defect) {
+  backend::RtlFunction* main_fn = rtl.find_function("main");
+  if (main_fn == nullptr) return;
+  auto& insns = main_fn->insns;
+  switch (defect) {
+    case PlantedDefect::None:
+      return;
+    case PlantedDefect::DropStore:
+      for (std::size_t i = insns.size(); i-- > 0;) {
+        if (insns[i].op == backend::Opcode::Store) {
+          insns.erase(insns.begin() + static_cast<std::ptrdiff_t>(i));
+          return;
+        }
+      }
+      return;
+    case PlantedDefect::NegateBranch:
+      for (auto& insn : insns) {
+        if (insn.op == backend::Opcode::BranchZ) {
+          insn.op = backend::Opcode::BranchNZ;
+          return;
+        }
+        if (insn.op == backend::Opcode::BranchNZ) {
+          insn.op = backend::Opcode::BranchZ;
+          return;
+        }
+      }
+      return;
+  }
+}
+
+RunObservation observe(const driver::CompiledProgram& compiled,
+                       std::uint64_t max_insns) {
+  RunObservation obs;
+  obs.compile_ok = true;
+  // Generated programs are tiny (a few KB of globals, <=16K-trip nests):
+  // a small arena and insn budget keep a 13-config differential run
+  // cheap, and a budget trip still flags the config as divergent.
+  backend::InterpOptions interp;
+  interp.memory_bytes = 4u << 20;
+  interp.max_insns = max_insns;
+  const backend::RunResult run =
+      backend::run_program(compiled.rtl, "main", nullptr, interp);
+  obs.run_ok = run.ok;
+  obs.error = run.error;
+  obs.return_value = run.return_value;
+  obs.output_hash = run.output_hash;
+  obs.emit_count = run.emit_count;
+  obs.dynamic_insns = run.dynamic_insns;
+  return obs;
+}
+
+std::string rtl_dump(const backend::RtlProgram& rtl) {
+  std::string out;
+  for (const backend::RtlFunction& fn : rtl.functions) {
+    out += backend::to_string(fn);
+    out += '\n';
+  }
+  return out;
+}
+
+/// Fields that must agree between baseline and a config.  dynamic_insns
+/// deliberately excluded: optimizations exist to change it.
+void compare(const RunObservation& base, const RunObservation& got,
+             const std::string& config, std::vector<Divergence>& out) {
+  std::ostringstream detail;
+  if (base.run_ok != got.run_ok || base.error != got.error) {
+    detail << "trap: baseline={ok=" << base.run_ok << " err='" << base.error
+           << "'} got={ok=" << got.run_ok << " err='" << got.error << "'}; ";
+  }
+  if (base.run_ok && got.run_ok) {
+    if (base.return_value != got.return_value) {
+      detail << "return_value: baseline=" << base.return_value
+             << " got=" << got.return_value << "; ";
+    }
+    if (base.output_hash != got.output_hash) {
+      detail << "output_hash: baseline=" << base.output_hash
+             << " got=" << got.output_hash << "; ";
+    }
+    if (base.emit_count != got.emit_count) {
+      detail << "emit_count: baseline=" << base.emit_count
+             << " got=" << got.emit_count << "; ";
+    }
+  }
+  std::string text = detail.str();
+  if (!text.empty()) out.push_back({config, std::move(text)});
+}
+
+DiffConfig make_config(std::string name, bool use_hli) {
+  DiffConfig cfg;
+  cfg.name = std::move(name);
+  cfg.options.use_hli = use_hli;
+  cfg.options.verify_hli =
+      use_hli ? driver::VerifyMode::Fatal : driver::VerifyMode::Off;
+  cfg.options.enable_cse = false;
+  cfg.options.enable_constfold = false;
+  cfg.options.enable_dce = false;
+  cfg.options.enable_licm = false;
+  cfg.options.enable_unroll = false;
+  cfg.options.enable_sched = false;
+  return cfg;
+}
+
+void enable_all(driver::PipelineOptions& options) {
+  options.enable_cse = true;
+  options.enable_constfold = true;
+  options.enable_dce = true;
+  options.enable_licm = true;
+  options.enable_unroll = true;
+  options.enable_sched = true;
+}
+
+}  // namespace
+
+const char* planted_defect_name(PlantedDefect defect) {
+  switch (defect) {
+    case PlantedDefect::None: return "none";
+    case PlantedDefect::DropStore: return "drop-store";
+    case PlantedDefect::NegateBranch: return "negate-branch";
+  }
+  return "none";
+}
+
+bool parse_planted_defect(const std::string& text, PlantedDefect& out) {
+  if (text == "none") {
+    out = PlantedDefect::None;
+  } else if (text == "drop-store") {
+    out = PlantedDefect::DropStore;
+  } else if (text == "negate-branch") {
+    out = PlantedDefect::NegateBranch;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+DiffConfig baseline_config() { return make_config("baseline", false); }
+
+std::vector<DiffConfig> default_matrix() {
+  std::vector<DiffConfig> matrix;
+
+  {  // All native optimizations, no HLI: GCC-local disambiguation only.
+    DiffConfig cfg = make_config("nohli-all", false);
+    enable_all(cfg.options);
+    matrix.push_back(std::move(cfg));
+  }
+  // Each pass alone under HLI: a miscompile lands on the guilty pass's
+  // config name instead of hiding inside the all-on pipeline.
+  const struct {
+    const char* name;
+    bool driver::PipelineOptions::* flag;
+  } singles[] = {
+      {"hli-cse", &driver::PipelineOptions::enable_cse},
+      {"hli-constfold", &driver::PipelineOptions::enable_constfold},
+      {"hli-dce", &driver::PipelineOptions::enable_dce},
+      {"hli-licm", &driver::PipelineOptions::enable_licm},
+      {"hli-unroll", &driver::PipelineOptions::enable_unroll},
+      {"hli-sched", &driver::PipelineOptions::enable_sched},
+  };
+  for (const auto& single : singles) {
+    DiffConfig cfg = make_config(single.name, true);
+    cfg.options.*single.flag = true;
+    matrix.push_back(std::move(cfg));
+  }
+  {
+    DiffConfig cfg = make_config("hli-all", true);
+    enable_all(cfg.options);
+    matrix.push_back(std::move(cfg));
+  }
+  {  // Full -O2 shape: hard registers + second scheduling pass.
+    DiffConfig cfg = make_config("hli-all-regalloc", true);
+    enable_all(cfg.options);
+    cfg.options.enable_regalloc = true;
+    matrix.push_back(std::move(cfg));
+  }
+  {  // In-order machine model: different scheduling priorities, same answer.
+    DiffConfig cfg = make_config("hli-sched-r4600", true);
+    enable_all(cfg.options);
+    cfg.options.sched_machine = machine::r4600();
+    matrix.push_back(std::move(cfg));
+  }
+  {  // HLIB binary encoding of the interchange file.
+    DiffConfig cfg = make_config("hli-binary", true);
+    enable_all(cfg.options);
+    cfg.options.hli_encoding = driver::HliEncoding::Binary;
+    matrix.push_back(std::move(cfg));
+  }
+  {  // Round-trip through an external text-format HliStore.
+    DiffConfig cfg = make_config("hli-store-text", true);
+    enable_all(cfg.options);
+    cfg.channel = Channel::StoreText;
+    matrix.push_back(std::move(cfg));
+  }
+  {  // Round-trip through an external mmap-style HLIB HliStore.
+    DiffConfig cfg = make_config("hli-store-binary", true);
+    enable_all(cfg.options);
+    cfg.channel = Channel::StoreBinary;
+    matrix.push_back(std::move(cfg));
+  }
+  {  // Thread-pool compile: results must be byte-identical to serial.
+    DiffConfig cfg = make_config("hli-parallel", true);
+    enable_all(cfg.options);
+    cfg.parallel_leg = true;
+    matrix.push_back(std::move(cfg));
+  }
+  return matrix;
+}
+
+DiffResult run_differential(const std::string& source,
+                            const std::vector<DiffConfig>& matrix,
+                            PlantedDefect defect, std::uint64_t max_insns) {
+  DiffResult result;
+
+  {
+    const DiffConfig base = baseline_config();
+    try {
+      driver::CompiledProgram compiled =
+          driver::compile_source(source, base.options);
+      result.baseline = observe(compiled, max_insns);
+    } catch (const support::CompileError& e) {
+      result.invalid_input = true;
+      result.invalid_reason = e.what();
+      return result;
+    }
+    if (!result.baseline.run_ok &&
+        result.baseline.error.find("instruction budget") != std::string::npos) {
+      // A runaway baseline means the generator's termination discipline
+      // broke; treat as invalid input rather than comparing timeouts.
+      result.invalid_input = true;
+      result.invalid_reason = "baseline exceeded interpreter budget";
+      return result;
+    }
+  }
+
+  for (const DiffConfig& cfg : matrix) {
+    driver::PipelineOptions options = cfg.options;
+    std::unique_ptr<HliStore> store;
+    RunObservation obs;
+    try {
+      if (cfg.channel != Channel::Direct) {
+        store = std::make_unique<HliStore>(build_hli_bytes(
+            source, options, cfg.channel == Channel::StoreBinary));
+        options.hli_store = store.get();
+      }
+      driver::CompiledProgram compiled = driver::compile_source(source, options);
+      if (cfg.parallel_leg) {
+        const std::vector<std::string> sources{source, source};
+        std::vector<driver::CompiledProgram> many =
+            driver::compile_many(sources, options, 2);
+        const std::string serial = rtl_dump(compiled.rtl);
+        for (std::size_t i = 0; i < many.size(); ++i) {
+          if (rtl_dump(many[i].rtl) != serial) {
+            result.divergences.push_back(
+                {cfg.name, "compile_many copy " + std::to_string(i) +
+                               " RTL differs from serial compile; "});
+          }
+        }
+      }
+      apply_defect(compiled.rtl, defect);
+      obs = observe(compiled, max_insns);
+    } catch (const support::CompileError& e) {
+      // Baseline compiled, this config didn't: verifier finding or a
+      // config-dependent front/back-end fault — a divergence either way.
+      result.divergences.push_back(
+          {cfg.name, std::string("compile failed: ") + e.what() + "; "});
+      continue;
+    }
+    compare(result.baseline, obs, cfg.name, result.divergences);
+  }
+  return result;
+}
+
+std::string describe(const DiffResult& result) {
+  std::ostringstream out;
+  if (result.invalid_input) {
+    out << "invalid input: " << result.invalid_reason << "\n";
+    return out.str();
+  }
+  out << "baseline: ok=" << result.baseline.run_ok
+      << " return=" << result.baseline.return_value
+      << " output_hash=" << result.baseline.output_hash
+      << " emits=" << result.baseline.emit_count
+      << " insns=" << result.baseline.dynamic_insns << "\n";
+  for (const Divergence& d : result.divergences) {
+    out << "DIVERGENCE [" << d.config << "]: " << d.detail << "\n";
+  }
+  if (result.divergences.empty()) out << "all configurations agree\n";
+  return out.str();
+}
+
+}  // namespace hli::testing

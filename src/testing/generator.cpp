@@ -1,0 +1,1194 @@
+#include "testing/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "frontend/build.hpp"
+#include "frontend/print.hpp"
+#include "support/string_utils.hpp"
+
+namespace hli::testing {
+
+namespace {
+
+using frontend::AssignOp;
+using frontend::AstBuilder;
+using frontend::BinaryOp;
+using frontend::BlockStmt;
+using frontend::Expr;
+using frontend::FuncDecl;
+using frontend::Stmt;
+using frontend::UnaryOp;
+using frontend::VarDecl;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG: splitmix64.  Not std::mt19937 + distributions — those
+// leave the exact stream implementation-defined, and a seed must reproduce
+// the same program on every platform and standard library.
+// ---------------------------------------------------------------------------
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ull) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n); 0 when n == 0.
+  std::uint64_t range(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+  /// Uniform in [lo, hi], inclusive.
+  std::int64_t pick(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(range(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+  bool chance(unsigned percent) { return range(100) < percent; }
+
+ private:
+  std::uint64_t state_;
+};
+
+// ---------------------------------------------------------------------------
+// Magnitude discipline.  Register arithmetic is 64-bit host arithmetic in
+// the interpreter, so signed overflow there is real UB (and UBSan aborts
+// the CI fuzz stage).  Every generated expression carries a conservative
+// magnitude bound; combinations that could exceed kCapBound get masked
+// back down to 20 bits.  Memory is 32-bit, so loads are born at 2^31.
+// ---------------------------------------------------------------------------
+
+constexpr double kElemBound = 2147483648.0;        // 2^31: any 32-bit load.
+constexpr double kMaskedBound = 1048576.0;         // 2^20: after `& 0xFFFFF`.
+constexpr double kSmallBound = kMaskedBound;       // multiplication operand cap.
+constexpr double kCapBound = 17592186044416.0;     // 2^44: per-node ceiling.
+constexpr std::int64_t kMask = 1048575;            // 0xFFFFF.
+constexpr double kTripCap = 16384.0;               // max iterations of a nest.
+
+struct Val {
+  Expr* expr = nullptr;
+  double bound = 0.0;
+};
+
+struct Scalar {
+  VarDecl* decl = nullptr;
+  double bound = kElemBound;
+  bool assignable = true;
+  bool is_global = false;
+};
+
+struct ArrayInfo {
+  VarDecl* decl = nullptr;
+  std::uint64_t rows = 0;  ///< 0 for 1-D arrays.
+  std::uint64_t cols = 0;  ///< Extent (1-D) or row length (2-D); power of 2.
+};
+
+/// An in-scope counted loop variable: value always within [0, bound).
+struct LoopVar {
+  VarDecl* decl = nullptr;
+  std::int64_t bound = 0;
+};
+
+struct Helper {
+  FuncDecl* fn = nullptr;
+  enum Kind : std::uint8_t {
+    kPureInt,       ///< int h(int a, int b): scalar math, may read arrays.
+    kPtrReduce,     ///< int h(int* p, int* q): reduction over 16 elements.
+    kPtrTransform,  ///< void h(int* p, int* q): 16-element store loop.
+    kScalarPut,     ///< void h(int* p, int v): *p = f(v).
+    kScalarGet,     ///< int h(int* p): read through the pointer.
+    kWrapper,       ///< void h(int* p, int* q): forwards to earlier helpers.
+  } kind = kPureInt;
+  double return_bound = 0.0;
+};
+
+const std::vector<std::string> kFeatureNames = {
+    "loops",        "nested-loops", "arrays",      "arrays-2d",
+    "pointers",     "calls",        "if",          "while",
+    "conditional",  "break-continue", "compound-assign", "inc-dec",
+    "div-rem",      "shifts",       "float",
+};
+
+// ---------------------------------------------------------------------------
+// The generator proper.
+// ---------------------------------------------------------------------------
+
+class Gen {
+ public:
+  explicit Gen(const GenOptions& options)
+      : opts_(options), rng_(options.seed) {}
+
+  frontend::Program run() {
+    declare_externs();
+    declare_globals();
+    if (has(kCalls)) make_helpers();
+    make_main();
+    return b_.take();
+  }
+
+ private:
+  struct Ctx {
+    FuncDecl* fn = nullptr;
+    std::vector<Scalar> scalars;       ///< Visible scalar ints, scope-stacked.
+    std::vector<std::size_t> scope_marks;
+    std::vector<LoopVar> loops;        ///< Enclosing counted-loop variables.
+    double trip_factor = 1.0;          ///< Product of enclosing trip counts.
+    unsigned loop_depth = 0;
+    /// Pointer params usable via p[k] inside the 16-element helper loops.
+    std::vector<VarDecl*> ptr_params;
+  };
+
+  [[nodiscard]] bool has(std::uint32_t feature) const {
+    return (opts_.features & feature) != 0;
+  }
+
+  [[nodiscard]] std::string name(const char* prefix) {
+    return std::string(prefix) + std::to_string(uid_++);
+  }
+
+  // --- program skeleton ---------------------------------------------------
+
+  void declare_externs() {
+    emit_fn_ = b_.function("emit", b_.void_type());
+    b_.param(emit_fn_, "v", b_.int_type());
+    if (has(kFloat)) {
+      emitd_fn_ = b_.function("emitd", b_.void_type());
+      b_.param(emitd_fn_, "v", b_.double_type());
+    }
+  }
+
+  void declare_globals() {
+    const unsigned scalar_count = 2 + static_cast<unsigned>(rng_.range(3));
+    for (unsigned i = 0; i < scalar_count; ++i) {
+      globals_.push_back(
+          {b_.global(name("g"), b_.int_type()), kElemBound, true, true});
+    }
+    if (has(kArrays)) {
+      const unsigned array_count = 1 + static_cast<unsigned>(rng_.range(3));
+      const std::uint64_t extents[] = {16, 32, 64};
+      for (unsigned i = 0; i < array_count; ++i) {
+        const std::uint64_t n = extents[rng_.range(3)];
+        arrays_.push_back(
+            {b_.global(name("A"), b_.array_of(b_.int_type(), n)), 0, n});
+      }
+      if (has(kArrays2D)) {
+        // Rows of length >= 16 so any row can feed a pointer helper.
+        const std::uint64_t rows = rng_.chance(50) ? 4 : 8;
+        const std::uint64_t cols = rng_.chance(50) ? 16 : 32;
+        arrays_.push_back(
+            {b_.global(name("m"),
+                       b_.array_of(b_.array_of(b_.int_type(), cols), rows)),
+             rows, cols});
+      }
+    }
+    if (has(kFloat)) {
+      floats_.push_back(b_.global(name("d"), b_.double_type()));
+      floats_.push_back(b_.global(name("d"), b_.double_type()));
+    }
+  }
+
+  // --- expressions ----------------------------------------------------------
+
+  Expr* mask_expr(Expr* e) { return b_.binary(BinaryOp::And, e, b_.lit(kMask)); }
+
+  Val masked(Val v) {
+    if (v.bound <= kMaskedBound) return v;
+    return {mask_expr(v.expr), kMaskedBound};
+  }
+
+  Val capped(Val v) {
+    if (v.bound <= kCapBound) return v;
+    return {mask_expr(v.expr), kMaskedBound};
+  }
+
+  /// A literal, a bounded variable, or a masked expression: anything whose
+  /// magnitude provably fits in 20 bits — safe as a multiplication operand.
+  Val small_expr(Ctx& ctx, unsigned depth, const VarDecl* exclude) {
+    switch (rng_.range(4)) {
+      case 0:
+        return {b_.lit(rng_.pick(-16, 16)), 16.0};
+      case 1:
+        if (!ctx.loops.empty()) {
+          const LoopVar& lv = ctx.loops[rng_.range(ctx.loops.size())];
+          return {b_.ref(lv.decl), static_cast<double>(lv.bound)};
+        }
+        [[fallthrough]];
+      default:
+        return masked(int_expr(ctx, depth, exclude));
+    }
+  }
+
+  /// A random in-bounds subscript for extent `extent` (a power of two).
+  /// Biased toward the affine forms (loop var, loop var + c) the HLI's
+  /// section/LCDD machinery actually analyzes; the masked arbitrary form
+  /// exercises the conservative "unknown subscript" paths.
+  Expr* subscript(Ctx& ctx, std::uint64_t extent, const VarDecl* exclude) {
+    const auto ext = static_cast<std::int64_t>(extent);
+    if (!ctx.loops.empty() && rng_.chance(65)) {
+      std::vector<const LoopVar*> fits;
+      for (const LoopVar& lv : ctx.loops) {
+        if (lv.bound <= ext) fits.push_back(&lv);
+      }
+      if (!fits.empty()) {
+        const LoopVar& lv = *fits[rng_.range(fits.size())];
+        Expr* base = b_.ref(lv.decl);
+        const std::int64_t slack = ext - lv.bound;
+        if (slack > 0 && rng_.chance(40)) {
+          return b_.binary(BinaryOp::Add, base, b_.lit(rng_.pick(1, slack)));
+        }
+        if (rng_.chance(15)) {  // Reversal: stresses direction vectors.
+          return b_.binary(BinaryOp::Sub, b_.lit(lv.bound - 1), base);
+        }
+        return base;
+      }
+    }
+    if (rng_.chance(40)) return b_.lit(rng_.pick(0, ext - 1));
+    Val v = int_expr(ctx, 1, exclude);
+    return b_.binary(BinaryOp::And, v.expr, b_.lit(ext - 1));
+  }
+
+  /// Read of a random element of a random global array.
+  Val array_read(Ctx& ctx, const VarDecl* exclude) {
+    const ArrayInfo& arr = arrays_[rng_.range(arrays_.size())];
+    Expr* e = b_.ref(arr.decl);
+    if (arr.rows != 0) e = b_.index(e, subscript(ctx, arr.rows, exclude));
+    e = b_.index(e, subscript(ctx, arr.cols, exclude));
+    return {e, kElemBound};
+  }
+
+  Val leaf(Ctx& ctx, const VarDecl* exclude) {
+    // Collect candidate scalars once; globals are always eligible (their
+    // stored value is 32-bit), locals unless excluded.
+    const std::uint64_t roll = rng_.range(100);
+    if (roll < 25 || (ctx.scalars.empty() && arrays_.empty())) {
+      return {b_.lit(rng_.pick(-64, 64)), 64.0};
+    }
+    if (roll < 70 && !ctx.scalars.empty()) {
+      for (unsigned attempt = 0; attempt < 4; ++attempt) {
+        const Scalar& s = ctx.scalars[rng_.range(ctx.scalars.size())];
+        if (s.decl == exclude) continue;
+        return {b_.ref(s.decl), s.bound};
+      }
+      return {b_.lit(rng_.pick(-64, 64)), 64.0};
+    }
+    if (has(kArrays) && !arrays_.empty()) return array_read(ctx, exclude);
+    return {b_.lit(rng_.pick(-64, 64)), 64.0};
+  }
+
+  /// A random integer expression of depth <= `depth` whose magnitude bound
+  /// is <= kCapBound.  `exclude` bars one variable from appearing (the
+  /// accumulator-safety rule for assignments inside loops).
+  Val int_expr(Ctx& ctx, unsigned depth, const VarDecl* exclude) {
+    if (depth == 0) return leaf(ctx, exclude);
+    switch (rng_.range(12)) {
+      case 0: {  // Pure helper call.
+        if (has(kCalls)) {
+          if (Val v = call_int_helper(ctx, depth, exclude); v.expr != nullptr) {
+            return v;
+          }
+        }
+        return leaf(ctx, exclude);
+      }
+      case 1: {  // Unary.
+        Val v = int_expr(ctx, depth - 1, exclude);
+        switch (rng_.range(3)) {
+          case 0: return {b_.unary(UnaryOp::Neg, v.expr), v.bound + 1};
+          case 1: return {b_.unary(UnaryOp::Not, v.expr), 1.0};
+          default: return {b_.unary(UnaryOp::BitNot, v.expr), v.bound * 2 + 2};
+        }
+      }
+      case 2: {  // Multiplication: both operands provably small.
+        const Val lhs = small_expr(ctx, depth - 1, exclude);
+        const Val rhs = small_expr(ctx, depth - 1, exclude);
+        return {b_.binary(BinaryOp::Mul, lhs.expr, rhs.expr),
+                lhs.bound * rhs.bound};
+      }
+      case 3: {  // Division / remainder by a provably nonzero divisor.
+        if (!has(kDivRem)) break;
+        const Val num = int_expr(ctx, depth - 1, exclude);
+        const BinaryOp op = rng_.chance(50) ? BinaryOp::Div : BinaryOp::Rem;
+        if (rng_.chance(60)) {
+          static const std::int64_t divisors[] = {2, 3, 5, 7, 9, 16, 31};
+          return {b_.binary(op, num.expr, b_.lit(divisors[rng_.range(7)])),
+                  num.bound};
+        }
+        // (e | 1) is odd, hence nonzero, for every e.
+        Val div = capped(int_expr(ctx, depth - 1, exclude));
+        Expr* nonzero = b_.binary(BinaryOp::Or, div.expr, b_.lit(1));
+        return {b_.binary(op, num.expr, nonzero), num.bound};
+      }
+      case 4: {  // Shifts: small operand, constant amount.
+        if (!has(kShifts)) break;
+        const Val v = small_expr(ctx, depth - 1, exclude);
+        if (rng_.chance(50)) {
+          return {b_.binary(BinaryOp::Shl, v.expr, b_.lit(rng_.pick(0, 12))),
+                  v.bound * 4096.0};
+        }
+        return {b_.binary(BinaryOp::Shr, v.expr, b_.lit(rng_.pick(0, 12))),
+                v.bound};
+      }
+      case 5: {  // Comparison.
+        const Val lhs = int_expr(ctx, depth - 1, exclude);
+        const Val rhs = int_expr(ctx, depth - 1, exclude);
+        static const BinaryOp cmps[] = {BinaryOp::Lt, BinaryOp::Le,
+                                        BinaryOp::Gt, BinaryOp::Ge,
+                                        BinaryOp::Eq, BinaryOp::Ne};
+        return {b_.binary(cmps[rng_.range(6)], lhs.expr, rhs.expr), 1.0};
+      }
+      case 6: {  // Short-circuit logic.
+        const Val lhs = int_expr(ctx, depth - 1, exclude);
+        const Val rhs = int_expr(ctx, depth - 1, exclude);
+        const BinaryOp op = rng_.chance(50) ? BinaryOp::LogAnd : BinaryOp::LogOr;
+        return {b_.binary(op, lhs.expr, rhs.expr), 1.0};
+      }
+      case 7: {  // Conditional.
+        if (!has(kConditional)) break;
+        const Val c = int_expr(ctx, depth - 1, exclude);
+        const Val t = int_expr(ctx, depth - 1, exclude);
+        const Val f = int_expr(ctx, depth - 1, exclude);
+        return {b_.cond(c.expr, t.expr, f.expr), std::max(t.bound, f.bound)};
+      }
+      default:
+        break;
+    }
+    // Additive / bitwise combination (the default bulk).
+    const Val lhs = int_expr(ctx, depth - 1, exclude);
+    const Val rhs = int_expr(ctx, depth - 1, exclude);
+    switch (rng_.range(5)) {
+      case 0:
+        return capped({b_.binary(BinaryOp::Sub, lhs.expr, rhs.expr),
+                       lhs.bound + rhs.bound});
+      case 1:
+        return {b_.binary(BinaryOp::And, lhs.expr, rhs.expr),
+                std::max(lhs.bound, rhs.bound) + 1};
+      case 2:
+        return capped({b_.binary(BinaryOp::Or, lhs.expr, rhs.expr),
+                       (lhs.bound + rhs.bound) * 2});
+      case 3:
+        return capped({b_.binary(BinaryOp::Xor, lhs.expr, rhs.expr),
+                       (lhs.bound + rhs.bound) * 2});
+      default:
+        return capped({b_.binary(BinaryOp::Add, lhs.expr, rhs.expr),
+                       lhs.bound + rhs.bound});
+    }
+  }
+
+  /// Call of a value-returning helper usable inside an expression; null
+  /// Val when no such helper exists yet.
+  Val call_int_helper(Ctx& ctx, unsigned depth, const VarDecl* exclude) {
+    std::vector<const Helper*> candidates;
+    for (const Helper& h : helpers_) {
+      if (h.kind == Helper::kPureInt) candidates.push_back(&h);
+      if ((h.kind == Helper::kPtrReduce || h.kind == Helper::kScalarGet) &&
+          !ctx.ptr_params.empty()) {
+        continue;  // Pointer-arg helpers are called at statement level.
+      }
+    }
+    if (candidates.empty()) return {};
+    const Helper& h = *candidates[rng_.range(candidates.size())];
+    std::vector<Expr*> args;
+    for (std::size_t i = 0; i < h.fn->params.size(); ++i) {
+      args.push_back(capped(int_expr(ctx, depth - 1, exclude)).expr);
+    }
+    return {b_.call(h.fn, std::move(args)), h.return_bound};
+  }
+
+  // --- scope helpers --------------------------------------------------------
+
+  void push_scope(Ctx& ctx) { ctx.scope_marks.push_back(ctx.scalars.size()); }
+
+  void pop_scope(Ctx& ctx) {
+    ctx.scalars.resize(ctx.scope_marks.back());
+    ctx.scope_marks.pop_back();
+  }
+
+  Scalar* find_scalar(Ctx& ctx, const VarDecl* decl) {
+    for (Scalar& s : ctx.scalars) {
+      if (s.decl == decl) return &s;
+    }
+    return nullptr;
+  }
+
+  /// Declares `int tN = <expr>;` in the current block.
+  VarDecl* fresh_local(Ctx& ctx, BlockStmt* block) {
+    Val init = capped(int_expr(ctx, 2, nullptr));
+    VarDecl* decl = b_.local(ctx.fn, name("t"), b_.int_type(), init.expr);
+    b_.append(block, b_.decl_stmt(decl));
+    ctx.scalars.push_back({decl, init.bound, true, false});
+    return decl;
+  }
+
+  // --- statements -----------------------------------------------------------
+
+  /// Generates up to `budget` statements into `block`; returns the number
+  /// actually consumed (loops bill their body against the same budget).
+  unsigned gen_stmts(Ctx& ctx, BlockStmt* block, unsigned budget,
+                     unsigned depth) {
+    unsigned used = 0;
+    while (used < budget) {
+      used += gen_stmt(ctx, block, budget - used, depth);
+    }
+    return used;
+  }
+
+  unsigned gen_stmt(Ctx& ctx, BlockStmt* block, unsigned budget,
+                    unsigned depth) {
+    const std::uint64_t roll = rng_.range(100);
+    if (roll < 8) {
+      fresh_local(ctx, block);
+      return 1;
+    }
+    if (roll < 30) return gen_assign(ctx, block);
+    if (roll < 45 && has(kArrays) && !arrays_.empty()) {
+      return gen_array_store(ctx, block);
+    }
+    if (roll < 60 && has(kLoops) && budget >= 3 &&
+        ctx.loop_depth < opts_.max_loop_depth) {
+      return gen_for_loop(ctx, block, budget, depth);
+    }
+    if (roll < 67 && has(kWhile) && budget >= 3 &&
+        ctx.loop_depth < opts_.max_loop_depth) {
+      return gen_while_loop(ctx, block, budget, depth);
+    }
+    if (roll < 77 && has(kIf) && budget >= 2 && depth < 4) {
+      return gen_if(ctx, block, budget, depth);
+    }
+    if (roll < 85 && has(kCalls) && !helpers_.empty()) {
+      return gen_call_stmt(ctx, block);
+    }
+    if (roll < 90 && has(kIncDec)) {
+      return gen_incdec(ctx, block);
+    }
+    if (roll < 94 && has(kFloat) && !floats_.empty()) {
+      return gen_float_stmt(ctx, block);
+    }
+    // Observation point: fold live state into the output stream mid-run,
+    // so a miscompile before this line can't be shadowed by one after it.
+    Val v = int_expr(ctx, 2, nullptr);
+    b_.append(block,
+              b_.expr_stmt(b_.call(emit_fn_, {masked(v).expr})));
+    return 1;
+  }
+
+  unsigned gen_assign(Ctx& ctx, BlockStmt* block) {
+    std::vector<Scalar*> targets;
+    for (Scalar& s : ctx.scalars) {
+      if (s.assignable) targets.push_back(&s);
+    }
+    if (targets.empty()) {
+      fresh_local(ctx, block);
+      return 1;
+    }
+    Scalar& target = *targets[rng_.range(targets.size())];
+    const bool in_loop = ctx.trip_factor > 1.0;
+
+    // Accumulator form: target op= small, growth bounded by the trip count.
+    if (rng_.chance(40)) {
+      const Val rhs = small_expr(ctx, 2, target.decl);
+      const double grown = target.bound + rhs.bound * ctx.trip_factor;
+      const bool use_compound = has(kCompoundAssign) && rng_.chance(60);
+      const AssignOp aop = rng_.chance(50) ? AssignOp::Add : AssignOp::Sub;
+      Expr* stored;
+      if (grown > kCapBound) {
+        // Re-mask the accumulator so repeated execution can't overflow.
+        Expr* sum = b_.binary(aop == AssignOp::Add ? BinaryOp::Add : BinaryOp::Sub,
+                              b_.ref(target.decl), rhs.expr);
+        stored = b_.assign(b_.ref(target.decl), mask_expr(sum));
+        if (!target.is_global) target.bound = kMaskedBound;
+      } else if (use_compound) {
+        stored = b_.assign(b_.ref(target.decl), rhs.expr, aop);
+        if (!target.is_global) target.bound = grown;
+      } else {
+        Expr* sum = b_.binary(aop == AssignOp::Add ? BinaryOp::Add : BinaryOp::Sub,
+                              b_.ref(target.decl), rhs.expr);
+        stored = b_.assign(b_.ref(target.decl), sum);
+        if (!target.is_global) target.bound = grown;
+      }
+      b_.append(block, b_.expr_stmt(stored));
+      return 1;
+    }
+
+    // Straight replacement; inside a loop the target must not feed its own
+    // RHS, or the value could compound across iterations unchecked.
+    const VarDecl* exclude = in_loop && !target.is_global ? target.decl : nullptr;
+    Val rhs = capped(int_expr(ctx, opts_.max_expr_depth, exclude));
+    if (has(kCompoundAssign) && !in_loop && rng_.chance(15)) {
+      // Straight-line *= / /= with a tiny literal keeps bounds trivial.
+      if (rng_.chance(50)) {
+        b_.append(block, b_.expr_stmt(b_.assign(b_.ref(target.decl),
+                                                b_.lit(rng_.pick(-4, 4)),
+                                                AssignOp::Mul)));
+        if (!target.is_global) target.bound = target.bound * 4 + 1;
+      } else {
+        b_.append(block, b_.expr_stmt(b_.assign(b_.ref(target.decl),
+                                                b_.lit(rng_.pick(2, 6)),
+                                                AssignOp::Div)));
+      }
+      return 1;
+    }
+    b_.append(block, b_.expr_stmt(b_.assign(b_.ref(target.decl), rhs.expr)));
+    if (!target.is_global) target.bound = rhs.bound;
+    return 1;
+  }
+
+  unsigned gen_array_store(Ctx& ctx, BlockStmt* block) {
+    const ArrayInfo& arr = arrays_[rng_.range(arrays_.size())];
+    Expr* lhs = b_.ref(arr.decl);
+    if (arr.rows != 0) lhs = b_.index(lhs, subscript(ctx, arr.rows, nullptr));
+    lhs = b_.index(lhs, subscript(ctx, arr.cols, nullptr));
+    const Val rhs = capped(int_expr(ctx, opts_.max_expr_depth, nullptr));
+    b_.append(block, b_.expr_stmt(b_.assign(lhs, rhs.expr)));
+    return 1;
+  }
+
+  unsigned gen_for_loop(Ctx& ctx, BlockStmt* block, unsigned budget,
+                        unsigned depth) {
+    static const std::int64_t bounds[] = {4, 8, 13, 16, 31, 32, 64};
+    std::int64_t bound = bounds[rng_.range(7)];
+    while (bound > 4 && ctx.trip_factor * static_cast<double>(bound) > kTripCap) {
+      bound /= 2;
+    }
+    if (ctx.trip_factor * static_cast<double>(bound) > kTripCap) {
+      return gen_assign(ctx, block);  // Nest already at the trip budget.
+    }
+
+    VarDecl* iv = b_.local(ctx.fn, name("i"), b_.int_type());
+    Expr* init_expr;
+    Expr* cond;
+    Expr* step;
+    std::int64_t value_bound;
+    const std::uint64_t shape = rng_.range(100);
+    if (shape < 70) {  // for (i = 0; i < B; i++)
+      init_expr = nullptr;
+      cond = b_.binary(BinaryOp::Lt, b_.ref(iv), b_.lit(bound));
+      step = has(kIncDec) && rng_.chance(60)
+                 ? b_.unary(UnaryOp::PostInc, b_.ref(iv))
+                 : b_.assign(b_.ref(iv), b_.binary(BinaryOp::Add, b_.ref(iv),
+                                                   b_.lit(1)));
+      value_bound = bound;
+    } else if (shape < 85) {  // for (i = 0; i < B; i = i + 2)
+      init_expr = nullptr;
+      cond = b_.binary(BinaryOp::Lt, b_.ref(iv), b_.lit(bound));
+      step = b_.assign(b_.ref(iv),
+                       b_.binary(BinaryOp::Add, b_.ref(iv), b_.lit(2)));
+      value_bound = bound;
+    } else {  // for (i = B - 1; i >= 0; i--)
+      init_expr = b_.lit(bound - 1);
+      cond = b_.binary(BinaryOp::Ge, b_.ref(iv), b_.lit(0));
+      step = has(kIncDec) && rng_.chance(60)
+                 ? b_.unary(UnaryOp::PostDec, b_.ref(iv))
+                 : b_.assign(b_.ref(iv), b_.binary(BinaryOp::Sub, b_.ref(iv),
+                                                   b_.lit(1)));
+      value_bound = bound;
+    }
+    iv->init = init_expr != nullptr ? init_expr : b_.lit(0);
+    Stmt* init = b_.decl_stmt(iv);
+
+    BlockStmt* body = b_.block();
+    push_scope(ctx);
+    ctx.scalars.push_back({iv, static_cast<double>(value_bound), false, false});
+    ctx.loops.push_back({iv, value_bound});
+    ctx.trip_factor *= static_cast<double>(bound);
+    ++ctx.loop_depth;
+
+    const bool allow_nest = has(kNestedLoops);
+    const unsigned body_budget =
+        1 + static_cast<unsigned>(rng_.range(std::min(budget - 1, 5u)));
+    unsigned used = 1 + gen_body(ctx, body, body_budget, depth + 1, allow_nest);
+    maybe_break_continue(ctx, body, /*in_for=*/true);
+
+    --ctx.loop_depth;
+    ctx.trip_factor /= static_cast<double>(bound);
+    ctx.loops.pop_back();
+    pop_scope(ctx);
+
+    b_.append(block, b_.for_stmt(init, cond, step, body));
+    return used;
+  }
+
+  unsigned gen_while_loop(Ctx& ctx, BlockStmt* block, unsigned budget,
+                          unsigned depth) {
+    const std::int64_t count = rng_.pick(2, 16);
+    if (ctx.trip_factor * static_cast<double>(count) > kTripCap) {
+      return gen_assign(ctx, block);
+    }
+    VarDecl* counter =
+        b_.local(ctx.fn, name("w"), b_.int_type(), b_.lit(count));
+    b_.append(block, b_.decl_stmt(counter));
+
+    BlockStmt* body = b_.block();
+    // Decrement first: break/continue anywhere later in the body can never
+    // skip it, so the loop provably terminates.
+    b_.append(body, b_.expr_stmt(b_.assign(
+                        b_.ref(counter),
+                        b_.binary(BinaryOp::Sub, b_.ref(counter), b_.lit(1)))));
+
+    push_scope(ctx);
+    ctx.scalars.push_back(
+        {counter, static_cast<double>(count), false, false});
+    ctx.loops.push_back({counter, count});
+    ctx.trip_factor *= static_cast<double>(count);
+    ++ctx.loop_depth;
+
+    const unsigned body_budget =
+        1 + static_cast<unsigned>(rng_.range(std::min(budget - 1, 4u)));
+    unsigned used = 1 + gen_body(ctx, body, body_budget, depth + 1,
+                                 has(kNestedLoops));
+    maybe_break_continue(ctx, body, /*in_for=*/false);
+
+    --ctx.loop_depth;
+    ctx.trip_factor /= static_cast<double>(count);
+    ctx.loops.pop_back();
+    pop_scope(ctx);
+
+    b_.append(block, b_.while_stmt(
+                         b_.binary(BinaryOp::Gt, b_.ref(counter), b_.lit(0)),
+                         body));
+    return used;
+  }
+
+  /// Loop-body statement run: like gen_stmts, but with nesting optionally
+  /// disabled so kLoops without kNestedLoops stays flat.
+  unsigned gen_body(Ctx& ctx, BlockStmt* block, unsigned budget,
+                    unsigned depth, bool allow_nest) {
+    const unsigned saved = ctx.loop_depth;
+    if (!allow_nest) ctx.loop_depth = opts_.max_loop_depth;
+    const unsigned used = gen_stmts(ctx, block, budget, depth);
+    if (!allow_nest) ctx.loop_depth = saved;
+    return used;
+  }
+
+  void maybe_break_continue(Ctx& ctx, BlockStmt* body, bool in_for) {
+    if (!has(kBreakContinue) || !rng_.chance(25)) return;
+    const Val cond = int_expr(ctx, 1, nullptr);
+    BlockStmt* then = b_.block();
+    // `continue` in a while body is safe only because the counter
+    // decrement is the body's first statement.
+    if (in_for && rng_.chance(50)) {
+      b_.append(then, b_.continue_stmt());
+    } else {
+      b_.append(then, b_.break_stmt());
+    }
+    b_.append(body, b_.if_stmt(cond.expr, then));
+  }
+
+  unsigned gen_if(Ctx& ctx, BlockStmt* block, unsigned budget, unsigned depth) {
+    const Val cond = int_expr(ctx, 2, nullptr);
+    BlockStmt* then = b_.block();
+    // Both arms mutate only state that outlives the branch; locals
+    // declared inside an arm die there, so bounds tracked during arm
+    // generation stay conservative for the join.
+    push_scope(ctx);
+    unsigned used =
+        1 + gen_stmts(ctx, then, 1 + static_cast<unsigned>(
+                                         rng_.range(std::min(budget, 3u))),
+                      depth + 1);
+    pop_scope(ctx);
+    Stmt* else_stmt = nullptr;
+    if (rng_.chance(45) && used < budget) {
+      BlockStmt* other = b_.block();
+      push_scope(ctx);
+      used += gen_stmts(ctx, other,
+                        1 + static_cast<unsigned>(rng_.range(
+                                std::min(budget - used, 2u) + 1)),
+                        depth + 1);
+      pop_scope(ctx);
+      else_stmt = other;
+    }
+    b_.append(block, b_.if_stmt(cond.expr, then, else_stmt));
+    return used;
+  }
+
+  unsigned gen_incdec(Ctx& ctx, BlockStmt* block) {
+    std::vector<Scalar*> targets;
+    for (Scalar& s : ctx.scalars) {
+      if (s.assignable) targets.push_back(&s);
+    }
+    if (targets.empty()) return gen_assign(ctx, block);
+    Scalar& target = *targets[rng_.range(targets.size())];
+    const double grown = target.bound + ctx.trip_factor;
+    if (grown > kCapBound) return gen_assign(ctx, block);
+    static const UnaryOp ops[] = {UnaryOp::PreInc, UnaryOp::PreDec,
+                                  UnaryOp::PostInc, UnaryOp::PostDec};
+    b_.append(block, b_.expr_stmt(
+                         b_.unary(ops[rng_.range(4)], b_.ref(target.decl))));
+    if (!target.is_global) target.bound = grown;
+    return 1;
+  }
+
+  unsigned gen_float_stmt(Ctx& ctx, BlockStmt* block) {
+    VarDecl* target = floats_[rng_.range(floats_.size())];
+    VarDecl* source = floats_[rng_.range(floats_.size())];
+    Expr* rhs;
+    static const BinaryOp ops[] = {BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul};
+    const BinaryOp op = ops[rng_.range(3)];
+    switch (rng_.range(3)) {
+      case 0:
+        rhs = b_.binary(op, b_.ref(source),
+                        b_.flit(rng_.pick(-8, 8) * 0.25));
+        break;
+      case 1:  // Int -> fp conversion stress.
+        rhs = b_.binary(op, b_.ref(source),
+                        masked(int_expr(ctx, 1, nullptr)).expr);
+        break;
+      default:
+        rhs = b_.binary(op, b_.ref(source),
+                        b_.ref(floats_[rng_.range(floats_.size())]));
+        break;
+    }
+    b_.append(block, b_.expr_stmt(b_.assign(b_.ref(target), rhs)));
+    return 1;
+  }
+
+  unsigned gen_call_stmt(Ctx& ctx, BlockStmt* block) {
+    const Helper& h = helpers_[rng_.range(helpers_.size())];
+    switch (h.kind) {
+      case Helper::kPureInt: {
+        std::vector<Expr*> args;
+        for (std::size_t i = 0; i < h.fn->params.size(); ++i) {
+          args.push_back(capped(int_expr(ctx, 2, nullptr)).expr);
+        }
+        return assign_call_result(ctx, block, h, std::move(args));
+      }
+      case Helper::kPtrReduce:
+      case Helper::kPtrTransform:
+      case Helper::kWrapper: {
+        if (arrays_.empty()) return gen_assign(ctx, block);
+        Expr* p = pointer_arg(ctx);
+        // With probability ~1/#arrays the two arguments alias — exactly
+        // the case HLI's alias sets must keep the passes honest about.
+        Expr* q = pointer_arg(ctx);
+        if (h.kind == Helper::kPtrReduce) {
+          return assign_call_result(ctx, block, h, {p, q});
+        }
+        b_.append(block, b_.expr_stmt(b_.call(h.fn, {p, q})));
+        return 1;
+      }
+      case Helper::kScalarPut: {
+        Scalar* g = &globals_[rng_.range(globals_.size())];
+        const Val v = capped(int_expr(ctx, 2, nullptr));
+        b_.append(block,
+                  b_.expr_stmt(b_.call(
+                      h.fn, {b_.unary(UnaryOp::AddrOf, b_.ref(g->decl)),
+                             v.expr})));
+        return 1;
+      }
+      case Helper::kScalarGet: {
+        Scalar* g = &globals_[rng_.range(globals_.size())];
+        return assign_call_result(
+            ctx, block, h, {b_.unary(UnaryOp::AddrOf, b_.ref(g->decl))});
+      }
+    }
+    return 1;
+  }
+
+  /// A 16-element-safe int* argument: a 1-D array, or a row of the 2-D
+  /// array (every generated extent/row length is >= 16).
+  Expr* pointer_arg(Ctx& ctx) {
+    const ArrayInfo& arr = arrays_[rng_.range(arrays_.size())];
+    Expr* e = b_.ref(arr.decl);
+    if (arr.rows != 0) e = b_.index(e, subscript(ctx, arr.rows, nullptr));
+    return e;
+  }
+
+  unsigned assign_call_result(Ctx& ctx, BlockStmt* block, const Helper& h,
+                              std::vector<Expr*> args) {
+    Expr* call = b_.call(h.fn, std::move(args));
+    std::vector<Scalar*> targets;
+    for (Scalar& s : ctx.scalars) {
+      if (s.assignable) targets.push_back(&s);
+    }
+    if (targets.empty() || rng_.chance(25)) {
+      b_.append(block, b_.expr_stmt(b_.call(emit_fn_, {mask_expr(call)})));
+      return 1;
+    }
+    Scalar& target = *targets[rng_.range(targets.size())];
+    b_.append(block, b_.expr_stmt(b_.assign(b_.ref(target.decl), call)));
+    if (!target.is_global) target.bound = h.return_bound;
+    return 1;
+  }
+
+  // --- helper functions -----------------------------------------------------
+
+  void make_helpers() {
+    const unsigned count =
+        opts_.max_helpers == 0
+            ? 0
+            : 1 + static_cast<unsigned>(rng_.range(opts_.max_helpers));
+    for (unsigned i = 0; i < count; ++i) {
+      std::vector<Helper::Kind> kinds = {Helper::kPureInt};
+      if (has(kPointerParams)) {
+        kinds.push_back(Helper::kScalarPut);
+        kinds.push_back(Helper::kScalarGet);
+        if (has(kArrays) && !arrays_.empty()) {
+          kinds.push_back(Helper::kPtrReduce);
+          kinds.push_back(Helper::kPtrTransform);
+          if (!helpers_.empty()) kinds.push_back(Helper::kWrapper);
+        }
+      }
+      make_helper(kinds[rng_.range(kinds.size())]);
+    }
+  }
+
+  void make_helper(Helper::Kind kind) {
+    switch (kind) {
+      case Helper::kPureInt: make_pure_int_helper(); break;
+      case Helper::kPtrReduce: make_ptr_loop_helper(/*reduce=*/true); break;
+      case Helper::kPtrTransform: make_ptr_loop_helper(/*reduce=*/false); break;
+      case Helper::kScalarPut: make_scalar_put_helper(); break;
+      case Helper::kScalarGet: make_scalar_get_helper(); break;
+      case Helper::kWrapper: make_wrapper_helper(); break;
+    }
+  }
+
+  Ctx helper_ctx(FuncDecl* fn) {
+    Ctx ctx;
+    ctx.fn = fn;
+    for (Scalar& g : globals_) ctx.scalars.push_back(g);
+    return ctx;
+  }
+
+  void make_pure_int_helper() {
+    FuncDecl* fn = b_.function(name("h"), b_.int_type());
+    VarDecl* a = b_.param(fn, name("a"), b_.int_type());
+    VarDecl* c = b_.param(fn, name("a"), b_.int_type());
+    BlockStmt* body = b_.body(fn);
+    Ctx ctx = helper_ctx(fn);
+    ctx.scalars.push_back({a, kCapBound, false, false});
+    ctx.scalars.push_back({c, kCapBound, false, false});
+    gen_stmts(ctx, body, 1 + static_cast<unsigned>(rng_.range(3)), 1);
+    Val result = capped(int_expr(ctx, 2, nullptr));
+    b_.append(body, b_.return_stmt(result.expr));
+    helpers_.push_back({fn, Helper::kPureInt, result.bound});
+  }
+
+  void make_ptr_loop_helper(bool reduce) {
+    FuncDecl* fn =
+        b_.function(name("h"), reduce ? b_.int_type() : b_.void_type());
+    const frontend::Type* int_ptr = b_.pointer_to(b_.int_type());
+    VarDecl* p = b_.param(fn, name("p"), int_ptr);
+    VarDecl* q = b_.param(fn, name("q"), int_ptr);
+    BlockStmt* body = b_.body(fn);
+    Ctx ctx = helper_ctx(fn);
+    ctx.ptr_params = {p, q};
+
+    VarDecl* acc = nullptr;
+    if (reduce) {
+      acc = b_.local(fn, name("s"), b_.int_type(), b_.lit(0));
+      b_.append(body, b_.decl_stmt(acc));
+    }
+
+    VarDecl* iv = b_.local(fn, name("k"), b_.int_type(), b_.lit(0));
+    BlockStmt* loop = b_.block();
+    ctx.scalars.push_back({iv, 16.0, false, false});
+    ctx.loops.push_back({iv, 16});
+    ctx.trip_factor = 16.0;
+
+    const unsigned ops = 1 + static_cast<unsigned>(rng_.range(2));
+    for (unsigned i = 0; i < ops; ++i) {
+      Expr* read = ptr_elem(ctx, q);
+      Val extra = small_expr(ctx, 1, nullptr);
+      static const BinaryOp kOps[] = {BinaryOp::Add, BinaryOp::Sub,
+                                      BinaryOp::Xor, BinaryOp::And};
+      Expr* value =
+          b_.binary(kOps[rng_.range(4)], read,
+                    rng_.chance(50) ? extra.expr : ptr_elem(ctx, p));
+      if (reduce) {
+        // s = ((s + value) & kMask): 16 iterations of a 20-bit addend.
+        b_.append(loop, b_.expr_stmt(b_.assign(
+                            b_.ref(acc),
+                            mask_expr(b_.binary(BinaryOp::Add, b_.ref(acc),
+                                                value)))));
+      } else {
+        b_.append(loop, b_.expr_stmt(b_.assign(ptr_elem(ctx, p), value)));
+      }
+    }
+    if (rng_.chance(30) && !globals_.empty()) {
+      Scalar& g = globals_[rng_.range(globals_.size())];
+      b_.append(loop, b_.expr_stmt(b_.assign(
+                          b_.ref(g.decl),
+                          mask_expr(b_.binary(BinaryOp::Add, b_.ref(g.decl),
+                                              ptr_elem(ctx, q))))));
+    }
+
+    Expr* step = b_.assign(b_.ref(iv),
+                           b_.binary(BinaryOp::Add, b_.ref(iv), b_.lit(1)));
+    b_.append(body, b_.for_stmt(b_.decl_stmt(iv),
+                                b_.binary(BinaryOp::Lt, b_.ref(iv), b_.lit(16)),
+                                step, loop));
+    if (reduce) {
+      b_.append(body, b_.return_stmt(b_.ref(acc)));
+      helpers_.push_back({fn, Helper::kPtrReduce, kMaskedBound * 2});
+    } else {
+      helpers_.push_back({fn, Helper::kPtrTransform, 0.0});
+    }
+  }
+
+  /// p[k] / p[15 - k] / p[c]: always within the helper's 16-element window.
+  Expr* ptr_elem(Ctx& ctx, VarDecl* ptr) {
+    const LoopVar& lv = ctx.loops.back();
+    Expr* sub;
+    const std::uint64_t roll = rng_.range(100);
+    if (roll < 60) {
+      sub = b_.ref(lv.decl);
+    } else if (roll < 75) {
+      sub = b_.binary(BinaryOp::Sub, b_.lit(15), b_.ref(lv.decl));
+    } else {
+      sub = b_.lit(rng_.pick(0, 15));
+    }
+    return b_.index(b_.ref(ptr), sub);
+  }
+
+  void make_scalar_put_helper() {
+    FuncDecl* fn = b_.function(name("h"), b_.void_type());
+    VarDecl* p = b_.param(fn, name("p"), b_.pointer_to(b_.int_type()));
+    VarDecl* v = b_.param(fn, name("v"), b_.int_type());
+    BlockStmt* body = b_.body(fn);
+    Expr* value = b_.ref(v);
+    if (rng_.chance(50)) {
+      value = b_.binary(BinaryOp::Add, value,
+                        b_.unary(UnaryOp::Deref, b_.ref(p)));
+    }
+    b_.append(body, b_.expr_stmt(
+                        b_.assign(b_.unary(UnaryOp::Deref, b_.ref(p)), value)));
+    helpers_.push_back({fn, Helper::kScalarPut, 0.0});
+  }
+
+  void make_scalar_get_helper() {
+    FuncDecl* fn = b_.function(name("h"), b_.int_type());
+    VarDecl* p = b_.param(fn, name("p"), b_.pointer_to(b_.int_type()));
+    BlockStmt* body = b_.body(fn);
+    Expr* value = b_.unary(UnaryOp::Deref, b_.ref(p));
+    if (rng_.chance(50)) {
+      value = b_.binary(rng_.chance(50) ? BinaryOp::Add : BinaryOp::Xor, value,
+                        b_.lit(rng_.pick(1, 16)));
+    }
+    b_.append(body, b_.return_stmt(value));
+    helpers_.push_back({fn, Helper::kScalarGet, kElemBound + 17});
+  }
+
+  void make_wrapper_helper() {
+    FuncDecl* fn = b_.function(name("h"), b_.void_type());
+    const frontend::Type* int_ptr = b_.pointer_to(b_.int_type());
+    VarDecl* p = b_.param(fn, name("p"), int_ptr);
+    VarDecl* q = b_.param(fn, name("q"), int_ptr);
+    BlockStmt* body = b_.body(fn);
+    // Forward to every earlier pointer helper (REF/MOD chains through the
+    // call graph), occasionally swapping the arguments.
+    for (const Helper& h : helpers_) {
+      if (h.kind == Helper::kPtrTransform && rng_.chance(70)) {
+        const bool swap = rng_.chance(40);
+        b_.append(body, b_.expr_stmt(b_.call(
+                            h.fn, {b_.ref(swap ? q : p), b_.ref(swap ? p : q)})));
+      } else if (h.kind == Helper::kPtrReduce && rng_.chance(50) &&
+                 !globals_.empty()) {
+        Scalar& g = globals_[rng_.range(globals_.size())];
+        b_.append(body, b_.expr_stmt(b_.assign(
+                            b_.ref(g.decl), b_.call(h.fn, {b_.ref(p), b_.ref(q)}))));
+      }
+    }
+    helpers_.push_back({fn, Helper::kWrapper, 0.0});
+  }
+
+  // --- main -----------------------------------------------------------------
+
+  void make_main() {
+    FuncDecl* fn = b_.function("main", b_.int_type());
+    BlockStmt* body = b_.body(fn);
+    Ctx ctx = helper_ctx(fn);
+
+    // Prologue: deterministic nonzero state.  Scalars get literals; every
+    // array gets an affine fill loop (a store the passes love to touch).
+    for (Scalar& g : globals_) {
+      b_.append(body, b_.expr_stmt(
+                          b_.assign(b_.ref(g.decl), b_.lit(rng_.pick(-99, 99)))));
+    }
+    for (const ArrayInfo& arr : arrays_) array_fill(ctx, body, arr);
+    if (has(kFloat)) {
+      for (VarDecl* d : floats_) {
+        b_.append(body, b_.expr_stmt(b_.assign(
+                            b_.ref(d), b_.flit(rng_.pick(-20, 20) * 0.5))));
+      }
+    }
+
+    gen_stmts(ctx, body, opts_.main_stmts, 0);
+    epilogue(ctx, body);
+  }
+
+  void array_fill(Ctx& ctx, BlockStmt* block, const ArrayInfo& arr) {
+    VarDecl* iv = b_.local(ctx.fn, name("f"), b_.int_type(), b_.lit(0));
+    const std::int64_t extent =
+        static_cast<std::int64_t>(arr.rows != 0 ? arr.rows : arr.cols);
+    BlockStmt* body = b_.block();
+    push_scope(ctx);
+    ctx.scalars.push_back({iv, static_cast<double>(extent), false, false});
+    ctx.loops.push_back({iv, extent});
+
+    Expr* value = b_.binary(
+        BinaryOp::Xor,
+        b_.binary(BinaryOp::Mul, b_.ref(iv), b_.lit(rng_.pick(1, 16))),
+        b_.lit(rng_.pick(0, 255)));
+    if (arr.rows == 0) {
+      b_.append(body, b_.expr_stmt(
+                          b_.assign(b_.index(b_.ref(arr.decl), b_.ref(iv)),
+                                    value)));
+    } else {
+      // Fill column (i & (cols-1)) of each row: touches every row with an
+      // affine row index and a masked column index.
+      VarDecl* jv = b_.local(ctx.fn, name("f"), b_.int_type(), b_.lit(0));
+      BlockStmt* inner = b_.block();
+      ctx.scalars.push_back(
+          {jv, static_cast<double>(arr.cols), false, false});
+      ctx.loops.push_back({jv, static_cast<std::int64_t>(arr.cols)});
+      b_.append(inner,
+                b_.expr_stmt(b_.assign(
+                    b_.index(b_.index(b_.ref(arr.decl), b_.ref(iv)), b_.ref(jv)),
+                    b_.binary(BinaryOp::Add, value, b_.ref(jv)))));
+      ctx.loops.pop_back();
+      b_.append(body,
+                b_.for_stmt(b_.decl_stmt(jv),
+                            b_.binary(BinaryOp::Lt, b_.ref(jv),
+                                      b_.lit(static_cast<std::int64_t>(arr.cols))),
+                            b_.assign(b_.ref(jv), b_.binary(BinaryOp::Add,
+                                                            b_.ref(jv), b_.lit(1))),
+                            inner));
+    }
+    ctx.loops.pop_back();
+    pop_scope(ctx);
+    b_.append(block,
+              b_.for_stmt(b_.decl_stmt(iv),
+                          b_.binary(BinaryOp::Lt, b_.ref(iv), b_.lit(extent)),
+                          b_.assign(b_.ref(iv), b_.binary(BinaryOp::Add,
+                                                          b_.ref(iv), b_.lit(1))),
+                          body));
+  }
+
+  /// Checksums the entire observable state: every array element, every
+  /// global scalar, every float.  A wrong value anywhere in memory — not
+  /// just along the emit path — changes output_hash.
+  void epilogue(Ctx& ctx, BlockStmt* body) {
+    VarDecl* chk = b_.local(ctx.fn, name("chk"), b_.int_type(), b_.lit(0));
+    b_.append(body, b_.decl_stmt(chk));
+    for (const ArrayInfo& arr : arrays_) {
+      VarDecl* iv = b_.local(ctx.fn, name("z"), b_.int_type(), b_.lit(0));
+      const std::int64_t outer =
+          static_cast<std::int64_t>(arr.rows != 0 ? arr.rows : arr.cols);
+      BlockStmt* loop = b_.block();
+      auto fold = [&](BlockStmt* into, Expr* element) {
+        // chk = ((chk * 31) + elem) & 0xFFFFFFF: order-sensitive, bounded.
+        Expr* mixed = b_.binary(
+            BinaryOp::Add,
+            b_.binary(BinaryOp::Mul, b_.ref(chk), b_.lit(31)), element);
+        b_.append(into, b_.expr_stmt(b_.assign(
+                            b_.ref(chk),
+                            b_.binary(BinaryOp::And, mixed, b_.lit(268435455)))));
+      };
+      if (arr.rows == 0) {
+        fold(loop, b_.index(b_.ref(arr.decl), b_.ref(iv)));
+      } else {
+        VarDecl* jv = b_.local(ctx.fn, name("z"), b_.int_type(), b_.lit(0));
+        BlockStmt* inner = b_.block();
+        fold(inner, b_.index(b_.index(b_.ref(arr.decl), b_.ref(iv)), b_.ref(jv)));
+        b_.append(loop,
+                  b_.for_stmt(b_.decl_stmt(jv),
+                              b_.binary(BinaryOp::Lt, b_.ref(jv),
+                                        b_.lit(static_cast<std::int64_t>(arr.cols))),
+                              b_.assign(b_.ref(jv),
+                                        b_.binary(BinaryOp::Add, b_.ref(jv),
+                                                  b_.lit(1))),
+                              inner));
+      }
+      b_.append(body,
+                b_.for_stmt(b_.decl_stmt(iv),
+                            b_.binary(BinaryOp::Lt, b_.ref(iv), b_.lit(outer)),
+                            b_.assign(b_.ref(iv), b_.binary(BinaryOp::Add,
+                                                            b_.ref(iv), b_.lit(1))),
+                            loop));
+    }
+    b_.append(body, b_.expr_stmt(b_.call(emit_fn_, {b_.ref(chk)})));
+    for (Scalar& g : globals_) {
+      b_.append(body, b_.expr_stmt(b_.call(emit_fn_, {b_.ref(g.decl)})));
+    }
+    if (has(kFloat)) {
+      for (VarDecl* d : floats_) {
+        b_.append(body, b_.expr_stmt(b_.call(emitd_fn_, {b_.ref(d)})));
+      }
+    }
+    b_.append(body, b_.return_stmt(b_.binary(BinaryOp::And, b_.ref(chk),
+                                             b_.lit(255))));
+  }
+
+  GenOptions opts_;
+  Rng rng_;
+  AstBuilder b_;
+  unsigned uid_ = 0;
+
+  FuncDecl* emit_fn_ = nullptr;
+  FuncDecl* emitd_fn_ = nullptr;
+  std::vector<Scalar> globals_;
+  std::vector<ArrayInfo> arrays_;
+  std::vector<VarDecl*> floats_;
+  std::vector<Helper> helpers_;
+};
+
+}  // namespace
+
+const std::vector<std::string>& feature_names() { return kFeatureNames; }
+
+bool parse_features(const std::string& text, std::uint32_t& out) {
+  std::uint32_t mask = 0;
+  for (const std::string_view raw : support::split(text, ',')) {
+    std::string_view token = support::trim(raw);
+    if (token.empty()) continue;
+    bool subtract = false;
+    if (token.front() == '-') {
+      subtract = true;
+      token.remove_prefix(1);
+    }
+    std::uint32_t bit = 0;
+    if (token == "all") {
+      bit = kAllFeatures;
+    } else if (token == "default") {
+      bit = kDefaultFeatures;
+    } else {
+      bool found = false;
+      for (std::size_t i = 0; i < kFeatureNames.size(); ++i) {
+        if (token == kFeatureNames[i]) {
+          bit = 1u << i;
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    if (subtract) {
+      mask &= ~bit;
+    } else {
+      mask |= bit;
+    }
+  }
+  out = mask;
+  return true;
+}
+
+std::string render_features(std::uint32_t features) {
+  std::string out;
+  for (std::size_t i = 0; i < kFeatureNames.size(); ++i) {
+    if ((features & (1u << i)) == 0) continue;
+    if (!out.empty()) out += ",";
+    out += kFeatureNames[i];
+  }
+  return out.empty() ? "none" : out;
+}
+
+frontend::Program generate_program(const GenOptions& options) {
+  return Gen(options).run();
+}
+
+std::string generate_source(const GenOptions& options) {
+  const frontend::Program prog = generate_program(options);
+  return frontend::print_program(prog);
+}
+
+}  // namespace hli::testing

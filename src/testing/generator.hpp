@@ -1,0 +1,85 @@
+// Seeded random mini-C program generator (Csmith-style, scaled to the
+// mini-C dialect).  Programs are biased toward exactly the constructs the
+// HLI tables reason about — nested affine loops, array reads/writes with
+// constant/affine/opaque subscripts, aliased pointer parameters, call
+// REF/MOD chains — and are correct by construction:
+//
+//   * every loop is counted with a constant bound, so programs terminate;
+//   * every subscript is provably in bounds (affine forms are range-checked
+//     against the array extent, arbitrary expressions are masked with
+//     `& (size-1)` over power-of-two extents);
+//   * integer division/remainder never sees a zero divisor (`(e | 1)` or a
+//     nonzero literal), and expression magnitudes are tracked so 64-bit
+//     register arithmetic can never overflow (UB in the interpreter host);
+//   * observable state is emitted continuously (interleaved emit() calls)
+//     and exhaustively (an epilogue checksums every global scalar and
+//     array element), so a miscompile anywhere surfaces in output_hash.
+//
+// Generation is deterministic per (seed, features): the same pair yields
+// byte-identical source on every platform, which is what lets a CI
+// divergence be reproduced locally from the seed alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+
+namespace hli::testing {
+
+/// Feature mask: which language constructs the generator may use.  Bits
+/// compose freely; kDefaultFeatures is everything except float math.
+enum Feature : std::uint32_t {
+  kLoops = 1u << 0,          ///< Counted `for` loops.
+  kNestedLoops = 1u << 1,    ///< Loop nests up to depth 3 (implies kLoops).
+  kArrays = 1u << 2,         ///< Global 1-D arrays + subscripted accesses.
+  kArrays2D = 1u << 3,       ///< Global 2-D arrays (implies kArrays).
+  kPointerParams = 1u << 4,  ///< Helpers taking int* params; aliased calls.
+  kCalls = 1u << 5,          ///< Helper functions and call chains.
+  kIf = 1u << 6,             ///< if/else.
+  kWhile = 1u << 7,          ///< Counted while loops.
+  kConditional = 1u << 8,    ///< ?: expressions.
+  kBreakContinue = 1u << 9,  ///< Guarded break/continue inside loops.
+  kCompoundAssign = 1u << 10,  ///< += -= (and straight-line *=).
+  kIncDec = 1u << 11,        ///< ++/-- on scalars.
+  kDivRem = 1u << 12,        ///< / and % with nonzero divisors.
+  kShifts = 1u << 13,        ///< << >> with bounded shift amounts.
+  kFloat = 1u << 14,         ///< double globals + emitd observation.
+
+  kDefaultFeatures = (1u << 14) - 1u,  ///< Everything except kFloat.
+  kAllFeatures = (1u << 15) - 1u,
+};
+
+struct GenOptions {
+  std::uint64_t seed = 1;
+  std::uint32_t features = kDefaultFeatures;
+  /// Rough statement budget for main (helpers are extra).
+  unsigned main_stmts = 24;
+  unsigned max_helpers = 3;
+  unsigned max_expr_depth = 4;
+  unsigned max_loop_depth = 3;
+};
+
+/// Names of every Feature bit, in bit order ("loops", "nested-loops", ...).
+[[nodiscard]] const std::vector<std::string>& feature_names();
+
+/// Parses a feature list: "all", "default", or a comma-separated set of
+/// feature names, each optionally prefixed with '-' to subtract from the
+/// set accumulated so far (e.g. "default,-float,-calls").  Returns false
+/// on an unknown name, leaving `out` untouched.
+[[nodiscard]] bool parse_features(const std::string& text, std::uint32_t& out);
+
+/// Renders a mask back to the canonical comma-separated list.
+[[nodiscard]] std::string render_features(std::uint32_t features);
+
+/// Generates one program as an AST owned by the returned Program.
+[[nodiscard]] frontend::Program generate_program(const GenOptions& options);
+
+/// generate_program + frontend::print_program: the canonical harness
+/// entry.  The printed source is the program under test; it re-parses
+/// through the normal front-end so generated trees never bypass the
+/// lexer/parser/sema path the pipeline actually ships.
+[[nodiscard]] std::string generate_source(const GenOptions& options);
+
+}  // namespace hli::testing

@@ -1,0 +1,178 @@
+#include "testing/reduce.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace hli::testing {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& source) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= source.size()) {
+    const std::size_t end = source.find('\n', start);
+    if (end == std::string::npos) {
+      if (start < source.size()) lines.push_back(source.substr(start));
+      break;
+    }
+    lines.push_back(source.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::size_t count_nonempty(const std::vector<std::string>& lines) {
+  std::size_t n = 0;
+  for (const std::string& line : lines) {
+    if (line.find_first_not_of(" \t") != std::string::npos) ++n;
+  }
+  return n;
+}
+
+/// Index of the line holding the '}' matching the '{' on `open`, or
+/// npos.  The printer places braces only at control-flow boundaries, so
+/// counting brace characters per line is exact for printed programs (and
+/// merely yields rejected candidates for hand-written ones).
+std::size_t matching_close(const std::vector<std::string>& lines,
+                           std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < lines.size(); ++i) {
+    for (const char c : lines[i]) {
+      if (c == '{') ++depth;
+      if (c == '}' && --depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+ReduceResult reduce_source(
+    const std::string& source,
+    const std::function<bool(const std::string&)>& still_interesting,
+    const ReduceOptions& options) {
+  ReduceResult result;
+  std::vector<std::string> lines = split_lines(source);
+  result.initial_lines = count_nonempty(lines);
+
+  auto check = [&](const std::vector<std::string>& candidate) {
+    if (result.checks >= options.max_checks) return false;
+    ++result.checks;
+    return still_interesting(join_lines(candidate));
+  };
+
+  // Phase 1 — Zeller-Hildebrandt ddmin over lines: try deleting chunks
+  // at granularity n, doubling n when nothing at the current granularity
+  // can go.  Returns with `minimal` true when 1-minimal.
+  auto ddmin_lines = [&](bool& minimal) {
+    std::size_t n = 2;
+    // A zero/one-line input is trivially 1-minimal for line deletion.
+    minimal = lines.size() < 2;
+    while (lines.size() >= 2 && result.checks < options.max_checks) {
+      const std::size_t chunk = std::max<std::size_t>(1, lines.size() / n);
+      bool removed = false;
+      for (std::size_t start = 0; start < lines.size(); start += chunk) {
+        std::vector<std::string> candidate;
+        candidate.reserve(lines.size());
+        candidate.insert(candidate.end(), lines.begin(),
+                         lines.begin() + static_cast<std::ptrdiff_t>(start));
+        candidate.insert(
+            candidate.end(),
+            lines.begin() + static_cast<std::ptrdiff_t>(
+                                std::min(start + chunk, lines.size())),
+            lines.end());
+        if (candidate.size() < lines.size() && check(candidate)) {
+          lines = std::move(candidate);
+          // Rescale the granularity to the smaller input, per ddmin.
+          n = std::max<std::size_t>(2, n - 1);
+          removed = true;
+          break;
+        }
+      }
+      if (removed) continue;
+      if (chunk == 1) {
+        minimal = result.checks < options.max_checks;
+        return;  // 1-minimal: no single line can be deleted.
+      }
+      n = std::min(n * 2, lines.size());
+    }
+    // Exited by shrinking below two lines rather than by exhausting
+    // single-line deletions: equally 1-minimal.
+    if (lines.size() < 2) minimal = result.checks < options.max_checks;
+  };
+
+  // Phase 2 — structural pass: line deletion alone cannot remove a
+  // control-flow statement whose header and closing brace must go
+  // together (a chunk covering the span rarely aligns once phase 1 has
+  // carved the input up).  For every brace pair try (a) deleting the
+  // whole span, (b) unwrapping — deleting just the header and close,
+  // keeping the body.  Returns true when anything shrank.
+  auto unwrap_blocks = [&]() {
+    bool shrank = false;
+    for (std::size_t i = 0; i < lines.size();) {
+      if (lines[i].find('{') == std::string::npos ||
+          result.checks >= options.max_checks) {
+        ++i;
+        continue;
+      }
+      const std::size_t close = matching_close(lines, i);
+      if (close == std::string::npos) {
+        ++i;
+        continue;
+      }
+      std::vector<std::string> span(
+          lines.begin() + static_cast<std::ptrdiff_t>(i),
+          lines.begin() + static_cast<std::ptrdiff_t>(close + 1));
+      std::vector<std::string> candidate;
+      candidate.assign(lines.begin(),
+                       lines.begin() + static_cast<std::ptrdiff_t>(i));
+      candidate.insert(candidate.end(),
+                       lines.begin() + static_cast<std::ptrdiff_t>(close + 1),
+                       lines.end());
+      if (check(candidate)) {  // (a) drop the whole statement.
+        lines = std::move(candidate);
+        shrank = true;
+        continue;  // Same index: the next statement slid into place.
+      }
+      candidate.assign(lines.begin(),
+                       lines.begin() + static_cast<std::ptrdiff_t>(i));
+      candidate.insert(candidate.end(), span.begin() + 1, span.end() - 1);
+      candidate.insert(candidate.end(),
+                       lines.begin() + static_cast<std::ptrdiff_t>(close + 1),
+                       lines.end());
+      if (check(candidate)) {  // (b) unwrap: keep the body.
+        lines = std::move(candidate);
+        shrank = true;
+        continue;
+      }
+      ++i;
+    }
+    return shrank;
+  };
+
+  // Alternate the phases to fixpoint: unwrapping exposes new single-line
+  // deletions (a loop body that only mattered inside the loop), and those
+  // deletions expose new unwrappable blocks.
+  bool minimal = false;
+  ddmin_lines(minimal);
+  while (unwrap_blocks() && result.checks < options.max_checks) {
+    ddmin_lines(minimal);
+  }
+  result.minimal = minimal && result.checks < options.max_checks;
+
+  result.source = join_lines(lines);
+  result.final_lines = count_nonempty(lines);
+  return result;
+}
+
+}  // namespace hli::testing

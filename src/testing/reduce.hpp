@@ -1,0 +1,37 @@
+// Delta-debugging reducer (ddmin over source lines).  Given a mini-C
+// source whose differential run diverges, shrink it to a (1-minimal)
+// reproducer: no single remaining line can be deleted without losing the
+// divergence.  The frontend printer emits one statement per line, so
+// line granularity is statement granularity.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace hli::testing {
+
+struct ReduceOptions {
+  /// Predicate-evaluation budget; ddmin is O(n^2) worst case and each
+  /// check is a full differential run.
+  unsigned max_checks = 4000;
+};
+
+struct ReduceResult {
+  std::string source;        ///< Smallest still-interesting variant found.
+  unsigned checks = 0;       ///< Predicate evaluations spent.
+  std::size_t initial_lines = 0;
+  std::size_t final_lines = 0;  ///< Non-empty lines in `source`.
+  bool minimal = false;      ///< 1-minimality reached within the budget.
+};
+
+/// Shrinks `source` with ddmin.  `still_interesting` must return true for
+/// the original input and for any candidate that preserves the behavior
+/// being chased (typically: baseline still compiles AND the differential
+/// matrix still reports the same divergence).  Candidates that fail to
+/// compile simply return false; the reducer needs no syntax knowledge.
+[[nodiscard]] ReduceResult reduce_source(
+    const std::string& source,
+    const std::function<bool(const std::string&)>& still_interesting,
+    const ReduceOptions& options = {});
+
+}  // namespace hli::testing

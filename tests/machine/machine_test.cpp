@@ -1,0 +1,98 @@
+// Unit tests for the machine descriptions: the per-opcode latency switch
+// (integer vs float forms) and the parameter shapes that distinguish the
+// two evaluation targets — the in-order R4600 and the out-of-order
+// R10000 whose finite scheduling window is why static scheduling still
+// matters there.
+#include <gtest/gtest.h>
+
+#include "backend/rtl.hpp"
+#include "machine/machine.hpp"
+
+namespace {
+
+using hli::backend::Insn;
+using hli::backend::Opcode;
+using hli::machine::MachineDesc;
+
+Insn make(Opcode op, bool is_float = false) {
+  Insn insn;
+  insn.op = op;
+  insn.is_float = is_float;
+  return insn;
+}
+
+TEST(MachineTest, LatencySelectsPerOpcodeParameters) {
+  MachineDesc m;
+  m.lat_alu = 1;
+  m.lat_imul = 8;
+  m.lat_idiv = 36;
+  m.lat_load = 2;
+  m.lat_store = 3;
+  m.lat_fadd = 4;
+  m.lat_fmul = 5;
+  m.lat_fdiv = 19;
+  m.call_overhead = 7;
+
+  EXPECT_EQ(m.latency(make(Opcode::Load)), m.lat_load);
+  EXPECT_EQ(m.latency(make(Opcode::Store)), m.lat_store);
+  EXPECT_EQ(m.latency(make(Opcode::Add)), m.lat_alu);
+  EXPECT_EQ(m.latency(make(Opcode::Sub)), m.lat_alu);
+  EXPECT_EQ(m.latency(make(Opcode::Neg)), m.lat_alu);
+  EXPECT_EQ(m.latency(make(Opcode::Mul)), m.lat_imul);
+  EXPECT_EQ(m.latency(make(Opcode::Div)), m.lat_idiv);
+  EXPECT_EQ(m.latency(make(Opcode::Rem)), m.lat_idiv);
+  EXPECT_EQ(m.latency(make(Opcode::Call)), m.call_overhead);
+}
+
+TEST(MachineTest, FloatFormsUseFloatLatencies) {
+  const MachineDesc m = hli::machine::r4600();
+  EXPECT_EQ(m.latency(make(Opcode::Mul, true)), m.lat_fmul);
+  EXPECT_EQ(m.latency(make(Opcode::Div, true)), m.lat_fdiv);
+  EXPECT_EQ(m.latency(make(Opcode::Rem, true)), m.lat_fdiv);
+  EXPECT_EQ(m.latency(make(Opcode::Add, true)), m.lat_fadd);
+  EXPECT_EQ(m.latency(make(Opcode::CmpLt, true)), m.lat_fadd);
+  // Conversions price as FP adds regardless of the flag.
+  EXPECT_EQ(m.latency(make(Opcode::IntToFp)), m.lat_fadd);
+  EXPECT_EQ(m.latency(make(Opcode::FpToInt)), m.lat_fadd);
+}
+
+TEST(MachineTest, ComparesPriceAsAlu) {
+  const MachineDesc m = hli::machine::r10000();
+  for (Opcode op : {Opcode::CmpLt, Opcode::CmpLe, Opcode::CmpGt,
+                    Opcode::CmpGe, Opcode::CmpEq, Opcode::CmpNe}) {
+    EXPECT_EQ(m.latency(make(op)), m.lat_alu);
+  }
+}
+
+TEST(MachineTest, R4600IsSingleIssueInOrder) {
+  const MachineDesc m = hli::machine::r4600();
+  EXPECT_EQ(m.name, "R4600");
+  EXPECT_FALSE(m.out_of_order);
+  EXPECT_EQ(m.issue_width, 1u);
+  // No L2 on the paper's R4600 box: the miss penalty is a full trip to
+  // memory, larger than the R10000's L2-backed penalty.
+  EXPECT_GT(m.lat_miss, hli::machine::r10000().lat_miss);
+}
+
+TEST(MachineTest, R10000IsWideOutOfOrderWithFiniteWindow) {
+  const MachineDesc m = hli::machine::r10000();
+  EXPECT_EQ(m.name, "R10000");
+  EXPECT_TRUE(m.out_of_order);
+  EXPECT_EQ(m.issue_width, 4u);
+  // The finite scheduling window (16-entry queues) and LSQ are the whole
+  // reason HLI-driven scheduling helps an OoO core at all.
+  EXPECT_EQ(m.rob_size, 16u);
+  EXPECT_EQ(m.lsq_size, 16u);
+  // FP is markedly faster than the R4600's.
+  EXPECT_LT(m.lat_fmul, hli::machine::r4600().lat_fmul);
+}
+
+TEST(MachineTest, BothTargetsShareCacheGeometry) {
+  const MachineDesc a = hli::machine::r4600();
+  const MachineDesc b = hli::machine::r10000();
+  EXPECT_EQ(a.cache_line_bytes, b.cache_line_bytes);
+  EXPECT_EQ(a.cache_lines, b.cache_lines);
+  EXPECT_EQ(a.cache_line_bytes * a.cache_lines, 32u * 1024u);
+}
+
+}  // namespace

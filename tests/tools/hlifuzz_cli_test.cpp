@@ -1,0 +1,151 @@
+// End-to-end CLI tests for hlifuzz: the fuzz loop exit-code contract,
+// --emit-source determinism, --features validation, --plant-bug
+// self-test, --emit-repro artifact layout, --reduce mode, and the
+// --json summary convention shared with the bench tools.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+#ifndef HLIFUZZ_PATH
+#error "HLIFUZZ_PATH must point at the hlifuzz binary"
+#endif
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  ///< stdout + stderr, interleaved.
+};
+
+RunResult run_hlifuzz(const std::string& args) {
+  const std::string out_path = ::testing::TempDir() + "hlifuzz_out.txt";
+  const std::string command =
+      std::string(HLIFUZZ_PATH) + " " + args + " > " + out_path + " 2>&1";
+  const int status = std::system(command.c_str());
+  RunResult result;
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::ifstream in(out_path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  result.output = std::move(buffer).str();
+  return result;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(HlifuzzCliTest, CleanRunExitsZero) {
+  const RunResult result =
+      run_hlifuzz("--seed 1 --iterations 3 --quiet");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("3 iterations, 0 divergent, 0 invalid"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST(HlifuzzCliTest, EmitSourceIsDeterministicPerSeed) {
+  const RunResult a = run_hlifuzz("--emit-source --seed 12");
+  const RunResult b = run_hlifuzz("--emit-source --seed=12");
+  const RunResult c = run_hlifuzz("--emit-source --seed 13");
+  ASSERT_EQ(a.exit_code, 0);
+  EXPECT_EQ(a.output, b.output);  // Also: --flag value == --flag=value.
+  EXPECT_NE(a.output, c.output);
+  EXPECT_NE(a.output.find("int main()"), std::string::npos);
+}
+
+TEST(HlifuzzCliTest, FeaturesRestrictEmittedSource) {
+  const RunResult result =
+      run_hlifuzz("--emit-source --seed 3 --features loops,if");
+  ASSERT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.output.find('['), std::string::npos) << result.output;
+}
+
+TEST(HlifuzzCliTest, ListFeaturesNamesEveryBit) {
+  const RunResult result = run_hlifuzz("--list-features");
+  EXPECT_EQ(result.exit_code, 0);
+  for (const char* name : {"loops", "arrays", "pointers", "float"}) {
+    EXPECT_NE(result.output.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(HlifuzzCliTest, RejectsUnknownFeatureAndDefect) {
+  EXPECT_EQ(run_hlifuzz("--features bogus").exit_code, 2);
+  EXPECT_EQ(run_hlifuzz("--plant-bug bogus").exit_code, 2);
+  EXPECT_EQ(run_hlifuzz("--unknown-flag").exit_code, 2);
+}
+
+TEST(HlifuzzCliTest, PlantedBugCaughtEveryIterationExitsZero) {
+  const RunResult result = run_hlifuzz(
+      "--seed 1 --iterations 2 --plant-bug negate-branch "
+      "--no-reduce --quiet");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("planted negate-branch caught"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST(HlifuzzCliTest, EmitReproWritesSourceReportAndMinimized) {
+  const std::string dir = ::testing::TempDir() + "hlifuzz_repro";
+  std::filesystem::remove_all(dir);
+  const RunResult result = run_hlifuzz(
+      "--seed 1 --iterations 1 --features loops,arrays "
+      "--plant-bug drop-store --emit-repro " +
+      dir + " --quiet");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_TRUE(std::filesystem::exists(dir + "/seed1.c"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/seed1.report.txt"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/seed1.min.c"));
+  EXPECT_NE(read_file(dir + "/seed1.report.txt").find("DIVERGENCE"),
+            std::string::npos);
+  // The minimized reproducer is dramatically smaller than the original.
+  EXPECT_LT(read_file(dir + "/seed1.min.c").size(),
+            read_file(dir + "/seed1.c").size() / 2);
+}
+
+TEST(HlifuzzCliTest, ReduceModeShrinksDivergentInput) {
+  // Build a divergent input under --plant-bug, then shrink it.
+  const std::string dir = ::testing::TempDir() + "hlifuzz_reduce";
+  std::filesystem::remove_all(dir);
+  ASSERT_EQ(run_hlifuzz("--seed 1 --iterations 1 --features loops,arrays "
+                        "--plant-bug drop-store --no-reduce --emit-repro " +
+                        dir + " --quiet")
+                .exit_code,
+            0);
+  const RunResult result = run_hlifuzz(
+      "--reduce " + dir + "/seed1.c --plant-bug drop-store");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("reduced"), std::string::npos);
+  EXPECT_NE(result.output.find("int main()"), std::string::npos);
+}
+
+TEST(HlifuzzCliTest, ReduceModeRejectsNonDivergentInput) {
+  const std::string path = ::testing::TempDir() + "clean.c";
+  std::ofstream(path) << "void emit(int v);\n"
+                         "int main() { emit(3); return 0; }\n";
+  const RunResult result = run_hlifuzz("--reduce " + path);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("does not diverge"), std::string::npos)
+      << result.output;
+}
+
+TEST(HlifuzzCliTest, JsonSummaryFollowsBenchConvention) {
+  const std::string path = ::testing::TempDir() + "fuzz.json";
+  const RunResult result = run_hlifuzz(
+      "--seed 5 --iterations 2 --quiet --json " + path);
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  const std::string json = read_file(path);
+  EXPECT_NE(json.find("\"bench\": \"hlifuzz\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"iterations\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"divergent\": 0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"first_seed\": 5"), std::string::npos) << json;
+}
+
+}  // namespace
