@@ -2,10 +2,17 @@
 // construction, serialization round-trip, import+mapping, and query
 // throughput.  Substantiates the paper's "condensed format" claim — the
 // back-end can afford to consult the HLI on every scheduling query.
+//
+// BM_CompilePipeline / BM_CompilePipelineTelemetry are the telemetry
+// overhead gate: the full pipeline with the counter/span instrumentation
+// compiled in but DISABLED vs the same pipeline with collection on.  The
+// disabled leg must track the pre-telemetry baseline (< 1% — every
+// instrumented site is one TLS load + branch when no sink is installed).
 #include <benchmark/benchmark.h>
 
 #include "backend/lower.hpp"
 #include "backend/mapping.hpp"
+#include "driver/pipeline.hpp"
 #include "frontend/sema.hpp"
 #include "hli/builder.hpp"
 #include "hli/query.hpp"
@@ -132,6 +139,34 @@ void BM_ConflictQueries(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_ConflictQueries);
+
+// Whole pipeline, telemetry compiled in but off: the "zero overhead when
+// off" claim, measured.
+void BM_CompilePipeline(benchmark::State& state) {
+  const std::string& source = swim().source;
+  const driver::PipelineOptions options =
+      driver::PipelineOptions::paper_table2();
+  for (auto _ : state) {
+    const driver::CompiledProgram compiled =
+        driver::compile_source(source, options);
+    benchmark::DoNotOptimize(compiled.rtl.functions.size());
+  }
+}
+BENCHMARK(BM_CompilePipeline);
+
+// Same pipeline with counter collection on — the cost of actually
+// recording (per-function + per-program sets, no tracer).
+void BM_CompilePipelineTelemetry(benchmark::State& state) {
+  const std::string& source = swim().source;
+  const driver::PipelineOptions options =
+      driver::PipelineOptions::paper_table2().with_counters();
+  for (auto _ : state) {
+    const driver::CompiledProgram compiled =
+        driver::compile_source(source, options);
+    benchmark::DoNotOptimize(compiled.counters.total.empty());
+  }
+}
+BENCHMARK(BM_CompilePipelineTelemetry);
 
 }  // namespace
 

@@ -23,11 +23,10 @@ int main(int argc, char** argv) {
   std::printf("%-14s %12s %12s %8s %8s %9s\n", "Benchmark", "native+RA",
               "HLI+RA", "speedup", "spills", "sched2 q");
   for (const auto& workload : workloads::all_workloads()) {
-    driver::PipelineOptions native;
-    native.use_hli = false;
-    native.enable_regalloc = true;
-    driver::PipelineOptions assisted = native;
-    assisted.use_hli = true;
+    const driver::PipelineOptions native = driver::PipelineOptions::paper_table2()
+                                               .with_hli(false)
+                                               .with_regalloc(true);
+    const driver::PipelineOptions assisted = native.with_hli(true);
 
     const driver::CompiledProgram plain =
         driver::compile_source(workload.source, native);

@@ -25,7 +25,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> sources;
   for (const auto& workload : all) sources.push_back(workload.source);
 
-  driver::PipelineOptions options;  // The default paper configuration.
+  // The paper configuration, with counters on: hli.bytes_exported from
+  // the telemetry registry cross-checks the ProgramStats size column.
+  const driver::PipelineOptions options =
+      driver::PipelineOptions::paper_table2().with_counters();
   const std::vector<driver::CompiledProgram> compiled =
       driver::compile_many(sources, options, args.jobs);
 
@@ -58,7 +61,10 @@ int main(int argc, char** argv) {
     report.add(workload.name,
                {{"lines", static_cast<double>(compiled[i].stats.source_lines)},
                 {"hli_kb", kb},
-                {"hli_bytes_per_line", per_line}});
+                {"hli_bytes_per_line", per_line},
+                {"hli_bytes_exported",
+                 static_cast<double>(compiled[i].counters.total.value(
+                     "hli.bytes_exported"))}});
     if (workload.floating_point) {
       fp_sum += per_line;
       ++fp_count;

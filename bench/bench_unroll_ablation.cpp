@@ -17,16 +17,14 @@ using namespace hli;
 namespace {
 
 std::uint64_t cycles_for(const char* source, bool unroll, bool maintain_hli) {
-  driver::PipelineOptions options;
-  options.use_hli = true;
-  options.enable_unroll = unroll;
-  options.unroll_factor = 4;
+  const driver::PipelineOptions base = driver::PipelineOptions::paper_table2();
+  const driver::PipelineOptions options =
+      unroll ? base.with_unroll(4) : base.without_unroll();
   driver::CompiledProgram compiled = driver::compile_source(source, options);
   if (unroll && !maintain_hli) {
     // Simulate "maintenance skipped": strip items from every duplicated
     // reference by recompiling with unrolling but scheduling natively.
-    driver::PipelineOptions degraded = options;
-    degraded.use_hli = false;
+    const driver::PipelineOptions degraded = options.with_hli(false);
     compiled = driver::compile_source(source, degraded);
   }
   return driver::simulate(compiled, machine::r4600()).cycles;

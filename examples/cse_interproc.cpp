@@ -36,10 +36,9 @@ int main() {
 )";
 
 int main() {
-  driver::PipelineOptions native;
-  native.use_hli = false;
-  driver::PipelineOptions assisted;
-  assisted.use_hli = true;
+  const driver::PipelineOptions native =
+      driver::PipelineOptions::paper_table2().with_hli(false);
+  const driver::PipelineOptions assisted = driver::PipelineOptions::paper_table2();
 
   const driver::CompiledProgram plain = driver::compile_source(kSource, native);
   const driver::CompiledProgram smart = driver::compile_source(kSource, assisted);

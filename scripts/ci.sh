@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Local mirror of .github/workflows/ci.yml: tier-1 tests, the verifier
-# acceptance sweep, sanitizer runs, clang-tidy, and the bench smoke.
+# acceptance sweep, sanitizer runs, clang-tidy, the telemetry stats
+# gate, and the bench smoke.
 # Each stage can be skipped by name: `scripts/ci.sh tier1 asan` runs only
 # those; no arguments runs everything available on this machine.
 set -euo pipefail
@@ -81,6 +82,44 @@ stage_tidy() {
   run-clang-tidy -p build -quiet "$(pwd)/src/.*\.cpp$"
 }
 
+stage_stats() {
+  cmake -B build "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j "$JOBS" --target hlic
+  local workloads
+  workloads=$(./build/tools/hlic --list-workloads | awk '{print $1}')
+  # Determinism gate: the JSON stats report must be byte-identical
+  # however many workers compiled the sweep.
+  # shellcheck disable=SC2086
+  ./build/tools/hlic --stats=json --jobs 1 $workloads \
+    > build/STATS_serial.json
+  # shellcheck disable=SC2086
+  ./build/tools/hlic --stats=json --jobs 8 $workloads \
+    > build/STATS_parallel.json
+  cmp build/STATS_serial.json build/STATS_parallel.json
+  # Effectiveness gate: HLI-assisted scheduling prunes DDG edges across
+  # the sweep; with --no-hli the pruning counter must not appear at all
+  # (nonzero counters only are rendered).
+  grep -q '"sched.ddg_edges_pruned":[1-9]' build/STATS_serial.json
+  # shellcheck disable=SC2086
+  ./build/tools/hlic --no-hli --stats=json $workloads \
+    > build/STATS_nohli.json
+  ! grep -q 'ddg_edges_pruned' build/STATS_nohli.json
+  if command -v python3 >/dev/null; then
+    python3 - <<'EOF'
+import json
+serial = json.load(open('build/STATS_serial.json'))
+nohli = json.load(open('build/STATS_nohli.json'))
+pruned = serial['total'].get('sched.ddg_edges_pruned', 0)
+assert pruned > 0, 'HLI-assisted scheduling pruned no DDG edges'
+assert nohli['total'].get('sched.ddg_edges_pruned', 0) == 0, \
+    'pruning counter must be zero with --no-hli'
+assert len(serial['inputs']) == len(nohli['inputs'])
+print('stats gate: %d DDG edges pruned across %d workloads'
+      % (pruned, len(serial['inputs'])))
+EOF
+  fi
+}
+
 stage_bench() {
   cmake -B build "${GENERATOR[@]}"
   cmake --build build -j "$JOBS" --target run_benches
@@ -92,5 +131,6 @@ want fuzz  "${STAGES[@]}" && stage_fuzz
 want asan  "${STAGES[@]}" && stage_asan
 want tsan  "${STAGES[@]}" && stage_tsan
 want tidy  "${STAGES[@]}" && stage_tidy
+want stats "${STAGES[@]}" && stage_stats
 want bench "${STAGES[@]}" && stage_bench
 echo "ci: all requested stages passed"

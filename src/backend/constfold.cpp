@@ -3,7 +3,20 @@
 #include <optional>
 #include <unordered_map>
 
+#include "support/telemetry.hpp"
+
 namespace hli::backend {
+
+namespace {
+const telemetry::Counter c_folded = telemetry::counter("constfold.folded");
+const telemetry::Counter c_branches_resolved =
+    telemetry::counter("constfold.branches_resolved");
+}  // namespace
+
+void ConstFoldStats::record_telemetry() const {
+  c_folded.add(folded);
+  c_branches_resolved.add(branches_resolved);
+}
 
 namespace {
 

@@ -20,6 +20,9 @@ struct ConstFoldStats {
     branches_resolved += other.branches_resolved;
     return *this;
   }
+
+  /// Feeds the `constfold.*` telemetry counters (docs/observability.md).
+  void record_telemetry() const;
 };
 
 ConstFoldStats constfold_function(RtlFunction& func);

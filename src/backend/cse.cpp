@@ -7,8 +7,28 @@
 #include <vector>
 
 #include "backend/gcc_alias.hpp"
+#include "support/telemetry.hpp"
 
 namespace hli::backend {
+
+namespace {
+const telemetry::Counter c_exprs_reused = telemetry::counter("cse.exprs_reused");
+const telemetry::Counter c_loads_reused = telemetry::counter("cse.loads_reused");
+const telemetry::Counter c_loads_deleted =
+    telemetry::counter("cse.loads_deleted");
+const telemetry::Counter c_purged_at_calls =
+    telemetry::counter("cse.entries_purged_at_calls");
+const telemetry::Counter c_kept_at_calls =
+    telemetry::counter("cse.entries_kept_at_calls");
+}  // namespace
+
+void CseStats::record_telemetry() const {
+  c_exprs_reused.add(exprs_reused);
+  c_loads_reused.add(loads_reused);
+  c_loads_deleted.add(loads_deleted);
+  c_purged_at_calls.add(entries_purged_at_calls);
+  c_kept_at_calls.add(entries_kept_at_calls);
+}
 
 namespace {
 

@@ -30,6 +30,9 @@ struct CseStats {
     loads_deleted += other.loads_deleted;
     return *this;
   }
+
+  /// Feeds the `cse.*` telemetry counters (docs/observability.md).
+  void record_telemetry() const;
 };
 
 struct CseOptions {

@@ -2,7 +2,21 @@
 
 #include <vector>
 
+#include "support/telemetry.hpp"
+
 namespace hli::backend {
+
+namespace {
+const telemetry::Counter c_insns_deleted =
+    telemetry::counter("dce.insns_deleted");
+const telemetry::Counter c_loads_deleted =
+    telemetry::counter("dce.loads_deleted");
+}  // namespace
+
+void DceStats::record_telemetry() const {
+  c_insns_deleted.add(deleted);
+  c_loads_deleted.add(deleted_loads);
+}
 
 namespace {
 

@@ -21,6 +21,9 @@ struct DceStats {
     deleted_loads += other.deleted_loads;
     return *this;
   }
+
+  /// Feeds the `dce.*` telemetry counters (docs/observability.md).
+  void record_telemetry() const;
 };
 
 struct DceOptions {

@@ -5,8 +5,27 @@
 #include <vector>
 
 #include "backend/gcc_alias.hpp"
+#include "support/telemetry.hpp"
 
 namespace hli::backend {
+
+namespace {
+const telemetry::Counter c_pure_hoisted =
+    telemetry::counter("licm.pure_hoisted");
+const telemetry::Counter c_loads_hoisted =
+    telemetry::counter("licm.loads_hoisted");
+const telemetry::Counter c_loads_blocked_native =
+    telemetry::counter("licm.loads_blocked_native");
+const telemetry::Counter c_loads_blocked_hli =
+    telemetry::counter("licm.loads_blocked_hli");
+}  // namespace
+
+void LicmStats::record_telemetry() const {
+  c_pure_hoisted.add(pure_hoisted);
+  c_loads_hoisted.add(loads_hoisted);
+  c_loads_blocked_native.add(loads_blocked_native);
+  c_loads_blocked_hli.add(loads_blocked_hli);
+}
 
 namespace {
 

@@ -30,6 +30,9 @@ struct LicmStats {
     loads_blocked_hli += other.loads_blocked_hli;
     return *this;
   }
+
+  /// Feeds the `licm.*` telemetry counters (docs/observability.md).
+  void record_telemetry() const;
 };
 
 struct LicmOptions {

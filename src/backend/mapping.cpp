@@ -2,9 +2,27 @@
 
 #include <unordered_map>
 
+#include "support/telemetry.hpp"
+
 namespace hli::backend {
 
 using namespace format;
+
+namespace {
+const telemetry::Counter c_items_mapped = telemetry::counter("map.items_mapped");
+const telemetry::Counter c_refs_unmapped =
+    telemetry::counter("map.refs_unmapped");
+const telemetry::Counter c_items_orphaned =
+    telemetry::counter("map.items_orphaned");
+const telemetry::Counter c_mismatches = telemetry::counter("map.mismatches");
+}  // namespace
+
+void MapResult::record_telemetry() const {
+  c_items_mapped.add(mapped);
+  c_refs_unmapped.add(insn_without_item);
+  c_items_orphaned.add(item_without_insn);
+  c_mismatches.add(mismatches.size());
+}
 
 namespace {
 

@@ -22,6 +22,9 @@ struct MapResult {
   [[nodiscard]] bool perfect() const {
     return insn_without_item == 0 && item_without_insn == 0;
   }
+
+  /// Feeds the `map.*` telemetry counters (docs/observability.md).
+  void record_telemetry() const;
 };
 
 /// Maps `entry`'s line-table items onto `func`'s instructions in place.

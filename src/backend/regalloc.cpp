@@ -5,7 +5,25 @@
 #include <set>
 #include <vector>
 
+#include "support/telemetry.hpp"
+
 namespace hli::backend {
+
+namespace {
+const telemetry::Counter c_intervals = telemetry::counter("regalloc.intervals");
+const telemetry::Counter c_spilled = telemetry::counter("regalloc.spilled");
+const telemetry::Counter c_spill_loads =
+    telemetry::counter("regalloc.spill_loads");
+const telemetry::Counter c_spill_stores =
+    telemetry::counter("regalloc.spill_stores");
+}  // namespace
+
+void RegAllocStats::record_telemetry() const {
+  c_intervals.add(intervals);
+  c_spilled.add(spilled);
+  c_spill_loads.add(spill_loads);
+  c_spill_stores.add(spill_stores);
+}
 
 namespace {
 

@@ -38,6 +38,9 @@ struct RegAllocStats {
     spill_stores += other.spill_stores;
     return *this;
   }
+
+  /// Feeds the `regalloc.*` telemetry counters (docs/observability.md).
+  void record_telemetry() const;
 };
 
 /// Rewrites `func` onto physical registers in place.  After return,

@@ -4,10 +4,33 @@
 #include <vector>
 
 #include "backend/gcc_alias.hpp"
+#include "support/telemetry.hpp"
 
 namespace hli::backend {
 
 namespace {
+
+const telemetry::Counter c_mem_queries = telemetry::counter("sched.mem_queries");
+const telemetry::Counter c_gcc_yes = telemetry::counter("sched.gcc_yes");
+const telemetry::Counter c_hli_yes = telemetry::counter("sched.hli_yes");
+const telemetry::Counter c_combined_yes =
+    telemetry::counter("sched.combined_yes");
+const telemetry::Counter c_ddg_edges_pruned =
+    telemetry::counter("sched.ddg_edges_pruned");
+const telemetry::Counter c_call_queries =
+    telemetry::counter("sched.call_queries");
+const telemetry::Counter c_call_edges_pruned =
+    telemetry::counter("sched.call_edges_pruned");
+const telemetry::Counter c_blocks = telemetry::counter("sched.blocks");
+const telemetry::Counter c_insns_scheduled =
+    telemetry::counter("sched.insns_scheduled");
+const telemetry::Counter c_cache_hits = telemetry::counter("sched.cache_hits");
+const telemetry::Counter c_cache_misses =
+    telemetry::counter("sched.cache_misses");
+const telemetry::Counter c_hli_answers =
+    telemetry::counter("query.hli_answers");
+const telemetry::Counter c_native_fallbacks =
+    telemetry::counter("query.native_fallbacks");
 
 /// Registers read by an instruction.
 void reads_of(const Insn& insn, std::vector<Reg>& out) {
@@ -105,7 +128,11 @@ class BlockScheduler {
   [[nodiscard]] query::EquivAcc hli_conflict(format::ItemId a,
                                              format::ItemId b) {
     if (options_.cache != nullptr) {
-      if (const auto hit = options_.cache->lookup(a, b)) return *hit;
+      if (const auto hit = options_.cache->lookup(a, b)) {
+        c_cache_hits.add();
+        return *hit;
+      }
+      c_cache_misses.add();
       const query::EquivAcc answer = options_.view->may_conflict(a, b);
       options_.cache->insert(a, b, answer);
       return answer;
@@ -120,8 +147,11 @@ class BlockScheduler {
     bool hli_value = gcc_value;  // Without items, fall back to native.
     if (options_.view != nullptr && a.mem.hli_item != format::kNoItem &&
         b.mem.hli_item != format::kNoItem) {
+      c_hli_answers.add();
       hli_value = hli_conflict(a.mem.hli_item, b.mem.hli_item) !=
                   query::EquivAcc::None;
+    } else {
+      c_native_fallbacks.add();
     }
     if (gcc_value) ++stats_.gcc_yes;
     if (hli_value) ++stats_.hli_yes;
@@ -255,6 +285,22 @@ class BlockScheduler {
 };
 
 }  // namespace
+
+void DepStats::record_telemetry(bool hli_applied) const {
+  c_mem_queries.add(mem_queries);
+  c_gcc_yes.add(gcc_yes);
+  c_hli_yes.add(hli_yes);
+  c_combined_yes.add(combined_yes);
+  c_call_queries.add(call_queries);
+  c_blocks.add(blocks);
+  c_insns_scheduled.add(scheduled_insns);
+  // Edges that exist under the native oracle but not under the combined
+  // answer — pruned only when the schedule actually applied the HLI.
+  if (hli_applied) {
+    c_ddg_edges_pruned.add(gcc_yes - combined_yes);
+    c_call_edges_pruned.add(call_edges_native - call_edges_hli);
+  }
+}
 
 DepStats schedule_function(RtlFunction& func, const SchedOptions& options) {
   DepStats stats;

@@ -39,6 +39,12 @@ struct DepStats {
     scheduled_insns += other.scheduled_insns;
     return *this;
   }
+
+  /// Feeds the `sched.*` telemetry counters (docs/observability.md).
+  /// `hli_applied` says whether the schedule actually used HLI answers:
+  /// `sched.ddg_edges_pruned` (gcc_yes - combined_yes) is reported only
+  /// then, so an HLI-off compile reports 0 pruned edges.
+  void record_telemetry(bool hli_applied) const;
 };
 
 struct SchedOptions {

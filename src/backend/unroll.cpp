@@ -4,7 +4,24 @@
 #include <set>
 #include <vector>
 
+#include "support/telemetry.hpp"
+
 namespace hli::backend {
+
+namespace {
+const telemetry::Counter c_loops_unrolled =
+    telemetry::counter("unroll.loops_unrolled");
+const telemetry::Counter c_loops_rejected =
+    telemetry::counter("unroll.loops_rejected");
+const telemetry::Counter c_copies_made =
+    telemetry::counter("unroll.copies_made");
+}  // namespace
+
+void UnrollStats::record_telemetry() const {
+  c_loops_unrolled.add(loops_unrolled);
+  c_loops_rejected.add(loops_rejected);
+  c_copies_made.add(copies_made);
+}
 
 namespace {
 

@@ -24,6 +24,9 @@ struct UnrollStats {
     copies_made += other.copies_made;
     return *this;
   }
+
+  /// Feeds the `unroll.*` telemetry counters (docs/observability.md).
+  void record_telemetry() const;
 };
 
 struct UnrollOptions {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <exception>
 
+#include "support/telemetry.hpp"
+
 namespace hli::driver {
 
 unsigned default_jobs() {
@@ -67,11 +69,23 @@ void parallel_for(std::size_t count, unsigned jobs,
     for (std::size_t i = 0; i < count; ++i) task(i);
     return;
   }
+  // Propagate the caller's telemetry sink across the fan-out: each task
+  // records into its own CounterSet (the caller's Tracer is thread-safe
+  // and shared directly), and the per-task sets merge back in task-index
+  // order below — so the caller's totals are byte-identical to running
+  // the same tasks in a serial loop, whatever the worker interleaving.
+  telemetry::CounterSet* const parent = telemetry::current_counters();
+  telemetry::Tracer* const tracer = telemetry::current_tracer();
+  std::vector<telemetry::CounterSet> task_counters(
+      parent != nullptr ? count : 0);
   {
     ThreadPool pool(static_cast<unsigned>(
         std::min<std::size_t>(jobs, count)));
     for (std::size_t i = 0; i < count; ++i) {
-      pool.submit([&task, &errors, i] {
+      pool.submit([&task, &errors, &task_counters, parent, tracer, i] {
+        const telemetry::ScopedRecorder recorder(
+            parent != nullptr ? &task_counters[i] : nullptr, tracer,
+            /*merge_to_parent=*/false);
         try {
           task(i);
         } catch (...) {
@@ -80,6 +94,11 @@ void parallel_for(std::size_t count, unsigned jobs,
       });
     }
     pool.wait_idle();
+  }
+  if (parent != nullptr) {
+    for (const telemetry::CounterSet& counters : task_counters) {
+      *parent += counters;
+    }
   }
   for (const std::exception_ptr& error : errors) {
     if (error) std::rethrow_exception(error);
@@ -94,6 +113,13 @@ std::vector<CompiledProgram> compile_many(const std::vector<std::string>& source
     out[i] = compile_source(sources[i], options);
   });
   return out;
+}
+
+CompilationStats aggregate_counters(
+    const std::vector<CompiledProgram>& programs) {
+  CompilationStats total;
+  for (const CompiledProgram& program : programs) total += program.counters;
+  return total;
 }
 
 }  // namespace hli::driver

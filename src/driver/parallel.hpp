@@ -78,4 +78,11 @@ void parallel_for(std::size_t count, unsigned jobs,
     const std::vector<std::string>& sources,
     const PipelineOptions& options = {}, unsigned jobs = 0);
 
+/// Merges every program's telemetry counters in input order: totals add,
+/// per-function attributions concatenate.  Because counter collection is
+/// per-compilation state, the result is byte-identical however many jobs
+/// compiled `programs`.
+[[nodiscard]] CompilationStats aggregate_counters(
+    const std::vector<CompiledProgram>& programs);
+
 }  // namespace hli::driver

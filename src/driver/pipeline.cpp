@@ -13,7 +13,159 @@ namespace hli::driver {
 
 using namespace hli::backend;
 
+// -- PipelineOptions: presets, fluent layer, validation ---------------------
+
+PipelineOptions PipelineOptions::paper_table2() { return PipelineOptions{}; }
+
+PipelineOptions PipelineOptions::production() {
+  PipelineOptions options;
+  options.enable_unroll = true;
+  options.unroll_factor = 4;
+  options.enable_regalloc = true;
+  options.hli_encoding = HliEncoding::Binary;
+  return options;
+}
+
+PipelineOptions PipelineOptions::frontend_only() {
+  PipelineOptions options;
+  options.enable_cse = false;
+  options.enable_constfold = false;
+  options.enable_dce = false;
+  options.enable_licm = false;
+  options.enable_unroll = false;
+  options.enable_sched = false;
+  options.enable_regalloc = false;
+  return options;
+}
+
+PipelineOptions PipelineOptions::with_hli(bool on) const {
+  PipelineOptions copy = *this;
+  copy.use_hli = on;
+  return copy;
+}
+
+PipelineOptions PipelineOptions::with_verify(VerifyMode mode) const {
+  PipelineOptions copy = *this;
+  copy.verify_hli = mode;
+  return copy;
+}
+
+PipelineOptions PipelineOptions::with_encoding(HliEncoding encoding) const {
+  PipelineOptions copy = *this;
+  copy.hli_encoding = encoding;
+  return copy;
+}
+
+PipelineOptions PipelineOptions::with_store(const hli::HliStore* store) const {
+  PipelineOptions copy = *this;
+  copy.hli_store = store;
+  return copy;
+}
+
+PipelineOptions PipelineOptions::with_cse(bool on) const {
+  PipelineOptions copy = *this;
+  copy.enable_cse = on;
+  return copy;
+}
+
+PipelineOptions PipelineOptions::with_constfold(bool on) const {
+  PipelineOptions copy = *this;
+  copy.enable_constfold = on;
+  return copy;
+}
+
+PipelineOptions PipelineOptions::with_dce(bool on) const {
+  PipelineOptions copy = *this;
+  copy.enable_dce = on;
+  return copy;
+}
+
+PipelineOptions PipelineOptions::with_licm(bool on) const {
+  PipelineOptions copy = *this;
+  copy.enable_licm = on;
+  return copy;
+}
+
+PipelineOptions PipelineOptions::with_unroll(unsigned factor) const {
+  PipelineOptions copy = *this;
+  copy.enable_unroll = true;
+  copy.unroll_factor = factor;
+  return copy;
+}
+
+PipelineOptions PipelineOptions::without_unroll() const {
+  PipelineOptions copy = *this;
+  copy.enable_unroll = false;
+  return copy;
+}
+
+PipelineOptions PipelineOptions::with_sched(bool on) const {
+  PipelineOptions copy = *this;
+  copy.enable_sched = on;
+  return copy;
+}
+
+PipelineOptions PipelineOptions::with_regalloc(bool on) const {
+  PipelineOptions copy = *this;
+  copy.enable_regalloc = on;
+  return copy;
+}
+
+PipelineOptions PipelineOptions::with_machine(
+    const machine::MachineDesc& machine) const {
+  PipelineOptions copy = *this;
+  copy.sched_machine = machine;
+  return copy;
+}
+
+PipelineOptions PipelineOptions::with_counters(bool on) const {
+  PipelineOptions copy = *this;
+  copy.telemetry.counters = on;
+  return copy;
+}
+
+PipelineOptions PipelineOptions::with_tracer(telemetry::Tracer* tracer) const {
+  PipelineOptions copy = *this;
+  copy.telemetry.tracer = tracer;
+  return copy;
+}
+
+std::vector<std::string> PipelineOptions::validate() const {
+  std::vector<std::string> problems;
+  if (hli_store != nullptr && !use_hli) {
+    problems.emplace_back(
+        "hli_store is set but use_hli is false: the external store would be "
+        "imported and then ignored by every pass; enable HLI "
+        "(with_hli(true)) or drop the store (with_store(nullptr))");
+  }
+  if (enable_unroll && unroll_factor == 0) {
+    problems.emplace_back(
+        "enable_unroll is set but unroll_factor is 0: a loop body cannot be "
+        "replicated zero times; use with_unroll(N) with N >= 2, or "
+        "without_unroll()");
+  }
+  if (enable_unroll && unroll_factor == 1) {
+    problems.emplace_back(
+        "enable_unroll is set with unroll_factor 1: a single copy is an "
+        "expensive no-op; use with_unroll(N) with N >= 2, or "
+        "without_unroll()");
+  }
+  return problems;
+}
+
 namespace {
+
+/// Shared by compile_source/compile_many so both entry points reject
+/// incoherent options with one aggregated diagnostic.
+void throw_if_invalid(const PipelineOptions& options) {
+  const std::vector<std::string> problems = options.validate();
+  if (problems.empty()) return;
+  std::string message = "invalid PipelineOptions:";
+  for (const std::string& problem : problems) {
+    message += "\n  - " + problem;
+  }
+  throw support::CompileError(message);
+}
 
 /// Every HLI-mapped reference of the function, for the verifier's HV105
 /// mapping-congruence check (§3.2.1: the stamp on each Load/Store/Call
@@ -31,6 +183,16 @@ std::vector<verify::MappedRef> collect_mapped_refs(const RtlFunction& func) {
   return refs;
 }
 
+// Pipeline-level telemetry counters (the passes register their own; see
+// docs/observability.md for the catalog).
+const telemetry::Counter c_hli_bytes_exported =
+    telemetry::counter("hli.bytes_exported");
+const telemetry::Counter c_functions_compiled =
+    telemetry::counter("pipeline.functions_compiled");
+const telemetry::Counter c_verify_checks = telemetry::counter("verify.checks");
+const telemetry::Counter c_verify_findings =
+    telemetry::counter("verify.findings");
+
 }  // namespace
 
 std::size_t count_source_lines(std::string_view source) {
@@ -43,10 +205,28 @@ std::size_t count_source_lines(std::string_view source) {
 
 CompiledProgram compile_source(std::string_view source,
                                const PipelineOptions& options) {
+  throw_if_invalid(options);
+
   CompiledProgram out;
+
+  // Program-level recorder: counter increments from every pass land in
+  // out.counters.total (and spans in the tracer) for this thread until
+  // the end of the compilation.  When telemetry is disabled nothing is
+  // installed — an ambient sink set up by the caller (e.g. hlifuzz
+  // aggregating across a fuzz run) keeps receiving increments instead.
+  std::optional<telemetry::ScopedRecorder> program_recorder;
+  if (options.telemetry.enabled()) {
+    program_recorder.emplace(
+        options.telemetry.counters ? &out.counters.total : nullptr,
+        options.telemetry.tracer);
+  }
+
   support::DiagnosticEngine diags;
-  out.ast = std::make_unique<frontend::Program>(
-      frontend::compile_to_ast(source, diags));
+  {
+    const telemetry::Span span("frontend", "phase");
+    out.ast = std::make_unique<frontend::Program>(
+        frontend::compile_to_ast(source, diags));
+  }
   out.stats.source_lines = count_source_lines(source);
 
   // Front-end: generate and EXPORT the HLI (text or HLIB binary), then
@@ -59,12 +239,14 @@ CompiledProgram compile_source(std::string_view source,
   std::optional<hli::HliStore> local_store;
   const hli::HliStore* store = options.hli_store;
   if (store == nullptr) {
+    const telemetry::Span span("hli-generate", "phase");
     const format::HliFile generated =
         builder::build_hli(*out.ast, options.hli_build);
     out.hli_text = options.hli_encoding == HliEncoding::Binary
                        ? serialize::write_hlib(generated)
                        : serialize::write_hli(generated);
     out.stats.hli_bytes = out.hli_text.size();
+    c_hli_bytes_exported.add(out.hli_text.size());
     local_store.emplace(std::string(out.hli_text));
     store = &*local_store;
   }
@@ -72,14 +254,34 @@ CompiledProgram compile_source(std::string_view source,
   // Back-end: lower, then map and optimize per function.  The imported
   // entry is copied out of the store: maintenance mutates it per
   // compilation, while the (possibly shared) store stays read-only.
-  out.rtl = lower_program(*out.ast);
+  {
+    const telemetry::Span span("lower", "phase");
+    out.rtl = lower_program(*out.ast);
+  }
   out.hli.entries.reserve(out.rtl.functions.size());
+  if (options.telemetry.counters) {
+    // Reserved up front: each iteration's recorder holds a pointer into
+    // this vector across the passes it scopes.
+    out.counters.per_function.reserve(out.rtl.functions.size());
+  }
   for (RtlFunction& func : out.rtl.functions) {
+    const telemetry::Span function_span(func.name, "function");
+    // Per-function counter attribution; merges into the program total
+    // (and any ambient sink beyond it) when the scope closes.
+    std::optional<telemetry::ScopedRecorder> function_recorder;
+    if (options.telemetry.counters) {
+      out.counters.per_function.emplace_back(func.name,
+                                             telemetry::CounterSet{});
+      function_recorder.emplace(&out.counters.per_function.back().second);
+    }
+    c_functions_compiled.add(1);
+
     const format::HliEntry* imported = store->get(func.name);
     if (imported == nullptr) continue;
     out.hli.entries.push_back(*imported);
     format::HliEntry* entry = &out.hli.entries.back();
     const MapResult mapping = map_items(func, *entry);
+    mapping.record_telemetry();
     out.stats.mapped_items += mapping.mapped;
     if (!mapping.perfect()) out.stats.map_perfect = false;
 
@@ -90,13 +292,16 @@ CompiledProgram compile_source(std::string_view source,
         [&](const char* boundary,
             const std::vector<verify::MappedRef>* refs = nullptr) {
           if (options.verify_hli == VerifyMode::Off) return;
+          const telemetry::Span span("verify", "verify");
           verify::VerifyOptions vopts;
           vopts.audit_on_findings = true;
           vopts.mapped_refs = refs;
           const verify::VerifyResult result = verify::verify_entry(*entry, vopts);
           out.stats.verify_checks += result.checks_run;
+          c_verify_checks.add(result.checks_run);
           if (result.ok()) return;
           out.stats.verify_findings += result.findings.size();
+          c_verify_findings.add(result.findings.size());
           const std::string report = "HLI verifier: unit '" + func.name +
                                      "' dirty after " + boundary + ":\n" +
                                      result.render(func.name);
@@ -116,6 +321,7 @@ CompiledProgram compile_source(std::string_view source,
     // live view mid-pass (delete_item never changes the answer for the
     // still-live items the pass keeps querying, so deferral is safe).
     if (options.enable_cse) {
+      const telemetry::Span span("cse", "pass");
       const query::HliUnitView view(*entry);
       std::vector<format::ItemId> deleted;
       CseOptions cse;
@@ -124,7 +330,9 @@ CompiledProgram compile_source(std::string_view source,
       cse.on_load_deleted = [&deleted](format::ItemId item) {
         deleted.push_back(item);
       };
-      out.stats.cse += cse_function(func, cse);
+      const CseStats cse_stats = cse_function(func, cse);
+      cse_stats.record_telemetry();
+      out.stats.cse += cse_stats;
       for (const format::ItemId item : deleted) {
         maintain::delete_item(*entry, item);
       }
@@ -133,22 +341,29 @@ CompiledProgram compile_source(std::string_view source,
 
     // Combine-style constant folding before the dead-code sweep.
     if (options.enable_constfold) {
-      out.stats.constfold += constfold_function(func);
+      const telemetry::Span span("constfold", "pass");
+      const ConstFoldStats constfold_stats = constfold_function(func);
+      constfold_stats.record_telemetry();
+      out.stats.constfold += constfold_stats;
     }
 
     // Flow-style dead code elimination: sweep the Moves CSE left behind.
     if (options.enable_dce) {
+      const telemetry::Span span("dce", "pass");
       DceOptions dce;
       dce.on_load_deleted = [entry](format::ItemId item) {
         maintain::delete_item(*entry, item);
       };
-      out.stats.dce += dce_function(func, dce);
+      const DceStats dce_stats = dce_function(func, dce);
+      dce_stats.record_telemetry();
+      out.stats.dce += dce_stats;
       verify_boundary("DCE maintenance");
     }
 
     // LICM: hoisted loads move to the loop's parent region (moves applied
     // after the pass, like the CSE deletions, to keep the view fresh).
     if (options.enable_licm) {
+      const telemetry::Span span("licm", "pass");
       const query::HliUnitView view(*entry);
       std::vector<std::pair<format::ItemId, format::RegionId>> hoisted;
       LicmOptions licm;
@@ -158,7 +373,9 @@ CompiledProgram compile_source(std::string_view source,
                                                format::RegionId loop) {
         hoisted.emplace_back(item, view.parent_region(loop));
       };
-      out.stats.licm += licm_function(func, licm);
+      const LicmStats licm_stats = licm_function(func, licm);
+      licm_stats.record_telemetry();
+      out.stats.licm += licm_stats;
       for (const auto& [item, target] : hoisted) {
         maintain::move_item_to_region(*entry, item, target);
       }
@@ -167,10 +384,13 @@ CompiledProgram compile_source(std::string_view source,
 
     // Unrolling (Figure 6): RTL duplication + HLI table reconstruction.
     if (options.enable_unroll) {
+      const telemetry::Span span("unroll", "pass");
       UnrollOptions unroll;
       unroll.factor = options.unroll_factor;
       unroll.entry = entry;
-      out.stats.unroll += unroll_function(func, unroll);
+      const UnrollStats unroll_stats = unroll_function(func, unroll);
+      unroll_stats.record_telemetry();
+      out.stats.unroll += unroll_stats;
       verify_boundary("unroll maintenance");
     }
 
@@ -180,6 +400,7 @@ CompiledProgram compile_source(std::string_view source,
     // mutated between the passes), so sched2 re-tests hit the cache.
     query::ConflictCache conflict_cache;
     if (options.enable_sched) {
+      const telemetry::Span span("sched", "pass");
       const query::HliUnitView view(*entry);
       SchedOptions sched;
       sched.use_hli = options.use_hli;
@@ -187,15 +408,21 @@ CompiledProgram compile_source(std::string_view source,
       sched.cache = &conflict_cache;
       const machine::MachineDesc& mach = options.sched_machine;
       sched.latency = [&mach](const Insn& insn) { return mach.latency(insn); };
-      out.stats.sched += schedule_function(func, sched);
+      const DepStats sched_stats = schedule_function(func, sched);
+      sched_stats.record_telemetry(options.use_hli);
+      out.stats.sched += sched_stats;
       verify_boundary("scheduling");
     }
 
     // Hard-register allocation + the second scheduling pass (the rest of
     // the -O2 pipeline the paper's GCC ran after the instrumented pass).
     if (options.enable_regalloc) {
-      out.stats.regalloc += allocate_registers(func, options.regalloc);
+      const telemetry::Span span("regalloc", "pass");
+      const RegAllocStats ra_stats = allocate_registers(func, options.regalloc);
+      ra_stats.record_telemetry();
+      out.stats.regalloc += ra_stats;
       if (options.enable_sched) {
+        const telemetry::Span sched2_span("sched2", "pass");
         const query::HliUnitView view(*entry);
         SchedOptions sched;
         sched.use_hli = options.use_hli;
@@ -203,7 +430,9 @@ CompiledProgram compile_source(std::string_view source,
         sched.cache = &conflict_cache;
         const machine::MachineDesc& mach = options.sched_machine;
         sched.latency = [&mach](const Insn& insn) { return mach.latency(insn); };
-        out.stats.sched2 += schedule_function(func, sched);
+        const DepStats sched2_stats = schedule_function(func, sched);
+        sched2_stats.record_telemetry(options.use_hli);
+        out.stats.sched2 += sched2_stats;
       }
       verify_boundary("regalloc/post-RA scheduling");
     }

@@ -14,7 +14,10 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "backend/constfold.hpp"
 #include "backend/cse.hpp"
@@ -30,6 +33,7 @@
 #include "hli/builder.hpp"
 #include "hli/store.hpp"
 #include "machine/timing.hpp"
+#include "support/telemetry.hpp"
 
 namespace hli::driver {
 
@@ -52,6 +56,37 @@ enum class HliEncoding : std::uint8_t {
            ///< interned strings, per-unit index for demand-driven import.
 };
 
+/// Telemetry collection for one compilation (see docs/observability.md).
+/// Both members default off: with neither set, compile_source installs no
+/// recorder and the telemetry layer costs one dead TLS check per
+/// instrumented event.
+struct TelemetryOptions {
+  /// Collect the typed counter registry into
+  /// CompiledProgram::counters (per-function sets plus the program
+  /// total).  Counter values are deterministic: byte-identical between a
+  /// serial loop and compile_many --jobs N.
+  bool counters = false;
+  /// Emit per-pass/per-function Chrome trace_event spans into this
+  /// tracer (not owned; may be shared across threads and compilations).
+  telemetry::Tracer* tracer = nullptr;
+
+  [[nodiscard]] bool enabled() const {
+    return counters || tracer != nullptr;
+  }
+};
+
+/// Pipeline configuration.  Construct from a named preset and refine with
+/// the fluent `with_*` layer:
+///
+///   auto options = driver::PipelineOptions::paper_table2()
+///                      .with_verify(driver::VerifyMode::Fatal)
+///                      .with_unroll(4);
+///
+/// `compile_source` calls `validate()` and rejects incoherent
+/// combinations with actionable diagnostics.  The public fields remain
+/// writable as a compatibility layer for existing callers; new code
+/// should prefer the presets + `with_*` so every constructed
+/// configuration passes through `validate()`'s vocabulary.
 struct PipelineOptions {
   bool use_hli = true;       ///< Figure 5's flag_use_hli, across all passes.
   VerifyMode verify_hli = VerifyMode::Off;
@@ -82,6 +117,51 @@ struct PipelineOptions {
   /// Latencies used by the scheduler's priority function.
   machine::MachineDesc sched_machine = machine::r10000();
   builder::BuildOptions hli_build;
+  TelemetryOptions telemetry;
+
+  // -- Named presets ------------------------------------------------------
+
+  /// The paper's instrumented experiment (§4, Table 2): HLI-assisted
+  /// CSE/constfold/DCE/LICM and the FIRST scheduling pass, no unrolling,
+  /// no register allocation, R10000 latencies.  Identical to a
+  /// default-constructed PipelineOptions.
+  [[nodiscard]] static PipelineOptions paper_table2();
+  /// Everything on: all passes including unrolling (factor 4), hard
+  /// registers + post-RA scheduling, and the HLIB binary interchange
+  /// container for the front-end -> back-end channel.
+  [[nodiscard]] static PipelineOptions production();
+  /// Front-end only: generate + export HLI, lower and map, but run no
+  /// back-end optimization or scheduling pass.  The result's hli_text is
+  /// the interchange file a later back-end run would import.
+  [[nodiscard]] static PipelineOptions frontend_only();
+
+  // -- Fluent refinement (each returns a modified copy) -------------------
+
+  [[nodiscard]] PipelineOptions with_hli(bool on) const;
+  [[nodiscard]] PipelineOptions with_verify(VerifyMode mode) const;
+  [[nodiscard]] PipelineOptions with_encoding(HliEncoding encoding) const;
+  /// Imports from `store` instead of generating HLI; implies use_hli
+  /// stays as-is (validate() rejects a store with use_hli off).
+  [[nodiscard]] PipelineOptions with_store(const hli::HliStore* store) const;
+  [[nodiscard]] PipelineOptions with_cse(bool on) const;
+  [[nodiscard]] PipelineOptions with_constfold(bool on) const;
+  [[nodiscard]] PipelineOptions with_dce(bool on) const;
+  [[nodiscard]] PipelineOptions with_licm(bool on) const;
+  /// Enables unrolling at `factor` (>= 2; validate() rejects 0 and 1).
+  [[nodiscard]] PipelineOptions with_unroll(unsigned factor = 4) const;
+  [[nodiscard]] PipelineOptions without_unroll() const;
+  [[nodiscard]] PipelineOptions with_sched(bool on) const;
+  [[nodiscard]] PipelineOptions with_regalloc(bool on) const;
+  [[nodiscard]] PipelineOptions with_machine(
+      const machine::MachineDesc& machine) const;
+  /// Collect per-function + aggregate counters into the result.
+  [[nodiscard]] PipelineOptions with_counters(bool on = true) const;
+  [[nodiscard]] PipelineOptions with_tracer(telemetry::Tracer* tracer) const;
+
+  /// Coherence check: every returned string is one actionable diagnostic
+  /// (empty vector = valid).  compile_source/compile_many run this and
+  /// throw support::CompileError listing every finding.
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 struct ProgramStats {
@@ -101,6 +181,26 @@ struct ProgramStats {
   std::size_t verify_findings = 0;  ///< Violations found across boundaries.
 };
 
+/// Typed telemetry counters for one compilation, collected when
+/// TelemetryOptions::counters is set.  `total` holds every counter the
+/// compilation incremented; `per_function` the same counters attributed
+/// to each compiled function (in lowering order).  Values are
+/// deterministic — merging per-program stats in input order reproduces a
+/// serial run byte for byte, whatever --jobs was.
+struct CompilationStats {
+  telemetry::CounterSet total;
+  std::vector<std::pair<std::string, telemetry::CounterSet>> per_function;
+
+  /// Aggregation across programs: totals add, per-function lists
+  /// concatenate (program order).
+  CompilationStats& operator+=(const CompilationStats& other) {
+    total += other.total;
+    per_function.insert(per_function.end(), other.per_function.begin(),
+                        other.per_function.end());
+    return *this;
+  }
+};
+
 struct CompiledProgram {
   /// AST kept alive: RTL/HLI reference nothing in it after compilation,
   /// but tests inspect it.
@@ -114,6 +214,8 @@ struct CompiledProgram {
   std::string hli_text;
   backend::RtlProgram rtl;  ///< Fully optimized program.
   ProgramStats stats;
+  /// Telemetry counters (empty unless options.telemetry.counters).
+  CompilationStats counters;
   /// Per-boundary verifier reports under VerifyMode::Warn (empty if clean).
   std::string verify_log;
 };

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 
+#include "support/telemetry.hpp"
+
 namespace hli::query {
 
 using namespace format;
 
 namespace {
+
+const telemetry::Counter c_views_built = telemetry::counter("query.views_built");
 
 /// Largest ID referenced anywhere in the entry's tables; the dense item
 /// arrays are sized one past it so every query is a bounds-checked index.
@@ -35,6 +39,7 @@ ItemId max_id_of(const HliEntry& entry) {
 
 HliUnitView::HliUnitView(const HliEntry& entry)
     : entry_(&entry), built_generation_(entry.generation) {
+  c_views_built.add();
   // ---- Region side: dense remap + Euler tour ---------------------------
   RegionId max_region = kNoRegion;
   for (const RegionEntry& region : entry.regions) {

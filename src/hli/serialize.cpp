@@ -4,10 +4,16 @@
 #include <cstring>
 
 #include "support/string_utils.hpp"
+#include "support/telemetry.hpp"
 
 namespace hli::serialize {
 
 using namespace format;
+
+namespace {
+const telemetry::Counter c_checksum_verifies =
+    telemetry::counter("store.checksum_verifies");
+}  // namespace
 using support::CompileError;
 
 namespace {
@@ -778,6 +784,7 @@ HlibContainer open_hlib(std::string_view bytes) {
     fail_at(static_cast<std::size_t>(meta_offset),
             "meta block checksum mismatch (corrupted file?)");
   }
+  c_checksum_verifies.add();
 
   HlibContainer container;
   container.bytes = bytes;
@@ -822,6 +829,7 @@ HliEntry decode_hlib_unit(const HlibContainer& container, std::size_t index) {
     fail_at(begin, "unit '" + std::string(container.unit_name(index)) +
                    "' payload checksum mismatch (corrupted file?)");
   }
+  c_checksum_verifies.add();
   ByteCursor cur(container.bytes, begin, begin + length);
 
   HliEntry entry;

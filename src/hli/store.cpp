@@ -2,12 +2,21 @@
 
 namespace hli {
 
+namespace {
+const telemetry::Counter c_units_decoded =
+    telemetry::counter("store.units_decoded");
+const telemetry::Counter c_bytes_mapped =
+    telemetry::counter("store.bytes_mapped");
+}  // namespace
+
 HliStore::HliStore(std::string bytes) {
   owned_ = std::move(bytes);
   init(owned_);
 }
 
 HliStore::HliStore(support::MappedFile file) : file_(std::move(file)) {
+  counters_.add(c_bytes_mapped, file_.view().size());
+  c_bytes_mapped.add(file_.view().size());
   init(file_.view());
 }
 
@@ -40,7 +49,8 @@ void HliStore::init(std::string_view bytes) {
       slot->decodes.store(1, std::memory_order_relaxed);
       slots_.push_back(std::move(slot));
     }
-    decoded_units_.store(slots_.size(), std::memory_order_relaxed);
+    counters_.add(c_units_decoded, slots_.size());
+    c_units_decoded.add(slots_.size());
   }
   by_name_.reserve(slots_.size());
   for (std::size_t i = 0; i < slots_.size(); ++i) {
@@ -64,7 +74,8 @@ void HliStore::decode_slot(const Slot& slot) const {
   std::call_once(slot.once, [this, &slot] {
     slot.entry = serialize::decode_hlib_unit(container_, slot.index);
     slot.decodes.fetch_add(1, std::memory_order_relaxed);
-    decoded_units_.fetch_add(1, std::memory_order_relaxed);
+    counters_.add(c_units_decoded);
+    c_units_decoded.add();  // Also charge the decoding thread's sink.
   });
 }
 
@@ -83,6 +94,10 @@ format::HliFile HliStore::import_all() const {
     file.entries.push_back(slot->entry);
   }
   return file;
+}
+
+std::size_t HliStore::units_decoded() const {
+  return counters_.value(c_units_decoded);
 }
 
 std::size_t HliStore::decode_count(const std::string& name) const {

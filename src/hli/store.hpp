@@ -29,6 +29,7 @@
 
 #include "hli/serialize.hpp"
 #include "support/mmap_file.hpp"
+#include "support/telemetry.hpp"
 
 namespace hli {
 
@@ -64,14 +65,22 @@ class HliStore {
 
   /// Units decoded so far — the laziness observable the demand-driven
   /// import tests assert on.  Text stores parse eagerly, so this equals
-  /// unit_count() from construction.
-  [[nodiscard]] std::size_t units_decoded() const {
-    return decoded_units_.load(std::memory_order_relaxed);
-  }
+  /// unit_count() from construction.  Backed by the store's shared
+  /// telemetry slot for `store.units_decoded` (one mechanism, not two).
+  [[nodiscard]] std::size_t units_decoded() const;
 
   /// How many times `name`'s payload was actually decoded (0 or, if
   /// `get` honors its decode-once contract, exactly 1).
   [[nodiscard]] std::size_t decode_count(const std::string& name) const;
+
+  /// Snapshot of this store's `store.*` counters (units_decoded,
+  /// bytes_mapped) — the atomic cross-thread accounting a shared
+  /// compile_many store accumulates.  Decodes are ALSO charged to the
+  /// decoding thread's ambient CounterSet, so a per-compilation store
+  /// attributes its work to that compilation deterministically.
+  [[nodiscard]] telemetry::CounterSet telemetry_snapshot() const {
+    return counters_.snapshot();
+  }
 
  private:
   explicit HliStore(support::MappedFile file);
@@ -95,7 +104,9 @@ class HliStore {
   std::vector<std::unique_ptr<Slot>> slots_;
   std::unordered_map<std::string_view, std::size_t> by_name_;
   bool binary_ = false;
-  mutable std::atomic<std::size_t> decoded_units_{0};
+  /// Shared `store.*` accounting (units_decoded, bytes_mapped): atomic
+  /// because compile_many workers race decode_slot on a shared store.
+  mutable telemetry::AtomicCounterSet counters_;
 };
 
 }  // namespace hli

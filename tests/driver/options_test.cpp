@@ -1,0 +1,164 @@
+// PipelineOptions API: named presets, the fluent `with_*` refinement
+// layer (modified copies, never mutation), and validate()'s rejection of
+// incoherent combinations with actionable messages.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "driver/pipeline.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hli::driver {
+namespace {
+
+/// A real (tiny) external store: validate() only cares that the pointer
+/// is set, but HliStore insists on well-formed interchange bytes.
+const hli::HliStore& tiny_store() {
+  static const hli::HliStore store(
+      compile_source("int main() { return 0; }",
+                     PipelineOptions::frontend_only())
+          .hli_text);
+  return store;
+}
+
+TEST(PipelinePresetsTest, PaperTable2MatchesDefaultConstruction) {
+  const PipelineOptions preset = PipelineOptions::paper_table2();
+  EXPECT_TRUE(preset.use_hli);
+  EXPECT_EQ(preset.verify_hli, VerifyMode::Off);
+  EXPECT_EQ(preset.hli_encoding, HliEncoding::Text);
+  EXPECT_TRUE(preset.enable_cse);
+  EXPECT_TRUE(preset.enable_constfold);
+  EXPECT_TRUE(preset.enable_dce);
+  EXPECT_TRUE(preset.enable_licm);
+  EXPECT_FALSE(preset.enable_unroll);
+  EXPECT_TRUE(preset.enable_sched);
+  EXPECT_FALSE(preset.enable_regalloc);
+  EXPECT_FALSE(preset.telemetry.enabled());
+  EXPECT_TRUE(preset.validate().empty());
+}
+
+TEST(PipelinePresetsTest, ProductionEnablesFullO2Shape) {
+  const PipelineOptions preset = PipelineOptions::production();
+  EXPECT_TRUE(preset.use_hli);
+  EXPECT_TRUE(preset.enable_unroll);
+  EXPECT_GE(preset.unroll_factor, 2u);
+  EXPECT_TRUE(preset.enable_regalloc);
+  EXPECT_EQ(preset.hli_encoding, HliEncoding::Binary);
+  EXPECT_TRUE(preset.validate().empty());
+}
+
+TEST(PipelinePresetsTest, FrontendOnlyRunsNoBackendPasses) {
+  const PipelineOptions preset = PipelineOptions::frontend_only();
+  EXPECT_FALSE(preset.enable_cse);
+  EXPECT_FALSE(preset.enable_constfold);
+  EXPECT_FALSE(preset.enable_dce);
+  EXPECT_FALSE(preset.enable_licm);
+  EXPECT_FALSE(preset.enable_unroll);
+  EXPECT_FALSE(preset.enable_sched);
+  EXPECT_FALSE(preset.enable_regalloc);
+  EXPECT_TRUE(preset.validate().empty());
+
+  const CompiledProgram compiled =
+      compile_source("int main() { return 7; }", preset);
+  EXPECT_FALSE(compiled.hli_text.empty());
+  EXPECT_EQ(execute(compiled).return_value, 7);
+}
+
+TEST(PipelineFluentTest, WithersReturnModifiedCopies) {
+  const PipelineOptions base = PipelineOptions::paper_table2();
+  const PipelineOptions refined = base.with_hli(false)
+                                      .with_verify(VerifyMode::Warn)
+                                      .with_encoding(HliEncoding::Binary)
+                                      .with_unroll(8)
+                                      .with_regalloc(true)
+                                      .with_counters();
+  // The base is untouched — every with_* is a copy.
+  EXPECT_TRUE(base.use_hli);
+  EXPECT_EQ(base.verify_hli, VerifyMode::Off);
+  EXPECT_FALSE(base.enable_unroll);
+  EXPECT_FALSE(base.telemetry.counters);
+
+  EXPECT_FALSE(refined.use_hli);
+  EXPECT_EQ(refined.verify_hli, VerifyMode::Warn);
+  EXPECT_EQ(refined.hli_encoding, HliEncoding::Binary);
+  EXPECT_TRUE(refined.enable_unroll);
+  EXPECT_EQ(refined.unroll_factor, 8u);
+  EXPECT_TRUE(refined.enable_regalloc);
+  EXPECT_TRUE(refined.telemetry.counters);
+}
+
+TEST(PipelineFluentTest, WithoutUnrollDisables) {
+  const PipelineOptions on = PipelineOptions::paper_table2().with_unroll();
+  EXPECT_TRUE(on.enable_unroll);
+  EXPECT_EQ(on.unroll_factor, 4u);
+  const PipelineOptions off = on.without_unroll();
+  EXPECT_FALSE(off.enable_unroll);
+}
+
+TEST(PipelineFluentTest, PassTogglesAndMachine) {
+  const PipelineOptions opts = PipelineOptions::paper_table2()
+                                   .with_cse(false)
+                                   .with_constfold(false)
+                                   .with_dce(false)
+                                   .with_licm(false)
+                                   .with_sched(false)
+                                   .with_machine(machine::r4600());
+  EXPECT_FALSE(opts.enable_cse);
+  EXPECT_FALSE(opts.enable_constfold);
+  EXPECT_FALSE(opts.enable_dce);
+  EXPECT_FALSE(opts.enable_licm);
+  EXPECT_FALSE(opts.enable_sched);
+  EXPECT_EQ(opts.sched_machine.name, machine::r4600().name);
+}
+
+TEST(PipelineValidateTest, RejectsStoreWithoutHli) {
+  const PipelineOptions opts = PipelineOptions::paper_table2()
+                                   .with_store(&tiny_store())
+                                   .with_hli(false);
+  const std::vector<std::string> problems = opts.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  // The diagnostic names both the incoherent fields and the fix.
+  EXPECT_NE(problems[0].find("hli_store"), std::string::npos);
+  EXPECT_NE(problems[0].find("use_hli"), std::string::npos);
+  EXPECT_NE(problems[0].find("with_hli(true)"), std::string::npos);
+}
+
+TEST(PipelineValidateTest, RejectsDegenerateUnrollFactors) {
+  PipelineOptions opts = PipelineOptions::paper_table2();
+  opts.enable_unroll = true;
+  opts.unroll_factor = 0;
+  std::vector<std::string> problems = opts.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("unroll_factor"), std::string::npos);
+  EXPECT_NE(problems[0].find("with_unroll"), std::string::npos);
+
+  opts.unroll_factor = 1;
+  problems = opts.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("unroll_factor 1"), std::string::npos);
+
+  opts.unroll_factor = 2;
+  EXPECT_TRUE(opts.validate().empty());
+}
+
+TEST(PipelineValidateTest, CompileSourceThrowsWithAllFindings) {
+  PipelineOptions opts = PipelineOptions::paper_table2()
+                             .with_store(&tiny_store())
+                             .with_hli(false);
+  opts.enable_unroll = true;
+  opts.unroll_factor = 0;
+  try {
+    (void)compile_source("int main() { return 0; }", opts);
+    FAIL() << "expected CompileError for invalid options";
+  } catch (const support::CompileError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("invalid PipelineOptions"), std::string::npos);
+    // Both findings aggregated into the one diagnostic.
+    EXPECT_NE(message.find("hli_store"), std::string::npos);
+    EXPECT_NE(message.find("unroll_factor"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hli::driver

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/telemetry.hpp"
+
+namespace hli::telemetry {
+namespace {
+
+TEST(CounterRegistryTest, InternIsIdempotent) {
+  const Counter a = counter("test.registry_idempotent");
+  const Counter b = counter("test.registry_idempotent");
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a.name(), "test.registry_idempotent");
+  EXPECT_EQ(counter_name(a.id()), "test.registry_idempotent");
+}
+
+TEST(CounterRegistryTest, DistinctNamesGetDistinctIds) {
+  const Counter a = counter("test.registry_distinct_a");
+  const Counter b = counter("test.registry_distinct_b");
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_LT(a.id(), counter_count());
+  EXPECT_LT(b.id(), counter_count());
+}
+
+TEST(CounterRegistryTest, OutOfRangeNameIsEmpty) {
+  EXPECT_EQ(counter_name(0xFFFFFFFFu), "");
+}
+
+TEST(CounterTest, AddWithoutSinkIsDropped) {
+  const Counter c = counter("test.add_no_sink");
+  ASSERT_EQ(current_counters(), nullptr);
+  c.add(42);  // Must not crash; value goes nowhere.
+  CounterSet probe;
+  EXPECT_EQ(probe.value(c), 0u);
+}
+
+TEST(CounterTest, AddRecordsIntoInstalledSet) {
+  const Counter c = counter("test.add_with_sink");
+  CounterSet set;
+  {
+    const ScopedRecorder recorder(&set);
+    EXPECT_EQ(current_counters(), &set);
+    c.add();
+    c.add(9);
+  }
+  EXPECT_EQ(current_counters(), nullptr);
+  EXPECT_EQ(set.value(c), 10u);
+  EXPECT_EQ(set.value("test.add_with_sink"), 10u);
+}
+
+TEST(CounterSetTest, ValueByUnknownNameIsZero) {
+  CounterSet set;
+  EXPECT_EQ(set.value("test.never_registered_name"), 0u);
+}
+
+TEST(CounterSetTest, MergeAndEquality) {
+  const Counter a = counter("test.merge_a");
+  const Counter b = counter("test.merge_b");
+  CounterSet lhs;
+  CounterSet rhs;
+  lhs.add(a.id(), 3);
+  rhs.add(a.id(), 4);
+  rhs.add(b.id(), 1);
+  lhs += rhs;
+  EXPECT_EQ(lhs.value(a), 7u);
+  EXPECT_EQ(lhs.value(b), 1u);
+
+  CounterSet expected;
+  expected.add(a.id(), 7);
+  expected.add(b.id(), 1);
+  EXPECT_TRUE(lhs == expected);
+  expected.add(b.id(), 1);
+  EXPECT_FALSE(lhs == expected);
+}
+
+TEST(CounterSetTest, EqualityIgnoresTrailingZeroSlots) {
+  const Counter a = counter("test.eq_short");
+  const Counter z = counter("test.eq_long_tail");
+  CounterSet shorter;
+  shorter.add(a.id(), 5);
+  CounterSet longer;
+  longer.add(a.id(), 5);
+  longer.add(z.id(), 1);
+  longer.add(z.id(), 0);  // Ensure the slot exists either way.
+  EXPECT_FALSE(shorter == longer);
+  CounterSet longer_but_zero;
+  longer_but_zero.add(a.id(), 5);
+  longer_but_zero.add(z.id(), 0);
+  EXPECT_TRUE(shorter == longer_but_zero);
+}
+
+TEST(CounterSetTest, NonzeroIsNameSorted) {
+  const Counter b = counter("test.sorted_bbb");
+  const Counter a = counter("test.sorted_aaa");
+  CounterSet set;
+  set.add(b.id(), 2);
+  set.add(a.id(), 1);
+  const auto rows = set.nonzero();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, "test.sorted_aaa");
+  EXPECT_EQ(rows[0].second, 1u);
+  EXPECT_EQ(rows[1].first, "test.sorted_bbb");
+  EXPECT_EQ(rows[1].second, 2u);
+  EXPECT_FALSE(set.empty());
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.nonzero().empty());
+}
+
+TEST(ScopedRecorderTest, NestedScopesMergeToParent) {
+  const Counter c = counter("test.nested_merge");
+  CounterSet program;
+  {
+    const ScopedRecorder outer(&program);
+    c.add(1);
+    CounterSet function;
+    {
+      const ScopedRecorder inner(&function);
+      c.add(5);
+    }
+    // Inner scope merged its set into the outer one on exit.
+    EXPECT_EQ(function.value(c), 5u);
+    EXPECT_EQ(program.value(c), 6u);
+    c.add(2);
+  }
+  EXPECT_EQ(program.value(c), 8u);
+}
+
+TEST(ScopedRecorderTest, NoMergeWhenDisabled) {
+  const Counter c = counter("test.nested_no_merge");
+  CounterSet parent;
+  {
+    const ScopedRecorder outer(&parent);
+    CounterSet task;
+    {
+      const ScopedRecorder inner(&task, nullptr, /*merge_to_parent=*/false);
+      c.add(3);
+    }
+    EXPECT_EQ(task.value(c), 3u);
+    EXPECT_EQ(parent.value(c), 0u);
+  }
+}
+
+TEST(ScopedRecorderTest, NullArgumentsInheritOuterSink) {
+  // A recorder given nullptr for one destination keeps the enclosing
+  // scope's — a tracer-only recorder must not silence the counters.
+  CounterSet outer_set;
+  Tracer tracer;
+  const ScopedRecorder outer(&outer_set, &tracer);
+  {
+    CounterSet inner_set;
+    const ScopedRecorder inner(&inner_set, nullptr,
+                               /*merge_to_parent=*/false);
+    EXPECT_EQ(current_counters(), &inner_set);
+    EXPECT_EQ(current_tracer(), &tracer);  // Inherited.
+  }
+  EXPECT_EQ(current_counters(), &outer_set);
+  EXPECT_EQ(current_tracer(), &tracer);
+}
+
+TEST(AtomicCounterSetTest, ConcurrentAddsAllLand) {
+  const Counter c = counter("test.atomic_adds");
+  AtomicCounterSet shared;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&shared, c] {
+      for (int i = 0; i < 1000; ++i) shared.add(c);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(shared.value(c), 4000u);
+  const CounterSet snap = shared.snapshot();
+  EXPECT_EQ(snap.value(c), 4000u);
+}
+
+TEST(SpanTest, InertWithoutTracer) {
+  ASSERT_EQ(current_tracer(), nullptr);
+  { const Span span("test.inert"); }
+  // Nothing to assert beyond "did not crash / record": a fresh tracer
+  // must still be empty.
+  Tracer tracer;
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(SpanTest, RecordsIntoInstalledTracer) {
+  Tracer tracer;
+  {
+    const ScopedRecorder recorder(nullptr, &tracer,
+                                  /*merge_to_parent=*/false);
+    const Span outer("outer-span", "phase");
+    const Span inner("inner-span");
+  }
+  EXPECT_EQ(tracer.event_count(), 2u);
+  const std::string json = tracer.to_json();
+  EXPECT_NE(json.find("\"outer-span\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner-span\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TracerTest, JsonEscapesAndMultiThreadTids) {
+  Tracer tracer;
+  tracer.record("quote\"back\\slash", "cat", 5, 1);
+  std::thread other([&tracer] { tracer.record("other-thread", "cat", 1, 1); });
+  other.join();
+  const std::string json = tracer.to_json();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+  // Two distinct dense thread ids.
+  EXPECT_NE(json.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  // Events are sorted by timestamp: the other thread's ts=1 event comes
+  // first even though it was recorded second.
+  EXPECT_LT(json.find("other-thread"), json.find("quote"));
+}
+
+}  // namespace
+}  // namespace hli::telemetry

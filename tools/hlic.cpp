@@ -4,27 +4,25 @@
 //
 //   --dump-hli        write the serialized HLI interchange bytes to
 //                     stdout (text, or raw HLIB with --emit=binary)
-//   --emit=binary|text
-//                     interchange encoding for the front-end -> back-end
-//                     channel (default text; binary is the HLIB container
-//                     with demand-driven per-unit import)
 //   --pretty          print the HLI tables in Figure-2 style
 //   --dump-rtl        print the optimized RTL of every function
-//   --stats           print pass statistics (Table 2 counters, CSE, LICM)
 //   --run             execute and print output hash / return value
 //   --simulate=M      cycle simulation, M in {r4600, r10000}
 //   --no-hli          compile with the native oracle only
 //   --unroll[=N]      enable loop unrolling (default factor 4)
-//   --jobs[=]N        compile the inputs on N threads (default: all cores)
-//   --verify-hli[=fatal|warn]
-//                     run the HLI invariant verifier at every pass
-//                     boundary during compilation (default fatal)
 //   --verify          lint mode: treat each input as a serialized HLI
 //                     file (text or HLIB binary, auto-detected by magic),
 //                     parse it and check every invariant; exits nonzero
 //                     on malformed input or any finding.  Usable by any
 //                     front-end emitting the format.
 //   --list-workloads  list the built-in benchmark names
+//
+// plus the shared tool flags (tools/options.hpp): --emit=binary|text,
+// --jobs[=]N, --verify-hli[=fatal|warn], --trace-out=PATH, and
+// --stats[=table|json].  --stats=table prints the legacy pass summary
+// followed by the telemetry counter catalog; --stats=json emits one
+// deterministic JSON document (per-input + per-function counters and the
+// aggregated total) that is byte-identical for any --jobs value.
 //
 // Each positional argument is a path to a mini-C source file, or the name
 // of a built-in workload (e.g. "102.swim").  Multiple inputs compile in
@@ -45,6 +43,7 @@
 #include "hli/serialize.hpp"
 #include "hli/verify.hpp"
 #include "support/diagnostics.hpp"
+#include "tools/options.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace hli;
@@ -55,40 +54,33 @@ struct CliOptions {
   bool dump_hli = false;
   bool pretty = false;
   bool dump_rtl = false;
-  bool stats = false;
   bool run = false;
   bool verify_files = false;  ///< Lint mode: inputs are serialized HLI.
   std::string simulate;
-  unsigned jobs = 0;  // 0: driver default (all cores).
+  tools::CommonOptions common;
   driver::PipelineOptions pipeline;
   std::vector<std::string> inputs;
 };
 
 int usage() {
   std::fprintf(stderr,
-               "usage: hlic [--dump-hli] [--emit=binary|text] [--pretty]\n"
-               "            [--dump-rtl] [--stats] [--run]\n"
-               "            [--simulate=r4600|r10000] [--no-hli]\n"
-               "            [--unroll[=N]] [--jobs N] [--verify-hli[=fatal|warn]]\n"
-               "            <file.c | workload-name>...\n"
+               "usage: hlic [--dump-hli] [--pretty] [--dump-rtl] [--run]\n"
+               "            [--simulate=r4600|r10000] [--no-hli] [--unroll[=N]]\n"
+               "            [shared flags] <file.c | workload-name>...\n"
                "       hlic --verify <file.hli | file.hlib>...\n"
-               "       hlic --list-workloads\n");
+               "       hlic --list-workloads\n"
+               "shared flags:\n%s",
+               tools::common_usage());
   return 2;
-}
-
-bool parse_jobs(const char* text, unsigned& out) {
-  char* end = nullptr;
-  const unsigned long value = std::strtoul(text, &end, 10);
-  if (end == text || *end != '\0') {
-    std::fprintf(stderr, "hlic: --jobs expects a number, got '%s'\n", text);
-    return false;
-  }
-  out = static_cast<unsigned>(value);
-  return true;
 }
 
 bool parse_args(int argc, char** argv, CliOptions& options) {
   for (int i = 1; i < argc; ++i) {
+    switch (tools::parse_common_flag(argc, argv, i, "hlic", options.common)) {
+      case tools::ParseStatus::Handled: continue;
+      case tools::ParseStatus::Error: return false;
+      case tools::ParseStatus::NotMine: break;
+    }
     const std::string arg = argv[i];
     if (arg == "--dump-hli") {
       options.dump_hli = true;
@@ -96,46 +88,19 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.pretty = true;
     } else if (arg == "--dump-rtl") {
       options.dump_rtl = true;
-    } else if (arg == "--stats") {
-      options.stats = true;
     } else if (arg == "--run") {
       options.run = true;
     } else if (arg.rfind("--simulate=", 0) == 0) {
       options.simulate = arg.substr(11);
     } else if (arg == "--no-hli") {
-      options.pipeline.use_hli = false;
+      options.pipeline = options.pipeline.with_hli(false);
     } else if (arg == "--verify") {
       options.verify_files = true;
-    } else if (arg == "--emit=binary") {
-      options.pipeline.hli_encoding = driver::HliEncoding::Binary;
-    } else if (arg == "--emit=text") {
-      options.pipeline.hli_encoding = driver::HliEncoding::Text;
-    } else if (arg.rfind("--emit=", 0) == 0) {
-      std::fprintf(stderr, "hlic: --emit expects 'binary' or 'text', got '%s'\n",
-                   arg.c_str() + 7);
-      return false;
-    } else if (arg == "--verify-hli" || arg == "--verify-hli=fatal") {
-      options.pipeline.verify_hli = driver::VerifyMode::Fatal;
-    } else if (arg == "--verify-hli=warn") {
-      options.pipeline.verify_hli = driver::VerifyMode::Warn;
-    } else if (arg.rfind("--verify-hli=", 0) == 0) {
-      std::fprintf(stderr, "hlic: --verify-hli expects 'fatal' or 'warn', "
-                           "got '%s'\n",
-                   arg.c_str() + 13);
-      return false;
     } else if (arg == "--unroll") {
-      options.pipeline.enable_unroll = true;
+      options.pipeline = options.pipeline.with_unroll();
     } else if (arg.rfind("--unroll=", 0) == 0) {
-      options.pipeline.enable_unroll = true;
-      options.pipeline.unroll_factor =
-          static_cast<unsigned>(std::stoul(arg.substr(9)));
-    } else if (arg == "--jobs" && i + 1 < argc) {
-      if (!parse_jobs(argv[++i], options.jobs)) return false;
-    } else if (arg.rfind("--jobs=", 0) == 0) {
-      if (!parse_jobs(arg.c_str() + 7, options.jobs)) return false;
-    } else if (arg == "--jobs") {
-      std::fprintf(stderr, "hlic: --jobs requires a value\n");
-      return false;
+      options.pipeline = options.pipeline.with_unroll(
+          static_cast<unsigned>(std::stoul(arg.substr(9))));
     } else if (arg == "--list-workloads") {
       for (const auto& w : workloads::all_workloads()) {
         std::printf("%-14s %s\n", w.name.c_str(), w.suite.c_str());
@@ -227,7 +192,7 @@ int emit(const CliOptions& options, const driver::CompiledProgram& compiled) {
       std::fputs(backend::to_string(func).c_str(), stdout);
     }
   }
-  if (options.stats) {
+  if (options.common.stats == tools::StatsFormat::Table) {
     const auto& s = compiled.stats;
     std::printf("source lines:       %zu\n", s.source_lines);
     std::printf("HLI bytes:          %zu\n", s.hli_bytes);
@@ -247,6 +212,9 @@ int emit(const CliOptions& options, const driver::CompiledProgram& compiled) {
                 static_cast<unsigned long long>(s.licm.loads_hoisted));
     std::printf("loops unrolled:     %llu\n",
                 static_cast<unsigned long long>(s.unroll.loops_unrolled));
+    std::printf("telemetry counters:\n%s",
+                tools::render_counters_table(compiled.counters.total, 2)
+                    .c_str());
   }
   if (options.run) {
     const backend::RunResult result = driver::execute(compiled);
@@ -307,17 +275,23 @@ int main(int argc, char** argv) {
     if (!load_source(options.inputs[i], sources[i])) return 1;
   }
 
+  telemetry::Tracer tracer;
+  options.pipeline =
+      tools::apply(options.common, options.pipeline, &tracer);
+
   std::vector<driver::CompiledProgram> compiled;
   try {
-    compiled = driver::compile_many(sources, options.pipeline, options.jobs);
+    compiled =
+        driver::compile_many(sources, options.pipeline, options.common.jobs);
   } catch (const support::CompileError& e) {
     std::fprintf(stderr, "hlic: %s\n", e.what());
     return 1;
   }
 
   int status = 0;
+  const bool json_stats = options.common.stats == tools::StatsFormat::Json;
   for (std::size_t i = 0; i < compiled.size(); ++i) {
-    if (compiled.size() > 1) {
+    if (compiled.size() > 1 && !json_stats) {
       std::printf("== %s ==\n", options.inputs[i].c_str());
     }
     if (!compiled[i].verify_log.empty()) {
@@ -327,5 +301,14 @@ int main(int argc, char** argv) {
     const int rc = emit(options, compiled[i]);
     if (rc != 0) status = rc;
   }
+  if (json_stats) {
+    // One deterministic document for the whole invocation — no banners,
+    // no timing, counters name-sorted — so the bytes do not depend on
+    // --jobs (the telemetry determinism tests diff exactly this).
+    const std::string json =
+        tools::render_stats_json(options.inputs, compiled);
+    std::fwrite(json.data(), 1, json.size(), stdout);
+  }
+  if (!tools::write_trace(options.common, tracer, "hlic")) status = 1;
   return status;
 }

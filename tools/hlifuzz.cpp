@@ -21,6 +21,15 @@
 //   --no-reduce       report divergences without minimizing them
 //   --quiet           per-iteration progress off
 //
+// plus the shared tool flags (tools/options.hpp): --jobs[=]N fans the
+// iterations out across threads (reporting/reduction stays in seed order,
+// so results and exit status are identical to a serial run);
+// --verify-hli[=fatal|warn] and --emit=binary|text override the matrix's
+// defaults for every configuration; --stats[=table|json] reports the
+// telemetry counters the differential compiles accumulated (table to
+// stderr, json as one document on stdout); --trace-out=PATH writes the
+// compile timeline.
+//
 // Each generated program runs through the full configuration matrix —
 // no-HLI vs HLI, every optimization pass alone and all together, text vs
 // binary interchange encoding, external HliStore import, regalloc +
@@ -42,9 +51,11 @@
 #include <vector>
 
 #include "bench/bench_json.hpp"
+#include "driver/parallel.hpp"
 #include "testing/diff.hpp"
 #include "testing/generator.hpp"
 #include "testing/reduce.hpp"
+#include "tools/options.hpp"
 
 using namespace hli;
 
@@ -62,6 +73,7 @@ struct CliOptions {
   bool emit_source = false;
   bool no_reduce = false;
   bool quiet = false;
+  tools::CommonOptions common;
 };
 
 int usage() {
@@ -69,10 +81,12 @@ int usage() {
                "usage: hlifuzz [--seed N] [--iterations N] [--features LIST]\n"
                "               [--plant-bug drop-store|negate-branch]\n"
                "               [--emit-repro DIR] [--json PATH] [--max-checks N]\n"
-               "               [--no-reduce] [--quiet]\n"
+               "               [--no-reduce] [--quiet] [shared flags]\n"
                "       hlifuzz --reduce <file.c> [options]\n"
                "       hlifuzz --emit-source [--seed N] [--features LIST]\n"
-               "       hlifuzz --list-features\n");
+               "       hlifuzz --list-features\n"
+               "shared flags:\n%s",
+               tools::common_usage());
   return 2;
 }
 
@@ -90,6 +104,20 @@ bool flag_value(int argc, char** argv, int& i, const char* name,
     return true;
   }
   return false;
+}
+
+/// Applies the shared --verify-hli / --emit overrides (when given) onto
+/// every configuration of the differential matrix.
+void apply_matrix_overrides(const tools::CommonOptions& common,
+                            std::vector<testing::DiffConfig>& matrix) {
+  for (testing::DiffConfig& config : matrix) {
+    if (common.verify_hli_set) {
+      config.options = config.options.with_verify(common.verify_hli);
+    }
+    if (common.emit_set) {
+      config.options = config.options.with_encoding(common.emit);
+    }
+  }
 }
 
 bool parse_u64(const std::string& text, std::uint64_t& out) {
@@ -204,6 +232,11 @@ int main(int argc, char** argv) {
   CliOptions cli;
   bool list_features = false;
   for (int i = 1; i < argc; ++i) {
+    switch (tools::parse_common_flag(argc, argv, i, "hlifuzz", cli.common)) {
+      case tools::ParseStatus::Handled: continue;
+      case tools::ParseStatus::Error: return usage();
+      case tools::ParseStatus::NotMine: break;
+    }
     std::string value;
     if (flag_value(argc, argv, i, "--seed", value)) {
       if (!parse_u64(value, cli.seed)) return usage();
@@ -269,8 +302,19 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::vector<testing::DiffConfig> matrix = testing::default_matrix();
+  std::vector<testing::DiffConfig> matrix = testing::default_matrix();
+  apply_matrix_overrides(cli.common, matrix);
   const bool planted = cli.plant != testing::PlantedDefect::None;
+
+  // Ambient telemetry for --stats/--trace-out: every compile the
+  // differential legs run records into this scope (parallel_for
+  // re-installs the sink on its workers, merging per-task counters in
+  // seed order, so the totals match a serial run exactly).
+  telemetry::CounterSet fuzz_counters;
+  telemetry::Tracer tracer;
+  const telemetry::ScopedRecorder recorder(
+      cli.common.stats != tools::StatsFormat::Off ? &fuzz_counters : nullptr,
+      cli.common.trace_out.empty() ? nullptr : &tracer);
 
   benchutil::WallTimer timer;
   std::uint64_t divergent = 0;
@@ -279,12 +323,20 @@ int main(int argc, char** argv) {
   std::vector<std::uint64_t> divergent_seeds;
   std::size_t first_reduced_lines = 0;
 
+  // Phase 1: generate + differentially run every seed, fanned out on
+  // --jobs threads.  Results land in seed order; everything order-
+  // sensitive (reporting, reduction, repro files) happens serially below.
+  std::vector<std::string> sources(cli.iterations);
+  std::vector<testing::DiffResult> results(cli.iterations);
+  driver::parallel_for(cli.iterations, cli.common.jobs, [&](std::size_t i) {
+    sources[i] = testing::generate_source(gen_options(cli, cli.seed + i));
+    results[i] = testing::run_differential(sources[i], matrix, cli.plant);
+  });
+
   for (std::uint64_t i = 0; i < cli.iterations; ++i) {
     const std::uint64_t seed = cli.seed + i;
-    const std::string source =
-        testing::generate_source(gen_options(cli, seed));
-    const testing::DiffResult result =
-        testing::run_differential(source, matrix, cli.plant);
+    const std::string& source = sources[i];
+    const testing::DiffResult& result = results[i];
 
     if (result.invalid_input) {
       ++invalid;
@@ -397,5 +449,16 @@ int main(int argc, char** argv) {
     }
     if (!report.write(cli.json_path)) return 2;
   }
+
+  if (cli.common.stats == tools::StatsFormat::Table) {
+    std::fprintf(stderr, "telemetry counters:\n%s",
+                 tools::render_counters_table(fuzz_counters, 2).c_str());
+  } else if (cli.common.stats == tools::StatsFormat::Json) {
+    std::string doc = "{\"counters\":";
+    doc += tools::render_counters_json(fuzz_counters);
+    doc += "}\n";
+    std::fwrite(doc.data(), 1, doc.size(), stdout);
+  }
+  if (!tools::write_trace(cli.common, tracer, "hlifuzz")) return 2;
   return failed ? 1 : 0;
 }
