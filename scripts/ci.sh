@@ -120,6 +120,35 @@ EOF
   fi
 }
 
+stage_query_perf() {
+  cmake -B build "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j "$JOBS" --target bench_query_micro hlic
+  # Perf gate: the batched BlockConflictMatrix path must be no slower
+  # than the scalar per-pair path on every DDG-shaped block size.
+  ./build/bench/bench_query_micro --json build/BENCH_query.json
+  if command -v python3 >/dev/null; then
+    python3 - <<'EOF'
+import json
+report = json.load(open('build/BENCH_query.json'))
+blocks = [w for w in report['per_workload'] if w['name'].startswith('block/')]
+assert blocks, 'bench_query_micro reported no block sweep'
+for w in blocks:
+    assert w['batched_ns_per_pair'] <= w['scalar_ns_per_pair'], \
+        '%s: batched %.2f ns/pair slower than scalar %.2f ns/pair' \
+        % (w['name'], w['batched_ns_per_pair'], w['scalar_ns_per_pair'])
+print('query perf gate: ' + ', '.join(
+    '%s %.1fx' % (w['name'], w['speedup']) for w in blocks))
+EOF
+  fi
+  # Identity gate: batching on vs off must emit byte-identical RTL.
+  for wl in 102.swim 077.mdljsp2; do
+    ./build/tools/hlic --dump-rtl "$wl" > "build/RTL_batched_$wl.txt"
+    ./build/tools/hlic --dump-rtl --no-batch-queries "$wl" \
+      > "build/RTL_scalar_$wl.txt"
+    cmp "build/RTL_batched_$wl.txt" "build/RTL_scalar_$wl.txt"
+  done
+}
+
 stage_bench() {
   cmake -B build "${GENERATOR[@]}"
   cmake --build build -j "$JOBS" --target run_benches
@@ -132,5 +161,6 @@ want asan  "${STAGES[@]}" && stage_asan
 want tsan  "${STAGES[@]}" && stage_tsan
 want tidy  "${STAGES[@]}" && stage_tidy
 want stats "${STAGES[@]}" && stage_stats
+want query_perf "${STAGES[@]}" && stage_query_perf
 want bench "${STAGES[@]}" && stage_bench
 echo "ci: all requested stages passed"

@@ -1,9 +1,11 @@
 #include "backend/sched.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <vector>
 
 #include "backend/gcc_alias.hpp"
+#include "hli/batch_query.hpp"
 #include "support/telemetry.hpp"
 
 namespace hli::backend {
@@ -31,6 +33,10 @@ const telemetry::Counter c_hli_answers =
     telemetry::counter("query.hli_answers");
 const telemetry::Counter c_native_fallbacks =
     telemetry::counter("query.native_fallbacks");
+const telemetry::Counter c_batch_pairs =
+    telemetry::counter("query.batch_pairs");
+const telemetry::Counter c_batch_fallbacks =
+    telemetry::counter("query.batch_fallbacks");
 
 /// Registers read by an instruction.
 void reads_of(const Insn& insn, std::vector<Reg>& out) {
@@ -96,12 +102,31 @@ std::vector<Block> find_blocks(const RtlFunction& func) {
   return blocks;
 }
 
+/// Per-function scratch for block DDG construction, hoisted out of the
+/// inner loops so edge building stops allocating per pair: the read-set
+/// vectors, the per-`j` edge bitmap, the block occupancy bitmaps, and
+/// (when batching) the conflict matrix with its item->slot maps all keep
+/// their capacity across blocks.
+struct SchedScratch {
+  std::vector<Reg> j_reads;
+  std::vector<Reg> i_reads;
+  std::vector<std::uint64_t> edge_row;   ///< i-bits with an edge to j.
+  std::vector<std::uint64_t> mem_pos;    ///< i-bits that are memory ops.
+  std::vector<std::uint64_t> store_pos;  ///< i-bits that are stores.
+  std::vector<std::uint64_t> call_pos;   ///< i-bits that are calls.
+  std::vector<format::ItemId> mem_items;
+  std::vector<format::ItemId> call_items;
+  std::vector<std::uint32_t> mem_slot;   ///< Local insn -> matrix slot.
+  std::vector<std::uint32_t> call_slot;  ///< Local insn -> call slot.
+  query::BlockConflictMatrix matrix;
+};
+
 class BlockScheduler {
  public:
   BlockScheduler(RtlFunction& func, const Block& block, const SchedOptions& options,
-                 DepStats& stats)
+                 DepStats& stats, SchedScratch& scratch)
       : func_(func), block_(block), options_(options), stats_(stats),
-        size_(block.end - block.begin) {}
+        scratch_(scratch), size_(block.end - block.begin) {}
 
   void run() {
     if (size_ < 2) return;
@@ -110,46 +135,63 @@ class BlockScheduler {
   }
 
  private:
+  static constexpr std::uint32_t kNoSlot = query::BlockConflictMatrix::kNoSlot;
+
   [[nodiscard]] const Insn& insn_at(std::size_t local) const {
     return func_.insns[block_.begin + local];
   }
 
-  void add_edge(std::size_t from, std::size_t to) {
-    // Dedup: successor lists are short.
-    auto& out = succs_[from];
-    if (std::find(out.begin(), out.end(), to) == out.end()) {
-      out.push_back(to);
-      ++preds_[to];
-    }
+  void add_edge(std::size_t i, std::size_t j) {
+    // The per-j seen bitmap replaces the old linear std::find dedup over
+    // the successor list — and doubles as the eligibility mask the later
+    // phases AND against.
+    std::uint64_t& word = scratch_.edge_row[i >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+    if ((word & bit) != 0) return;
+    word |= bit;
+    succs_[i].push_back(j);
+    ++preds_[j];
   }
 
-  /// HLI disambiguation answer, memoized per unordered item pair when a
-  /// cache is supplied.
-  [[nodiscard]] query::EquivAcc hli_conflict(format::ItemId a,
-                                             format::ItemId b) {
+  /// HLI disambiguation answer for a local instruction pair: one bit test
+  /// against the block's conflict matrix when batching, else the scalar
+  /// may_conflict (memoized per unordered item pair when a cache is
+  /// supplied).  Identical answers by the matrix's differential contract.
+  [[nodiscard]] bool hli_conflict(std::size_t i, std::size_t j,
+                                  format::ItemId a, format::ItemId b) {
+    if (batched_) {
+      const std::uint32_t sa = scratch_.mem_slot[i];
+      const std::uint32_t sb = scratch_.mem_slot[j];
+      if (sa != kNoSlot && sb != kNoSlot) {
+        c_batch_pairs.add();
+        return scratch_.matrix.conflict(sa, sb);
+      }
+      c_batch_fallbacks.add();
+    }
     if (options_.cache != nullptr) {
       if (const auto hit = options_.cache->lookup(a, b)) {
         c_cache_hits.add();
-        return *hit;
+        return *hit != query::EquivAcc::None;
       }
       c_cache_misses.add();
       const query::EquivAcc answer = options_.view->may_conflict(a, b);
       options_.cache->insert(a, b, answer);
-      return answer;
+      return answer != query::EquivAcc::None;
     }
-    return options_.view->may_conflict(a, b);
+    return options_.view->may_conflict(a, b) != query::EquivAcc::None;
   }
 
   /// The combined memory disambiguation of Figure 5, with stats.
-  [[nodiscard]] bool mem_dependence(const Insn& a, const Insn& b) {
+  [[nodiscard]] bool mem_dependence(std::size_t i, std::size_t j) {
+    const Insn& a = insn_at(i);
+    const Insn& b = insn_at(j);
     ++stats_.mem_queries;
     const bool gcc_value = gcc_may_conflict(a.mem, b.mem);
     bool hli_value = gcc_value;  // Without items, fall back to native.
     if (options_.view != nullptr && a.mem.hli_item != format::kNoItem &&
         b.mem.hli_item != format::kNoItem) {
       c_hli_answers.add();
-      hli_value = hli_conflict(a.mem.hli_item, b.mem.hli_item) !=
-                  query::EquivAcc::None;
+      hli_value = hli_conflict(i, j, a.mem.hli_item, b.mem.hli_item);
     } else {
       c_native_fallbacks.add();
     }
@@ -160,15 +202,27 @@ class BlockScheduler {
     return options_.use_hli ? combined : gcc_value;
   }
 
-  /// Dependence of a memory op against a call (REF/MOD, Figure 4 logic).
-  [[nodiscard]] bool call_dependence(const Insn& mem, const Insn& call) {
+  /// Dependence of a memory op against a call (REF/MOD, Figure 4 logic),
+  /// by local instruction index.
+  [[nodiscard]] bool call_dependence(std::size_t mem_local,
+                                     std::size_t call_local) {
+    const Insn& mem = insn_at(mem_local);
+    const Insn& call = insn_at(call_local);
     ++stats_.call_queries;
     ++stats_.call_edges_native;  // Native GCC always assumes a clobber.
     bool depends = true;
     if (options_.view != nullptr && mem.mem.hli_item != format::kNoItem &&
         call.hli_item != format::kNoItem) {
-      const query::CallAcc acc =
-          options_.view->get_call_acc(mem.mem.hli_item, call.hli_item);
+      query::CallAcc acc;
+      if (batched_ && scratch_.mem_slot[mem_local] != kNoSlot &&
+          scratch_.call_slot[call_local] != kNoSlot) {
+        c_batch_pairs.add();
+        acc = scratch_.matrix.call_acc(scratch_.mem_slot[mem_local],
+                                       scratch_.call_slot[call_local]);
+      } else {
+        if (batched_) c_batch_fallbacks.add();
+        acc = options_.view->get_call_acc(mem.mem.hli_item, call.hli_item);
+      }
       if (mem.op == Opcode::Load) {
         depends = acc == query::CallAcc::Mod || acc == query::CallAcc::RefMod;
       } else {
@@ -179,54 +233,132 @@ class BlockScheduler {
     return options_.use_hli ? depends : true;
   }
 
+  /// Fills the block occupancy bitmaps and, when batching, builds the
+  /// block's conflict matrix (one class resolution per item per region,
+  /// instead of per pair) plus the local-index -> slot maps.
+  void prepare_block() {
+    batched_ = options_.batch_queries && options_.view != nullptr;
+    scratch_.mem_pos.assign(words_, 0);
+    scratch_.store_pos.assign(words_, 0);
+    scratch_.call_pos.assign(words_, 0);
+    if (batched_) {
+      scratch_.mem_items.clear();
+      scratch_.call_items.clear();
+    }
+    for (std::size_t k = 0; k < size_; ++k) {
+      const Insn& insn = insn_at(k);
+      const std::uint64_t bit = std::uint64_t{1} << (k & 63);
+      if (is_memory_op(insn.op)) {
+        scratch_.mem_pos[k >> 6] |= bit;
+        if (insn.op == Opcode::Store) scratch_.store_pos[k >> 6] |= bit;
+        if (batched_ && insn.mem.hli_item != format::kNoItem) {
+          scratch_.mem_items.push_back(insn.mem.hli_item);
+        }
+      } else if (insn.op == Opcode::Call) {
+        scratch_.call_pos[k >> 6] |= bit;
+        if (batched_ && insn.hli_item != format::kNoItem) {
+          scratch_.call_items.push_back(insn.hli_item);
+        }
+      }
+    }
+    if (!batched_) return;
+    scratch_.matrix.build(*options_.view, scratch_.mem_items,
+                          scratch_.call_items);
+    scratch_.mem_slot.assign(size_, kNoSlot);
+    scratch_.call_slot.assign(size_, kNoSlot);
+    for (std::size_t k = 0; k < size_; ++k) {
+      const Insn& insn = insn_at(k);
+      if (is_memory_op(insn.op) && insn.mem.hli_item != format::kNoItem) {
+        scratch_.mem_slot[k] = scratch_.matrix.slot_of(insn.mem.hli_item);
+      } else if (insn.op == Opcode::Call &&
+                 insn.hli_item != format::kNoItem) {
+        scratch_.call_slot[k] = scratch_.matrix.call_slot_of(insn.hli_item);
+      }
+    }
+  }
+
+  /// Calls `fn(i)` for every i < j whose bit is set in `cand` and that
+  /// has no edge to j yet — one AND + countr_zero scan per 64 candidates.
+  template <typename Fn>
+  void for_each_eligible(const std::vector<std::uint64_t>& cand,
+                         std::size_t j, Fn&& fn) {
+    const std::size_t wj = j >> 6;
+    for (std::size_t w = 0; w <= wj; ++w) {
+      std::uint64_t bits = cand[w] & ~scratch_.edge_row[w];
+      if (w == wj) {
+        const unsigned rem = static_cast<unsigned>(j & 63);
+        bits &= rem != 0 ? (std::uint64_t{1} << rem) - 1 : 0;
+      }
+      while (bits != 0) {
+        const std::size_t i = w * 64 +
+                              static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        fn(i);
+      }
+    }
+  }
+
+  // Edge construction is phase-split per j: register dependences first,
+  // then memory pairs, then calls.  Each phase tests exactly the pairs
+  // the old fused per-i loop tested (the categories are mutually
+  // exclusive and all gate on "no edge yet"), each (i, j) gains at most
+  // one edge, and i ascends within every phase — so succs_/preds_ and
+  // every Table 2 counter come out identical to the fused loop, while
+  // the memory/call phases skip already-ordered predecessors a word at
+  // a time.
   void build_edges() {
     succs_.assign(size_, {});
     preds_.assign(size_, 0);
-    std::vector<Reg> reads;
+    words_ = (size_ + 63) / 64;
+    prepare_block();
 
     for (std::size_t j = 0; j < size_; ++j) {
       const Insn& bj = insn_at(j);
       const Reg j_write = write_of(bj);
-      reads_of(bj, reads);
-      const std::vector<Reg> j_reads = reads;
+      reads_of(bj, scratch_.j_reads);
+      scratch_.edge_row.assign(words_, 0);
 
+      // Register dependences.
       for (std::size_t i = 0; i < j; ++i) {
         const Insn& bi = insn_at(i);
         const Reg i_write = write_of(bi);
-
-        // Register dependences.
         bool edge = false;
         if (i_write != kNoReg) {
-          if (std::find(j_reads.begin(), j_reads.end(), i_write) != j_reads.end()) {
+          if (std::find(scratch_.j_reads.begin(), scratch_.j_reads.end(),
+                        i_write) != scratch_.j_reads.end()) {
             edge = true;  // True dependence.
           }
           if (i_write == j_write) edge = true;  // Output dependence.
         }
         if (!edge && j_write != kNoReg) {
-          reads_of(bi, reads);
-          if (std::find(reads.begin(), reads.end(), j_write) != reads.end()) {
+          reads_of(bi, scratch_.i_reads);
+          if (std::find(scratch_.i_reads.begin(), scratch_.i_reads.end(),
+                        j_write) != scratch_.i_reads.end()) {
             edge = true;  // Anti dependence.
           }
         }
-
-        // Memory dependences (at least one write).
-        if (!edge && is_memory_op(bi.op) && is_memory_op(bj.op) &&
-            (bi.op == Opcode::Store || bj.op == Opcode::Store)) {
-          edge = mem_dependence(bi, bj);
-        }
-
-        // Calls.
-        if (!edge) {
-          if (bi.op == Opcode::Call && bj.op == Opcode::Call) {
-            edge = true;  // Calls never reorder.
-          } else if (bi.op == Opcode::Call && is_memory_op(bj.op)) {
-            edge = call_dependence(bj, bi);
-          } else if (bj.op == Opcode::Call && is_memory_op(bi.op)) {
-            edge = call_dependence(bi, bj);
-          }
-        }
-
         if (edge) add_edge(i, j);
+      }
+
+      if (is_memory_op(bj.op)) {
+        // Memory dependences (at least one write): a store tests every
+        // earlier memory op, a load only earlier stores.
+        const auto& cand =
+            bj.op == Opcode::Store ? scratch_.mem_pos : scratch_.store_pos;
+        for_each_eligible(cand, j, [&](std::size_t i) {
+          if (mem_dependence(i, j)) add_edge(i, j);
+        });
+        // Earlier calls clobbering this memory op.
+        for_each_eligible(scratch_.call_pos, j, [&](std::size_t i) {
+          if (call_dependence(j, i)) add_edge(i, j);
+        });
+      } else if (bj.op == Opcode::Call) {
+        // Calls never reorder; earlier memory ops by REF/MOD.
+        for_each_eligible(scratch_.call_pos, j,
+                          [&](std::size_t i) { add_edge(i, j); });
+        for_each_eligible(scratch_.mem_pos, j, [&](std::size_t i) {
+          if (call_dependence(i, j)) add_edge(i, j);
+        });
       }
     }
   }
@@ -279,7 +411,10 @@ class BlockScheduler {
   const Block& block_;
   const SchedOptions& options_;
   DepStats& stats_;
+  SchedScratch& scratch_;
   std::size_t size_;
+  std::size_t words_ = 0;
+  bool batched_ = false;
   std::vector<std::vector<std::size_t>> succs_;
   std::vector<unsigned> preds_;
 };
@@ -304,9 +439,10 @@ void DepStats::record_telemetry(bool hli_applied) const {
 
 DepStats schedule_function(RtlFunction& func, const SchedOptions& options) {
   DepStats stats;
+  SchedScratch scratch;  // One arena for all blocks of the function.
   for (const Block& block : find_blocks(func)) {
     ++stats.blocks;
-    BlockScheduler scheduler(func, block, options, stats);
+    BlockScheduler scheduler(func, block, options, stats, scratch);
     scheduler.run();
   }
   return stats;

@@ -4,10 +4,17 @@
 #include <set>
 
 #include "backend/gcc_alias.hpp"
+#include "hli/batch_query.hpp"
+#include "support/telemetry.hpp"
 
 namespace hli::backend {
 
 namespace {
+
+const telemetry::Counter c_batch_pairs =
+    telemetry::counter("query.batch_pairs");
+const telemetry::Counter c_batch_fallbacks =
+    telemetry::counter("query.batch_fallbacks");
 
 struct Edge {
   std::size_t from = 0;
@@ -78,10 +85,12 @@ Reg write_of(const Insn& insn) {
 
 class LoopAnalyzer {
  public:
-  LoopAnalyzer(const LoopBody& body, const SwpOptions& options)
-      : body_(body), options_(options) {}
+  LoopAnalyzer(const LoopBody& body, const SwpOptions& options,
+               query::BlockConflictMatrix& matrix)
+      : body_(body), options_(options), matrix_(matrix) {}
 
   LoopPipelineInfo run() {
+    prepare_matrix();
     LoopPipelineInfo info;
     info.region = body_.region;
     info.body_insns = static_cast<unsigned>(body_.insns.size());
@@ -97,6 +106,26 @@ class LoopAnalyzer {
   }
 
  private:
+  static constexpr std::uint32_t kNoSlot = query::BlockConflictMatrix::kNoSlot;
+
+  /// One matrix over the body's memory items, with the loop's LCDD plane:
+  /// the intra-iteration test becomes a bit probe and the loop-carried
+  /// plane prefilters which pairs pay a scalar get_lcdd for distances.
+  void prepare_matrix() {
+    if (!options_.batch_queries || !options_.use_hli ||
+        options_.view == nullptr) {
+      return;
+    }
+    mem_items_.clear();
+    for (const Insn* insn : body_.insns) {
+      if (is_memory_op(insn->op) && insn->mem.hli_item != format::kNoItem) {
+        mem_items_.push_back(insn->mem.hli_item);
+      }
+    }
+    matrix_.build(*options_.view, mem_items_, {}, body_.region);
+    batched_ = true;
+  }
+
   [[nodiscard]] unsigned latency_of(const Insn& insn) const {
     return options_.latency ? std::max(1u, options_.latency(insn)) : 1u;
   }
@@ -151,20 +180,39 @@ class LoopAnalyzer {
         if (options_.use_hli && options_.view != nullptr &&
             bi.mem.hli_item != format::kNoItem &&
             bj.mem.hli_item != format::kNoItem) {
-          if (j > i) {
-            // Intra-iteration conflict in program order.
-            if (options_.view->may_conflict(bi.mem.hli_item, bj.mem.hli_item) !=
-                query::EquivAcc::None) {
-              add_edge(i, j, latency_of(bi), 0);
+          std::uint32_t sa = kNoSlot;
+          std::uint32_t sb = kNoSlot;
+          if (batched_) {
+            sa = matrix_.slot_of(bi.mem.hli_item);
+            sb = matrix_.slot_of(bj.mem.hli_item);
+            if (sa != kNoSlot && sb != kNoSlot) {
+              c_batch_pairs.add();
+            } else {
+              c_batch_fallbacks.add();
+              sa = sb = kNoSlot;
             }
           }
-          // Loop-carried arcs with real distances from the LCDD table.
-          for (const auto& dep : options_.view->get_lcdd(
-                   body_.region, bi.mem.hli_item, bj.mem.hli_item)) {
-            if (dep.forward) {
-              add_edge(i, j, latency_of(bi),
-                       static_cast<unsigned>(
-                           std::max<std::int64_t>(1, dep.distance.value_or(1))));
+          if (j > i) {
+            // Intra-iteration conflict in program order.
+            const bool intra =
+                sa != kNoSlot
+                    ? matrix_.conflict(sa, sb)
+                    : options_.view->may_conflict(bi.mem.hli_item,
+                                                  bj.mem.hli_item) !=
+                          query::EquivAcc::None;
+            if (intra) add_edge(i, j, latency_of(bi), 0);
+          }
+          // Loop-carried arcs with real distances from the LCDD table;
+          // the plane's emptiness bit skips the scalar call for the
+          // (typical) pairs with no carried dependence at all.
+          if (sa == kNoSlot || matrix_.loop_carried(sa, sb)) {
+            for (const auto& dep : options_.view->get_lcdd(
+                     body_.region, bi.mem.hli_item, bj.mem.hli_item)) {
+              if (dep.forward) {
+                add_edge(i, j, latency_of(bi),
+                         static_cast<unsigned>(
+                             std::max<std::int64_t>(1, dep.distance.value_or(1))));
+              }
             }
           }
         } else {
@@ -220,6 +268,9 @@ class LoopAnalyzer {
 
   const LoopBody& body_;
   const SwpOptions& options_;
+  query::BlockConflictMatrix& matrix_;
+  bool batched_ = false;
+  std::vector<format::ItemId> mem_items_;
   std::vector<Edge> edges_;
 };
 
@@ -228,8 +279,9 @@ class LoopAnalyzer {
 std::vector<LoopPipelineInfo> analyze_software_pipelining(
     const RtlFunction& func, const SwpOptions& options) {
   std::vector<LoopPipelineInfo> out;
+  query::BlockConflictMatrix matrix;  // Arena shared across the loops.
   for (const LoopBody& body : innermost_bodies(func)) {
-    LoopAnalyzer analyzer(body, options);
+    LoopAnalyzer analyzer(body, options, matrix);
     out.push_back(analyzer.run());
   }
   return out;

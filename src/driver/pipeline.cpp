@@ -62,6 +62,12 @@ PipelineOptions PipelineOptions::with_store(const hli::HliStore* store) const {
   return copy;
 }
 
+PipelineOptions PipelineOptions::with_batch_queries(bool on) const {
+  PipelineOptions out = *this;
+  out.batch_queries = on;
+  return out;
+}
+
 PipelineOptions PipelineOptions::with_cse(bool on) const {
   PipelineOptions copy = *this;
   copy.enable_cse = on;
@@ -327,6 +333,7 @@ CompiledProgram compile_source(std::string_view source,
       CseOptions cse;
       cse.use_hli = options.use_hli;
       cse.view = &view;
+      cse.batch_queries = options.batch_queries;
       cse.on_load_deleted = [&deleted](format::ItemId item) {
         deleted.push_back(item);
       };
@@ -369,6 +376,7 @@ CompiledProgram compile_source(std::string_view source,
       LicmOptions licm;
       licm.use_hli = options.use_hli;
       licm.view = &view;
+      licm.batch_queries = options.batch_queries;
       licm.on_load_hoisted = [&hoisted, &view](format::ItemId item,
                                                format::RegionId loop) {
         hoisted.emplace_back(item, view.parent_region(loop));
@@ -406,6 +414,7 @@ CompiledProgram compile_source(std::string_view source,
       sched.use_hli = options.use_hli;
       sched.view = &view;
       sched.cache = &conflict_cache;
+      sched.batch_queries = options.batch_queries;
       const machine::MachineDesc& mach = options.sched_machine;
       sched.latency = [&mach](const Insn& insn) { return mach.latency(insn); };
       const DepStats sched_stats = schedule_function(func, sched);
@@ -428,6 +437,7 @@ CompiledProgram compile_source(std::string_view source,
         sched.use_hli = options.use_hli;
         sched.view = &view;
         sched.cache = &conflict_cache;
+        sched.batch_queries = options.batch_queries;
         const machine::MachineDesc& mach = options.sched_machine;
         sched.latency = [&mach](const Insn& insn) { return mach.latency(insn); };
         const DepStats sched2_stats = schedule_function(func, sched);

@@ -35,6 +35,8 @@
 
 namespace hli::query {
 
+class BlockConflictMatrix;
+
 using format::HliEntry;
 using format::ItemId;
 using format::RegionId;
@@ -112,7 +114,16 @@ class HliUnitView {
   /// effects are unknown.
   [[nodiscard]] CallAcc get_call_acc(ItemId mem, ItemId call) const;
 
+  /// One past the largest item/class ID the dense arrays cover; every ID
+  /// at or beyond this answers Maybe.  Batch consumers (and the audit)
+  /// use it to size their own per-item tables.
+  [[nodiscard]] std::size_t item_limit() const { return iteminfo_.size(); }
+
  private:
+  /// The batch layer (hli/batch_query.hpp) builds per-block conflict
+  /// bitmatrices by sequentially scanning these tables; it must see the
+  /// same per-item/per-class facts the scalar queries see.
+  friend class BlockConflictMatrix;
   /// Sentinel for "no dense index".
   static constexpr std::uint32_t kNone = 0xffffffffu;
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "hli/batch_query.hpp"
 #include "hli/query.hpp"
 #include "hli/reference_query.hpp"
 
@@ -569,6 +570,11 @@ class Verifier {
       if (is_memory_item(type)) items.push_back(item);
     }
     std::sort(items.begin(), items.end());
+    // The batched plane must agree bit-for-bit with both scalar views:
+    // one matrix over the whole audited item set answers every probed
+    // pair below (docs/query-batching.md's differential guarantee).
+    query::BlockConflictMatrix matrix;
+    matrix.build(dense, items);
     std::size_t pairs = 0;
     for (std::size_t i = 0; i < items.size(); ++i) {
       for (std::size_t j = i; j < items.size(); ++j) {
@@ -579,6 +585,10 @@ class Verifier {
         };
         const Probe probes[] = {
             {"may_conflict", dense.may_conflict(items[i], items[j]),
+             oracle.may_conflict(items[i], items[j])},
+            {"batch.may_conflict",
+             matrix.may_conflict(matrix.slot_of(items[i]),
+                                 matrix.slot_of(items[j])),
              oracle.may_conflict(items[i], items[j])},
             {"get_equiv_acc", dense.get_equiv_acc(items[i], items[j]),
              oracle.get_equiv_acc(items[i], items[j])},

@@ -111,6 +111,11 @@ ParseStatus parse_common_flag(int argc, char** argv, int& i, const char* tool,
     std::fprintf(stderr, "%s: --trace-out expects a path\n", tool);
     return ParseStatus::Error;
   }
+  if (arg == "--no-batch-queries") {
+    out.batch_queries = false;
+    out.batch_queries_set = true;
+    return ParseStatus::Handled;
+  }
   if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
     std::string value;
     if (!flag_value(argc, argv, i, "--jobs", value)) {
@@ -128,7 +133,9 @@ const char* common_usage() {
          "  --emit=binary|text         HLI interchange encoding\n"
          "  --jobs[=]N                 worker threads (0 = all cores)\n"
          "  --trace-out=PATH           Chrome trace_event JSON timeline\n"
-         "  --stats[=table|json]       telemetry counter report\n";
+         "  --stats[=table|json]       telemetry counter report\n"
+         "  --no-batch-queries         scalar per-pair HLI queries (no "
+         "per-block conflict matrices)\n";
 }
 
 driver::PipelineOptions apply(const CommonOptions& common,
@@ -137,6 +144,9 @@ driver::PipelineOptions apply(const CommonOptions& common,
   driver::PipelineOptions options = base;
   if (common.verify_hli_set) options = options.with_verify(common.verify_hli);
   if (common.emit_set) options = options.with_encoding(common.emit);
+  if (common.batch_queries_set) {
+    options = options.with_batch_queries(common.batch_queries);
+  }
   if (common.stats != StatsFormat::Off) options = options.with_counters();
   if (!common.trace_out.empty() && tracer != nullptr) {
     options = options.with_tracer(tracer);

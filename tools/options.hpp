@@ -9,6 +9,8 @@
 //   --trace-out=PATH            write a Chrome trace_event JSON file
 //   --stats[=table|json]       telemetry counter report (table to stdout,
 //                               json as one deterministic document)
+//   --no-batch-queries          answer HLI block queries with the scalar
+//                               per-pair path (escape hatch; RTL identical)
 //
 // A tool's argument loop calls `parse_common_flag` first and falls
 // through to its own flags only on NotMine, so the shared flags cannot
@@ -41,6 +43,12 @@ struct CommonOptions {
   unsigned jobs = 0;  ///< 0: driver default (all cores).
   std::string trace_out;
   StatsFormat stats = StatsFormat::Off;
+  /// --no-batch-queries: force the scalar per-pair HLI query path instead
+  /// of per-block BlockConflictMatrix planes.  Output is byte-identical
+  /// either way (docs/query-batching.md); the flag exists to isolate the
+  /// batching layer when debugging and to measure its effect.
+  bool batch_queries = true;
+  bool batch_queries_set = false;
 
   /// True when --stats or --trace-out asked for telemetry collection.
   [[nodiscard]] bool wants_telemetry() const {
