@@ -33,6 +33,12 @@ struct Row {
   double reduction = 0.0;
   double speedup_r4600 = 1.0;
   double speedup_r10000 = 1.0;
+  /// Third column: no HLI at all, the independent RTL-level analyzer
+  /// (--irdep-fallback) as the only extra dependence oracle.  How much of
+  /// the HLI's DDG pruning can the back end recover without the channel?
+  std::uint64_t irdep_yes = 0;      ///< Edges left after irdep pruning.
+  double irdep_reduction = 0.0;     ///< vs. the native analyzer alone.
+  double irdep_speedup_r10000 = 1.0;
 };
 
 Row measure(const workloads::Workload& workload) {
@@ -46,11 +52,14 @@ Row measure(const workloads::Workload& workload) {
       driver::PipelineOptions::paper_table2().with_hli(false);
   const driver::PipelineOptions assisted =
       driver::PipelineOptions::paper_table2().with_counters();
+  const driver::PipelineOptions fallback = native.with_irdep_fallback();
 
   const driver::CompiledProgram with_hli =
       driver::compile_source(workload.source, assisted);
   const driver::CompiledProgram without =
       driver::compile_source(workload.source, native);
+  const driver::CompiledProgram with_irdep =
+      driver::compile_source(workload.source, fallback);
 
   const auto& s = with_hli.stats.sched;
   row.edges_pruned = with_hli.counters.total.value("sched.ddg_edges_pruned");
@@ -66,16 +75,27 @@ Row measure(const workloads::Workload& workload) {
                       : 100.0 * (1.0 - static_cast<double>(s.combined_yes) /
                                            static_cast<double>(s.gcc_yes));
 
+  const auto& fs = with_irdep.stats.sched;
+  row.irdep_yes = fs.gcc_yes - fs.fallback_pruned;
+  row.irdep_reduction =
+      fs.gcc_yes == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(fs.fallback_pruned) /
+                static_cast<double>(fs.gcc_yes);
+
   const auto r4600 = machine::r4600();
   const auto r10000 = machine::r10000();
   const auto base_1 = driver::simulate(without, r4600);
   const auto hli_1 = driver::simulate(with_hli, r4600);
   const auto base_2 = driver::simulate(without, r10000);
   const auto hli_2 = driver::simulate(with_hli, r10000);
+  const auto irdep_2 = driver::simulate(with_irdep, r10000);
   row.speedup_r4600 =
       static_cast<double>(base_1.cycles) / static_cast<double>(hli_1.cycles);
   row.speedup_r10000 =
       static_cast<double>(base_2.cycles) / static_cast<double>(hli_2.cycles);
+  row.irdep_speedup_r10000 =
+      static_cast<double>(base_2.cycles) / static_cast<double>(irdep_2.cycles);
   return row;
 }
 
@@ -156,7 +176,10 @@ int main(int argc, char** argv) {
                 {"ddg_edges_pruned", static_cast<double>(row.edges_pruned)},
                 {"reduction_pct", row.reduction},
                 {"speedup_r4600", row.speedup_r4600},
-                {"speedup_r10000", row.speedup_r10000}});
+                {"speedup_r10000", row.speedup_r10000},
+                {"irdep_yes", static_cast<double>(row.irdep_yes)},
+                {"irdep_reduction_pct", row.irdep_reduction},
+                {"irdep_speedup_r10000", row.irdep_speedup_r10000}});
     if (all[i].floating_point) {
       fp_rows.push_back(row);
     } else {
@@ -168,6 +191,23 @@ int main(int argc, char** argv) {
   std::printf("\nPaper shape checks: reduction means ~48%% (INT) / ~54%% (FP);\n"
               "mdljdp2/mdljsp2/tomcatv/swim reduce the most, mgrid the least;\n"
               "FP speedups exceed integer speedups.\n");
+
+  // Third column: how far the back end gets with NO HLI channel, using
+  // the independent RTL-level analyzer (--irdep-fallback) as its only
+  // extra oracle.  Sits between native GCC (reduction 0) and the HLI.
+  std::printf("\nThird column: no HLI, independent analyzer as fallback "
+              "oracle\n");
+  std::printf("%-14s %13s %13s %9s %8s\n", "Benchmark", "GCC yes",
+              "Irdep yes", "Reduction", "R10000");
+  for (const Row& row : rows) {
+    std::printf("%-14s %6llu (%3.0f%%) %6llu (%3.0f%%)  %8.0f%%   %6.2f\n",
+                row.name.c_str(),
+                static_cast<unsigned long long>(row.gcc_yes),
+                pct(row.gcc_yes, row.tests),
+                static_cast<unsigned long long>(row.irdep_yes),
+                pct(row.irdep_yes, row.tests), row.irdep_reduction,
+                row.irdep_speedup_r10000);
+  }
 
   report.wall_ms = timer.elapsed_ms();
   if (!args.json_path.empty() && !report.write(args.json_path)) return 1;

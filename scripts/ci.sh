@@ -27,6 +27,14 @@ stage_tier1() {
   # Every workload through every pass boundary with the verifier fatal.
   ./build/tools/hlic --verify-hli=fatal --stats \
     $(./build/tools/hlic --list-workloads | awk '{print $1}')
+  # Independent-analyzer acceptance: the irdep audit must refute no HLI
+  # independence claim on any workload, and the loop classifier must
+  # find real parallelism (at least one DOALL and one DOACROSS).
+  ./build/tools/hlic --audit-deps=fatal --stats \
+    $(./build/tools/hlic --list-workloads | awk '{print $1}')
+  ./build/tools/hlic --analyze=loops 102.swim | tee build/LOOPS_swim.txt
+  grep -q DOALL build/LOOPS_swim.txt
+  grep -q DOACROSS build/LOOPS_swim.txt
   # Text-vs-HLIB differential round-trip suites + serialize bench smoke.
   ./build/tests/hli/hli_tests \
     --gtest_filter='Binary*:Store*:*WorkloadRoundTrip*'
@@ -69,8 +77,19 @@ stage_tsan() {
   cmake --build build-tsan -j "$JOBS" --target driver_tests hlic
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/driver/driver_tests \
     --gtest_filter='Parallel*:*Parallel*'
-  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tools/hlic --jobs 4 --stats \
-    102.swim 101.tomcatv 052.alvinn 023.eqntott
+  # Full determinism suite under TSan: all 14 workloads compiled serially
+  # and with a worker pool must produce byte-identical JSON stats — any
+  # cross-thread interleaving that leaks into results shows up as a cmp
+  # failure, any data race as a TSan report.
+  local workloads
+  workloads=$(./build-tsan/tools/hlic --list-workloads | awk '{print $1}')
+  # shellcheck disable=SC2086
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tools/hlic --stats=json \
+    --jobs 1 $workloads > build-tsan/STATS_serial.json
+  # shellcheck disable=SC2086
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tools/hlic --stats=json \
+    --jobs "$JOBS" $workloads > build-tsan/STATS_parallel.json
+  cmp build-tsan/STATS_serial.json build-tsan/STATS_parallel.json
 }
 
 stage_tidy() {
@@ -79,7 +98,7 @@ stage_tidy() {
     return 0
   fi
   cmake -B build "${GENERATOR[@]}"
-  run-clang-tidy -p build -quiet "$(pwd)/src/.*\.cpp$"
+  run-clang-tidy -p build -quiet "$(pwd)/(src|tools)/.*\.cpp$"
 }
 
 stage_stats() {

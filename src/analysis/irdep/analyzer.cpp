@@ -1,0 +1,388 @@
+#include "analysis/irdep/analyzer.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+namespace hli::irdep {
+
+namespace {
+
+using backend::Insn;
+using backend::Opcode;
+
+/// Byte ranges [cA, cA+szA) and [cB, cB+szB) with delta = cA - cB
+/// intersect iff -szA < delta < szB.
+bool overlap(std::int64_t delta, std::int64_t sz_a, std::int64_t sz_b) {
+  return delta > -sz_a && delta < sz_b;
+}
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  a = a < 0 ? -a : a;
+  b = b < 0 ? -b : b;
+  while (b != 0) {
+    const std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// GCD exclusion with the free terms folded out: a dependence needs byte
+/// offsets bA in [0, szA), bB in [0, szB) with  g | (delta + bA - bB).
+/// True = provably no solution (No dependence through these terms).
+bool gcd_excludes(std::int64_t g, std::int64_t delta, std::int64_t sz_a,
+                  std::int64_t sz_b) {
+  if (g <= 0) return false;
+  for (std::int64_t ba = 0; ba < sz_a; ++ba) {
+    for (std::int64_t bb = 0; bb < sz_b; ++bb) {
+      const std::int64_t x = delta + ba - bb;
+      if (((x % g) + g) % g == 0) return false;
+    }
+  }
+  return true;
+}
+
+/// Per-register difference of the two forms' terms, excluding `skip`.
+/// (Coefficients are bounded by 2^45, so the differences cannot
+/// overflow.)
+void residual_coeffs(const LinearForm& fa, const LinearForm& fb,
+                     backend::Reg skip, std::vector<std::int64_t>& out) {
+  std::map<backend::Reg, std::int64_t> diff;
+  for (const Term& t : fa.terms) {
+    if (t.reg != skip) diff[t.reg] += t.coeff;
+  }
+  for (const Term& t : fb.terms) {
+    if (t.reg != skip) diff[t.reg] -= t.coeff;
+  }
+  out.clear();
+  for (const auto& [reg, c] : diff) {
+    (void)reg;
+    if (c != 0) out.push_back(c);
+  }
+}
+
+/// Are the two forms' sampled register values provably identical?  Both
+/// positions must share a basic block, and for every consumed register
+/// (union across both forms) all reads must sit in one block with no
+/// redefinition strictly between the first and last read.
+bool comparable(const FunctionModel& model, const LinearForm& fa,
+                std::size_t pa, const LinearForm& fb, std::size_t pb) {
+  if (model.block_of(pa) != model.block_of(pb)) return false;
+  std::map<backend::Reg, std::vector<std::uint32_t>> reads;
+  for (const LinearForm* f : {&fa, &fb}) {
+    for (const Use& u : f->uses) {
+      auto& v = reads[u.reg];
+      v.insert(v.end(), u.reads.begin(), u.reads.end());
+    }
+  }
+  for (auto& [reg, v] : reads) {
+    std::sort(v.begin(), v.end());
+    const std::uint32_t block = model.block_of(v.front());
+    for (const std::uint32_t r : v) {
+      if (model.block_of(r) != block) return false;
+    }
+    if (model.def_in(reg, v.front(), v.back())) return false;
+  }
+  return true;
+}
+
+/// Is the form's value a function of the iteration number alone within
+/// one activation of canonical loop `L`?  Terminals must be the loop's
+/// induction register (every read before the in-loop step) or invariant
+/// across the loop; in-loop intermediates must be read in their own
+/// block after their definition.
+bool loop_stable(const FunctionModel& model, const LinearForm& f,
+                 const LoopShape& l) {
+  for (const Use& u : f.uses) {
+    if (u.terminal) {
+      if (u.reg == l.induction) {
+        for (const std::uint32_t r : u.reads) {
+          if (r <= l.beg || r >= l.step_def) return false;
+        }
+      } else if (model.def_in(u.reg, l.beg, l.end)) {
+        return false;
+      }
+      continue;
+    }
+    const std::uint32_t d = u.def_pos;
+    if (d > l.beg && d < l.end) {
+      const std::uint32_t block = model.block_of(d);
+      for (const std::uint32_t r : u.reads) {
+        if (r <= d || model.block_of(r) != block) return false;
+      }
+    }
+    // Defined outside the loop: single definition => invariant inside.
+  }
+  return true;
+}
+
+/// ceil/floor division for exact integer interval bounds.
+std::int64_t floor_div(std::int64_t n, std::int64_t d) {
+  std::int64_t q = n / d;
+  if ((n % d != 0) && ((n < 0) != (d < 0))) --q;
+  return q;
+}
+std::int64_t ceil_div(std::int64_t n, std::int64_t d) {
+  std::int64_t q = n / d;
+  if ((n % d != 0) && ((n < 0) == (d < 0))) ++q;
+  return q;
+}
+
+constexpr std::int64_t kMagLimit = std::int64_t{1} << 45;
+
+bool mul_in_range(std::int64_t a, std::int64_t b, std::int64_t& out) {
+  const __int128 p = static_cast<__int128>(a) * b;
+  if (p > kMagLimit || p < -kMagLimit) return false;
+  out = static_cast<std::int64_t>(p);
+  return true;
+}
+
+}  // namespace
+
+FunctionDepInfo::FunctionDepInfo(const ProgramDepInfo& prog,
+                                 const backend::RtlFunction& func)
+    : prog_(&prog), model_(prog.prog(), func) {
+  // Snapshot every memory op's address form from the pristine stream now:
+  // consumers (the scheduler in particular) permute already-processed
+  // regions in place before querying later ones, and a lazily computed
+  // form would chase definition indices into rewritten code.  Positions
+  // recorded in the forms stay valid at block granularity — permutation
+  // never moves an instruction across a label or branch.
+  for (std::size_t pos = 0; pos < func.insns.size(); ++pos) {
+    if (backend::is_memory_op(func.insns[pos].op)) {
+      (void)model_.address_form(pos);
+    }
+  }
+}
+
+Dep FunctionDepInfo::same_iter(std::size_t a, std::size_t b) {
+  const LinearForm& fa = model_.address_form(a);
+  const LinearForm& fb = model_.address_form(b);
+
+  // Object-level disambiguation first: it needs no affine precision.
+  if (known(fa.obj) && known(fb.obj)) {
+    if (!same_object(fa.obj, fb.obj)) return Dep::No;
+  } else if (known(fa.obj) || known(fb.obj)) {
+    const Object& o = known(fa.obj) ? fa.obj : fb.obj;
+    return prog_->wild_may_touch(model_, o) ? Dep::May : Dep::No;
+  } else {
+    return Dep::May;
+  }
+
+  if (!fa.affine || !fb.affine) return Dep::May;
+  const auto sz_a = static_cast<std::int64_t>(fa.size);
+  const auto sz_b = static_cast<std::int64_t>(fb.size);
+  const std::int64_t delta = fa.constant - fb.constant;
+
+  // Fully constant offsets into the same object: exact answer, no value
+  // identity needed.
+  if (fa.terms.empty() && fb.terms.empty()) {
+    return overlap(delta, sz_a, sz_b) ? Dep::Must : Dep::No;
+  }
+
+  std::vector<std::int64_t> residual;
+  residual_coeffs(fa, fb, backend::kNoReg, residual);
+
+  if (comparable(model_, fa, a, fb, b)) {
+    // Matching terms cancel exactly (the sampled values are identical).
+    if (residual.empty()) {
+      return overlap(delta, sz_a, sz_b) ? Dep::Must : Dep::No;
+    }
+    std::int64_t g = 0;
+    for (const std::int64_t c : residual) g = gcd64(g, c);
+    return gcd_excludes(g, delta, sz_a, sz_b) ? Dep::No : Dep::May;
+  }
+
+  // No value identity: every term is an independent free variable.
+  std::int64_t g = 0;
+  for (const Term& t : fa.terms) g = gcd64(g, t.coeff);
+  for (const Term& t : fb.terms) g = gcd64(g, t.coeff);
+  return gcd_excludes(g, delta, sz_a, sz_b) ? Dep::No : Dep::May;
+}
+
+CarriedDep FunctionDepInfo::carried(std::size_t loop_beg, std::size_t a,
+                                    std::size_t b) {
+  CarriedDep may;  // default: {May, unknown distance}
+  const LoopShape* l = model_.loop_at(loop_beg);
+  if (l == nullptr) return may;
+
+  const LinearForm& fa = model_.address_form(a);
+  const LinearForm& fb = model_.address_form(b);
+
+  // Distinct objects can never alias, across iterations or not.
+  if (known(fa.obj) && known(fb.obj)) {
+    if (!same_object(fa.obj, fb.obj)) return {Dep::No, false, 0, false};
+  } else if (known(fa.obj) || known(fb.obj)) {
+    const Object& o = known(fa.obj) ? fa.obj : fb.obj;
+    if (!prog_->wild_may_touch(model_, o)) return {Dep::No, false, 0, false};
+    return may;
+  } else {
+    return may;
+  }
+
+  if (!l->canonical) return may;
+  if (l->trip && *l->trip <= 1) {
+    // At most one iteration executes: no cross-iteration dependence.
+    return {Dep::No, false, 0, false};
+  }
+  if (!fa.affine || !fb.affine) return may;
+  if (!loop_stable(model_, fa, *l) || !loop_stable(model_, fb, *l)) {
+    return may;
+  }
+
+  const auto sz_a = static_cast<std::int64_t>(fa.size);
+  const auto sz_b = static_cast<std::int64_t>(fb.size);
+  const std::int64_t delta = fa.constant - fb.constant;
+  const std::int64_t iv_a = fa.coeff_of(l->induction);
+  const std::int64_t iv_b = fb.coeff_of(l->induction);
+
+  std::vector<std::int64_t> residual;
+  residual_coeffs(fa, fb, l->induction, residual);
+
+  // Audit-grade existence needs both references on the unconditional
+  // straight-line body path.
+  const bool unconditional = a >= l->body_begin && a < l->body_end &&
+                             b >= l->body_begin && b < l->body_end;
+
+  if (iv_a == iv_b) {
+    std::int64_t v = 0;
+    if (!mul_in_range(iv_a, l->step, v)) return may;
+
+    if (residual.empty()) {
+      if (v == 0) {
+        // Both addresses are invariant across iterations.
+        if (!overlap(delta, sz_a, sz_b)) return {Dep::No, false, 0, false};
+        CarriedDep r{Dep::May, true, 1, false};
+        if (unconditional && l->trip && *l->trip >= 2) {
+          r.dep = Dep::Must;
+          r.proven = true;
+        }
+        return r;
+      }
+      // addr_A(i) - addr_B(j) = v*e + delta with e = i - j != 0; a
+      // carried dependence at distance |e| needs overlap(v*e + delta).
+      // v*e must lie in (-szA - delta, szB - delta): a window of width
+      // szA + szB, so at most a handful of integer solutions.
+      std::int64_t e_lo, e_hi;
+      if (v > 0) {
+        e_lo = floor_div(-sz_a - delta, v) + 1;
+        e_hi = ceil_div(sz_b - delta, v) - 1;
+      } else {
+        e_lo = floor_div(-(sz_b - delta), -v) + 1;
+        e_hi = ceil_div(-(-sz_a - delta), -v) - 1;
+      }
+      std::int64_t best = 0;
+      bool any = false;
+      bool best_proven = false;
+      for (std::int64_t e = e_lo; e <= e_hi; ++e) {
+        if (e == 0) continue;
+        const std::int64_t d = e < 0 ? -e : e;
+        if (l->trip && d > *l->trip - 1) continue;
+        if (!any || d < best) {
+          best = d;
+          best_proven = unconditional && l->trip && *l->trip >= d + 1;
+        } else if (d == best) {
+          best_proven = best_proven ||
+                        (unconditional && l->trip && *l->trip >= d + 1);
+        }
+        any = true;
+      }
+      if (!any) return {Dep::No, false, 0, false};
+      CarriedDep r{Dep::May, true, best, false};
+      if (best_proven) {
+        r.dep = Dep::Must;
+        r.proven = true;
+      }
+      return r;
+    }
+
+    // Residual invariant free terms: GCD over them plus the iteration
+    // delta's coefficient.
+    std::int64_t g = v < 0 ? -v : v;
+    for (const std::int64_t c : residual) g = gcd64(g, c);
+    if (gcd_excludes(g, delta, sz_a, sz_b)) return {Dep::No, false, 0, false};
+    return may;
+  }
+
+  // Different induction coefficients (e.g. A[2i] vs A[i], or the
+  // crossing pair A[i] vs A[C-i]).  Substituting the IV's value
+  // v = init + step*i turns the address difference into
+  //   D(i, j) = delta + (iv_a - iv_b)*init + va*i - vb*j
+  // over iteration numbers i, j — the initial value no longer cancels
+  // the way it does for equal coefficients, so without a known init no
+  // proof is possible.
+  if (!l->init) return may;
+  std::int64_t va = 0, vb = 0, init_shift = 0;
+  if (!mul_in_range(iv_a, l->step, va) || !mul_in_range(iv_b, l->step, vb) ||
+      !mul_in_range(iv_a - iv_b, *l->init, init_shift)) {
+    return may;
+  }
+  const std::int64_t delta0 = delta + init_shift;
+  std::int64_t g = gcd64(va, vb);
+  for (const std::int64_t c : residual) g = gcd64(g, c);
+  if (gcd_excludes(g, delta0, sz_a, sz_b)) return {Dep::No, false, 0, false};
+
+  if (residual.empty() && l->trip) {
+    // Banerjee-style extreme bounds of D(i,j) over i,j in [0, trip); an
+    // empty intersection with the overlap window (-szA, szB) disproves
+    // any dependence (carried or not).
+    const std::int64_t t = *l->trip - 1;
+    std::int64_t va_t = 0, vb_t = 0;
+    if (mul_in_range(va, t, va_t) && mul_in_range(vb, t, vb_t)) {
+      const std::int64_t min_d =
+          delta0 + std::min<std::int64_t>(0, va_t) -
+          std::max<std::int64_t>(0, vb_t);
+      const std::int64_t max_d =
+          delta0 + std::max<std::int64_t>(0, va_t) -
+          std::min<std::int64_t>(0, vb_t);
+      if (max_d <= -sz_a || min_d >= sz_b) return {Dep::No, false, 0, false};
+    }
+  }
+  return may;
+}
+
+unsigned FunctionDepInfo::call_effect(std::size_t call_pos,
+                                      std::size_t mem_pos) {
+  const Insn& call = model_.func().insns[call_pos];
+  if (call.op != Opcode::Call) {
+    return backend::kCallReadsLoc | backend::kCallWritesLoc;
+  }
+  const Object o = model_.address_form(mem_pos).obj;
+  return prog_->call_effect_on(call.callee, model_, o);
+}
+
+IrdepOracle::IrdepOracle(const ProgramDepInfo& prog,
+                         const backend::RtlFunction& func)
+    : prog_(&prog),
+      info_(std::make_unique<FunctionDepInfo>(prog, func)) {}
+
+IrdepOracle::~IrdepOracle() = default;
+
+bool IrdepOracle::may_conflict(std::size_t a, std::size_t b) {
+  ++queries_;
+  const bool may = info_->same_iter(a, b) != Dep::No;
+  if (!may) ++pruned_;
+  return may;
+}
+
+unsigned IrdepOracle::call_effect(std::size_t call_idx, std::size_t mem_idx) {
+  ++queries_;
+  const unsigned effect = info_->call_effect(call_idx, mem_idx);
+  if (effect == 0) ++pruned_;
+  return effect;
+}
+
+bool IrdepOracle::may_carry(std::size_t loop_beg, std::size_t a,
+                            std::size_t b) {
+  ++queries_;
+  const bool may = info_->carried(loop_beg, a, b).dep != Dep::No;
+  if (!may) ++pruned_;
+  return may;
+}
+
+void IrdepOracle::refresh(const backend::RtlFunction& func) {
+  info_ = std::make_unique<FunctionDepInfo>(*prog_, func);
+}
+
+}  // namespace hli::irdep

@@ -1,0 +1,89 @@
+// Pair dependence tests of the independent RTL-level analyzer, and the
+// DepOracle implementation the driver hands to sched/cse/licm in no-HLI
+// configurations (PipelineOptions::irdep_fallback).
+//
+// Answers are three-valued.  `No` and `Must` are *proofs* (the audit
+// turns a Must against an HLI NoConflict into an unsoundness finding),
+// so they are only produced under the value-stability rules documented
+// in form.hpp; everything else degrades to May.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "analysis/irdep/form.hpp"
+#include "analysis/irdep/refmod.hpp"
+#include "backend/depinfo.hpp"
+
+namespace hli::irdep {
+
+enum class Dep : std::uint8_t { No, May, Must };
+
+/// Loop-carried dependence answer for one pair w.r.t. one loop.
+struct CarriedDep {
+  Dep dep = Dep::May;
+  /// True when every feasible carried distance was enumerated; then
+  /// `min_distance` is a sound DOACROSS distance (no real dependence can
+  /// be shorter).
+  bool distance_known = false;
+  std::int64_t min_distance = 0;
+  /// Audit-grade: a real carried dependence provably occurs in every
+  /// complete execution (canonical loop, unconditional straight-line
+  /// body, known trip count covering the distance).
+  bool proven = false;
+};
+
+class FunctionDepInfo {
+ public:
+  FunctionDepInfo(const ProgramDepInfo& prog,
+                  const backend::RtlFunction& func);
+
+  [[nodiscard]] FunctionModel& model() { return model_; }
+  [[nodiscard]] const ProgramDepInfo& program() const { return *prog_; }
+
+  /// May/Must/No same-iteration dependence between the memory ops at
+  /// insn positions `a` and `b` (store-ness is the caller's concern).
+  [[nodiscard]] Dep same_iter(std::size_t a, std::size_t b);
+
+  /// Loop-carried dependence between `a` and `b` across iterations of
+  /// the loop whose LoopBeg is at `loop_beg` (both must be inside it).
+  [[nodiscard]] CarriedDep carried(std::size_t loop_beg, std::size_t a,
+                                   std::size_t b);
+
+  /// Effect of the call at `call_pos` on the location of the memory op
+  /// at `mem_pos` (kCallReadsLoc | kCallWritesLoc).
+  [[nodiscard]] unsigned call_effect(std::size_t call_pos,
+                                     std::size_t mem_pos);
+
+ private:
+  const ProgramDepInfo* prog_;
+  FunctionModel model_;
+};
+
+/// DepOracle over a FunctionDepInfo; refresh() rebuilds the model from
+/// the (possibly rewritten) function.
+class IrdepOracle final : public backend::DepOracle {
+ public:
+  IrdepOracle(const ProgramDepInfo& prog, const backend::RtlFunction& func);
+  ~IrdepOracle() override;
+
+  [[nodiscard]] bool may_conflict(std::size_t a, std::size_t b) override;
+  [[nodiscard]] unsigned call_effect(std::size_t call_idx,
+                                     std::size_t mem_idx) override;
+  [[nodiscard]] bool may_carry(std::size_t loop_beg, std::size_t a,
+                               std::size_t b) override;
+  void refresh(const backend::RtlFunction& func) override;
+
+  /// Total queries answered / queries answered with a No proof, for the
+  /// irdep.fallback_* telemetry counters.
+  [[nodiscard]] std::uint64_t queries() const { return queries_; }
+  [[nodiscard]] std::uint64_t pruned() const { return pruned_; }
+
+ private:
+  const ProgramDepInfo* prog_;
+  std::unique_ptr<FunctionDepInfo> info_;
+  std::uint64_t queries_ = 0;
+  std::uint64_t pruned_ = 0;
+};
+
+}  // namespace hli::irdep

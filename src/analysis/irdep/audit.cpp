@@ -1,0 +1,136 @@
+#include "analysis/irdep/audit.hpp"
+
+#include <sstream>
+
+#include "support/telemetry.hpp"
+
+namespace hli::irdep {
+
+namespace {
+
+using backend::Insn;
+using backend::Opcode;
+
+const telemetry::Counter c_audit_checks =
+    telemetry::counter("irdep.audit_checks");
+const telemetry::Counter c_audit_findings =
+    telemetry::counter("irdep.audit_findings");
+
+/// Does HLI claim the pair can never interact?  This mirrors the exact
+/// combination the passes act on (e.g. LICM hoists when may_conflict is
+/// None AND the loop's LCDD list is empty); a Maybe anywhere is a
+/// conservative answer and never audited.
+bool hli_claims_no_conflict(const query::HliUnitView& view, format::ItemId a,
+                            format::ItemId b) {
+  return view.may_conflict(a, b) == query::EquivAcc::None;
+}
+
+std::string pair_detail(const char* claim, const Insn& a, const Insn& b,
+                        const char* proof) {
+  std::ostringstream out;
+  out << claim << " for references at line " << a.line << " and line "
+      << b.line << ", but the RTL-level analyzer proves " << proof;
+  return out.str();
+}
+
+}  // namespace
+
+AuditResult audit_function(FunctionDepInfo& fdi,
+                           const query::HliUnitView& view,
+                           const AuditOptions& options) {
+  AuditResult result;
+  const FunctionModel& model = fdi.model();
+  const backend::RtlFunction& func = model.func();
+
+  std::vector<std::size_t> mems;
+  for (std::size_t pos = 0; pos < func.insns.size(); ++pos) {
+    const Insn& insn = func.insns[pos];
+    if (backend::is_memory_op(insn.op) &&
+        insn.mem.hli_item != format::kNoItem) {
+      mems.push_back(pos);
+    }
+  }
+
+  auto add = [&](verify::Code code, const Insn& a, const Insn& b,
+                 std::string detail) {
+    if (result.findings.size() >= options.max_findings) return;
+    verify::Finding finding;
+    finding.code = code;
+    finding.item = a.mem.hli_item;
+    finding.class_id = b.mem.hli_item;  // The partner reference.
+    finding.detail = std::move(detail);
+    result.findings.push_back(std::move(finding));
+  };
+
+  // Check 1: same-iteration conflicts.  irdep Must (same location when
+  // both execute, at least one a store) vs. HLI "never the same
+  // location".
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < mems.size() && pairs < options.max_pairs; ++i) {
+    for (std::size_t j = i + 1; j < mems.size() && pairs < options.max_pairs;
+         ++j) {
+      const Insn& ia = func.insns[mems[i]];
+      const Insn& ib = func.insns[mems[j]];
+      if (ia.op != Opcode::Store && ib.op != Opcode::Store) continue;
+      ++pairs;
+      ++result.checks;
+      if (!hli_claims_no_conflict(view, ia.mem.hli_item, ib.mem.hli_item)) {
+        continue;
+      }
+      if (fdi.same_iter(mems[i], mems[j]) == Dep::Must) {
+        add(verify::Code::IrdepConflictMissed, ia, ib,
+            pair_detail("HLI_MayConflict answered None", ia, ib,
+                        "both access the same location in the same "
+                        "iteration"));
+      }
+    }
+  }
+
+  // Check 2: loop-carried dependences.  irdep proven-carried (canonical
+  // loop, unconditional body, covered trip count) vs. HLI None + an
+  // empty LCDD list for the loop region.
+  for (const LoopShape& loop : model.loops()) {
+    if (!loop.canonical) continue;
+    const Insn& beg = func.insns[loop.beg];
+    if (beg.loop_region == format::kNoRegion) continue;
+    std::vector<std::size_t> in_loop;
+    for (const std::size_t pos : mems) {
+      if (pos > loop.beg && pos < loop.end) in_loop.push_back(pos);
+    }
+    for (std::size_t i = 0; i < in_loop.size() && pairs < options.max_pairs;
+         ++i) {
+      for (std::size_t j = i; j < in_loop.size() && pairs < options.max_pairs;
+           ++j) {
+        const Insn& ia = func.insns[in_loop[i]];
+        const Insn& ib = func.insns[in_loop[j]];
+        if (ia.op != Opcode::Store && ib.op != Opcode::Store) continue;
+        ++pairs;
+        ++result.checks;
+        if (!hli_claims_no_conflict(view, ia.mem.hli_item,
+                                    ib.mem.hli_item)) {
+          continue;
+        }
+        if (!view.get_lcdd(beg.loop_region, ia.mem.hli_item,
+                           ib.mem.hli_item)
+                 .empty()) {
+          continue;
+        }
+        const CarriedDep cd = fdi.carried(loop.beg, in_loop[i], in_loop[j]);
+        if (cd.proven) {
+          std::ostringstream proof;
+          proof << "a loop-carried dependence at distance "
+                << cd.min_distance << " (loop at line " << beg.line << ")";
+          add(verify::Code::IrdepCarriedMissed, ia, ib,
+              pair_detail("HLI answered None with an empty LCDD list", ia,
+                          ib, proof.str().c_str()));
+        }
+      }
+    }
+  }
+
+  c_audit_checks.add(result.checks);
+  c_audit_findings.add(result.findings.size());
+  return result;
+}
+
+}  // namespace hli::irdep

@@ -1,0 +1,41 @@
+// HLI soundness audit (--audit-deps): re-derives dependences from the
+// lowered RTL alone and flags pairs where the HLI tables claim total
+// independence — may_conflict() == None and an empty LCDD list, exactly
+// the combination that licenses reordering/hoisting in the back-end —
+// while the independent analyzer PROVES a real dependence.
+//
+// Only proof-grade irdep answers (Dep::Must, CarriedDep::proven) raise
+// findings, so a clean audit is meaningful and a red one is a genuine
+// unsoundness in the HLI channel (builder bug, serialization bug, or a
+// maintenance update that over-pruned).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/irdep/analyzer.hpp"
+#include "hli/query.hpp"
+#include "hli/verify.hpp"
+
+namespace hli::irdep {
+
+struct AuditResult {
+  std::vector<verify::Finding> findings;
+  std::size_t checks = 0;  ///< Pair comparisons performed.
+  [[nodiscard]] bool ok() const { return findings.empty(); }
+};
+
+struct AuditOptions {
+  std::size_t max_findings = 64;
+  /// Pair cap (the audit is O(mem_ops^2) per function).
+  std::size_t max_pairs = 250000;
+};
+
+/// Audits one function's mapped references against `view`.  `fdi` must
+/// be freshly built from the function's CURRENT instruction stream (the
+/// pair tests key on instruction positions).
+[[nodiscard]] AuditResult audit_function(FunctionDepInfo& fdi,
+                                         const query::HliUnitView& view,
+                                         const AuditOptions& options = {});
+
+}  // namespace hli::irdep

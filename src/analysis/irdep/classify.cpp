@@ -1,0 +1,350 @@
+#include "analysis/irdep/classify.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/telemetry.hpp"
+
+namespace hli::irdep {
+
+namespace {
+
+using backend::Insn;
+using backend::Opcode;
+
+const telemetry::Counter c_loops_total = telemetry::counter("irdep.loops_total");
+const telemetry::Counter c_loops_doall = telemetry::counter("irdep.loops_doall");
+const telemetry::Counter c_loops_doacross =
+    telemetry::counter("irdep.loops_doacross");
+const telemetry::Counter c_loops_serial =
+    telemetry::counter("irdep.loops_serial");
+const telemetry::Counter c_loops_upgraded =
+    telemetry::counter("irdep.loops_upgraded");
+
+/// Accumulates per-loop dependence evidence into a classification.
+struct Verdict {
+  bool serial = false;
+  std::string reason;  ///< First blocking fact.
+  bool any_carried = false;
+  std::int64_t min_distance = 0;
+
+  void block(const std::string& why) {
+    if (!serial) reason = why;
+    serial = true;
+  }
+  void carried(std::int64_t distance) {
+    if (!any_carried || distance < min_distance) min_distance = distance;
+    any_carried = true;
+  }
+
+  [[nodiscard]] LoopClass cls() const {
+    if (serial) return LoopClass::Serial;
+    return any_carried ? LoopClass::Doacross : LoopClass::Doall;
+  }
+};
+
+int rank(LoopClass c) {
+  switch (c) {
+    case LoopClass::Serial:
+      return 0;
+    case LoopClass::Doacross:
+      return 1;
+    case LoopClass::Doall:
+      return 2;
+  }
+  return 0;
+}
+
+/// Register recurrences: a register both defined and read inside the
+/// loop carries a value across iterations unless the loop is canonical
+/// (position order == execution order over the whole iteration) and its
+/// first in-loop definition precedes every in-loop read.  The verified
+/// induction register of a canonical loop is exempt (a parallelizing
+/// transform privatizes it).
+void scan_recurrences(const FunctionModel& model, const LoopShape& loop,
+                      Verdict& irdep, Verdict& combined) {
+  struct RegInfo {
+    std::uint32_t min_def = UINT32_MAX;
+    std::uint32_t min_read = UINT32_MAX;
+  };
+  std::map<backend::Reg, RegInfo> regs;
+  std::vector<backend::Reg> reads;
+  for (std::size_t p = loop.beg + 1; p < loop.end; ++p) {
+    const Insn& insn = model.func().insns[p];
+    const backend::Reg rd = def_of(insn);
+    if (rd != backend::kNoReg) {
+      auto& info = regs[rd];
+      info.min_def =
+          std::min(info.min_def, static_cast<std::uint32_t>(p));
+    }
+    reads.clear();
+    reads_of(insn, reads);
+    for (const backend::Reg r : reads) {
+      auto& info = regs[r];
+      info.min_read =
+          std::min(info.min_read, static_cast<std::uint32_t>(p));
+    }
+  }
+  for (const auto& [reg, info] : regs) {
+    if (info.min_def == UINT32_MAX || info.min_read == UINT32_MAX) continue;
+    if (loop.canonical) {
+      if (reg == loop.induction) continue;
+      if (info.min_def < info.min_read) continue;
+    }
+    // A register recurrence is a distance-1 carried dependence; HLI has
+    // no facts about virtual registers, so both columns keep it.
+    std::ostringstream why;
+    why << "recurrence:r" << reg;
+    irdep.carried(1);
+    combined.carried(1);
+    if (irdep.reason.empty()) irdep.reason = why.str();
+    if (combined.reason.empty()) combined.reason = why.str();
+  }
+}
+
+/// HLI's answer for one pair w.r.t. `region`.  Only may_conflict()==None
+/// is an independence proof: the builder emits cross-class LCDD entries
+/// and self entries only for variant classes whose footprint may recur,
+/// so a same-class pair (a store against itself in a later iteration)
+/// can legitimately have an empty LCDD list — empty means "no claim",
+/// not "no carried dependence".  Definite entries with distances refine
+/// the distance set.
+struct HliCarried {
+  bool answered = false;  ///< Items mapped and region known.
+  bool none = false;      ///< Provably no dependence (disjoint classes).
+  bool distance_known = false;
+  std::int64_t min_distance = 0;
+};
+
+HliCarried hli_carried(const query::HliUnitView& view, format::RegionId region,
+                       format::ItemId a, format::ItemId b) {
+  HliCarried out;
+  if (region == format::kNoRegion || a == format::kNoItem ||
+      b == format::kNoItem) {
+    return out;
+  }
+  out.answered = true;
+  if (view.may_conflict(a, b) == query::EquivAcc::None) {
+    out.none = true;
+    return out;
+  }
+  const std::vector<query::LcddResult> deps = view.get_lcdd(region, a, b);
+  if (deps.empty()) {
+    // Conflicting classes with no LCDD facts: HLI has nothing to add.
+    return out;
+  }
+  bool all_known = true;
+  std::int64_t best = 0;
+  bool any = false;
+  for (const query::LcddResult& dep : deps) {
+    if (dep.type != format::DepType::Definite || !dep.distance) {
+      all_known = false;
+      break;
+    }
+    const std::int64_t d = std::max<std::int64_t>(1, *dep.distance);
+    if (!any || d < best) best = d;
+    any = true;
+  }
+  if (all_known && any) {
+    out.distance_known = true;
+    out.min_distance = best;
+  }
+  return out;
+}
+
+std::string pair_reason(const char* what, const Insn& a, const Insn& b) {
+  std::ostringstream out;
+  out << what << ":line" << a.line << "~line" << b.line;
+  return out.str();
+}
+
+}  // namespace
+
+const char* to_string(LoopClass c) {
+  switch (c) {
+    case LoopClass::Doall:
+      return "DOALL";
+    case LoopClass::Doacross:
+      return "DOACROSS";
+    case LoopClass::Serial:
+      return "SERIAL";
+  }
+  return "?";
+}
+
+std::vector<LoopReport> classify_function(const ProgramDepInfo& prog,
+                                          const backend::RtlFunction& func,
+                                          const query::HliUnitView* view) {
+  std::vector<LoopReport> reports;
+  FunctionDepInfo fdi(prog, func);
+  const FunctionModel& model = fdi.model();
+
+  for (const LoopShape& loop : model.loops()) {
+    const Insn& beg = func.insns[loop.beg];
+    LoopReport report;
+    report.function = func.name;
+    report.loop_beg = loop.beg;
+    report.region = beg.loop_region;
+    report.line = beg.line;
+    report.innermost = loop.innermost;
+
+    Verdict irdep;
+    Verdict combined;
+    if (!loop.innermost) {
+      // Only innermost loops are analyzed; outer loops make no claim.
+      irdep.block("non-innermost");
+      combined.block("non-innermost");
+    } else {
+      std::vector<std::size_t> mems;
+      for (std::size_t p = loop.beg + 1; p < loop.end; ++p) {
+        const Insn& insn = func.insns[p];
+        if (backend::is_memory_op(insn.op)) {
+          mems.push_back(p);
+        } else if (insn.op == Opcode::Call &&
+                   !prog.call_pure(insn.callee)) {
+          // Impure call: its effects are per-class, not per-iteration —
+          // no column can order them across iterations.
+          irdep.block("impure-call:" + insn.callee);
+          combined.block("impure-call:" + insn.callee);
+        }
+      }
+      scan_recurrences(model, loop, irdep, combined);
+
+      for (std::size_t i = 0; i < mems.size(); ++i) {
+        for (std::size_t j = i; j < mems.size(); ++j) {
+          const Insn& ia = func.insns[mems[i]];
+          const Insn& ib = func.insns[mems[j]];
+          if (ia.op != Opcode::Store && ib.op != Opcode::Store) continue;
+          const CarriedDep cd = fdi.carried(loop.beg, mems[i], mems[j]);
+
+          if (cd.dep != Dep::No) {
+            if (cd.distance_known) {
+              irdep.carried(cd.min_distance);
+              if (irdep.reason.empty()) {
+                irdep.reason = pair_reason("carried", ia, ib);
+              }
+            } else {
+              irdep.block(pair_reason("may-dep", ia, ib));
+            }
+          }
+
+          // Combined column: strongest of the two fact sources.
+          if (cd.dep == Dep::No) continue;
+          HliCarried hc;
+          if (view != nullptr) {
+            hc = hli_carried(*view, report.region, ia.mem.hli_item,
+                             ib.mem.hli_item);
+          }
+          if (hc.answered && hc.none) continue;
+          if (cd.distance_known || (hc.answered && hc.distance_known)) {
+            // Both are lower bounds on the real distance set; the larger
+            // bound is the stronger combined claim.
+            std::int64_t d = 0;
+            if (cd.distance_known) d = cd.min_distance;
+            if (hc.answered && hc.distance_known) {
+              d = std::max(d, hc.min_distance);
+            }
+            combined.carried(d);
+            if (combined.reason.empty()) {
+              combined.reason = pair_reason("carried", ia, ib);
+            }
+          } else {
+            combined.block(pair_reason("may-dep", ia, ib));
+          }
+        }
+      }
+    }
+
+    report.irdep_class = irdep.cls();
+    report.irdep_reason = irdep.reason;
+    if (report.irdep_class == LoopClass::Doacross) {
+      report.irdep_distance = irdep.min_distance;
+    }
+    report.combined_class = combined.cls();
+    report.combined_reason = combined.reason;
+    if (report.combined_class == LoopClass::Doacross) {
+      report.combined_distance = combined.min_distance;
+    }
+
+    c_loops_total.add();
+    switch (report.irdep_class) {
+      case LoopClass::Doall:
+        c_loops_doall.add();
+        break;
+      case LoopClass::Doacross:
+        c_loops_doacross.add();
+        break;
+      case LoopClass::Serial:
+        c_loops_serial.add();
+        break;
+    }
+    if (rank(report.combined_class) > rank(report.irdep_class)) {
+      c_loops_upgraded.add();
+    }
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+std::string render_loop_table(const std::vector<LoopReport>& reports) {
+  std::ostringstream out;
+  out << "function              line  irdep            combined         "
+         "reason\n";
+  for (const LoopReport& r : reports) {
+    std::ostringstream ic;
+    ic << to_string(r.irdep_class);
+    if (r.irdep_class == LoopClass::Doacross) {
+      ic << "(" << r.irdep_distance << ")";
+    }
+    std::ostringstream cc;
+    cc << to_string(r.combined_class);
+    if (r.combined_class == LoopClass::Doacross) {
+      cc << "(" << r.combined_distance << ")";
+    }
+    out << r.function;
+    for (std::size_t i = r.function.size(); i < 22; ++i) out << ' ';
+    std::string line = std::to_string(r.line);
+    out << line;
+    for (std::size_t i = line.size(); i < 6; ++i) out << ' ';
+    out << ic.str();
+    for (std::size_t i = ic.str().size(); i < 17; ++i) out << ' ';
+    out << cc.str();
+    for (std::size_t i = cc.str().size(); i < 17; ++i) out << ' ';
+    const std::string& why =
+        r.combined_reason.empty() ? r.irdep_reason : r.combined_reason;
+    out << why << "\n";
+  }
+  return out.str();
+}
+
+std::string render_loop_json(const std::vector<LoopReport>& reports) {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const LoopReport& r = reports[i];
+    if (i != 0) out << ",";
+    out << "\n  {\"function\":\"" << escape(r.function) << "\""
+        << ",\"line\":" << r.line << ",\"innermost\":"
+        << (r.innermost ? "true" : "false") << ",\"irdep\":\""
+        << to_string(r.irdep_class) << "\",\"irdep_distance\":"
+        << r.irdep_distance << ",\"combined\":\""
+        << to_string(r.combined_class) << "\",\"combined_distance\":"
+        << r.combined_distance << ",\"reason\":\""
+        << escape(r.combined_reason.empty() ? r.irdep_reason
+                                            : r.combined_reason)
+        << "\"}";
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+}  // namespace hli::irdep

@@ -1,0 +1,57 @@
+// DOALL/DOACROSS/Serial loop classification on top of the independent
+// dependence analyzer, with an optional HLI-refined second column.
+//
+// Claims are sound in the direction the differential fuzzer checks:
+//   * Doall      — no loop-carried dependence exists (beyond the
+//                  induction register of a verified canonical loop).
+//   * Doacross d — every carried dependence has distance >= d (d >= 1,
+//                  so Doacross(1) is always a safe statement).
+//   * Serial     — no parallelism claim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/irdep/analyzer.hpp"
+#include "hli/query.hpp"
+
+namespace hli::irdep {
+
+enum class LoopClass : std::uint8_t { Doall, Doacross, Serial };
+
+[[nodiscard]] const char* to_string(LoopClass c);
+
+/// Classification of one loop under irdep facts alone and under
+/// irdep united with the HLI tables (equal when no view was supplied).
+struct LoopReport {
+  std::string function;
+  std::uint32_t loop_beg = 0;  ///< LoopBeg insn position at classify time.
+  format::RegionId region = format::kNoRegion;
+  std::uint32_t line = 0;
+  bool innermost = false;
+
+  LoopClass irdep_class = LoopClass::Serial;
+  std::int64_t irdep_distance = 0;  ///< Min distance for Doacross.
+  std::string irdep_reason;         ///< Why not Doall (empty for Doall).
+
+  LoopClass combined_class = LoopClass::Serial;
+  std::int64_t combined_distance = 0;
+  std::string combined_reason;
+};
+
+/// Classifies every loop of `func`.  `view` (nullable) supplies the HLI
+/// tables for the combined column; without it the columns are equal.
+[[nodiscard]] std::vector<LoopReport> classify_function(
+    const ProgramDepInfo& prog, const backend::RtlFunction& func,
+    const query::HliUnitView* view);
+
+/// Fixed-width table of the reports (one line per loop).
+[[nodiscard]] std::string render_loop_table(
+    const std::vector<LoopReport>& reports);
+
+/// JSON array of the reports (stable key order, one object per loop).
+[[nodiscard]] std::string render_loop_json(
+    const std::vector<LoopReport>& reports);
+
+}  // namespace hli::irdep

@@ -107,10 +107,10 @@ class BlockCse {
       // new value.  Doing (3) before (2) would erase the fresh entry.
       switch (insn.op) {
         case Opcode::Store:
-          invalidate_stores(insn);
+          invalidate_stores(insn, at);
           break;
         case Opcode::Call:
-          invalidate_call(insn);
+          invalidate_call(insn, at);
           if (insn.rd != kNoReg) kill_register(insn.rd);
           break;
         case Opcode::Load: {
@@ -127,6 +127,7 @@ class BlockCse {
             entry.const_offset = mem.const_offset;
             entry.value = value;
             entry.mem = mem;
+            entry.pos = at;
             loads_.push_back(entry);
           }
           break;
@@ -214,6 +215,7 @@ class BlockCse {
     std::int64_t const_offset = 0;
     Reg value = kNoReg;
     MemRef mem;
+    std::size_t pos = 0;  ///< Insn index of the load (for the fallback oracle).
   };
 
   /// Follows the local copy chain so value numbering sees through Moves.
@@ -276,7 +278,7 @@ class BlockCse {
     return false;
   }
 
-  void invalidate_stores(const Insn& store) {
+  void invalidate_stores(const Insn& store, std::size_t store_pos) {
     std::erase_if(loads_, [&](const LoadEntry& entry) {
       bool conflict = gcc_may_conflict(entry.mem, store.mem);
       if (conflict && options_.use_hli && options_.view != nullptr &&
@@ -284,25 +286,34 @@ class BlockCse {
           store.mem.hli_item != format::kNoItem) {
         conflict = mem_conflict(entry.mem.hli_item, store.mem.hli_item);
       }
+      if (conflict && options_.fallback != nullptr) {
+        conflict = options_.fallback->may_conflict(entry.pos, store_pos);
+      }
       return conflict;
     });
   }
 
-  /// Figure 4: on a call, natively purge everything; with HLI REF/MOD,
-  /// only entries the callee may modify.
-  void invalidate_call(const Insn& call) {
-    if (!options_.use_hli || options_.view == nullptr ||
-        call.hli_item == format::kNoItem) {
+  /// Figure 4: on a call, natively purge everything; with HLI REF/MOD
+  /// (or the independent fallback oracle), only entries the callee may
+  /// modify.
+  void invalidate_call(const Insn& call, std::size_t call_pos) {
+    const bool have_hli = options_.use_hli && options_.view != nullptr &&
+                          call.hli_item != format::kNoItem;
+    if (!have_hli && options_.fallback == nullptr) {
       stats_.entries_purged_at_calls += loads_.size();
       loads_.clear();
       return;
     }
     std::erase_if(loads_, [&](const LoadEntry& entry) {
       bool clobbered = true;
-      if (entry.mem.hli_item != format::kNoItem) {
+      if (have_hli && entry.mem.hli_item != format::kNoItem) {
         const query::CallAcc acc =
             call_acc(entry.mem.hli_item, call.hli_item);
         clobbered = acc == query::CallAcc::Mod || acc == query::CallAcc::RefMod;
+      }
+      if (clobbered && options_.fallback != nullptr) {
+        clobbered = (options_.fallback->call_effect(call_pos, entry.pos) &
+                     kCallWritesLoc) != 0;
       }
       if (clobbered) {
         ++stats_.entries_purged_at_calls;

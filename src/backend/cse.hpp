@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "backend/depinfo.hpp"
 #include "backend/rtl.hpp"
 #include "hli/query.hpp"
 
@@ -45,6 +46,13 @@ struct CseOptions {
   /// Invoked for every load insn CSE deletes, BEFORE the rewrite, so the
   /// caller can run HLI maintenance (delete_item) on the mapped item.
   std::function<void(format::ItemId)> on_load_deleted;
+  /// Independent back-end dependence oracle (PipelineOptions::
+  /// irdep_fallback): when set, a store only invalidates a remembered load
+  /// if the oracle also admits a conflict, and a call only purges entries
+  /// it may write.  CSE rewrites loads in place (no insn is inserted or
+  /// removed during the pass), so positions recorded at entry creation
+  /// stay valid for the oracle's index-based queries.
+  DepOracle* fallback = nullptr;
 };
 
 /// Runs local CSE over every basic block of `func` in place.

@@ -1,0 +1,53 @@
+// Abstract dependence oracle the back-end passes consult when no HLI is
+// available (PipelineOptions::irdep_fallback).  The concrete
+// implementation lives in src/analysis/irdep/ — a from-scratch static
+// dependence analysis over the lowered RTL — but the backend library
+// cannot link it (irdep itself reads RTL), so the passes see only this
+// interface and the driver wires the implementation in.
+//
+// Index contract: every query takes indices into the CURRENT
+// RtlFunction::insns of the function the oracle was built (or last
+// refresh()ed) for.  A pass that inserts, deletes, or moves instructions
+// must refresh() before issuing further queries; a pass that only
+// rewrites instructions in place value-preservingly (CSE's Move
+// replacement) or permutes within a block it has not yet queried
+// (scheduling) may keep querying the stale index.
+#pragma once
+
+#include <cstddef>
+
+namespace hli::backend {
+
+struct RtlFunction;
+
+/// Bitmask answer for call effects on one memory location.
+enum : unsigned {
+  kCallReadsLoc = 1u << 0,   ///< Callee may read the location.
+  kCallWritesLoc = 1u << 1,  ///< Callee may write the location.
+};
+
+class DepOracle {
+ public:
+  virtual ~DepOracle() = default;
+
+  /// May the memory operations at insn indices `a` and `b` touch
+  /// overlapping bytes in the same iteration of their enclosing loops?
+  /// True is always a safe answer.
+  [[nodiscard]] virtual bool may_conflict(std::size_t a, std::size_t b) = 0;
+
+  /// kCallReadsLoc/kCallWritesLoc effects of the call at `call_idx` on
+  /// the location of the memory operation at `mem_idx`.
+  [[nodiscard]] virtual unsigned call_effect(std::size_t call_idx,
+                                             std::size_t mem_idx) = 0;
+
+  /// May a dependence between the memory operations at `a` and `b` be
+  /// carried across iterations of the loop whose LoopBeg note is at
+  /// `loop_beg`?  True is always safe.
+  [[nodiscard]] virtual bool may_carry(std::size_t loop_beg, std::size_t a,
+                                       std::size_t b) = 0;
+
+  /// Re-analyzes `func` after a structural mutation (indices changed).
+  virtual void refresh(const RtlFunction& func) = 0;
+};
+
+}  // namespace hli::backend

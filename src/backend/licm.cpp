@@ -119,7 +119,7 @@ class LoopLicm {
           }
         } else if (insn.op == Opcode::Load) {
           if (invariant_inputs(insn) && single_def(insn.rd) &&
-              no_conflicting_writes(insn)) {
+              no_conflicting_writes(insn, i)) {
             hoisted_.insert(i);
             defs_in_loop_.erase(insn.rd);
             ++stats_.loads_hoisted;
@@ -204,7 +204,8 @@ class LoopLicm {
     return defs == 1;
   }
 
-  [[nodiscard]] bool no_conflicting_writes(const Insn& load) {
+  [[nodiscard]] bool no_conflicting_writes(const Insn& load,
+                                           std::size_t load_pos) {
     for (std::size_t i = loop_.beg + 1; i < loop_.end; ++i) {
       if (hoisted_.contains(i)) continue;
       const Insn& insn = func_.insns[i];
@@ -241,6 +242,13 @@ class LoopLicm {
           }
           conflict = within || carried;
         }
+        if (conflict && options_.fallback != nullptr) {
+          // Hoisting moves the load across every iteration, so both the
+          // same-iteration and the loop-carried question must stay open
+          // for the store to keep blocking it.
+          conflict = options_.fallback->may_conflict(load_pos, i) ||
+                     options_.fallback->may_carry(loop_.beg, load_pos, i);
+        }
         if (conflict) {
           if (options_.use_hli) ++stats_.loads_blocked_hli;
           return false;
@@ -266,6 +274,10 @@ class LoopLicm {
                                               insn.hli_item);
           }
           clobbers = acc == query::CallAcc::Mod || acc == query::CallAcc::RefMod;
+        }
+        if (clobbers && options_.fallback != nullptr) {
+          clobbers = (options_.fallback->call_effect(i, load_pos) &
+                      kCallWritesLoc) != 0;
         }
         if (clobbers) return false;
       }
@@ -325,6 +337,9 @@ LicmStats licm_function(RtlFunction& func, const LicmOptions& options) {
       const format::RegionId region = func.insns[loop.beg].loop_region;
       if (processed.contains(region)) continue;
       processed.insert(region);
+      // Each prior rewrite shifted indices; the oracle must answer for the
+      // stream as it is now.
+      if (options.fallback != nullptr) options.fallback->refresh(func);
       LoopLicm licm(func, loop, options, stats, scratch);
       licm.run();
       changed = true;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "backend/depinfo.hpp"
 #include "backend/rtl.hpp"
 #include "hli/query.hpp"
 
@@ -45,6 +46,13 @@ struct LicmOptions {
   /// Called for every hoisted load's item with the loop region it left, so
   /// the driver can update the HLI (maintenance move_item_to_region).
   std::function<void(format::ItemId, format::RegionId)> on_load_hoisted;
+  /// Independent back-end dependence oracle (PipelineOptions::
+  /// irdep_fallback): when set, a store only blocks hoisting if the oracle
+  /// also admits a same-iteration or loop-carried conflict, and a call
+  /// only blocks if the oracle says it may write the location.  The pass
+  /// calls refresh() before each loop it processes (hoisting rewrites the
+  /// insn stream, invalidating prior indices).
+  DepOracle* fallback = nullptr;
 };
 
 /// Hoists invariants out of every innermost loop of `func`, in place.

@@ -199,7 +199,13 @@ class BlockScheduler {
     if (hli_value) ++stats_.hli_yes;
     const bool combined = gcc_value && hli_value;
     if (combined) ++stats_.combined_yes;
-    return options_.use_hli ? combined : gcc_value;
+    const bool base = options_.use_hli ? combined : gcc_value;
+    if (options_.fallback == nullptr) return base;
+    ++stats_.fallback_queries;
+    const bool irdep = options_.fallback->may_conflict(block_.begin + i,
+                                                       block_.begin + j);
+    if (base && !irdep) ++stats_.fallback_pruned;
+    return base && irdep;
   }
 
   /// Dependence of a memory op against a call (REF/MOD, Figure 4 logic),
@@ -230,7 +236,16 @@ class BlockScheduler {
       }
     }
     if (depends) ++stats_.call_edges_hli;
-    return options_.use_hli ? depends : true;
+    const bool base = options_.use_hli ? depends : true;
+    if (options_.fallback == nullptr) return base;
+    ++stats_.fallback_queries;
+    const unsigned effect = options_.fallback->call_effect(
+        block_.begin + call_local, block_.begin + mem_local);
+    const bool irdep = mem.op == Opcode::Load
+                           ? (effect & kCallWritesLoc) != 0
+                           : effect != 0;
+    if (base && !irdep) ++stats_.fallback_pruned_calls;
+    return base && irdep;
   }
 
   /// Fills the block occupancy bitmaps and, when batching, builds the

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "backend/depinfo.hpp"
 #include "backend/rtl.hpp"
 #include "hli/query.hpp"
 
@@ -26,6 +27,9 @@ struct DepStats {
   std::uint64_t call_edges_hli = 0;
   std::uint64_t blocks = 0;
   std::uint64_t scheduled_insns = 0;
+  std::uint64_t fallback_queries = 0;  ///< Pairs the irdep fallback re-tested.
+  std::uint64_t fallback_pruned = 0;   ///< Mem-mem edges removed beyond base.
+  std::uint64_t fallback_pruned_calls = 0;  ///< Mem-call edges removed.
 
   DepStats& operator+=(const DepStats& other) {
     mem_queries += other.mem_queries;
@@ -37,6 +41,9 @@ struct DepStats {
     call_edges_hli += other.call_edges_hli;
     blocks += other.blocks;
     scheduled_insns += other.scheduled_insns;
+    fallback_queries += other.fallback_queries;
+    fallback_pruned += other.fallback_pruned;
+    fallback_pruned_calls += other.fallback_pruned_calls;
     return *this;
   }
 
@@ -71,6 +78,12 @@ struct SchedOptions {
   /// Instruction latency oracle (supplied by the machine model); default
   /// unit latencies when absent.
   std::function<unsigned(const Insn&)> latency;
+  /// Independent back-end dependence oracle (PipelineOptions::
+  /// irdep_fallback): when set, its answer is ANDed into every memory and
+  /// call dependence — a `false` removes the edge even when the native
+  /// (or HLI) answer kept it.  Must be fresh w.r.t. the function's
+  /// current instruction indices.
+  DepOracle* fallback = nullptr;
 };
 
 /// Schedules every basic block of `func` in place and returns the

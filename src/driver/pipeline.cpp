@@ -2,6 +2,8 @@
 
 #include <optional>
 
+#include "analysis/irdep/analyzer.hpp"
+#include "analysis/irdep/audit.hpp"
 #include "frontend/sema.hpp"
 #include "hli/maintain.hpp"
 #include "hli/query.hpp"
@@ -111,6 +113,24 @@ PipelineOptions PipelineOptions::with_sched(bool on) const {
   return copy;
 }
 
+PipelineOptions PipelineOptions::with_audit_deps(VerifyMode mode) const {
+  PipelineOptions copy = *this;
+  copy.audit_deps = mode;
+  return copy;
+}
+
+PipelineOptions PipelineOptions::with_irdep_fallback(bool on) const {
+  PipelineOptions copy = *this;
+  copy.irdep_fallback = on;
+  return copy;
+}
+
+PipelineOptions PipelineOptions::with_analyze_loops(bool on) const {
+  PipelineOptions copy = *this;
+  copy.analyze_loops = on;
+  return copy;
+}
+
 PipelineOptions PipelineOptions::with_regalloc(bool on) const {
   PipelineOptions copy = *this;
   copy.enable_regalloc = on;
@@ -156,6 +176,13 @@ std::vector<std::string> PipelineOptions::validate() const {
         "expensive no-op; use with_unroll(N) with N >= 2, or "
         "without_unroll()");
   }
+  if (audit_deps != VerifyMode::Off && !use_hli) {
+    problems.emplace_back(
+        "audit_deps is on but use_hli is false: the audit cross-checks HLI "
+        "independence claims, and without HLI there is nothing to audit; "
+        "enable HLI (with_hli(true)) or drop the audit "
+        "(with_audit_deps(VerifyMode::Off))");
+  }
   return problems;
 }
 
@@ -198,6 +225,10 @@ const telemetry::Counter c_functions_compiled =
 const telemetry::Counter c_verify_checks = telemetry::counter("verify.checks");
 const telemetry::Counter c_verify_findings =
     telemetry::counter("verify.findings");
+const telemetry::Counter c_fallback_queries =
+    telemetry::counter("irdep.fallback_queries");
+const telemetry::Counter c_fallback_pruned =
+    telemetry::counter("irdep.fallback_pruned");
 
 }  // namespace
 
@@ -264,6 +295,20 @@ CompiledProgram compile_source(std::string_view source,
     const telemetry::Span span("lower", "phase");
     out.rtl = lower_program(*out.ast);
   }
+
+  // Independent IR-level dependence analyzer (src/analysis/irdep): one
+  // program-level sweep over the lowered RTL — exposure + bottom-up
+  // REF/MOD — feeds the soundness audit, the loop classifier, and the
+  // per-pass fallback oracle below.  It reads only the instruction
+  // stream, never the HLI, so its facts are an independent opinion.
+  const bool want_irdep = options.audit_deps != VerifyMode::Off ||
+                          options.irdep_fallback || options.analyze_loops;
+  std::optional<irdep::ProgramDepInfo> irdep_program;
+  if (want_irdep) {
+    const telemetry::Span span("irdep-summary", "phase");
+    irdep_program.emplace(out.rtl);
+  }
+
   out.hli.entries.reserve(out.rtl.functions.size());
   if (options.telemetry.counters) {
     // Reserved up front: each iteration's recorder holds a pointer into
@@ -283,7 +328,19 @@ CompiledProgram compile_source(std::string_view source,
     c_functions_compiled.add(1);
 
     const format::HliEntry* imported = store->get(func.name);
-    if (imported == nullptr) continue;
+    if (imported == nullptr) {
+      // No HLI for this function: it skips the optimizing passes (as
+      // always), but the loop classifier still reports its loops from
+      // irdep facts alone.
+      if (options.analyze_loops) {
+        const telemetry::Span span("analyze-loops", "pass");
+        const std::vector<irdep::LoopReport> reports =
+            irdep::classify_function(*irdep_program, func, nullptr);
+        out.loop_reports.insert(out.loop_reports.end(), reports.begin(),
+                                reports.end());
+      }
+      continue;
+    }
     out.hli.entries.push_back(*imported);
     format::HliEntry* entry = &out.hli.entries.back();
     const MapResult mapping = map_items(func, *entry);
@@ -316,9 +373,56 @@ CompiledProgram compile_source(std::string_view source,
           }
           out.verify_log += report;
         };
+    // Independent soundness audit (--audit-deps), run at the SAME
+    // boundaries as the invariant verifier: rebuild the function model
+    // from the current instruction stream and flag every HLI claim of
+    // total independence (may_conflict None + empty LCDD — exactly what
+    // licenses reordering/hoisting) that irdep refutes with a proof.
+    const auto audit_boundary = [&](const char* boundary) {
+      if (options.audit_deps == VerifyMode::Off) return;
+      const telemetry::Span span("audit-deps", "verify");
+      irdep::FunctionDepInfo fdi(*irdep_program, func);
+      const query::HliUnitView view(*entry);
+      const irdep::AuditResult result = irdep::audit_function(fdi, view);
+      out.stats.audit_checks += result.checks;
+      if (result.ok()) return;
+      out.stats.audit_findings += result.findings.size();
+      std::string report = "irdep audit: unit '" + func.name +
+                           "' unsound after " + std::string(boundary) + ":\n";
+      for (const verify::Finding& finding : result.findings) {
+        report += "  " + func.name + ": " + verify::to_string(finding) + "\n";
+      }
+      if (options.audit_deps == VerifyMode::Fatal) {
+        throw support::CompileError(report);
+      }
+      out.audit_log += report;
+    };
     {
       const std::vector<verify::MappedRef> refs = collect_mapped_refs(func);
       verify_boundary("import/mapping", &refs);
+      audit_boundary("import/mapping");
+    }
+
+    // Loop classification (--analyze=loops): right after import/mapping,
+    // before any transform reshapes the loops, so the report describes
+    // the program the user wrote.  The combined column unions HLI facts
+    // in only when this compilation actually uses them.
+    if (options.analyze_loops) {
+      const telemetry::Span span("analyze-loops", "pass");
+      const query::HliUnitView view(*entry);
+      const std::vector<irdep::LoopReport> reports = irdep::classify_function(
+          *irdep_program, func, options.use_hli ? &view : nullptr);
+      out.loop_reports.insert(out.loop_reports.end(), reports.begin(),
+                              reports.end());
+    }
+
+    // Fallback dependence oracle (--irdep-fallback): handed to CSE, LICM
+    // and both scheduling passes.  Built on the post-mapping stream;
+    // refreshed before every pass that runs after a stream-rewriting one
+    // (LICM refreshes internally, per loop).
+    std::optional<irdep::IrdepOracle> irdep_oracle;
+    if (options.irdep_fallback) {
+      irdep_oracle.emplace(*irdep_program, func);
     }
 
     // CSE (Figure 4): deleted loads drop their items from the HLI.  The
@@ -337,6 +441,7 @@ CompiledProgram compile_source(std::string_view source,
       cse.on_load_deleted = [&deleted](format::ItemId item) {
         deleted.push_back(item);
       };
+      if (irdep_oracle) cse.fallback = &*irdep_oracle;
       const CseStats cse_stats = cse_function(func, cse);
       cse_stats.record_telemetry();
       out.stats.cse += cse_stats;
@@ -344,6 +449,7 @@ CompiledProgram compile_source(std::string_view source,
         maintain::delete_item(*entry, item);
       }
       verify_boundary("CSE maintenance");
+      audit_boundary("CSE maintenance");
     }
 
     // Combine-style constant folding before the dead-code sweep.
@@ -365,6 +471,7 @@ CompiledProgram compile_source(std::string_view source,
       dce_stats.record_telemetry();
       out.stats.dce += dce_stats;
       verify_boundary("DCE maintenance");
+      audit_boundary("DCE maintenance");
     }
 
     // LICM: hoisted loads move to the loop's parent region (moves applied
@@ -381,6 +488,7 @@ CompiledProgram compile_source(std::string_view source,
                                                format::RegionId loop) {
         hoisted.emplace_back(item, view.parent_region(loop));
       };
+      if (irdep_oracle) licm.fallback = &*irdep_oracle;
       const LicmStats licm_stats = licm_function(func, licm);
       licm_stats.record_telemetry();
       out.stats.licm += licm_stats;
@@ -388,6 +496,7 @@ CompiledProgram compile_source(std::string_view source,
         maintain::move_item_to_region(*entry, item, target);
       }
       verify_boundary("LICM maintenance");
+      audit_boundary("LICM maintenance");
     }
 
     // Unrolling (Figure 6): RTL duplication + HLI table reconstruction.
@@ -400,6 +509,7 @@ CompiledProgram compile_source(std::string_view source,
       unroll_stats.record_telemetry();
       out.stats.unroll += unroll_stats;
       verify_boundary("unroll maintenance");
+      audit_boundary("unroll maintenance");
     }
 
     // First scheduling pass — the instrumented experiment (Table 2).  The
@@ -417,10 +527,15 @@ CompiledProgram compile_source(std::string_view source,
       sched.batch_queries = options.batch_queries;
       const machine::MachineDesc& mach = options.sched_machine;
       sched.latency = [&mach](const Insn& insn) { return mach.latency(insn); };
+      if (irdep_oracle) {
+        irdep_oracle->refresh(func);  // Constfold/DCE/unroll rewrote insns.
+        sched.fallback = &*irdep_oracle;
+      }
       const DepStats sched_stats = schedule_function(func, sched);
       sched_stats.record_telemetry(options.use_hli);
       out.stats.sched += sched_stats;
       verify_boundary("scheduling");
+      audit_boundary("scheduling");
     }
 
     // Hard-register allocation + the second scheduling pass (the rest of
@@ -440,11 +555,21 @@ CompiledProgram compile_source(std::string_view source,
         sched.batch_queries = options.batch_queries;
         const machine::MachineDesc& mach = options.sched_machine;
         sched.latency = [&mach](const Insn& insn) { return mach.latency(insn); };
+        if (irdep_oracle) {
+          irdep_oracle->refresh(func);  // Regalloc rewrote the stream.
+          sched.fallback = &*irdep_oracle;
+        }
         const DepStats sched2_stats = schedule_function(func, sched);
         sched2_stats.record_telemetry(options.use_hli);
         out.stats.sched2 += sched2_stats;
       }
       verify_boundary("regalloc/post-RA scheduling");
+      audit_boundary("regalloc/post-RA scheduling");
+    }
+
+    if (irdep_oracle) {
+      c_fallback_queries.add(irdep_oracle->queries());
+      c_fallback_pruned.add(irdep_oracle->pruned());
     }
   }
   return out;

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/irdep/classify.hpp"
 #include "backend/constfold.hpp"
 #include "backend/cse.hpp"
 #include "backend/dce.hpp"
@@ -115,6 +116,21 @@ struct PipelineOptions {
   bool enable_unroll = false;
   unsigned unroll_factor = 4;
   bool enable_sched = true;
+  /// Independent-analyzer soundness audit (--audit-deps): at every pass
+  /// boundary the independent RTL-level analyzer (src/analysis/irdep)
+  /// re-derives dependences from the instruction stream alone and flags
+  /// HLI claims of total independence it refutes with a proof.  Requires
+  /// use_hli (there is nothing to audit otherwise).
+  VerifyMode audit_deps = VerifyMode::Off;
+  /// Hand CSE, LICM and both scheduling passes the independent analyzer
+  /// as a dependence oracle: its answer is ANDed into every invalidation
+  /// and DDG-edge test, sharpening configurations that lack HLI (the
+  /// third column of the Table 2 experiment).
+  bool irdep_fallback = false;
+  /// Classify every loop as DOALL / DOACROSS(d) / Serial right after
+  /// import/mapping — under irdep facts alone and under irdep united
+  /// with the HLI tables; reports land in CompiledProgram::loop_reports.
+  bool analyze_loops = false;
   /// Post-first-pass stages of the -O2 pipeline: hard-register allocation
   /// (linear scan with spill code) followed by a second scheduling pass.
   /// Off by default so Table 2 measures exactly the paper's first pass.
@@ -159,6 +175,12 @@ struct PipelineOptions {
   [[nodiscard]] PipelineOptions with_unroll(unsigned factor = 4) const;
   [[nodiscard]] PipelineOptions without_unroll() const;
   [[nodiscard]] PipelineOptions with_sched(bool on) const;
+  /// Independent-analyzer audit of HLI independence claims (--audit-deps).
+  [[nodiscard]] PipelineOptions with_audit_deps(VerifyMode mode) const;
+  /// Independent analyzer as a fallback dependence oracle for the passes.
+  [[nodiscard]] PipelineOptions with_irdep_fallback(bool on = true) const;
+  /// DOALL/DOACROSS loop classification into loop_reports.
+  [[nodiscard]] PipelineOptions with_analyze_loops(bool on = true) const;
   [[nodiscard]] PipelineOptions with_regalloc(bool on) const;
   [[nodiscard]] PipelineOptions with_machine(
       const machine::MachineDesc& machine) const;
@@ -187,6 +209,8 @@ struct ProgramStats {
   bool map_perfect = true;
   std::size_t verify_checks = 0;    ///< Invariant evaluations (VerifyMode on).
   std::size_t verify_findings = 0;  ///< Violations found across boundaries.
+  std::size_t audit_checks = 0;     ///< irdep pair comparisons (--audit-deps).
+  std::size_t audit_findings = 0;   ///< HLI independence claims refuted.
 };
 
 /// Typed telemetry counters for one compilation, collected when
@@ -226,6 +250,11 @@ struct CompiledProgram {
   CompilationStats counters;
   /// Per-boundary verifier reports under VerifyMode::Warn (empty if clean).
   std::string verify_log;
+  /// Per-boundary irdep audit reports under audit_deps == Warn.
+  std::string audit_log;
+  /// DOALL/DOACROSS/Serial classification of every loop (analyze_loops),
+  /// in lowering order; render with irdep::render_loop_table/_json.
+  std::vector<irdep::LoopReport> loop_reports;
 };
 
 /// Compiles mini-C source through the full pipeline.  Throws

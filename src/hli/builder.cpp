@@ -281,6 +281,29 @@ class UnitBuilder {
       cls.entry.loop_invariant = invariant;
     }
 
+    // ---- 2b. Self carried dependences of variant classes. ---------------
+    // Unrolling splits a variant class into per-copy classes and treats
+    // the copies as covering disjoint locations.  That is only true when
+    // the class's own footprint never recurs across iterations (a strided
+    // subscript); an unanalyzable subscript or an unstable pointer may
+    // hit the same locations again, so record the class's dependence on
+    // itself and let the unroll expansion alias the copies.  Classes the
+    // section math proves non-recurring get no entry, keeping unrolled
+    // copies independent.
+    if (loop != nullptr) {
+      for (const ClassBuild& cls : classes) {
+        if (cls.entry.loop_invariant || !cls.entry.has_write) continue;
+        if (cls.entry.unknown_target) continue;  // The flag answers queries.
+        if (cls.via_pointer && !pointer_stable_in(region, cls.base)) {
+          add_lcdd(*re, cls.entry.id, cls.entry.id,
+                   {analysis::CarriedKind::Maybe, std::nullopt});
+          continue;
+        }
+        add_lcdd(*re, cls.entry.id, cls.entry.id,
+                 section_depend(loop, cls.section, cls.section).a_then_b);
+      }
+    }
+
     // ---- 3. Alias and LCDD tables. --------------------------------------
     for (std::size_t i = 0; i < classes.size(); ++i) {
       for (std::size_t j = i + 1; j < classes.size(); ++j) {

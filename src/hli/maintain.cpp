@@ -311,9 +311,12 @@ UnrollUpdate unroll_loop(HliEntry& entry, RegionId loop, unsigned factor) {
     }
   }
 
-  // Variant copies of one original class cover locations shifted by the
-  // loop step within the new body — exactly why they were split — so no
-  // alias entries are added between them.
+  // No extra alias entries between the variant copies of one original
+  // class: when the class's own footprint may recur across iterations
+  // (unanalyzable subscript, unstable pointer) the builder recorded a
+  // self LCDD entry, and the expansion above already aliased the copies;
+  // a class with no self entry is proven non-recurring, so its copies
+  // cover disjoint locations — exactly why they were split.
 
   update.ok = true;
   HLI_MAINTAIN_SELFCHECK(entry, "unroll_loop");

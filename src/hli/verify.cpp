@@ -47,6 +47,8 @@ std::string_view code_name(Code code) {
     case Code::CallItemMultiplyCovered: return "call-item-multiply-covered";
     case Code::SubtreeCallsNotAggregated: return "subtree-calls-not-aggregated";
     case Code::AuditDivergence: return "audit-divergence";
+    case Code::IrdepConflictMissed: return "irdep-conflict-missed";
+    case Code::IrdepCarriedMissed: return "irdep-carried-missed";
   }
   return "unknown";
 }

@@ -91,6 +91,9 @@ enum class Code : std::uint16_t {
                                     ///< lacks its aggregate entry.
   // -- Differential audit --
   AuditDivergence = 701,       ///< Dense and reference answers disagree.
+  // -- Independent-analyzer audit (src/analysis/irdep, --audit-deps) --
+  IrdepConflictMissed = 801,   ///< HLI NoConflict, irdep proves same-location.
+  IrdepCarriedMissed = 802,    ///< HLI no-dep claim, irdep proves carried dep.
 };
 
 [[nodiscard]] std::string_view code_name(Code code);

@@ -1,6 +1,10 @@
 #include "testing/diff.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "backend/interp.hpp"
@@ -77,6 +81,175 @@ RunObservation observe(const driver::CompiledProgram& compiled,
   obs.dynamic_insns = run.dynamic_insns;
   return obs;
 }
+
+/// Dynamic loop-dependence oracle: replays the compiled program and, for
+/// every loop the classifier reported, records which bytes each
+/// iteration touches.  An observed carried dependence (same byte, two
+/// iterations, at least one write) must be consistent with the static
+/// claim — a DOALL loop may show none, a DOACROSS(d) loop none shorter
+/// than d.  The check is one-sided: the oracle can miss dependences
+/// (e.g. it ignores callee-depth work), but anything it DOES observe is
+/// real, so a contradiction is a genuine classifier unsoundness.
+///
+/// Loops are keyed on instruction pointers: the analyze leg runs with
+/// every transform off, so LoopReport::loop_beg still indexes the
+/// executed stream.  Iterations advance on the loop's backedge Jump
+/// (labels and Loop notes are not executed, hence not traced); call
+/// depth is tracked so a callee re-entering the same code — or a second
+/// activation of the loop — never mixes iteration spaces.
+class LoopDepOracle final : public backend::TraceSink {
+ public:
+  LoopDepOracle(const backend::RtlProgram& rtl,
+                const std::vector<irdep::LoopReport>& reports) {
+    for (const irdep::LoopReport& report : reports) {
+      const bool check_doall =
+          report.irdep_class == irdep::LoopClass::Doall ||
+          report.combined_class == irdep::LoopClass::Doall;
+      std::int64_t claimed = 0;  // Strongest claimed min distance.
+      if (report.irdep_class == irdep::LoopClass::Doacross) {
+        claimed = report.irdep_distance;
+      }
+      if (report.combined_class == irdep::LoopClass::Doacross) {
+        claimed = std::max(claimed, report.combined_distance);
+      }
+      if (!check_doall && claimed <= 1) continue;  // Nothing falsifiable.
+      const backend::RtlFunction* func = nullptr;
+      for (const backend::RtlFunction& fn : rtl.functions) {
+        if (fn.name == report.function) func = &fn;
+      }
+      if (func == nullptr) continue;
+      const std::size_t beg = report.loop_beg;
+      if (beg >= func->insns.size() ||
+          func->insns[beg].op != backend::Opcode::LoopBeg) {
+        continue;
+      }
+      // Matching LoopEnd by nesting; top label + unique backedge jump.
+      std::size_t end = beg;
+      int depth = 0;
+      for (std::size_t i = beg; i < func->insns.size(); ++i) {
+        if (func->insns[i].op == backend::Opcode::LoopBeg) ++depth;
+        if (func->insns[i].op == backend::Opcode::LoopEnd && --depth == 0) {
+          end = i;
+          break;
+        }
+      }
+      if (end == beg) continue;
+      if (func->insns[beg + 1].op != backend::Opcode::Label) continue;
+      const std::int64_t top = func->insns[beg + 1].label;
+      const backend::Insn* backedge = nullptr;
+      for (std::size_t i = beg + 2; i < end; ++i) {
+        if (func->insns[i].op == backend::Opcode::Jump &&
+            func->insns[i].label == top) {
+          backedge = &func->insns[i];
+        }
+      }
+      if (backedge == nullptr) continue;
+      Tracked tracked;
+      tracked.lo = reinterpret_cast<std::uintptr_t>(&func->insns[beg]);
+      tracked.hi = reinterpret_cast<std::uintptr_t>(&func->insns[end]);
+      tracked.backedge = backedge;
+      tracked.doall = check_doall;
+      tracked.claimed_distance = claimed;
+      tracked.name = report.function + ":line" + std::to_string(report.line);
+      loops_.push_back(std::move(tracked));
+    }
+    for (const backend::RtlFunction& fn : rtl.functions) {
+      defined_.insert(fn.name);
+    }
+  }
+
+  void on_insn(const backend::TraceEvent& event) override {
+    const auto at = reinterpret_cast<std::uintptr_t>(event.insn);
+    for (Tracked& loop : loops_) {
+      const bool in_range = at > loop.lo && at < loop.hi;
+      if (!loop.active) {
+        if (in_range) {
+          loop.active = true;
+          loop.entry_depth = depth_;
+          loop.iter = 0;
+          loop.bytes.clear();
+        } else {
+          continue;
+        }
+      } else if (!in_range && depth_ <= loop.entry_depth) {
+        loop.active = false;  // Fell out of the loop: new space next time.
+        continue;
+      }
+      if (!in_range || depth_ != loop.entry_depth) continue;
+      if (event.insn == loop.backedge) {
+        ++loop.iter;
+        continue;
+      }
+      if (!backend::is_memory_op(event.insn->op)) continue;
+      const bool is_store = event.insn->op == backend::Opcode::Store;
+      const std::uint8_t size = event.insn->mem.size != 0
+                                    ? event.insn->mem.size
+                                    : std::uint8_t{1};
+      for (std::uint64_t b = 0; b < size; ++b) {
+        ByteState& state = loop.bytes[event.address + b];
+        if (is_store) {
+          if (state.last_read >= 0) check(loop, loop.iter - state.last_read);
+          if (state.last_write >= 0) check(loop, loop.iter - state.last_write);
+          state.last_write = loop.iter;
+        } else {
+          if (state.last_write >= 0) check(loop, loop.iter - state.last_write);
+          state.last_read = loop.iter;
+        }
+      }
+    }
+    if (event.insn->op == backend::Opcode::Call &&
+        defined_.count(event.insn->callee) != 0) {
+      ++depth_;  // Builtins run inline: no frame, no Return event.
+    } else if (event.insn->op == backend::Opcode::Return && depth_ > 0) {
+      --depth_;
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::string>& contradictions() const {
+    return contradictions_;
+  }
+
+ private:
+  struct ByteState {
+    std::int64_t last_read = -1;
+    std::int64_t last_write = -1;
+  };
+  struct Tracked {
+    std::uintptr_t lo = 0;
+    std::uintptr_t hi = 0;
+    const backend::Insn* backedge = nullptr;
+    bool doall = false;
+    std::int64_t claimed_distance = 0;
+    std::string name;
+    bool active = false;
+    bool reported = false;
+    std::size_t entry_depth = 0;
+    std::int64_t iter = 0;
+    std::unordered_map<std::uint64_t, ByteState> bytes;
+  };
+
+  void check(Tracked& loop, std::int64_t distance) {
+    if (distance <= 0 || loop.reported) return;
+    if (loop.doall) {
+      loop.reported = true;
+      contradictions_.push_back(
+          "loop " + loop.name + " classified DOALL but a carried dependence "
+          "of distance " + std::to_string(distance) + " was observed");
+    } else if (distance < loop.claimed_distance) {
+      loop.reported = true;
+      contradictions_.push_back(
+          "loop " + loop.name + " classified DOACROSS(" +
+          std::to_string(loop.claimed_distance) +
+          ") but a carried dependence of distance " +
+          std::to_string(distance) + " was observed");
+    }
+  }
+
+  std::vector<Tracked> loops_;
+  std::unordered_set<std::string> defined_;
+  std::vector<std::string> contradictions_;
+  std::size_t depth_ = 0;
+};
 
 std::string rtl_dump(const backend::RtlProgram& rtl) {
   std::string out;
@@ -240,6 +413,33 @@ std::vector<DiffConfig> default_matrix() {
     cfg.parallel_leg = true;
     matrix.push_back(std::move(cfg));
   }
+  {  // Independent-analyzer soundness audit at every pass boundary: a
+     // finding aborts the compile (Fatal) and lands as a divergence.
+    DiffConfig cfg = make_config("hli-audit-deps", true);
+    enable_all(cfg.options);
+    cfg.options.audit_deps = driver::VerifyMode::Fatal;
+    matrix.push_back(std::move(cfg));
+  }
+  {  // irdep as a fallback oracle with no HLI: its pruning decisions are
+     // load-bearing here, so any unsoundness becomes a semantic diff.
+    DiffConfig cfg = make_config("nohli-irdep-fallback", false);
+    enable_all(cfg.options);
+    cfg.options.irdep_fallback = true;
+    matrix.push_back(std::move(cfg));
+  }
+  {  // Both oracles ANDed: HLI and irdep must agree with the baseline.
+    DiffConfig cfg = make_config("hli-irdep-fallback", true);
+    enable_all(cfg.options);
+    cfg.options.irdep_fallback = true;
+    matrix.push_back(std::move(cfg));
+  }
+  {  // Loop classification + dynamic-oracle consistency: transforms stay
+     // off so LoopReport::loop_beg indexes the executed stream.
+    DiffConfig cfg = make_config("hli-analyze", true);
+    cfg.options.analyze_loops = true;
+    cfg.analyze_leg = true;
+    matrix.push_back(std::move(cfg));
+  }
   return matrix;
 }
 
@@ -302,6 +502,18 @@ DiffResult run_differential(const std::string& source,
           result.divergences.push_back(
               {cfg.name,
                "RTL differs between batched and scalar HLI queries; "});
+        }
+      }
+      if (cfg.analyze_leg && defect == PlantedDefect::None) {
+        // Replay under the dynamic loop-dependence oracle; every carried
+        // dependence it observes must fit the classifier's claims.
+        LoopDepOracle oracle(compiled.rtl, compiled.loop_reports);
+        backend::InterpOptions interp;
+        interp.memory_bytes = 4u << 20;
+        interp.max_insns = max_insns;
+        (void)backend::run_program(compiled.rtl, "main", &oracle, interp);
+        for (const std::string& message : oracle.contradictions()) {
+          result.divergences.push_back({cfg.name, message + "; "});
         }
       }
       apply_defect(compiled.rtl, defect);

@@ -50,6 +50,11 @@ struct DiffConfig {
   /// to be byte-identical — the BlockConflictMatrix bit-identity contract
   /// (docs/query-batching.md) checked on every fuzzed program.
   bool batch_flip_leg = false;
+  /// Re-run the compiled program under a dynamic loop-dependence oracle
+  /// and require every observed loop-carried dependence to be consistent
+  /// with the DOALL/DOACROSS claims in CompiledProgram::loop_reports
+  /// (skipped when a defect is planted — corrupted RTL voids the claims).
+  bool analyze_leg = false;
 };
 
 /// What one configuration observably did.

@@ -117,6 +117,67 @@ TEST(FuzzRegressionTest, UnrollLiveOutSeedsStayClean) {
   }
 }
 
+// Crossing-subscript misclassification (seed 203): the irdep carried
+// test related subscripts with different induction coefficients through
+// iteration numbers but dropped the (iv_a - iv_b)*init term, so the
+// store A3[i] / load A3[30-i] pair — which conflicts whenever the two
+// IV values sum to 30 — was "proven" independent and the loop claimed
+// DOALL.  The hli-analyze leg's dynamic oracle observed a distance-2
+// carried dependence.  Reduced from seed 203's 70-line program.
+TEST(FuzzRegressionTest, CrossingSubscriptsKeepCarriedDependence) {
+  const char* repro =
+      "int A3[64];\n"
+      "int main() {\n"
+      "  for (int i17 = 0; (i17 < 13); i17 = (i17 + 2)) {\n"
+      "    for (int i18 = 30; (i18 >= 0); (i18--)) {\n"
+      "      A3[i18] = (i18 ^ (i18 * (((i17 < i18) & (28 + A3[(30 - i18)]))"
+      " & 1048575)));\n"
+      "    }\n"
+      "  }\n"
+      "}\n";
+  const ht::DiffResult r =
+      ht::run_differential(repro, ht::default_matrix());
+  ASSERT_FALSE(r.invalid_input) << r.invalid_reason;
+  EXPECT_FALSE(r.diverged()) << ht::describe(r);
+}
+
+// Unsound unroll maintenance on recurring subscripts (seeds 707, 803,
+// 877, 1066, 1152, 1234, 1632, 1763): unroll_loop split every
+// non-loop_invariant class into per-copy classes with no alias entries,
+// assuming variant classes stride with the IV.  A class variant only
+// because its subscript is unanalyzable — A5[(29 & 7) & 31] stores to
+// the same element every iteration — got copies that answered
+// HLI_MayConflict == None against each other.  The builder now records
+// each variant class's carried dependence on itself (a self LCDD
+// entry), and the unroll expansion aliases the copies.  Caught by the
+// --audit-deps recompile leg.
+TEST(FuzzRegressionTest, UnrollKeepsRecurringSubscriptCopiesAliased) {
+  const char* repro =
+      "int A5[32];\n"
+      "int main() {\n"
+      "  for (int i28 = 0; (i28 < 32); (i28++)) {\n"
+      "    A5[((29 & 7) & 31)] = (i28 * i28);\n"
+      "  }\n"
+      "}\n";
+  const ht::DiffResult r =
+      ht::run_differential(repro, ht::default_matrix());
+  ASSERT_FALSE(r.invalid_input) << r.invalid_reason;
+  EXPECT_FALSE(r.diverged()) << ht::describe(r);
+}
+
+TEST(FuzzRegressionTest, AuditSeedsStayClean) {
+  for (std::uint64_t seed :
+       {203ull, 707ull, 803ull, 877ull, 1066ull, 1152ull, 1234ull, 1632ull,
+        1763ull}) {
+    ht::GenOptions gen;
+    gen.seed = seed;
+    const ht::DiffResult r = ht::run_differential(
+        ht::generate_source(gen), ht::default_matrix());
+    ASSERT_FALSE(r.invalid_input) << "seed " << seed;
+    EXPECT_FALSE(r.diverged()) << "seed " << seed << "\n" << ht::describe(r);
+  }
+}
+
 // The reducer's chunk deletions routinely produce sources with statements
 // (or a stray `}`) at file scope.  parse_top_level's error recovery used
 // synchronize(), which stops at statement-boundary tokens WITHOUT

@@ -216,4 +216,49 @@ TEST(HlicCliTest, PipelineVerifyFlagRejectsBadValue) {
       << result.output;
 }
 
+TEST(HlicCliTest, AuditDepsFlagCompilesWorkloadClean) {
+  const RunResult result = run_hlic("--audit-deps=fatal wc");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(HlicCliTest, AuditDepsFlagRejectsBadValue) {
+  const RunResult result = run_hlic("--audit-deps=loudly wc");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("--audit-deps expects 'fatal' or 'warn'"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST(HlicCliTest, AuditDepsRequiresHli) {
+  // Nothing to audit without the HLI channel: validate() must reject the
+  // combination with an actionable diagnostic, not silently no-op.
+  const RunResult result = run_hlic("--no-hli --audit-deps=fatal wc");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("audit"), std::string::npos) << result.output;
+}
+
+TEST(HlicCliTest, AnalyzeLoopsPrintsBothColumns) {
+  const RunResult result = run_hlic("--analyze=loops 102.swim");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("irdep"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("combined"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("DOALL"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("DOACROSS"), std::string::npos)
+      << result.output;
+}
+
+TEST(HlicCliTest, AnalyzeFlagRejectsBadValue) {
+  const RunResult result = run_hlic("--analyze=everything wc");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("--analyze expects 'loops'"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST(HlicCliTest, IrdepFallbackCompilesWithoutHli) {
+  const RunResult result = run_hlic("--no-hli --irdep-fallback wc");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
 }  // namespace

@@ -18,7 +18,8 @@
 //   --list-workloads  list the built-in benchmark names
 //
 // plus the shared tool flags (tools/options.hpp): --emit=binary|text,
-// --jobs[=]N, --verify-hli[=fatal|warn], --trace-out=PATH, and
+// --jobs[=]N, --verify-hli[=fatal|warn], --audit-deps[=fatal|warn],
+// --analyze=loops, --irdep-fallback, --trace-out=PATH, and
 // --stats[=table|json].  --stats=table prints the legacy pass summary
 // followed by the telemetry counter catalog; --stats=json emits one
 // deterministic JSON document (per-input + per-function counters and the
@@ -182,6 +183,17 @@ int verify_hli_file(const std::string& path) {
 }
 
 int emit(const CliOptions& options, const driver::CompiledProgram& compiled) {
+  if (options.common.analyze_loops) {
+    // --analyze=loops: one fixed-width line per loop, each classified
+    // under irdep facts alone and under irdep ∪ HLI.  With --stats=json
+    // the report is a JSON array instead (its own document, printed
+    // before the counter document).
+    const bool json = options.common.stats == tools::StatsFormat::Json;
+    const std::string report =
+        json ? irdep::render_loop_json(compiled.loop_reports)
+             : irdep::render_loop_table(compiled.loop_reports);
+    std::fputs(report.c_str(), stdout);
+  }
   if (options.dump_hli) {
     // fwrite, not fputs: HLIB interchange bytes contain NULs.
     std::fwrite(compiled.hli_text.data(), 1, compiled.hli_text.size(), stdout);
@@ -297,6 +309,10 @@ int main(int argc, char** argv) {
     if (!compiled[i].verify_log.empty()) {
       std::fprintf(stderr, "%s", compiled[i].verify_log.c_str());
       status = 1;  // --verify-hli=warn: report everything, then fail.
+    }
+    if (!compiled[i].audit_log.empty()) {
+      std::fprintf(stderr, "%s", compiled[i].audit_log.c_str());
+      status = 1;  // --audit-deps=warn: same contract as the verifier.
     }
     const int rc = emit(options, compiled[i]);
     if (rc != 0) status = rc;

@@ -116,6 +116,36 @@ ParseStatus parse_common_flag(int argc, char** argv, int& i, const char* tool,
     out.batch_queries_set = true;
     return ParseStatus::Handled;
   }
+  if (arg == "--audit-deps" || arg == "--audit-deps=fatal") {
+    out.audit_deps = driver::VerifyMode::Fatal;
+    out.audit_deps_set = true;
+    return ParseStatus::Handled;
+  }
+  if (arg == "--audit-deps=warn") {
+    out.audit_deps = driver::VerifyMode::Warn;
+    out.audit_deps_set = true;
+    return ParseStatus::Handled;
+  }
+  if (arg.rfind("--audit-deps=", 0) == 0) {
+    std::fprintf(stderr, "%s: --audit-deps expects 'fatal' or 'warn', got '%s'\n",
+                 tool, arg.c_str() + 13);
+    return ParseStatus::Error;
+  }
+  if (arg == "--analyze=loops") {
+    out.analyze_loops = true;
+    out.analyze_loops_set = true;
+    return ParseStatus::Handled;
+  }
+  if (arg.rfind("--analyze=", 0) == 0 || arg == "--analyze") {
+    std::fprintf(stderr, "%s: --analyze expects 'loops', got '%s'\n", tool,
+                 arg.rfind("--analyze=", 0) == 0 ? arg.c_str() + 10 : "");
+    return ParseStatus::Error;
+  }
+  if (arg == "--irdep-fallback") {
+    out.irdep_fallback = true;
+    out.irdep_fallback_set = true;
+    return ParseStatus::Handled;
+  }
   if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
     std::string value;
     if (!flag_value(argc, argv, i, "--jobs", value)) {
@@ -135,7 +165,13 @@ const char* common_usage() {
          "  --trace-out=PATH           Chrome trace_event JSON timeline\n"
          "  --stats[=table|json]       telemetry counter report\n"
          "  --no-batch-queries         scalar per-pair HLI queries (no "
-         "per-block conflict matrices)\n";
+         "per-block conflict matrices)\n"
+         "  --audit-deps[=fatal|warn]  independent-analyzer audit of HLI "
+         "independence claims\n"
+         "  --analyze=loops            DOALL/DOACROSS/Serial loop "
+         "classification report\n"
+         "  --irdep-fallback           independent analyzer as a fallback "
+         "dependence oracle\n";
 }
 
 driver::PipelineOptions apply(const CommonOptions& common,
@@ -146,6 +182,13 @@ driver::PipelineOptions apply(const CommonOptions& common,
   if (common.emit_set) options = options.with_encoding(common.emit);
   if (common.batch_queries_set) {
     options = options.with_batch_queries(common.batch_queries);
+  }
+  if (common.audit_deps_set) options = options.with_audit_deps(common.audit_deps);
+  if (common.analyze_loops_set) {
+    options = options.with_analyze_loops(common.analyze_loops);
+  }
+  if (common.irdep_fallback_set) {
+    options = options.with_irdep_fallback(common.irdep_fallback);
   }
   if (common.stats != StatsFormat::Off) options = options.with_counters();
   if (!common.trace_out.empty() && tracer != nullptr) {

@@ -11,6 +11,11 @@
 //                               json as one deterministic document)
 //   --no-batch-queries          answer HLI block queries with the scalar
 //                               per-pair path (escape hatch; RTL identical)
+//   --audit-deps[=fatal|warn]   independent-analyzer soundness audit of
+//                               HLI independence claims at pass boundaries
+//   --analyze=loops             DOALL/DOACROSS/Serial loop classification
+//   --irdep-fallback            independent analyzer as a dependence
+//                               oracle for CSE/LICM/scheduling
 //
 // A tool's argument loop calls `parse_common_flag` first and falls
 // through to its own flags only on NotMine, so the shared flags cannot
@@ -49,6 +54,17 @@ struct CommonOptions {
   /// batching layer when debugging and to measure its effect.
   bool batch_queries = true;
   bool batch_queries_set = false;
+  /// --audit-deps: independent RTL-level re-derivation of dependences at
+  /// every pass boundary, flagging HLI independence claims it refutes.
+  driver::VerifyMode audit_deps = driver::VerifyMode::Off;
+  bool audit_deps_set = false;
+  /// --analyze=loops: classify every loop DOALL/DOACROSS(d)/Serial.
+  bool analyze_loops = false;
+  bool analyze_loops_set = false;
+  /// --irdep-fallback: AND the independent analyzer's answers into every
+  /// CSE/LICM/scheduler dependence test.
+  bool irdep_fallback = false;
+  bool irdep_fallback_set = false;
 
   /// True when --stats or --trace-out asked for telemetry collection.
   [[nodiscard]] bool wants_telemetry() const {
