@@ -71,12 +71,42 @@ stage_asan() {
     ./build-asan/tools/hlifuzz --seed 1 --iterations 25 --quiet
 }
 
+stage_parexec() {
+  cmake -B build "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j "$JOBS" --target hlic
+  # Byte-identity gate: `--run` stdout (return value, output hash, emit
+  # count, dynamic insns) must match a serial run exactly on every
+  # workload at 4 lanes; the parexec summary goes to stderr by design.
+  local workloads w
+  workloads=$(./build/tools/hlic --list-workloads | awk '{print $1}')
+  for w in $workloads; do
+    ./build/tools/hlic "$w" --run > "build/RUN_serial_$w.txt"
+    ./build/tools/hlic "$w" --run --exec-threads=4 > "build/RUN_par4_$w.txt"
+    cmp "build/RUN_serial_$w.txt" "build/RUN_par4_$w.txt"
+  done
+  # Non-vacuousness: the grids must actually dispatch, and the DOACROSS
+  # post-wait path must run (elided syncs only tick on ordered dispatch).
+  ./build/tools/hlic 102.swim --run --exec-threads=4 2>&1 >/dev/null \
+    | grep -E 'parexec: loops [1-9]'
+  ./build/tools/hlic 141.apsi --run --exec-threads=4 2>&1 >/dev/null \
+    | grep -E 'elided [1-9]'
+}
+
 stage_tsan() {
   cmake -B build-tsan "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DSANITIZE=thread
-  cmake --build build-tsan -j "$JOBS" --target driver_tests hlic
+  cmake --build build-tsan -j "$JOBS" \
+    --target driver_tests parexec_tests hlic
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/driver/driver_tests \
-    --gtest_filter='Parallel*:*Parallel*'
+    --gtest_filter='Parallel*:*Parallel*:*Parexec*'
+  # Parallel loop runtime under TSan: the pool/post-wait unit suite plus
+  # a threaded end-to-end subset (DOALL-heavy grids + the DOACROSS
+  # post-wait workload).
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/backend/parexec_tests
+  for w in 102.swim 101.tomcatv 141.apsi; do
+    TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tools/hlic "$w" --run \
+      --exec-threads=4 > /dev/null
+  done
   # Full determinism suite under TSan: all 14 workloads compiled serially
   # and with a worker pool must produce byte-identical JSON stats — any
   # cross-thread interleaving that leaks into results shows up as a cmp
@@ -175,6 +205,7 @@ stage_bench() {
 }
 
 want tier1 "${STAGES[@]}" && stage_tier1
+want parexec "${STAGES[@]}" && stage_parexec
 want fuzz  "${STAGES[@]}" && stage_fuzz
 want asan  "${STAGES[@]}" && stage_asan
 want tsan  "${STAGES[@]}" && stage_tsan

@@ -103,20 +103,26 @@ void scan_recurrences(const FunctionModel& model, const LoopShape& loop,
   }
 }
 
-/// HLI's answer for one pair w.r.t. `region`.  Only may_conflict()==None
-/// is an independence proof: the builder emits cross-class LCDD entries
-/// and self entries only for variant classes whose footprint may recur,
-/// so a same-class pair (a store against itself in a later iteration)
-/// can legitimately have an empty LCDD list — empty means "no claim",
-/// not "no carried dependence".  Definite entries with distances refine
-/// the distance set.
-struct HliCarried {
-  bool answered = false;  ///< Items mapped and region known.
-  bool none = false;      ///< Provably no dependence (disjoint classes).
-  bool distance_known = false;
-  std::int64_t min_distance = 0;
-};
+std::string pair_reason(const char* what, const Insn& a, const Insn& b) {
+  std::ostringstream out;
+  out << what << ":line" << a.line << "~line" << b.line;
+  return out.str();
+}
 
+}  // namespace
+
+// The LCDD table is consulted FIRST: may_conflict() answers "may these
+// two references touch the same location in the same iteration" (the
+// scheduler's disambiguation question), so two strided references like
+// A[i] and A[i-3] are None within an iteration while still carrying a
+// genuine distance-3 dependence — which the builder records as a
+// cross-class LCDD entry for exactly this reason.  Only when the loop
+// has NO carried facts for the pair does a None answer prove carried
+// independence (the builder drops proven-None carried relations, so
+// "no entry + never the same location in an iteration" is a proof).  A
+// same-class pair (a store against itself in a later iteration) can
+// legitimately have an empty LCDD list with a non-None conflict answer
+// — that is "no claim", not "no carried dependence".
 HliCarried hli_carried(const query::HliUnitView& view, format::RegionId region,
                        format::ItemId a, format::ItemId b) {
   HliCarried out;
@@ -125,13 +131,22 @@ HliCarried hli_carried(const query::HliUnitView& view, format::RegionId region,
     return out;
   }
   out.answered = true;
-  if (view.may_conflict(a, b) == query::EquivAcc::None) {
-    out.none = true;
-    return out;
-  }
   const std::vector<query::LcddResult> deps = view.get_lcdd(region, a, b);
   if (deps.empty()) {
-    // Conflicting classes with no LCDD facts: HLI has nothing to add.
+    if (view.may_conflict(a, b) == query::EquivAcc::None) {
+      out.none = true;
+      return out;
+    }
+    // Same-class pair (e.g. the store and load of xm[i][j] += ...):
+    // may_conflict is Definite within an iteration, but when the class's
+    // footprint provably never recurs across iterations the pair carries
+    // no loop dependence — the front-end's subscript view proves what
+    // the RTL-level analyzer often cannot.
+    const format::ItemId ca = view.class_of_at(a, region);
+    if (ca != format::kNoItem && ca == view.class_of_at(b, region) &&
+        view.class_iteration_disjoint(region, ca)) {
+      out.none = true;
+    }
     return out;
   }
   bool all_known = true;
@@ -152,14 +167,6 @@ HliCarried hli_carried(const query::HliUnitView& view, format::RegionId region,
   }
   return out;
 }
-
-std::string pair_reason(const char* what, const Insn& a, const Insn& b) {
-  std::ostringstream out;
-  out << what << ":line" << a.line << "~line" << b.line;
-  return out.str();
-}
-
-}  // namespace
 
 const char* to_string(LoopClass c) {
   switch (c) {
@@ -341,7 +348,10 @@ std::string render_loop_json(const std::vector<LoopReport>& reports) {
         << r.combined_distance << ",\"reason\":\""
         << escape(r.combined_reason.empty() ? r.irdep_reason
                                             : r.combined_reason)
-        << "\"}";
+        << "\",\"planned\":" << (r.planned ? "true" : "false")
+        << ",\"plan\":\"" << to_string(r.plan_class) << "\""
+        << ",\"plan_distance\":" << r.plan_distance << ",\"plan_reason\":\""
+        << escape(r.plan_reason) << "\"}";
   }
   out << "\n]\n";
   return out.str();

@@ -38,7 +38,33 @@ struct LoopReport {
   LoopClass combined_class = LoopClass::Serial;
   std::int64_t combined_distance = 0;
   std::string combined_reason;
+
+  /// Execution-plan column, filled by backend::parexec::parallelize_function
+  /// when the pipeline runs with exec_threads > 1: whether the loop carries
+  /// a runtime plan, and why not when it doesn't.  The planner re-proves
+  /// everything on the final instruction stream, so a classified DOALL can
+  /// still be unplanned (e.g. a float accumulator blocks privatization).
+  bool planned = false;
+  LoopClass plan_class = LoopClass::Serial;
+  std::int64_t plan_distance = 0;
+  std::string plan_reason;
 };
+
+/// HLI's loop-carried answer for one memory-op pair w.r.t. `region`.
+/// Only may_conflict()==None is an independence proof; Definite LCDD
+/// entries with distances refine the distance set (see classify.cpp for
+/// the soundness argument).  Shared with the parexec planner, which
+/// unions these facts with the analyzer's own carried() answers.
+struct HliCarried {
+  bool answered = false;  ///< Items mapped and region known.
+  bool none = false;      ///< Provably no dependence (disjoint classes).
+  bool distance_known = false;
+  std::int64_t min_distance = 0;
+};
+
+[[nodiscard]] HliCarried hli_carried(const query::HliUnitView& view,
+                                     format::RegionId region,
+                                     format::ItemId a, format::ItemId b);
 
 /// Classifies every loop of `func`.  `view` (nullable) supplies the HLI
 /// tables for the combined column; without it the columns are equal.

@@ -1,18 +1,57 @@
 #include "backend/interp.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
-#include <stdexcept>
 #include <cstring>
+#include <memory>
+#include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
+
+#include "backend/parexec/pool.hpp"
+#include "backend/parexec/runtime.hpp"
+#include "support/telemetry.hpp"
 
 namespace hli::backend {
 
 namespace {
 
+const telemetry::Counter c_par_loops =
+    telemetry::counter("parexec.loops_parallelized");
+const telemetry::Counter c_par_invocations =
+    telemetry::counter("parexec.invocations");
+const telemetry::Counter c_par_chunks = telemetry::counter("parexec.chunks");
+const telemetry::Counter c_par_iterations =
+    telemetry::counter("parexec.par_iterations");
+const telemetry::Counter c_par_insns =
+    telemetry::counter("parexec.par_insns");
+const telemetry::Counter c_par_ordered =
+    telemetry::counter("parexec.ordered_insns");
+const telemetry::Counter c_par_waits = telemetry::counter("parexec.sync_waits");
+const telemetry::Counter c_par_elided =
+    telemetry::counter("parexec.sync_elided");
+const telemetry::Counter c_par_fallbacks =
+    telemetry::counter("parexec.serial_fallbacks");
+
 struct Value {
   std::int64_t i = 0;
   double f = 0.0;
+};
+
+/// Per-execution-lane state.  The master run and every worker chunk get
+/// their own context: a private stack region for nested (pure) calls, a
+/// private instruction counter, and a flag that disables nested parallel
+/// dispatch inside workers.  The shared program memory stays one arena.
+struct ExecCtx {
+  std::uint64_t stack_top = 0;
+  std::uint64_t stack_limit = 0;
+  std::size_t depth = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t hard_cap = 0;  ///< fail() when executed exceeds this.
+  bool is_worker = false;
 };
 
 class Interp {
@@ -31,12 +70,38 @@ class Interp {
       }
       at += (g.size + 7) / 8 * 8;
     }
-    stack_top_ = (at + 63) / 64 * 64;
+    stack_base_ = (at + 63) / 64 * 64;
+    master_limit_ = memory_.size();
     // Pre-index labels per function.
     for (const RtlFunction& f : prog.functions) {
       auto& map = labels_[&f];
       for (std::size_t i = 0; i < f.insns.size(); ++i) {
         if (f.insns[i].op == Opcode::Label) map[f.insns[i].label] = i;
+      }
+    }
+    // Parallel dispatch needs per-lane stacks for the pure calls a loop
+    // body may make: lanes 1..W-1 get fixed regions carved off the TOP
+    // of the arena (lane 0 — the calling thread — keeps using the master
+    // stack, which nobody else touches during a dispatch).  Too little
+    // headroom disables dispatch rather than risking collisions.
+    par_enabled_ = options.exec_threads > 1 && sink == nullptr;
+    if (par_enabled_) {
+      bool any_plan = false;
+      for (const RtlFunction& f : prog.functions) {
+        if (!f.parexec.empty()) any_plan = true;
+      }
+      const std::uint64_t extra = options.exec_threads - 1;
+      std::uint64_t ws = 0;
+      if (any_plan && memory_.size() > stack_base_) {
+        ws = (memory_.size() - stack_base_) / (2 * options.exec_threads);
+        ws = ws / 64 * 64;
+        ws = std::min<std::uint64_t>(ws, 1u << 20);
+      }
+      if (ws >= (64u << 10)) {
+        worker_stack_size_ = ws;
+        master_limit_ = memory_.size() - extra * ws;
+      } else {
+        par_enabled_ = false;
       }
     }
   }
@@ -48,16 +113,30 @@ class Interp {
       result.error = "no entry function '" + entry + "'";
       return result;
     }
+    ExecCtx ctx;
+    ctx.stack_top = stack_base_;
+    ctx.stack_limit = master_limit_;
+    ctx.hard_cap = options_.max_insns;
     try {
-      const Value ret = call(*func, {});
+      const Value ret = call(*func, {}, ctx);
       result.return_value = ret.i;
       result.ok = true;
     } catch (const std::runtime_error& e) {
       result.error = e.what();
     }
-    result.dynamic_insns = executed_;
+    result.dynamic_insns = ctx.executed;
     result.output_hash = output_hash_;
     result.emit_count = emit_count_;
+    result.parexec = stats_;
+    c_par_loops.add(stats_.loops_parallelized);
+    c_par_invocations.add(stats_.invocations);
+    c_par_chunks.add(stats_.chunks);
+    c_par_iterations.add(stats_.par_iterations);
+    c_par_insns.add(stats_.par_insns);
+    c_par_ordered.add(stats_.ordered_insns);
+    c_par_waits.add(stats_.sync_waits);
+    c_par_elided.add(stats_.sync_elided);
+    c_par_fallbacks.add(stats_.serial_fallbacks);
     return result;
   }
 
@@ -123,7 +202,7 @@ class Interp {
 
   /// Built-in externs: math plus the emit() observation sinks.
   bool call_extern(const std::string& name, const std::vector<Value>& args,
-                   Value& out) {
+                   Value& out, const ExecCtx& ctx) {
     auto arg_f = [&](std::size_t i) { return i < args.size() ? args[i].f : 0.0; };
     if (name == "sqrt") { out.f = std::sqrt(arg_f(0)); return true; }
     if (name == "fabs") { out.f = std::fabs(arg_f(0)); return true; }
@@ -135,25 +214,199 @@ class Interp {
     if (name == "floor") { out.f = std::floor(arg_f(0)); return true; }
     if (name == "ceil") { out.f = std::ceil(arg_f(0)); return true; }
     if (name == "atan") { out.f = std::atan(arg_f(0)); return true; }
-    if (name == "emit") {
-      mix_output(static_cast<std::uint64_t>(args.empty() ? 0 : args[0].i));
-      return true;
-    }
-    if (name == "emitd") {
-      std::uint64_t bits = 0;
-      const double v = arg_f(0);
-      std::memcpy(&bits, &v, 8);
-      mix_output(bits);
+    if (name == "emit" || name == "emitd") {
+      // The planner proves loop bodies IO-free before parallelizing, so a
+      // worker can never reach the output sinks; the guard keeps a planner
+      // bug from silently racing on the output hash.
+      if (ctx.is_worker) fail("emit from a parallel worker");
+      if (name == "emit") {
+        mix_output(static_cast<std::uint64_t>(args.empty() ? 0 : args[0].i));
+      } else {
+        std::uint64_t bits = 0;
+        const double v = arg_f(0);
+        std::memcpy(&bits, &v, 8);
+        mix_output(bits);
+      }
       return true;
     }
     return false;
   }
 
-  Value call(const RtlFunction& func, const std::vector<Value>& args) {
-    if (++depth_ > options_.max_call_depth) fail("call depth exceeded");
-    const std::uint64_t frame_base = stack_top_;
-    stack_top_ += (func.frame_size + 63) / 64 * 64;
-    if (stack_top_ > memory_.size()) fail("stack overflow");
+  /// Executes one non-control instruction (values, memory, calls, notes).
+  /// `event` (nullable) receives the resolved address for Load/Store.
+  void step_insn(const Insn& insn, std::vector<Value>& regs,
+                 std::uint64_t frame_base, ExecCtx& ctx, TraceEvent* event) {
+    switch (insn.op) {
+      case Opcode::LoadImm:
+        if (insn.is_float) {
+          regs[insn.rd].f = insn.fimm;
+        } else {
+          regs[insn.rd].i = insn.imm;
+        }
+        break;
+      case Opcode::Move:
+        regs[insn.rd] = regs[insn.rs1];
+        break;
+      case Opcode::Add:
+        if (insn.is_float) {
+          regs[insn.rd].f = regs[insn.rs1].f + regs[insn.rs2].f;
+        } else {
+          regs[insn.rd].i = regs[insn.rs1].i + regs[insn.rs2].i;
+        }
+        break;
+      case Opcode::Sub:
+        if (insn.is_float) {
+          regs[insn.rd].f = regs[insn.rs1].f - regs[insn.rs2].f;
+        } else {
+          regs[insn.rd].i = regs[insn.rs1].i - regs[insn.rs2].i;
+        }
+        break;
+      case Opcode::Mul:
+        if (insn.is_float) {
+          regs[insn.rd].f = regs[insn.rs1].f * regs[insn.rs2].f;
+        } else {
+          regs[insn.rd].i = regs[insn.rs1].i * regs[insn.rs2].i;
+        }
+        break;
+      case Opcode::Div:
+        if (insn.is_float) {
+          regs[insn.rd].f = regs[insn.rs1].f / regs[insn.rs2].f;
+        } else {
+          if (regs[insn.rs2].i == 0) fail("integer division by zero");
+          regs[insn.rd].i = regs[insn.rs1].i / regs[insn.rs2].i;
+        }
+        break;
+      case Opcode::Rem:
+        if (regs[insn.rs2].i == 0) fail("integer remainder by zero");
+        regs[insn.rd].i = regs[insn.rs1].i % regs[insn.rs2].i;
+        break;
+      case Opcode::Neg:
+        if (insn.is_float) {
+          regs[insn.rd].f = -regs[insn.rs1].f;
+        } else {
+          regs[insn.rd].i = -regs[insn.rs1].i;
+        }
+        break;
+      case Opcode::And: regs[insn.rd].i = regs[insn.rs1].i & regs[insn.rs2].i; break;
+      case Opcode::Or: regs[insn.rd].i = regs[insn.rs1].i | regs[insn.rs2].i; break;
+      case Opcode::Xor: regs[insn.rd].i = regs[insn.rs1].i ^ regs[insn.rs2].i; break;
+      case Opcode::Not: regs[insn.rd].i = regs[insn.rs1].i == 0 ? 1 : 0; break;
+      case Opcode::Shl: regs[insn.rd].i = regs[insn.rs1].i << (regs[insn.rs2].i & 63); break;
+      case Opcode::Shr: regs[insn.rd].i = regs[insn.rs1].i >> (regs[insn.rs2].i & 63); break;
+      case Opcode::CmpLt:
+        regs[insn.rd].i = insn.is_float ? regs[insn.rs1].f < regs[insn.rs2].f
+                                        : regs[insn.rs1].i < regs[insn.rs2].i;
+        break;
+      case Opcode::CmpLe:
+        regs[insn.rd].i = insn.is_float ? regs[insn.rs1].f <= regs[insn.rs2].f
+                                        : regs[insn.rs1].i <= regs[insn.rs2].i;
+        break;
+      case Opcode::CmpGt:
+        regs[insn.rd].i = insn.is_float ? regs[insn.rs1].f > regs[insn.rs2].f
+                                        : regs[insn.rs1].i > regs[insn.rs2].i;
+        break;
+      case Opcode::CmpGe:
+        regs[insn.rd].i = insn.is_float ? regs[insn.rs1].f >= regs[insn.rs2].f
+                                        : regs[insn.rs1].i >= regs[insn.rs2].i;
+        break;
+      case Opcode::CmpEq:
+        regs[insn.rd].i = insn.is_float ? regs[insn.rs1].f == regs[insn.rs2].f
+                                        : regs[insn.rs1].i == regs[insn.rs2].i;
+        break;
+      case Opcode::CmpNe:
+        regs[insn.rd].i = insn.is_float ? regs[insn.rs1].f != regs[insn.rs2].f
+                                        : regs[insn.rs1].i != regs[insn.rs2].i;
+        break;
+      case Opcode::IntToFp:
+        regs[insn.rd].f = static_cast<double>(regs[insn.rs1].i);
+        break;
+      case Opcode::FpToInt:
+        regs[insn.rd].i = static_cast<std::int64_t>(regs[insn.rs1].f);
+        break;
+      case Opcode::LoadAddr:
+        if (insn.label >= 0) {
+          regs[insn.rd].i = static_cast<std::int64_t>(
+              global_base_[static_cast<std::size_t>(insn.label)] +
+              static_cast<std::uint64_t>(insn.imm));
+        } else {
+          regs[insn.rd].i = static_cast<std::int64_t>(
+              frame_base + static_cast<std::uint64_t>(insn.imm));
+        }
+        break;
+      case Opcode::Load: {
+        const std::uint64_t addr =
+            static_cast<std::uint64_t>(regs[insn.rs1].i + insn.mem.const_offset);
+        if (event != nullptr) event->address = addr;
+        if (insn.is_float) {
+          regs[insn.rd].f = read_fp(addr, insn.mem.size);
+        } else {
+          regs[insn.rd].i = read_int(addr, insn.mem.size);
+        }
+        break;
+      }
+      case Opcode::Store: {
+        const std::uint64_t addr =
+            static_cast<std::uint64_t>(regs[insn.rs1].i + insn.mem.const_offset);
+        if (event != nullptr) event->address = addr;
+        if (insn.is_float) {
+          write_fp(addr, regs[insn.rs2].f, insn.mem.size);
+        } else {
+          write_int(addr, regs[insn.rs2].i, insn.mem.size);
+        }
+        break;
+      }
+      case Opcode::Call: {
+        std::vector<Value> call_args;
+        call_args.reserve(insn.args.size());
+        for (const Reg r : insn.args) call_args.push_back(regs[r]);
+        Value out;
+        if (const RtlFunction* callee = prog_.find_function(insn.callee)) {
+          out = call(*callee, call_args, ctx);
+        } else if (!call_extern(insn.callee, call_args, out, ctx)) {
+          fail("call to unknown extern '" + insn.callee + "'");
+        }
+        if (insn.rd != kNoReg) regs[insn.rd] = out;
+        break;
+      }
+      case Opcode::Label:
+      case Opcode::LoopBeg:
+      case Opcode::LoopEnd:
+        break;
+      case Opcode::Jump:
+      case Opcode::BranchZ:
+      case Opcode::BranchNZ:
+      case Opcode::Return:
+        // Only reachable from a parallel slice, whose plan proved the
+        // range straight-line; getting here means the plan is stale.
+        fail("control instruction in a parallel slice");
+    }
+  }
+
+  /// Straight-line executor for parallel chunks, trip counting and the
+  /// post-join replays: runs [lo, hi) with no control flow except calls.
+  void exec_slice(const RtlFunction& func, std::vector<Value>& regs,
+                  std::size_t lo, std::size_t hi, std::uint64_t frame_base,
+                  ExecCtx& ctx) {
+    for (std::size_t pc = lo; pc < hi; ++pc) {
+      if (++ctx.executed > ctx.hard_cap) fail("instruction budget exceeded");
+      step_insn(func.insns[pc], regs, frame_base, ctx, nullptr);
+    }
+  }
+
+  [[nodiscard]] static const LoopPlan* find_plan(const RtlFunction& func,
+                                                 std::size_t pc) {
+    for (const LoopPlan& plan : func.parexec) {
+      if (plan.loop_beg == pc) return &plan;
+    }
+    return nullptr;
+  }
+
+  Value call(const RtlFunction& func, const std::vector<Value>& args,
+             ExecCtx& ctx) {
+    if (++ctx.depth > options_.max_call_depth) fail("call depth exceeded");
+    const std::uint64_t frame_base = ctx.stack_top;
+    ctx.stack_top += (func.frame_size + 63) / 64 * 64;
+    if (ctx.stack_top > ctx.stack_limit) fail("stack overflow");
 
     std::vector<Value> regs(static_cast<std::size_t>(func.num_regs) + 1);
     // Incoming register arguments land in the params' staging registers.
@@ -167,134 +420,12 @@ class Interp {
     Value ret;
     while (pc < func.insns.size()) {
       const Insn& insn = func.insns[pc];
-      if (++executed_ > options_.max_insns) fail("instruction budget exceeded");
+      if (++ctx.executed > ctx.hard_cap) fail("instruction budget exceeded");
 
       TraceEvent event;
       event.insn = &insn;
 
       switch (insn.op) {
-        case Opcode::LoadImm:
-          if (insn.is_float) {
-            regs[insn.rd].f = insn.fimm;
-          } else {
-            regs[insn.rd].i = insn.imm;
-          }
-          break;
-        case Opcode::Move:
-          regs[insn.rd] = regs[insn.rs1];
-          break;
-        case Opcode::Add:
-          if (insn.is_float) {
-            regs[insn.rd].f = regs[insn.rs1].f + regs[insn.rs2].f;
-          } else {
-            regs[insn.rd].i = regs[insn.rs1].i + regs[insn.rs2].i;
-          }
-          break;
-        case Opcode::Sub:
-          if (insn.is_float) {
-            regs[insn.rd].f = regs[insn.rs1].f - regs[insn.rs2].f;
-          } else {
-            regs[insn.rd].i = regs[insn.rs1].i - regs[insn.rs2].i;
-          }
-          break;
-        case Opcode::Mul:
-          if (insn.is_float) {
-            regs[insn.rd].f = regs[insn.rs1].f * regs[insn.rs2].f;
-          } else {
-            regs[insn.rd].i = regs[insn.rs1].i * regs[insn.rs2].i;
-          }
-          break;
-        case Opcode::Div:
-          if (insn.is_float) {
-            regs[insn.rd].f = regs[insn.rs1].f / regs[insn.rs2].f;
-          } else {
-            if (regs[insn.rs2].i == 0) fail("integer division by zero");
-            regs[insn.rd].i = regs[insn.rs1].i / regs[insn.rs2].i;
-          }
-          break;
-        case Opcode::Rem:
-          if (regs[insn.rs2].i == 0) fail("integer remainder by zero");
-          regs[insn.rd].i = regs[insn.rs1].i % regs[insn.rs2].i;
-          break;
-        case Opcode::Neg:
-          if (insn.is_float) {
-            regs[insn.rd].f = -regs[insn.rs1].f;
-          } else {
-            regs[insn.rd].i = -regs[insn.rs1].i;
-          }
-          break;
-        case Opcode::And: regs[insn.rd].i = regs[insn.rs1].i & regs[insn.rs2].i; break;
-        case Opcode::Or: regs[insn.rd].i = regs[insn.rs1].i | regs[insn.rs2].i; break;
-        case Opcode::Xor: regs[insn.rd].i = regs[insn.rs1].i ^ regs[insn.rs2].i; break;
-        case Opcode::Not: regs[insn.rd].i = regs[insn.rs1].i == 0 ? 1 : 0; break;
-        case Opcode::Shl: regs[insn.rd].i = regs[insn.rs1].i << (regs[insn.rs2].i & 63); break;
-        case Opcode::Shr: regs[insn.rd].i = regs[insn.rs1].i >> (regs[insn.rs2].i & 63); break;
-        case Opcode::CmpLt:
-          regs[insn.rd].i = insn.is_float ? regs[insn.rs1].f < regs[insn.rs2].f
-                                          : regs[insn.rs1].i < regs[insn.rs2].i;
-          break;
-        case Opcode::CmpLe:
-          regs[insn.rd].i = insn.is_float ? regs[insn.rs1].f <= regs[insn.rs2].f
-                                          : regs[insn.rs1].i <= regs[insn.rs2].i;
-          break;
-        case Opcode::CmpGt:
-          regs[insn.rd].i = insn.is_float ? regs[insn.rs1].f > regs[insn.rs2].f
-                                          : regs[insn.rs1].i > regs[insn.rs2].i;
-          break;
-        case Opcode::CmpGe:
-          regs[insn.rd].i = insn.is_float ? regs[insn.rs1].f >= regs[insn.rs2].f
-                                          : regs[insn.rs1].i >= regs[insn.rs2].i;
-          break;
-        case Opcode::CmpEq:
-          regs[insn.rd].i = insn.is_float ? regs[insn.rs1].f == regs[insn.rs2].f
-                                          : regs[insn.rs1].i == regs[insn.rs2].i;
-          break;
-        case Opcode::CmpNe:
-          regs[insn.rd].i = insn.is_float ? regs[insn.rs1].f != regs[insn.rs2].f
-                                          : regs[insn.rs1].i != regs[insn.rs2].i;
-          break;
-        case Opcode::IntToFp:
-          regs[insn.rd].f = static_cast<double>(regs[insn.rs1].i);
-          break;
-        case Opcode::FpToInt:
-          regs[insn.rd].i = static_cast<std::int64_t>(regs[insn.rs1].f);
-          break;
-        case Opcode::LoadAddr:
-          if (insn.label >= 0) {
-            regs[insn.rd].i = static_cast<std::int64_t>(
-                global_base_[static_cast<std::size_t>(insn.label)] +
-                static_cast<std::uint64_t>(insn.imm));
-          } else {
-            regs[insn.rd].i = static_cast<std::int64_t>(
-                frame_base + static_cast<std::uint64_t>(insn.imm));
-          }
-          break;
-        case Opcode::Load: {
-          const std::uint64_t addr =
-              static_cast<std::uint64_t>(regs[insn.rs1].i + insn.mem.const_offset);
-          event.address = addr;
-          if (insn.is_float) {
-            regs[insn.rd].f = read_fp(addr, insn.mem.size);
-          } else {
-            regs[insn.rd].i = read_int(addr, insn.mem.size);
-          }
-          break;
-        }
-        case Opcode::Store: {
-          const std::uint64_t addr =
-              static_cast<std::uint64_t>(regs[insn.rs1].i + insn.mem.const_offset);
-          event.address = addr;
-          if (insn.is_float) {
-            write_fp(addr, regs[insn.rs2].f, insn.mem.size);
-          } else {
-            write_int(addr, regs[insn.rs2].i, insn.mem.size);
-          }
-          break;
-        }
-        case Opcode::Label:
-        case Opcode::LoopBeg:
-        case Opcode::LoopEnd:
-          break;
         case Opcode::Jump:
           if (sink_ != nullptr) sink_->on_insn(event);
           pc = label_map.at(insn.label);
@@ -311,14 +442,17 @@ class Interp {
           break;
         }
         case Opcode::Call: {
+          // Sink order matters: the timing models see the Call event
+          // BEFORE the callee's instructions, so the case stays here
+          // rather than in step_insn.
           if (sink_ != nullptr) sink_->on_insn(event);
           std::vector<Value> call_args;
           call_args.reserve(insn.args.size());
           for (const Reg r : insn.args) call_args.push_back(regs[r]);
           Value out;
           if (const RtlFunction* callee = prog_.find_function(insn.callee)) {
-            out = call(*callee, call_args);
-          } else if (!call_extern(insn.callee, call_args, out)) {
+            out = call(*callee, call_args, ctx);
+          } else if (!call_extern(insn.callee, call_args, out, ctx)) {
             fail("call to unknown extern '" + insn.callee + "'");
           }
           if (insn.rd != kNoReg) regs[insn.rd] = out;
@@ -328,9 +462,22 @@ class Interp {
         case Opcode::Return:
           if (sink_ != nullptr) sink_->on_insn(event);
           if (insn.rs1 != kNoReg) ret = regs[insn.rs1];
-          stack_top_ = frame_base;
-          --depth_;
+          ctx.stack_top = frame_base;
+          --ctx.depth;
           return ret;
+        case Opcode::LoopBeg:
+          if (par_enabled_ && !ctx.is_worker && !func.parexec.empty()) {
+            if (const LoopPlan* plan = find_plan(func, pc)) {
+              if (run_parallel_loop(func, *plan, regs, frame_base, ctx)) {
+                pc = plan->loop_end + 1;
+                continue;
+              }
+            }
+          }
+          break;
+        default:
+          step_insn(insn, regs, frame_base, ctx, &event);
+          break;
       }
       if (sink_ != nullptr && insn.op != Opcode::Label &&
           insn.op != Opcode::LoopBeg && insn.op != Opcode::LoopEnd) {
@@ -338,9 +485,259 @@ class Interp {
       }
       ++pc;
     }
-    stack_top_ = frame_base;
-    --depth_;
+    ctx.stack_top = frame_base;
+    --ctx.depth;
     return ret;
+  }
+
+  [[nodiscard]] static Value reduction_identity(ReductionKind kind) {
+    Value v;
+    switch (kind) {
+      case ReductionKind::Add:
+      case ReductionKind::Or:
+      case ReductionKind::Xor:
+        v.i = 0;
+        break;
+      case ReductionKind::Mul:
+        v.i = 1;
+        break;
+      case ReductionKind::And:
+        v.i = -1;
+        break;
+    }
+    return v;
+  }
+
+  static void combine_reduction(ReductionKind kind, Value& acc,
+                                const Value& partial) {
+    switch (kind) {
+      case ReductionKind::Add: acc.i += partial.i; break;
+      case ReductionKind::Mul: acc.i *= partial.i; break;
+      case ReductionKind::And: acc.i &= partial.i; break;
+      case ReductionKind::Or: acc.i |= partial.i; break;
+      case ReductionKind::Xor: acc.i ^= partial.i; break;
+    }
+  }
+
+  /// Attempts to execute the planned loop on the worker pool.  Returns
+  /// false (with registers restored) when the runtime declines — short
+  /// trip, tiny volume, or the projected serial cost does not fit the
+  /// instruction budget (the serial path must then trap exactly where a
+  /// serial run would).  On success the master's registers and counters
+  /// are byte-identical to what serial execution would have produced.
+  bool run_parallel_loop(const RtlFunction& func, const LoopPlan& plan,
+                         std::vector<Value>& regs, std::uint64_t frame_base,
+                         ExecCtx& ctx) {
+    const Insn& exit_br = func.insns[plan.exit_branch];
+    const Reg iv = plan.induction;
+    const std::uint64_t cond_insns = plan.exit_branch - plan.cond_begin;
+    const std::uint64_t body_insns = plan.body_end - plan.body_begin;
+    const std::uint64_t step_insns = plan.backedge - plan.step_begin;
+    const std::uint64_t per_iter = cond_insns + body_insns + step_insns + 4;
+    const std::uint64_t exit_cost = cond_insns + 4;
+
+    // Snapshot what trip counting clobbers (IV + predicate registers) so
+    // a serial fallback resumes from an untouched state.
+    std::vector<std::pair<Reg, Value>> snapshot;
+    snapshot.emplace_back(iv, regs[iv]);
+    for (std::size_t p = plan.cond_begin; p < plan.exit_branch; ++p) {
+      const Reg rd = func.insns[p].rd;
+      if (rd != kNoReg) snapshot.emplace_back(rd, regs[rd]);
+    }
+    const auto restore = [&] {
+      for (auto it = snapshot.rbegin(); it != snapshot.rend(); ++it) {
+        regs[it->first] = it->second;
+      }
+    };
+    const auto decline = [&] {
+      restore();
+      ++stats_.serial_fallbacks;
+      return false;
+    };
+
+    // Trip counting: the predicate slice reads only the IV, registers the
+    // slice itself defines, and loop invariants (the planner rejected
+    // everything else), so evaluating it for iv0, iv0+step, ... BEFORE
+    // any body runs reproduces the serial predicate sequence exactly.
+    const std::int64_t iv0 = regs[iv].i;
+    ExecCtx scratch;
+    scratch.hard_cap = UINT64_MAX;
+    const std::uint64_t remaining =
+        options_.max_insns > ctx.executed ? options_.max_insns - ctx.executed
+                                          : 0;
+    const std::uint64_t max_rounds = remaining / per_iter + 2;
+    std::uint64_t trips = 0;
+    for (;;) {
+      regs[iv].i = iv0 + static_cast<std::int64_t>(trips) * plan.step;
+      exec_slice(func, regs, plan.cond_begin, plan.exit_branch, frame_base,
+                 scratch);
+      const bool zero = regs[exit_br.rs1].i == 0;
+      const bool taken = exit_br.op == Opcode::BranchZ ? zero : !zero;
+      if (taken) break;
+      if (++trips > max_rounds) return decline();  // Serial would trap.
+    }
+
+    if (trips < 2) return decline();
+    if (trips * (cond_insns + body_insns) < options_.min_par_insns) {
+      return decline();
+    }
+    if (ctx.executed + trips * per_iter + exit_cost > options_.max_insns) {
+      return decline();  // Serial trips the budget mid-loop; reproduce it.
+    }
+    const std::vector<parexec::Chunk> chunks = parexec::plan_chunks(
+        trips, options_.exec_threads, plan.doall ? 0 : plan.distance);
+    if (chunks.size() < 2) return decline();
+
+    // -- Committed to parallel execution. -------------------------------
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<parexec::WorkerPool>(options_.exec_threads);
+    }
+    parexec::ProgressBoard board(chunks);
+    std::atomic<std::size_t> next_chunk{0};
+    std::atomic<std::uint64_t> par_total{0};
+    const std::uint64_t base_executed = ctx.executed;
+    std::vector<std::uint64_t> chunk_insns(chunks.size(), 0);
+    std::vector<std::vector<Value>> chunk_partials(
+        chunks.size(), std::vector<Value>(plan.reductions.size()));
+    std::vector<Value> last_regs;
+
+    const auto work = [&](unsigned lane) {
+      ExecCtx wctx;
+      wctx.is_worker = true;
+      wctx.depth = ctx.depth;
+      wctx.hard_cap = options_.max_insns;
+      if (lane == 0) {
+        wctx.stack_top = ctx.stack_top;
+        wctx.stack_limit = master_limit_;
+      } else {
+        wctx.stack_top = memory_.size() -
+                         (options_.exec_threads - lane) * worker_stack_size_;
+        wctx.stack_limit = wctx.stack_top + worker_stack_size_;
+      }
+      std::uint64_t flushed = 0;
+      const auto flush_budget = [&] {
+        const std::uint64_t delta = wctx.executed - flushed;
+        flushed = wctx.executed;
+        if (base_executed + par_total.fetch_add(delta) + delta >
+            options_.max_insns) {
+          board.abort();
+          fail("instruction budget exceeded");
+        }
+      };
+      std::vector<Value> wregs;
+      for (;;) {
+        const std::size_t c = next_chunk.fetch_add(1);
+        if (c >= chunks.size() || board.aborted()) break;
+        const parexec::Chunk chunk = chunks[c];
+        const std::uint64_t before = wctx.executed;
+        // Fresh private registers per chunk.  Every loop-defined register
+        // is re-defined before its first read inside an iteration (the
+        // planner rejected cross-iteration register flow), so the master
+        // snapshot is a valid starting state for ANY iteration.
+        wregs = regs;
+        for (std::size_t k = 0; k < plan.reductions.size(); ++k) {
+          wregs[plan.reductions[k].reg] =
+              reduction_identity(plan.reductions[k].kind);
+        }
+        for (std::uint64_t i = chunk.begin; i < chunk.end; ++i) {
+          if (!plan.doall) {
+            // Post-wait on the proven distance: everything at or before
+            // i - d must be complete.  A source inside this chunk is
+            // already ordered by sequential execution — sync elided.
+            const std::int64_t j =
+                static_cast<std::int64_t>(i) - plan.distance;
+            if (j >= 0 && static_cast<std::uint64_t>(j) < chunk.begin) {
+              if (!board.wait_for_prefix(static_cast<std::uint64_t>(j))) {
+                return;  // Aborted elsewhere; that lane carries the error.
+              }
+            }
+          }
+          wregs[iv].i = iv0 + static_cast<std::int64_t>(i) * plan.step;
+          exec_slice(func, wregs, plan.cond_begin, plan.exit_branch,
+                     frame_base, wctx);
+          exec_slice(func, wregs, plan.body_begin, plan.body_end, frame_base,
+                     wctx);
+          if (!plan.doall) board.publish(c, i - chunk.begin + 1);
+          if (wctx.executed - flushed >= 65536) flush_budget();
+        }
+        flush_budget();
+        chunk_insns[c] = wctx.executed - before;
+        for (std::size_t k = 0; k < plan.reductions.size(); ++k) {
+          chunk_partials[c][k] = wregs[plan.reductions[k].reg];
+        }
+        if (c + 1 == chunks.size()) last_regs = std::move(wregs);
+      }
+    };
+    const std::function<void(unsigned)> job = [&](unsigned lane) {
+      try {
+        work(lane);
+      } catch (...) {
+        board.abort();  // Wake post-waiters so the pool can join.
+        throw;
+      }
+    };
+    // Reduction initial values (untouched by trip counting: they live in
+    // the body) are folded below, in chunk order — integer ops only, so
+    // the result equals the serial left fold exactly.
+    std::vector<Value> red_init(plan.reductions.size());
+    for (std::size_t k = 0; k < plan.reductions.size(); ++k) {
+      red_init[k] = regs[plan.reductions[k].reg];
+    }
+    try {
+      pool_->run(job);
+    } catch (const std::runtime_error& e) {
+      if (std::string(e.what()).find("instruction budget exceeded") !=
+          std::string::npos) {
+        ctx.executed = options_.max_insns + 1;  // Serial's trap count.
+      }
+      throw;
+    }
+
+    // -- Join: reconstruct the exact serial end-of-loop state. ----------
+    std::uint64_t workers_total = 0;
+    for (const std::uint64_t n : chunk_insns) workers_total += n;
+    ctx.executed += workers_total +
+                    trips * (step_insns + 4) +  // Skipped notes/step/jump.
+                    exit_cost;                  // Final predicate round.
+    if (ctx.executed > options_.max_insns) {
+      // Callee work pushed the real total past the budget after all; a
+      // serial run would have trapped mid-loop.
+      ctx.executed = options_.max_insns + 1;
+      fail("instruction budget exceeded");
+    }
+    // Last iteration's values for every register the loop defines...
+    for (const std::int32_t r : plan.iter_defs) regs[r] = last_regs[r];
+    // ...reductions folded over the chunk partials in chunk order...
+    for (std::size_t k = 0; k < plan.reductions.size(); ++k) {
+      Value acc = red_init[k];
+      for (std::size_t c = 0; c < chunks.size(); ++c) {
+        combine_reduction(plan.reductions[k].kind, acc, chunk_partials[c][k]);
+      }
+      regs[plan.reductions[k].reg] = acc;
+    }
+    // ...then the last step round (scratch + IV) and the exit predicate
+    // round, replayed in place.  Both slices are already accounted for in
+    // the structural counts above, so the replays run uncounted.
+    ExecCtx replay;
+    replay.hard_cap = UINT64_MAX;
+    regs[iv].i = iv0 + static_cast<std::int64_t>(trips - 1) * plan.step;
+    exec_slice(func, regs, plan.step_begin, plan.backedge, frame_base, replay);
+    exec_slice(func, regs, plan.cond_begin, plan.exit_branch, frame_base,
+               replay);
+
+    if (dispatched_.insert(&plan).second) ++stats_.loops_parallelized;
+    ++stats_.invocations;
+    stats_.chunks += chunks.size();
+    stats_.par_iterations += trips;
+    stats_.par_insns += workers_total;
+    if (!plan.doall) stats_.ordered_insns += workers_total;
+    if (!plan.doall) {
+      const parexec::SyncCounts sync =
+          parexec::structural_sync_counts(chunks, plan.distance);
+      stats_.sync_waits += sync.waits;
+      stats_.sync_elided += sync.elided;
+    }
+    return true;
   }
 
   static constexpr std::size_t analysis_max_reg_args() { return 4; }
@@ -350,13 +747,17 @@ class Interp {
   InterpOptions options_;
   std::vector<std::uint8_t> memory_;
   std::vector<std::uint64_t> global_base_;
-  std::uint64_t stack_top_ = 0;
+  std::uint64_t stack_base_ = 0;
+  std::uint64_t master_limit_ = 0;
+  std::uint64_t worker_stack_size_ = 0;
+  bool par_enabled_ = false;
   std::unordered_map<const RtlFunction*, std::unordered_map<std::int32_t, std::size_t>>
       labels_;
-  std::uint64_t executed_ = 0;
   std::uint64_t output_hash_ = 1469598103934665603ull;
   std::uint64_t emit_count_ = 0;
-  std::size_t depth_ = 0;
+  ParexecStats stats_;
+  std::unordered_set<const LoopPlan*> dispatched_;
+  std::unique_ptr<parexec::WorkerPool> pool_;
 };
 
 }  // namespace

@@ -28,6 +28,33 @@ class TraceSink {
   virtual void on_insn(const TraceEvent& event) = 0;
 };
 
+/// What the parallel loop runtime did during one run.  Every field is
+/// deterministic — chunk shapes, trip counts and the post-wait structure
+/// depend only on the program and the thread count, never on timing — so
+/// two runs of the same program at the same exec_threads report identical
+/// stats (and a serial run reports all zeros).
+struct ParexecStats {
+  std::uint64_t loops_parallelized = 0;  ///< Distinct plans dispatched.
+  std::uint64_t invocations = 0;   ///< Parallel loop activations.
+  std::uint64_t chunks = 0;        ///< Iteration chunks executed.
+  std::uint64_t par_iterations = 0;  ///< Iterations run on the pool.
+  /// Instructions executed inside dispatched chunks.  Chunk boundaries
+  /// don't change the total (every iteration runs its cond + body slices
+  /// exactly once), so this is thread-count-invariant: it measures the
+  /// parallelizable volume of the run, the `p` of the Amdahl bound
+  /// dynamic_insns / (serial_part + p / lanes) that bench_parexec
+  /// reports as the work-distribution speedup limit.
+  std::uint64_t par_insns = 0;
+  /// The subset of par_insns executed under DOACROSS plans.  A proven
+  /// distance d admits at most d iterations in flight, so a DOACROSS(1)
+  /// region is pipeline-serial even though it runs on the pool; the
+  /// honest bound counts ordered work at speedup 1.
+  std::uint64_t ordered_insns = 0;
+  std::uint64_t sync_waits = 0;    ///< Cross-chunk post-waits (structural).
+  std::uint64_t sync_elided = 0;   ///< Post-waits covered by own chunk.
+  std::uint64_t serial_fallbacks = 0;  ///< Planned loops run serially.
+};
+
 struct RunResult {
   bool ok = false;
   std::string error;
@@ -37,12 +64,25 @@ struct RunResult {
   /// observable output.
   std::uint64_t output_hash = 0;
   std::uint64_t emit_count = 0;
+  ParexecStats parexec;  ///< All-zero unless exec_threads > 1 dispatched.
 };
 
 struct InterpOptions {
   std::uint64_t max_insns = 400'000'000;
   std::size_t memory_bytes = 64u << 20;
   std::size_t max_call_depth = 4096;
+  /// Execution lanes for loops carrying a parexec plan (1 = serial; the
+  /// calling thread is lane 0, so N lanes spawn N-1 threads).  Parallel
+  /// dispatch is disabled under a TraceSink: the timing models consume
+  /// the serial instruction stream.
+  unsigned exec_threads = 1;
+  /// A planned loop is dispatched only when trips * (cond + body insns)
+  /// reaches this volume; below it the fork/join overhead dominates and
+  /// the loop runs serially (counted in ParexecStats::serial_fallbacks).
+  /// The dispatch cost is one register-file copy per chunk plus a pool
+  /// wake, a few hundred instructions' worth of work.  Tests set 0 to
+  /// force dispatch of tiny loops.
+  std::uint64_t min_par_insns = 512;
 };
 
 /// Runs `entry` (default "main") with no arguments.

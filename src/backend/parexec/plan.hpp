@@ -1,0 +1,82 @@
+// Parallel execution plans — the contract between the backend::parallelize
+// planner (which proves a loop DOALL / DOACROSS(d) from the union of HLI
+// LCDD facts and the independent RTL-level analyzer) and the interpreter's
+// parallel dispatch (src/backend/interp.cpp), which executes planned loops
+// on a worker pool with chunked iteration scheduling.
+//
+// A plan is a pure annotation: it never changes the instruction stream, so
+// RTL dumps are byte-identical with planning on or off, and a plan the
+// runtime declines (trip too short, nested inside a worker, budget) simply
+// falls back to ordinary serial execution of the same instructions.
+//
+// Position fields index the function's insns at plan time; the planner
+// runs after ALL transforming passes, so the positions stay valid for the
+// whole execution. All positions refer to the canonical For-loop shape the
+// analyzer re-verified (form.hpp):
+//
+//   loop_beg:   LoopBeg
+//   loop_beg+1: Label top
+//   [cond_begin, exit_branch): predicate computation (pure reg ops)
+//   exit_branch: BranchZ/NZ -> Label end
+//   [body_begin, body_end): straight-line body (pure Calls allowed)
+//   body_end:   Label cont
+//   [step_begin, backedge): step region (pure reg ops, defines the IV)
+//   backedge:   Jump top
+//   loop_end-1: Label end
+//   loop_end:   LoopEnd
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hli::backend {
+
+/// How per-chunk partial values of a privatized accumulator register are
+/// combined back into the master's register.  Only exact (integer)
+/// reductions are recognized: float accumulation would reassociate and
+/// break byte-identical output, so float accumulators reject the plan.
+enum class ReductionKind : std::uint8_t {
+  Add,  ///< r = r + x   (identity 0, combine with +; also r = r - x).
+  Mul,  ///< r = r * x   (identity 1, combine with *).
+  And,  ///< r = r & x   (identity ~0, combine with &).
+  Or,   ///< r = r | x   (identity 0, combine with |).
+  Xor,  ///< r = r ^ x   (identity 0, combine with ^).
+};
+
+struct ReductionPlan {
+  std::int32_t reg = -1;          ///< The accumulator register.
+  ReductionKind kind = ReductionKind::Add;
+  std::uint32_t pos = 0;          ///< The single body insn `r = r op x`.
+};
+
+/// One parallelizable loop.  `doall` loops run chunks fully concurrently;
+/// otherwise every carried dependence was proven to have distance >=
+/// `distance` and chunks run under post-wait synchronization on exactly
+/// that distance (iteration i proceeds once every iteration <= i-distance
+/// has completed), with the sync elided for iterations whose dependence
+/// source lands in their own chunk.
+struct LoopPlan {
+  std::uint32_t loop_beg = 0;
+  std::uint32_t loop_end = 0;
+  bool doall = true;
+  std::int64_t distance = 0;      ///< Proven min carried distance (DOACROSS).
+
+  // Canonical-shape positions (see file comment).
+  std::uint32_t cond_begin = 0;   ///< loop_beg + 2.
+  std::uint32_t exit_branch = 0;
+  std::uint32_t body_begin = 0;   ///< exit_branch + 1.
+  std::uint32_t body_end = 0;     ///< The Label cont position.
+  std::uint32_t step_begin = 0;   ///< body_end + 1.
+  std::uint32_t backedge = 0;     ///< The Jump top position.
+
+  std::int32_t induction = -1;
+  std::int64_t step = 0;          ///< Verified per-iteration IV delta.
+
+  /// Registers defined in [cond_begin, body_end) — privatized per worker;
+  /// the last iteration's values are copied back after the join so
+  /// post-loop reads see exactly the serial state.  Excludes reductions.
+  std::vector<std::int32_t> iter_defs;
+  std::vector<ReductionPlan> reductions;
+};
+
+}  // namespace hli::backend

@@ -1,0 +1,91 @@
+#include "backend/parexec/pool.hpp"
+
+#include <exception>
+#include <stdexcept>
+
+namespace hli::backend::parexec {
+
+WorkerPool::WorkerPool(unsigned workers) : workers_(workers == 0 ? 1 : workers) {}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::run(const std::function<void(unsigned)>& job) {
+  if (workers_ <= 1) {
+    job(0);
+    return;
+  }
+  if (threads_.empty()) {
+    threads_.reserve(workers_ - 1);
+    for (unsigned lane = 1; lane < workers_; ++lane) {
+      threads_.emplace_back([this, lane] { worker_main(lane); });
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    error_set_ = false;
+    error_.clear();
+    remaining_ = workers_ - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller is lane 0: it does a full share of the work instead of
+  // blocking, so a "4-thread" run really uses 4 execution lanes.
+  try {
+    job(0);
+  } catch (const std::exception& e) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_set_) {
+      error_set_ = true;
+      error_ = e.what();
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (error_set_) {
+    const std::string message = error_;
+    lock.unlock();
+    throw std::runtime_error(message);
+  }
+}
+
+void WorkerPool::worker_main(unsigned lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this, seen] {
+        return shutdown_ || generation_ != seen;
+      });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(lane);
+    } catch (const std::exception& e) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_set_) {
+        error_set_ = true;
+        error_ = e.what();
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace hli::backend::parexec

@@ -1,0 +1,58 @@
+// Persistent worker pool for the parallel loop execution runtime.
+//
+// One pool serves every parallel dispatch of an interpreter run: the
+// threads are spawned on first use and parked between dispatches on a
+// condition variable after a brief spin (a pure spin-wait would starve
+// the very workers it waits for on small machines).  The calling thread
+// participates as worker 0, so a pool configured for W workers spawns
+// only W-1 threads.
+//
+// run() is a barrier: it returns after every worker finished the job.
+// A job exception is captured (first one wins) and rethrown on the
+// calling thread after the join, so interpreter faults inside a chunk
+// (memory range, division by zero) surface exactly like serial ones.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hli::backend::parexec {
+
+class WorkerPool {
+ public:
+  /// `workers` >= 1 total lanes (including the caller); spawns workers-1
+  /// threads lazily on the first run().
+  explicit WorkerPool(unsigned workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] unsigned workers() const { return workers_; }
+
+  /// Executes job(w) for every lane w in [0, workers); the caller runs
+  /// lane 0.  Rethrows the first job exception after all lanes finish.
+  void run(const std::function<void(unsigned)>& job);
+
+ private:
+  void worker_main(unsigned lane);
+
+  const unsigned workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< Workers wait for a new generation.
+  std::condition_variable done_cv_;   ///< run() waits for the last lane.
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned remaining_ = 0;            ///< Spawned lanes still in this job.
+  bool shutdown_ = false;
+  bool error_set_ = false;
+  std::string error_;                 ///< First captured job exception.
+};
+
+}  // namespace hli::backend::parexec

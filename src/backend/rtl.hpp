@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/parexec/plan.hpp"
 #include "hli/format.hpp"
 
 namespace hli::backend {
@@ -120,6 +121,10 @@ struct RtlFunction {
   std::vector<Reg> param_regs;   ///< Where lowering placed the formals.
   std::vector<bool> param_is_float;
   bool returns_float = false;
+  /// Parallel execution plans (backend::parallelize, exec_threads > 1):
+  /// pure annotations over the FINAL instruction stream — never part of
+  /// RTL dumps, never consulted unless the interpreter runs threaded.
+  std::vector<LoopPlan> parexec;
 
   [[nodiscard]] Reg fresh_reg() { return num_regs++; }
 };

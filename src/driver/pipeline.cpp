@@ -4,6 +4,7 @@
 
 #include "analysis/irdep/analyzer.hpp"
 #include "analysis/irdep/audit.hpp"
+#include "backend/parexec/parallelize.hpp"
 #include "frontend/sema.hpp"
 #include "hli/maintain.hpp"
 #include "hli/query.hpp"
@@ -137,6 +138,12 @@ PipelineOptions PipelineOptions::with_regalloc(bool on) const {
   return copy;
 }
 
+PipelineOptions PipelineOptions::with_exec_threads(unsigned n) const {
+  PipelineOptions copy = *this;
+  copy.exec_threads = n;
+  return copy;
+}
+
 PipelineOptions PipelineOptions::with_machine(
     const machine::MachineDesc& machine) const {
   PipelineOptions copy = *this;
@@ -175,6 +182,12 @@ std::vector<std::string> PipelineOptions::validate() const {
         "enable_unroll is set with unroll_factor 1: a single copy is an "
         "expensive no-op; use with_unroll(N) with N >= 2, or "
         "without_unroll()");
+  }
+  if (exec_threads == 0) {
+    problems.emplace_back(
+        "exec_threads is 0: the calling thread is always lane 0, so a run "
+        "needs at least one lane; use with_exec_threads(N) with N >= 1 "
+        "(1 = serial execution)");
   }
   if (audit_deps != VerifyMode::Off && !use_hli) {
     problems.emplace_back(
@@ -302,7 +315,8 @@ CompiledProgram compile_source(std::string_view source,
   // per-pass fallback oracle below.  It reads only the instruction
   // stream, never the HLI, so its facts are an independent opinion.
   const bool want_irdep = options.audit_deps != VerifyMode::Off ||
-                          options.irdep_fallback || options.analyze_loops;
+                          options.irdep_fallback || options.analyze_loops ||
+                          options.exec_threads > 1;
   std::optional<irdep::ProgramDepInfo> irdep_program;
   if (want_irdep) {
     const telemetry::Span span("irdep-summary", "phase");
@@ -338,6 +352,14 @@ CompiledProgram compile_source(std::string_view source,
             irdep::classify_function(*irdep_program, func, nullptr);
         out.loop_reports.insert(out.loop_reports.end(), reports.begin(),
                                 reports.end());
+      }
+      // No HLI also means no transforming pass ran: the stream is final,
+      // so the parallel planner can work from irdep facts alone.
+      if (options.exec_threads > 1) {
+        const telemetry::Span span("parallelize", "pass");
+        backend::parexec::PlanOptions popts;
+        popts.reports = options.analyze_loops ? &out.loop_reports : nullptr;
+        backend::parexec::parallelize_function(*irdep_program, func, popts);
       }
       continue;
     }
@@ -571,13 +593,29 @@ CompiledProgram compile_source(std::string_view source,
       c_fallback_queries.add(irdep_oracle->queries());
       c_fallback_pruned.add(irdep_oracle->pruned());
     }
+
+    // Parallel execution planning — after the LAST transforming pass, so
+    // plan positions index the stream the interpreter will actually run.
+    // The planner unions the (possibly maintained) HLI tables with fresh
+    // irdep facts; it mutates nothing but RtlFunction::parexec.
+    if (options.exec_threads > 1) {
+      const telemetry::Span span("parallelize", "pass");
+      const query::HliUnitView view(*entry);
+      backend::parexec::PlanOptions popts;
+      if (options.use_hli) popts.view = &view;
+      popts.reports = options.analyze_loops ? &out.loop_reports : nullptr;
+      backend::parexec::parallelize_function(*irdep_program, func, popts);
+    }
   }
+  out.exec_threads = options.exec_threads;
   return out;
 }
 
 backend::RunResult execute(const CompiledProgram& compiled,
                            const std::string& entry) {
-  return run_program(compiled.rtl, entry);
+  backend::InterpOptions interp;
+  interp.exec_threads = compiled.exec_threads;
+  return run_program(compiled.rtl, entry, nullptr, interp);
 }
 
 SimResult simulate(const CompiledProgram& compiled,

@@ -136,6 +136,14 @@ struct PipelineOptions {
   /// Off by default so Table 2 measures exactly the paper's first pass.
   bool enable_regalloc = false;
   backend::RegAllocOptions regalloc;
+  /// Execution lanes for execute(): with a value > 1 the planner
+  /// (backend/parexec) runs after the last transforming pass and
+  /// annotates provably-parallel loops, which the interpreter then
+  /// dispatches on a worker pool.  Purely an execution-time setting —
+  /// the instruction stream and all compile statistics are unchanged —
+  /// and the run's observable results (output hash, return value,
+  /// dynamic instruction count) are byte-identical to serial.
+  unsigned exec_threads = 1;
   /// Latencies used by the scheduler's priority function.
   machine::MachineDesc sched_machine = machine::r10000();
   builder::BuildOptions hli_build;
@@ -182,6 +190,8 @@ struct PipelineOptions {
   /// DOALL/DOACROSS loop classification into loop_reports.
   [[nodiscard]] PipelineOptions with_analyze_loops(bool on = true) const;
   [[nodiscard]] PipelineOptions with_regalloc(bool on) const;
+  /// Parallel loop execution with `n` lanes (>= 1; validate() rejects 0).
+  [[nodiscard]] PipelineOptions with_exec_threads(unsigned n) const;
   [[nodiscard]] PipelineOptions with_machine(
       const machine::MachineDesc& machine) const;
   /// Collect per-function + aggregate counters into the result.
@@ -255,6 +265,10 @@ struct CompiledProgram {
   /// DOALL/DOACROSS/Serial classification of every loop (analyze_loops),
   /// in lowering order; render with irdep::render_loop_table/_json.
   std::vector<irdep::LoopReport> loop_reports;
+  /// Carried over from PipelineOptions so execute() runs the program the
+  /// way it was planned (simulate() always runs serial: the timing
+  /// models consume the one canonical instruction stream).
+  unsigned exec_threads = 1;
 };
 
 /// Compiles mini-C source through the full pipeline.  Throws

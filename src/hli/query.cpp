@@ -282,6 +282,25 @@ std::vector<LcddResult> HliUnitView::get_lcdd(RegionId loop, ItemId a,
   return out;
 }
 
+bool HliUnitView::class_iteration_disjoint(RegionId loop, ItemId cls) const {
+  check_fresh();
+  const std::uint32_t dl = dense_region(loop);
+  if (dl == kNone || rinfo_[dl].table->type != RegionType::Loop) return false;
+  if (!class_known(cls)) return false;
+  if ((cinfo_[cls].flags & kUnknownTarget) != 0) return false;
+  if (cinfo_[cls].region != loop) return false;
+  const format::RegionEntry& table = *rinfo_[dl].table;
+  for (const format::EquivClass& c : table.classes) {
+    if (c.id != cls) continue;
+    if (c.loop_invariant || c.unknown_target) return false;
+    for (const format::LcddEntry& dep : table.lcdds) {
+      if (dep.src == cls && dep.dst == cls) return false;
+    }
+    return true;
+  }
+  return false;
+}
+
 CallAcc HliUnitView::get_call_acc(ItemId mem, ItemId call) const {
   check_fresh();
   const RegionId call_region = region_of(call);

@@ -114,6 +114,18 @@ class HliUnitView {
   /// effects are unknown.
   [[nodiscard]] CallAcc get_call_acc(ItemId mem, ItemId call) const;
 
+  /// True when class `cls` of loop region `loop` provably covers disjoint
+  /// locations in distinct iterations: the class is variant (strided with
+  /// the IV), its targets are known, and the builder's section analysis
+  /// recorded NO carried dependence of the class on itself (the builder
+  /// emits a self LCDD entry for every written variant class whose
+  /// footprint may recur, so absence is a proof, not missing data).  A
+  /// same-class store/load pair in such a class carries no loop
+  /// dependence even though may_conflict() answers Definite for it
+  /// within an iteration.
+  [[nodiscard]] bool class_iteration_disjoint(RegionId loop,
+                                              ItemId cls) const;
+
   /// One past the largest item/class ID the dense arrays cover; every ID
   /// at or beyond this answers Maybe.  Batch consumers (and the audit)
   /// use it to size their own per-item tables.

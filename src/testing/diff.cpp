@@ -440,6 +440,22 @@ std::vector<DiffConfig> default_matrix() {
     cfg.analyze_leg = true;
     matrix.push_back(std::move(cfg));
   }
+  {  // Parallel execution from HLI-unioned plans: the threaded replay
+     // must be byte-identical to serial, dynamic_insns included.
+    DiffConfig cfg = make_config("hli-exec-threads", true);
+    enable_all(cfg.options);
+    cfg.options.exec_threads = 4;
+    cfg.exec_threads_leg = true;
+    matrix.push_back(std::move(cfg));
+  }
+  {  // Same contract with plans proven by the independent analyzer alone
+     // (no HLI): exercises the no-HLI planning path end to end.
+    DiffConfig cfg = make_config("nohli-exec-threads", false);
+    enable_all(cfg.options);
+    cfg.options.exec_threads = 4;
+    cfg.exec_threads_leg = true;
+    matrix.push_back(std::move(cfg));
+  }
   return matrix;
 }
 
@@ -514,6 +530,46 @@ DiffResult run_differential(const std::string& source,
         (void)backend::run_program(compiled.rtl, "main", &oracle, interp);
         for (const std::string& message : oracle.contradictions()) {
           result.divergences.push_back({cfg.name, message + "; "});
+        }
+      }
+      if (cfg.exec_threads_leg && defect == PlantedDefect::None) {
+        backend::InterpOptions serial;
+        serial.memory_bytes = 4u << 20;
+        serial.max_insns = max_insns;
+        backend::InterpOptions threaded = serial;
+        threaded.exec_threads = 4;
+        threaded.min_par_insns = 0;  // Dispatch even tiny generated loops.
+        const backend::RunResult s =
+            backend::run_program(compiled.rtl, "main", nullptr, serial);
+        const backend::RunResult t =
+            backend::run_program(compiled.rtl, "main", nullptr, threaded);
+        // Stricter than compare(): the parallel runtime replays the SAME
+        // RTL, so even dynamic_insns must match exactly.
+        std::ostringstream detail;
+        if (s.ok != t.ok || s.error != t.error) {
+          detail << "threaded trap: serial={ok=" << s.ok << " err='"
+                 << s.error << "'} threaded={ok=" << t.ok << " err='"
+                 << t.error << "'}; ";
+        }
+        if (s.return_value != t.return_value) {
+          detail << "threaded return_value: serial=" << s.return_value
+                 << " threaded=" << t.return_value << "; ";
+        }
+        if (s.output_hash != t.output_hash) {
+          detail << "threaded output_hash: serial=" << s.output_hash
+                 << " threaded=" << t.output_hash << "; ";
+        }
+        if (s.emit_count != t.emit_count) {
+          detail << "threaded emit_count: serial=" << s.emit_count
+                 << " threaded=" << t.emit_count << "; ";
+        }
+        if (s.dynamic_insns != t.dynamic_insns) {
+          detail << "threaded dynamic_insns: serial=" << s.dynamic_insns
+                 << " threaded=" << t.dynamic_insns << "; ";
+        }
+        std::string text = detail.str();
+        if (!text.empty()) {
+          result.divergences.push_back({cfg.name, std::move(text)});
         }
       }
       apply_defect(compiled.rtl, defect);

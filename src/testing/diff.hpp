@@ -55,6 +55,13 @@ struct DiffConfig {
   /// with the DOALL/DOACROSS claims in CompiledProgram::loop_reports
   /// (skipped when a defect is planted — corrupted RTL voids the claims).
   bool analyze_leg = false;
+  /// Re-run the compiled program on 4 execution lanes (min_par_insns=0 so
+  /// even tiny generated loops dispatch) and require the FULL RunResult —
+  /// trap behavior, return value, output hash, emit count, AND
+  /// dynamic_insns — to match the serial run: the parallel runtime's
+  /// determinism contract.  Skipped when a defect is planted — corrupting
+  /// RTL post-compile invalidates the plans' instruction indices.
+  bool exec_threads_leg = false;
 };
 
 /// What one configuration observably did.
@@ -91,7 +98,8 @@ struct DiffResult {
 /// The full matrix checked against the oracle: native passes without HLI,
 /// each pass toggled individually under HLI, all passes on, regalloc +
 /// second scheduling pass, binary encoding, both HliStore channels,
-/// an alternate scheduling machine model, and the parallel-driver leg.
+/// an alternate scheduling machine model, the parallel-driver leg, and
+/// two threaded-execution legs (HLI-unioned and irdep-only plans).
 /// Every HLI configuration runs with VerifyMode::Fatal.
 [[nodiscard]] std::vector<DiffConfig> default_matrix();
 

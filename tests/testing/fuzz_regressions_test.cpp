@@ -178,6 +178,26 @@ TEST(FuzzRegressionTest, AuditSeedsStayClean) {
   }
 }
 
+// Threaded-execution legs (hli-exec-threads / nohli-exec-threads): a
+// 400-iteration sweep at their introduction found no divergent seeds.
+// These loop-feature seeds are pinned because their planned loops
+// actually DISPATCH under the legs' min_par_insns=0 (each shows multiple
+// planned-loop invocations), so a determinism regression in the parallel
+// runtime — reduction reassociation, post-wait ordering, budget drift —
+// cannot vacuously pass by falling back to serial.
+TEST(FuzzRegressionTest, ThreadedExecutionSeedsStayClean) {
+  for (std::uint64_t seed :
+       {21ull, 31ull, 96ull, 142ull, 203ull, 300ull}) {
+    ht::GenOptions gen;
+    gen.seed = seed;
+    gen.features = ht::kLoops | ht::kArrays;
+    const ht::DiffResult r = ht::run_differential(
+        ht::generate_source(gen), ht::default_matrix());
+    ASSERT_FALSE(r.invalid_input) << "seed " << seed;
+    EXPECT_FALSE(r.diverged()) << "seed " << seed << "\n" << ht::describe(r);
+  }
+}
+
 // The reducer's chunk deletions routinely produce sources with statements
 // (or a stray `}`) at file scope.  parse_top_level's error recovery used
 // synchronize(), which stops at statement-boundary tokens WITHOUT

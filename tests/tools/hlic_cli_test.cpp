@@ -5,6 +5,8 @@
 // corrupt (but parseable) file is rejected by the invariant verifier.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -25,8 +27,17 @@ struct RunResult {
   std::string output;  ///< stdout + stderr, interleaved.
 };
 
+/// Tests run as separate processes under parallel ctest, so every capture
+/// file must be unique per process or concurrent tests clobber each
+/// other's output mid-read.
+std::string unique_temp(const char* tag) {
+  static int counter = 0;
+  return ::testing::TempDir() + "hlic_" + std::to_string(::getpid()) + "_" +
+         std::to_string(++counter) + "_" + tag;
+}
+
 RunResult run_hlic(const std::string& args) {
-  const std::string out_path = ::testing::TempDir() + "hlic_out.txt";
+  const std::string out_path = unique_temp("out.txt");
   const std::string command =
       std::string(HLIC_PATH) + " " + args + " > " + out_path + " 2>&1";
   const int status = std::system(command.c_str());
@@ -57,7 +68,7 @@ std::string write_temp_binary(const std::string& name,
 /// Like run_hlic but captures stdout alone — for --dump-hli output whose
 /// bytes must not be interleaved with diagnostics.
 RunResult run_hlic_stdout(const std::string& args) {
-  const std::string out_path = ::testing::TempDir() + "hlic_stdout.bin";
+  const std::string out_path = unique_temp("stdout.bin");
   const std::string command = std::string(HLIC_PATH) + " " + args + " > " +
                               out_path + " 2>/dev/null";
   const int status = std::system(command.c_str());
@@ -259,6 +270,42 @@ TEST(HlicCliTest, AnalyzeFlagRejectsBadValue) {
 TEST(HlicCliTest, IrdepFallbackCompilesWithoutHli) {
   const RunResult result = run_hlic("--no-hli --irdep-fallback wc");
   EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(HlicCliTest, ExecThreadsRejectsZero) {
+  const RunResult result = run_hlic("wc --run --exec-threads=0");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("--exec-threads expects a positive integer"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST(HlicCliTest, ExecThreadsRejectsNegative) {
+  const RunResult result = run_hlic("wc --run --exec-threads=-1");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("positive integer"), std::string::npos)
+      << result.output;
+}
+
+TEST(HlicCliTest, ExecThreadsRejectsNonNumeric) {
+  const RunResult result = run_hlic("wc --run --exec-threads=abc");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("positive integer"), std::string::npos)
+      << result.output;
+}
+
+TEST(HlicCliTest, ExecThreadsRunsAndReportsParexecSummary) {
+  const RunResult result = run_hlic("102.swim --run --exec-threads=4");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("parexec:"), std::string::npos)
+      << result.output;
+}
+
+TEST(HlicCliTest, StatsJsonCarriesLoopChannelUnderAnalyzeLoops) {
+  const RunResult result = run_hlic("--analyze=loops --stats=json wc");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("\"loops\":"), std::string::npos)
+      << result.output;
 }
 
 }  // namespace

@@ -183,16 +183,15 @@ int verify_hli_file(const std::string& path) {
 }
 
 int emit(const CliOptions& options, const driver::CompiledProgram& compiled) {
-  if (options.common.analyze_loops) {
+  if (options.common.analyze_loops &&
+      options.common.stats != tools::StatsFormat::Json) {
     // --analyze=loops: one fixed-width line per loop, each classified
     // under irdep facts alone and under irdep ∪ HLI.  With --stats=json
-    // the report is a JSON array instead (its own document, printed
-    // before the counter document).
-    const bool json = options.common.stats == tools::StatsFormat::Json;
-    const std::string report =
-        json ? irdep::render_loop_json(compiled.loop_reports)
-             : irdep::render_loop_table(compiled.loop_reports);
-    std::fputs(report.c_str(), stdout);
+    // the classification travels inside the stats document instead
+    // (one "loops" array per input) so machine consumers parse ONE
+    // JSON document per invocation.
+    std::fputs(irdep::render_loop_table(compiled.loop_reports).c_str(),
+               stdout);
   }
   if (options.dump_hli) {
     // fwrite, not fputs: HLIB interchange bytes contain NULs.
@@ -241,6 +240,22 @@ int emit(const CliOptions& options, const driver::CompiledProgram& compiled) {
                 static_cast<unsigned long long>(result.emit_count));
     std::printf("dynamic insns: %llu\n",
                 static_cast<unsigned long long>(result.dynamic_insns));
+    if (compiled.exec_threads > 1) {
+      // Runtime-shape stats go to STDERR: stdout stays byte-identical to
+      // a serial run so `hlic --run` output can be diffed across thread
+      // counts (scripts/ci.sh stage_parexec does exactly that).
+      const backend::ParexecStats& p = result.parexec;
+      std::fprintf(stderr,
+                   "parexec: loops %llu invocations %llu chunks %llu "
+                   "iterations %llu waits %llu elided %llu fallbacks %llu\n",
+                   static_cast<unsigned long long>(p.loops_parallelized),
+                   static_cast<unsigned long long>(p.invocations),
+                   static_cast<unsigned long long>(p.chunks),
+                   static_cast<unsigned long long>(p.par_iterations),
+                   static_cast<unsigned long long>(p.sync_waits),
+                   static_cast<unsigned long long>(p.sync_elided),
+                   static_cast<unsigned long long>(p.serial_fallbacks));
+    }
   }
   if (!options.simulate.empty()) {
     machine::MachineDesc mach;

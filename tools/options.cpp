@@ -146,6 +146,24 @@ ParseStatus parse_common_flag(int argc, char** argv, int& i, const char* tool,
     out.irdep_fallback_set = true;
     return ParseStatus::Handled;
   }
+  if (arg == "--exec-threads" || arg.rfind("--exec-threads=", 0) == 0) {
+    std::string value;
+    if (!flag_value(argc, argv, i, "--exec-threads", value)) {
+      std::fprintf(stderr, "%s: --exec-threads requires a value\n", tool);
+      return ParseStatus::Error;
+    }
+    char* end = nullptr;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (value.empty() || end == value.c_str() || *end != '\0' || parsed < 1) {
+      std::fprintf(stderr,
+                   "%s: --exec-threads expects a positive integer, got '%s'\n",
+                   tool, value.c_str());
+      return ParseStatus::Error;
+    }
+    out.exec_threads = static_cast<unsigned>(parsed);
+    out.exec_threads_set = true;
+    return ParseStatus::Handled;
+  }
   if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
     std::string value;
     if (!flag_value(argc, argv, i, "--jobs", value)) {
@@ -171,7 +189,9 @@ const char* common_usage() {
          "  --analyze=loops            DOALL/DOACROSS/Serial loop "
          "classification report\n"
          "  --irdep-fallback           independent analyzer as a fallback "
-         "dependence oracle\n";
+         "dependence oracle\n"
+         "  --exec-threads[=]N         run planned parallel loops on N "
+         "execution lanes (default 1 = serial)\n";
 }
 
 driver::PipelineOptions apply(const CommonOptions& common,
@@ -189,6 +209,9 @@ driver::PipelineOptions apply(const CommonOptions& common,
   }
   if (common.irdep_fallback_set) {
     options = options.with_irdep_fallback(common.irdep_fallback);
+  }
+  if (common.exec_threads_set) {
+    options = options.with_exec_threads(common.exec_threads);
   }
   if (common.stats != StatsFormat::Off) options = options.with_counters();
   if (!common.trace_out.empty() && tracer != nullptr) {
@@ -240,6 +263,14 @@ std::string render_stats_json(
     out += i < names.size() ? names[i] : std::string();
     out += "\",\"counters\":";
     out += render_counters_json(programs[i].counters.total);
+    // --analyze=loops reports ride the same deterministic document so
+    // machine consumers get one channel for counters AND classification.
+    if (!programs[i].loop_reports.empty()) {
+      std::string loops = irdep::render_loop_json(programs[i].loop_reports);
+      while (!loops.empty() && loops.back() == '\n') loops.pop_back();
+      out += ",\"loops\":";
+      out += loops;
+    }
     out += ",\"functions\":[";
     const auto& per_function = programs[i].counters.per_function;
     for (std::size_t j = 0; j < per_function.size(); ++j) {

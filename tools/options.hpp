@@ -65,6 +65,10 @@ struct CommonOptions {
   /// CSE/LICM/scheduler dependence test.
   bool irdep_fallback = false;
   bool irdep_fallback_set = false;
+  /// --exec-threads=N: run planned DOALL/DOACROSS loops on N execution
+  /// lanes (1 = serial; results are byte-identical at any value).
+  unsigned exec_threads = 1;
+  bool exec_threads_set = false;
 
   /// True when --stats or --trace-out asked for telemetry collection.
   [[nodiscard]] bool wants_telemetry() const {
