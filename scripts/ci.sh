@@ -96,9 +96,14 @@ stage_tsan() {
   cmake -B build-tsan "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DSANITIZE=thread
   cmake --build build-tsan -j "$JOBS" \
-    --target driver_tests parexec_tests hlic
+    --target driver_tests parexec_tests service_tests hlic
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/driver/driver_tests \
     --gtest_filter='Parallel*:*Parallel*:*Parexec*'
+  # Compile service under TSan: cross-request HliStore sharing, the
+  # sharded cache under mixed traffic, and concurrent clients against
+  # one server.
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/service/service_tests \
+    --gtest_filter='StoreSharing*:*Concurrent*'
   # Parallel loop runtime under TSan: the pool/post-wait unit suite plus
   # a threaded end-to-end subset (DOALL-heavy grids + the DOACROSS
   # post-wait workload).
@@ -198,6 +203,66 @@ EOF
   done
 }
 
+stage_service() {
+  cmake -B build "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j "$JOBS" --target hlid hlic service_tests
+  # In-process harness first (sockets, caches, faults, store sharing).
+  ./build/tests/service/service_tests
+  # Black-box sweep against a real out-of-process server: every workload
+  # compiled cold AND warm through hlid must be byte-identical to a
+  # direct hlic compile, and the warm pass must be served by the caches.
+  local port_file=build/hlid.port
+  rm -f "$port_file"
+  ./build/tools/hlid --port=0 --port-file="$port_file" \
+    2> build/hlid.stderr &
+  local server_pid=$!
+  # shellcheck disable=SC2064
+  trap "kill $server_pid 2>/dev/null || true" EXIT
+  for _ in $(seq 1 100); do [[ -s "$port_file" ]] && break; sleep 0.1; done
+  [[ -s "$port_file" ]] || { echo "ci: hlid never wrote its port" >&2; exit 1; }
+  local port connect workloads w
+  port=$(cat "$port_file")
+  connect="--connect=127.0.0.1:$port"
+  ./build/tools/hlid --client "$connect" --ping
+  workloads=$(./build/tools/hlic --list-workloads | awk '{print $1}')
+  for w in $workloads; do
+    # RTL byte-identity against a direct in-process hlic compile.
+    ./build/tools/hlic --dump-rtl "$w" > "build/SVC_direct_$w.txt"
+    ./build/tools/hlid --client "$connect" --dump-rtl "$w" \
+      > "build/SVC_rtl_$w.txt"
+    cmp "build/SVC_direct_$w.txt" "build/SVC_rtl_$w.txt"
+    # Cold-vs-warm byte-identity on the full service surface (RTL +
+    # canonical stats text; --stats flips the options fingerprint, so
+    # the first of these two is itself a cold compile).
+    ./build/tools/hlid --client "$connect" --dump-rtl --stats "$w" \
+      > "build/SVC_cold_$w.txt"
+    ./build/tools/hlid --client "$connect" --dump-rtl --stats "$w" \
+      > "build/SVC_warm_$w.txt"
+    cmp "build/SVC_cold_$w.txt" "build/SVC_warm_$w.txt"
+  done
+  # The warm half of the sweep must have hit the caches.
+  ./build/tools/hlid --client "$connect" --server-stats \
+    | tee build/SVC_stats.txt
+  grep -Eq 'service\.cache_hits=[1-9]' build/SVC_stats.txt
+  ./build/tools/hlid --client "$connect" --shutdown
+  wait "$server_pid" || true
+  trap - EXIT
+  # Latency bench + the warm/cold ratio gate (in-process server).
+  ./build/tools/hlid --bench --bench-out=build/BENCH_service.json
+  if command -v python3 >/dev/null; then
+    python3 - <<'EOF'
+import json
+report = json.load(open('build/BENCH_service.json'))
+assert report['service_cache_hits'] > 0, 'warm sweep never hit the cache'
+assert report['warm_speedup'] >= 5.0, \
+    'warm/cold ratio %.1fx below the 5x gate' % report['warm_speedup']
+print('service gate: warm %.1fx faster than cold, p99 %dus, %d workloads'
+      % (report['warm_speedup'], report['warm_p99_us'],
+         len(report['per_workload'])))
+EOF
+  fi
+}
+
 stage_bench() {
   cmake -B build "${GENERATOR[@]}"
   cmake --build build -j "$JOBS" --target run_benches
@@ -212,5 +277,6 @@ want tsan  "${STAGES[@]}" && stage_tsan
 want tidy  "${STAGES[@]}" && stage_tidy
 want stats "${STAGES[@]}" && stage_stats
 want query_perf "${STAGES[@]}" && stage_query_perf
+want service "${STAGES[@]}" && stage_service
 want bench "${STAGES[@]}" && stage_bench
 echo "ci: all requested stages passed"

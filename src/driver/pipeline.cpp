@@ -1,5 +1,6 @@
 #include "driver/pipeline.hpp"
 
+#include <bit>
 #include <optional>
 
 #include "analysis/irdep/analyzer.hpp"
@@ -163,6 +164,12 @@ PipelineOptions PipelineOptions::with_tracer(telemetry::Tracer* tracer) const {
   return copy;
 }
 
+PipelineOptions PipelineOptions::with_unit_cache(UnitCache* cache) const {
+  PipelineOptions copy = *this;
+  copy.unit_cache = cache;
+  return copy;
+}
+
 std::vector<std::string> PipelineOptions::validate() const {
   std::vector<std::string> problems;
   if (hli_store != nullptr && !use_hli) {
@@ -197,6 +204,204 @@ std::vector<std::string> PipelineOptions::validate() const {
         "(with_audit_deps(VerifyMode::Off))");
   }
   return problems;
+}
+
+ProgramStats& ProgramStats::operator+=(const ProgramStats& other) {
+  sched += other.sched;
+  sched2 += other.sched2;
+  regalloc += other.regalloc;
+  cse += other.cse;
+  dce += other.dce;
+  constfold += other.constfold;
+  licm += other.licm;
+  unroll += other.unroll;
+  hli_bytes += other.hli_bytes;
+  source_lines += other.source_lines;
+  mapped_items += other.mapped_items;
+  map_perfect = map_perfect && other.map_perfect;
+  verify_checks += other.verify_checks;
+  verify_findings += other.verify_findings;
+  audit_checks += other.audit_checks;
+  audit_findings += other.audit_findings;
+  return *this;
+}
+
+std::uint64_t UnitCacheKey::hash() const {
+  std::uint64_t h = support::fnv1a64_mix(rtl_fp, support::kFnv64Basis);
+  h = support::fnv1a64_mix(hli_fp, h);
+  return support::fnv1a64_mix(options_fp, h);
+}
+
+std::size_t CachedUnit::approx_bytes() const {
+  std::size_t bytes = sizeof(CachedUnit);
+  bytes += rtl.name.size() + verify_log.size() + audit_log.size();
+  bytes += rtl.insns.capacity() * sizeof(backend::Insn);
+  for (const backend::Insn& insn : rtl.insns) {
+    bytes += insn.callee.size() + insn.args.capacity() * sizeof(backend::Reg);
+  }
+  bytes += rtl.parexec.capacity() * sizeof(backend::LoopPlan);
+  bytes += (rtl.param_regs.capacity() + rtl.param_is_float.capacity()) *
+           sizeof(backend::Reg);
+  bytes += hli.line_table.item_count() * sizeof(format::ItemEntry);
+  for (const format::RegionEntry& region : hli.regions) {
+    bytes += sizeof(format::RegionEntry);
+    bytes += region.classes.capacity() * sizeof(format::EquivClass);
+    for (const format::EquivClass& cls : region.classes) {
+      bytes += cls.display.size() + cls.base.size() +
+               (cls.member_items.capacity() + cls.member_subclasses.capacity()) *
+                   sizeof(format::ItemId);
+    }
+    bytes += region.aliases.capacity() * sizeof(format::AliasEntry);
+    bytes += region.lcdds.capacity() * sizeof(format::LcddEntry);
+    bytes += region.call_effects.capacity() * sizeof(format::CallEffectEntry);
+  }
+  for (const irdep::LoopReport& report : loop_reports) {
+    bytes += sizeof(irdep::LoopReport) + report.function.size() +
+             report.irdep_reason.size() + report.combined_reason.size() +
+             report.plan_reason.size();
+  }
+  return bytes;
+}
+
+namespace {
+
+using support::fnv1a64;
+using support::fnv1a64_mix;
+
+// -- Content fingerprints for the unit cache --------------------------------
+//
+// Field-by-field hashing of the LOWERED instruction stream — NOT
+// to_string(), whose rendering may elide pass-relevant fields (line
+// numbers, HLI stamps, loop notes).  Every field that any downstream
+// pass, verifier, classifier or planner reads must land in the hash;
+// when the IR grows a field, add it here and bump kUnitCacheSalt.
+
+inline constexpr std::uint64_t kUnitCacheSalt = 0x484c4944'00000001ULL;  // "HLID" v1
+
+std::uint64_t mix_bool(bool value, std::uint64_t h) {
+  return fnv1a64_mix(value ? 1 : 0, h);
+}
+
+std::uint64_t mix_str(const std::string& s, std::uint64_t h) {
+  // Length prefix keeps ("ab","c") distinct from ("a","bc").
+  return fnv1a64(s, fnv1a64_mix(s.size(), h));
+}
+
+std::uint64_t fingerprint_insn(const Insn& insn, std::uint64_t h) {
+  h = fnv1a64_mix(static_cast<std::uint64_t>(insn.op), h);
+  h = mix_bool(insn.is_float, h);
+  h = fnv1a64_mix(static_cast<std::uint32_t>(insn.rd), h);
+  h = fnv1a64_mix(static_cast<std::uint32_t>(insn.rs1), h);
+  h = fnv1a64_mix(static_cast<std::uint32_t>(insn.rs2), h);
+  h = fnv1a64_mix(static_cast<std::uint64_t>(insn.imm), h);
+  h = fnv1a64_mix(std::bit_cast<std::uint64_t>(insn.fimm), h);
+  h = fnv1a64_mix(static_cast<std::uint32_t>(insn.label), h);
+  h = fnv1a64_mix(insn.line, h);
+  h = fnv1a64_mix(static_cast<std::uint64_t>(insn.mem.base), h);
+  h = fnv1a64_mix(static_cast<std::uint32_t>(insn.mem.symbol), h);
+  h = fnv1a64_mix(static_cast<std::uint64_t>(insn.mem.frame_offset), h);
+  h = fnv1a64_mix(static_cast<std::uint64_t>(insn.mem.const_offset), h);
+  h = mix_bool(insn.mem.offset_known, h);
+  h = fnv1a64_mix(insn.mem.size, h);
+  h = fnv1a64_mix(insn.mem.hli_item, h);
+  h = mix_str(insn.callee, h);
+  h = fnv1a64_mix(insn.args.size(), h);
+  for (const Reg arg : insn.args) {
+    h = fnv1a64_mix(static_cast<std::uint32_t>(arg), h);
+  }
+  h = fnv1a64_mix(insn.hli_item, h);
+  h = fnv1a64_mix(insn.loop_region, h);
+  h = fnv1a64_mix(static_cast<std::uint32_t>(insn.induction), h);
+  h = fnv1a64_mix(static_cast<std::uint64_t>(insn.loop_step), h);
+  h = mix_bool(insn.trip_count.has_value(), h);
+  if (insn.trip_count) {
+    h = fnv1a64_mix(static_cast<std::uint64_t>(*insn.trip_count), h);
+  }
+  return h;
+}
+
+std::uint64_t fingerprint_function(const RtlFunction& func) {
+  std::uint64_t h = mix_str(func.name, kUnitCacheSalt);
+  h = fnv1a64_mix(static_cast<std::uint32_t>(func.num_regs), h);
+  h = fnv1a64_mix(func.frame_size, h);
+  h = fnv1a64_mix(func.param_regs.size(), h);
+  for (const Reg reg : func.param_regs) {
+    h = fnv1a64_mix(static_cast<std::uint32_t>(reg), h);
+  }
+  for (const bool is_float : func.param_is_float) h = mix_bool(is_float, h);
+  h = mix_bool(func.returns_float, h);
+  h = fnv1a64_mix(func.insns.size(), h);
+  for (const Insn& insn : func.insns) h = fingerprint_insn(insn, h);
+  return h;
+}
+
+std::uint64_t fingerprint_globals(const RtlProgram& rtl) {
+  std::uint64_t h = fnv1a64_mix(rtl.globals.size(), kUnitCacheSalt);
+  for (const GlobalVar& global : rtl.globals) {
+    h = mix_str(global.name, h);
+    h = fnv1a64_mix(global.size, h);
+    h = mix_bool(global.is_float_elem, h);
+    h = fnv1a64_mix(global.init_int.size(), h);
+    for (const std::int64_t v : global.init_int) {
+      h = fnv1a64_mix(static_cast<std::uint64_t>(v), h);
+    }
+    h = fnv1a64_mix(global.init_fp.size(), h);
+    for (const double v : global.init_fp) {
+      h = fnv1a64_mix(std::bit_cast<std::uint64_t>(v), h);
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t options_fingerprint(const PipelineOptions& options) {
+  std::uint64_t h = fnv1a64_mix(kUnitCacheSalt, support::kFnv64Basis);
+  h = mix_bool(options.use_hli, h);
+  h = fnv1a64_mix(static_cast<std::uint64_t>(options.verify_hli), h);
+  h = fnv1a64_mix(static_cast<std::uint64_t>(options.hli_encoding), h);
+  h = mix_bool(options.enable_cse, h);
+  h = mix_bool(options.batch_queries, h);  // Changes query counters.
+  h = mix_bool(options.enable_constfold, h);
+  h = mix_bool(options.enable_dce, h);
+  h = mix_bool(options.enable_licm, h);
+  h = mix_bool(options.enable_unroll, h);
+  h = fnv1a64_mix(options.unroll_factor, h);
+  h = mix_bool(options.enable_sched, h);
+  h = fnv1a64_mix(static_cast<std::uint64_t>(options.audit_deps), h);
+  h = mix_bool(options.irdep_fallback, h);
+  h = mix_bool(options.analyze_loops, h);
+  h = mix_bool(options.enable_regalloc, h);
+  h = fnv1a64_mix(options.regalloc.int_regs, h);
+  h = fnv1a64_mix(options.regalloc.fp_regs, h);
+  // Only plans-on/off matters: plan CONTENT is proven from the stream,
+  // not from the lane count, so exec_threads 2 and 8 share entries.
+  h = mix_bool(options.exec_threads > 1, h);
+  const machine::MachineDesc& m = options.sched_machine;
+  h = mix_str(m.name, h);
+  h = mix_bool(m.out_of_order, h);
+  h = fnv1a64_mix(m.issue_width, h);
+  h = fnv1a64_mix(m.rob_size, h);
+  h = fnv1a64_mix(m.lsq_size, h);
+  h = fnv1a64_mix(m.branch_penalty, h);
+  h = fnv1a64_mix(m.call_overhead, h);
+  h = fnv1a64_mix(m.cache_line_bytes, h);
+  h = fnv1a64_mix(m.cache_lines, h);
+  h = fnv1a64_mix(m.lat_miss, h);
+  h = fnv1a64_mix(m.lat_alu, h);
+  h = fnv1a64_mix(m.lat_imul, h);
+  h = fnv1a64_mix(m.lat_idiv, h);
+  h = fnv1a64_mix(m.lat_load, h);
+  h = fnv1a64_mix(m.lat_store, h);
+  h = fnv1a64_mix(m.lat_fadd, h);
+  h = fnv1a64_mix(m.lat_fmul, h);
+  h = fnv1a64_mix(m.lat_fdiv, h);
+  h = mix_bool(options.hli_build.merge_equal_range_classes, h);
+  // Counters-on and counters-off compiles must never alias: a hit replays
+  // the cached per-unit CounterSet, which is empty when recorded with
+  // counters off.
+  h = mix_bool(options.telemetry.counters, h);
+  return h;
 }
 
 namespace {
@@ -323,13 +528,42 @@ CompiledProgram compile_source(std::string_view source,
     irdep_program.emplace(out.rtl);
   }
 
+  // Content-addressed unit cache: all fingerprints are taken over the
+  // LOWERED program, before the per-function loop mutates anything.  The
+  // environment fingerprint folds the global layout always, plus every
+  // lowered function body when irdep is consulted — its interprocedural
+  // REF/MOD summaries make one unit's result depend on callee bodies, so
+  // any edit anywhere must miss.  Without irdep a unit's result depends
+  // only on its own stream + its HLI entry (which content-captures callee
+  // effects), so sibling edits keep hitting.
+  UnitCache* const unit_cache = options.unit_cache;
+  std::vector<std::uint64_t> lowered_fps;
+  std::uint64_t env_fp = 0;
+  std::uint64_t options_fp = 0;
+  if (unit_cache != nullptr) {
+    const telemetry::Span span("unit-cache-fingerprint", "phase");
+    options_fp = options_fingerprint(options);
+    lowered_fps.reserve(out.rtl.functions.size());
+    for (const RtlFunction& func : out.rtl.functions) {
+      lowered_fps.push_back(fingerprint_function(func));
+    }
+    env_fp = fingerprint_globals(out.rtl);
+    if (want_irdep) {
+      for (const std::uint64_t fp : lowered_fps) {
+        env_fp = support::fnv1a64_mix(fp, env_fp);
+      }
+    }
+  }
+
   out.hli.entries.reserve(out.rtl.functions.size());
   if (options.telemetry.counters) {
     // Reserved up front: each iteration's recorder holds a pointer into
     // this vector across the passes it scopes.
     out.counters.per_function.reserve(out.rtl.functions.size());
   }
-  for (RtlFunction& func : out.rtl.functions) {
+  for (std::size_t func_index = 0; func_index < out.rtl.functions.size();
+       ++func_index) {
+    RtlFunction& func = out.rtl.functions[func_index];
     const telemetry::Span function_span(func.name, "function");
     // Per-function counter attribution; merges into the program total
     // (and any ambient sink beyond it) when the scope closes.
@@ -338,6 +572,46 @@ CompiledProgram compile_source(std::string_view source,
       out.counters.per_function.emplace_back(func.name,
                                              telemetry::CounterSet{});
       function_recorder.emplace(&out.counters.per_function.back().second);
+    }
+
+    // Unit-cache lookup.  A hit replaces this entire iteration: the
+    // cached RTL/HLI/stats/reports are spliced in and the cold run's
+    // per-unit counters replayed, so outputs are byte-identical to
+    // recompiling while mapping, every pass, verification and planning
+    // are all skipped.  Only HLI-carrying units participate —
+    // unit_checksum is the key's HLI leg, and the no-HLI path below is
+    // already pass-free.  NOTE: the replayed counters already include
+    // pipeline.functions_compiled, hence the add(1) after the check.
+    std::optional<UnitCacheKey> cache_key;
+    if (unit_cache != nullptr) {
+      if (const std::optional<std::uint64_t> hli_fp =
+              store->unit_checksum(func.name)) {
+        cache_key.emplace();
+        cache_key->rtl_fp = support::fnv1a64_mix(env_fp,
+                                                 lowered_fps[func_index]);
+        cache_key->hli_fp = *hli_fp;
+        cache_key->options_fp = options_fp;
+        if (const std::shared_ptr<const CachedUnit> hit =
+                unit_cache->lookup(*cache_key)) {
+          func = hit->rtl;
+          out.hli.entries.push_back(hit->hli);
+          out.stats += hit->stats;
+          out.verify_log += hit->verify_log;
+          out.audit_log += hit->audit_log;
+          out.loop_reports.insert(out.loop_reports.end(),
+                                  hit->loop_reports.begin(),
+                                  hit->loop_reports.end());
+          // With counters on this lands in the per-function set installed
+          // above and merges up to the program total; with counters off
+          // the cached set is empty by keying (telemetry.counters is in
+          // options_fp), so ambient sinks observe ZERO pass work for the
+          // unit — the property the service's warm-path tests assert.
+          if (telemetry::CounterSet* sink = telemetry::current_counters()) {
+            *sink += hit->counters;
+          }
+          continue;
+        }
+      }
     }
     c_functions_compiled.add(1);
 
@@ -363,12 +637,20 @@ CompiledProgram compile_source(std::string_view source,
       }
       continue;
     }
+    // Everything below accumulates into unit-scoped state (stats, log and
+    // report slices) so a successful cold iteration can be published to
+    // the unit cache verbatim at the bottom of the loop.
+    ProgramStats unit_stats;
+    const std::size_t loop_reports_base = out.loop_reports.size();
+    const std::size_t verify_log_base = out.verify_log.size();
+    const std::size_t audit_log_base = out.audit_log.size();
+
     out.hli.entries.push_back(*imported);
     format::HliEntry* entry = &out.hli.entries.back();
     const MapResult mapping = map_items(func, *entry);
     mapping.record_telemetry();
-    out.stats.mapped_items += mapping.mapped;
-    if (!mapping.perfect()) out.stats.map_perfect = false;
+    unit_stats.mapped_items += mapping.mapped;
+    if (!mapping.perfect()) unit_stats.map_perfect = false;
 
     // Invariant verification at every pass boundary (VerifyMode): each
     // maintenance batch must hand the next pass a table set that still
@@ -382,10 +664,10 @@ CompiledProgram compile_source(std::string_view source,
           vopts.audit_on_findings = true;
           vopts.mapped_refs = refs;
           const verify::VerifyResult result = verify::verify_entry(*entry, vopts);
-          out.stats.verify_checks += result.checks_run;
+          unit_stats.verify_checks += result.checks_run;
           c_verify_checks.add(result.checks_run);
           if (result.ok()) return;
-          out.stats.verify_findings += result.findings.size();
+          unit_stats.verify_findings += result.findings.size();
           c_verify_findings.add(result.findings.size());
           const std::string report = "HLI verifier: unit '" + func.name +
                                      "' dirty after " + boundary + ":\n" +
@@ -406,9 +688,9 @@ CompiledProgram compile_source(std::string_view source,
       irdep::FunctionDepInfo fdi(*irdep_program, func);
       const query::HliUnitView view(*entry);
       const irdep::AuditResult result = irdep::audit_function(fdi, view);
-      out.stats.audit_checks += result.checks;
+      unit_stats.audit_checks += result.checks;
       if (result.ok()) return;
-      out.stats.audit_findings += result.findings.size();
+      unit_stats.audit_findings += result.findings.size();
       std::string report = "irdep audit: unit '" + func.name +
                            "' unsound after " + std::string(boundary) + ":\n";
       for (const verify::Finding& finding : result.findings) {
@@ -466,7 +748,7 @@ CompiledProgram compile_source(std::string_view source,
       if (irdep_oracle) cse.fallback = &*irdep_oracle;
       const CseStats cse_stats = cse_function(func, cse);
       cse_stats.record_telemetry();
-      out.stats.cse += cse_stats;
+      unit_stats.cse += cse_stats;
       for (const format::ItemId item : deleted) {
         maintain::delete_item(*entry, item);
       }
@@ -479,7 +761,7 @@ CompiledProgram compile_source(std::string_view source,
       const telemetry::Span span("constfold", "pass");
       const ConstFoldStats constfold_stats = constfold_function(func);
       constfold_stats.record_telemetry();
-      out.stats.constfold += constfold_stats;
+      unit_stats.constfold += constfold_stats;
     }
 
     // Flow-style dead code elimination: sweep the Moves CSE left behind.
@@ -491,7 +773,7 @@ CompiledProgram compile_source(std::string_view source,
       };
       const DceStats dce_stats = dce_function(func, dce);
       dce_stats.record_telemetry();
-      out.stats.dce += dce_stats;
+      unit_stats.dce += dce_stats;
       verify_boundary("DCE maintenance");
       audit_boundary("DCE maintenance");
     }
@@ -513,7 +795,7 @@ CompiledProgram compile_source(std::string_view source,
       if (irdep_oracle) licm.fallback = &*irdep_oracle;
       const LicmStats licm_stats = licm_function(func, licm);
       licm_stats.record_telemetry();
-      out.stats.licm += licm_stats;
+      unit_stats.licm += licm_stats;
       for (const auto& [item, target] : hoisted) {
         maintain::move_item_to_region(*entry, item, target);
       }
@@ -529,7 +811,7 @@ CompiledProgram compile_source(std::string_view source,
       unroll.entry = entry;
       const UnrollStats unroll_stats = unroll_function(func, unroll);
       unroll_stats.record_telemetry();
-      out.stats.unroll += unroll_stats;
+      unit_stats.unroll += unroll_stats;
       verify_boundary("unroll maintenance");
       audit_boundary("unroll maintenance");
     }
@@ -555,7 +837,7 @@ CompiledProgram compile_source(std::string_view source,
       }
       const DepStats sched_stats = schedule_function(func, sched);
       sched_stats.record_telemetry(options.use_hli);
-      out.stats.sched += sched_stats;
+      unit_stats.sched += sched_stats;
       verify_boundary("scheduling");
       audit_boundary("scheduling");
     }
@@ -566,7 +848,7 @@ CompiledProgram compile_source(std::string_view source,
       const telemetry::Span span("regalloc", "pass");
       const RegAllocStats ra_stats = allocate_registers(func, options.regalloc);
       ra_stats.record_telemetry();
-      out.stats.regalloc += ra_stats;
+      unit_stats.regalloc += ra_stats;
       if (options.enable_sched) {
         const telemetry::Span sched2_span("sched2", "pass");
         const query::HliUnitView view(*entry);
@@ -583,7 +865,7 @@ CompiledProgram compile_source(std::string_view source,
         }
         const DepStats sched2_stats = schedule_function(func, sched);
         sched2_stats.record_telemetry(options.use_hli);
-        out.stats.sched2 += sched2_stats;
+        unit_stats.sched2 += sched2_stats;
       }
       verify_boundary("regalloc/post-RA scheduling");
       audit_boundary("regalloc/post-RA scheduling");
@@ -605,6 +887,28 @@ CompiledProgram compile_source(std::string_view source,
       if (options.use_hli) popts.view = &view;
       popts.reports = options.analyze_loops ? &out.loop_reports : nullptr;
       backend::parexec::parallelize_function(*irdep_program, func, popts);
+    }
+
+    out.stats += unit_stats;
+    // Publish the finished unit.  Only reached on success — a Fatal
+    // verify/audit throw above unwinds past this, so a dirty unit is
+    // never cached.  The per-function CounterSet is complete here (every
+    // increment of this iteration already landed in it); it is captured
+    // before the recorder's scope-exit merge, which only propagates
+    // upward and never mutates the per-function set itself.
+    if (cache_key) {
+      CachedUnit cached;
+      cached.rtl = func;
+      cached.hli = *entry;
+      cached.stats = unit_stats;
+      if (options.telemetry.counters) {
+        cached.counters = out.counters.per_function.back().second;
+      }
+      cached.loop_reports.assign(out.loop_reports.begin() + loop_reports_base,
+                                 out.loop_reports.end());
+      cached.verify_log = out.verify_log.substr(verify_log_base);
+      cached.audit_log = out.audit_log.substr(audit_log_base);
+      unit_cache->insert(*cache_key, std::move(cached));
     }
   }
   out.exec_threads = options.exec_threads;

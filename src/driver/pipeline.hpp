@@ -76,6 +76,32 @@ struct TelemetryOptions {
   }
 };
 
+struct CachedUnit;
+struct UnitCacheKey;
+
+/// Content-addressed cache of fully-optimized units, consulted by
+/// `compile_source` per function (the compile service's hot path —
+/// src/service/cache.hpp is the production implementation).  A hit
+/// splices the cached RTL/HLI/stats in and SKIPS mapping, every backend
+/// pass, verification and planning for that unit; the contract is that a
+/// hit is byte-identical to recompiling.  Implementations must be
+/// thread-safe: compile_many workers share one cache.
+class UnitCache {
+ public:
+  virtual ~UnitCache() = default;
+
+  /// The cached unit for `key`, or nullptr on miss.  The returned value
+  /// is immutable and must stay valid until the caller drops the
+  /// shared_ptr (an LRU implementation may evict concurrently).
+  [[nodiscard]] virtual std::shared_ptr<const CachedUnit> lookup(
+      const UnitCacheKey& key) = 0;
+
+  /// Publishes a freshly compiled unit.  Racing inserts for one key are
+  /// benign: compilation is deterministic, so every candidate value is
+  /// identical.
+  virtual void insert(const UnitCacheKey& key, CachedUnit value) = 0;
+};
+
 /// Pipeline configuration.  Construct from a named preset and refine with
 /// the fluent `with_*` layer:
 ///
@@ -148,6 +174,13 @@ struct PipelineOptions {
   machine::MachineDesc sched_machine = machine::r10000();
   builder::BuildOptions hli_build;
   TelemetryOptions telemetry;
+  /// Content-addressed compiled-unit cache (not owned; may be shared
+  /// across compilations and compile_many workers).  Keys are
+  /// (lowered-RTL fingerprint, HLI per-unit checksum, options
+  /// fingerprint) — see UnitCacheKey — so an unchanged unit is never
+  /// recompiled, and a changed unit or option set can never alias a
+  /// stale result.  nullptr (the default) disables caching.
+  UnitCache* unit_cache = nullptr;
 
   // -- Named presets ------------------------------------------------------
 
@@ -197,6 +230,8 @@ struct PipelineOptions {
   /// Collect per-function + aggregate counters into the result.
   [[nodiscard]] PipelineOptions with_counters(bool on = true) const;
   [[nodiscard]] PipelineOptions with_tracer(telemetry::Tracer* tracer) const;
+  /// Content-addressed unit cache (nullptr disables).
+  [[nodiscard]] PipelineOptions with_unit_cache(UnitCache* cache) const;
 
   /// Coherence check: every returned string is one actionable diagnostic
   /// (empty vector = valid).  compile_source/compile_many run this and
@@ -221,7 +256,58 @@ struct ProgramStats {
   std::size_t verify_findings = 0;  ///< Violations found across boundaries.
   std::size_t audit_checks = 0;     ///< irdep pair comparisons (--audit-deps).
   std::size_t audit_findings = 0;   ///< HLI independence claims refuted.
+
+  /// Merges another stats record in (used per-unit: compile_source
+  /// accumulates each function's deltas separately so a unit-cache hit
+  /// can replay them exactly).
+  ProgramStats& operator+=(const ProgramStats& other);
 };
+
+/// Identity of one compiled unit in the content-addressed cache.  All
+/// three parts are load-bearing:
+///   * `rtl_fp` — the unit's LOWERED (pre-optimization) instruction
+///     stream, every field of every insn, plus the program's global
+///     layout; when irdep is consulted (audit/fallback/analyze/parexec)
+///     the whole lowered program is folded in, because interprocedural
+///     summaries make the result depend on callee bodies.
+///   * `hli_fp` — the HLIB per-unit checksum (or the text entry's
+///     fingerprint): the serialized HLI channel's identity, which also
+///     covers call-effect facts the builder derived from callees.
+///   * `options_fp` — every compilation option that can change the
+///     emitted RTL, statistics or telemetry (options_fingerprint).
+struct UnitCacheKey {
+  std::uint64_t rtl_fp = 0;
+  std::uint64_t hli_fp = 0;
+  std::uint64_t options_fp = 0;
+
+  [[nodiscard]] bool operator==(const UnitCacheKey&) const = default;
+  /// Stable mixdown for bucketing/sharding.
+  [[nodiscard]] std::uint64_t hash() const;
+};
+
+/// Everything a unit-cache hit must replay to make the warm compile
+/// byte-identical to a cold one: the optimized instruction stream
+/// (parexec plans included), the maintained HLI entry, the per-unit
+/// statistics/counters/loop reports, and any warn-mode logs.
+struct CachedUnit {
+  backend::RtlFunction rtl;
+  format::HliEntry hli;
+  ProgramStats stats;
+  telemetry::CounterSet counters;  ///< Empty unless counters were on.
+  std::vector<irdep::LoopReport> loop_reports;
+  std::string verify_log;
+  std::string audit_log;
+
+  /// Rough in-memory footprint, for byte-bounded LRU policies.
+  [[nodiscard]] std::size_t approx_bytes() const;
+};
+
+/// Fingerprint of every PipelineOptions field that can alter a unit's
+/// compiled RTL, stats, counters or reports.  Deliberately EXCLUDES the
+/// tracer (timing only), the store pointer (content enters via
+/// UnitCacheKey::hli_fp), exec_threads beyond plans-on/off, and the
+/// cache pointer itself.
+[[nodiscard]] std::uint64_t options_fingerprint(const PipelineOptions& options);
 
 /// Typed telemetry counters for one compilation, collected when
 /// TelemetryOptions::counters is set.  `total` holds every counter the

@@ -1,5 +1,7 @@
 #include "hli/store.hpp"
 
+#include "support/string_utils.hpp"
+
 namespace hli {
 
 namespace {
@@ -23,6 +25,11 @@ HliStore::HliStore(support::MappedFile file) : file_(std::move(file)) {
 HliStore HliStore::open(const std::string& path) {
   // Prvalue return: guaranteed elision, so the deleted move never fires.
   return HliStore(support::MappedFile::open(path));
+}
+
+std::unique_ptr<HliStore> HliStore::open_unique(const std::string& path) {
+  return std::unique_ptr<HliStore>(
+      new HliStore(support::MappedFile::open(path)));
 }
 
 void HliStore::init(std::string_view bytes) {
@@ -84,6 +91,26 @@ const format::HliEntry* HliStore::get(const std::string& name) const {
   if (slot == nullptr) return nullptr;
   decode_slot(*slot);
   return &slot->entry;
+}
+
+std::optional<std::uint64_t> HliStore::unit_checksum(
+    const std::string& name) const {
+  const Slot* slot = find_slot(name);
+  if (slot == nullptr) return std::nullopt;
+  if (binary_) {
+    // Index-only identity: the container's FNV checksum over the payload
+    // plus its length, folded with the unit name so two same-bytes units
+    // under different names stay distinct.  No payload decode.
+    const serialize::HlibContainer::Unit& unit = container_.units[slot->index];
+    std::uint64_t fp = support::fnv1a64(slot->name);
+    fp = support::fnv1a64_mix(unit.checksum, fp);
+    fp = support::fnv1a64_mix(unit.length, fp);
+    return fp;
+  }
+  // Text stores are fully parsed at construction; hash the canonical
+  // re-serialization (round-trip stable, docs/FORMAT.md).
+  return support::fnv1a64(serialize::write_entry(slot->entry),
+                          support::fnv1a64(slot->name));
 }
 
 format::HliFile HliStore::import_all() const {

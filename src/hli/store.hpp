@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -45,6 +46,12 @@ class HliStore {
   /// fallback) and auto-detects the format.
   [[nodiscard]] static HliStore open(const std::string& path);
 
+  /// open() on the heap — for owners that must outlive a scope (the
+  /// compile service's cross-request store registry); the type itself
+  /// stays non-movable so Slot pointers remain stable.
+  [[nodiscard]] static std::unique_ptr<HliStore> open_unique(
+      const std::string& path);
+
   HliStore(HliStore&&) = delete;  // Slots hand out stable pointers.
   HliStore& operator=(HliStore&&) = delete;
 
@@ -59,6 +66,15 @@ class HliStore {
   /// store has no such unit.  Thread-safe; the pointer stays valid (and
   /// the entry unchanged) for the store's lifetime.
   [[nodiscard]] const format::HliEntry* get(const std::string& name) const;
+
+  /// Content fingerprint of `name`'s serialized HLI — the identity the
+  /// compile service's content-addressed cache keys units by.  For HLIB
+  /// containers this derives from the per-unit index (checksum + payload
+  /// length) WITHOUT decoding the payload, so a warm cache hit never
+  /// touches the unit's bytes; text stores (parsed eagerly anyway) hash
+  /// the re-serialized entry.  std::nullopt when the unit is absent.
+  [[nodiscard]] std::optional<std::uint64_t> unit_checksum(
+      const std::string& name) const;
 
   /// Materializes every unit into an HliFile, preserving on-disk order.
   [[nodiscard]] format::HliFile import_all() const;

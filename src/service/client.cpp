@@ -1,0 +1,245 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "support/string_utils.hpp"
+
+namespace hli::service {
+
+namespace {
+
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+void send_all(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, kSendFlags);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw ServiceError(ErrorCode::Internal,
+                         std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+Client Client::connect_tcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw ServiceError(ErrorCode::Internal,
+                       std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw ServiceError(ErrorCode::Internal, "bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    throw ServiceError(ErrorCode::Internal, "connect " + host + ":" +
+                                                std::to_string(port) + ": " +
+                                                error);
+  }
+  return Client(fd);
+}
+
+Client Client::connect_unix(const std::string& path) {
+  sockaddr_un addr = {};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw ServiceError(ErrorCode::Internal,
+                       "unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw ServiceError(ErrorCode::Internal,
+                       std::string("socket: ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    throw ServiceError(ErrorCode::Internal, "connect " + path + ": " + error);
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      decoder_(std::move(other.decoder_)),
+      next_request_id_(other.next_request_id_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    decoder_ = std::move(other.decoder_);
+    next_request_id_ = other.next_request_id_;
+  }
+  return *this;
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send_raw(std::string_view bytes) { send_all(fd_, bytes); }
+
+Frame Client::read_frame() {
+  Frame frame;
+  char buffer[64 * 1024];
+  while (!decoder_.next(frame)) {
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw ServiceError(ErrorCode::Internal,
+                         "connection closed by server");
+    }
+    decoder_.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+  }
+  return frame;
+}
+
+Frame Client::transact(FrameType type, std::string_view payload) {
+  send_all(fd_, encode_frame(type, payload));
+  Frame reply = read_frame();
+  if (reply.type == FrameType::Error) {
+    const std::vector<Tlv> fields = parse_fields(reply.payload);
+    ErrorCode code = ErrorCode::Internal;
+    std::string message = "server error";
+    if (const Tlv* c = find_field(fields, Field::ErrorCode)) {
+      code = static_cast<ErrorCode>(decode_u16(*c));
+    }
+    if (const Tlv* m = find_field(fields, Field::Message)) message = m->value;
+    throw ServiceError(code, message);
+  }
+  return reply;
+}
+
+CompileReply Client::compile(const std::vector<std::string>& sources,
+                             const driver::PipelineOptions& options,
+                             const std::string& store_path) {
+  return compile_raw(sources, encode_options(options), store_path);
+}
+
+CompileReply Client::compile_raw(const std::vector<std::string>& sources,
+                                 const std::string& options_text,
+                                 const std::string& store_path) {
+  std::string payload;
+  const std::uint64_t request_id = next_request_id_++;
+  append_u64_field(payload, Field::RequestId, request_id);
+  append_field(payload, Field::Options, options_text);
+  if (!store_path.empty()) {
+    append_field(payload, Field::StorePath, store_path);
+  }
+  for (const std::string& source : sources) {
+    append_field(payload, Field::Source, source);
+  }
+  const Frame reply = transact(FrameType::Request, payload);
+  if (reply.type != FrameType::Response) {
+    throw ServiceError(ErrorCode::BadFrame, "expected Response frame");
+  }
+  const std::vector<Tlv> fields = parse_fields(reply.payload);
+  CompileReply out;
+  if (const Tlv* id = find_field(fields, Field::RequestId)) {
+    out.request_id = decode_u64(*id);
+  }
+  if (out.request_id != request_id) {
+    throw ServiceError(ErrorCode::BadFrame,
+                       "response for a different request id");
+  }
+  for (const Tlv& field : fields) {
+    switch (field.id) {
+      case Field::RtlDump:
+        out.programs.emplace_back().rtl = field.value;
+        break;
+      case Field::StatsText:
+        if (out.programs.empty()) {
+          throw ServiceError(ErrorCode::BadFrame, "stats before rtl dump");
+        }
+        out.programs.back().stats = field.value;
+        break;
+      case Field::VerifyLog:
+        if (out.programs.empty()) {
+          throw ServiceError(ErrorCode::BadFrame, "log before rtl dump");
+        }
+        out.programs.back().verify_log = field.value;
+        break;
+      case Field::AuditLog:
+        if (out.programs.empty()) {
+          throw ServiceError(ErrorCode::BadFrame, "log before rtl dump");
+        }
+        out.programs.back().audit_log = field.value;
+        break;
+      default:
+        break;  // RequestId handled above; ignore unknown fields.
+    }
+  }
+  if (out.programs.size() != sources.size()) {
+    throw ServiceError(ErrorCode::BadFrame,
+                       "response program count mismatch");
+  }
+  return out;
+}
+
+std::string Client::server_counters() {
+  const Frame reply = transact(FrameType::Stats, "");
+  if (reply.type != FrameType::StatsReply) {
+    throw ServiceError(ErrorCode::BadFrame, "expected StatsReply frame");
+  }
+  const std::vector<Tlv> fields = parse_fields(reply.payload);
+  if (const Tlv* text = find_field(fields, Field::CountersText)) {
+    return text->value;
+  }
+  return "";
+}
+
+std::uint64_t Client::counter_value(const std::string& text,
+                                    std::string_view name) {
+  for (const std::string_view line : support::split(text, '\n')) {
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) continue;
+    if (line.substr(0, eq) != name) continue;
+    std::uint64_t value = 0;
+    if (support::parse_u64(line.substr(eq + 1), value)) return value;
+  }
+  return 0;
+}
+
+bool Client::ping() {
+  try {
+    return transact(FrameType::Ping, "").type == FrameType::Pong;
+  } catch (const ServiceError&) {
+    return false;
+  }
+}
+
+void Client::request_shutdown() {
+  send_all(fd_, encode_frame(FrameType::Shutdown, ""));
+}
+
+}  // namespace hli::service

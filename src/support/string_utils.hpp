@@ -2,11 +2,44 @@
 // table-printing benches.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace hli::support {
+
+// -- 64-bit FNV-1a content fingerprints --------------------------------------
+//
+// The compile service's content-addressed cache keys (unit RTL, HLI
+// checksums, options) all hash through these.  Not cryptographic — the
+// cache tolerates the astronomically unlikely collision by design (a wrong
+// hit would be caught by the differential harness, not by users).
+
+inline constexpr std::uint64_t kFnv64Basis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv64Prime = 0x00000100000001b3ULL;
+
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view bytes,
+                                              std::uint64_t seed = kFnv64Basis) {
+  std::uint64_t hash = seed;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnv64Prime;
+  }
+  return hash;
+}
+
+/// Folds one 64-bit value into a running fingerprint (byte-serialized so
+/// the result is platform-independent).
+[[nodiscard]] constexpr std::uint64_t fnv1a64_mix(std::uint64_t value,
+                                                  std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xffU;
+    hash *= kFnv64Prime;
+  }
+  return hash;
+}
 
 [[nodiscard]] std::string_view trim(std::string_view text);
 [[nodiscard]] std::vector<std::string_view> split(std::string_view text, char sep);

@@ -13,11 +13,32 @@
 #include "hli/builder.hpp"
 #include "hli/serialize.hpp"
 #include "hli/store.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "service/wire.hpp"
 #include "support/diagnostics.hpp"
 
 namespace hli::testing {
 
 namespace {
+
+/// One hlid server shared by every service-leg check in the process:
+/// ephemeral loopback port, real sockets, caches warm across fuzz
+/// iterations (which is the point — repeated compiles of reduced
+/// variants keep exercising hit paths).  Leaked deliberately: its
+/// worker threads must outlive every static destructor.
+service::Server& shared_service_server() {
+  static service::Server* server = [] {
+    service::ServerOptions options;
+    options.port = 0;  // Ephemeral.
+    options.workers = 2;
+    options.compile_jobs = 1;
+    auto* s = new service::Server(options);
+    s->start();
+    return s;
+  }();
+  return *server;
+}
 
 /// Serialized HLI for `source` in the requested encoding, built through
 /// the same front-end + builder the pipeline uses.  This is the
@@ -440,6 +461,14 @@ std::vector<DiffConfig> default_matrix() {
     cfg.analyze_leg = true;
     matrix.push_back(std::move(cfg));
   }
+  {  // Compile service: cold and warm compiles through a real hlid
+     // socket must render byte-identical RTL and stats to in-process
+     // compile_source — the wire codec and both cache tiers under fuzz.
+    DiffConfig cfg = make_config("hli-service", true);
+    enable_all(cfg.options);
+    cfg.service_leg = true;
+    matrix.push_back(std::move(cfg));
+  }
   {  // Parallel execution from HLI-unioned plans: the threaded replay
      // must be byte-identical to serial, dynamic_insns included.
     DiffConfig cfg = make_config("hli-exec-threads", true);
@@ -519,6 +548,40 @@ DiffResult run_differential(const std::string& source,
               {cfg.name,
                "RTL differs between batched and scalar HLI queries; "});
         }
+      }
+      if (cfg.service_leg) {
+        service::Client client = service::Client::connect_tcp(
+            "127.0.0.1", shared_service_server().tcp_port());
+        const std::string direct_rtl = service::render_rtl(compiled);
+        const std::string direct_stats =
+            service::render_program_stats(compiled);
+        for (const char* phase : {"cold", "warm"}) {
+          try {
+            const service::CompileReply reply =
+                client.compile({source}, options);
+            if (reply.programs.size() != 1) {
+              result.divergences.push_back(
+                  {cfg.name, std::string("service ") + phase +
+                                 " reply program count != 1; "});
+              continue;
+            }
+            if (reply.programs[0].rtl != direct_rtl) {
+              result.divergences.push_back(
+                  {cfg.name, std::string("service ") + phase +
+                                 " RTL differs from direct compile; "});
+            }
+            if (reply.programs[0].stats != direct_stats) {
+              result.divergences.push_back(
+                  {cfg.name, std::string("service ") + phase +
+                                 " stats differ from direct compile; "});
+            }
+          } catch (const service::ServiceError& e) {
+            result.divergences.push_back(
+                {cfg.name, std::string("service ") + phase +
+                               " error: " + e.what() + "; "});
+          }
+        }
+        client.close();
       }
       if (cfg.analyze_leg && defect == PlantedDefect::None) {
         // Replay under the dynamic loop-dependence oracle; every carried

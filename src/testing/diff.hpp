@@ -62,6 +62,13 @@ struct DiffConfig {
   /// determinism contract.  Skipped when a defect is planted — corrupting
   /// RTL post-compile invalidates the plans' instruction indices.
   bool exec_threads_leg = false;
+  /// Also compile through an in-process hlid server over a real socket,
+  /// twice — cold (populates the service caches) and warm (served from
+  /// them) — and require both replies' RTL dump and canonical stats text
+  /// to be byte-identical to the in-process compile.  This fuzzes the
+  /// wire codec and both cache tiers against the direct pipeline on
+  /// every generated program.
+  bool service_leg = false;
 };
 
 /// What one configuration observably did.

@@ -1,0 +1,41 @@
+// Unique temp paths for tests that touch the filesystem.
+//
+// gtest_discover_tests registers every TEST as its own ctest entry, so
+// under `ctest -j` many processes from the SAME test binary run
+// concurrently.  A fixed name like TempDir()+"valid.hli" is then a
+// shared mutable file: two processes race the write and one reads the
+// other's bytes mid-truncate.  Every path here folds in the pid and a
+// per-process counter, so no two test processes (or two calls) ever
+// collide.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+
+namespace hli::testutil {
+
+inline std::string unique_suffix() {
+  static std::atomic<int> counter{0};
+  return std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1) + 1);
+}
+
+/// TempDir-rooted path unique to this process and call: use for every
+/// file a test writes (inputs, capture files, sockets' port files).
+inline std::string unique_temp_path(const std::string& tag) {
+  return ::testing::TempDir() + "hli_" + unique_suffix() + "_" + tag;
+}
+
+/// AF_UNIX socket path: rooted at /tmp (not TempDir, which can be
+/// arbitrarily deep) and kept short — sockaddr_un::sun_path holds ~108
+/// bytes and bind() fails hard past it.
+inline std::string unique_socket_path(const std::string& tag) {
+  std::string path = "/tmp/hli_" + unique_suffix() + "_" + tag + ".sock";
+  return path;
+}
+
+}  // namespace hli::testutil

@@ -15,6 +15,7 @@
 #include "frontend/sema.hpp"
 #include "hli/builder.hpp"
 #include "hli/serialize.hpp"
+#include "tests/testutil/temp_path.hpp"
 
 namespace {
 
@@ -27,17 +28,10 @@ struct RunResult {
   std::string output;  ///< stdout + stderr, interleaved.
 };
 
-/// Tests run as separate processes under parallel ctest, so every capture
-/// file must be unique per process or concurrent tests clobber each
-/// other's output mid-read.
-std::string unique_temp(const char* tag) {
-  static int counter = 0;
-  return ::testing::TempDir() + "hlic_" + std::to_string(::getpid()) + "_" +
-         std::to_string(++counter) + "_" + tag;
-}
+using hli::testutil::unique_temp_path;
 
 RunResult run_hlic(const std::string& args) {
-  const std::string out_path = unique_temp("out.txt");
+  const std::string out_path = unique_temp_path("out.txt");
   const std::string command =
       std::string(HLIC_PATH) + " " + args + " > " + out_path + " 2>&1";
   const int status = std::system(command.c_str());
@@ -51,7 +45,7 @@ RunResult run_hlic(const std::string& args) {
 }
 
 std::string write_temp(const std::string& name, const std::string& content) {
-  const std::string path = ::testing::TempDir() + name;
+  const std::string path = unique_temp_path(name);
   std::ofstream out(path);
   out << content;
   return path;
@@ -59,7 +53,7 @@ std::string write_temp(const std::string& name, const std::string& content) {
 
 std::string write_temp_binary(const std::string& name,
                               const std::string& bytes) {
-  const std::string path = ::testing::TempDir() + name;
+  const std::string path = unique_temp_path(name);
   std::ofstream out(path, std::ios::binary);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   return path;
@@ -68,7 +62,7 @@ std::string write_temp_binary(const std::string& name,
 /// Like run_hlic but captures stdout alone — for --dump-hli output whose
 /// bytes must not be interleaved with diagnostics.
 RunResult run_hlic_stdout(const std::string& args) {
-  const std::string out_path = unique_temp("stdout.bin");
+  const std::string out_path = unique_temp_path("stdout.bin");
   const std::string command = std::string(HLIC_PATH) + " " + args + " > " +
                               out_path + " 2>/dev/null";
   const int status = std::system(command.c_str());

@@ -10,7 +10,11 @@
 #include <sstream>
 #include <string>
 
+#include "tests/testutil/temp_path.hpp"
+
 namespace {
+
+using hli::testutil::unique_temp_path;
 
 #ifndef HLIFUZZ_PATH
 #error "HLIFUZZ_PATH must point at the hlifuzz binary"
@@ -22,7 +26,7 @@ struct RunResult {
 };
 
 RunResult run_hlifuzz(const std::string& args) {
-  const std::string out_path = ::testing::TempDir() + "hlifuzz_out.txt";
+  const std::string out_path = unique_temp_path("hlifuzz_out.txt");
   const std::string command =
       std::string(HLIFUZZ_PATH) + " " + args + " > " + out_path + " 2>&1";
   const int status = std::system(command.c_str());
@@ -93,7 +97,7 @@ TEST(HlifuzzCliTest, PlantedBugCaughtEveryIterationExitsZero) {
 }
 
 TEST(HlifuzzCliTest, EmitReproWritesSourceReportAndMinimized) {
-  const std::string dir = ::testing::TempDir() + "hlifuzz_repro";
+  const std::string dir = unique_temp_path("hlifuzz_repro");
   std::filesystem::remove_all(dir);
   const RunResult result = run_hlifuzz(
       "--seed 1 --iterations 1 --features loops,arrays "
@@ -112,7 +116,7 @@ TEST(HlifuzzCliTest, EmitReproWritesSourceReportAndMinimized) {
 
 TEST(HlifuzzCliTest, ReduceModeShrinksDivergentInput) {
   // Build a divergent input under --plant-bug, then shrink it.
-  const std::string dir = ::testing::TempDir() + "hlifuzz_reduce";
+  const std::string dir = unique_temp_path("hlifuzz_reduce");
   std::filesystem::remove_all(dir);
   ASSERT_EQ(run_hlifuzz("--seed 1 --iterations 1 --features loops,arrays "
                         "--plant-bug drop-store --no-reduce --emit-repro " +
@@ -127,7 +131,7 @@ TEST(HlifuzzCliTest, ReduceModeShrinksDivergentInput) {
 }
 
 TEST(HlifuzzCliTest, ReduceModeRejectsNonDivergentInput) {
-  const std::string path = ::testing::TempDir() + "clean.c";
+  const std::string path = unique_temp_path("clean.c");
   std::ofstream(path) << "void emit(int v);\n"
                          "int main() { emit(3); return 0; }\n";
   const RunResult result = run_hlifuzz("--reduce " + path);
@@ -137,7 +141,7 @@ TEST(HlifuzzCliTest, ReduceModeRejectsNonDivergentInput) {
 }
 
 TEST(HlifuzzCliTest, JsonSummaryFollowsBenchConvention) {
-  const std::string path = ::testing::TempDir() + "fuzz.json";
+  const std::string path = unique_temp_path("fuzz.json");
   const RunResult result = run_hlifuzz(
       "--seed 5 --iterations 2 --quiet --json " + path);
   ASSERT_EQ(result.exit_code, 0) << result.output;
