@@ -7,10 +7,10 @@
 
 #include "backend/cse.hpp"
 #include "bench_json.hpp"
-#include "backend/lower.hpp"
+#include "frontend/lower.hpp"
 #include "backend/mapping.hpp"
 #include "frontend/sema.hpp"
-#include "hli/builder.hpp"
+#include "frontend/hligen.hpp"
 #include "hli/query.hpp"
 #include "workloads/workloads.hpp"
 
@@ -22,7 +22,7 @@ backend::CseStats run_cse(const char* source, bool use_hli) {
   support::DiagnosticEngine diags;
   frontend::Program prog = frontend::compile_to_ast(source, diags);
   format::HliFile hli = builder::build_hli(prog);
-  backend::RtlProgram rtl = backend::lower_program(prog);
+  backend::RtlProgram rtl = frontend::lower_program(prog);
   backend::CseStats total;
   for (backend::RtlFunction& func : rtl.functions) {
     const format::HliEntry* entry = hli.find_unit(func.name);

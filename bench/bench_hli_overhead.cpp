@@ -10,11 +10,11 @@
 // instrumented site is one TLS load + branch when no sink is installed).
 #include <benchmark/benchmark.h>
 
-#include "backend/lower.hpp"
+#include "frontend/lower.hpp"
 #include "backend/mapping.hpp"
 #include "driver/pipeline.hpp"
 #include "frontend/sema.hpp"
-#include "hli/builder.hpp"
+#include "frontend/hligen.hpp"
 #include "hli/query.hpp"
 #include "hli/serialize.hpp"
 #include "workloads/workloads.hpp"
@@ -78,7 +78,7 @@ BENCHMARK(BM_HliRead);
 void BM_ImportAndMap(benchmark::State& state) {
   frontend::Program prog = parse_swim();
   const std::string text = serialize::write_hli(builder::build_hli(prog));
-  const backend::RtlProgram rtl_template = backend::lower_program(prog);
+  const backend::RtlProgram rtl_template = frontend::lower_program(prog);
   for (auto _ : state) {
     format::HliFile file = serialize::read_hli(text);
     backend::RtlProgram rtl = rtl_template;

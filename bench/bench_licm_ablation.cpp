@@ -7,10 +7,10 @@
 
 #include "backend/licm.hpp"
 #include "bench_json.hpp"
-#include "backend/lower.hpp"
+#include "frontend/lower.hpp"
 #include "backend/mapping.hpp"
 #include "frontend/sema.hpp"
-#include "hli/builder.hpp"
+#include "frontend/hligen.hpp"
 #include "hli/query.hpp"
 #include "workloads/workloads.hpp"
 
@@ -22,7 +22,7 @@ backend::LicmStats run_licm(const char* source, bool use_hli) {
   support::DiagnosticEngine diags;
   frontend::Program prog = frontend::compile_to_ast(source, diags);
   format::HliFile hli = builder::build_hli(prog);
-  backend::RtlProgram rtl = backend::lower_program(prog);
+  backend::RtlProgram rtl = frontend::lower_program(prog);
   backend::LicmStats total;
   for (backend::RtlFunction& func : rtl.functions) {
     const format::HliEntry* entry = hli.find_unit(func.name);

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
     driver::PipelineOptions merged;
     merged.use_hli = true;
     driver::PipelineOptions split = merged;
-    split.hli_build.merge_equal_range_classes = false;
+    split.frontend_options.merge_equal_range_classes = false;
     const driver::CompiledProgram a =
         driver::compile_source(workload.source, merged);
     const driver::CompiledProgram b =

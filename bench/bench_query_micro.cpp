@@ -18,7 +18,7 @@
 #include "bench_json.hpp"
 #include "frontend/sema.hpp"
 #include "hli/batch_query.hpp"
-#include "hli/builder.hpp"
+#include "frontend/hligen.hpp"
 #include "hli/query.hpp"
 #include "hli/reference_query.hpp"
 #include "hli/serialize.hpp"

@@ -14,7 +14,7 @@
 
 #include "bench_json.hpp"
 #include "frontend/sema.hpp"
-#include "hli/builder.hpp"
+#include "frontend/hligen.hpp"
 #include "hli/serialize.hpp"
 #include "hli/store.hpp"
 #include "workloads/workloads.hpp"

@@ -7,12 +7,12 @@
 // `--json <path>` writes the machine-readable report.
 #include <cstdio>
 
-#include "backend/lower.hpp"
+#include "frontend/lower.hpp"
 #include "bench_json.hpp"
 #include "backend/mapping.hpp"
 #include "backend/swp.hpp"
 #include "frontend/sema.hpp"
-#include "hli/builder.hpp"
+#include "frontend/hligen.hpp"
 #include "machine/machine.hpp"
 #include "workloads/workloads.hpp"
 
@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
     support::DiagnosticEngine diags;
     frontend::Program prog = frontend::compile_to_ast(workload.source, diags);
     format::HliFile hli = builder::build_hli(prog);
-    backend::RtlProgram rtl = backend::lower_program(prog);
+    backend::RtlProgram rtl = frontend::lower_program(prog);
 
     std::uint64_t loops = 0;
     std::uint64_t native_sum = 0;

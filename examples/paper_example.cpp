@@ -5,7 +5,7 @@
 #include <cstdio>
 
 #include "frontend/sema.hpp"
-#include "hli/builder.hpp"
+#include "frontend/hligen.hpp"
 #include "hli/query.hpp"
 
 using namespace hli;

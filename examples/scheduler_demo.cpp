@@ -3,11 +3,11 @@
 // disambiguated stores is visible instruction by instruction.
 #include <cstdio>
 
-#include "backend/lower.hpp"
+#include "frontend/lower.hpp"
 #include "backend/mapping.hpp"
 #include "backend/sched.hpp"
 #include "frontend/sema.hpp"
-#include "hli/builder.hpp"
+#include "frontend/hligen.hpp"
 #include "hli/query.hpp"
 #include "machine/machine.hpp"
 
@@ -31,7 +31,7 @@ backend::RtlFunction compile_kernel(bool use_hli, backend::DepStats* stats) {
   support::DiagnosticEngine diags;
   frontend::Program prog = frontend::compile_to_ast(kSource, diags);
   format::HliFile hli = builder::build_hli(prog);
-  backend::RtlProgram rtl = backend::lower_program(prog);
+  backend::RtlProgram rtl = frontend::lower_program(prog);
   backend::RtlFunction& func = *rtl.find_function("kernel");
   const format::HliEntry& entry = *hli.find_unit("kernel");
   (void)backend::map_items(func, entry);

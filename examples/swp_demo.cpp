@@ -4,11 +4,11 @@
 // recurrence — with the native oracle vs. the HLI's LCDD distances.
 #include <cstdio>
 
-#include "backend/lower.hpp"
+#include "frontend/lower.hpp"
 #include "backend/mapping.hpp"
 #include "backend/swp.hpp"
 #include "frontend/sema.hpp"
-#include "hli/builder.hpp"
+#include "frontend/hligen.hpp"
 #include "hli/query.hpp"
 #include "machine/machine.hpp"
 
@@ -22,7 +22,7 @@ void analyze(const char* label, const char* body_src) {
   support::DiagnosticEngine diags;
   frontend::Program prog = frontend::compile_to_ast(src, diags);
   format::HliFile hli = builder::build_hli(prog);
-  backend::RtlProgram rtl = backend::lower_program(prog);
+  backend::RtlProgram rtl = frontend::lower_program(prog);
   backend::RtlFunction& func = *rtl.find_function("f");
   const format::HliEntry& entry = *hli.find_unit("f");
   (void)backend::map_items(func, entry);

@@ -7,12 +7,12 @@
 #include <cstdio>
 
 #include "backend/interp.hpp"
-#include "backend/lower.hpp"
+#include "frontend/lower.hpp"
 #include "backend/mapping.hpp"
 #include "backend/sched.hpp"
 #include "backend/unroll.hpp"
 #include "frontend/sema.hpp"
-#include "hli/builder.hpp"
+#include "frontend/hligen.hpp"
 #include "hli/query.hpp"
 
 using namespace hli;
@@ -60,7 +60,7 @@ int main() {
   support::DiagnosticEngine diags;
   frontend::Program prog = frontend::compile_to_ast(kSource, diags);
   format::HliFile hli = builder::build_hli(prog);
-  backend::RtlProgram rtl = backend::lower_program(prog);
+  backend::RtlProgram rtl = frontend::lower_program(prog);
   backend::RtlFunction& func = *rtl.find_function("main");
   format::HliEntry& entry = *hli.find_unit("main");
   (void)backend::map_items(func, entry);

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Include-boundary lint for the front-end / back-end thin waist
+# (docs/thin-waist.md).
+#
+# The rule: everything outside the front-end layer (src/frontend/ +
+# src/frontend_basic/) may include exactly three headers from it —
+#
+#   frontend/contract.hpp        the AnalyzedUnit thin waist
+#   frontend/testgen.hpp         seeded program generator (string-level)
+#   frontend_basic/testgen.hpp   its BASIC rendering (string-level)
+#
+# — and nothing else: no AST nodes, no sema, no printers, no analyses.
+# A new include of a front-end internal from the driver, back-end,
+# service or tools is a layering break and fails CI here, with the
+# offending file:line in the output.  tests/ are exempt: they whitebox
+# the front-ends on purpose.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+allowed='frontend/(contract|testgen)\.hpp|frontend_basic/testgen\.hpp'
+pattern='^[[:space:]]*#[[:space:]]*include[[:space:]]*"(frontend|frontend_basic)/'
+
+violations=$(
+  grep -rnE "$pattern" \
+      --include='*.hpp' --include='*.cpp' --include='*.h' --include='*.cc' \
+      src tools \
+    | grep -v '^src/frontend/' \
+    | grep -v '^src/frontend_basic/' \
+    | grep -vE "#[[:space:]]*include[[:space:]]*\"($allowed)\"" \
+    || true
+)
+
+if [[ -n "$violations" ]]; then
+  echo "layering: front-end internals included outside the layer" >&2
+  echo "(only frontend/contract.hpp and the testgen headers cross the" >&2
+  echo "thin waist; see docs/thin-waist.md)" >&2
+  echo "$violations" >&2
+  exit 1
+fi
+echo "layering: ok (only the contract and testgen headers cross the waist)"

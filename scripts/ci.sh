@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Local mirror of .github/workflows/ci.yml: tier-1 tests, the verifier
-# acceptance sweep, sanitizer runs, clang-tidy, the telemetry stats
-# gate, and the bench smoke.
+# Local mirror of .github/workflows/ci.yml: the layering lint, tier-1
+# tests, the verifier acceptance sweep, sanitizer runs, clang-tidy, the
+# telemetry stats gate, and the bench smoke.
 # Each stage can be skipped by name: `scripts/ci.sh tier1 asan` runs only
 # those; no arguments runs everything available on this machine.
 set -euo pipefail
@@ -25,16 +25,32 @@ stage_tier1() {
   cmake --build build -j "$JOBS"
   ctest --test-dir build -j "$JOBS" --output-on-failure
   # Every workload through every pass boundary with the verifier fatal.
-  ./build/tools/hlic --verify-hli=fatal --stats \
-    $(./build/tools/hlic --list-workloads | awk '{print $1}')
+  # hlic rejects mixed-language batches by design, so the C and BASIC
+  # workloads sweep as separate batches.
+  local c_workloads basic_workloads
+  c_workloads=$(./build/tools/hlic --list-workloads \
+    | awk '$2 != "BASIC" {print $1}')
+  basic_workloads=$(./build/tools/hlic --list-workloads \
+    | awk '$2 == "BASIC" {print $1}')
+  # shellcheck disable=SC2086
+  ./build/tools/hlic --verify-hli=fatal --stats $c_workloads
+  # shellcheck disable=SC2086
+  ./build/tools/hlic --verify-hli=fatal --stats $basic_workloads
   # Independent-analyzer acceptance: the irdep audit must refute no HLI
   # independence claim on any workload, and the loop classifier must
   # find real parallelism (at least one DOALL and one DOACROSS).
-  ./build/tools/hlic --audit-deps=fatal --stats \
-    $(./build/tools/hlic --list-workloads | awk '{print $1}')
+  # shellcheck disable=SC2086
+  ./build/tools/hlic --audit-deps=fatal --stats $c_workloads
+  # shellcheck disable=SC2086
+  ./build/tools/hlic --audit-deps=fatal --stats $basic_workloads
   ./build/tools/hlic --analyze=loops 102.swim | tee build/LOOPS_swim.txt
   grep -q DOALL build/LOOPS_swim.txt
   grep -q DOACROSS build/LOOPS_swim.txt
+  # The second front-end must reach the classifier with provable
+  # parallelism too: the BASIC stencil's sweep loops are DOALL.
+  ./build/tools/hlic --analyze=loops basic.stencil \
+    | tee build/LOOPS_basic.txt
+  grep -q DOALL build/LOOPS_basic.txt
   # Text-vs-HLIB differential round-trip suites + serialize bench smoke.
   ./build/tests/hli/hli_tests \
     --gtest_filter='Binary*:Store*:*WorkloadRoundTrip*'
@@ -57,6 +73,11 @@ stage_fuzz() {
     --no-reduce --quiet
   ./build/tools/hlifuzz --seed 1 --iterations 2 --plant-bug negate-branch \
     --no-reduce --quiet
+  # Second front-end: the same differential harness on generated BASIC
+  # sources, plus the planted-defect self-test through that path.
+  ./build/tools/hlifuzz --frontend=basic --seed 50001 --iterations 50 --quiet
+  ./build/tools/hlifuzz --frontend=basic --seed 1 --iterations 2 \
+    --plant-bug drop-store --no-reduce --quiet
 }
 
 stage_asan() {
@@ -112,12 +133,15 @@ stage_tsan() {
     TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tools/hlic "$w" --run \
       --exec-threads=4 > /dev/null
   done
-  # Full determinism suite under TSan: all 14 workloads compiled serially
-  # and with a worker pool must produce byte-identical JSON stats — any
-  # cross-thread interleaving that leaks into results shows up as a cmp
-  # failure, any data race as a TSan report.
+  # Full determinism suite under TSan: all 14 C workloads compiled
+  # serially and with a worker pool must produce byte-identical JSON
+  # stats — any cross-thread interleaving that leaks into results shows
+  # up as a cmp failure, any data race as a TSan report.  The BASIC
+  # workloads run as their own batch (mixed-language batches are
+  # rejected by design).
   local workloads
-  workloads=$(./build-tsan/tools/hlic --list-workloads | awk '{print $1}')
+  workloads=$(./build-tsan/tools/hlic --list-workloads \
+    | awk '$2 != "BASIC" {print $1}')
   # shellcheck disable=SC2086
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tools/hlic --stats=json \
     --jobs 1 $workloads > build-tsan/STATS_serial.json
@@ -125,6 +149,15 @@ stage_tsan() {
   TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tools/hlic --stats=json \
     --jobs "$JOBS" $workloads > build-tsan/STATS_parallel.json
   cmp build-tsan/STATS_serial.json build-tsan/STATS_parallel.json
+  workloads=$(./build-tsan/tools/hlic --list-workloads \
+    | awk '$2 == "BASIC" {print $1}')
+  # shellcheck disable=SC2086
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tools/hlic --stats=json \
+    --jobs 1 $workloads > build-tsan/STATS_basic_serial.json
+  # shellcheck disable=SC2086
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tools/hlic --stats=json \
+    --jobs "$JOBS" $workloads > build-tsan/STATS_basic_parallel.json
+  cmp build-tsan/STATS_basic_serial.json build-tsan/STATS_basic_parallel.json
 }
 
 stage_tidy() {
@@ -139,10 +172,14 @@ stage_tidy() {
 stage_stats() {
   cmake -B build "${GENERATOR[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build -j "$JOBS" --target hlic
-  local workloads
-  workloads=$(./build/tools/hlic --list-workloads | awk '{print $1}')
+  local workloads basic_workloads
+  workloads=$(./build/tools/hlic --list-workloads \
+    | awk '$2 != "BASIC" {print $1}')
+  basic_workloads=$(./build/tools/hlic --list-workloads \
+    | awk '$2 == "BASIC" {print $1}')
   # Determinism gate: the JSON stats report must be byte-identical
-  # however many workers compiled the sweep.
+  # however many workers compiled the sweep.  C and BASIC batches run
+  # separately (mixed-language batches are rejected by design).
   # shellcheck disable=SC2086
   ./build/tools/hlic --stats=json --jobs 1 $workloads \
     > build/STATS_serial.json
@@ -150,6 +187,13 @@ stage_stats() {
   ./build/tools/hlic --stats=json --jobs 8 $workloads \
     > build/STATS_parallel.json
   cmp build/STATS_serial.json build/STATS_parallel.json
+  # shellcheck disable=SC2086
+  ./build/tools/hlic --stats=json --jobs 1 $basic_workloads \
+    > build/STATS_basic_serial.json
+  # shellcheck disable=SC2086
+  ./build/tools/hlic --stats=json --jobs 8 $basic_workloads \
+    > build/STATS_basic_parallel.json
+  cmp build/STATS_basic_serial.json build/STATS_basic_parallel.json
   # Effectiveness gate: HLI-assisted scheduling prunes DDG edges across
   # the sweep; with --no-hli the pruning counter must not appear at all
   # (nonzero counters only are rendered).
@@ -263,12 +307,20 @@ EOF
   fi
 }
 
+stage_layering() {
+  # Include-boundary lint: no file outside the front-end layer may
+  # include a front-end header other than the thin-waist contract and
+  # the testgen facades (docs/thin-waist.md).  Pure text scan; no build.
+  bash scripts/check_layering.sh
+}
+
 stage_bench() {
   cmake -B build "${GENERATOR[@]}"
   cmake --build build -j "$JOBS" --target run_benches
   ls -l build/BENCH_*.json
 }
 
+want layering "${STAGES[@]}" && stage_layering
 want tier1 "${STAGES[@]}" && stage_tier1
 want parexec "${STAGES[@]}" && stage_parexec
 want fuzz  "${STAGES[@]}" && stage_fuzz

@@ -6,7 +6,6 @@
 #include "analysis/irdep/analyzer.hpp"
 #include "analysis/irdep/audit.hpp"
 #include "backend/parexec/parallelize.hpp"
-#include "frontend/sema.hpp"
 #include "hli/maintain.hpp"
 #include "hli/query.hpp"
 #include "hli/serialize.hpp"
@@ -152,6 +151,18 @@ PipelineOptions PipelineOptions::with_machine(
   return copy;
 }
 
+PipelineOptions PipelineOptions::with_language(frontend::Language language) const {
+  PipelineOptions copy = *this;
+  copy.frontend_options.language = language;
+  return copy;
+}
+
+PipelineOptions PipelineOptions::with_open_world_params(bool on) const {
+  PipelineOptions copy = *this;
+  copy.frontend_options.open_world_params = on;
+  return copy;
+}
+
 PipelineOptions PipelineOptions::with_counters(bool on) const {
   PipelineOptions copy = *this;
   copy.telemetry.counters = on;
@@ -195,6 +206,14 @@ std::vector<std::string> PipelineOptions::validate() const {
         "exec_threads is 0: the calling thread is always lane 0, so a run "
         "needs at least one lane; use with_exec_threads(N) with N >= 1 "
         "(1 = serial execution)");
+  }
+  if (frontend_options.language == frontend::Language::Basic &&
+      frontend_options.open_world_params) {
+    problems.emplace_back(
+        "open_world_params is set with the BASIC front-end: the flag models "
+        "unseen callers handing a C unit aliased POINTER parameters, and "
+        "BASIC has no pointers, so the setting could only mask a "
+        "misconfiguration; drop --open-world-params or use --frontend=c");
   }
   if (audit_deps != VerifyMode::Off && !use_hli) {
     problems.emplace_back(
@@ -276,7 +295,7 @@ using support::fnv1a64_mix;
 // pass, verifier, classifier or planner reads must land in the hash;
 // when the IR grows a field, add it here and bump kUnitCacheSalt.
 
-inline constexpr std::uint64_t kUnitCacheSalt = 0x484c4944'00000001ULL;  // "HLID" v1
+inline constexpr std::uint64_t kUnitCacheSalt = 0x484c4944'00000002ULL;  // "HLID" v2: frontend_options
 
 std::uint64_t mix_bool(bool value, std::uint64_t h) {
   return fnv1a64_mix(value ? 1 : 0, h);
@@ -396,7 +415,10 @@ std::uint64_t options_fingerprint(const PipelineOptions& options) {
   h = fnv1a64_mix(m.lat_fadd, h);
   h = fnv1a64_mix(m.lat_fmul, h);
   h = fnv1a64_mix(m.lat_fdiv, h);
-  h = mix_bool(options.hli_build.merge_equal_range_classes, h);
+  h = fnv1a64_mix(static_cast<std::uint64_t>(options.frontend_options.language),
+                  h);
+  h = mix_bool(options.frontend_options.merge_equal_range_classes, h);
+  h = mix_bool(options.frontend_options.open_world_params, h);
   // Counters-on and counters-off compiles must never alias: a hit replays
   // the cached per-unit CounterSet, which is empty when recorded with
   // counters off.
@@ -476,43 +498,35 @@ CompiledProgram compile_source(std::string_view source,
         options.telemetry.tracer);
   }
 
-  support::DiagnosticEngine diags;
-  {
-    const telemetry::Span span("frontend", "phase");
-    out.ast = std::make_unique<frontend::Program>(
-        frontend::compile_to_ast(source, diags));
-  }
-  out.stats.source_lines = count_source_lines(source);
+  // Front-end, behind the AnalyzedUnit contract: parse + sema + HLI
+  // generation + lowering all happen inside analyze_unit; no AST crosses
+  // back.  The serialized HLI bytes are re-imported through an HliStore —
+  // the serialized format stays the only front-end/back-end channel, and
+  // the store makes the import demand-driven (each function's entry is
+  // decoded when the back-end reaches it, never the whole file up front).
+  // With an external options.hli_store (a pre-built, possibly mmap'd and
+  // shared container) generation is skipped entirely.
+  const bool generate_hli = options.hli_store == nullptr;
+  out.unit = frontend::analyze_unit(source, options.frontend_options,
+                                    options.hli_encoding, generate_hli);
+  out.stats.source_lines = out.unit.source_lines;
+  out.rtl = std::move(out.unit.rtl);
+  out.unit.rtl = backend::RtlProgram{};
 
-  // Front-end: generate and EXPORT the HLI (text or HLIB binary), then
-  // re-import it through an HliStore.  The serialized bytes remain the
-  // only front-end/back-end channel; the store makes the import
-  // demand-driven — each function's entry is decoded when the back-end
-  // reaches that function, never the whole file up front.  With an
-  // external options.hli_store (a pre-built, possibly mmap'd and shared
-  // container) generation is skipped entirely.
   std::optional<hli::HliStore> local_store;
   const hli::HliStore* store = options.hli_store;
-  if (store == nullptr) {
-    const telemetry::Span span("hli-generate", "phase");
-    const format::HliFile generated =
-        builder::build_hli(*out.ast, options.hli_build);
-    out.hli_text = options.hli_encoding == HliEncoding::Binary
-                       ? serialize::write_hlib(generated)
-                       : serialize::write_hli(generated);
+  if (generate_hli) {
+    out.hli_text = std::move(out.unit.hli_bytes);
+    out.unit.hli_bytes.clear();
     out.stats.hli_bytes = out.hli_text.size();
     c_hli_bytes_exported.add(out.hli_text.size());
     local_store.emplace(std::string(out.hli_text));
     store = &*local_store;
   }
 
-  // Back-end: lower, then map and optimize per function.  The imported
-  // entry is copied out of the store: maintenance mutates it per
-  // compilation, while the (possibly shared) store stays read-only.
-  {
-    const telemetry::Span span("lower", "phase");
-    out.rtl = lower_program(*out.ast);
-  }
+  // Back-end: map and optimize per function.  The imported entry is
+  // copied out of the store: maintenance mutates it per compilation,
+  // while the (possibly shared) store stays read-only.
 
   // Independent IR-level dependence analyzer (src/analysis/irdep): one
   // program-level sweep over the lowered RTL — exposure + bottom-up

@@ -25,13 +25,11 @@
 #include "backend/dce.hpp"
 #include "backend/interp.hpp"
 #include "backend/licm.hpp"
-#include "backend/lower.hpp"
 #include "backend/mapping.hpp"
 #include "backend/regalloc.hpp"
 #include "backend/sched.hpp"
 #include "backend/unroll.hpp"
-#include "frontend/ast.hpp"
-#include "hli/builder.hpp"
+#include "frontend/contract.hpp"
 #include "hli/store.hpp"
 #include "machine/timing.hpp"
 #include "support/telemetry.hpp"
@@ -50,12 +48,10 @@ enum class VerifyMode : std::uint8_t {
   Fatal, ///< First dirty boundary throws support::CompileError.
 };
 
-/// Encoding of the serialized front-end -> back-end HLI channel.
-enum class HliEncoding : std::uint8_t {
-  Text,    ///< Line-based "HLI v1" (docs/FORMAT.md).
-  Binary,  ///< HLIB container (docs/hli-binary-format.md): varint tables,
-           ///< interned strings, per-unit index for demand-driven import.
-};
+/// Encoding of the serialized front-end -> back-end HLI channel.  Defined
+/// at the contract (the front-end owns the channel's serialization);
+/// aliased here for the driver's option vocabulary.
+using HliEncoding = frontend::HliEncoding;
 
 /// Telemetry collection for one compilation (see docs/observability.md).
 /// Both members default off: with neither set, compile_source installs no
@@ -172,7 +168,9 @@ struct PipelineOptions {
   unsigned exec_threads = 1;
   /// Latencies used by the scheduler's priority function.
   machine::MachineDesc sched_machine = machine::r10000();
-  builder::BuildOptions hli_build;
+  /// Front-end selection + configuration (frontend/contract.hpp): the
+  /// source language and the knobs that shape the generated HLI.
+  frontend::FrontendOptions frontend_options;
   TelemetryOptions telemetry;
   /// Content-addressed compiled-unit cache (not owned; may be shared
   /// across compilations and compile_many workers).  Keys are
@@ -227,6 +225,11 @@ struct PipelineOptions {
   [[nodiscard]] PipelineOptions with_exec_threads(unsigned n) const;
   [[nodiscard]] PipelineOptions with_machine(
       const machine::MachineDesc& machine) const;
+  /// Source language (--frontend=c|basic).
+  [[nodiscard]] PipelineOptions with_language(frontend::Language language) const;
+  /// Open-world pointer-parameter linkage (C-only; see
+  /// frontend::FrontendOptions::open_world_params).
+  [[nodiscard]] PipelineOptions with_open_world_params(bool on = true) const;
   /// Collect per-function + aggregate counters into the result.
   [[nodiscard]] PipelineOptions with_counters(bool on = true) const;
   [[nodiscard]] PipelineOptions with_tracer(telemetry::Tracer* tracer) const;
@@ -330,9 +333,12 @@ struct CompilationStats {
 };
 
 struct CompiledProgram {
-  /// AST kept alive: RTL/HLI reference nothing in it after compilation,
-  /// but tests inspect it.
-  std::unique_ptr<frontend::Program> ast;
+  /// The front-end's half of the compilation, as handed across the thin
+  /// waist (docs/thin-waist.md): language, the source-position map, and
+  /// the pure query hooks.  No AST survives compilation — the contract is
+  /// the only channel.  The unit's rtl/hli_bytes payloads are moved into
+  /// `rtl` / `hli_text` below rather than held twice.
+  frontend::AnalyzedUnit unit;
   /// The re-read tables the back-end imported (one entry per compiled
   /// function that had HLI; demand-driven, so an external-store unit the
   /// compilation never touched is absent).

@@ -1,4 +1,4 @@
-#include "analysis/affine.hpp"
+#include "frontend/analysis/affine.hpp"
 
 #include <algorithm>
 

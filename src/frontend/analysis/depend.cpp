@@ -1,6 +1,6 @@
-#include "analysis/depend.hpp"
+#include "frontend/analysis/depend.hpp"
 
-#include "analysis/section.hpp"
+#include "frontend/analysis/section.hpp"
 
 #include <cstdlib>
 #include <numeric>

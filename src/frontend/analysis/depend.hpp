@@ -10,8 +10,8 @@
 #include <optional>
 #include <span>
 
-#include "analysis/affine.hpp"
-#include "analysis/region_tree.hpp"
+#include "frontend/analysis/affine.hpp"
+#include "frontend/analysis/region_tree.hpp"
 
 namespace hli::analysis {
 

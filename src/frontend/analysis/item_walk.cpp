@@ -1,4 +1,4 @@
-#include "analysis/item_walk.hpp"
+#include "frontend/analysis/item_walk.hpp"
 
 namespace hli::analysis {
 

@@ -27,8 +27,8 @@
 
 #include <functional>
 
-#include "analysis/affine.hpp"
-#include "analysis/region_tree.hpp"
+#include "frontend/analysis/affine.hpp"
+#include "frontend/analysis/region_tree.hpp"
 #include "frontend/ast.hpp"
 
 namespace hli::analysis {

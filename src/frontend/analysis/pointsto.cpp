@@ -1,4 +1,4 @@
-#include "analysis/pointsto.hpp"
+#include "frontend/analysis/pointsto.hpp"
 
 #include <array>
 #include <string_view>
@@ -416,6 +416,16 @@ void PointsToAnalysis::solve() {
 void PointsToAnalysis::run() {
   for (const FuncDecl* func : prog_.functions) {
     if (!func->is_extern()) collect_stmt(func->body, func);
+  }
+  if (open_world_params_) {
+    // Unseen-caller linkage: any pointer parameter may arrive pointing at
+    // memory this compilation never modeled.
+    for (const FuncDecl* func : prog_.functions) {
+      if (func->is_extern()) continue;
+      for (const VarDecl* param : func->params) {
+        if (param->type()->is_pointer()) mark_unknown(node_of(param));
+      }
+    }
   }
   for (const VarDecl* global : prog_.globals) {
     if (global->init != nullptr && global->type()->is_pointer()) {

@@ -27,7 +27,11 @@ using frontend::VarDecl;
 
 class PointsToAnalysis {
  public:
-  explicit PointsToAnalysis(Program& prog) : prog_(prog) {}
+  /// `open_world_params`: seed pointer parameters of every defined
+  /// function as pointing at unknown memory (unseen-caller linkage)
+  /// instead of the default closed-world whole-program view.
+  explicit PointsToAnalysis(Program& prog, bool open_world_params = false)
+      : prog_(prog), open_world_params_(open_world_params) {}
 
   /// Builds constraints from the whole program and solves to fixpoint.
   void run();
@@ -69,6 +73,7 @@ class PointsToAnalysis {
   void solve();
 
   Program& prog_;
+  bool open_world_params_ = false;
   std::vector<Node> nodes_;
   std::unordered_map<const VarDecl*, int> var_nodes_;
   std::unordered_map<const FuncDecl*, int> ret_nodes_;

@@ -1,6 +1,6 @@
-#include "analysis/refmod.hpp"
+#include "frontend/analysis/refmod.hpp"
 
-#include "analysis/item_walk.hpp"
+#include "frontend/analysis/item_walk.hpp"
 
 namespace hli::analysis {
 

@@ -8,8 +8,8 @@
 #include <set>
 #include <unordered_map>
 
-#include "analysis/pointsto.hpp"
-#include "analysis/region_tree.hpp"
+#include "frontend/analysis/pointsto.hpp"
+#include "frontend/analysis/region_tree.hpp"
 
 namespace hli::analysis {
 

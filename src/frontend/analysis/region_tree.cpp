@@ -1,4 +1,4 @@
-#include "analysis/region_tree.hpp"
+#include "frontend/analysis/region_tree.hpp"
 
 namespace hli::analysis {
 

@@ -1,4 +1,4 @@
-#include "analysis/section.hpp"
+#include "frontend/analysis/section.hpp"
 
 #include <limits>
 #include <numeric>

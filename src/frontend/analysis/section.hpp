@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/depend.hpp"
+#include "frontend/analysis/depend.hpp"
 
 namespace hli::analysis {
 

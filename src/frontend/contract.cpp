@@ -1,0 +1,112 @@
+// The language dispatcher behind the AnalyzedUnit contract: the one
+// translation unit where a front-end's AST exists and dies.
+#include "frontend/contract.hpp"
+
+#include <map>
+#include <utility>
+
+#include "frontend/hligen.hpp"
+#include "frontend/lower.hpp"
+#include "frontend/sema.hpp"
+#include "frontend_basic/basic.hpp"
+#include "hli/serialize.hpp"
+#include "support/string_utils.hpp"
+#include "support/telemetry.hpp"
+
+namespace hli::frontend {
+
+std::string_view language_name(Language language) {
+  switch (language) {
+    case Language::C: return "c";
+    case Language::Basic: return "basic";
+  }
+  return "c";
+}
+
+std::optional<Language> language_from_name(std::string_view name) {
+  if (name == "c") return Language::C;
+  if (name == "basic") return Language::Basic;
+  return std::nullopt;
+}
+
+std::optional<Language> language_for_path(std::string_view path) {
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string_view::npos) return std::nullopt;
+  std::string ext(path.substr(dot + 1));
+  for (char& c : ext) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  if (ext == "c") return Language::C;
+  if (ext == "bas") return Language::Basic;
+  return std::nullopt;
+}
+
+namespace {
+
+/// The value-captured state behind AnalyzedUnit::line_text.
+std::function<std::string(std::size_t)> make_line_text(std::string_view source) {
+  std::vector<std::string> lines;
+  for (const std::string_view line : support::split(source, '\n')) {
+    lines.emplace_back(line);
+  }
+  return [lines = std::move(lines)](std::size_t line) -> std::string {
+    if (line == 0 || line > lines.size()) return "";
+    return lines[line - 1];
+  };
+}
+
+}  // namespace
+
+AnalyzedUnit analyze_unit(std::string_view source,
+                          const FrontendOptions& options, HliEncoding encoding,
+                          bool want_hli) {
+  support::DiagnosticEngine diags;
+  std::optional<Program> ast;
+  {
+    const telemetry::Span span("frontend", "phase");
+    ast.emplace(options.language == Language::Basic
+                    ? frontend_basic::compile_to_ast(source, diags)
+                    : compile_to_ast(source, diags));
+  }
+
+  AnalyzedUnit unit;
+  unit.language = options.language;
+  for (const std::string_view line : support::split(source, '\n')) {
+    if (!support::trim(line).empty()) ++unit.source_lines;
+  }
+
+  if (want_hli) {
+    const telemetry::Span span("hli-generate", "phase");
+    builder::BuildOptions build;
+    build.merge_equal_range_classes = options.merge_equal_range_classes;
+    build.open_world_params = options.open_world_params;
+    const format::HliFile generated = builder::build_hli(*ast, build);
+    unit.hli_bytes = encoding == HliEncoding::Binary
+                         ? serialize::write_hlib(generated)
+                         : serialize::write_hli(generated);
+  }
+
+  {
+    const telemetry::Span span("lower", "phase");
+    unit.rtl = lower_program(*ast);
+  }
+
+  // Source-position map + pure hooks.  Everything below captures plain
+  // values; the AST is destroyed when this function returns.
+  std::map<std::string, std::size_t, std::less<>> decl_lines;
+  for (const FuncDecl* func : ast->functions) {
+    if (func->is_extern()) continue;
+    unit.function_lines.emplace_back(func->name(), func->loc().line);
+    decl_lines.emplace(func->name(), func->loc().line);
+  }
+  unit.line_text = make_line_text(source);
+  unit.decl_line = [decl_lines = std::move(decl_lines)](
+                       std::string_view name) -> std::optional<std::size_t> {
+    const auto it = decl_lines.find(name);
+    if (it == decl_lines.end()) return std::nullopt;
+    return it->second;
+  };
+  return unit;
+}
+
+}  // namespace hli::frontend

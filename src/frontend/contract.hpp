@@ -1,0 +1,112 @@
+// The front-end / back-end thin waist (docs/thin-waist.md).
+//
+// `AnalyzedUnit` is the ONLY thing a front-end hands downstream: the
+// lowered RTL, the serialized HLI channel, a source-position map, and a
+// few pure query hooks.  No AST node survives past `analyze_unit` — every
+// hook captures plain values, so a unit can be copied, moved across
+// threads, or outlive its front-end arena freely.  Everything outside the
+// front-end layer (src/frontend/ + src/frontend_basic/) includes THIS
+// header and nothing else from the layer; scripts/check_layering.sh
+// enforces that rule in CI.
+//
+// The paper's claim (§1) is that the serialized HLI makes the handoff
+// compiler-independent.  This contract is that claim made structural: a
+// second front-end (`Language::Basic`) reaches the unchanged back-end,
+// verifier, auditor, parallel executor and compile service by producing
+// the same struct.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "backend/rtl.hpp"
+
+namespace hli::frontend {
+
+/// Source languages with a registered front-end.
+enum class Language : std::uint8_t {
+  C,      ///< The mini-C front-end (src/frontend/).
+  Basic,  ///< The BASIC array language (src/frontend_basic/).
+};
+
+/// Canonical lowercase name ("c", "basic") — the spelling `--frontend=`
+/// and the service wire codec use.
+[[nodiscard]] std::string_view language_name(Language language);
+
+/// Parses a canonical name; nullopt for anything unknown.
+[[nodiscard]] std::optional<Language> language_from_name(std::string_view name);
+
+/// Infers the language from a file extension (".c" / ".bas", case
+///-insensitive); nullopt when the path has neither.
+[[nodiscard]] std::optional<Language> language_for_path(std::string_view path);
+
+/// Encoding of the serialized front-end -> back-end HLI channel.
+enum class HliEncoding : std::uint8_t {
+  Text,    ///< Line-based "HLI v1" (docs/FORMAT.md).
+  Binary,  ///< HLIB container (docs/hli-binary-format.md): varint tables,
+           ///< interned strings, per-unit index for demand-driven import.
+};
+
+/// Front-end configuration.  Every field that changes the emitted RTL or
+/// HLI must be covered by driver::options_fingerprint and the service
+/// wire codec (src/service/wire.cpp).
+struct FrontendOptions {
+  Language language = Language::C;
+  /// When true (the paper's configuration), sub-region classes with equal
+  /// widened sections are merged into a single *maybe* class in the
+  /// parent, condensing the HLI at some precision cost (§2.2.1).
+  bool merge_equal_range_classes = true;
+  /// Open-world linkage for C pointer parameters: assume every pointer
+  /// parameter of a unit may alias unknown memory on entry (as when the
+  /// unit is linked against callers this compilation never sees).  The
+  /// default is the closed-world whole-program view.  C-only:
+  /// PipelineOptions::validate() rejects it for BASIC, which has no
+  /// pointers to make the question meaningful.
+  bool open_world_params = false;
+};
+
+/// Everything downstream layers may know about a compiled source file.
+struct AnalyzedUnit {
+  Language language = Language::C;
+  /// The lowered (pre-optimization) instruction stream.  Insn::line keys
+  /// into the HLI line table; memory refs and calls appear in exactly the
+  /// canonical item-walk order (see frontend/lower.hpp).
+  backend::RtlProgram rtl;
+  /// The serialized HLI channel in the requested encoding; empty when the
+  /// caller imports tables from an external store instead (want_hli
+  /// false).  This is the ONLY carrier of the front-end's analysis facts.
+  std::string hli_bytes;
+  /// Non-empty source lines (the "code size" of Table 1).
+  std::size_t source_lines = 0;
+  /// Source-position map: every function the unit defines, with its
+  /// declaration line, in lowering order.
+  std::vector<std::pair<std::string, std::size_t>> function_lines;
+
+  // -- Pure query hooks ---------------------------------------------------
+  // Value-captured closures: they answer from copies taken at analysis
+  // time and hold no pointer into any front-end structure.
+
+  /// Text of a 1-based source line ("" when out of range) — diagnostics
+  /// and report renderers attach source context through this.
+  std::function<std::string(std::size_t line)> line_text;
+  /// Declaration line of a function defined by this unit (nullopt for
+  /// externs and unknown names).
+  std::function<std::optional<std::size_t>(std::string_view name)> decl_line;
+};
+
+/// Runs the front-end selected by `options.language` over `source`:
+/// parse, semantic analysis, HLI generation (skipped when `want_hli` is
+/// false — e.g. the tables will come from a pre-built store), and RTL
+/// lowering.  Throws support::CompileError on any front-end diagnostic.
+[[nodiscard]] AnalyzedUnit analyze_unit(std::string_view source,
+                                        const FrontendOptions& options = {},
+                                        HliEncoding encoding = HliEncoding::Text,
+                                        bool want_hli = true);
+
+}  // namespace hli::frontend

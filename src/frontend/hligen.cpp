@@ -1,11 +1,11 @@
-#include "hli/builder.hpp"
+#include "frontend/hligen.hpp"
 
 #include <algorithm>
 #include <map>
 #include <unordered_map>
 
-#include "analysis/item_walk.hpp"
-#include "analysis/section.hpp"
+#include "frontend/analysis/item_walk.hpp"
+#include "frontend/analysis/section.hpp"
 
 namespace hli::builder {
 
@@ -478,7 +478,7 @@ HliEntry build_hli_entry(Program& prog, FuncDecl& func,
 }
 
 HliFile build_hli(Program& prog, const BuildOptions& opts) {
-  analysis::PointsToAnalysis pointsto(prog);
+  analysis::PointsToAnalysis pointsto(prog, opts.open_world_params);
   pointsto.run();
   analysis::RefModAnalysis refmod(prog, pointsto);
   refmod.run();

@@ -5,8 +5,8 @@
 // front-end analyses (region tree, affine sections, points-to, REF/MOD).
 #pragma once
 
-#include "analysis/pointsto.hpp"
-#include "analysis/refmod.hpp"
+#include "frontend/analysis/pointsto.hpp"
+#include "frontend/analysis/refmod.hpp"
 #include "hli/format.hpp"
 
 namespace hli::builder {
@@ -17,6 +17,12 @@ struct BuildOptions {
   /// condensing the HLI at some precision cost (§2.2.1).  The
   /// bench_maybe_merge ablation flips this off.
   bool merge_equal_range_classes = true;
+  /// Open-world linkage for pointer parameters: seed every pointer
+  /// parameter of a defined function as pointing at unknown memory, as if
+  /// the unit could be linked against unseen callers.  Off by default
+  /// (whole-program closed-world view); C-only — see
+  /// frontend::FrontendOptions::open_world_params.
+  bool open_world_params = false;
 };
 
 /// Builds the complete HLI for a program.  Runs points-to and REF/MOD

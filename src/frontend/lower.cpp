@@ -1,14 +1,14 @@
-#include "backend/lower.hpp"
+#include "frontend/lower.hpp"
 
 #include <unordered_map>
 
-#include "analysis/item_walk.hpp"
-#include "analysis/region_tree.hpp"
+#include "frontend/analysis/item_walk.hpp"
+#include "frontend/analysis/region_tree.hpp"
 #include "support/diagnostics.hpp"
 
-namespace hli::backend {
+namespace hli::frontend {
 
-using namespace frontend;
+using namespace backend;
 
 namespace {
 
@@ -927,4 +927,4 @@ RtlProgram lower_program(Program& prog) {
   return out;
 }
 
-}  // namespace hli::backend
+}  // namespace hli::frontend

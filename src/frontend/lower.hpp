@@ -1,4 +1,8 @@
-// AST -> RTL lowering (the back-end's instruction selection).
+// AST -> RTL lowering (the front-end's instruction selection).
+//
+// Lives in the front-end layer: this is the last stage that sees the AST.
+// Everything downstream of the AnalyzedUnit contract consumes only the RTL
+// it produces (plus the serialized HLI tables).
 //
 // CONTRACT: for every source line, memory references and calls are emitted
 // in exactly the order analysis::walk_items reports items for that line —
@@ -11,10 +15,10 @@
 #include "backend/rtl.hpp"
 #include "frontend/ast.hpp"
 
-namespace hli::backend {
+namespace hli::frontend {
 
 /// Lowers a whole (sema-checked) program.  Scalar locals and params become
 /// virtual registers; globals, arrays and address-taken locals get memory.
-[[nodiscard]] RtlProgram lower_program(frontend::Program& prog);
+[[nodiscard]] backend::RtlProgram lower_program(Program& prog);
 
-}  // namespace hli::backend
+}  // namespace hli::frontend

@@ -1,4 +1,4 @@
-#include "testing/generator.hpp"
+#include "frontend/testgen.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -1182,12 +1182,8 @@ std::string render_features(std::uint32_t features) {
   return out.empty() ? "none" : out;
 }
 
-frontend::Program generate_program(const GenOptions& options) {
-  return Gen(options).run();
-}
-
 std::string generate_source(const GenOptions& options) {
-  const frontend::Program prog = generate_program(options);
+  const frontend::Program prog = Gen(options).run();
   return frontend::print_program(prog);
 }
 

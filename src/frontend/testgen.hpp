@@ -24,8 +24,6 @@
 #include <string>
 #include <vector>
 
-#include "frontend/ast.hpp"
-
 namespace hli::testing {
 
 /// Feature mask: which language constructs the generator may use.  Bits
@@ -73,13 +71,10 @@ struct GenOptions {
 /// Renders a mask back to the canonical comma-separated list.
 [[nodiscard]] std::string render_features(std::uint32_t features);
 
-/// Generates one program as an AST owned by the returned Program.
-[[nodiscard]] frontend::Program generate_program(const GenOptions& options);
-
-/// generate_program + frontend::print_program: the canonical harness
-/// entry.  The printed source is the program under test; it re-parses
-/// through the normal front-end so generated trees never bypass the
-/// lexer/parser/sema path the pipeline actually ships.
+/// Generates one program and renders it as source text — the canonical
+/// harness entry (this header is AST-free: generation internally builds
+/// the shared front-end IR and prints it, so generated trees never
+/// bypass the lexer/parser/sema path the pipeline actually ships).
 [[nodiscard]] std::string generate_source(const GenOptions& options);
 
 }  // namespace hli::testing

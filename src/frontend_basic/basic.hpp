@@ -1,0 +1,22 @@
+// The BASIC front-end (docs/thin-waist.md): a small BASIC/Fortran-ish
+// array language — counted FOR loops, multi-dimensional arrays, no
+// pointers — that feeds the exact same mid-level representation the
+// mini-C front-end produces, and therefore the same HLI generator,
+// lowering, back-end, verifier and service.  Keywords are recognized in
+// any case; identifiers are case-sensitive so names survive the
+// print_basic round trip byte-for-byte.
+#pragma once
+
+#include <string_view>
+
+#include "frontend/ast.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hli::frontend_basic {
+
+/// Lex + parse + semantic analysis.  Returns the shared front-end IR
+/// (sema-checked, typed); throws support::CompileError on any diagnostic.
+[[nodiscard]] frontend::Program compile_to_ast(std::string_view source,
+                                               support::DiagnosticEngine& diags);
+
+}  // namespace hli::frontend_basic

@@ -1,0 +1,1050 @@
+// The BASIC front-end: a line-oriented lexer and recursive-descent
+// parser that construct the SAME front-end IR (frontend::Program) the
+// mini-C parser produces, then run the shared semantic analysis.  From
+// the contract boundary outward (HLI generation, lowering, back-end,
+// verifier, service) a BASIC unit is indistinguishable from a C unit.
+//
+// Dialect summary (see docs/thin-waist.md for the full grammar):
+//   DIM g AS INTEGER [= expr]          ' scalar (global or local)
+//   DIM a(64) AS INTEGER               ' array; DIM m(8, 4) AS DOUBLE is 2-D
+//   DECLARE FUNCTION f(n AS INTEGER) AS INTEGER   ' extern
+//   DECLARE SUB emit(v AS INTEGER)                ' extern, void
+//   FUNCTION f(n AS INTEGER) AS INTEGER ... END FUNCTION
+//   SUB init() ... END SUB
+//   IF c THEN / ELSE / END IF
+//   DO WHILE c ... LOOP        (WHILE c ... WEND is an alias)
+//   FOR i = 0 TO n - 1 [STEP k] ... NEXT [i]      ' counted sugar
+//   FOR i = 0 WHILE i < n STEP i = i + 1 ... NEXT ' general (exact) form
+//   EXIT FOR / EXIT DO -> break;  CONTINUE FOR / CONTINUE DO -> continue
+//   RETURN [expr];  CALL f(x) or bare f(x)
+//
+// Keywords are case-insensitive; identifiers are case-SENSITIVE (so
+// names survive a round trip through print_basic byte-for-byte).
+// Operators mirror mini-C one-for-one: AND/OR/XOR are bitwise,
+// ANDALSO/ORELSE are short-circuit logical, NOT is logical not, BNOT is
+// bitwise complement, MOD is remainder, << >> shift, = inside an
+// expression is equality and <> is inequality.  Array subscripts use
+// parentheses, `a(i, j)`; the parser disambiguates calls from
+// subscripts with a scope stack of array declarations.  There are no
+// pointers anywhere in the language.
+#include "frontend_basic/basic.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "frontend/sema.hpp"
+#include "support/source_location.hpp"
+
+namespace hli::frontend_basic {
+
+namespace {
+
+using frontend::AssignOp;
+using frontend::BinaryOp;
+using frontend::Expr;
+using frontend::Program;
+using frontend::Stmt;
+using frontend::StorageClass;
+using frontend::Type;
+using frontend::UnaryOp;
+using frontend::VarDecl;
+using support::SourceLoc;
+
+// ---------------------------------------------------------------------------
+// Tokens
+// ---------------------------------------------------------------------------
+
+enum class Tok : std::uint8_t {
+  End, Eol, Ident, Int, Float,
+  // Keywords.
+  KwDim, KwAs, KwInteger, KwSingle, KwDouble, KwDeclare, KwFunction, KwSub,
+  KwEnd, KwIf, KwThen, KwElse, KwFor, KwTo, KwStep, KwWhile, KwWend, KwNext,
+  KwDo, KwLoop, KwReturn, KwExit, KwContinue, KwCall, KwLet, KwMod, KwAnd,
+  KwOr, KwXor, KwNot, KwBnot, KwAndAlso, KwOrElse, KwIif,
+  // Punctuation.
+  LParen, RParen, Comma,
+  Plus, Minus, Star, Slash,
+  Assign, Less, Greater, LessEq, GreaterEq, NotEq, Shl, Shr,
+  PlusAssign, MinusAssign, StarAssign, SlashAssign,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  SourceLoc loc;
+  std::string text;
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  bool single_precision = false;
+};
+
+std::string_view token_name(Tok kind) {
+  switch (kind) {
+    case Tok::End: return "<eof>";
+    case Tok::Eol: return "end of line";
+    case Tok::Ident: return "identifier";
+    case Tok::Int: return "integer literal";
+    case Tok::Float: return "float literal";
+    case Tok::KwDim: return "'DIM'";
+    case Tok::KwAs: return "'AS'";
+    case Tok::KwInteger: return "'INTEGER'";
+    case Tok::KwSingle: return "'SINGLE'";
+    case Tok::KwDouble: return "'DOUBLE'";
+    case Tok::KwDeclare: return "'DECLARE'";
+    case Tok::KwFunction: return "'FUNCTION'";
+    case Tok::KwSub: return "'SUB'";
+    case Tok::KwEnd: return "'END'";
+    case Tok::KwIf: return "'IF'";
+    case Tok::KwThen: return "'THEN'";
+    case Tok::KwElse: return "'ELSE'";
+    case Tok::KwFor: return "'FOR'";
+    case Tok::KwTo: return "'TO'";
+    case Tok::KwStep: return "'STEP'";
+    case Tok::KwWhile: return "'WHILE'";
+    case Tok::KwWend: return "'WEND'";
+    case Tok::KwNext: return "'NEXT'";
+    case Tok::KwDo: return "'DO'";
+    case Tok::KwLoop: return "'LOOP'";
+    case Tok::KwReturn: return "'RETURN'";
+    case Tok::KwExit: return "'EXIT'";
+    case Tok::KwContinue: return "'CONTINUE'";
+    case Tok::KwCall: return "'CALL'";
+    case Tok::KwLet: return "'LET'";
+    case Tok::KwMod: return "'MOD'";
+    case Tok::KwAnd: return "'AND'";
+    case Tok::KwOr: return "'OR'";
+    case Tok::KwXor: return "'XOR'";
+    case Tok::KwNot: return "'NOT'";
+    case Tok::KwBnot: return "'BNOT'";
+    case Tok::KwAndAlso: return "'ANDALSO'";
+    case Tok::KwOrElse: return "'ORELSE'";
+    case Tok::KwIif: return "'IIF'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::Comma: return "','";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Assign: return "'='";
+    case Tok::Less: return "'<'";
+    case Tok::Greater: return "'>'";
+    case Tok::LessEq: return "'<='";
+    case Tok::GreaterEq: return "'>='";
+    case Tok::NotEq: return "'<>'";
+    case Tok::Shl: return "'<<'";
+    case Tok::Shr: return "'>>'";
+    case Tok::PlusAssign: return "'+='";
+    case Tok::MinusAssign: return "'-='";
+    case Tok::StarAssign: return "'*='";
+    case Tok::SlashAssign: return "'/='";
+  }
+  return "<bad token>";
+}
+
+const std::unordered_map<std::string, Tok>& keyword_table() {
+  static const std::unordered_map<std::string, Tok> table = {
+      {"DIM", Tok::KwDim},           {"AS", Tok::KwAs},
+      {"INTEGER", Tok::KwInteger},   {"SINGLE", Tok::KwSingle},
+      {"DOUBLE", Tok::KwDouble},     {"DECLARE", Tok::KwDeclare},
+      {"FUNCTION", Tok::KwFunction}, {"SUB", Tok::KwSub},
+      {"END", Tok::KwEnd},           {"IF", Tok::KwIf},
+      {"THEN", Tok::KwThen},         {"ELSE", Tok::KwElse},
+      {"FOR", Tok::KwFor},           {"TO", Tok::KwTo},
+      {"STEP", Tok::KwStep},         {"WHILE", Tok::KwWhile},
+      {"WEND", Tok::KwWend},         {"NEXT", Tok::KwNext},
+      {"DO", Tok::KwDo},             {"LOOP", Tok::KwLoop},
+      {"RETURN", Tok::KwReturn},     {"EXIT", Tok::KwExit},
+      {"CONTINUE", Tok::KwContinue}, {"CALL", Tok::KwCall},
+      {"LET", Tok::KwLet},           {"MOD", Tok::KwMod},
+      {"AND", Tok::KwAnd},           {"OR", Tok::KwOr},
+      {"XOR", Tok::KwXor},           {"NOT", Tok::KwNot},
+      {"BNOT", Tok::KwBnot},         {"ANDALSO", Tok::KwAndAlso},
+      {"ORELSE", Tok::KwOrElse},     {"IIF", Tok::KwIif},
+  };
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, support::DiagnosticEngine& diags)
+      : source_(source), diags_(diags) {}
+
+  std::vector<Token> lex_all() {
+    std::vector<Token> tokens;
+    while (true) {
+      Token tok = next();
+      const bool done = tok.kind == Tok::End;
+      // Collapse runs of blank/comment-only lines into single Eol
+      // tokens so the parser's "skip blank lines" loop stays trivial.
+      if (tok.kind != Tok::Eol || tokens.empty() ||
+          tokens.back().kind != Tok::Eol) {
+        tokens.push_back(std::move(tok));
+      }
+      if (done) break;
+    }
+    return tokens;
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    const std::size_t index = pos_ + ahead;
+    return index < source_.size() ? source_[index] : '\0';
+  }
+
+  char advance() {
+    const char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  [[nodiscard]] SourceLoc here() const { return {line_, column_}; }
+
+  static Token make(Tok kind, SourceLoc loc) {
+    Token tok;
+    tok.kind = kind;
+    tok.loc = loc;
+    return tok;
+  }
+
+  Token next() {
+    // Horizontal whitespace and ' comments; newlines are tokens.
+    while (pos_ < source_.size()) {
+      const char c = peek();
+      if (c == '\'') {
+        while (pos_ < source_.size() && peek() != '\n') advance();
+      } else if (c != '\n' && std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else {
+        break;
+      }
+    }
+    const SourceLoc loc = here();
+    if (pos_ >= source_.size()) return make(Tok::End, loc);
+    const char c = peek();
+    if (c == '\n') {
+      advance();
+      return make(Tok::Eol, loc);
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return lex_word(loc);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      return lex_number(loc);
+    }
+    advance();
+    switch (c) {
+      case '(': return make(Tok::LParen, loc);
+      case ')': return make(Tok::RParen, loc);
+      case ',': return make(Tok::Comma, loc);
+      case '+': return make(match('=') ? Tok::PlusAssign : Tok::Plus, loc);
+      case '-': return make(match('=') ? Tok::MinusAssign : Tok::Minus, loc);
+      case '*': return make(match('=') ? Tok::StarAssign : Tok::Star, loc);
+      case '/': return make(match('=') ? Tok::SlashAssign : Tok::Slash, loc);
+      case '=': return make(Tok::Assign, loc);
+      case '<':
+        if (match('=')) return make(Tok::LessEq, loc);
+        if (match('>')) return make(Tok::NotEq, loc);
+        if (match('<')) return make(Tok::Shl, loc);
+        return make(Tok::Less, loc);
+      case '>':
+        if (match('=')) return make(Tok::GreaterEq, loc);
+        if (match('>')) return make(Tok::Shr, loc);
+        return make(Tok::Greater, loc);
+      default:
+        diags_.error(loc, std::string("unexpected character '") + c + "'");
+        return next();
+    }
+  }
+
+  bool match(char expected) {
+    if (peek() != expected) return false;
+    advance();
+    return true;
+  }
+
+  Token lex_word(SourceLoc loc) {
+    const std::size_t start = pos_;
+    while (pos_ < source_.size() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) ||
+            peek() == '_')) {
+      advance();
+    }
+    std::string text(source_.substr(start, pos_ - start));
+    std::string upper = text;
+    for (char& ch : upper) {
+      if (ch >= 'a' && ch <= 'z') ch = static_cast<char>(ch - 'a' + 'A');
+    }
+    if (upper == "REM") {  // REM comment: swallow the rest of the line.
+      while (pos_ < source_.size() && peek() != '\n') advance();
+      return next();
+    }
+    Token tok;
+    tok.loc = loc;
+    const auto it = keyword_table().find(upper);
+    if (it != keyword_table().end()) {
+      tok.kind = it->second;
+    } else {
+      tok.kind = Tok::Ident;
+      tok.text = std::move(text);
+    }
+    return tok;
+  }
+
+  Token lex_number(SourceLoc loc) {
+    const std::size_t start = pos_;
+    bool is_float = false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      is_float = true;
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      std::size_t look = 1;
+      if (peek(look) == '+' || peek(look) == '-') ++look;
+      if (std::isdigit(static_cast<unsigned char>(peek(look)))) {
+        is_float = true;
+        while (look-- > 0) advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+      }
+    }
+    const std::string_view text = source_.substr(start, pos_ - start);
+    Token tok;
+    tok.loc = loc;
+    // Type suffixes: `!` forces SINGLE, `#` forces DOUBLE.
+    if (peek() == '!') {
+      advance();
+      is_float = true;
+      tok.single_precision = true;
+    } else if (peek() == '#') {
+      advance();
+      is_float = true;
+    }
+    if (is_float) {
+      tok.kind = Tok::Float;
+      tok.float_value = std::strtod(std::string(text).c_str(), nullptr);
+    } else {
+      tok.kind = Tok::Int;
+      const auto [ptr, ec] = std::from_chars(
+          text.data(), text.data() + text.size(), tok.int_value);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        diags_.error(loc, "integer literal out of range");
+      }
+    }
+    return tok;
+  }
+
+  std::string_view source_;
+  support::DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Binary precedence ladder; identical ranks to the mini-C parser so an
+/// unparenthesized BASIC expression groups exactly like its C twin.
+int precedence_of(Tok kind) {
+  switch (kind) {
+    case Tok::KwOrElse: return 1;
+    case Tok::KwAndAlso: return 2;
+    case Tok::KwOr: return 3;
+    case Tok::KwXor: return 4;
+    case Tok::KwAnd: return 5;
+    case Tok::Assign:  // `=` is equality in expression position.
+    case Tok::NotEq: return 6;
+    case Tok::Less:
+    case Tok::Greater:
+    case Tok::LessEq:
+    case Tok::GreaterEq: return 7;
+    case Tok::Shl:
+    case Tok::Shr: return 8;
+    case Tok::Plus:
+    case Tok::Minus: return 9;
+    case Tok::Star:
+    case Tok::Slash:
+    case Tok::KwMod: return 10;
+    default: return -1;
+  }
+}
+
+BinaryOp binary_op_of(Tok kind) {
+  switch (kind) {
+    case Tok::KwOrElse: return BinaryOp::LogOr;
+    case Tok::KwAndAlso: return BinaryOp::LogAnd;
+    case Tok::KwOr: return BinaryOp::Or;
+    case Tok::KwXor: return BinaryOp::Xor;
+    case Tok::KwAnd: return BinaryOp::And;
+    case Tok::Assign: return BinaryOp::Eq;
+    case Tok::NotEq: return BinaryOp::Ne;
+    case Tok::Less: return BinaryOp::Lt;
+    case Tok::Greater: return BinaryOp::Gt;
+    case Tok::LessEq: return BinaryOp::Le;
+    case Tok::GreaterEq: return BinaryOp::Ge;
+    case Tok::Shl: return BinaryOp::Shl;
+    case Tok::Shr: return BinaryOp::Shr;
+    case Tok::Plus: return BinaryOp::Add;
+    case Tok::Minus: return BinaryOp::Sub;
+    case Tok::Star: return BinaryOp::Mul;
+    case Tok::Slash: return BinaryOp::Div;
+    case Tok::KwMod: return BinaryOp::Rem;
+    default: return BinaryOp::Add;  // Unreachable given precedence_of guard.
+  }
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, support::DiagnosticEngine& diags)
+      : tokens_(std::move(tokens)), diags_(diags) {}
+
+  Program parse_program() {
+    Program prog;
+    skip_eols();
+    while (!check(Tok::End) && !gave_up_) {
+      if (check(Tok::KwDim)) {
+        parse_dim(prog, /*func=*/nullptr, /*block=*/nullptr);
+      } else if (check(Tok::KwDeclare)) {
+        parse_declare(prog);
+      } else if (check(Tok::KwFunction) || check(Tok::KwSub)) {
+        parse_function(prog);
+      } else {
+        diags_.error(peek().loc,
+                     "expected DIM, DECLARE, FUNCTION or SUB at top level, "
+                     "found " +
+                         std::string(token_name(peek().kind)));
+        gave_up_ = true;
+      }
+      skip_eols();
+    }
+    return prog;
+  }
+
+ private:
+  // --- token plumbing -----------------------------------------------------
+
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t index = pos_ + ahead;
+    return index < tokens_.size() ? tokens_[index] : tokens_.back();
+  }
+
+  const Token& advance() {
+    const Token& tok = peek();
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return tok;
+  }
+
+  [[nodiscard]] bool check(Tok kind) const { return peek().kind == kind; }
+
+  bool match(Tok kind) {
+    if (!check(kind)) return false;
+    advance();
+    return true;
+  }
+
+  const Token& expect(Tok kind, std::string_view what) {
+    if (check(kind)) return advance();
+    diags_.error(peek().loc, "expected " + std::string(token_name(kind)) +
+                                 " " + std::string(what) + ", found " +
+                                 std::string(token_name(peek().kind)));
+    gave_up_ = true;
+    return peek();
+  }
+
+  void skip_eols() {
+    while (match(Tok::Eol)) {
+    }
+  }
+
+  /// Statement terminator; everything in BASIC ends at the line break.
+  void expect_eol(std::string_view after) {
+    if (check(Tok::End)) return;
+    expect(Tok::Eol, after);
+  }
+
+  // --- scope tracking -----------------------------------------------------
+  //
+  // The parser keeps its own lexical scope stack for exactly one job:
+  // deciding whether `name(...)` is an array subscript or a call, and
+  // whether a FOR header introduces a fresh loop variable.  Real name
+  // resolution and type checking happen in the shared Sema pass.
+
+  struct ScopeEntry {
+    std::string name;
+    bool is_array;
+    unsigned depth;
+  };
+
+  void push_scope() { ++depth_; }
+
+  void pop_scope() {
+    while (!scope_.empty() && scope_.back().depth == depth_) scope_.pop_back();
+    --depth_;
+  }
+
+  void declare(const std::string& name, bool is_array) {
+    scope_.push_back({name, is_array, depth_});
+  }
+
+  [[nodiscard]] const ScopeEntry* lookup(const std::string& name) const {
+    for (auto it = scope_.rbegin(); it != scope_.rend(); ++it) {
+      if (it->name == name) return &*it;
+    }
+    return nullptr;
+  }
+
+  // --- declarations -------------------------------------------------------
+
+  const Type* parse_scalar_type(Program& prog) {
+    if (match(Tok::KwInteger)) return prog.types.int_type();
+    if (match(Tok::KwSingle)) return prog.types.float_type();
+    if (match(Tok::KwDouble)) return prog.types.double_type();
+    diags_.error(peek().loc, "expected INTEGER, SINGLE or DOUBLE, found " +
+                                 std::string(token_name(peek().kind)));
+    gave_up_ = true;
+    return prog.types.int_type();
+  }
+
+  /// `DIM name[(d1[, d2...])] AS type [= expr]` — a global when `func`
+  /// is null, otherwise a local DeclStmt appended to `block`.
+  void parse_dim(Program& prog, frontend::FuncDecl* func,
+                 frontend::BlockStmt* block) {
+    const SourceLoc loc = peek().loc;
+    expect(Tok::KwDim, "to start a declaration");
+    const Token name_tok = expect(Tok::Ident, "after DIM");
+    std::vector<std::int64_t> dims;
+    if (match(Tok::LParen)) {
+      do {
+        const Token& dim = expect(Tok::Int, "array dimension");
+        if (dim.int_value <= 0) {
+          diags_.error(dim.loc, "array dimension must be positive");
+        }
+        dims.push_back(dim.int_value);
+      } while (match(Tok::Comma));
+      expect(Tok::RParen, "after array dimensions");
+    }
+    expect(Tok::KwAs, "after the declared name");
+    const Type* type = parse_scalar_type(prog);
+    // Innermost dimension last, matching C's `int a[d1][d2]`.
+    for (auto it = dims.rbegin(); it != dims.rend(); ++it) {
+      type = prog.types.array_of(type, static_cast<std::size_t>(*it));
+    }
+    Expr* init = nullptr;
+    if (match(Tok::Assign)) {
+      if (!dims.empty()) {
+        diags_.error(peek().loc, "array declarations cannot have initializers");
+      }
+      init = parse_expr(prog);
+    }
+    expect_eol("after the declaration");
+
+    const StorageClass storage =
+        func == nullptr ? StorageClass::Global : StorageClass::Local;
+    VarDecl* decl = prog.make_var(name_tok.text, type, storage, loc);
+    decl->init = init;
+    declare(name_tok.text, !dims.empty());
+    if (func == nullptr) {
+      prog.globals.push_back(decl);
+    } else {
+      decl->owner = func;
+      block->stmts.push_back(prog.make_stmt<frontend::DeclStmt>(decl, loc));
+    }
+  }
+
+  /// `(name AS type, ...)` — shared by DECLARE and definitions.
+  std::vector<std::pair<Token, const Type*>> parse_param_list(Program& prog) {
+    std::vector<std::pair<Token, const Type*>> params;
+    expect(Tok::LParen, "to open the parameter list");
+    if (!check(Tok::RParen)) {
+      do {
+        const Token pname = expect(Tok::Ident, "parameter name");
+        expect(Tok::KwAs, "after the parameter name");
+        params.emplace_back(pname, parse_scalar_type(prog));
+      } while (match(Tok::Comma));
+    }
+    expect(Tok::RParen, "to close the parameter list");
+    return params;
+  }
+
+  /// `DECLARE FUNCTION name(params) AS type` / `DECLARE SUB name(params)`.
+  void parse_declare(Program& prog) {
+    const SourceLoc loc = peek().loc;
+    expect(Tok::KwDeclare, "to start an extern declaration");
+    const bool is_sub = match(Tok::KwSub);
+    if (!is_sub) expect(Tok::KwFunction, "or SUB after DECLARE");
+    const Token name_tok = expect(Tok::Ident, "function name");
+    const auto params = parse_param_list(prog);
+    const Type* ret = prog.types.void_type();
+    if (!is_sub) {
+      expect(Tok::KwAs, "after the parameter list");
+      ret = parse_scalar_type(prog);
+    }
+    expect_eol("after the extern declaration");
+    frontend::FuncDecl* func = prog.make_func(name_tok.text, ret, loc);
+    for (const auto& [pname, ptype] : params) {
+      VarDecl* param =
+          prog.make_var(pname.text, ptype, StorageClass::Param, pname.loc);
+      param->owner = func;
+      func->params.push_back(param);
+    }
+    prog.functions.push_back(func);  // body stays null -> extern
+  }
+
+  /// `FUNCTION name(params) AS type ... END FUNCTION` and the SUB form.
+  void parse_function(Program& prog) {
+    const SourceLoc loc = peek().loc;
+    const bool is_sub = match(Tok::KwSub);
+    if (!is_sub) expect(Tok::KwFunction, "or SUB");
+    const Token name_tok = expect(Tok::Ident, "function name");
+    const auto params = parse_param_list(prog);
+    const Type* ret = prog.types.void_type();
+    if (!is_sub) {
+      expect(Tok::KwAs, "after the parameter list");
+      ret = parse_scalar_type(prog);
+    }
+    expect_eol("after the function header");
+
+    frontend::FuncDecl* func = prog.make_func(name_tok.text, ret, loc);
+    push_scope();
+    for (const auto& [pname, ptype] : params) {
+      VarDecl* param =
+          prog.make_var(pname.text, ptype, StorageClass::Param, pname.loc);
+      param->owner = func;
+      func->params.push_back(param);
+      declare(pname.text, /*is_array=*/false);
+    }
+    func->body = prog.make_stmt<frontend::BlockStmt>(loc);
+    current_func_ = func;
+    parse_stmt_list(prog, func->body, /*stop=*/Tok::KwEnd);
+    expect(Tok::KwEnd, "to close the function body");
+    expect(is_sub ? Tok::KwSub : Tok::KwFunction, "after END");
+    expect_eol("after END");
+    current_func_ = nullptr;
+    pop_scope();
+    prog.functions.push_back(func);
+  }
+
+  // --- statements ---------------------------------------------------------
+
+  /// Parses statements until `stop` (or ELSE, for IF bodies) at line
+  /// start.  The caller consumes the terminator.
+  void parse_stmt_list(Program& prog, frontend::BlockStmt* block, Tok stop) {
+    skip_eols();
+    while (!check(Tok::End) && !check(stop) && !check(Tok::KwElse) &&
+           !gave_up_) {
+      parse_stmt(prog, block);
+      skip_eols();
+    }
+  }
+
+  void parse_stmt(Program& prog, frontend::BlockStmt* block) {
+    switch (peek().kind) {
+      case Tok::KwDim:
+        parse_dim(prog, current_func_, block);
+        return;
+      case Tok::KwIf: parse_if(prog, block); return;
+      case Tok::KwDo: parse_do_while(prog, block); return;
+      case Tok::KwWhile: parse_while(prog, block); return;
+      case Tok::KwFor: parse_for(prog, block); return;
+      case Tok::KwReturn: parse_return(prog, block); return;
+      case Tok::KwExit: {
+        const SourceLoc loc = advance().loc;
+        match_loop_keyword("EXIT");
+        block->stmts.push_back(prog.make_stmt<frontend::BreakStmt>(loc));
+        expect_eol("after EXIT");
+        return;
+      }
+      case Tok::KwContinue: {
+        const SourceLoc loc = advance().loc;
+        match_loop_keyword("CONTINUE");
+        block->stmts.push_back(prog.make_stmt<frontend::ContinueStmt>(loc));
+        expect_eol("after CONTINUE");
+        return;
+      }
+      case Tok::KwCall: {
+        advance();
+        const Token name_tok = expect(Tok::Ident, "after CALL");
+        Expr* call = parse_call(prog, name_tok);
+        block->stmts.push_back(
+            prog.make_stmt<frontend::ExprStmt>(call, name_tok.loc));
+        expect_eol("after the call");
+        return;
+      }
+      case Tok::KwLet:
+        advance();
+        [[fallthrough]];
+      case Tok::Ident: {
+        Expr* e = parse_assign_or_call(prog);
+        block->stmts.push_back(prog.make_stmt<frontend::ExprStmt>(e, e->loc()));
+        expect_eol("after the statement");
+        return;
+      }
+      default:
+        diags_.error(peek().loc, "expected a statement, found " +
+                                     std::string(token_name(peek().kind)));
+        gave_up_ = true;
+        return;
+    }
+  }
+
+  void match_loop_keyword(std::string_view what) {
+    if (!match(Tok::KwFor) && !match(Tok::KwDo) && !match(Tok::KwWhile)) {
+      diags_.error(peek().loc,
+                   "expected FOR, DO or WHILE after " + std::string(what));
+      gave_up_ = true;
+    }
+  }
+
+  void parse_if(Program& prog, frontend::BlockStmt* block) {
+    const SourceLoc loc = expect(Tok::KwIf, "").loc;
+    Expr* cond = parse_expr(prog);
+    expect(Tok::KwThen, "after the IF condition");
+    expect_eol("after THEN");
+    push_scope();
+    frontend::BlockStmt* then_block = prog.make_stmt<frontend::BlockStmt>(loc);
+    parse_stmt_list(prog, then_block, Tok::KwEnd);
+    pop_scope();
+    frontend::BlockStmt* else_block = nullptr;
+    if (match(Tok::KwElse)) {
+      expect_eol("after ELSE");
+      push_scope();
+      else_block = prog.make_stmt<frontend::BlockStmt>(loc);
+      parse_stmt_list(prog, else_block, Tok::KwEnd);
+      pop_scope();
+    }
+    expect(Tok::KwEnd, "to close the IF");
+    expect(Tok::KwIf, "after END");
+    expect_eol("after END IF");
+    block->stmts.push_back(
+        prog.make_stmt<frontend::IfStmt>(cond, then_block, else_block, loc));
+  }
+
+  void parse_do_while(Program& prog, frontend::BlockStmt* block) {
+    const SourceLoc loc = expect(Tok::KwDo, "").loc;
+    expect(Tok::KwWhile, "after DO");
+    Expr* cond = parse_expr(prog);
+    expect_eol("after the DO WHILE condition");
+    push_scope();
+    frontend::BlockStmt* body = prog.make_stmt<frontend::BlockStmt>(loc);
+    parse_stmt_list(prog, body, Tok::KwLoop);
+    pop_scope();
+    expect(Tok::KwLoop, "to close the DO WHILE");
+    expect_eol("after LOOP");
+    block->stmts.push_back(
+        prog.make_stmt<frontend::WhileStmt>(cond, body, loc));
+  }
+
+  void parse_while(Program& prog, frontend::BlockStmt* block) {
+    const SourceLoc loc = expect(Tok::KwWhile, "").loc;
+    Expr* cond = parse_expr(prog);
+    expect_eol("after the WHILE condition");
+    push_scope();
+    frontend::BlockStmt* body = prog.make_stmt<frontend::BlockStmt>(loc);
+    parse_stmt_list(prog, body, Tok::KwWend);
+    pop_scope();
+    expect(Tok::KwWend, "to close the WHILE");
+    expect_eol("after WEND");
+    block->stmts.push_back(
+        prog.make_stmt<frontend::WhileStmt>(cond, body, loc));
+  }
+
+  /// Two FOR headers share one statement node:
+  ///   FOR i = a TO b [STEP k]              counted sugar; becomes
+  ///                                        (i = a; i <= b; i = i + k),
+  ///                                        with >= and i - k when k is
+  ///                                        a negative literal
+  ///   FOR [i = a] [WHILE c] [STEP i = e]   general form, kept exactly
+  /// A FOR header introduces a fresh INTEGER loop variable unless the
+  /// name is already in scope, mirroring C's `for (int i = ...)` vs
+  /// `for (i = ...)`.
+  void parse_for(Program& prog, frontend::BlockStmt* block) {
+    const SourceLoc loc = expect(Tok::KwFor, "").loc;
+    push_scope();
+
+    Stmt* init = nullptr;
+    Expr* cond = nullptr;
+    Expr* step = nullptr;
+    Token name_tok;
+    bool have_var = false;
+    if (check(Tok::Ident)) {
+      have_var = true;
+      name_tok = advance();
+      expect(Tok::Assign, "after the loop variable");
+      Expr* start = parse_expr(prog);
+      if (lookup(name_tok.text) == nullptr) {
+        VarDecl* fresh = prog.make_var(name_tok.text, prog.types.int_type(),
+                                       StorageClass::Local, name_tok.loc);
+        fresh->owner = current_func_;
+        fresh->init = start;
+        declare(name_tok.text, /*is_array=*/false);
+        init = prog.make_stmt<frontend::DeclStmt>(fresh, name_tok.loc);
+      } else {
+        Expr* ref =
+            prog.make_expr<frontend::VarRefExpr>(name_tok.text, name_tok.loc);
+        init = prog.make_stmt<frontend::ExprStmt>(
+            prog.make_expr<frontend::AssignExpr>(AssignOp::None, ref, start,
+                                                 name_tok.loc),
+            name_tok.loc);
+      }
+    }
+
+    if (match(Tok::KwTo)) {
+      if (!have_var) {
+        diags_.error(peek().loc, "FOR ... TO requires a loop variable");
+        gave_up_ = true;
+        pop_scope();
+        return;
+      }
+      Expr* bound = parse_expr(prog);
+      // STEP k: a leading negative literal flips the direction, exactly
+      // like the C idiom `for (i = b; i >= 0; i = i - 1)`.
+      Expr* amount = nullptr;
+      bool downward = false;
+      if (match(Tok::KwStep)) {
+        if (check(Tok::Minus) && peek(1).kind == Tok::Int) {
+          advance();
+          const Token& lit = advance();
+          amount =
+              prog.make_expr<frontend::IntLiteralExpr>(lit.int_value, lit.loc);
+          downward = true;
+        } else {
+          amount = parse_expr(prog);
+        }
+      } else {
+        amount = prog.make_expr<frontend::IntLiteralExpr>(1, loc);
+      }
+      Expr* iv_cond =
+          prog.make_expr<frontend::VarRefExpr>(name_tok.text, name_tok.loc);
+      cond = prog.make_expr<frontend::BinaryExpr>(
+          downward ? BinaryOp::Ge : BinaryOp::Le, iv_cond, bound, loc);
+      Expr* iv_lhs =
+          prog.make_expr<frontend::VarRefExpr>(name_tok.text, name_tok.loc);
+      Expr* iv_rhs =
+          prog.make_expr<frontend::VarRefExpr>(name_tok.text, name_tok.loc);
+      step = prog.make_expr<frontend::AssignExpr>(
+          AssignOp::None, iv_lhs,
+          prog.make_expr<frontend::BinaryExpr>(
+              downward ? BinaryOp::Sub : BinaryOp::Add, iv_rhs, amount, loc),
+          loc);
+    } else {
+      if (match(Tok::KwWhile)) cond = parse_expr(prog);
+      if (match(Tok::KwStep)) step = parse_assign_or_call(prog);
+    }
+    expect_eol("after the FOR header");
+
+    frontend::BlockStmt* body = prog.make_stmt<frontend::BlockStmt>(loc);
+    parse_stmt_list(prog, body, Tok::KwNext);
+    expect(Tok::KwNext, "to close the FOR");
+    if (check(Tok::Ident)) {
+      const Token& closer = advance();
+      if (have_var && closer.text != name_tok.text) {
+        diags_.error(closer.loc, "NEXT " + closer.text +
+                                     " does not match FOR " + name_tok.text);
+      }
+    }
+    expect_eol("after NEXT");
+    pop_scope();
+    block->stmts.push_back(
+        prog.make_stmt<frontend::ForStmt>(init, cond, step, body, loc));
+  }
+
+  void parse_return(Program& prog, frontend::BlockStmt* block) {
+    const SourceLoc loc = expect(Tok::KwReturn, "").loc;
+    Expr* value = nullptr;
+    if (!check(Tok::Eol) && !check(Tok::End)) value = parse_expr(prog);
+    block->stmts.push_back(prog.make_stmt<frontend::ReturnStmt>(value, loc));
+    expect_eol("after RETURN");
+  }
+
+  /// Statement beginning with an identifier: an assignment to a scalar
+  /// or array element, or a call.  `a(i) = e` vs `f(x)` disambiguates
+  /// through the array scope stack.
+  Expr* parse_assign_or_call(Program& prog) {
+    const Token name_tok = expect(Tok::Ident, "to start the statement");
+    const ScopeEntry* entry = lookup(name_tok.text);
+    const bool is_array = entry != nullptr && entry->is_array;
+    if (check(Tok::LParen) && !is_array) return parse_call(prog, name_tok);
+
+    Expr* lhs =
+        prog.make_expr<frontend::VarRefExpr>(name_tok.text, name_tok.loc);
+    if (is_array && match(Tok::LParen)) {
+      do {
+        Expr* index = parse_expr(prog);
+        lhs = prog.make_expr<frontend::ArrayIndexExpr>(lhs, index,
+                                                       name_tok.loc);
+      } while (match(Tok::Comma));
+      expect(Tok::RParen, "after the subscript");
+    }
+    AssignOp op = AssignOp::None;
+    if (match(Tok::PlusAssign)) {
+      op = AssignOp::Add;
+    } else if (match(Tok::MinusAssign)) {
+      op = AssignOp::Sub;
+    } else if (match(Tok::StarAssign)) {
+      op = AssignOp::Mul;
+    } else if (match(Tok::SlashAssign)) {
+      op = AssignOp::Div;
+    } else {
+      expect(Tok::Assign, "in the assignment");
+    }
+    Expr* rhs = parse_expr(prog);
+    return prog.make_expr<frontend::AssignExpr>(op, lhs, rhs, name_tok.loc);
+  }
+
+  Expr* parse_call(Program& prog, const Token& name_tok) {
+    expect(Tok::LParen, "to open the argument list");
+    std::vector<Expr*> args;
+    if (!check(Tok::RParen)) {
+      do {
+        args.push_back(parse_expr(prog));
+      } while (match(Tok::Comma));
+    }
+    expect(Tok::RParen, "to close the argument list");
+    return prog.make_expr<frontend::CallExpr>(name_tok.text, std::move(args),
+                                              name_tok.loc);
+  }
+
+  // --- expressions --------------------------------------------------------
+
+  Expr* parse_expr(Program& prog) {
+    return parse_binary_rhs(prog, 0, parse_unary(prog));
+  }
+
+  Expr* parse_binary_rhs(Program& prog, int min_precedence, Expr* lhs) {
+    while (true) {
+      const int prec = precedence_of(peek().kind);
+      if (prec < min_precedence || prec < 0) return lhs;
+      const Token& op_tok = advance();
+      Expr* rhs = parse_unary(prog);
+      const int next_prec = precedence_of(peek().kind);
+      if (next_prec > prec) rhs = parse_binary_rhs(prog, prec + 1, rhs);
+      lhs = prog.make_expr<frontend::BinaryExpr>(binary_op_of(op_tok.kind),
+                                                 lhs, rhs, op_tok.loc);
+    }
+  }
+
+  Expr* parse_unary(Program& prog) {
+    const Token& tok = peek();
+    switch (tok.kind) {
+      case Tok::Minus:
+        advance();
+        return prog.make_expr<frontend::UnaryExpr>(UnaryOp::Neg,
+                                                   parse_unary(prog), tok.loc);
+      case Tok::KwNot:
+        advance();
+        return prog.make_expr<frontend::UnaryExpr>(UnaryOp::Not,
+                                                   parse_unary(prog), tok.loc);
+      case Tok::KwBnot:
+        advance();
+        return prog.make_expr<frontend::UnaryExpr>(UnaryOp::BitNot,
+                                                   parse_unary(prog), tok.loc);
+      default:
+        return parse_primary(prog);
+    }
+  }
+
+  Expr* parse_primary(Program& prog) {
+    const Token tok = peek();
+    switch (tok.kind) {
+      case Tok::Int:
+        advance();
+        return prog.make_expr<frontend::IntLiteralExpr>(tok.int_value,
+                                                        tok.loc);
+      case Tok::Float:
+        advance();
+        return prog.make_expr<frontend::FloatLiteralExpr>(
+            tok.float_value, tok.single_precision, tok.loc);
+      case Tok::LParen: {
+        advance();
+        Expr* inner = parse_expr(prog);
+        expect(Tok::RParen, "to close the parenthesized expression");
+        return inner;
+      }
+      case Tok::KwIif: {
+        advance();
+        expect(Tok::LParen, "after IIF");
+        Expr* cond = parse_expr(prog);
+        expect(Tok::Comma, "after the IIF condition");
+        Expr* then_expr = parse_expr(prog);
+        expect(Tok::Comma, "after the IIF true value");
+        Expr* else_expr = parse_expr(prog);
+        expect(Tok::RParen, "to close the IIF");
+        return prog.make_expr<frontend::ConditionalExpr>(cond, then_expr,
+                                                         else_expr, tok.loc);
+      }
+      case Tok::Ident: {
+        const Token name_tok = advance();
+        if (check(Tok::LParen)) {
+          const ScopeEntry* entry = lookup(name_tok.text);
+          if (entry != nullptr && entry->is_array) {
+            advance();
+            Expr* expr = prog.make_expr<frontend::VarRefExpr>(name_tok.text,
+                                                              name_tok.loc);
+            do {
+              Expr* index = parse_expr(prog);
+              expr = prog.make_expr<frontend::ArrayIndexExpr>(expr, index,
+                                                              name_tok.loc);
+            } while (match(Tok::Comma));
+            expect(Tok::RParen, "after the subscript");
+            return expr;
+          }
+          return parse_call(prog, name_tok);
+        }
+        return prog.make_expr<frontend::VarRefExpr>(name_tok.text,
+                                                    name_tok.loc);
+      }
+      default:
+        diags_.error(tok.loc, "expected an expression, found " +
+                                  std::string(token_name(tok.kind)));
+        gave_up_ = true;
+        advance();
+        return prog.make_expr<frontend::IntLiteralExpr>(0, tok.loc);
+    }
+  }
+
+  std::vector<Token> tokens_;
+  support::DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  bool gave_up_ = false;
+
+  frontend::FuncDecl* current_func_ = nullptr;
+  std::vector<ScopeEntry> scope_;
+  unsigned depth_ = 0;
+};
+
+}  // namespace
+
+frontend::Program compile_to_ast(std::string_view source,
+                                 support::DiagnosticEngine& diags) {
+  Lexer lexer(source, diags);
+  Parser parser(lexer.lex_all(), diags);
+  frontend::Program prog = parser.parse_program();
+  if (diags.has_errors()) {
+    throw support::CompileError("syntax errors:\n" + diags.render());
+  }
+  frontend::Sema sema(diags);
+  if (!sema.run(prog)) {
+    throw support::CompileError("semantic errors:\n" + diags.render());
+  }
+  return prog;
+}
+
+}  // namespace hli::frontend_basic

@@ -1,0 +1,23 @@
+// AST -> BASIC source renderer, the mirror of frontend/print.hpp: the
+// printed text of a BASIC-expressible Program re-parses (through the
+// BASIC front-end) to the same tree the mini-C printer's output
+// re-parses to through the C front-end.  The two renderers are kept
+// line-aligned construct for construct — a statement printed on line N
+// by one lands on line N in the other — because the HLI line table is
+// keyed by source line and cross-frontend equality tests compare HLI
+// bytes directly.
+#pragma once
+
+#include <string>
+
+#include "frontend/ast.hpp"
+
+namespace hli::frontend_basic {
+
+/// Renders a whole translation unit as BASIC: globals first, then
+/// functions in declaration order (externs as DECLARE lines).  Throws
+/// support::CompileError on constructs the BASIC surface cannot express
+/// (pointers, ++/--, assignments nested inside expressions).
+[[nodiscard]] std::string print_basic(const frontend::Program& prog);
+
+}  // namespace hli::frontend_basic

@@ -1,0 +1,21 @@
+#include "frontend_basic/testgen.hpp"
+
+#include "frontend/sema.hpp"
+#include "frontend_basic/print.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hli::testing {
+
+std::uint32_t basic_expressible(std::uint32_t features) {
+  return features & ~(static_cast<std::uint32_t>(kPointerParams) |
+                      static_cast<std::uint32_t>(kIncDec));
+}
+
+std::string generate_basic_source(const GenOptions& options) {
+  const std::string c_source = generate_source(options);
+  support::DiagnosticEngine diags;
+  frontend::Program prog = frontend::compile_to_ast(c_source, diags);
+  return frontend_basic::print_basic(prog);
+}
+
+}  // namespace hli::testing

@@ -1,0 +1,29 @@
+// BASIC leg of the seeded program generator (frontend/testgen.hpp): the
+// same generated program, re-rendered in the BASIC dialect.  Like the C
+// generator's header this one is AST-free — it is one of the two
+// test-generation headers scripts/check_layering.sh whitelists outside
+// the front-end layer, so harnesses (hlifuzz) can fuzz the BASIC
+// front-end without ever seeing an AST node.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "frontend/testgen.hpp"
+
+namespace hli::testing {
+
+/// The BASIC-expressible subset of a feature mask: everything except
+/// pointer parameters and ++/-- (the dialect has neither; testgen falls
+/// back to `i = i + 1` steps when kIncDec is masked).
+[[nodiscard]] std::uint32_t basic_expressible(std::uint32_t features);
+
+/// Generates the program for (seed, features) and renders it as BASIC
+/// source: the C rendering is parsed back to the shared front-end IR and
+/// printed through print_basic, so both renderings lower to byte-
+/// identical HLI and RTL.  `options.features` must already be
+/// BASIC-expressible (see basic_expressible); throws
+/// support::CompileError otherwise.
+[[nodiscard]] std::string generate_basic_source(const GenOptions& options);
+
+}  // namespace hli::testing

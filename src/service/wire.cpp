@@ -1,8 +1,10 @@
 #include "service/wire.hpp"
 
 #include <cstring>
+#include <optional>
 
 #include "backend/rtl.hpp"
+#include "frontend/contract.hpp"
 #include "support/string_utils.hpp"
 
 namespace hli::service {
@@ -227,8 +229,11 @@ std::string encode_options(const driver::PipelineOptions& options) {
   append_option(out, "fp_regs", options.regalloc.fp_regs);
   append_option(out, "exec_threads", options.exec_threads);
   append_option(out, "machine", options.sched_machine.name);
+  append_option(out, "frontend",
+                frontend::language_name(options.frontend_options.language));
   append_option(out, "merge_classes",
-                options.hli_build.merge_equal_range_classes);
+                options.frontend_options.merge_equal_range_classes);
+  append_option(out, "open_world", options.frontend_options.open_world_params);
   append_option(out, "counters", options.telemetry.counters);
   return out;
 }
@@ -299,8 +304,19 @@ driver::PipelineOptions decode_options(std::string_view text) {
                                "' (wire options name machines: r4600, "
                                "r10000)");
       }
+    } else if (key == "frontend") {
+      const std::optional<frontend::Language> language =
+          frontend::language_from_name(value);
+      if (!language.has_value()) {
+        throw ServiceError(ErrorCode::BadRequest,
+                           "unknown front-end '" + std::string(value) +
+                               "' (wire options name front-ends: c, basic)");
+      }
+      options.frontend_options.language = *language;
     } else if (key == "merge_classes") {
-      options.hli_build.merge_equal_range_classes = parse_bool(value, key);
+      options.frontend_options.merge_equal_range_classes = parse_bool(value, key);
+    } else if (key == "open_world") {
+      options.frontend_options.open_world_params = parse_bool(value, key);
     } else if (key == "counters") {
       options.telemetry.counters = parse_bool(value, key);
     } else {

@@ -9,8 +9,6 @@
 
 #include "backend/interp.hpp"
 #include "driver/parallel.hpp"
-#include "frontend/sema.hpp"
-#include "hli/builder.hpp"
 #include "hli/serialize.hpp"
 #include "hli/store.hpp"
 #include "service/client.hpp"
@@ -46,10 +44,10 @@ service::Server& shared_service_server() {
 std::string build_hli_bytes(const std::string& source,
                             const driver::PipelineOptions& options,
                             bool binary) {
-  support::DiagnosticEngine diags;
-  frontend::Program prog = frontend::compile_to_ast(source, diags);
-  const format::HliFile file = builder::build_hli(prog, options.hli_build);
-  return binary ? serialize::write_hlib(file) : serialize::write_hli(file);
+  frontend::AnalyzedUnit unit = frontend::analyze_unit(
+      source, options.frontend_options,
+      binary ? frontend::HliEncoding::Binary : frontend::HliEncoding::Text);
+  return std::move(unit.hli_bytes);
 }
 
 void apply_defect(backend::RtlProgram& rtl, PlantedDefect defect) {
@@ -490,14 +488,15 @@ std::vector<DiffConfig> default_matrix() {
 
 DiffResult run_differential(const std::string& source,
                             const std::vector<DiffConfig>& matrix,
-                            PlantedDefect defect, std::uint64_t max_insns) {
+                            PlantedDefect defect, std::uint64_t max_insns,
+                            frontend::Language language) {
   DiffResult result;
 
   {
     const DiffConfig base = baseline_config();
     try {
       driver::CompiledProgram compiled =
-          driver::compile_source(source, base.options);
+          driver::compile_source(source, base.options.with_language(language));
       result.baseline = observe(compiled, max_insns);
     } catch (const support::CompileError& e) {
       result.invalid_input = true;
@@ -515,7 +514,7 @@ DiffResult run_differential(const std::string& source,
   }
 
   for (const DiffConfig& cfg : matrix) {
-    driver::PipelineOptions options = cfg.options;
+    driver::PipelineOptions options = cfg.options.with_language(language);
     std::unique_ptr<HliStore> store;
     RunObservation obs;
     try {

@@ -117,11 +117,15 @@ struct DiffResult {
 /// caps each interpreter run; a baseline trip marks the input invalid
 /// (the generator's termination discipline guarantees small programs, so
 /// a runaway is a harness bug — or a reducer candidate that deleted a
-/// loop-counter update and must be rejected cheaply).
+/// loop-counter update and must be rejected cheaply).  `language` selects
+/// the front-end compiling `source` for the baseline AND every matrix
+/// entry — the whole differential harness (store channels, service leg,
+/// parallel legs included) runs unchanged over a BASIC program.
 [[nodiscard]] DiffResult run_differential(
     const std::string& source, const std::vector<DiffConfig>& matrix,
     PlantedDefect defect = PlantedDefect::None,
-    std::uint64_t max_insns = 50'000'000);
+    std::uint64_t max_insns = 50'000'000,
+    frontend::Language language = frontend::Language::C);
 
 /// Human-readable multi-line report ("config: field baseline=... got=...").
 [[nodiscard]] std::string describe(const DiffResult& result);

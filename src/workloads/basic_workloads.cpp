@@ -1,0 +1,200 @@
+// BASIC-suite workloads (docs/thin-waist.md): the second front-end's
+// counterpart to the Table-1 mini-C programs.  Each is built around the
+// dependence structure the paper's HLI exists to communicate — dense
+// loop-carried data dependences (LCDD) next to provably independent
+// loops — so the BASIC front-end exercises the same verifier, auditor,
+// loop classifier and parallel executor as the C suite:
+//
+//   basic.relax    1-D Gauss-Seidel-style recurrence: the sweep loop
+//                  carries a distance-1 LCDD (Serial), the seeding and
+//                  checksum loops carry none (DOALL / reduction).
+//   basic.stencil  2-D Jacobi smoothing on twin grids: the stencil and
+//                  copy-back nests are DOALL in both dimensions; only
+//                  the round counter is sequential.
+//   basic.matmul   Integer matrix product: DOALL over rows/columns with
+//                  an inner dot-product reduction, plus triangular
+//                  post-processing with subscript-coupled accesses.
+//
+// Like the C suite, programs emit their checksums through the external
+// `emit` sink and return a small exit value so every run mode (--run,
+// fuzz legs, service cache, --exec-threads lanes) has observable output.
+#include "workloads/workloads.hpp"
+
+namespace hli::workloads {
+
+extern const char* const kBasicRelaxSource = R"(DECLARE SUB emit(v AS INTEGER)
+DIM cell(256) AS INTEGER
+
+SUB seed_cells(n AS INTEGER)
+  FOR i = 0 TO n - 1
+    cell(i) = (i * 37 + 11) MOD 97
+  NEXT i
+END SUB
+
+SUB relax_forward(n AS INTEGER, rounds AS INTEGER)
+  DIM pass AS INTEGER
+  pass = 0
+  DO WHILE pass < rounds
+    FOR i = 1 TO n - 1
+      cell(i) = (cell(i - 1) + cell(i)) MOD 9973
+    NEXT i
+    pass = pass + 1
+  LOOP
+END SUB
+
+FUNCTION window_sum(n AS INTEGER) AS INTEGER
+  DIM acc AS INTEGER
+  acc = 0
+  FOR i = 2 TO n - 1
+    acc = (acc + cell(i) - cell(i - 2) + 9973) MOD 9973
+  NEXT i
+  RETURN acc
+END FUNCTION
+
+FUNCTION checksum(n AS INTEGER) AS INTEGER
+  DIM acc AS INTEGER
+  acc = 0
+  FOR i = 0 TO n - 1
+    acc = (acc * 31 + cell(i)) MOD 65521
+  NEXT i
+  RETURN acc
+END FUNCTION
+
+FUNCTION main() AS INTEGER
+  DIM n AS INTEGER
+  n = 256
+  seed_cells(n)
+  relax_forward(n, 8)
+  emit(window_sum(n))
+  DIM sum AS INTEGER
+  sum = checksum(n)
+  emit(sum)
+  RETURN sum MOD 251
+END FUNCTION
+)";
+
+extern const char* const kBasicStencilSource = R"(DECLARE SUB emit(v AS INTEGER)
+DIM grid(18, 18) AS INTEGER
+DIM temp(18, 18) AS INTEGER
+
+SUB init_grid(n AS INTEGER)
+  FOR i = 0 TO n - 1
+    FOR j = 0 TO n - 1
+      grid(i, j) = (i * 19 + j * 7 + 3) MOD 101
+      temp(i, j) = 0
+    NEXT j
+  NEXT i
+END SUB
+
+SUB smooth_once(n AS INTEGER)
+  FOR i = 1 TO n - 2
+    FOR j = 1 TO n - 2
+      temp(i, j) = (grid(i - 1, j) + grid(i + 1, j) + grid(i, j - 1) + grid(i, j + 1) + grid(i, j)) MOD 9973
+    NEXT j
+  NEXT i
+  FOR i = 1 TO n - 2
+    FOR j = 1 TO n - 2
+      grid(i, j) = temp(i, j)
+    NEXT j
+  NEXT i
+END SUB
+
+FUNCTION edge_sum(n AS INTEGER) AS INTEGER
+  DIM acc AS INTEGER
+  acc = 0
+  FOR i = 0 TO n - 1
+    acc = (acc + grid(i, 0) + grid(0, i)) MOD 65521
+  NEXT i
+  RETURN acc
+END FUNCTION
+
+FUNCTION checksum(n AS INTEGER) AS INTEGER
+  DIM acc AS INTEGER
+  acc = 0
+  FOR i = 0 TO n - 1
+    FOR j = 0 TO n - 1
+      acc = (acc * 17 + grid(i, j)) MOD 65521
+    NEXT j
+  NEXT i
+  RETURN acc
+END FUNCTION
+
+FUNCTION main() AS INTEGER
+  DIM n AS INTEGER
+  n = 18
+  init_grid(n)
+  DIM round AS INTEGER
+  round = 0
+  DO WHILE round < 6
+    smooth_once(n)
+    round = round + 1
+  LOOP
+  emit(edge_sum(n))
+  DIM sum AS INTEGER
+  sum = checksum(n)
+  emit(sum)
+  RETURN sum MOD 251
+END FUNCTION
+)";
+
+extern const char* const kBasicMatmulSource = R"(DECLARE SUB emit(v AS INTEGER)
+DIM lhs(24, 24) AS INTEGER
+DIM rhs(24, 24) AS INTEGER
+DIM prod(24, 24) AS INTEGER
+
+SUB fill_operands(n AS INTEGER)
+  FOR i = 0 TO n - 1
+    FOR j = 0 TO n - 1
+      lhs(i, j) = (i * 13 + j * 5 + 1) MOD 89
+      rhs(i, j) = (i * 7 + j * 11 + 2) MOD 83
+    NEXT j
+  NEXT i
+END SUB
+
+SUB multiply(n AS INTEGER)
+  FOR i = 0 TO n - 1
+    FOR j = 0 TO n - 1
+      DIM dot AS INTEGER
+      dot = 0
+      FOR k = 0 TO n - 1
+        dot = (dot + lhs(i, k) * rhs(k, j)) MOD 9973
+      NEXT k
+      prod(i, j) = dot
+    NEXT j
+  NEXT i
+END SUB
+
+FUNCTION trace_sum(n AS INTEGER) AS INTEGER
+  DIM acc AS INTEGER
+  acc = 0
+  FOR i = 0 TO n - 1
+    acc = (acc + prod(i, i) + prod(i, n - 1 - i)) MOD 65521
+  NEXT i
+  RETURN acc
+END FUNCTION
+
+FUNCTION lower_triangle(n AS INTEGER) AS INTEGER
+  DIM acc AS INTEGER
+  acc = 0
+  FOR i = 0 TO n - 1
+    FOR j = 0 TO i
+      acc = (acc * 29 + prod(i, j)) MOD 65521
+    NEXT j
+  NEXT i
+  RETURN acc
+END FUNCTION
+
+FUNCTION main() AS INTEGER
+  DIM n AS INTEGER
+  n = 24
+  fill_operands(n)
+  multiply(n)
+  emit(trace_sum(n))
+  DIM sum AS INTEGER
+  sum = lower_triangle(n)
+  emit(sum)
+  RETURN sum MOD 251
+END FUNCTION
+)";
+
+}  // namespace hli::workloads

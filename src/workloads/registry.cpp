@@ -17,6 +17,9 @@ extern const char* const kSwimSource;
 extern const char* const kSu2corSource;
 extern const char* const kMgridSource;
 extern const char* const kApsiSource;
+extern const char* const kBasicRelaxSource;
+extern const char* const kBasicStencilSource;
+extern const char* const kBasicMatmulSource;
 
 const std::vector<Workload>& all_workloads() {
   static const std::vector<Workload> workloads = {
@@ -38,8 +41,23 @@ const std::vector<Workload>& all_workloads() {
   return workloads;
 }
 
+const std::vector<Workload>& basic_workloads() {
+  static const std::vector<Workload> workloads = {
+      {"basic.relax", "BASIC", false, kBasicRelaxSource,
+       frontend::Language::Basic},
+      {"basic.stencil", "BASIC", false, kBasicStencilSource,
+       frontend::Language::Basic},
+      {"basic.matmul", "BASIC", false, kBasicMatmulSource,
+       frontend::Language::Basic},
+  };
+  return workloads;
+}
+
 const Workload* find_workload(const std::string& name) {
   for (const Workload& w : all_workloads()) {
+    if (w.name == name) return &w;
+  }
+  for (const Workload& w : basic_workloads()) {
     if (w.name == name) return &w;
   }
   return nullptr;

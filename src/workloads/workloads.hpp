@@ -9,19 +9,27 @@
 #include <string>
 #include <vector>
 
+#include "frontend/contract.hpp"
+
 namespace hli::workloads {
 
 struct Workload {
   std::string name;    ///< Paper's benchmark name, e.g. "101.tomcatv".
-  std::string suite;   ///< GNU / CINT92 / CINT95 / CFP92 / CFP95.
+  std::string suite;   ///< GNU / CINT92 / CINT95 / CFP92 / CFP95 / BASIC.
   bool floating_point = false;
   const char* source = nullptr;
+  /// Which front-end compiles `source` (docs/thin-waist.md).  The tools
+  /// auto-select it when a workload is named on the command line.
+  frontend::Language language = frontend::Language::C;
 };
 
-/// All 14 workloads in the paper's Table 1 order.
+/// All 14 mini-C workloads in the paper's Table 1 order.
 [[nodiscard]] const std::vector<Workload>& all_workloads();
 
-/// Lookup by name; null when unknown.
+/// The BASIC-suite workloads (second front-end, LCDD-heavy kernels).
+[[nodiscard]] const std::vector<Workload>& basic_workloads();
+
+/// Lookup by name across both suites; null when unknown.
 [[nodiscard]] const Workload* find_workload(const std::string& name);
 
 }  // namespace hli::workloads

@@ -1,5 +1,5 @@
-#include "analysis/depend.hpp"
-#include "analysis/section.hpp"
+#include "frontend/analysis/depend.hpp"
+#include "frontend/analysis/section.hpp"
 
 #include <gtest/gtest.h>
 

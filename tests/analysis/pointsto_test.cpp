@@ -1,4 +1,4 @@
-#include "analysis/pointsto.hpp"
+#include "frontend/analysis/pointsto.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,4 +1,4 @@
-#include "analysis/refmod.hpp"
+#include "frontend/analysis/refmod.hpp"
 
 #include <gtest/gtest.h>
 

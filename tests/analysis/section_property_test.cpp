@@ -9,7 +9,7 @@
 //     degrade to Maybe (it has a precise test for that fragment).
 #include <gtest/gtest.h>
 
-#include "analysis/section.hpp"
+#include "frontend/analysis/section.hpp"
 #include "frontend/sema.hpp"
 
 namespace hli::analysis {

@@ -4,7 +4,7 @@
 
 #include "backend/dce.hpp"
 #include "backend/interp.hpp"
-#include "backend/lower.hpp"
+#include "frontend/lower.hpp"
 #include "frontend/sema.hpp"
 
 namespace hli::backend {

@@ -4,10 +4,10 @@
 
 #include "backend/cse.hpp"
 #include "backend/interp.hpp"
-#include "backend/lower.hpp"
+#include "frontend/lower.hpp"
 #include "backend/mapping.hpp"
 #include "frontend/sema.hpp"
-#include "hli/builder.hpp"
+#include "frontend/hligen.hpp"
 #include "hli/maintain.hpp"
 #include "hli/query.hpp"
 

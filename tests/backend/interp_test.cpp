@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "backend/lower.hpp"
+#include "frontend/lower.hpp"
 #include "frontend/sema.hpp"
 
 namespace hli::backend {

@@ -1,4 +1,4 @@
-#include "backend/lower.hpp"
+#include "frontend/lower.hpp"
 
 #include <gtest/gtest.h>
 

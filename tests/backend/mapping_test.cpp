@@ -5,9 +5,9 @@
 
 #include <gtest/gtest.h>
 
-#include "backend/lower.hpp"
+#include "frontend/lower.hpp"
 #include "frontend/sema.hpp"
-#include "hli/builder.hpp"
+#include "frontend/hligen.hpp"
 
 namespace hli::backend {
 namespace {

@@ -7,12 +7,12 @@
 #include "backend/gcc_alias.hpp"
 #include "backend/interp.hpp"
 #include "backend/licm.hpp"
-#include "backend/lower.hpp"
+#include "frontend/lower.hpp"
 #include "backend/mapping.hpp"
 #include "backend/sched.hpp"
 #include "backend/unroll.hpp"
 #include "frontend/sema.hpp"
-#include "hli/builder.hpp"
+#include "frontend/hligen.hpp"
 #include "hli/query.hpp"
 
 namespace hli::backend {

@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "backend/interp.hpp"
-#include "backend/lower.hpp"
+#include "frontend/lower.hpp"
 #include "frontend/sema.hpp"
 
 namespace hli::backend {

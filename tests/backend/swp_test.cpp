@@ -5,10 +5,10 @@
 
 #include <gtest/gtest.h>
 
-#include "backend/lower.hpp"
+#include "frontend/lower.hpp"
 #include "backend/mapping.hpp"
 #include "frontend/sema.hpp"
-#include "hli/builder.hpp"
+#include "frontend/hligen.hpp"
 #include "machine/machine.hpp"
 
 namespace hli::backend {

@@ -87,7 +87,7 @@ TEST(PipelineTest, CountSourceLinesIgnoresBlanks) {
 TEST(PipelineTest, MaybeMergeKnobChangesHliSize) {
   PipelineOptions merged;
   PipelineOptions split;
-  split.hli_build.merge_equal_range_classes = false;
+  split.frontend_options.merge_equal_range_classes = false;
   const CompiledProgram a = compile_source(kKernel, merged);
   const CompiledProgram b = compile_source(kKernel, split);
   // Splitting classes cannot make the HLI smaller.

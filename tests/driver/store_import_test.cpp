@@ -9,7 +9,7 @@
 #include "driver/parallel.hpp"
 #include "driver/pipeline.hpp"
 #include "frontend/sema.hpp"
-#include "hli/builder.hpp"
+#include "frontend/hligen.hpp"
 #include "hli/serialize.hpp"
 #include "hli/store.hpp"
 #include "workloads/workloads.hpp"

@@ -1,0 +1,236 @@
+// The BASIC front-end against the thin-waist contract: semantically
+// identical C and BASIC programs must be indistinguishable past
+// frontend::analyze_unit — identical HLI (text and HLIB binary) and
+// byte-identical RTL.  Three layers of evidence:
+//   1. a hand-written, line-aligned C/BASIC twin pair;
+//   2. a property sweep: testgen programs (restricted to the
+//      BASIC-expressible feature set) re-rendered through print_basic
+//      and recompiled through the BASIC front-end;
+//   3. dialect unit tests for the parser's BASIC-specific corners
+//      (keyword case, FOR sugar, subscript/call disambiguation).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "backend/rtl.hpp"
+#include "frontend/contract.hpp"
+#include "frontend/print.hpp"
+#include "frontend/sema.hpp"
+#include "frontend/testgen.hpp"
+#include "frontend_basic/basic.hpp"
+#include "frontend_basic/print.hpp"
+#include "support/diagnostics.hpp"
+
+namespace {
+
+using namespace hli;
+
+std::string render_rtl(const backend::RtlProgram& rtl) {
+  std::string out;
+  for (const auto& func : rtl.functions) out += backend::to_string(func);
+  return out;
+}
+
+/// Compiles one source through the contract and returns (HLI text,
+/// HLIB bytes, rendered RTL).
+struct Compiled {
+  std::string hli_text;
+  std::string hlib;
+  std::string rtl;
+};
+
+Compiled run(std::string_view source, frontend::Language language) {
+  frontend::FrontendOptions options;
+  options.language = language;
+  Compiled out;
+  frontend::AnalyzedUnit text_unit =
+      frontend::analyze_unit(source, options, frontend::HliEncoding::Text);
+  out.hli_text = std::move(text_unit.hli_bytes);
+  out.rtl = render_rtl(text_unit.rtl);
+  frontend::AnalyzedUnit bin_unit =
+      frontend::analyze_unit(source, options, frontend::HliEncoding::Binary);
+  out.hlib = std::move(bin_unit.hli_bytes);
+  return out;
+}
+
+// Line-aligned twins: every statement sits on the same source line in
+// both programs, so the HLI line tables must agree key for key.
+constexpr const char* kTwinC = R"(int data[64];
+int acc;
+int sum(int n) {
+  int s;
+  s = 0;
+  for (int i = 0; i <= n - 1; i = i + 1) {
+    s = s + data[i];
+  }
+  return s;
+}
+int scale2(int n) {
+  for (int i = 0; i <= n - 1; i = i + 1) {
+    data[i] = data[i] * 2;
+  }
+  return n;
+}
+int main() {
+  int t;
+  t = sum(32);
+  acc = t + scale2(16);
+  return acc;
+}
+)";
+
+constexpr const char* kTwinBasic = R"(DIM data(64) AS INTEGER
+DIM acc AS INTEGER
+FUNCTION sum(n AS INTEGER) AS INTEGER
+  DIM s AS INTEGER
+  s = 0
+  FOR i = 0 TO n - 1
+    s = s + data(i)
+  NEXT i
+  RETURN s
+END FUNCTION
+FUNCTION scale2(n AS INTEGER) AS INTEGER
+  FOR i = 0 TO n - 1
+    data(i) = data(i) * 2
+  NEXT i
+  RETURN n
+END FUNCTION
+FUNCTION main() AS INTEGER
+  DIM t AS INTEGER
+  t = sum(32)
+  acc = t + scale2(16)
+  RETURN acc
+END FUNCTION
+)";
+
+TEST(BasicFrontendTest, TwinProgramsProduceIdenticalHliAndRtl) {
+  const Compiled c = run(kTwinC, frontend::Language::C);
+  const Compiled basic = run(kTwinBasic, frontend::Language::Basic);
+  EXPECT_EQ(c.hli_text, basic.hli_text);
+  EXPECT_EQ(c.hlib, basic.hlib);
+  EXPECT_EQ(c.rtl, basic.rtl);
+  EXPECT_FALSE(c.rtl.empty());
+}
+
+TEST(BasicFrontendTest, GeneratedProgramsSurviveTheBasicRoundTrip) {
+  // Everything testgen can produce minus what BASIC cannot say:
+  // pointers and ++/--.  (testgen falls back to `i = i + 1` steps when
+  // kIncDec is masked.)
+  const std::uint32_t features =
+      hli::testing::kAllFeatures &
+      ~(hli::testing::kPointerParams | hli::testing::kIncDec);
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    hli::testing::GenOptions options;
+    options.seed = seed;
+    options.features = features;
+    const std::string c_source = hli::testing::generate_source(options);
+
+    support::DiagnosticEngine diags;
+    frontend::Program prog = frontend::compile_to_ast(c_source, diags);
+    const std::string basic_source = frontend_basic::print_basic(prog);
+
+    const Compiled c = run(c_source, frontend::Language::C);
+    const Compiled basic = run(basic_source, frontend::Language::Basic);
+    EXPECT_EQ(c.hli_text, basic.hli_text) << "seed " << seed;
+    EXPECT_EQ(c.hlib, basic.hlib) << "seed " << seed;
+    EXPECT_EQ(c.rtl, basic.rtl) << "seed " << seed;
+  }
+}
+
+TEST(BasicFrontendTest, PrintBasicIsIdempotent) {
+  support::DiagnosticEngine diags;
+  frontend::Program prog = frontend_basic::compile_to_ast(kTwinBasic, diags);
+  const std::string once = frontend_basic::print_basic(prog);
+
+  support::DiagnosticEngine diags2;
+  frontend::Program reparsed = frontend_basic::compile_to_ast(once, diags2);
+  EXPECT_EQ(once, frontend_basic::print_basic(reparsed));
+}
+
+// --- dialect corners ------------------------------------------------------
+
+TEST(BasicFrontendTest, KeywordsAreCaseInsensitive) {
+  support::DiagnosticEngine diags;
+  const char* source = R"(dim g as integer
+function main() as integer
+  g = 7
+  return g
+end function
+)";
+  frontend::Program prog = frontend_basic::compile_to_ast(source, diags);
+  ASSERT_NE(prog.find_function("main"), nullptr);
+  EXPECT_EQ(prog.globals.size(), 1u);
+  EXPECT_EQ(prog.globals[0]->name(), "g");
+}
+
+TEST(BasicFrontendTest, SubscriptsAndCallsDisambiguate) {
+  // `data(i)` subscripts because data was DIM'd with a dimension;
+  // `twice(i)` calls because twice is not an array.
+  const char* source = R"(DIM data(8) AS INTEGER
+FUNCTION twice(n AS INTEGER) AS INTEGER
+  RETURN n * 2
+END FUNCTION
+FUNCTION main() AS INTEGER
+  FOR i = 0 TO 7
+    data(i) = twice(i)
+  NEXT i
+  RETURN data(3)
+END FUNCTION
+)";
+  support::DiagnosticEngine diags;
+  frontend::Program prog = frontend_basic::compile_to_ast(source, diags);
+  const frontend::FuncDecl* main_fn = prog.find_function("main");
+  ASSERT_NE(main_fn, nullptr);
+  // RETURN data(3) must resolve to an array access, not a call.
+  const auto* ret = static_cast<const frontend::ReturnStmt*>(
+      main_fn->body->stmts.back());
+  ASSERT_EQ(ret->value->kind(), frontend::ExprKind::ArrayIndex);
+}
+
+TEST(BasicFrontendTest, CountedForDesugarsDownwardSteps) {
+  const char* source = R"(DIM data(8) AS INTEGER
+FUNCTION main() AS INTEGER
+  FOR i = 7 TO 0 STEP -1
+    data(i) = i
+  NEXT i
+  RETURN data(0)
+END FUNCTION
+)";
+  support::DiagnosticEngine diags;
+  frontend::Program prog = frontend_basic::compile_to_ast(source, diags);
+  const frontend::FuncDecl* main_fn = prog.find_function("main");
+  const auto* loop = static_cast<const frontend::ForStmt*>(
+      main_fn->body->stmts.front());
+  const auto* cond = static_cast<const frontend::BinaryExpr*>(loop->cond);
+  EXPECT_EQ(cond->op, frontend::BinaryOp::Ge);
+  const auto* step = static_cast<const frontend::AssignExpr*>(loop->step);
+  const auto* rhs = static_cast<const frontend::BinaryExpr*>(step->rhs);
+  EXPECT_EQ(rhs->op, frontend::BinaryOp::Sub);
+}
+
+TEST(BasicFrontendTest, MismatchedNextIsASyntaxError) {
+  const char* source = R"(FUNCTION main() AS INTEGER
+  FOR i = 0 TO 3
+  NEXT j
+  RETURN 0
+END FUNCTION
+)";
+  support::DiagnosticEngine diags;
+  EXPECT_THROW(frontend_basic::compile_to_ast(source, diags),
+               support::CompileError);
+}
+
+TEST(BasicFrontendTest, EqualsInsideExpressionsIsEquality) {
+  const char* source = R"(FUNCTION main() AS INTEGER
+  DIM x AS INTEGER = 4
+  DIM y AS INTEGER
+  y = IIF(x = 4, 1, 0)
+  RETURN y
+END FUNCTION
+)";
+  support::DiagnosticEngine diags;
+  frontend::Program prog = frontend_basic::compile_to_ast(source, diags);
+  EXPECT_NE(prog.find_function("main"), nullptr);
+}
+
+}  // namespace

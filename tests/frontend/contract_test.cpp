@@ -1,0 +1,133 @@
+// AnalyzedUnit contract tests (docs/thin-waist.md): the struct is the
+// whole front-end hand-off, so it must (a) stay fully usable after every
+// front-end structure is gone — the query hooks answer from values
+// captured at analysis time, never from AST pointers — and (b) behave
+// identically whether the HLI channel was serialized (want_hli) or will
+// arrive from an external store (want_hli false): only hli_bytes may
+// differ between the two.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "backend/rtl.hpp"
+#include "frontend/contract.hpp"
+
+namespace {
+
+using namespace hli;
+
+constexpr const char* kCSource = R"(int data[16];
+int fill(int n) {
+  for (int i = 0; i <= n - 1; i = i + 1) {
+    data[i] = i;
+  }
+  return n;
+}
+int main() {
+  return fill(16) + data[3];
+}
+)";
+
+constexpr const char* kBasicSource = R"(DIM data(16) AS INTEGER
+FUNCTION fill(n AS INTEGER) AS INTEGER
+  FOR i = 0 TO n - 1
+    data(i) = i
+  NEXT i
+  RETURN n
+END FUNCTION
+FUNCTION main() AS INTEGER
+  RETURN fill(16) + data(3)
+END FUNCTION
+)";
+
+frontend::AnalyzedUnit analyze(std::string_view source,
+                               frontend::Language language,
+                               bool want_hli = true) {
+  frontend::FrontendOptions options;
+  options.language = language;
+  // By the time this returns, the front-end's AST, arenas and diagnostic
+  // state are destroyed; everything below runs against the bare struct.
+  return frontend::analyze_unit(source, options, frontend::HliEncoding::Text,
+                                want_hli);
+}
+
+std::string render_rtl(const backend::RtlProgram& rtl) {
+  std::string out;
+  for (const auto& func : rtl.functions) out += backend::to_string(func);
+  return out;
+}
+
+TEST(ContractTest, HooksAnswerAfterTheFrontEndIsGone) {
+  const frontend::AnalyzedUnit unit = analyze(kCSource, frontend::Language::C);
+  EXPECT_EQ(unit.language, frontend::Language::C);
+  EXPECT_EQ(unit.line_text(1), "int data[16];");
+  EXPECT_EQ(unit.line_text(2), "int fill(int n) {");
+  ASSERT_TRUE(unit.decl_line("fill").has_value());
+  EXPECT_EQ(*unit.decl_line("fill"), 2u);
+  ASSERT_TRUE(unit.decl_line("main").has_value());
+  EXPECT_EQ(unit.decl_line("nope"), std::nullopt);
+}
+
+TEST(ContractTest, HooksSurviveCopyAndMove) {
+  frontend::AnalyzedUnit original = analyze(kCSource, frontend::Language::C);
+  frontend::AnalyzedUnit copy = original;
+  frontend::AnalyzedUnit moved = std::move(original);
+  EXPECT_EQ(copy.line_text(1), "int data[16];");
+  EXPECT_EQ(moved.line_text(1), "int data[16];");
+  ASSERT_TRUE(copy.decl_line("main").has_value());
+  EXPECT_EQ(*copy.decl_line("main"), *moved.decl_line("main"));
+  EXPECT_EQ(copy.hli_bytes, moved.hli_bytes);
+}
+
+TEST(ContractTest, OutOfRangeLinesAreEmptyNotFatal) {
+  const frontend::AnalyzedUnit unit = analyze(kCSource, frontend::Language::C);
+  EXPECT_EQ(unit.line_text(0), "");
+  EXPECT_EQ(unit.line_text(100000), "");
+}
+
+TEST(ContractTest, SourceMapMatchesTheHooks) {
+  const frontend::AnalyzedUnit unit = analyze(kCSource, frontend::Language::C);
+  EXPECT_GT(unit.source_lines, 0u);
+  ASSERT_EQ(unit.function_lines.size(), 2u);
+  for (const auto& [name, line] : unit.function_lines) {
+    ASSERT_TRUE(unit.decl_line(name).has_value()) << name;
+    EXPECT_EQ(*unit.decl_line(name), line) << name;
+  }
+}
+
+TEST(ContractTest, StoreBackedUnitDiffersOnlyInHliBytes) {
+  // want_hli=false models the store-backed path: the driver will import
+  // the tables from a pre-built HLIB store, so the front-end skips
+  // serialization — and must change nothing else.
+  for (const auto& [source, language] :
+       {std::pair{kCSource, frontend::Language::C},
+        std::pair{kBasicSource, frontend::Language::Basic}}) {
+    const frontend::AnalyzedUnit parsed = analyze(source, language, true);
+    const frontend::AnalyzedUnit store_backed = analyze(source, language, false);
+    EXPECT_FALSE(parsed.hli_bytes.empty());
+    EXPECT_TRUE(store_backed.hli_bytes.empty());
+    EXPECT_EQ(render_rtl(parsed.rtl), render_rtl(store_backed.rtl));
+    EXPECT_EQ(parsed.source_lines, store_backed.source_lines);
+    EXPECT_EQ(parsed.function_lines, store_backed.function_lines);
+    EXPECT_EQ(parsed.line_text(1), store_backed.line_text(1));
+    EXPECT_EQ(parsed.decl_line("fill"), store_backed.decl_line("fill"));
+  }
+}
+
+TEST(ContractTest, BothFrontEndsFillTheSameContract) {
+  const frontend::AnalyzedUnit c = analyze(kCSource, frontend::Language::C);
+  const frontend::AnalyzedUnit basic =
+      analyze(kBasicSource, frontend::Language::Basic);
+  EXPECT_EQ(c.language, frontend::Language::C);
+  EXPECT_EQ(basic.language, frontend::Language::Basic);
+  // The twins are line-aligned, so the whole downstream-visible surface
+  // agrees: HLI bytes, RTL, and the source-position map.
+  EXPECT_EQ(c.hli_bytes, basic.hli_bytes);
+  EXPECT_EQ(render_rtl(c.rtl), render_rtl(basic.rtl));
+  EXPECT_EQ(c.function_lines, basic.function_lines);
+  // Only the raw line text differs — it reflects the actual source.
+  EXPECT_EQ(basic.line_text(1), "DIM data(16) AS INTEGER");
+}
+
+}  // namespace

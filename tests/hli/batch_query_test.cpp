@@ -15,7 +15,7 @@
 #include "driver/pipeline.hpp"
 #include "frontend/sema.hpp"
 #include "hli/batch_query.hpp"
-#include "hli/builder.hpp"
+#include "frontend/hligen.hpp"
 #include "hli/query.hpp"
 #include "hli/reference_query.hpp"
 #include "hli/serialize.hpp"

@@ -1,4 +1,4 @@
-#include "hli/builder.hpp"
+#include "frontend/hligen.hpp"
 
 #include <gtest/gtest.h>
 

@@ -10,7 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "frontend/sema.hpp"
-#include "hli/builder.hpp"
+#include "frontend/hligen.hpp"
 #include "hli/query.hpp"
 #include "hli/reference_query.hpp"
 #include "hli/serialize.hpp"

@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "frontend/sema.hpp"
-#include "hli/builder.hpp"
+#include "frontend/hligen.hpp"
 #include "hli/query.hpp"
 
 namespace hli::testing {

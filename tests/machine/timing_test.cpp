@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "backend/lower.hpp"
+#include "frontend/lower.hpp"
 #include "frontend/sema.hpp"
 
 namespace hli::machine {
@@ -15,7 +15,7 @@ RtlProgram lower(const std::string& src) {
   support::DiagnosticEngine diags;
   frontend::Program prog = frontend::compile_to_ast(src, diags);
   // NOTE: prog must outlive nothing — lower_program copies what it needs.
-  return backend::lower_program(prog);
+  return frontend::lower_program(prog);
 }
 
 std::uint64_t cycles_inorder(const RtlProgram& rtl, MachineDesc desc) {

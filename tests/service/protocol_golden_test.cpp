@@ -186,6 +186,28 @@ TEST(ProtocolGoldenTest, OptionsCodecRoundTripsDefaults) {
   EXPECT_NE(text.find("use_hli=1\n"), std::string::npos) << text;
   EXPECT_NE(text.find("verify_hli=off\n"), std::string::npos) << text;
   EXPECT_NE(text.find("encoding=text\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("frontend=c\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("open_world=0\n"), std::string::npos) << text;
+}
+
+TEST(ProtocolGoldenTest, OptionsCodecCarriesTheFrontend) {
+  // The front-end selection must survive the wire: a BASIC compile
+  // request served from a cache keyed without it would hand back C
+  // results (and vice versa).
+  const hli::driver::PipelineOptions basic =
+      hli::driver::PipelineOptions{}.with_language(
+          hli::frontend::Language::Basic);
+  const std::string text = encode_options(basic);
+  EXPECT_NE(text.find("frontend=basic\n"), std::string::npos) << text;
+  EXPECT_EQ(decode_options(text).frontend_options.language,
+            hli::frontend::Language::Basic);
+  EXPECT_EQ(text, encode_options(decode_options(text)));
+  try {
+    (void)decode_options("frontend=cobol\n");
+    FAIL() << "unknown front-end accepted";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::BadRequest);
+  }
 }
 
 TEST(ProtocolGoldenTest, OptionsCodecRejectsUnknownKeyAndBadValue) {

@@ -22,10 +22,8 @@
 #include <vector>
 
 #include "driver/pipeline.hpp"
-#include "hli/builder.hpp"
 #include "hli/serialize.hpp"
 #include "hli/store.hpp"
-#include "frontend/sema.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
 #include "support/diagnostics.hpp"
@@ -51,11 +49,9 @@ int main()
 )";
 
 std::string write_store_file(const std::string& tag) {
-  support::DiagnosticEngine diags;
-  frontend::Program prog = frontend::compile_to_ast(kSource, diags);
-  const driver::PipelineOptions options;
-  const format::HliFile file = builder::build_hli(prog, options.hli_build);
-  const std::string bytes = serialize::write_hlib(file);
+  frontend::AnalyzedUnit unit =
+      frontend::analyze_unit(kSource, {}, frontend::HliEncoding::Binary);
+  const std::string bytes = std::move(unit.hli_bytes);
   const std::string path = testutil::unique_temp_path(tag + ".hlib");
   std::ofstream out(path, std::ios::binary);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));

@@ -8,7 +8,7 @@
 #include <string>
 
 #include "testing/diff.hpp"
-#include "testing/generator.hpp"
+#include "frontend/testgen.hpp"
 
 namespace {
 

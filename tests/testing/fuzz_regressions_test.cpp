@@ -10,7 +10,7 @@
 #include "frontend/sema.hpp"
 #include "support/diagnostics.hpp"
 #include "testing/diff.hpp"
-#include "testing/generator.hpp"
+#include "frontend/testgen.hpp"
 #include "testing/reduce.hpp"
 
 namespace {

@@ -9,7 +9,7 @@
 #include "frontend/sema.hpp"
 #include "support/diagnostics.hpp"
 #include "testing/diff.hpp"
-#include "testing/generator.hpp"
+#include "frontend/testgen.hpp"
 
 namespace {
 

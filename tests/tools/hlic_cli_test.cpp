@@ -13,7 +13,7 @@
 #include <string>
 
 #include "frontend/sema.hpp"
-#include "hli/builder.hpp"
+#include "frontend/hligen.hpp"
 #include "hli/serialize.hpp"
 #include "tests/testutil/temp_path.hpp"
 

@@ -1,6 +1,6 @@
 // hlic — the command-line front door to the whole pipeline.
 //
-//   hlic [options] <file.c | workload-name>...
+//   hlic [options] <file.c | file.bas | workload-name>...
 //
 //   --dump-hli        write the serialized HLI interchange bytes to
 //                     stdout (text, or raw HLIB with --emit=binary)
@@ -25,10 +25,12 @@
 // deterministic JSON document (per-input + per-function counters and the
 // aggregated total) that is byte-identical for any --jobs value.
 //
-// Each positional argument is a path to a mini-C source file, or the name
-// of a built-in workload (e.g. "102.swim").  Multiple inputs compile in
-// parallel (see --jobs); results print in input order, each under a
-// "== <input> ==" banner when there is more than one.
+// Each positional argument is a path to a source file (mini-C `.c` or
+// BASIC `.bas` — the front-end follows the extension unless --frontend
+// overrides it), or the name of a built-in workload (e.g. "102.swim",
+// "basic.stencil").  Multiple inputs compile in parallel (see --jobs);
+// results print in input order, each under a "== <input> ==" banner when
+// there is more than one.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -75,7 +77,7 @@ int usage() {
                "usage: hlic [--dump-hli] [--pretty] [--dump-rtl] [--run]\n"
                "            [--simulate=r4600|r10000] [--no-hli] [--unroll[=N]]\n"
                "            [--remote=HOST:PORT|unix:PATH]\n"
-               "            [shared flags] <file.c | workload-name>...\n"
+               "            [shared flags] <file.c | file.bas | workload-name>...\n"
                "       hlic --verify <file.hli | file.hlib>...\n"
                "       hlic --list-workloads\n"
                "shared flags:\n%s",
@@ -114,6 +116,9 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
           static_cast<unsigned>(std::stoul(arg.substr(9))));
     } else if (arg == "--list-workloads") {
       for (const auto& w : workloads::all_workloads()) {
+        std::printf("%-14s %s\n", w.name.c_str(), w.suite.c_str());
+      }
+      for (const auto& w : workloads::basic_workloads()) {
         std::printf("%-14s %s\n", w.name.c_str(), w.suite.c_str());
       }
       std::exit(0);
@@ -362,6 +367,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> sources(options.inputs.size());
   for (std::size_t i = 0; i < options.inputs.size(); ++i) {
     if (!load_source(options.inputs[i], sources[i])) return 1;
+  }
+  if (!tools::resolve_frontend(options.common, options.inputs, "hlic")) {
+    return 2;
   }
 
   telemetry::Tracer tracer;

@@ -16,7 +16,7 @@
 // Client mode:
 //   hlid --client (--connect=HOST:PORT | --unix=PATH)
 //        [--dump-rtl] [--stats] [--store=PATH] [shared flags]
-//        <file.c | workload-name>...
+//        <file.c | file.bas | workload-name>...
 //   hlid --client --connect=... (--ping | --server-stats | --shutdown)
 //
 //   --dump-rtl output is byte-identical to `hlic --dump-rtl` for the
@@ -82,7 +82,7 @@ int usage() {
       "            [--response-cache-size=N] [--port-file=PATH]\n"
       "       hlid --client (--connect=HOST:PORT | --unix=PATH)\n"
       "            [--dump-rtl] [--stats] [--store=PATH] [shared flags]\n"
-      "            <file.c | workload-name>...\n"
+      "            <file.c | file.bas | workload-name>...\n"
       "       hlid --client --connect=... (--ping|--server-stats|--shutdown)\n"
       "       hlid --bench [--bench-out=PATH]\n"
       "shared flags:\n%s",
@@ -250,6 +250,9 @@ int run_client(CliOptions& options) {
   std::vector<std::string> sources(options.inputs.size());
   for (std::size_t i = 0; i < options.inputs.size(); ++i) {
     if (!load_source(options.inputs[i], sources[i])) return 1;
+  }
+  if (!tools::resolve_frontend(options.common, options.inputs, "hlid")) {
+    return 2;
   }
   // --stats is consumed by parse_common_flag (shared vocabulary) and
   // routes through the same telemetry switch as hlic, so the options

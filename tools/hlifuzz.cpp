@@ -21,7 +21,11 @@
 //   --no-reduce       report divergences without minimizing them
 //   --quiet           per-iteration progress off
 //
-// plus the shared tool flags (tools/options.hpp): --jobs[=]N fans the
+// plus the shared tool flags (tools/options.hpp): --frontend=basic runs
+// the whole differential matrix over the BASIC rendering of each
+// generated program (features outside the dialect — pointer params,
+// ++/-- — are masked off; --reduce auto-detects `.bas` inputs);
+// --jobs[=]N fans the
 // iterations out across threads (reporting/reduction stays in seed order,
 // so results and exit status are identical to a serial run);
 // --verify-hli[=fatal|warn] and --emit=binary|text override the matrix's
@@ -53,7 +57,8 @@
 #include "bench/bench_json.hpp"
 #include "driver/parallel.hpp"
 #include "testing/diff.hpp"
-#include "testing/generator.hpp"
+#include "frontend/testgen.hpp"
+#include "frontend_basic/testgen.hpp"
 #include "testing/reduce.hpp"
 #include "tools/options.hpp"
 
@@ -143,9 +148,10 @@ testing::GenOptions gen_options(const CliOptions& cli, std::uint64_t seed) {
 /// of spinning to the default 50M-insn ceiling.
 bool still_diverges(const std::string& source,
                     const std::vector<testing::DiffConfig>& matrix,
-                    testing::PlantedDefect plant, std::uint64_t max_insns) {
+                    testing::PlantedDefect plant, std::uint64_t max_insns,
+                    frontend::Language language) {
   const testing::DiffResult r =
-      testing::run_differential(source, matrix, plant, max_insns);
+      testing::run_differential(source, matrix, plant, max_insns, language);
   return !r.invalid_input && r.diverged();
 }
 
@@ -181,9 +187,11 @@ struct ReproPaths {
   std::string reduced;
 };
 
-ReproPaths repro_paths(const std::string& dir, std::uint64_t seed) {
+ReproPaths repro_paths(const std::string& dir, std::uint64_t seed,
+                       frontend::Language language) {
   const std::string stem = dir + "/seed" + std::to_string(seed);
-  return {stem + ".c", stem + ".report.txt", stem + ".min.c"};
+  const char* ext = language == frontend::Language::Basic ? ".bas" : ".c";
+  return {stem + ext, stem + ".report.txt", stem + ".min" + ext};
 }
 
 int run_reduce_mode(const CliOptions& cli) {
@@ -197,9 +205,17 @@ int run_reduce_mode(const CliOptions& cli) {
   buf << in.rdbuf();
   const std::string source = buf.str();
 
+  // A `.bas` reproducer selects the BASIC front-end on its own;
+  // --frontend stays the explicit override.
+  const frontend::Language language =
+      cli.common.frontend_set
+          ? cli.common.frontend
+          : frontend::language_for_path(cli.reduce_path)
+                .value_or(frontend::Language::C);
+
   const std::vector<testing::DiffConfig> matrix = testing::default_matrix();
-  const testing::DiffResult initial =
-      testing::run_differential(source, matrix, cli.plant);
+  const testing::DiffResult initial = testing::run_differential(
+      source, matrix, cli.plant, 50'000'000, language);
   if (initial.invalid_input) {
     std::fprintf(stderr, "hlifuzz: input is invalid: %s\n",
                  initial.invalid_reason.c_str());
@@ -219,7 +235,7 @@ int run_reduce_mode(const CliOptions& cli) {
   const testing::ReduceResult reduced = testing::reduce_source(
       source,
       [&](const std::string& candidate) {
-        return still_diverges(candidate, target, cli.plant, budget);
+        return still_diverges(candidate, target, cli.plant, budget, language);
       },
       ropts);
   std::fprintf(stderr, "hlifuzz: reduced %zu -> %zu lines in %u checks%s\n",
@@ -288,9 +304,27 @@ int main(int argc, char** argv) {
                 testing::render_features(testing::kDefaultFeatures).c_str());
     return 0;
   }
+
+  // --frontend=basic: every generated program fuzzes the BASIC front-end
+  // instead, with features the dialect cannot express masked off.
+  const frontend::Language language = cli.common.frontend;
+  if (language == frontend::Language::Basic) {
+    const std::uint32_t expressible = testing::basic_expressible(cli.features);
+    if (expressible != cli.features && !cli.quiet) {
+      std::fprintf(
+          stderr, "hlifuzz: --frontend=basic masks %s (not in the dialect)\n",
+          testing::render_features(cli.features & ~expressible).c_str());
+    }
+    cli.features = expressible;
+  }
+  const auto generate = [&](std::uint64_t seed) {
+    return language == frontend::Language::Basic
+               ? testing::generate_basic_source(gen_options(cli, seed))
+               : testing::generate_source(gen_options(cli, seed));
+  };
+
   if (cli.emit_source) {
-    std::fputs(testing::generate_source(gen_options(cli, cli.seed)).c_str(),
-               stdout);
+    std::fputs(generate(cli.seed).c_str(), stdout);
     return 0;
   }
   if (!cli.reduce_path.empty()) return run_reduce_mode(cli);
@@ -332,8 +366,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> sources(cli.iterations);
   std::vector<testing::DiffResult> results(cli.iterations);
   driver::parallel_for(cli.iterations, cli.common.jobs, [&](std::size_t i) {
-    sources[i] = testing::generate_source(gen_options(cli, cli.seed + i));
-    results[i] = testing::run_differential(sources[i], matrix, cli.plant);
+    sources[i] = generate(cli.seed + i);
+    results[i] = testing::run_differential(sources[i], matrix, cli.plant,
+                                           50'000'000, language);
   });
 
   for (std::uint64_t i = 0; i < cli.iterations; ++i) {
@@ -371,7 +406,8 @@ int main(int argc, char** argv) {
     }
 
     const ReproPaths paths = repro_paths(
-        cli.repro_dir.empty() ? std::string(".") : cli.repro_dir, seed);
+        cli.repro_dir.empty() ? std::string(".") : cli.repro_dir, seed,
+        language);
     if (!cli.repro_dir.empty()) {
       if (!write_file(paths.source, source) ||
           !write_file(paths.report, testing::describe(result))) {
@@ -393,7 +429,8 @@ int main(int argc, char** argv) {
       const testing::ReduceResult reduced = testing::reduce_source(
           source,
           [&](const std::string& candidate) {
-            return still_diverges(candidate, target, cli.plant, budget);
+            return still_diverges(candidate, target, cli.plant, budget,
+                                  language);
           },
           ropts);
       if (divergent == 1) first_reduced_lines = reduced.final_lines;

@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
+
+#include "workloads/workloads.hpp"
 
 namespace hli::tools {
 
@@ -164,6 +167,29 @@ ParseStatus parse_common_flag(int argc, char** argv, int& i, const char* tool,
     out.exec_threads_set = true;
     return ParseStatus::Handled;
   }
+  if (arg == "--frontend" || arg.rfind("--frontend=", 0) == 0) {
+    std::string value;
+    if (!flag_value(argc, argv, i, "--frontend", value)) {
+      std::fprintf(stderr, "%s: --frontend requires a value\n", tool);
+      return ParseStatus::Error;
+    }
+    const std::optional<frontend::Language> language =
+        frontend::language_from_name(value);
+    if (!language.has_value()) {
+      std::fprintf(stderr,
+                   "%s: --frontend expects 'c' or 'basic', got '%s'\n", tool,
+                   value.c_str());
+      return ParseStatus::Error;
+    }
+    out.frontend = *language;
+    out.frontend_set = true;
+    return ParseStatus::Handled;
+  }
+  if (arg == "--open-world-params") {
+    out.open_world = true;
+    out.open_world_set = true;
+    return ParseStatus::Handled;
+  }
   if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
     std::string value;
     if (!flag_value(argc, argv, i, "--jobs", value)) {
@@ -191,7 +217,66 @@ const char* common_usage() {
          "  --irdep-fallback           independent analyzer as a fallback "
          "dependence oracle\n"
          "  --exec-threads[=]N         run planned parallel loops on N "
-         "execution lanes (default 1 = serial)\n";
+         "execution lanes (default 1 = serial)\n"
+         "  --frontend=c|basic         front-end selection (default: "
+         "inferred from .c/.bas extension or workload name)\n"
+         "  --open-world-params        open-world linkage for C pointer "
+         "parameters (C front-end only)\n";
+}
+
+bool resolve_frontend(CommonOptions& common,
+                      const std::vector<std::string>& inputs,
+                      const char* tool) {
+  // What an input *says* it is: the workload registry knows its own
+  // language; otherwise the extension decides; otherwise nothing does.
+  const auto detect =
+      [](const std::string& input) -> std::optional<frontend::Language> {
+    if (const workloads::Workload* w = workloads::find_workload(input)) {
+      return w->language;
+    }
+    return frontend::language_for_path(input);
+  };
+
+  std::optional<frontend::Language> inferred;
+  const std::string* first = nullptr;
+  for (const std::string& input : inputs) {
+    const std::optional<frontend::Language> detected = detect(input);
+    if (!detected.has_value()) continue;
+    if (common.frontend_set && *detected != common.frontend) {
+      std::fprintf(stderr,
+                   "%s: --frontend=%.*s contradicts input '%s', which is a "
+                   "%.*s source; drop the flag to auto-detect, or compile it "
+                   "in a separate invocation\n",
+                   tool,
+                   static_cast<int>(frontend::language_name(common.frontend)
+                                        .size()),
+                   frontend::language_name(common.frontend).data(),
+                   input.c_str(),
+                   static_cast<int>(frontend::language_name(*detected).size()),
+                   frontend::language_name(*detected).data());
+      return false;
+    }
+    if (!inferred.has_value()) {
+      inferred = detected;
+      first = &input;
+    } else if (*detected != *inferred) {
+      std::fprintf(stderr,
+                   "%s: mixed-language batch: '%s' is a %.*s source but '%s' "
+                   "is a %.*s source; one invocation compiles with one "
+                   "front-end — split the batch into per-language runs\n",
+                   tool, first->c_str(),
+                   static_cast<int>(frontend::language_name(*inferred).size()),
+                   frontend::language_name(*inferred).data(), input.c_str(),
+                   static_cast<int>(frontend::language_name(*detected).size()),
+                   frontend::language_name(*detected).data());
+      return false;
+    }
+  }
+  if (!common.frontend_set && inferred.has_value()) {
+    common.frontend = *inferred;
+    common.frontend_set = true;
+  }
+  return true;
 }
 
 driver::PipelineOptions apply(const CommonOptions& common,
@@ -212,6 +297,10 @@ driver::PipelineOptions apply(const CommonOptions& common,
   }
   if (common.exec_threads_set) {
     options = options.with_exec_threads(common.exec_threads);
+  }
+  if (common.frontend_set) options = options.with_language(common.frontend);
+  if (common.open_world_set) {
+    options = options.with_open_world_params(common.open_world);
   }
   if (common.stats != StatsFormat::Off) options = options.with_counters();
   if (!common.trace_out.empty() && tracer != nullptr) {

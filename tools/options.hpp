@@ -16,6 +16,10 @@
 //   --analyze=loops             DOALL/DOACROSS/Serial loop classification
 //   --irdep-fallback            independent analyzer as a dependence
 //                               oracle for CSE/LICM/scheduling
+//   --frontend=c|basic          source language / front-end selection
+//                               (auto-detected from .c/.bas extensions
+//                               and workload names when absent)
+//   --open-world-params         open-world linkage for C pointer params
 //
 // A tool's argument loop calls `parse_common_flag` first and falls
 // through to its own flags only on NotMine, so the shared flags cannot
@@ -23,9 +27,11 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "driver/parallel.hpp"
 #include "driver/pipeline.hpp"
+#include "frontend/contract.hpp"
 #include "support/telemetry.hpp"
 
 namespace hli::tools {
@@ -69,6 +75,17 @@ struct CommonOptions {
   /// lanes (1 = serial; results are byte-identical at any value).
   unsigned exec_threads = 1;
   bool exec_threads_set = false;
+  /// --frontend=c|basic: which front-end compiles the inputs.  When the
+  /// flag is absent, resolve_frontend infers it from the inputs (file
+  /// extension or workload registry); a whole batch compiles with ONE
+  /// front-end.
+  frontend::Language frontend = frontend::Language::C;
+  bool frontend_set = false;
+  /// --open-world-params: open-world linkage for C pointer parameters
+  /// (frontend::FrontendOptions::open_world_params).  C-only; the
+  /// pipeline rejects it with --frontend=basic.
+  bool open_world = false;
+  bool open_world_set = false;
 
   /// True when --stats or --trace-out asked for telemetry collection.
   [[nodiscard]] bool wants_telemetry() const {
@@ -90,6 +107,19 @@ enum class ParseStatus : std::uint8_t {
 
 /// The usage lines for the shared flags (embed in each tool's usage()).
 [[nodiscard]] const char* common_usage();
+
+/// Settles which front-end compiles `inputs` (each a source path or a
+/// built-in workload name).  Without --frontend the language is inferred
+/// per input — `.bas` / BASIC workloads select the BASIC front-end, `.c`
+/// / mini-C workloads the C one — and the batch must agree; with the
+/// flag, any input whose detected language contradicts it is an error.
+/// On success `common.frontend` holds the batch's language (and
+/// `frontend_set` is true so apply() threads it into the pipeline).
+/// False = mixed or contradictory batch; the actionable message is
+/// already on stderr.
+[[nodiscard]] bool resolve_frontend(CommonOptions& common,
+                                    const std::vector<std::string>& inputs,
+                                    const char* tool);
 
 /// Applies verify/emit/telemetry onto a PipelineOptions through its
 /// fluent layer.  `tracer` (may be null) is the tool-owned Tracer
